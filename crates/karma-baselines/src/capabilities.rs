@@ -1,0 +1,152 @@
+//! Paper Table I: limitations and restrictions of related approaches.
+
+use serde::{Deserialize, Serialize};
+
+/// Tri-state for the multi-node columns that are N/A for single-GPU-only
+/// systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriState {
+    /// Supported (✓).
+    Yes,
+    /// Unsupported (✗).
+    No,
+    /// Not applicable.
+    NA,
+}
+
+impl std::fmt::Display for TriState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TriState::Yes => write!(f, "yes"),
+            TriState::No => write!(f, "no"),
+            TriState::NA => write!(f, "N/A"),
+        }
+    }
+}
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capability {
+    /// System name.
+    pub name: &'static str,
+    /// Approach label (OOC / RECOMP / MP combinations).
+    pub approach: &'static str,
+    /// Minimum required memory bound.
+    pub min_memory: &'static str,
+    /// Works on any model family without per-model engineering.
+    pub universal: bool,
+    /// Multi-node training supported.
+    pub multi_node: bool,
+    /// Strong scaling across nodes.
+    pub strong_scaling: TriState,
+    /// Fault tolerance across nodes.
+    pub fault_tolerance: TriState,
+}
+
+/// The rows of paper Table I, KARMA last.
+pub fn capability_table() -> Vec<Capability> {
+    vec![
+        Capability {
+            name: "vDNN++",
+            approach: "OOC",
+            min_memory: "None",
+            universal: false,
+            multi_node: false,
+            strong_scaling: TriState::NA,
+            fault_tolerance: TriState::NA,
+        },
+        Capability {
+            name: "ooc_cuDNN",
+            approach: "OOC",
+            min_memory: "None",
+            universal: false,
+            multi_node: false,
+            strong_scaling: TriState::NA,
+            fault_tolerance: TriState::NA,
+        },
+        Capability {
+            name: "Gradient Checkpoint",
+            approach: "RECOMP",
+            min_memory: "O(sqrt(N))",
+            universal: true,
+            multi_node: true,
+            strong_scaling: TriState::No,
+            fault_tolerance: TriState::Yes,
+        },
+        Capability {
+            name: "SuperNeurons",
+            approach: "OOC & RECOMP",
+            min_memory: "O(sqrt(N))",
+            universal: false,
+            multi_node: false,
+            strong_scaling: TriState::NA,
+            fault_tolerance: TriState::NA,
+        },
+        Capability {
+            name: "PoocH",
+            approach: "OOC & RECOMP",
+            min_memory: "O(sqrt(N))",
+            universal: false,
+            multi_node: false,
+            strong_scaling: TriState::NA,
+            fault_tolerance: TriState::NA,
+        },
+        Capability {
+            name: "Graph Partitioning",
+            approach: "Implicit MP",
+            min_memory: "None",
+            universal: true,
+            multi_node: false,
+            strong_scaling: TriState::No,
+            fault_tolerance: TriState::No,
+        },
+        Capability {
+            name: "FlexFlow",
+            approach: "Explicit MP",
+            min_memory: "O(sqrt(P))",
+            universal: false,
+            multi_node: true,
+            strong_scaling: TriState::Yes,
+            fault_tolerance: TriState::No,
+        },
+        Capability {
+            name: "KARMA",
+            approach: "OOC & RECOMP",
+            min_memory: "None",
+            universal: true,
+            multi_node: true,
+            strong_scaling: TriState::Yes,
+            fault_tolerance: TriState::Yes,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn karma_is_the_only_universal_multinode_ooc_row() {
+        let rows = capability_table();
+        let winners: Vec<&Capability> = rows
+            .iter()
+            .filter(|c| c.universal && c.multi_node && c.approach.contains("OOC"))
+            .collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].name, "KARMA");
+    }
+
+    #[test]
+    fn table_matches_paper_row_count() {
+        assert_eq!(capability_table().len(), 8);
+    }
+
+    #[test]
+    fn single_gpu_ooc_systems_have_na_scaling() {
+        for c in capability_table() {
+            if !c.multi_node && c.approach.contains("OOC") {
+                assert_eq!(c.strong_scaling, TriState::NA, "{}", c.name);
+            }
+        }
+    }
+}

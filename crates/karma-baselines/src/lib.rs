@@ -1,0 +1,24 @@
+//! The comparison systems of the KARMA paper (Sec. II / Fig. 5 / Table I),
+//! re-implemented on the same plan/simulator substrate so that every
+//! method's schedule is evaluated under identical hardware assumptions:
+//!
+//! * **in-core** — ordinary training, valid only while everything fits;
+//! * **vDNN++** (ref \[10\]) — eager per-layer swap-everything with one-step
+//!   lookahead prefetch, including the Fig. 2 (a) turnaround inefficiency;
+//! * **ooc_cuDNN** (ref \[11\]) — per-layer swapping scoped to a single
+//!   layer: no prefetch, compute synchronized with each swap;
+//! * **SuperNeurons** (ref \[12\]) — type-based policy: convolution outputs
+//!   swap, cheap layers (BN/ReLU/pool) recompute, no cost model;
+//! * **gradient checkpointing** (ref \[16\]) — √N uniform segments, all
+//!   recomputed, no swapping;
+//! * **Checkmate** (ref \[20\]) — cost-model-driven rematerialization: keep
+//!   the most expensive-to-recompute activations, recompute the rest
+//!   (block-level knapsack approximation of their ILP);
+//! * **Capuchin** (ref \[14\]) — dynamic-tracking hybrid: eager swapping like
+//!   vDNN but with measured-cost recompute substitutions.
+
+pub mod capabilities;
+pub mod methods;
+
+pub use capabilities::{capability_table, Capability};
+pub use methods::{run_baseline, Baseline, BaselineResult};

@@ -1,0 +1,463 @@
+//! Baseline schedule builders.
+
+use karma_core::capacity::{build_training_plan, CapacityPlan, CapacityPlanOptions, PrefetchPolicy};
+use karma_core::cost::{BlockCosts, LayerCostTable};
+use karma_core::lower::{simulate_plan, LowerOptions, SimMetrics};
+use karma_core::planner::PlanError;
+use karma_graph::{LayerKind, MemoryParams, ModelGraph};
+use karma_hw::NodeSpec;
+use karma_sim::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Baseline {
+    /// Ordinary training; meaningful only when the footprint fits.
+    InCore,
+    /// vDNN++-style eager swap-all with one-step prefetch.
+    VdnnPlusPlus,
+    /// ooc_cuDNN-style synchronous per-layer swapping, no prefetch.
+    OocCudnn,
+    /// SuperNeurons type-based swap/recompute split.
+    SuperNeurons,
+    /// √N gradient checkpointing (pure recompute).
+    GradientCheckpoint,
+    /// Checkmate-style optimal rematerialization (pure recompute with a
+    /// cost-model-driven keep set).
+    Checkmate,
+    /// Capuchin-style hybrid (eager swap + measured-cost recompute).
+    Capuchin,
+}
+
+impl Baseline {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::InCore => "in-core",
+            Baseline::VdnnPlusPlus => "vDNN++",
+            Baseline::OocCudnn => "ooc_cuDNN",
+            Baseline::SuperNeurons => "SuperNeurons",
+            Baseline::GradientCheckpoint => "GradCkpt",
+            Baseline::Checkmate => "Checkmate",
+            Baseline::Capuchin => "Capuchin",
+        }
+    }
+
+    /// All out-of-core-capable baselines (everything but in-core).
+    pub fn all_ooc() -> [Baseline; 6] {
+        [
+            Baseline::VdnnPlusPlus,
+            Baseline::OocCudnn,
+            Baseline::SuperNeurons,
+            Baseline::GradientCheckpoint,
+            Baseline::Checkmate,
+            Baseline::Capuchin,
+        ]
+    }
+}
+
+/// Outcome of running one baseline on one workload.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The baseline.
+    pub baseline: Baseline,
+    /// The schedule it produced.
+    pub plan: CapacityPlan,
+    /// Block costs the schedule was built from.
+    pub costs: BlockCosts,
+    /// Simulated metrics.
+    pub metrics: SimMetrics,
+    /// Full trace (stall analysis).
+    pub trace: Trace,
+}
+
+impl BaselineResult {
+    /// Fig. 5 y-axis value.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.metrics.samples_per_sec
+    }
+}
+
+/// Run `baseline` on `graph` at `batch` on `node` under `mem`.
+pub fn run_baseline(
+    baseline: Baseline,
+    graph: &ModelGraph,
+    batch: usize,
+    node: &NodeSpec,
+    mem: &MemoryParams,
+) -> Result<BaselineResult, PlanError> {
+    let table = LayerCostTable::from_graph(graph, batch, node, mem);
+    if table.act_capacity() <= 0 {
+        return Err(PlanError::ModelStateTooLarge {
+            state_bytes: graph.memory(batch, mem).model_state(),
+            usable_bytes: node.gpu.usable_bytes(),
+        });
+    }
+    let n = graph.len();
+    let singles: Vec<usize> = (0..n).collect();
+
+    // Recompute-centric methods need segment granularity: a recomputed
+    // block stores only its boundary checkpoint, so √N-ish segments give
+    // the classical memory/recompute trade-off. Swap-centric methods work
+    // at layer granularity like their real implementations.
+    if baseline == Baseline::GradientCheckpoint {
+        let k = (n as f64).sqrt().ceil() as usize;
+        let part = karma_graph::BlockPartition::uniform(n, k.max(1));
+        let costs = table.block_costs(part.boundaries());
+        let opts = CapacityPlanOptions {
+            recompute: vec![true; costs.n_blocks()],
+            resident_from: Some(0),
+            prefetch: PrefetchPolicy::None,
+            sync_swap_out: false,
+        };
+        let plan = build_training_plan(&costs, &opts);
+        let (trace, metrics) = simulate_plan(&plan.plan, &costs, &LowerOptions::default());
+        return Ok(BaselineResult {
+            baseline,
+            plan,
+            costs,
+            metrics,
+            trace,
+        });
+    }
+    if baseline == Baseline::Checkmate {
+        return Ok(checkmate(&table, n, baseline));
+    }
+
+    let mut costs = table.block_costs(&singles);
+    if baseline == Baseline::SuperNeurons {
+        // SuperNeurons re-forwards cheap layers just-in-time from the
+        // predecessor tensor it swaps in anyway; it retains no standing
+        // checkpoint for them. Zeroing those boundaries models that
+        // (block-level abstraction; see DESIGN.md substitutions).
+        for (b, rc) in superneurons_recompute(graph).iter().enumerate() {
+            if *rc {
+                costs.boundary_bytes[b] = 0;
+            }
+        }
+    }
+
+    let opts = match baseline {
+        Baseline::InCore => CapacityPlanOptions {
+            recompute: vec![false; n],
+            resident_from: Some(0),
+            prefetch: PrefetchPolicy::CapacityBased,
+            sync_swap_out: false,
+        },
+        Baseline::VdnnPlusPlus => CapacityPlanOptions {
+            recompute: vec![false; n],
+            resident_from: Some(n),
+            prefetch: PrefetchPolicy::OneAhead,
+            sync_swap_out: false,
+        },
+        Baseline::OocCudnn => CapacityPlanOptions {
+            recompute: vec![false; n],
+            resident_from: Some(n),
+            prefetch: PrefetchPolicy::None,
+            sync_swap_out: true,
+        },
+        Baseline::SuperNeurons => CapacityPlanOptions {
+            recompute: superneurons_recompute(graph),
+            resident_from: Some(n),
+            prefetch: PrefetchPolicy::OneAhead,
+            sync_swap_out: false,
+        },
+        Baseline::GradientCheckpoint | Baseline::Checkmate => {
+            unreachable!("handled above at segment granularity")
+        }
+        Baseline::Capuchin => CapacityPlanOptions {
+            recompute: capuchin_recompute(&costs),
+            resident_from: Some(n),
+            prefetch: PrefetchPolicy::OneAhead,
+            sync_swap_out: false,
+        },
+    };
+
+    let plan = build_training_plan(&costs, &opts);
+    let (trace, metrics) = simulate_plan(&plan.plan, &costs, &LowerOptions::default());
+    Ok(BaselineResult {
+        baseline,
+        plan,
+        costs,
+        metrics,
+        trace,
+    })
+}
+
+/// Segment cuts placed on the layers with the smallest outputs, keeping a
+/// minimum spacing of `n / (2k)` layers — cheap checkpoints for the
+/// rematerialization methods (the tensor-level freedom Checkmate's ILP
+/// exploits; e.g. U-Net's low-resolution encoder outputs).
+fn small_boundary_cuts(table: &LayerCostTable, n: usize, k: usize) -> Vec<usize> {
+    let singles: Vec<usize> = (0..n).collect();
+    let per_layer = table.block_costs(&singles);
+    // Candidate cut positions ranked by the size of the activation the cut
+    // would store (the previous layer's output = act of layer pos-1).
+    let mut order: Vec<usize> = (1..n).collect();
+    order.sort_by_key(|&pos| per_layer.act_bytes[pos - 1]);
+    let spacing = (n / (2 * k.max(1))).max(1);
+    let mut cuts: Vec<usize> = vec![0];
+    for pos in order {
+        if cuts.len() > k {
+            break;
+        }
+        if cuts.iter().all(|&c| pos.abs_diff(c) >= spacing) {
+            cuts.push(pos);
+        }
+    }
+    cuts.sort_unstable();
+    cuts
+}
+
+/// SuperNeurons' type-based policy: convolutions (the expensive layers) are
+/// swapped; "cheap-to-compute" layers — BN, ReLU, pooling, softmax,
+/// dropout, element-wise — are recomputed. No cost model is consulted
+/// (which is exactly the weakness Fig. 6 exposes).
+fn superneurons_recompute(graph: &ModelGraph) -> Vec<bool> {
+    graph
+        .layers
+        .iter()
+        .map(|l| {
+            !matches!(
+                l.kind,
+                LayerKind::Conv2d { .. }
+                    | LayerKind::ConvTranspose2d { .. }
+                    | LayerKind::FullyConnected { .. }
+                    | LayerKind::Lstm { .. }
+                    | LayerKind::SelfAttention { .. }
+                    | LayerKind::TransformerBlock { .. }
+                    | LayerKind::Input
+                    | LayerKind::Embedding { .. }
+            )
+        })
+        .collect()
+}
+
+/// Checkmate-style optimal rematerialization: sweep segment granularities;
+/// within each, keep the activations that are most expensive to recompute
+/// per byte and recompute the rest (greedy knapsack relaxation of
+/// Checkmate's tensor-level ILP); return the fastest feasible schedule.
+fn checkmate(table: &LayerCostTable, n: usize, baseline: Baseline) -> BaselineResult {
+    let sqrt_n = (n as f64).sqrt().ceil() as usize;
+    let mut candidates: Vec<Vec<usize>> = Vec::new();
+    for k in [sqrt_n / 2, sqrt_n, 2 * sqrt_n, 4 * sqrt_n] {
+        let k = k.clamp(1, n);
+        candidates.push(
+            karma_graph::BlockPartition::uniform(n, k)
+                .boundaries()
+                .to_vec(),
+        );
+        // Cheap-checkpoint variant: put segment boundaries on the layers
+        // with the smallest outputs (Checkmate's tensor-level freedom).
+        candidates.push(small_boundary_cuts(table, n, k));
+    }
+    let mut best: Option<BaselineResult> = None;
+    for bounds in candidates {
+        let costs = table.block_costs(&bounds);
+        let opts = CapacityPlanOptions {
+            recompute: checkmate_recompute(&costs),
+            resident_from: Some(0),
+            prefetch: PrefetchPolicy::None,
+            sync_swap_out: false,
+        };
+        let plan = build_training_plan(&costs, &opts);
+        let (trace, metrics) = simulate_plan(&plan.plan, &costs, &LowerOptions::default());
+        let candidate = BaselineResult {
+            baseline,
+            plan,
+            costs,
+            metrics,
+            trace,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (candidate.metrics.capacity_ok, -candidate.metrics.makespan)
+                    > (b.metrics.capacity_ok, -b.metrics.makespan)
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one granularity evaluated")
+}
+
+/// Keep/recompute selection for one granularity: every block stores its
+/// boundary checkpoint; keeping a block additionally stores its interior.
+fn checkmate_recompute(costs: &BlockCosts) -> Vec<bool> {
+    let n = costs.n_blocks();
+    let budget = costs.act_capacity
+        - costs.max_transient() as i64
+        - costs.act_bytes.iter().copied().max().unwrap_or(0) as i64;
+    // Baseline usage: all boundaries (checkpoints) are always stored.
+    let mut used: i64 = costs.boundary_bytes.iter().map(|&b| b as i64).sum();
+    // Sort blocks by recompute-cost density (seconds saved per byte kept).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let da = costs.forward[a] / (costs.act_bytes[a].max(1) as f64);
+        let db = costs.forward[b] / (costs.act_bytes[b].max(1) as f64);
+        db.partial_cmp(&da).unwrap()
+    });
+    let mut recompute = vec![true; n];
+    for b in order {
+        let extra = costs.act_bytes[b].saturating_sub(costs.boundary_bytes[b]) as i64;
+        if used + extra <= budget {
+            recompute[b] = false; // keep the interior too
+            used += extra;
+        }
+    }
+    recompute
+}
+
+/// Capuchin-style selection: like vDNN's eager swapping, but tensors whose
+/// measured recompute cost undercuts their swap cost are recomputed
+/// instead (the paper reports ~7% gain over swap-only at equal footprint).
+fn capuchin_recompute(costs: &BlockCosts) -> Vec<bool> {
+    (0..costs.n_blocks())
+        .map(|b| costs.forward[b] < costs.swap_time(b) * 0.5)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::{GraphBuilder, Shape};
+    use karma_hw::{GpuSpec, LinkSpec};
+
+    fn cnn() -> ModelGraph {
+        let mut b = GraphBuilder::new("cnn", Shape::chw(3, 32, 32));
+        for _ in 0..4 {
+            b.conv_bn_relu(16, 3, 1, 1);
+        }
+        b.global_avg_pool();
+        b.flatten();
+        b.fc(10);
+        b.softmax();
+        b.build()
+    }
+
+    fn tight_node(g: &ModelGraph, batch: usize, frac: f64) -> NodeSpec {
+        let mem = MemoryParams::exact();
+        let need = g.peak_footprint(batch, &mem) as f64;
+        NodeSpec::toy(
+            GpuSpec::toy((need * frac) as u64, 5.0e9),
+            LinkSpec::toy(2.0e8),
+        )
+    }
+
+    #[test]
+    fn all_baselines_produce_valid_plans() {
+        let g = cnn();
+        let node = tight_node(&g, 8, 0.5);
+        let mem = MemoryParams::exact();
+        for b in Baseline::all_ooc() {
+            let r = run_baseline(b, &g, 8, &node, &mem).unwrap();
+            r.plan.plan.validate().unwrap();
+            assert!(r.metrics.makespan > 0.0, "{}", b.name());
+            assert!(r.metrics.samples_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn in_core_is_fastest_when_memory_is_ample() {
+        let g = cnn();
+        let node = tight_node(&g, 4, 4.0);
+        let mem = MemoryParams::exact();
+        let ic = run_baseline(Baseline::InCore, &g, 4, &node, &mem).unwrap();
+        assert!((ic.metrics.occupancy - 1.0).abs() < 1e-9);
+        for b in Baseline::all_ooc() {
+            let r = run_baseline(b, &g, 4, &node, &mem).unwrap();
+            assert!(
+                ic.metrics.makespan <= r.metrics.makespan + 1e-12,
+                "{} beat in-core",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn vdnn_swaps_everything_ooc_cudnn_syncs() {
+        let g = cnn();
+        let node = tight_node(&g, 8, 0.5);
+        let mem = MemoryParams::exact();
+        let vdnn = run_baseline(Baseline::VdnnPlusPlus, &g, 8, &node, &mem).unwrap();
+        // Every layer swapped out and back in.
+        assert_eq!(
+            vdnn.plan.plan.count(karma_core::plan::OpKind::SwapOut),
+            g.len()
+        );
+        let ooc = run_baseline(Baseline::OocCudnn, &g, 8, &node, &mem).unwrap();
+        // Synchronous per-layer swapping must be slower than prefetched.
+        assert!(ooc.metrics.makespan >= vdnn.metrics.makespan);
+    }
+
+    #[test]
+    fn superneurons_recomputes_cheap_layers_only() {
+        let g = cnn();
+        let rc = superneurons_recompute(&g);
+        for (l, &r) in g.layers.iter().zip(&rc) {
+            match l.kind.mnemonic() {
+                "conv" | "fc" | "in" => assert!(!r, "{} should swap", l.name),
+                "bn" | "relu" | "softmax" | "gap" | "flat" => {
+                    assert!(r, "{} should recompute", l.name)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_methods_never_swap() {
+        let g = cnn();
+        let node = tight_node(&g, 8, 0.4);
+        let mem = MemoryParams::exact();
+        for b in [Baseline::GradientCheckpoint, Baseline::Checkmate] {
+            let r = run_baseline(b, &g, 8, &node, &mem).unwrap();
+            assert_eq!(r.plan.plan.count(karma_core::plan::OpKind::SwapOut), 0);
+            assert_eq!(r.plan.plan.count(karma_core::plan::OpKind::SwapIn), 0);
+        }
+    }
+
+    #[test]
+    fn checkmate_beats_uniform_checkpointing() {
+        // Checkmate keeps the most valuable activations; with any memory to
+        // spare it must not be slower than recompute-everything. A deep
+        // chain gives √N checkpointing real headroom to work in.
+        let mut b = GraphBuilder::new("deep", Shape::chw(8, 16, 16));
+        for _ in 0..24 {
+            b.conv_bn_relu(8, 3, 1, 1);
+        }
+        let g = b.build();
+        let node = tight_node(&g, 8, 0.5);
+        let mem = MemoryParams::exact();
+        let ck = run_baseline(Baseline::Checkmate, &g, 8, &node, &mem).unwrap();
+        let gc = run_baseline(Baseline::GradientCheckpoint, &g, 8, &node, &mem).unwrap();
+        assert!(ck.metrics.makespan <= gc.metrics.makespan + 1e-12);
+        assert!(ck.metrics.capacity_ok);
+        // Checkmate must actually have kept something.
+        let kept = ck.costs.n_blocks() - ck.plan.plan.count(karma_core::plan::OpKind::Recompute);
+        assert!(kept > 0, "knapsack kept nothing");
+    }
+
+    #[test]
+    fn capuchin_is_at_least_as_good_as_vdnn() {
+        // Capuchin = vDNN's policy + recompute substitutions where they
+        // dominate swapping; it should not lose.
+        let g = cnn();
+        let node = tight_node(&g, 8, 0.4);
+        let mem = MemoryParams::exact();
+        let cap = run_baseline(Baseline::Capuchin, &g, 8, &node, &mem).unwrap();
+        let vd = run_baseline(Baseline::VdnnPlusPlus, &g, 8, &node, &mem).unwrap();
+        assert!(cap.metrics.makespan <= vd.metrics.makespan + 1e-9);
+    }
+
+    #[test]
+    fn model_state_overflow_reported() {
+        let g = cnn();
+        let node = NodeSpec::toy(GpuSpec::toy(256, 1e9), LinkSpec::toy(1e6));
+        let err = run_baseline(Baseline::VdnnPlusPlus, &g, 1, &node, &MemoryParams::exact())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::ModelStateTooLarge { .. }));
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion bench for the ablation kernels (X1 strategy / X2 solver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use karma_bench::ablation;
+use karma_graph::MemoryParams;
+use karma_zoo::{resnet, CAL_RESNET50};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("x1_strategy_wrn", |b| {
+        b.iter(|| ablation::strategy_ablation("WRN-28-10"))
+    });
+    group.bench_function("x2_solver_resnet50", |b| {
+        let g = resnet::resnet50();
+        let mem = MemoryParams::calibrated(CAL_RESNET50);
+        b.iter(|| ablation::solver_ablation(&g, 256, &mem))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

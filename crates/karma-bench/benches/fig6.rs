@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 6 kernel: stall-profile extraction from a
+//! single ResNet-200 baseline trace (the four-method figure is the harness
+//! binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use karma_baselines::{run_baseline, Baseline};
+use karma_hw::NodeSpec;
+use karma_zoo::fig5_workloads;
+
+fn bench_fig6(c: &mut Criterion) {
+    let w = fig5_workloads()
+        .into_iter()
+        .find(|w| w.model.name == "ResNet-200")
+        .unwrap();
+    let node = NodeSpec::abci();
+    let mut group = c.benchmark_group("fig6_stall_profiles");
+    group.sample_size(10);
+    group.bench_function("superneurons_trace_and_stalls", |b| {
+        b.iter(|| {
+            let r = run_baseline(Baseline::SuperNeurons, &w.model, 12, &node, &w.mem).unwrap();
+            r.trace.compute_spans_with_stalls().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Fig. 7 kernel: the two-tier blocking
+//! optimization for ResNet-50 at batch 512.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use karma_bench::fig7;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_blocking");
+    group.sample_size(10);
+    group.bench_function("resnet50_b512_blocking", |b| b.iter(fig7::blocking));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 8 kernel: the hybrid analytic model and
+//! one distributed KARMA plan at 2,048 GPUs (smallest Megatron config to
+//! keep iterations cheap; the full figure is the harness binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use karma_dist::{hybrid_iter_time, karma_dp_iteration, DistOptions, HybridConfig};
+use karma_graph::MemoryParams;
+use karma_hw::ClusterSpec;
+use karma_zoo::transformer::{megatron, megatron_table4};
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = megatron_table4()[0];
+    let g = megatron(&cfg);
+    let mem = MemoryParams::default();
+    let cluster = ClusterSpec::abci_with_gpus(2048);
+    let mut group = c.benchmark_group("fig8_scaling");
+    group.sample_size(10);
+    group.bench_function("hybrid_2048", |b| {
+        let hc = HybridConfig::megatron(cfg.model_parallel, false);
+        b.iter(|| hybrid_iter_time(&g, &hc, &cluster, 2048))
+    });
+    group.bench_function("karma_dp_2048", |b| {
+        b.iter(|| karma_dp_iteration(&g, 1, &cluster, &mem, &DistOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Table IV kernel: the hybrid cost model plus
+//! one distributed KARMA iteration plan (row 1 — the full table is the
+//! harness binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use karma_dist::{hybrid_iter_time, karma_dp_iteration, DistOptions, HybridConfig};
+use karma_graph::MemoryParams;
+use karma_hw::ClusterSpec;
+use karma_zoo::transformer::{megatron, megatron_table4};
+
+fn bench_table4(c: &mut Criterion) {
+    let cfg = megatron_table4()[0]; // 0.7B row
+    let g = megatron(&cfg);
+    let mem = MemoryParams::default();
+    let mut group = c.benchmark_group("table4_megatron");
+    group.sample_size(10);
+    group.bench_function("hybrid_row1", |b| {
+        let cluster = ClusterSpec::abci_with_gpus(cfg.hybrid_gpus);
+        let hc = HybridConfig::megatron(cfg.model_parallel, false);
+        b.iter(|| hybrid_iter_time(&g, &hc, &cluster, cfg.hybrid_gpus))
+    });
+    group.bench_function("karma_dp_row1", |b| {
+        let cluster = ClusterSpec::abci_with_gpus(cfg.karma_gpus);
+        b.iter(|| karma_dp_iteration(&g, 16, &cluster, &mem, &DistOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

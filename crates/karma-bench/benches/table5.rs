@@ -1,0 +1,21 @@
+//! Criterion bench for the Table V kernel: one cost/performance row
+//! (the full sweep is the harness binary's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use karma_dist::cost_perf_table;
+use karma_graph::MemoryParams;
+use karma_zoo::{resnet, CAL_RESNET200};
+
+fn bench_table5(c: &mut Criterion) {
+    let g = resnet::resnet200();
+    let mem = MemoryParams::calibrated(CAL_RESNET200);
+    let mut group = c.benchmark_group("table5_cost_perf");
+    group.sample_size(10);
+    group.bench_function("resnet200_two_steps", |b| {
+        b.iter(|| cost_perf_table(&g, 4, 100, &[1, 2], &mem))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Ablations (DESIGN.md experiments X1/X2): which parts of KARMA buy the
+//! speedup, and does the ACO actually find good blockings?
+
+use karma_core::capacity::{build_training_plan, CapacityPlanOptions, PrefetchPolicy};
+use karma_core::cost::LayerCostTable;
+use karma_core::lower::{simulate_plan, LowerOptions};
+use karma_core::opt::{optimize_blocking, refine_recompute, OptConfig};
+use karma_graph::{BlockPartition, MemoryParams, ModelGraph};
+use karma_hw::NodeSpec;
+use karma_zoo::fig5_workloads;
+use serde::{Deserialize, Serialize};
+
+/// X1: strategy ablation — one model/batch, four strategy variants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyAblation {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Eager swap-everything (vDNN-style), same blocking.
+    pub eager_makespan: f64,
+    /// Capacity-based residency, no prefetch beyond one step.
+    pub capacity_no_prefetch: f64,
+    /// Capacity-based + capacity prefetch (KARMA, Fig. 2 (b)).
+    pub capacity_prefetch: f64,
+    /// + recompute interleave (KARMA w/ recompute, Fig. 2 (c)).
+    pub with_recompute: f64,
+}
+
+/// Run X1 on one workload at its mid out-of-core batch.
+pub fn strategy_ablation(model_name: &str) -> StrategyAblation {
+    let w = fig5_workloads()
+        .into_iter()
+        .find(|w| w.model.name == model_name)
+        .expect("model in zoo");
+    let batch = w.batch_sizes[w.batch_sizes.len() / 2];
+    let node = NodeSpec::abci();
+    let table = LayerCostTable::from_graph(&w.model, batch, &node, &w.mem);
+    let bounds = optimize_blocking(&table, &OptConfig::fast(17));
+    let costs = table.block_costs(&bounds);
+    let n = costs.n_blocks();
+
+    let run = |opts: &CapacityPlanOptions| -> f64 {
+        let cp = build_training_plan(&costs, opts);
+        let (_t, m) = simulate_plan(&cp.plan, &costs, &LowerOptions::default());
+        m.makespan
+    };
+
+    let eager = run(&CapacityPlanOptions {
+        recompute: vec![false; n],
+        resident_from: Some(n),
+        prefetch: PrefetchPolicy::OneAhead,
+        sync_swap_out: false,
+    });
+    let cap_no_pf = run(&CapacityPlanOptions {
+        recompute: vec![false; n],
+        resident_from: None,
+        prefetch: PrefetchPolicy::None,
+        sync_swap_out: false,
+    });
+    let cap_pf = run(&CapacityPlanOptions::karma(n));
+    let rc = refine_recompute(&costs);
+    let with_rc = run(&CapacityPlanOptions::karma_with_recompute(rc));
+
+    StrategyAblation {
+        model: w.model.name,
+        batch,
+        eager_makespan: eager,
+        capacity_no_prefetch: cap_no_pf,
+        capacity_prefetch: cap_pf,
+        with_recompute: with_rc,
+    }
+}
+
+/// X2: solver ablation — ACO blocking vs uniform blockings on a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverAblation {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Simulated makespan of the ACO blocking.
+    pub aco_makespan: f64,
+    /// Best uniform blocking's makespan (over several k).
+    pub best_uniform_makespan: f64,
+    /// Number of blocks the ACO chose.
+    pub aco_blocks: usize,
+}
+
+/// Run X2.
+pub fn solver_ablation(graph: &ModelGraph, batch: usize, mem: &MemoryParams) -> SolverAblation {
+    let node = NodeSpec::abci();
+    let table = LayerCostTable::from_graph(graph, batch, &node, mem);
+    let score = |bounds: &[usize]| -> f64 {
+        let costs = table.block_costs(bounds);
+        if !costs.is_schedulable() {
+            return f64::INFINITY;
+        }
+        let cp = build_training_plan(&costs, &CapacityPlanOptions::karma(costs.n_blocks()));
+        let (_t, m) = simulate_plan(&cp.plan, &costs, &LowerOptions::default());
+        if m.capacity_ok {
+            m.makespan
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    let aco_bounds = optimize_blocking(&table, &OptConfig::fast(23));
+    let aco = score(&aco_bounds);
+    let best_uniform = [4usize, 8, 16, 32, 64]
+        .iter()
+        .map(|&k| {
+            score(
+                BlockPartition::uniform(graph.len(), k.clamp(1, graph.len()))
+                    .boundaries(),
+            )
+        })
+        .fold(f64::INFINITY, f64::min);
+    SolverAblation {
+        model: graph.name.clone(),
+        batch,
+        aco_makespan: aco,
+        best_uniform_makespan: best_uniform,
+        aco_blocks: aco_bounds.len(),
+    }
+}

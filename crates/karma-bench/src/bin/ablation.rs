@@ -1,0 +1,40 @@
+//! Ablation studies (DESIGN.md X1/X2): strategy components and solver
+//! quality.
+
+use karma_bench::ablation;
+use karma_graph::MemoryParams;
+use karma_zoo::{resnet, CAL_RESNET50};
+
+fn main() {
+    karma_bench::rule("X1 — strategy ablation (iteration makespan, s)");
+    println!(
+        "{:<12} {:>6} {:>12} {:>14} {:>12} {:>12}",
+        "model", "batch", "eager(vDNN)", "cap, no pf", "capacity", "+recompute"
+    );
+    for model in ["ResNet-200", "VGG16", "WRN-28-10"] {
+        let a = ablation::strategy_ablation(model);
+        println!(
+            "{:<12} {:>6} {:>12.3} {:>14.3} {:>12.3} {:>12.3}",
+            a.model,
+            a.batch,
+            a.eager_makespan,
+            a.capacity_no_prefetch,
+            a.capacity_prefetch,
+            a.with_recompute
+        );
+    }
+
+    karma_bench::rule("X2 — solver ablation (ACO vs best uniform blocking)");
+    println!(
+        "{:<12} {:>6} {:>12} {:>14} {:>8}",
+        "model", "batch", "ACO (s)", "best unif (s)", "blocks"
+    );
+    for (g, batch) in [(resnet::resnet50(), 256usize), (resnet::resnet200(), 12)] {
+        let mem = MemoryParams::calibrated(CAL_RESNET50);
+        let x = ablation::solver_ablation(&g, batch, &mem);
+        println!(
+            "{:<12} {:>6} {:>12.3} {:>14.3} {:>8}",
+            x.model, x.batch, x.aco_makespan, x.best_uniform_makespan, x.aco_blocks
+        );
+    }
+}

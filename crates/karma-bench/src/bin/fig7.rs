@@ -1,0 +1,30 @@
+//! Regenerate paper Fig. 7: the best blocking KARMA finds for
+//! ResNet-50/ImageNet at batch 512, plus the quoted stall reductions.
+
+use karma_bench::fig7;
+
+fn main() {
+    let (plan, r) = fig7::blocking();
+    karma_bench::rule(&format!(
+        "Fig. 7 — best blocking for ResNet-50 @ batch {} on V100-16GB",
+        fig7::BATCH
+    ));
+    println!("{} blocks over {} layers:", r.blocks.len(), plan.partition.n_layers());
+    for (i, (first, last, len)) in r.blocks.iter().enumerate() {
+        println!("  block {i:>2}: [{first} ... {last}] ({len} layers)");
+    }
+    println!("\nschedule prefix: {} ...", r.notation_prefix);
+    println!(
+        "\ncompute stall: {:.3} s | reduction vs SuperNeurons {:.0}% (paper 43%) | \
+         vs vDNN++ {:.0}% (paper 37%)",
+        r.karma_stall,
+        r.reduction_vs_superneurons * 100.0,
+        r.reduction_vs_vdnn * 100.0
+    );
+    println!(
+        "occupancy {:.1}% | throughput {:.1} samples/s | capacity ok: {}",
+        plan.metrics.occupancy * 100.0,
+        plan.samples_per_sec(),
+        plan.metrics.capacity_ok
+    );
+}

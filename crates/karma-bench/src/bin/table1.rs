@@ -1,0 +1,24 @@
+//! Regenerate paper Table I: limitations and restrictions of related
+//! approaches.
+
+use karma_baselines::capability_table;
+
+fn main() {
+    karma_bench::rule("Table I — Limitations and Restrictions of Related Approaches");
+    println!(
+        "{:<22} {:<14} {:<12} {:<10} {:<11} {:<15} {:<14}",
+        "Name", "Approach", "Min.Memory", "Universal", "Multi-node", "StrongScaling", "FaultTolerance"
+    );
+    for c in capability_table() {
+        println!(
+            "{:<22} {:<14} {:<12} {:<10} {:<11} {:<15} {:<14}",
+            c.name,
+            c.approach,
+            c.min_memory,
+            if c.universal { "yes" } else { "no" },
+            if c.multi_node { "yes" } else { "no" },
+            c.strong_scaling.to_string(),
+            c.fault_tolerance.to_string(),
+        );
+    }
+}

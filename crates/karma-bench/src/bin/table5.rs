@@ -1,0 +1,27 @@
+//! Regenerate paper Table V: cost/performance of DP scale-out vs KARMA
+//! scale-up, normalized to the first row.
+
+use karma_bench::table5;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = table5::rows(quick);
+    for (name, rows) in [("ResNet-50", &t.resnet50), ("ResNet-200", &t.resnet200)] {
+        karma_bench::rule(&format!("Table V — {name}"));
+        println!(
+            "{:>12} {:>9} {:>8} | {:>11} {:>8}",
+            "global batch", "DP GPUs", "DP $/P", "KARMA GPUs", "K $/P"
+        );
+        for r in rows {
+            println!(
+                "{:>12} {:>9} {:>8.3} | {:>11} {:>8.3}",
+                r.global_batch, r.dp_gpus, r.dp_cost_perf, r.karma_gpus, r.karma_cost_perf
+            );
+        }
+    }
+    println!(
+        "\nReading (cf. paper): KARMA is more cost effective for the first \
+         batch increases, then\ndata parallelism wins as out-of-core slowdown \
+         magnifies."
+    );
+}

@@ -1,0 +1,146 @@
+//! Fig. 6: normalized runtime of the backward phase of ResNet-200,
+//! per layer from back to front: an out-of-core run (batch 12) stacked on
+//! an in-core run (batch 4). The bars include each layer's stall from
+//! swapping/recompute; spikes localize where each method's pipeline
+//! starves.
+
+use karma_baselines::{run_baseline, Baseline};
+use karma_core::planner::{Karma, KarmaOptions};
+use karma_hw::NodeSpec;
+use karma_sim::Trace;
+use karma_zoo::fig5_workloads;
+use serde::{Deserialize, Serialize};
+
+/// One bar of the figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Bar {
+    /// Position from the back of the model (0 = last layer's backward).
+    pub position: usize,
+    /// Backward time plus attributed stall, normalized to the in-core
+    /// backward time of the same span at the same batch size.
+    pub normalized: f64,
+}
+
+/// A method's full profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Profile {
+    /// Method name.
+    pub method: String,
+    /// Bars back-to-front.
+    pub bars: Vec<Fig6Bar>,
+}
+
+/// In-core batch (first Fig. 5 point) and the OOC batch of the figure.
+pub const IN_CORE_BATCH: usize = 4;
+/// Out-of-core batch used by Fig. 6.
+pub const OOC_BATCH: usize = 12;
+
+fn profile_from_trace(trace: &Trace, method: &str) -> Fig6Profile {
+    // Walk compute-lane spans of the backward phase, charging each bar its
+    // backward duration plus the stall that preceded it plus any recompute
+    // time spent re-forwarding for it; normalize by the backward duration
+    // (the in-core cost of the same work at the same batch). Consecutive
+    // tiny layers (parameter-free ops with near-zero backward time) are
+    // merged into the next substantial bar so ratios stay meaningful.
+    let rows = trace.compute_spans_with_stalls();
+    let total_bwd: f64 = rows
+        .iter()
+        .filter(|(l, ..)| l.kind == "B")
+        .map(|(_, d, _)| d)
+        .sum();
+    let bwd_count = rows.iter().filter(|(l, ..)| l.kind == "B").count().max(1);
+    let min_dur = total_bwd / bwd_count as f64 * 0.05;
+
+    let mut bars = Vec::new();
+    let mut position = 0usize;
+    let mut acc_dur = 0.0f64;
+    let mut acc_overhead = 0.0f64;
+    for (label, dur, stall) in rows {
+        match label.kind.as_str() {
+            "R" => acc_overhead += dur + stall, // re-forward is pure overhead
+            "B" => {
+                acc_dur += dur;
+                acc_overhead += stall;
+                if acc_dur >= min_dur {
+                    bars.push(Fig6Bar {
+                        position,
+                        normalized: (acc_dur + acc_overhead) / acc_dur,
+                    });
+                    position += 1;
+                    acc_dur = 0.0;
+                    acc_overhead = 0.0;
+                }
+            }
+            _ => {} // forward phase
+        }
+    }
+    if acc_dur > 0.0 {
+        bars.push(Fig6Bar {
+            position,
+            normalized: (acc_dur + acc_overhead) / acc_dur,
+        });
+    }
+    Fig6Profile {
+        method: method.to_owned(),
+        bars,
+    }
+}
+
+/// Produce the four profiles of the figure (SuperNeurons, vDNN++, KARMA,
+/// KARMA w/ recompute) for ResNet-200 at the OOC batch.
+pub fn profiles() -> Vec<Fig6Profile> {
+    let w = fig5_workloads()
+        .into_iter()
+        .find(|w| w.model.name == "ResNet-200")
+        .expect("zoo has ResNet-200");
+    let node = NodeSpec::abci();
+    let mut out = Vec::new();
+
+    for (b, label) in [
+        (Baseline::SuperNeurons, "SuperNeurons"),
+        (Baseline::VdnnPlusPlus, "vDNN++"),
+    ] {
+        let r = run_baseline(b, &w.model, OOC_BATCH, &node, &w.mem).unwrap();
+        out.push(profile_from_trace(&r.trace, label));
+    }
+    let planner = Karma::new(node, w.mem.clone());
+    let karma = planner
+        .plan(&w.model, OOC_BATCH, &KarmaOptions::without_recompute())
+        .unwrap();
+    out.push(profile_from_trace(&karma.trace, "KARMA"));
+    let karma_r = planner
+        .plan(&w.model, OOC_BATCH, &KarmaOptions::default())
+        .unwrap();
+    out.push(profile_from_trace(&karma_r.trace, "KARMA (w/ recomp)"));
+    out
+}
+
+/// Spike statistics used to check the paper's qualitative claims.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpikeStats {
+    /// Method name.
+    pub method: String,
+    /// Number of bars ≥ 2x the in-core time ("spikes").
+    pub spikes: usize,
+    /// Largest normalized bar.
+    pub max: f64,
+    /// Mean normalized bar.
+    pub mean: f64,
+}
+
+/// Summarize a profile.
+pub fn spike_stats(p: &Fig6Profile) -> SpikeStats {
+    let spikes = p.bars.iter().filter(|b| b.normalized >= 2.0).count();
+    let max = p.bars.iter().map(|b| b.normalized).fold(0.0, f64::max);
+    let mean = if p.bars.is_empty() {
+        0.0
+    } else {
+        p.bars.iter().map(|b| b.normalized).sum::<f64>() / p.bars.len() as f64
+    };
+    SpikeStats {
+        method: p.method.clone(),
+        spikes,
+        max,
+        mean,
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 7: the best blocking KARMA finds for ResNet-50/ImageNet at batch
+//! 512 on a V100, plus the stall reductions quoted in the text (−43% vs
+//! SuperNeurons, −37% vs vDNN++).
+
+use karma_baselines::{run_baseline, Baseline};
+use karma_core::planner::{Karma, KarmaOptions, KarmaPlan};
+use karma_hw::NodeSpec;
+use karma_sim::LaneKind;
+use karma_zoo::fig5_workloads;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 7 batch size.
+pub const BATCH: usize = 512;
+
+/// The blocking and its derived statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// For each block: (first layer name, last layer name, #layers).
+    pub blocks: Vec<(String, String, usize)>,
+    /// Compute-lane stall seconds for KARMA (w/ recompute).
+    pub karma_stall: f64,
+    /// Stall reduction vs SuperNeurons (fraction, paper: 0.43).
+    pub reduction_vs_superneurons: f64,
+    /// Stall reduction vs vDNN++ (fraction, paper: 0.37).
+    pub reduction_vs_vdnn: f64,
+    /// The paper-notation schedule prefix.
+    pub notation_prefix: String,
+}
+
+/// Run the experiment.
+pub fn blocking() -> (KarmaPlan, Fig7Result) {
+    let w = fig5_workloads()
+        .into_iter()
+        .find(|w| w.model.name == "ResNet-50")
+        .unwrap();
+    let node = NodeSpec::abci();
+    let planner = Karma::new(node.clone(), w.mem.clone());
+    let plan = planner.plan(&w.model, BATCH, &KarmaOptions::default()).unwrap();
+
+    let blocks = plan
+        .partition
+        .blocks()
+        .map(|b| {
+            let first = &w.model.layers[b.layers.start].name;
+            let last = &w.model.layers[b.layers.end - 1].name;
+            (first.clone(), last.clone(), b.len())
+        })
+        .collect();
+
+    let karma_stall = plan.trace.lane_stall(LaneKind::Compute);
+    let sn = run_baseline(Baseline::SuperNeurons, &w.model, BATCH, &node, &w.mem).unwrap();
+    let vd = run_baseline(Baseline::VdnnPlusPlus, &w.model, BATCH, &node, &w.mem).unwrap();
+    let sn_stall = sn.trace.lane_stall(LaneKind::Compute);
+    let vd_stall = vd.trace.lane_stall(LaneKind::Compute);
+
+    let notation = plan.notation();
+    let prefix: String = notation.chars().take(100).collect();
+    let result = Fig7Result {
+        blocks,
+        karma_stall,
+        reduction_vs_superneurons: 1.0 - karma_stall / sn_stall,
+        reduction_vs_vdnn: 1.0 - karma_stall / vd_stall,
+        notation_prefix: prefix,
+    };
+    (plan, result)
+}

@@ -1,0 +1,42 @@
+//! Table V: cost/performance ($/P) of data-parallel scale-out vs KARMA
+//! batch scale-up for ResNet-50 and ResNet-200, normalized to the first
+//! row. The paper's first-row global batches: 12.8K (ResNet-50 at 128 per
+//! GPU x 100 GPUs) and 400 (ResNet-200 at 4 per GPU x 100 GPUs).
+
+use karma_dist::{cost_perf_table, CostPerfRow};
+use karma_graph::MemoryParams;
+use karma_zoo::{resnet, CAL_RESNET200, CAL_RESNET50};
+use serde::{Deserialize, Serialize};
+
+/// Both halves of the table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    /// ResNet-50 rows (global batch 12.8K..76.8K).
+    pub resnet50: Vec<CostPerfRow>,
+    /// ResNet-200 rows (global batch 400..2.4K).
+    pub resnet200: Vec<CostPerfRow>,
+}
+
+/// The paper's multipliers: 1x..6x over the 100-GPU baseline.
+pub const STEPS: [usize; 6] = [1, 2, 3, 4, 5, 6];
+
+/// Reproduce the table. `quick` limits to 3 steps for tests/benches.
+pub fn rows(quick: bool) -> Table5 {
+    let steps: &[usize] = if quick { &STEPS[..3] } else { &STEPS };
+    Table5 {
+        resnet50: cost_perf_table(
+            &resnet::resnet50(),
+            128,
+            100,
+            steps,
+            &MemoryParams::calibrated(CAL_RESNET50),
+        ),
+        resnet200: cost_perf_table(
+            &resnet::resnet200(),
+            4,
+            100,
+            steps,
+            &MemoryParams::calibrated(CAL_RESNET200),
+        ),
+    }
+}

@@ -1,0 +1,361 @@
+//! Block-level cost tables: the planner's working data.
+
+use karma_graph::{BlockPartition, MemoryParams, ModelGraph};
+use karma_hw::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-block compute times, transfer times and memory sizes for one
+/// (model, batch, partition, node) tuple — everything the occupancy model,
+/// the plan builder and the simulator need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockCosts {
+    /// Forward compute time per block (s).
+    pub forward: Vec<f64>,
+    /// Backward compute time per block (s).
+    pub backward: Vec<f64>,
+    /// Stored-activation bytes per block (interior + boundary), under the
+    /// *profiled* memory model — what occupies device capacity.
+    pub act_bytes: Vec<u64>,
+    /// Raw activation tensor bytes per block — what a swap actually moves
+    /// over the interconnect. The profiled footprint (`act_bytes`) includes
+    /// allocator slack, retained pre-activations and workspace that never
+    /// travel; transfers are sized from the tensors themselves.
+    pub swap_bytes: Vec<u64>,
+    /// Boundary-activation bytes per block: the block's final output, which
+    /// must stay resident (the checkpoint) even when the block's interior
+    /// activations are dropped for recompute. This is what gives pure
+    /// recompute its O(√N) memory lower bound (paper Table I).
+    pub boundary_bytes: Vec<u64>,
+    /// Transient backward bytes per block (activation gradients+workspace).
+    pub transient_bytes: Vec<u64>,
+    /// Model-state bytes per block (weights + weight grads + optimizer).
+    pub state_bytes: Vec<u64>,
+    /// Gradient bytes per block (what an AllReduce exchanges).
+    pub grad_bytes: Vec<u64>,
+    /// Trainable parameters per block.
+    pub params: Vec<u64>,
+    /// Swap throughput (Eq. 4): `min{TFM, TNM, TIC}` in bytes/s.
+    pub swap_bw: f64,
+    /// Device bytes available to activations after model state and the
+    /// input batch are resident (`Capacity` of constraint 9.4).
+    pub act_capacity: i64,
+    /// Mini-batch size these costs were computed at.
+    pub batch: usize,
+}
+
+impl BlockCosts {
+    /// Aggregate costs for `partition` of `graph` at `batch` on `node`.
+    pub fn compute(
+        graph: &ModelGraph,
+        partition: &BlockPartition,
+        batch: usize,
+        node: &NodeSpec,
+        mem: &MemoryParams,
+    ) -> Self {
+        LayerCostTable::from_graph(graph, batch, node, mem).block_costs(partition.boundaries())
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Swap (either direction) time of block `b`'s activations (s).
+    #[inline]
+    pub fn swap_time(&self, b: usize) -> f64 {
+        self.swap_bytes[b] as f64 / self.swap_bw
+    }
+
+    /// Swap time of block `b`'s activations **and** model state — the
+    /// volume data-parallel KARMA moves per block (Sec. III-G).
+    #[inline]
+    pub fn swap_time_with_state(&self, b: usize) -> f64 {
+        (self.swap_bytes[b] + self.state_bytes[b]) as f64 / self.swap_bw
+    }
+
+    /// Total stored activations of all blocks.
+    pub fn total_act_bytes(&self) -> u64 {
+        self.act_bytes.iter().sum()
+    }
+
+    /// Largest transient working set of any single block.
+    pub fn max_transient(&self) -> u64 {
+        self.transient_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True if the whole iteration fits in device memory (the in-core case:
+    /// the first x-axis point in every Fig. 5 panel).
+    pub fn fits_in_core(&self) -> bool {
+        (self.total_act_bytes() + self.max_transient()) as i64 <= self.act_capacity
+    }
+
+    /// Whether any out-of-core schedule is possible at all: the largest
+    /// single block's working set must fit by itself.
+    pub fn is_schedulable(&self) -> bool {
+        (0..self.n_blocks()).all(|b| {
+            (self.act_bytes[b] + self.transient_bytes[b]) as i64 <= self.act_capacity
+        })
+    }
+}
+
+/// Per-layer cost prefix sums: lets [`BlockCosts`] for *any* contiguous
+/// partition be assembled in `O(blocks)` instead of `O(layers)` — essential
+/// for the ACO search, which evaluates thousands of candidate blockings.
+#[derive(Debug, Clone)]
+pub struct LayerCostTable {
+    /// Prefix sums (`len = n_layers + 1`).
+    fwd: Vec<f64>,
+    bwd: Vec<f64>,
+    act: Vec<u64>,
+    swap: Vec<u64>,
+    transient: Vec<u64>,
+    state: Vec<u64>,
+    grad: Vec<u64>,
+    params: Vec<u64>,
+    swap_bw: f64,
+    act_capacity: i64,
+    batch: usize,
+    n_layers: usize,
+}
+
+impl LayerCostTable {
+    /// Build the table for `graph` at `batch` on `node` under `mem`.
+    pub fn from_graph(
+        graph: &ModelGraph,
+        batch: usize,
+        node: &NodeSpec,
+        mem: &MemoryParams,
+    ) -> Self {
+        let n = graph.len();
+        let gpu = &node.gpu;
+        let mut fwd = Vec::with_capacity(n + 1);
+        let mut bwd = Vec::with_capacity(n + 1);
+        let mut act = Vec::with_capacity(n + 1);
+        let mut swap = Vec::with_capacity(n + 1);
+        let mut transient = Vec::with_capacity(n + 1);
+        let mut state = Vec::with_capacity(n + 1);
+        let mut grad = Vec::with_capacity(n + 1);
+        let mut params = Vec::with_capacity(n + 1);
+        fwd.push(0.0);
+        bwd.push(0.0);
+        act.push(0);
+        swap.push(0);
+        transient.push(0);
+        state.push(0);
+        grad.push(0);
+        params.push(0);
+        for l in &graph.layers {
+            let m = l.memory(batch, mem);
+            fwd.push(fwd.last().unwrap() + gpu.compute_time(l.forward_flops(batch)));
+            bwd.push(bwd.last().unwrap() + gpu.compute_time(l.backward_flops(batch)));
+            act.push(act.last().unwrap() + m.activations);
+            swap.push(
+                swap.last().unwrap()
+                    + l.out_shape.elements() * batch as u64 * mem.dtype_bytes,
+            );
+            transient.push(transient.last().unwrap() + m.activation_grads + m.workspace);
+            state.push(state.last().unwrap() + m.model_state());
+            grad.push(grad.last().unwrap() + m.weight_grads);
+            params.push(params.last().unwrap() + l.params());
+        }
+        let total_state = *state.last().unwrap();
+        let input_bytes = graph.layers[0].out_shape.elements() * batch as u64 * mem.dtype_bytes;
+        let act_capacity = gpu.usable_bytes() as i64 - total_state as i64 - input_bytes as i64;
+        LayerCostTable {
+            fwd,
+            bwd,
+            act,
+            swap,
+            transient,
+            state,
+            grad,
+            params,
+            swap_bw: node.swap_throughput(),
+            act_capacity,
+            batch,
+            n_layers: n,
+        }
+    }
+
+    /// Number of layers covered.
+    #[inline]
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Activation capacity (same value every partition sees).
+    #[inline]
+    pub fn act_capacity(&self) -> i64 {
+        self.act_capacity
+    }
+
+    /// Swap throughput (Eq. 4).
+    #[inline]
+    pub fn swap_bw(&self) -> f64 {
+        self.swap_bw
+    }
+
+    /// Total stored-activation bytes of the whole model.
+    pub fn total_act_bytes(&self) -> u64 {
+        *self.act.last().unwrap()
+    }
+
+    /// Candidate block-cut positions for the blocking search: the union of
+    /// activation-mass quantiles (so cuts are dense where activations are —
+    /// CNN activation mass is heavily front-loaded) and layer-count
+    /// quantiles (so compute stays divisible), capped at `max` positions.
+    pub fn cut_candidates(&self, max: usize) -> Vec<usize> {
+        let n = self.n_layers;
+        if n <= 1 {
+            return Vec::new();
+        }
+        if n - 1 <= max {
+            return (1..n).collect();
+        }
+        let mut cands = std::collections::BTreeSet::new();
+        let half = (max / 2).max(1);
+        // Activation-mass quantiles.
+        let total = self.total_act_bytes().max(1);
+        let mut pos = 1usize;
+        for q in 1..=half {
+            let target = total as u128 * q as u128 / (half as u128 + 1);
+            while pos < n && (self.act[pos] as u128) < target {
+                pos += 1;
+            }
+            if pos < n {
+                cands.insert(pos);
+            }
+        }
+        // Layer-count quantiles.
+        for q in 1..=(max - half) {
+            let p = (q * n / (max - half + 1)).clamp(1, n - 1);
+            cands.insert(p);
+        }
+        cands.into_iter().take(max).collect()
+    }
+
+    /// Assemble [`BlockCosts`] for the partition given by `boundaries`
+    /// (block start indices; see [`BlockPartition::boundaries`]).
+    pub fn block_costs(&self, boundaries: &[usize]) -> BlockCosts {
+        assert!(!boundaries.is_empty() && boundaries[0] == 0);
+        let n = self.n_layers;
+        let k = boundaries.len();
+        let end = |i: usize| boundaries.get(i + 1).copied().unwrap_or(n);
+        let range_f = |p: &[f64], i: usize| p[end(i)] - p[boundaries[i]];
+        let range_u = |p: &[u64], i: usize| p[end(i)] - p[boundaries[i]];
+        BlockCosts {
+            forward: (0..k).map(|i| range_f(&self.fwd, i)).collect(),
+            backward: (0..k).map(|i| range_f(&self.bwd, i)).collect(),
+            act_bytes: (0..k).map(|i| range_u(&self.act, i)).collect(),
+            swap_bytes: (0..k).map(|i| range_u(&self.swap, i)).collect(),
+            boundary_bytes: (0..k)
+                .map(|i| self.act[end(i)] - self.act[end(i) - 1])
+                .collect(),
+            transient_bytes: (0..k).map(|i| range_u(&self.transient, i)).collect(),
+            state_bytes: (0..k).map(|i| range_u(&self.state, i)).collect(),
+            grad_bytes: (0..k).map(|i| range_u(&self.grad, i)).collect(),
+            params: (0..k).map(|i| range_u(&self.params, i)).collect(),
+            swap_bw: self.swap_bw,
+            act_capacity: self.act_capacity,
+            batch: self.batch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::{GraphBuilder, Shape};
+    use karma_hw::{GpuSpec, LinkSpec};
+
+    fn chain() -> ModelGraph {
+        let mut b = GraphBuilder::new("chain", Shape::chw(4, 16, 16));
+        for _ in 0..6 {
+            b.conv(4, 3, 1, 1);
+        }
+        b.build()
+    }
+
+    fn toy_node(mem_bytes: u64) -> NodeSpec {
+        NodeSpec::toy(GpuSpec::toy(mem_bytes, 1.0e9), LinkSpec::toy(1.0e6))
+    }
+
+    #[test]
+    fn costs_partition_consistently() {
+        let g = chain();
+        let p = BlockPartition::uniform(g.len(), 3);
+        let c = BlockCosts::compute(&g, &p, 2, &toy_node(1 << 30), &MemoryParams::exact());
+        assert_eq!(c.n_blocks(), 3);
+        let fwd_total: f64 = c.forward.iter().sum();
+        assert!((fwd_total - g.forward_flops(2) / 1.0e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_time_is_bytes_over_bandwidth() {
+        let g = chain();
+        let p = BlockPartition::whole(g.len());
+        let c = BlockCosts::compute(&g, &p, 1, &toy_node(1 << 30), &MemoryParams::exact());
+        assert!((c.swap_time(0) - c.act_bytes[0] as f64 / 1.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_core_detection_depends_on_capacity() {
+        let g = chain();
+        let p = BlockPartition::uniform(g.len(), 3);
+        let mem = MemoryParams::exact();
+        let big = BlockCosts::compute(&g, &p, 1, &toy_node(1 << 30), &mem);
+        assert!(big.fits_in_core());
+        let small = BlockCosts::compute(&g, &p, 1, &toy_node(16 << 10), &mem);
+        assert!(!small.fits_in_core());
+    }
+
+    #[test]
+    fn schedulability_requires_single_block_fit() {
+        let g = chain();
+        let whole = BlockPartition::whole(g.len());
+        let mem = MemoryParams::exact();
+        // One giant block cannot be scheduled OOC on a tiny device…
+        let c = BlockCosts::compute(&g, &whole, 1, &toy_node(64 << 10), &mem);
+        assert!(!c.is_schedulable());
+        // …but finer blocks can.
+        let fine = BlockPartition::singletons(g.len());
+        let c = BlockCosts::compute(&g, &fine, 1, &toy_node(64 << 10), &mem);
+        assert!(c.is_schedulable());
+    }
+
+    #[test]
+    fn table_matches_direct_partition_costs() {
+        let g = chain();
+        let node = toy_node(1 << 30);
+        let mem = MemoryParams::default();
+        let table = LayerCostTable::from_graph(&g, 3, &node, &mem);
+        for k in 1..=g.len() {
+            let p = BlockPartition::uniform(g.len(), k);
+            let via_table = table.block_costs(p.boundaries());
+            let direct = p.costs(&g, 3, &mem);
+            for (i, d) in direct.iter().enumerate() {
+                assert_eq!(via_table.act_bytes[i], d.memory.activations);
+                assert_eq!(via_table.params[i], d.params);
+                assert!(
+                    (via_table.forward[i] - node.gpu.compute_time(d.forward_flops)).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn act_capacity_subtracts_model_state_and_input() {
+        let g = chain();
+        let p = BlockPartition::whole(g.len());
+        let mem = MemoryParams::exact();
+        let node = toy_node(1 << 30);
+        let c = BlockCosts::compute(&g, &p, 2, &node, &mem);
+        let state: u64 = c.state_bytes.iter().sum();
+        let input = g.layers[0].out_shape.elements() * 2 * 4;
+        assert_eq!(
+            c.act_capacity,
+            (1i64 << 30) - state as i64 - input as i64
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Lowering execution plans onto the event simulator.
+//!
+//! Each [`crate::plan::PlanOp`] becomes one simulator operation on the lane its kind
+//! dictates, with durations taken from [`BlockCosts`] and device-memory
+//! effects that model the *activation* budget (model state is accounted
+//! statically in [`BlockCosts::act_capacity`]):
+//!
+//! | op | lane | acquire @ start | release @ end |
+//! |---|---|---|---|
+//! | `F(b)` (stored) | Compute | `act(b)` | – |
+//! | `F(b)` (recomputed later) | Compute | `boundary(b)` (checkpoint) | – |
+//! | `Sout(b)` | CopyOut | – | `act(b)` |
+//! | `Sin(b)` | CopyIn | `act(b)` | – |
+//! | `R(b)` | Compute | `act(b) − boundary(b)` (interior) | – |
+//! | `B(b)` | Compute | `transient(b)` | `act(b) + transient(b)` |
+//! | `AR(b)` | Network | – | – |
+//! | `U(b)` | Host | – | – |
+//!
+//! Recomputed blocks must keep their *boundary* activation resident as the
+//! checkpoint they re-forward from — this is what gives pure recompute its
+//! O(√N) memory lower bound (paper Table I) and stops the planner from
+//! degenerating into cost-free checkpointing.
+
+use karma_sim::{Engine, LaneKind, OpLabel, OpSpec, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::BlockCosts;
+use crate::plan::{OpKind, Plan};
+
+/// Extra durations for distributed plans.
+#[derive(Debug, Clone, Default)]
+pub struct LowerOptions {
+    /// Swap ops move model state along with activations (the multi-GPU
+    /// pipeline swaps blocks out for CPU-side updates, Sec. III-G).
+    pub swap_state: bool,
+    /// Per-block AllReduce durations (required if the plan has `AR` ops).
+    pub allreduce_time: Vec<f64>,
+    /// Per-block host-update durations (required if the plan has `U` ops).
+    pub update_time: Vec<f64>,
+}
+
+/// Headline metrics of a simulated iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Iteration wall time (s).
+    pub makespan: f64,
+    /// Compute-lane occupancy (paper Eq. 1).
+    pub occupancy: f64,
+    /// Peak activation bytes resident on the device.
+    pub peak_act_bytes: u64,
+    /// Whether the peak stayed within the activation capacity.
+    pub capacity_ok: bool,
+    /// Training throughput (samples/s) at the costs' batch size.
+    pub samples_per_sec: f64,
+}
+
+/// Lower `plan` and run it, returning the trace and headline metrics.
+pub fn simulate_plan(plan: &Plan, costs: &BlockCosts, opts: &LowerOptions) -> (Trace, SimMetrics) {
+    assert_eq!(
+        plan.n_blocks,
+        costs.n_blocks(),
+        "plan covers {} blocks, costs {}",
+        plan.n_blocks,
+        costs.n_blocks()
+    );
+    let recomputed: Vec<bool> = (0..plan.n_blocks)
+        .map(|b| plan.find(OpKind::Recompute, b).is_some())
+        .collect();
+
+    let mut engine = Engine::new();
+    let mut sim_ids = Vec::with_capacity(plan.ops.len());
+    for op in &plan.ops {
+        let b = op.block;
+        let deps = op.after.iter().map(|&i| sim_ids[i]).collect();
+        let swap_t = if opts.swap_state {
+            costs.swap_time_with_state(b)
+        } else {
+            costs.swap_time(b)
+        };
+        let spec = match op.kind {
+            OpKind::Forward => {
+                let acquire = if recomputed[b] {
+                    costs.boundary_bytes[b] // keep only the checkpoint
+                } else {
+                    costs.act_bytes[b]
+                };
+                OpSpec::new(
+                    LaneKind::Compute,
+                    costs.forward[b],
+                    deps,
+                    OpLabel::block("F", b),
+                )
+                .with_memory(acquire, 0)
+            }
+            OpKind::Recompute => OpSpec::new(
+                LaneKind::Compute,
+                costs.forward[b],
+                deps,
+                OpLabel::block("R", b),
+            )
+            .with_memory(
+                costs.act_bytes[b].saturating_sub(costs.boundary_bytes[b]),
+                0,
+            ),
+            OpKind::Backward => OpSpec::new(
+                LaneKind::Compute,
+                costs.backward[b],
+                deps,
+                OpLabel::block("B", b),
+            )
+            .with_memory(
+                costs.transient_bytes[b],
+                costs.act_bytes[b] + costs.transient_bytes[b],
+            ),
+            OpKind::SwapOut => OpSpec::new(
+                LaneKind::CopyOut,
+                swap_t,
+                deps,
+                OpLabel::block("Sout", b),
+            )
+            .with_memory(0, costs.act_bytes[b]),
+            OpKind::SwapIn => OpSpec::new(
+                LaneKind::CopyIn,
+                swap_t,
+                deps,
+                OpLabel::block("Sin", b),
+            )
+            .with_memory(costs.act_bytes[b], 0),
+            OpKind::AllReduce => OpSpec::new(
+                LaneKind::Network,
+                *opts
+                    .allreduce_time
+                    .get(b)
+                    .expect("plan has AR ops but no allreduce_time provided"),
+                deps,
+                OpLabel::block("AR", b),
+            ),
+            OpKind::HostUpdate => OpSpec::new(
+                LaneKind::Host,
+                *opts
+                    .update_time
+                    .get(b)
+                    .expect("plan has U ops but no update_time provided"),
+                deps,
+                OpLabel::block("U", b),
+            ),
+        };
+        sim_ids.push(engine.submit(spec));
+    }
+
+    let trace = engine.run();
+    let metrics = SimMetrics {
+        makespan: trace.makespan(),
+        occupancy: trace.compute_occupancy(),
+        peak_act_bytes: trace.peak_memory(),
+        capacity_ok: (trace.peak_memory() as i64) <= costs.act_capacity,
+        samples_per_sec: costs.batch as f64 / trace.makespan(),
+    };
+    (trace, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_costs(n: usize) -> BlockCosts {
+        BlockCosts {
+            forward: vec![1.0; n],
+            backward: vec![2.0; n],
+            act_bytes: vec![100; n],
+            swap_bytes: vec![100; n],
+            boundary_bytes: vec![0; n],
+            transient_bytes: vec![10; n],
+            state_bytes: vec![0; n],
+            grad_bytes: vec![50; n],
+            params: vec![10; n],
+            swap_bw: 100.0, // 1 s per block swap
+            act_capacity: 1_000,
+            batch: 4,
+        }
+    }
+
+    /// In-core plan: all forwards then all backwards, nothing swapped.
+    fn in_core_plan(n: usize) -> Plan {
+        let mut p = Plan::new(n);
+        let mut prev = None;
+        let mut fids = Vec::new();
+        for b in 0..n {
+            let deps = prev.map(|x| vec![x]).unwrap_or_default();
+            let id = p.push(OpKind::Forward, b, deps);
+            fids.push(id);
+            prev = Some(id);
+        }
+        for b in (0..n).rev() {
+            let id = p.push(OpKind::Backward, b, vec![prev.unwrap()]);
+            prev = Some(id);
+        }
+        p
+    }
+
+    #[test]
+    fn in_core_plan_runs_at_full_occupancy() {
+        let costs = toy_costs(4);
+        let plan = in_core_plan(4);
+        plan.validate().unwrap();
+        let (_t, m) = simulate_plan(&plan, &costs, &LowerOptions::default());
+        assert!((m.makespan - 12.0).abs() < 1e-9); // 4*1 + 4*2
+        assert!((m.occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(m.peak_act_bytes, 4 * 100 + 10);
+        assert!(m.capacity_ok);
+        assert!((m.samples_per_sec - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapped_plan_frees_memory_but_adds_stalls() {
+        // 2 blocks, swap out block 0 in forward, swap it back before B(0).
+        let costs = toy_costs(2);
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+        p.push(OpKind::Backward, 0, vec![b1, si]);
+        p.validate().unwrap();
+        let (t, m) = simulate_plan(&p, &costs, &LowerOptions::default());
+        // Peak: act0+act1+transient = 210 at most, but swap-out frees act0
+        // before B(1)'s transient in this serialized case; just check cap.
+        assert!(m.capacity_ok);
+        // B(0) waits one extra second for the swap-in (no prefetch).
+        assert!(m.makespan > 6.0);
+        assert!(m.occupancy < 1.0);
+        assert!(t.total_for_kind("Sin") > 0.0);
+    }
+
+    #[test]
+    fn recomputed_forward_retains_no_activation() {
+        let costs = toy_costs(2);
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let r0 = p.push(OpKind::Recompute, 0, vec![b1]);
+        p.push(OpKind::Backward, 0, vec![r0]);
+        let (_t, m) = simulate_plan(&p, &costs, &LowerOptions::default());
+        // Peak: act1 (stored) + transient(1) = 110 (F(0) retained nothing);
+        // then R(0) re-acquires act0 after act1 was freed.
+        assert_eq!(m.peak_act_bytes, 110);
+        // Makespan: F0 F1 B1 R0 B0 = 1+1+2+1+2 = 7, fully busy.
+        assert!((m.makespan - 7.0).abs() < 1e-9);
+        assert!((m.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_ops_use_their_lanes() {
+        let costs = toy_costs(2);
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let ar1 = p.push(OpKind::AllReduce, 1, vec![b1]);
+        let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+        let u1 = p.push(OpKind::HostUpdate, 1, vec![ar1]);
+        let ar0 = p.push(OpKind::AllReduce, 0, vec![b0]);
+        p.push(OpKind::HostUpdate, 0, vec![ar0, u1]);
+        let opts = LowerOptions {
+            swap_state: false,
+            allreduce_time: vec![0.5, 0.5],
+            update_time: vec![0.25, 0.25],
+        };
+        let (t, m) = simulate_plan(&p, &costs, &opts);
+        // Exchanges and updates overlap backward compute: makespan is
+        // bounded by compute + the tail AR+U of block 0.
+        let compute = 1.0 + 1.0 + 2.0 + 2.0;
+        assert!(m.makespan >= compute);
+        assert!(m.makespan <= compute + 0.5 + 0.25 + 1e-9);
+        assert!(t.total_for_kind("AR") > 0.0);
+        assert!(t.total_for_kind("U") > 0.0);
+    }
+
+    #[test]
+    fn swap_state_flag_lengthens_swaps() {
+        let mut costs = toy_costs(2);
+        costs.state_bytes = vec![100; 2]; // doubles the swap payload
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        p.push(OpKind::SwapOut, 0, vec![f0]);
+        let (t1, _) = simulate_plan(&p, &costs, &LowerOptions::default());
+        let opts = LowerOptions {
+            swap_state: true,
+            ..Default::default()
+        };
+        let (t2, _) = simulate_plan(&p, &costs, &opts);
+        assert!((t1.total_for_kind("Sout") - 1.0).abs() < 1e-9);
+        assert!((t2.total_for_kind("Sout") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut costs = toy_costs(4);
+        costs.act_capacity = 150; // can't even hold two blocks
+        let plan = in_core_plan(4);
+        let (_t, m) = simulate_plan(&plan, &costs, &LowerOptions::default());
+        assert!(!m.capacity_ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "allreduce_time")]
+    fn missing_allreduce_durations_panics() {
+        let costs = toy_costs(1);
+        let mut p = Plan::new(1);
+        let f = p.push(OpKind::Forward, 0, vec![]);
+        let b = p.push(OpKind::Backward, 0, vec![f]);
+        p.push(OpKind::AllReduce, 0, vec![b]);
+        simulate_plan(&p, &costs, &LowerOptions::default());
+    }
+}

@@ -1,0 +1,337 @@
+//! The occupancy performance model — paper Sec. III-E, Eqs. 1–8.
+//!
+//! The model reasons about variable-size *buffers* (one per block of
+//! layers): `B_avail` buffers worth of free near-memory, a swap-in
+//! throughput bound `Tswap-in = min{TFM, TNM, TIC}` (Eq. 4), and the
+//! occupancy proxy `O_j ≈ B_avail_j / B_requ_j` capped at 1 (Eq. 2). During
+//! the backward phase of a capacity-based schedule, processing starts at
+//! full occupancy (resident blocks) and may *catch up* with the prefetch
+//! pipeline at a step θ (Eq. 7), after which occupancy is transfer-bound
+//! (Eq. 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::BlockCosts;
+
+/// Per-step occupancy trajectory of a backward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyTrajectory {
+    /// Occupancy `O_j` per backward step (block), in processing order
+    /// (last block first).
+    pub per_step: Vec<f64>,
+    /// The catch-up step θ (Eq. 7), if processing catches the prefetcher.
+    pub theta: Option<usize>,
+}
+
+impl OccupancyTrajectory {
+    /// Mean occupancy over the backward phase — the objective of
+    /// optimization problem 1 (Eq. 9) in aggregate form.
+    pub fn mean(&self) -> f64 {
+        if self.per_step.is_empty() {
+            return 1.0;
+        }
+        self.per_step.iter().sum::<f64>() / self.per_step.len() as f64
+    }
+}
+
+/// The analytic occupancy model over one blocking of the model.
+#[derive(Debug, Clone)]
+pub struct OccupancyModel<'a> {
+    costs: &'a BlockCosts,
+    /// Blocks resident at the fwd→bwd turnaround (kept by the
+    /// capacity-based strategy; empty for eager strategies like vDNN).
+    resident_from: usize,
+    /// Blocks flipped to recompute (never swapped).
+    recompute: Vec<bool>,
+}
+
+impl<'a> OccupancyModel<'a> {
+    /// Model over `costs` with blocks `resident_from..n` resident at the
+    /// turnaround and `recompute[b]` marking recomputed blocks.
+    pub fn new(costs: &'a BlockCosts, resident_from: usize, recompute: Vec<bool>) -> Self {
+        assert_eq!(recompute.len(), costs.n_blocks());
+        assert!(resident_from <= costs.n_blocks());
+        OccupancyModel {
+            costs,
+            resident_from,
+            recompute,
+        }
+    }
+
+    /// Eq. 4: the swap-in throughput bound (bytes/s).
+    pub fn swap_throughput(&self) -> f64 {
+        self.costs.swap_bw
+    }
+
+    /// Predict the backward-phase occupancy trajectory.
+    ///
+    /// The prediction walks blocks from the back. Each step's occupancy is
+    /// the ratio of the step's compute time to the step's wall time, where
+    /// the wall time adds any wait for the block's availability: zero for
+    /// resident blocks, the residual swap-in debt for swapped blocks, and
+    /// the recompute time (which *is* compute, so counted busy) for
+    /// recomputed blocks. The prefetcher streams continuously at
+    /// `swap_throughput` (the capacity-based strategy), so its lead or debt
+    /// is carried between steps.
+    pub fn backward_trajectory(&self) -> OccupancyTrajectory {
+        let n = self.costs.n_blocks();
+        let mut per_step = Vec::with_capacity(n);
+        let mut theta = None;
+        // Bytes of swap-in still owed; negative = prefetcher is ahead.
+        let mut debt_bytes: f64 = 0.0;
+        for (step, b) in (0..n).rev().enumerate() {
+            let compute = self.costs.backward[b];
+            let (busy, wait) = if b >= self.resident_from {
+                // Resident: full-speed step; prefetcher gains lead.
+                (compute, 0.0)
+            } else if self.recompute[b] {
+                // Recompute fills the pipe: busy includes re-forward.
+                (compute + self.costs.forward[b], 0.0)
+            } else {
+                // Swapped block: its bytes must land *before* its backward
+                // starts, so any outstanding debt is a stall up front.
+                debt_bytes += self.costs.act_bytes[b] as f64;
+                let wait = debt_bytes.max(0.0) / self.costs.swap_bw;
+                (compute, wait)
+            };
+            // The prefetcher streams during both the stall and the busy time.
+            let wall = busy + wait;
+            debt_bytes -= wall * self.costs.swap_bw;
+            let occ = if wall > 0.0 { busy / wall } else { 1.0 };
+            if wait > 0.0 && theta.is_none() {
+                theta = Some(step);
+            }
+            per_step.push(occ.min(1.0));
+        }
+        OccupancyTrajectory { per_step, theta }
+    }
+
+    /// Eq. 7 as a predicate: would processing catch up with swap-in before
+    /// exhausting the resident blocks? If false the whole training runs at
+    /// 100% device occupancy.
+    pub fn catches_up(&self) -> bool {
+        self.backward_trajectory().theta.is_some()
+    }
+
+    /// Estimated backward-phase makespan from the trajectory (busy + waits).
+    pub fn backward_time(&self) -> f64 {
+        let n = self.costs.n_blocks();
+        let mut debt_bytes: f64 = 0.0;
+        let mut total = 0.0;
+        for b in (0..n).rev() {
+            let compute = self.costs.backward[b];
+            let (busy, wait) = if b >= self.resident_from {
+                (compute, 0.0)
+            } else if self.recompute[b] {
+                (compute + self.costs.forward[b], 0.0)
+            } else {
+                debt_bytes += self.costs.act_bytes[b] as f64;
+                (compute, debt_bytes.max(0.0) / self.costs.swap_bw)
+            };
+            let wall = busy + wait;
+            debt_bytes -= wall * self.costs.swap_bw;
+            total += wall;
+        }
+        total
+    }
+}
+
+/// The literal buffer recursion of paper Eqs. 2-6, kept alongside the
+/// byte-granular model above for fidelity: buffers are block-sized slots,
+/// `B_avail` evolves by swapped-in minus processed buffers (Eq. 3), the
+/// swap-in rate is bounded by `Tswap-in * Tproc` per step (Eq. 5), and the
+/// per-step occupancy is `B_avail / B_requ` capped at 1 (Eq. 2/6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferModel {
+    /// Total buffers the device holds (`B_avail_1` = entire GPU memory).
+    pub total_buffers: f64,
+    /// Buffers the swap engine can deliver per second (block-adjusted
+    /// `Tswap-in` of Eq. 4, in buffers/s).
+    pub swapin_buffers_per_sec: f64,
+    /// Seconds to process one buffer (`Tproc(b)`).
+    pub proc_time: f64,
+}
+
+impl BufferModel {
+    /// Run the recursion for `steps` steps with `requ` buffers required per
+    /// step; returns the per-step occupancies (Eq. 2 / Eq. 6).
+    pub fn occupancies(&self, steps: usize, requ: f64) -> Vec<f64> {
+        let mut avail = self.total_buffers;
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            // Eq. 5: buffers swapped in this step, bounded by availability.
+            let swapped_in = (self.swapin_buffers_per_sec * self.proc_time).min(avail.max(0.0));
+            let processed = 1.0f64; // one buffer consumed per step
+            // Eq. 2: occupancy proxy.
+            let occ = if avail >= requ { 1.0 } else { (avail / requ).max(0.0) };
+            out.push(occ);
+            // Eq. 3: availability evolves by (swapped-in - processed).
+            avail -= processed - swapped_in;
+            avail = avail.clamp(0.0, self.total_buffers);
+        }
+        out
+    }
+
+    /// Whether the pipeline eventually starves (occupancy falls below 1):
+    /// the Eq. 3 discussion - "if the rate of swap-in grows (slower) than
+    /// processing, the value of `B_avail` will approach 0".
+    pub fn starves(&self, steps: usize, requ: f64) -> bool {
+        self.occupancies(steps, requ).iter().any(|&o| o < 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built costs: n equal blocks, compute 1s each (fwd=bwd),
+    /// activations `act` bytes each, swap bandwidth `bw`.
+    fn costs(n: usize, act: u64, bw: f64) -> BlockCosts {
+        BlockCosts {
+            forward: vec![1.0; n],
+            backward: vec![1.0; n],
+            act_bytes: vec![act; n],
+            swap_bytes: vec![act; n],
+            boundary_bytes: vec![0; n],
+            transient_bytes: vec![0; n],
+            state_bytes: vec![0; n],
+            grad_bytes: vec![0; n],
+            params: vec![0; n],
+            swap_bw: bw,
+            act_capacity: i64::MAX,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    fn all_resident_means_full_occupancy() {
+        let c = costs(6, 100, 10.0);
+        let m = OccupancyModel::new(&c, 0, vec![false; 6]);
+        let t = m.backward_trajectory();
+        assert!(t.per_step.iter().all(|&o| (o - 1.0).abs() < 1e-12));
+        assert!(t.theta.is_none());
+        assert!(!m.catches_up());
+        assert!((m.backward_time() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_swap_keeps_occupancy_at_one() {
+        // Swap of one block (100 B) takes 0.1 s << 1 s compute.
+        let c = costs(6, 100, 1000.0);
+        let m = OccupancyModel::new(&c, 6, vec![false; 6]); // nothing resident
+        let t = m.backward_trajectory();
+        // First step owes its own bytes (0.1 s wait at most), rest covered.
+        assert!(t.mean() > 0.95, "mean {}", t.mean());
+    }
+
+    #[test]
+    fn slow_swap_catches_up_and_degrades_occupancy() {
+        // Swap of one block takes 2 s > 1 s compute: transfer-bound.
+        let c = costs(6, 200, 100.0);
+        let m = OccupancyModel::new(&c, 6, vec![false; 6]);
+        let t = m.backward_trajectory();
+        assert!(t.theta.is_some(), "must catch up");
+        assert!(t.mean() < 0.75, "mean {}", t.mean());
+        // Steady state: each step waits ~1 s -> occupancy ~0.5.
+        let last = *t.per_step.last().unwrap();
+        assert!((last - 0.5).abs() < 0.05, "steady occ {last}");
+    }
+
+    #[test]
+    fn resident_blocks_delay_theta() {
+        let c = costs(8, 200, 100.0);
+        // Nothing resident: θ at the very first step.
+        let eager = OccupancyModel::new(&c, 8, vec![false; 8]);
+        let t_eager = eager.backward_trajectory();
+        // Half resident (capacity-based): prefetcher builds a 4-step lead.
+        let cap = OccupancyModel::new(&c, 4, vec![false; 8]);
+        let t_cap = cap.backward_trajectory();
+        assert!(t_cap.theta.unwrap_or(usize::MAX) > t_eager.theta.unwrap_or(usize::MAX));
+        assert!(t_cap.mean() > t_eager.mean());
+        assert!(cap.backward_time() < eager.backward_time());
+    }
+
+    #[test]
+    fn recompute_fills_stalls_when_swap_is_slow() {
+        // Severely transfer-bound: each block swap takes 8 s vs 1 s
+        // compute, so replacing two swaps with 1 s recomputes wins big.
+        let c = costs(8, 400, 50.0);
+        let no_rc = OccupancyModel::new(&c, 4, vec![false; 8]);
+        // Recompute the two blocks just below the resident set.
+        let mut rc = vec![false; 8];
+        rc[3] = true;
+        rc[2] = true;
+        let with_rc = OccupancyModel::new(&c, 4, rc);
+        assert!(
+            with_rc.backward_time() < no_rc.backward_time(),
+            "rc {} !< plain {}",
+            with_rc.backward_time(),
+            no_rc.backward_time()
+        );
+        assert!(with_rc.backward_trajectory().mean() > no_rc.backward_trajectory().mean());
+    }
+
+    #[test]
+    fn recompute_of_everything_is_pure_checkpointing_overhead() {
+        // With all blocks recomputed there is no swap wait at all, but the
+        // busy time doubles (fwd again + bwd): occupancy 1, time 2n.
+        let c = costs(5, 1 << 20, 1.0); // hopeless swap bandwidth
+        let m = OccupancyModel::new(&c, 0, vec![true; 5]);
+        // resident_from = 0 means all resident; set to 0 but recompute all:
+        let m2 = OccupancyModel::new(&c, 5, vec![true; 5]);
+        assert_eq!(m.backward_trajectory().mean(), 1.0);
+        let t = m2.backward_trajectory();
+        assert_eq!(t.mean(), 1.0);
+        assert!((m2.backward_time() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_len_matches_blocks() {
+        let c = costs(7, 10, 10.0);
+        let m = OccupancyModel::new(&c, 3, vec![false; 7]);
+        assert_eq!(m.backward_trajectory().per_step.len(), 7);
+    }
+    #[test]
+    fn buffer_model_full_supply_never_starves() {
+        // Swap-in delivers >= 1 buffer per processing step: Eq. 7 never
+        // holds and occupancy stays 1.
+        let m = BufferModel {
+            total_buffers: 4.0,
+            swapin_buffers_per_sec: 1.5,
+            proc_time: 1.0,
+        };
+        assert!(!m.starves(50, 2.0));
+        assert!(m.occupancies(50, 2.0).iter().all(|&o| o == 1.0));
+    }
+
+    #[test]
+    fn buffer_model_slow_swap_starves_eventually() {
+        // 0.5 buffers/step swapped in vs 1 consumed: B_avail drains at 0.5
+        // per step and occupancy falls below 1 (the Eq. 3 discussion).
+        let m = BufferModel {
+            total_buffers: 4.0,
+            swapin_buffers_per_sec: 0.5,
+            proc_time: 1.0,
+        };
+        let occ = m.occupancies(30, 2.0);
+        assert!((occ[0] - 1.0).abs() < 1e-12, "starts full");
+        assert!(m.starves(30, 2.0));
+        // Occupancy is non-increasing once draining begins.
+        let tail: Vec<f64> = occ[5..].to_vec();
+        for w in tail.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn buffer_model_occupancy_bounded() {
+        let m = BufferModel {
+            total_buffers: 3.0,
+            swapin_buffers_per_sec: 0.1,
+            proc_time: 0.5,
+        };
+        for o in m.occupancies(100, 1.5) {
+            assert!((0.0..=1.0).contains(&o));
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The two-tier optimization of paper Fig. 4.
+//!
+//! **Problem 1** (blocking): choose contiguous block boundaries maximizing
+//! occupancy — equivalently minimizing the simulated iteration makespan —
+//! subject to the device-capacity constraint (9.4). Constraints 9.1–9.3
+//! (complete, disjoint, dependency-respecting blocks) hold by construction:
+//! the search space *is* the space of contiguous partitions of the
+//! topological order. The search runs the ACO solver (`karma-solver`, the
+//! MIDACO substitute) over binary cut variables, seeded with uniform
+//! partitions, and evaluates candidates by building the capacity-based plan
+//! and simulating it.
+//!
+//! **Problem 2** (recompute interleave): flip swapped blocks to redundant
+//! recompute where that reduces pipeline stalls — candidates must satisfy
+//! constraint 10.1 (recompute time below swap time); each flip is accepted
+//! only if the simulated makespan improves.
+
+use karma_solver::{Aco, AcoConfig, Evaluation, Problem};
+use serde::{Deserialize, Serialize};
+
+use crate::capacity::{build_training_plan, CapacityPlanOptions};
+use crate::cost::{BlockCosts, LayerCostTable};
+use crate::lower::{simulate_plan, LowerOptions};
+
+/// Search configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptConfig {
+    /// Cap on binary cut variables; boundaries are restricted to (roughly)
+    /// evenly spaced candidate positions when the model has more layers.
+    pub max_cut_candidates: usize,
+    /// Uniform-partition seeds (block counts) handed to the ACO.
+    pub seed_block_counts: Vec<usize>,
+    /// ACO generations (ants per generation and the rest of the ACO
+    /// settings follow [`AcoConfig::planner`]).
+    pub generations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            max_cut_candidates: 39,
+            seed_block_counts: vec![4, 6, 8, 12, 16, 24, 32],
+            generations: 60,
+            seed: 0x6b61726d61, // "karma"
+        }
+    }
+}
+
+impl OptConfig {
+    /// Cheap settings for unit tests.
+    pub fn fast(seed: u64) -> Self {
+        OptConfig {
+            max_cut_candidates: 15,
+            seed_block_counts: vec![2, 4, 8],
+            generations: 25,
+            seed,
+        }
+    }
+}
+
+/// The blocking problem over candidate cut positions.
+struct BlockingProblem<'a> {
+    table: &'a LayerCostTable,
+    /// Allowed cut positions (layer indices), ascending.
+    candidates: Vec<usize>,
+    seeds: Vec<Vec<i64>>,
+}
+
+impl BlockingProblem<'_> {
+    fn boundaries(&self, x: &[i64]) -> Vec<usize> {
+        let mut b = Vec::with_capacity(x.len() + 1);
+        b.push(0);
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0 {
+                b.push(self.candidates[i]);
+            }
+        }
+        b
+    }
+}
+
+impl Problem for BlockingProblem<'_> {
+    fn dims(&self) -> usize {
+        self.candidates.len()
+    }
+    fn bounds(&self, _i: usize) -> (i64, i64) {
+        (0, 1)
+    }
+    fn evaluate(&self, x: &[i64]) -> Evaluation {
+        let bounds = self.boundaries(x);
+        let costs = self.table.block_costs(&bounds);
+        evaluate_blocking(&costs)
+    }
+    fn seeds(&self) -> Vec<Vec<i64>> {
+        self.seeds.clone()
+    }
+}
+
+/// Score one blocking: simulated makespan, with capacity overflow as the
+/// constraint-violation term.
+fn evaluate_blocking(costs: &BlockCosts) -> Evaluation {
+    if !costs.is_schedulable() {
+        // A block alone exceeds memory: heavily infeasible.
+        let worst = (0..costs.n_blocks())
+            .map(|b| (costs.act_bytes[b] + costs.transient_bytes[b]) as i64 - costs.act_capacity)
+            .max()
+            .unwrap_or(i64::MAX);
+        return Evaluation {
+            objective: f64::INFINITY,
+            violation: worst.max(1) as f64,
+        };
+    }
+    let n = costs.n_blocks();
+    let cp = build_training_plan(costs, &CapacityPlanOptions::karma(n));
+    let (_trace, m) = simulate_plan(&cp.plan, costs, &LowerOptions::default());
+    let overflow = (m.peak_act_bytes as i64 - costs.act_capacity).max(0);
+    Evaluation {
+        objective: m.makespan,
+        violation: overflow as f64,
+    }
+}
+
+/// Solve optimization problem 1: return the best block boundaries found.
+pub fn optimize_blocking(table: &LayerCostTable, cfg: &OptConfig) -> Vec<usize> {
+    let n = table.n_layers();
+    if n <= 1 {
+        return vec![0];
+    }
+    // Candidate cut positions: activation-mass + layer-count quantiles
+    // (activation mass is front-loaded in CNNs, so uniform layer spacing
+    // would leave early blocks unsplittably large).
+    let candidates = table.cut_candidates(cfg.max_cut_candidates);
+
+    // Uniform-partition seeds projected onto the candidate set.
+    let seeds: Vec<Vec<i64>> = cfg
+        .seed_block_counts
+        .iter()
+        .map(|&k| {
+            let k = k.clamp(1, n);
+            let targets: Vec<usize> = (1..k).map(|i| i * n / k).collect();
+            candidates
+                .iter()
+                .map(|&c| {
+                    let near = targets
+                        .iter()
+                        .any(|&t| (c as i64 - t as i64).unsigned_abs() as usize <= n / (2 * k).max(1));
+                    i64::from(near)
+                })
+                .collect()
+        })
+        .collect();
+
+    let problem = BlockingProblem {
+        table,
+        candidates,
+        seeds,
+    };
+    let mut aco_cfg = AcoConfig::planner(cfg.seed);
+    aco_cfg.generations = cfg.generations;
+    let best = Aco::new(aco_cfg).minimize(&problem);
+    problem.boundaries(&best.x)
+}
+
+/// Solve optimization problem 2: greedy recompute refinement.
+///
+/// Scans swapped blocks (front of the model, below the resident suffix);
+/// a block is a candidate when recomputing it costs less than swapping it
+/// in (constraint 10.1); each flip is kept only if the simulated makespan
+/// improves. Sweeps until a fixed point (bounded by 4 sweeps).
+pub fn refine_recompute(costs: &BlockCosts) -> Vec<bool> {
+    let n = costs.n_blocks();
+    if n > 160 {
+        // Per-flip simulation is quadratic-ish; for very fine partitions
+        // fall back to the constraint-10.1 heuristic directly (recompute
+        // wherever it is cheaper than the swap it replaces), validated by
+        // one simulation against the no-recompute plan.
+        let rc: Vec<bool> = (0..n)
+            .map(|b| costs.forward[b] < costs.swap_time(b))
+            .collect();
+        let quick = |rc: Vec<bool>| {
+            let cp =
+                build_training_plan(costs, &CapacityPlanOptions::karma_with_recompute(rc.clone()));
+            let (_t, m) = simulate_plan(&cp.plan, costs, &LowerOptions::default());
+            (rc, m)
+        };
+        let (rc, m_rc) = quick(rc);
+        let (none, m_none) = quick(vec![false; n]);
+        let (knap, m_knap) = quick(knapsack_recompute(costs));
+        let mut best = (none, m_none);
+        for cand in [(rc, m_rc), (knap, m_knap)] {
+            let better = (cand.1.capacity_ok, -cand.1.makespan)
+                > (best.1.capacity_ok, -best.1.makespan);
+            if better {
+                best = cand;
+            }
+        }
+        return best.0;
+    }
+    let score = |rc: &Vec<bool>| -> f64 {
+        let cp = build_training_plan(costs, &CapacityPlanOptions::karma_with_recompute(rc.clone()));
+        let (_t, m) = simulate_plan(&cp.plan, costs, &LowerOptions::default());
+        if m.capacity_ok {
+            m.makespan
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Greedy sweeps from a starting assignment; each flip (in either
+    // direction) is kept only if the simulated makespan improves.
+    let sweep = |mut rc: Vec<bool>| -> (Vec<bool>, f64) {
+        let mut best = score(&rc);
+        for _sweep in 0..4 {
+            let mut improved = false;
+            for b in 0..n {
+                if !rc[b] && costs.forward[b] >= costs.swap_time(b) {
+                    // Constraint 10.1: recompute must be cheaper than the
+                    // swap it replaces to be able to reduce stalls.
+                    continue;
+                }
+                rc[b] = !rc[b];
+                let s = score(&rc);
+                if s < best - 1e-12 {
+                    best = s;
+                    improved = true;
+                } else {
+                    rc[b] = !rc[b];
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        (rc, best)
+    };
+
+    // Direction 1: start from pure swapping (Fig. 2 (b)) and add recompute.
+    let (from_swap, s1) = sweep(vec![false; n]);
+    // Direction 2: start from pure recompute (checkpointing-like) and put
+    // blocks back on the copy lane where overlap makes swapping free.
+    let all_rc: Vec<bool> = (0..n)
+        .map(|b| costs.forward[b] < costs.swap_time(b))
+        .collect();
+    let (from_rc, s2) = sweep(all_rc);
+    // Direction 3: start from the value-density knapsack (keep the
+    // activations that are most expensive to recompute per byte) — the
+    // assignment family Checkmate-style rematerialization draws from.
+    let (from_knap, s3) = sweep(knapsack_recompute(costs));
+    if s3 <= s1 && s3 <= s2 {
+        from_knap
+    } else if s2 < s1 {
+        from_rc
+    } else {
+        from_swap
+    }
+}
+
+/// Keep/recompute selection by recompute-cost density under the capacity
+/// budget: every block stores its boundary checkpoint; keeping a block
+/// additionally stores its interior.
+pub fn knapsack_recompute(costs: &BlockCosts) -> Vec<bool> {
+    let n = costs.n_blocks();
+    let budget = costs.act_capacity
+        - costs.max_transient() as i64
+        - costs.act_bytes.iter().copied().max().unwrap_or(0) as i64;
+    let mut used: i64 = costs.boundary_bytes.iter().map(|&b| b as i64).sum();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let da = costs.forward[a] / (costs.act_bytes[a].max(1) as f64);
+        let db = costs.forward[b] / (costs.act_bytes[b].max(1) as f64);
+        db.partial_cmp(&da).unwrap()
+    });
+    let mut recompute = vec![true; n];
+    for b in order {
+        let extra = costs.act_bytes[b].saturating_sub(costs.boundary_bytes[b]) as i64;
+        if used + extra <= budget {
+            recompute[b] = false;
+            used += extra;
+        }
+    }
+    recompute
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::{GraphBuilder, MemoryParams, Shape};
+    use karma_hw::{GpuSpec, LinkSpec, NodeSpec};
+
+    fn chain(n: usize) -> karma_graph::ModelGraph {
+        let mut b = GraphBuilder::new("chain", Shape::chw(8, 16, 16));
+        for _ in 0..n {
+            b.conv(8, 3, 1, 1);
+        }
+        b.build()
+    }
+
+    /// A node sized so the chain is out-of-core and transfer-bound.
+    fn tight_node(g: &karma_graph::ModelGraph, frac: f64) -> NodeSpec {
+        let mem = MemoryParams::exact();
+        let need = g.peak_footprint(4, &mem) as f64;
+        NodeSpec::toy(
+            GpuSpec::toy((need * frac) as u64, 5.0e9),
+            LinkSpec::toy(2.0e8),
+        )
+    }
+
+    #[test]
+    fn optimized_blocking_beats_naive_uniform() {
+        let g = chain(16);
+        let node = tight_node(&g, 0.5);
+        let mem = MemoryParams::exact();
+        let table = LayerCostTable::from_graph(&g, 4, &node, &mem);
+
+        let bounds = optimize_blocking(&table, &OptConfig::fast(1));
+        let opt_costs = table.block_costs(&bounds);
+        let opt_eval = evaluate_blocking(&opt_costs);
+        assert_eq!(opt_eval.violation, 0.0, "optimum must be feasible");
+
+        // Compare against a coarse uniform partition.
+        let uniform = karma_graph::BlockPartition::uniform(g.len(), 3);
+        let uni_costs = table.block_costs(uniform.boundaries());
+        let uni_eval = evaluate_blocking(&uni_costs);
+        assert!(
+            opt_eval.objective <= uni_eval.objective * 1.001,
+            "opt {} vs uniform {}",
+            opt_eval.objective,
+            uni_eval.objective
+        );
+    }
+
+    #[test]
+    fn recompute_refinement_never_hurts() {
+        let g = chain(12);
+        let node = tight_node(&g, 0.4);
+        let mem = MemoryParams::exact();
+        let table = LayerCostTable::from_graph(&g, 4, &node, &mem);
+        let bounds = optimize_blocking(&table, &OptConfig::fast(2));
+        let costs = table.block_costs(&bounds);
+
+        let plain = build_training_plan(&costs, &CapacityPlanOptions::karma(costs.n_blocks()));
+        let (_t, m_plain) = simulate_plan(&plain.plan, &costs, &LowerOptions::default());
+
+        let rc = refine_recompute(&costs);
+        let with = build_training_plan(&costs, &CapacityPlanOptions::karma_with_recompute(rc));
+        let (_t, m_rc) = simulate_plan(&with.plan, &costs, &LowerOptions::default());
+        assert!(m_rc.makespan <= m_plain.makespan + 1e-9);
+        assert!(m_rc.capacity_ok);
+    }
+
+    #[test]
+    fn single_layer_model_is_one_block() {
+        // chain(0) is just the input layer: n_layers = 1.
+        let g = chain(0);
+        let node = tight_node(&chain(4), 2.0); // any roomy device
+        let table = LayerCostTable::from_graph(&g, 1, &node, &MemoryParams::exact());
+        assert_eq!(optimize_blocking(&table, &OptConfig::fast(3)), vec![0]);
+    }
+
+    #[test]
+    fn recompute_respects_constraint_10_1() {
+        // Swap faster than compute for every block: nothing may flip.
+        let costs = BlockCosts {
+            forward: vec![1.0; 4],
+            backward: vec![1.0; 4],
+            act_bytes: vec![10; 4],
+            swap_bytes: vec![10; 4],
+            boundary_bytes: vec![0; 4],
+            transient_bytes: vec![0; 4],
+            state_bytes: vec![0; 4],
+            grad_bytes: vec![0; 4],
+            params: vec![0; 4],
+            swap_bw: 1000.0, // swap time = 0.01 s << 1 s forward
+            act_capacity: 25,
+            batch: 1,
+        };
+        let rc = refine_recompute(&costs);
+        assert!(rc.iter().all(|&r| !r));
+    }
+}

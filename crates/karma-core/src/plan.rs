@@ -1,0 +1,238 @@
+//! The execution-plan IR (paper Fig. 1 step 5 / Sec. III-F.3).
+//!
+//! A plan is an ordered list of block-level operations with explicit
+//! dependencies. Stage structure (the paper's `→` / `‖` notation) is
+//! recovered for display: a new stage begins at every compute-lane
+//! operation, and concurrently-launched transfer ops attach with `‖`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Block-level operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward pass of a block (`F` in the paper's notation).
+    Forward,
+    /// Backward pass of a block (`B`).
+    Backward,
+    /// Redundant recompute of a block's forward (`F` again in the paper's
+    /// plan strings; printed `R` here for clarity).
+    Recompute,
+    /// Swap a block's saved state host→device (`Sin`).
+    SwapIn,
+    /// Swap a block's saved state device→host (`Sout`).
+    SwapOut,
+    /// Phased gradient exchange for a block (multi-GPU, `AR`).
+    AllReduce,
+    /// CPU-side weight update for a block (multi-GPU, `U`).
+    HostUpdate,
+}
+
+impl OpKind {
+    /// True for ops that execute on the GPU compute stream.
+    pub fn is_compute(self) -> bool {
+        matches!(self, OpKind::Forward | OpKind::Backward | OpKind::Recompute)
+    }
+
+    /// The paper's mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Forward => "F",
+            OpKind::Backward => "B",
+            OpKind::Recompute => "R",
+            OpKind::SwapIn => "Sin",
+            OpKind::SwapOut => "Sout",
+            OpKind::AllReduce => "AR",
+            OpKind::HostUpdate => "U",
+        }
+    }
+}
+
+/// One operation in a plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanOp {
+    /// What to do.
+    pub kind: OpKind,
+    /// Which block (0-based; printed 1-based like the paper).
+    pub block: usize,
+    /// Indices of plan ops that must complete first (all `< `own index`).
+    pub after: Vec<usize>,
+}
+
+/// An ordered, dependency-annotated schedule for one training iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Plan {
+    /// Operations in issue order (per-lane order = filtered issue order).
+    pub ops: Vec<PlanOp>,
+    /// Number of blocks the plan covers.
+    pub n_blocks: usize,
+}
+
+impl Plan {
+    /// Empty plan over `n_blocks`.
+    pub fn new(n_blocks: usize) -> Self {
+        Plan {
+            ops: Vec::new(),
+            n_blocks,
+        }
+    }
+
+    /// Append an op; returns its index. Dependencies must reference earlier
+    /// ops.
+    pub fn push(&mut self, kind: OpKind, block: usize, after: Vec<usize>) -> usize {
+        assert!(block < self.n_blocks, "block {block} out of range");
+        let idx = self.ops.len();
+        for &a in &after {
+            assert!(a < idx, "op {idx} depends on later op {a}");
+        }
+        self.ops.push(PlanOp { kind, block, after });
+        idx
+    }
+
+    /// Index of the first op matching `(kind, block)`, if present.
+    pub fn find(&self, kind: OpKind, block: usize) -> Option<usize> {
+        self.ops
+            .iter()
+            .position(|o| o.kind == kind && o.block == block)
+    }
+
+    /// Count ops of a kind.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Validate structural sanity: dependency indices in range and
+    /// backward-pointing; every block forward'd at most once; every
+    /// swapped-in block was swapped out or is multi-GPU state.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.block >= self.n_blocks {
+                return Err(format!("op {i} references block {}", op.block));
+            }
+            for &a in &op.after {
+                if a >= i {
+                    return Err(format!("op {i} depends on later/self op {a}"));
+                }
+            }
+        }
+        for b in 0..self.n_blocks {
+            let fwd = self
+                .ops
+                .iter()
+                .filter(|o| o.kind == OpKind::Forward && o.block == b)
+                .count();
+            if fwd > 1 {
+                return Err(format!("block {b} has {fwd} forward ops"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's plan notation: one stage per compute op, transfers and
+    /// collectives attached to the stage they launch with (`‖`), stages
+    /// separated by `→`. Blocks print 1-based as in the paper's example
+    /// `F1 → F2||Sout1 → F3 → B3||Sin1 → …`.
+    pub fn notation(&self) -> String {
+        let mut stages: Vec<Vec<String>> = Vec::new();
+        for op in &self.ops {
+            let tok = format!("{}{}", op.kind.mnemonic(), op.block + 1);
+            if op.kind.is_compute() || stages.is_empty() {
+                stages.push(vec![tok]);
+            } else {
+                stages.last_mut().unwrap().push(tok);
+            }
+        }
+        stages
+            .iter()
+            .map(|s| s.join("||"))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rebuild the paper's illustrative plan for Fig. 2 (c):
+    /// `F1 → F2||Sout1 → F3 → F4||Sout3 → F5 → F6 → B6||Sin3 → B5 → F4 →
+    ///  B4||Sin1 → B3 → F2 → B2 → B1`
+    /// (6 layers as 6 blocks; blocks 2 and 4 recomputed — printed R here).
+    fn paper_example() -> Plan {
+        let mut p = Plan::new(6);
+        let f1 = p.push(OpKind::Forward, 0, vec![]);
+        let f2 = p.push(OpKind::Forward, 1, vec![f1]);
+        p.push(OpKind::SwapOut, 0, vec![f1]);
+        let f3 = p.push(OpKind::Forward, 2, vec![f2]);
+        let f4 = p.push(OpKind::Forward, 3, vec![f3]);
+        p.push(OpKind::SwapOut, 2, vec![f3]);
+        let f5 = p.push(OpKind::Forward, 4, vec![f4]);
+        let f6 = p.push(OpKind::Forward, 5, vec![f5]);
+        let b6 = p.push(OpKind::Backward, 5, vec![f6]);
+        let sin3 = p.push(OpKind::SwapIn, 2, vec![b6]);
+        let b5 = p.push(OpKind::Backward, 4, vec![b6]);
+        let r4 = p.push(OpKind::Recompute, 3, vec![b5]);
+        let b4 = p.push(OpKind::Backward, 3, vec![r4]);
+        let sin1 = p.push(OpKind::SwapIn, 0, vec![b4]);
+        let b3 = p.push(OpKind::Backward, 2, vec![b4, sin3]);
+        let r2 = p.push(OpKind::Recompute, 1, vec![b3]);
+        let b2 = p.push(OpKind::Backward, 1, vec![r2]);
+        p.push(OpKind::Backward, 0, vec![b2, sin1]);
+        p
+    }
+
+    #[test]
+    fn paper_example_validates() {
+        paper_example().validate().unwrap();
+    }
+
+    #[test]
+    fn notation_matches_paper_structure() {
+        let p = paper_example();
+        let s = p.notation();
+        assert_eq!(
+            s,
+            "F1 -> F2||Sout1 -> F3 -> F4||Sout3 -> F5 -> F6 -> \
+             B6||Sin3 -> B5 -> R4 -> B4||Sin1 -> B3 -> R2 -> B2 -> B1"
+        );
+    }
+
+    #[test]
+    fn find_and_count() {
+        let p = paper_example();
+        assert_eq!(p.count(OpKind::Forward), 6);
+        assert_eq!(p.count(OpKind::Backward), 6);
+        assert_eq!(p.count(OpKind::Recompute), 2);
+        assert_eq!(p.count(OpKind::SwapOut), 2);
+        assert_eq!(p.count(OpKind::SwapIn), 2);
+        assert!(p.find(OpKind::SwapIn, 0).is_some());
+        assert!(p.find(OpKind::SwapIn, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on later")]
+    fn forward_dependency_rejected() {
+        let mut p = Plan::new(2);
+        p.push(OpKind::Forward, 0, vec![3]);
+    }
+
+    #[test]
+    fn validate_catches_duplicate_forward() {
+        let mut p = Plan::new(2);
+        p.push(OpKind::Forward, 0, vec![]);
+        p.push(OpKind::Forward, 0, vec![]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_uses_notation() {
+        let p = paper_example();
+        assert_eq!(format!("{p}"), p.notation());
+    }
+}

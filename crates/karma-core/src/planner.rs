@@ -1,0 +1,348 @@
+//! The one-call KARMA planner facade (paper Fig. 1, steps 1–5).
+
+use karma_graph::{BlockPartition, MemoryParams, ModelGraph};
+use karma_hw::NodeSpec;
+use karma_sim::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::capacity::{build_training_plan, CapacityPlan, CapacityPlanOptions};
+use crate::cost::{BlockCosts, LayerCostTable};
+use crate::lower::{simulate_plan, LowerOptions, SimMetrics};
+use crate::opt::{optimize_blocking, refine_recompute, OptConfig};
+
+/// Planner options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KarmaOptions {
+    /// Interleave redundant recompute (Fig. 2 (c)); off = pure
+    /// capacity-based swapping (Fig. 2 (b)). The two Fig. 5 series.
+    pub recompute: bool,
+    /// Blocking-search configuration.
+    pub opt: OptConfig,
+}
+
+impl Default for KarmaOptions {
+    fn default() -> Self {
+        KarmaOptions {
+            recompute: true,
+            opt: OptConfig::default(),
+        }
+    }
+}
+
+impl KarmaOptions {
+    /// KARMA without the recompute interleave (the paper's "KARMA" series).
+    pub fn without_recompute() -> Self {
+        KarmaOptions {
+            recompute: false,
+            ..Default::default()
+        }
+    }
+
+    /// Cheap search settings for tests.
+    pub fn fast(seed: u64) -> Self {
+        KarmaOptions {
+            recompute: true,
+            opt: OptConfig::fast(seed),
+        }
+    }
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// Model state (weights + gradients + optimizer) alone exceeds device
+    /// memory; single-GPU KARMA keeps weights resident, so this requires
+    /// the multi-GPU pipeline (`karma-dist`) or a bigger device.
+    ModelStateTooLarge {
+        /// Bytes of state that didn't fit.
+        state_bytes: u64,
+        /// Usable device bytes.
+        usable_bytes: u64,
+    },
+    /// No feasible blocking exists (even single layers exceed capacity).
+    Unschedulable,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ModelStateTooLarge {
+                state_bytes,
+                usable_bytes,
+            } => write!(
+                f,
+                "model state ({state_bytes} B) exceeds usable device memory ({usable_bytes} B)"
+            ),
+            PlanError::Unschedulable => write!(f, "no feasible out-of-core blocking exists"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A complete planning result.
+#[derive(Debug, Clone)]
+pub struct KarmaPlan {
+    /// The chosen blocking.
+    pub partition: BlockPartition,
+    /// Costs of that blocking.
+    pub costs: BlockCosts,
+    /// The built schedule (plan + resident suffix + recompute flags).
+    pub capacity_plan: CapacityPlan,
+    /// Simulated execution metrics for one iteration.
+    pub metrics: SimMetrics,
+    /// Full execution trace (for stall analysis, Fig. 6/7).
+    pub trace: Trace,
+}
+
+impl KarmaPlan {
+    /// Throughput in samples/s (the Fig. 5 y-axis).
+    pub fn samples_per_sec(&self) -> f64 {
+        self.metrics.samples_per_sec
+    }
+
+    /// The paper-notation schedule string.
+    pub fn notation(&self) -> String {
+        self.capacity_plan.plan.notation()
+    }
+}
+
+/// The planner: binds a node description and a memory model.
+#[derive(Debug, Clone)]
+pub struct Karma {
+    node: NodeSpec,
+    mem: MemoryParams,
+}
+
+impl Karma {
+    /// Planner for `node` under memory model `mem`.
+    pub fn new(node: NodeSpec, mem: MemoryParams) -> Self {
+        Karma { node, mem }
+    }
+
+    /// The node this planner targets.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// The memory model in use.
+    pub fn memory_params(&self) -> &MemoryParams {
+        &self.mem
+    }
+
+    /// Derive a full out-of-core training plan for `graph` at `batch`.
+    pub fn plan(
+        &self,
+        graph: &ModelGraph,
+        batch: usize,
+        opts: &KarmaOptions,
+    ) -> Result<KarmaPlan, PlanError> {
+        let table = LayerCostTable::from_graph(graph, batch, &self.node, &self.mem);
+        if table.act_capacity() <= 0 {
+            let state = graph.memory(batch, &self.mem).model_state();
+            return Err(PlanError::ModelStateTooLarge {
+                state_bytes: state,
+                usable_bytes: self.node.gpu.usable_bytes(),
+            });
+        }
+
+        // Step 3: optimization problem 1 — blocking. The ACO optimum is
+        // cross-checked against uniform fallbacks (the ACO objective scores
+        // swap-only schedules; the recompute interleave of step 4 can
+        // prefer a slightly different granularity).
+        let n = graph.len();
+        let mut candidates: Vec<Vec<usize>> = vec![optimize_blocking(&table, &opts.opt)];
+        let sqrt_n = (n as f64).sqrt().ceil() as usize;
+        for k in [sqrt_n / 2, sqrt_n, 2 * sqrt_n, 4 * sqrt_n] {
+            candidates.push(
+                karma_graph::BlockPartition::uniform(n, k.clamp(1, n))
+                    .boundaries()
+                    .to_vec(),
+            );
+        }
+        let mut best: Option<KarmaPlan> = None;
+        for bounds in candidates {
+            let costs = table.block_costs(&bounds);
+            if !costs.is_schedulable() {
+                continue;
+            }
+            let plan = self.finish(graph, bounds, costs, opts)?;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (plan.metrics.capacity_ok, -plan.metrics.makespan)
+                        > (b.metrics.capacity_ok, -b.metrics.makespan)
+                }
+            };
+            if better {
+                best = Some(plan);
+            }
+        }
+        if best.as_ref().is_none_or(|b| !b.metrics.capacity_ok) {
+            // Last resort: singleton blocks (always schedulable if anything
+            // is). Kept out of the main sweep — per-layer plans on
+            // 1000-layer models are expensive to refine.
+            let singles: Vec<usize> = (0..n).collect();
+            let costs = table.block_costs(&singles);
+            if costs.is_schedulable() {
+                let plan = self.finish(graph, singles, costs, opts)?;
+                let better = match &best {
+                    None => true,
+                    Some(b) => plan.metrics.capacity_ok && !b.metrics.capacity_ok,
+                };
+                if better {
+                    best = Some(plan);
+                }
+            }
+        }
+        best.ok_or(PlanError::Unschedulable)
+    }
+
+    fn finish(
+        &self,
+        graph: &ModelGraph,
+        boundaries: Vec<usize>,
+        costs: BlockCosts,
+        opts: &KarmaOptions,
+    ) -> Result<KarmaPlan, PlanError> {
+        // Step 4: optimization problem 2 — recompute interleave.
+        let recompute = if opts.recompute && !costs.fits_in_core() {
+            refine_recompute(&costs)
+        } else {
+            vec![false; costs.n_blocks()]
+        };
+        // Step 5: execution-plan generation (Algorithm 1).
+        let mut capacity_plan =
+            build_training_plan(&costs, &CapacityPlanOptions::karma_with_recompute(recompute));
+        let (mut trace, mut metrics) =
+            simulate_plan(&capacity_plan.plan, &costs, &LowerOptions::default());
+
+        // The swap-interleaved schedule family has local optima; the pure
+        // rematerialization corner (keep-by-value, recompute the rest, no
+        // transfers) is also inside KARMA's search space (Opt-2 may flip
+        // every block), so evaluate it directly and keep the better plan.
+        if opts.recompute && !costs.fits_in_core() {
+            let remat = build_training_plan(
+                &costs,
+                &crate::capacity::CapacityPlanOptions {
+                    recompute: crate::opt::knapsack_recompute(&costs),
+                    resident_from: Some(0),
+                    prefetch: crate::capacity::PrefetchPolicy::None,
+                    sync_swap_out: false,
+                },
+            );
+            let (t2, m2) = simulate_plan(&remat.plan, &costs, &LowerOptions::default());
+            if (m2.capacity_ok, -m2.makespan) > (metrics.capacity_ok, -metrics.makespan) {
+                capacity_plan = remat;
+                trace = t2;
+                metrics = m2;
+            }
+        }
+        let partition = BlockPartition::new(boundaries, graph.len())
+            .expect("optimizer produced invalid boundaries");
+        Ok(KarmaPlan {
+            partition,
+            costs,
+            capacity_plan,
+            metrics,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::{GraphBuilder, Shape};
+    use karma_hw::{GpuSpec, LinkSpec};
+
+    fn chain(n: usize) -> ModelGraph {
+        let mut b = GraphBuilder::new("chain", Shape::chw(8, 16, 16));
+        for _ in 0..n {
+            b.conv(8, 3, 1, 1);
+        }
+        b.build()
+    }
+
+    fn node_with_fraction(g: &ModelGraph, batch: usize, frac: f64) -> NodeSpec {
+        let mem = MemoryParams::exact();
+        let need = g.peak_footprint(batch, &mem) as f64;
+        NodeSpec::toy(
+            GpuSpec::toy((need * frac) as u64, 5.0e9),
+            LinkSpec::toy(3.0e8),
+        )
+    }
+
+    #[test]
+    fn in_core_plan_is_swap_free_and_full_occupancy() {
+        let g = chain(8);
+        let node = node_with_fraction(&g, 2, 3.0);
+        let planner = Karma::new(node, MemoryParams::exact());
+        let p = planner.plan(&g, 2, &KarmaOptions::fast(1)).unwrap();
+        assert!((p.metrics.occupancy - 1.0).abs() < 1e-9);
+        assert_eq!(p.capacity_plan.plan.count(crate::plan::OpKind::SwapIn), 0);
+    }
+
+    #[test]
+    fn out_of_core_plan_is_feasible_and_degrades_gracefully() {
+        let g = chain(12);
+        let in_core = node_with_fraction(&g, 4, 3.0);
+        let tight = node_with_fraction(&g, 4, 0.45);
+        let mem = MemoryParams::exact();
+
+        let fast = Karma::new(in_core, mem.clone())
+            .plan(&g, 4, &KarmaOptions::fast(2))
+            .unwrap();
+        let slow = Karma::new(tight, mem)
+            .plan(&g, 4, &KarmaOptions::fast(2))
+            .unwrap();
+        assert!(slow.metrics.capacity_ok, "OOC plan must respect capacity");
+        assert!(slow.metrics.makespan >= fast.metrics.makespan);
+        assert!(slow.capacity_plan.plan.count(crate::plan::OpKind::SwapOut) > 0);
+    }
+
+    #[test]
+    fn recompute_option_changes_plans_when_transfer_bound() {
+        let g = chain(12);
+        let node = node_with_fraction(&g, 4, 0.4);
+        let mem = MemoryParams::exact();
+        let with = Karma::new(node.clone(), mem.clone())
+            .plan(&g, 4, &KarmaOptions::fast(3))
+            .unwrap();
+        let without = Karma::new(node, mem)
+            .plan(&g, 4, &KarmaOptions {
+                recompute: false,
+                opt: OptConfig::fast(3),
+            })
+            .unwrap();
+        assert!(with.metrics.makespan <= without.metrics.makespan + 1e-9);
+        assert_eq!(
+            without.capacity_plan.plan.count(crate::plan::OpKind::Recompute),
+            0
+        );
+    }
+
+    #[test]
+    fn model_state_too_large_is_reported() {
+        let g = chain(4);
+        // Device smaller than the weights themselves.
+        let node = NodeSpec::toy(GpuSpec::toy(1024, 1.0e9), LinkSpec::toy(1.0e6));
+        let err = Karma::new(node, MemoryParams::exact())
+            .plan(&g, 1, &KarmaOptions::fast(4))
+            .unwrap_err();
+        assert!(matches!(err, PlanError::ModelStateTooLarge { .. }));
+        assert!(err.to_string().contains("model state"));
+    }
+
+    #[test]
+    fn notation_is_printable() {
+        let g = chain(6);
+        let node = node_with_fraction(&g, 2, 0.5);
+        let p = Karma::new(node, MemoryParams::exact())
+            .plan(&g, 2, &KarmaOptions::fast(5))
+            .unwrap();
+        let s = p.notation();
+        assert!(s.contains("F1"));
+        assert!(s.contains("B1"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Plans are serializable artifacts (the paper persists execution plans
+//! as generated scripts; a production library also wants structured
+//! round-trips for caching and inspection).
+
+use karma_core::capacity::{build_training_plan, CapacityPlanOptions};
+use karma_core::cost::BlockCosts;
+use karma_core::lower::{simulate_plan, LowerOptions};
+
+fn costs(n: usize) -> BlockCosts {
+    BlockCosts {
+        forward: vec![1.0; n],
+        backward: vec![1.5; n],
+        act_bytes: vec![100; n],
+        swap_bytes: vec![90; n],
+        boundary_bytes: vec![10; n],
+        transient_bytes: vec![5; n],
+        state_bytes: vec![20; n],
+        grad_bytes: vec![20; n],
+        params: vec![5; n],
+        swap_bw: 50.0,
+        act_capacity: 320,
+        batch: 4,
+    }
+}
+
+#[test]
+fn plan_round_trips_through_json() {
+    let c = costs(6);
+    let cp = build_training_plan(&c, &CapacityPlanOptions::karma(6));
+    let json = serde_json::to_string(&cp).unwrap();
+    let back: karma_core::capacity::CapacityPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cp);
+    // The deserialized plan simulates identically.
+    let (_, m1) = simulate_plan(&cp.plan, &c, &LowerOptions::default());
+    let (_, m2) = simulate_plan(&back.plan, &c, &LowerOptions::default());
+    assert_eq!(m1.makespan, m2.makespan);
+    assert_eq!(m1.peak_act_bytes, m2.peak_act_bytes);
+}
+
+#[test]
+fn costs_round_trip_through_json() {
+    let c = costs(4);
+    let json = serde_json::to_string(&c).unwrap();
+    let back: BlockCosts = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, c);
+}
+
+#[test]
+fn notation_survives_round_trip() {
+    let c = costs(5);
+    let mut rc = vec![false; 5];
+    rc[1] = true;
+    let cp = build_training_plan(&c, &CapacityPlanOptions::karma_with_recompute(rc));
+    let json = serde_json::to_string(&cp.plan).unwrap();
+    let back: karma_core::plan::Plan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.notation(), cp.plan.notation());
+}

@@ -1,0 +1,25 @@
+//! Distributed KARMA (paper Sec. III-G) and the distributed baselines it is
+//! evaluated against (Sec. IV-C).
+//!
+//! * [`pipeline`] — the first multi-GPU out-of-core method: each worker runs
+//!   the single-GPU capacity-based schedule extended to the 5-stage pipeline
+//!   of Fig. 3 (compute ∥ swap-out ∥ phased gradient exchange ∥ CPU-side
+//!   weight update ∥ swap-in), with block *state* (weights/gradients) riding
+//!   the swaps so models far beyond device memory train data-parallel.
+//! * [`megatron`] — the Megatron-LM model+data-parallel hybrid cost model
+//!   (Table IV / Fig. 8), with and without the phased-exchange optimization
+//!   the paper adds for a fair comparison.
+//! * [`zero`] — a ZeRO-style state-partitioning cost model and the
+//!   ZeRO+KARMA combination (Fig. 8 right panel).
+//! * [`costperf`] — the Table V cost/performance ($/P) analysis comparing
+//!   data-parallel scale-out against KARMA batch scale-up.
+
+pub mod costperf;
+pub mod megatron;
+pub mod pipeline;
+pub mod zero;
+
+pub use costperf::{cost_perf_table, CostPerfRow};
+pub use megatron::{hybrid_iter_time, HybridConfig};
+pub use pipeline::{karma_dp_iteration, DistOptions, DistResult};
+pub use zero::{zero_iter_time, ZeroConfig};

@@ -1,0 +1,101 @@
+//! ZeRO-style memory-optimizer cost model (Fig. 8, Turing-NLG panel).
+//!
+//! ZeRO (paper ref \[4\]) partitions optimizer state, gradients and
+//! (optionally) parameters across the data-parallel ranks, shrinking the
+//! per-GPU model-state footprint by the DP degree. Despite that, models at
+//! Turing-NLG scale (17B) still need a model-parallel dimension in the
+//! reference implementation — the paper's Fig. 8 compares that hybrid
+//! against pure-DP KARMA and against KARMA stacked *on top of* ZeRO
+//! (state partitioning + out-of-core swapping), which wins by ~1.35×.
+
+use karma_graph::ModelGraph;
+use karma_hw::ClusterSpec;
+use karma_net::{AllReduceAlgo, AllReduceModel};
+use serde::{Deserialize, Serialize};
+
+use crate::megatron::{hybrid_iter_time, HybridConfig};
+
+/// ZeRO configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZeroConfig {
+    /// Model-parallel ways the reference hybrid still uses (intra-node).
+    pub model_parallel: usize,
+    /// Fixed global mini-batch (sequences).
+    pub global_batch: usize,
+}
+
+/// Seconds per iteration for the ZeRO hybrid reference implementation.
+///
+/// Communication: ZeRO-2 style — reduce-scatter + allgather on gradients
+/// (≈ the allreduce volume) plus an extra parameter allgather per
+/// iteration, modelled as a 1.25× volume factor over the plain hybrid's
+/// data-parallel exchange, with the same MP structure otherwise.
+pub fn zero_iter_time(
+    graph: &ModelGraph,
+    cfg: &ZeroConfig,
+    cluster: &ClusterSpec,
+    gpus: usize,
+) -> f64 {
+    let hybrid = HybridConfig {
+        model_parallel: cfg.model_parallel,
+        global_batch: cfg.global_batch,
+        phased_exchange: true, // ZeRO overlaps its exchange buckets
+    };
+    let base = hybrid_iter_time(graph, &hybrid, cluster, gpus);
+    // Extra allgather volume for partitioned state.
+    let d = (gpus / cfg.model_parallel.max(1)).max(1);
+    let extra = if d > 1 {
+        let bytes = (graph.total_params() / cfg.model_parallel.max(1) as u64) * 4 / 4;
+        let model = AllReduceModel::new(AllReduceAlgo::Hierarchical, cluster);
+        model.time(bytes) * 0.25
+    } else {
+        0.0
+    };
+    base + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_zoo::transformer::turing_nlg;
+
+    #[test]
+    fn zero_scales_with_gpus_like_the_hybrid() {
+        let g = turing_nlg();
+        let cfg = ZeroConfig {
+            model_parallel: 4,
+            global_batch: 512,
+        };
+        let c = ClusterSpec::abci(512);
+        let t512 = zero_iter_time(&g, &cfg, &c, 512);
+        let t2048 = zero_iter_time(&g, &cfg, &c, 2048);
+        assert!(t512 > 0.0 && t2048 > 0.0);
+    }
+
+    #[test]
+    fn zero_costs_more_than_plain_hybrid_per_iteration() {
+        // Partitioned state trades a little communication for memory.
+        let g = turing_nlg();
+        let c = ClusterSpec::abci(512);
+        let zero = zero_iter_time(
+            &g,
+            &ZeroConfig {
+                model_parallel: 4,
+                global_batch: 512,
+            },
+            &c,
+            1024,
+        );
+        let hybrid = hybrid_iter_time(
+            &g,
+            &HybridConfig {
+                model_parallel: 4,
+                global_batch: 512,
+                phased_exchange: true,
+            },
+            &c,
+            1024,
+        );
+        assert!(zero >= hybrid);
+    }
+}

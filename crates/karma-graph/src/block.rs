@@ -1,0 +1,314 @@
+//! Blocks of consecutive layers (paper footnote 1) and partitions of a model
+//! into blocks — the unit at which KARMA computes, swaps and updates weights.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+use crate::graph::ModelGraph;
+use crate::memory::{LayerMemory, MemoryParams};
+
+/// A block: the half-open layer range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Block {
+    /// Index of the block within its partition.
+    pub index: usize,
+    /// Layer range (topological ids).
+    pub layers: Range<usize>,
+}
+
+impl Block {
+    /// Number of layers in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the block is empty (never valid inside a partition).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// True if the block contains layer `id`.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        self.layers.contains(&id)
+    }
+}
+
+/// Aggregate costs of one block at a fixed batch size — the inputs to the
+/// occupancy model and both optimization problems (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockCost {
+    /// Forward compute FLOPs.
+    pub forward_flops: f64,
+    /// Backward compute FLOPs.
+    pub backward_flops: f64,
+    /// Memory decomposition aggregated over the block's layers.
+    pub memory: LayerMemory,
+    /// Trainable parameters in the block.
+    pub params: u64,
+}
+
+impl BlockCost {
+    /// Bytes transferred when the block's saved state is swapped out after
+    /// its forward pass (activations; weights stay unless the planner also
+    /// evicts model state).
+    #[inline]
+    pub fn swap_bytes(&self) -> u64 {
+        self.memory.activations
+    }
+
+    /// Bytes for the full block state including weights — what data-parallel
+    /// KARMA moves when the block is swapped out for the CPU-side update
+    /// (paper Sec. III-G).
+    #[inline]
+    pub fn swap_bytes_with_weights(&self) -> u64 {
+        self.memory.activations + self.memory.weights
+    }
+
+    /// Gradient bytes exchanged for this block in the phased AllReduce.
+    #[inline]
+    pub fn gradient_bytes(&self) -> u64 {
+        self.memory.weight_grads
+    }
+}
+
+/// A partition of `0..n_layers` into contiguous, pairwise-disjoint, complete
+/// blocks (constraints 9.1–9.2 of the paper's Optimization Problem 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockPartition {
+    /// Block start indices, strictly increasing, first element 0.
+    boundaries: Vec<usize>,
+    /// Total layer count (the exclusive end of the last block).
+    n_layers: usize,
+}
+
+impl BlockPartition {
+    /// Build from block start indices. `boundaries\[0\]` must be 0 and entries
+    /// strictly increase below `n_layers`.
+    pub fn new(boundaries: Vec<usize>, n_layers: usize) -> Result<Self, String> {
+        if n_layers == 0 {
+            return Err("partition over zero layers".into());
+        }
+        if boundaries.first() != Some(&0) {
+            return Err("first boundary must be 0".into());
+        }
+        for w in boundaries.windows(2) {
+            if w[1] <= w[0] {
+                return Err(format!("boundaries not strictly increasing: {w:?}"));
+            }
+        }
+        if let Some(&last) = boundaries.last() {
+            if last >= n_layers {
+                return Err(format!("boundary {last} beyond n_layers {n_layers}"));
+            }
+        }
+        Ok(BlockPartition {
+            boundaries,
+            n_layers,
+        })
+    }
+
+    /// The trivial partition: every layer its own block.
+    pub fn singletons(n_layers: usize) -> Self {
+        BlockPartition::new((0..n_layers).collect(), n_layers).unwrap()
+    }
+
+    /// One block containing the whole model.
+    pub fn whole(n_layers: usize) -> Self {
+        BlockPartition::new(vec![0], n_layers).unwrap()
+    }
+
+    /// Split into `k` blocks of near-equal layer counts.
+    pub fn uniform(n_layers: usize, k: usize) -> Self {
+        let k = k.clamp(1, n_layers);
+        let bounds = (0..k)
+            .map(|i| i * n_layers / k)
+            .collect::<Vec<_>>();
+        // Integer division can duplicate boundaries when k > n_layers; the
+        // clamp above prevents that.
+        BlockPartition::new(bounds, n_layers).unwrap()
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Total layers covered.
+    #[inline]
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Iterate blocks in forward order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        (0..self.boundaries.len()).map(move |i| self.block(i))
+    }
+
+    /// The `i`-th block.
+    pub fn block(&self, i: usize) -> Block {
+        let start = self.boundaries[i];
+        let end = self
+            .boundaries
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.n_layers);
+        Block {
+            index: i,
+            layers: start..end,
+        }
+    }
+
+    /// Which block contains layer `id`.
+    pub fn block_of(&self, id: usize) -> usize {
+        assert!(id < self.n_layers, "layer {id} out of range");
+        match self.boundaries.binary_search(&id) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Block start indices.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Aggregate per-block costs for `graph` at `batch`.
+    pub fn costs(&self, graph: &ModelGraph, batch: usize, p: &MemoryParams) -> Vec<BlockCost> {
+        assert_eq!(
+            self.n_layers,
+            graph.len(),
+            "partition covers {} layers but graph has {}",
+            self.n_layers,
+            graph.len()
+        );
+        self.blocks()
+            .map(|b| {
+                let mut cost = BlockCost {
+                    forward_flops: 0.0,
+                    backward_flops: 0.0,
+                    memory: LayerMemory::default(),
+                    params: 0,
+                };
+                for l in &graph.layers[b.layers.clone()] {
+                    cost.forward_flops += l.forward_flops(batch);
+                    cost.backward_flops += l.backward_flops(batch);
+                    cost.memory = cost.memory.add(&l.memory(batch, p));
+                    cost.params += l.params();
+                }
+                cost
+            })
+            .collect()
+    }
+
+    /// True when every skip edge of `graph` lands in the same or the
+    /// immediately following block — the "affine residual" property the
+    /// paper observes optimal plans have (Sec. III-F.4).
+    pub fn respects_skips_locally(&self, graph: &ModelGraph) -> bool {
+        graph
+            .skip_edges()
+            .iter()
+            .all(|&(src, dst)| self.block_of(dst) <= self.block_of(src) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::shape::Shape;
+
+    fn chain(n_convs: usize) -> ModelGraph {
+        let mut b = GraphBuilder::new("chain", Shape::chw(4, 8, 8));
+        for _ in 0..n_convs {
+            b.conv(4, 3, 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partition_construction_and_lookup() {
+        let p = BlockPartition::new(vec![0, 3, 7], 10).unwrap();
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.block(0).layers, 0..3);
+        assert_eq!(p.block(1).layers, 3..7);
+        assert_eq!(p.block(2).layers, 7..10);
+        assert_eq!(p.block_of(0), 0);
+        assert_eq!(p.block_of(2), 0);
+        assert_eq!(p.block_of(3), 1);
+        assert_eq!(p.block_of(9), 2);
+    }
+
+    #[test]
+    fn partition_covers_all_layers_disjointly() {
+        // Constraints 9.1 and 9.2: complete and pairwise disjoint.
+        let p = BlockPartition::new(vec![0, 2, 5, 6], 9).unwrap();
+        let mut seen = [0u32; 9];
+        for b in p.blocks() {
+            for l in b.layers {
+                seen[l] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert!(BlockPartition::new(vec![1, 3], 5).is_err()); // no 0
+        assert!(BlockPartition::new(vec![0, 3, 3], 5).is_err()); // dup
+        assert!(BlockPartition::new(vec![0, 5], 5).is_err()); // at end
+        assert!(BlockPartition::new(vec![0], 0).is_err()); // empty model
+    }
+
+    #[test]
+    fn uniform_partition_is_balanced() {
+        let p = BlockPartition::uniform(10, 3);
+        let sizes: Vec<usize> = p.blocks().map(|b| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)));
+        // Degenerate ks clamp.
+        assert_eq!(BlockPartition::uniform(4, 100).num_blocks(), 4);
+        assert_eq!(BlockPartition::uniform(4, 0).num_blocks(), 1);
+    }
+
+    #[test]
+    fn block_costs_sum_to_graph_totals() {
+        let g = chain(6);
+        let p = BlockPartition::uniform(g.len(), 3);
+        let mp = MemoryParams::exact();
+        let costs = p.costs(&g, 2, &mp);
+        let fwd: f64 = costs.iter().map(|c| c.forward_flops).sum();
+        assert!((fwd - g.forward_flops(2)).abs() < 1e-6);
+        let params: u64 = costs.iter().map(|c| c.params).sum();
+        assert_eq!(params, g.total_params());
+        let act: u64 = costs.iter().map(|c| c.memory.activations).sum();
+        assert_eq!(act, g.memory(2, &mp).activations);
+    }
+
+    #[test]
+    fn respects_skips_for_local_residuals() {
+        let mut b = GraphBuilder::new("res", Shape::chw(4, 4, 4));
+        let t = b.conv(4, 3, 1, 1);
+        b.conv(4, 3, 1, 1);
+        let e = b.cursor();
+        b.add(t, e);
+        let g = b.build();
+        // Whole-model partition trivially respects skips.
+        assert!(BlockPartition::whole(g.len()).respects_skips_locally(&g));
+        // Singletons: the skip from t jumps 2 blocks -> violated.
+        assert!(!BlockPartition::singletons(g.len()).respects_skips_locally(&g));
+    }
+
+    #[test]
+    fn singleton_and_whole_partitions() {
+        let s = BlockPartition::singletons(5);
+        assert_eq!(s.num_blocks(), 5);
+        assert!(s.blocks().all(|b| b.len() == 1));
+        let w = BlockPartition::whole(5);
+        assert_eq!(w.num_blocks(), 1);
+        assert_eq!(w.block(0).layers, 0..5);
+    }
+}

@@ -1,0 +1,281 @@
+//! Fluent construction of [`ModelGraph`]s.
+
+use crate::graph::{Layer, LayerId, ModelGraph};
+use crate::layer::LayerKind;
+use crate::shape::Shape;
+
+/// Builds a [`ModelGraph`] layer by layer. Chain methods extend from the
+/// *cursor* (the most recently added layer); explicit-id methods (`add`,
+/// `concat`, `append_to`) express residual and skip topologies.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    layers: Vec<Layer>,
+    cursor: LayerId,
+}
+
+impl GraphBuilder {
+    /// Start a model named `name` whose input samples have shape `input`.
+    pub fn new(name: impl Into<String>, input: Shape) -> Self {
+        let input_layer = Layer {
+            id: 0,
+            name: format!("Input {input}"),
+            kind: LayerKind::Input,
+            inputs: Vec::new(),
+            in_shape: input.clone(),
+            out_shape: input,
+        };
+        GraphBuilder {
+            name: name.into(),
+            layers: vec![input_layer],
+            cursor: 0,
+        }
+    }
+
+    /// The layer the next chained call will consume.
+    #[inline]
+    pub fn cursor(&self) -> LayerId {
+        self.cursor
+    }
+
+    /// Move the cursor to an existing layer (to branch from it).
+    pub fn set_cursor(&mut self, id: LayerId) -> &mut Self {
+        assert!(id < self.layers.len(), "cursor {id} out of range");
+        self.cursor = id;
+        self
+    }
+
+    /// Output shape of layer `id`.
+    pub fn shape_of(&self, id: LayerId) -> &Shape {
+        &self.layers[id].out_shape
+    }
+
+    /// Append `kind` consuming `from`; returns the new layer's id.
+    pub fn append_to(&mut self, from: LayerId, kind: LayerKind, name: impl Into<String>) -> LayerId {
+        let in_shape = self.layers[from].out_shape.clone();
+        let out_shape = kind.out_shape(&in_shape, None);
+        let id = self.layers.len();
+        self.layers.push(Layer {
+            id,
+            name: name.into(),
+            kind,
+            inputs: vec![from],
+            in_shape,
+            out_shape,
+        });
+        self.cursor = id;
+        id
+    }
+
+    /// Append `kind` consuming the cursor.
+    pub fn push(&mut self, kind: LayerKind, name: impl Into<String>) -> LayerId {
+        self.append_to(self.cursor, kind, name)
+    }
+
+    /// Convolution from the cursor.
+    pub fn conv(&mut self, out_ch: usize, kernel: usize, stride: usize, padding: usize) -> LayerId {
+        let in_ch = self.layers[self.cursor]
+            .out_shape
+            .channels()
+            .expect("conv needs CHW input");
+        let kind = LayerKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+        };
+        let name = format!("{kernel}x{kernel} Conv, {out_ch}");
+        self.push(kind, name)
+    }
+
+    /// Conv + BatchNorm + ReLU triple (the ubiquitous CNN unit).
+    pub fn conv_bn_relu(
+        &mut self,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> LayerId {
+        self.conv(out_ch, kernel, stride, padding);
+        self.batch_norm();
+        self.relu()
+    }
+
+    /// ReLU from the cursor.
+    pub fn relu(&mut self) -> LayerId {
+        self.push(LayerKind::ReLU, "ReLU")
+    }
+
+    /// BatchNorm from the cursor.
+    pub fn batch_norm(&mut self) -> LayerId {
+        self.push(LayerKind::BatchNorm2d, "BatchNorm")
+    }
+
+    /// Max-pool from the cursor.
+    pub fn max_pool(&mut self, kernel: usize, stride: usize, padding: usize) -> LayerId {
+        self.push(
+            LayerKind::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            },
+            format!("{kernel}x{kernel} Max Pool"),
+        )
+    }
+
+    /// Global average pool from the cursor.
+    pub fn global_avg_pool(&mut self) -> LayerId {
+        self.push(LayerKind::GlobalAvgPool, "Average Pooling")
+    }
+
+    /// Flatten from the cursor.
+    pub fn flatten(&mut self) -> LayerId {
+        self.push(LayerKind::Flatten, "Flatten")
+    }
+
+    /// Fully connected layer from the cursor.
+    pub fn fc(&mut self, out_features: usize) -> LayerId {
+        let in_features = self.layers[self.cursor].out_shape.elements() as usize;
+        self.push(
+            LayerKind::FullyConnected {
+                in_features,
+                out_features,
+            },
+            format!("FC, {out_features}"),
+        )
+    }
+
+    /// Softmax from the cursor.
+    pub fn softmax(&mut self) -> LayerId {
+        self.push(LayerKind::Softmax, "Softmax")
+    }
+
+    /// Dropout from the cursor.
+    pub fn dropout(&mut self) -> LayerId {
+        self.push(LayerKind::Dropout, "Dropout")
+    }
+
+    /// Residual join of two branches.
+    pub fn add(&mut self, a: LayerId, b: LayerId) -> LayerId {
+        let sa = self.layers[a].out_shape.clone();
+        let sb = self.layers[b].out_shape.clone();
+        let out_shape = LayerKind::Add.out_shape(&sa, Some(&sb));
+        let id = self.layers.len();
+        self.layers.push(Layer {
+            id,
+            name: "Add".to_owned(),
+            kind: LayerKind::Add,
+            inputs: vec![a, b],
+            in_shape: sa,
+            out_shape,
+        });
+        self.cursor = id;
+        id
+    }
+
+    /// Channel concatenation of two branches (U-Net skip).
+    pub fn concat(&mut self, a: LayerId, b: LayerId) -> LayerId {
+        let sa = self.layers[a].out_shape.clone();
+        let sb = self.layers[b].out_shape.clone();
+        let out_shape = LayerKind::Concat.out_shape(&sa, Some(&sb));
+        let id = self.layers.len();
+        self.layers.push(Layer {
+            id,
+            name: "Concat".to_owned(),
+            kind: LayerKind::Concat,
+            inputs: vec![a, b],
+            in_shape: sa,
+            out_shape,
+        });
+        self.cursor = id;
+        id
+    }
+
+    /// Transposed convolution (up-sampling) from the cursor.
+    pub fn conv_transpose(&mut self, out_ch: usize, kernel: usize, stride: usize) -> LayerId {
+        let in_ch = self.layers[self.cursor]
+            .out_shape
+            .channels()
+            .expect("deconv needs CHW input");
+        self.push(
+            LayerKind::ConvTranspose2d {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+            },
+            format!("{kernel}x{kernel} Deconv, {out_ch}"),
+        )
+    }
+
+    /// Transformer block from the cursor.
+    pub fn transformer_block(&mut self, heads: usize, d_model: usize) -> LayerId {
+        self.push(
+            LayerKind::TransformerBlock { heads, d_model },
+            format!("Transformer h{heads} d{d_model}"),
+        )
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> ModelGraph {
+        let g = ModelGraph {
+            name: self.name,
+            layers: self.layers,
+        };
+        if let Err(e) = g.validate() {
+            panic!("GraphBuilder produced an invalid graph: {e}");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_shapes_through_a_cnn() {
+        let mut b = GraphBuilder::new("t", Shape::chw(3, 224, 224));
+        b.conv(64, 7, 2, 3);
+        assert_eq!(*b.shape_of(b.cursor()), Shape::chw(64, 112, 112));
+        b.max_pool(3, 2, 1);
+        assert_eq!(*b.shape_of(b.cursor()), Shape::chw(64, 56, 56));
+        b.global_avg_pool();
+        b.flatten();
+        let fc = b.fc(1000);
+        assert_eq!(*b.shape_of(fc), Shape::vec(1000));
+        b.build().validate().unwrap();
+    }
+
+    #[test]
+    fn branching_with_set_cursor() {
+        let mut b = GraphBuilder::new("branch", Shape::chw(8, 4, 4));
+        let stem = b.cursor();
+        let left = b.conv(8, 3, 1, 1);
+        b.set_cursor(stem);
+        let right = b.conv(8, 1, 1, 0);
+        let joined = b.add(left, right);
+        let g = b.build();
+        assert_eq!(g.layers[joined].inputs, vec![left, right]);
+    }
+
+    #[test]
+    fn conv_bn_relu_appends_three_layers() {
+        let mut b = GraphBuilder::new("u", Shape::chw(3, 8, 8));
+        let before = 1;
+        b.conv_bn_relu(16, 3, 1, 1);
+        let g = b.build();
+        assert_eq!(g.len(), before + 3);
+        assert_eq!(g.layers[1].kind.mnemonic(), "conv");
+        assert_eq!(g.layers[2].kind.mnemonic(), "bn");
+        assert_eq!(g.layers[3].kind.mnemonic(), "relu");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_cursor_bounds_checked() {
+        let mut b = GraphBuilder::new("x", Shape::vec(4));
+        b.set_cursor(10);
+    }
+}

@@ -1,0 +1,288 @@
+//! The model dependency graph (paper Fig. 1 step 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::LayerKind;
+use crate::memory::{LayerMemory, MemoryParams};
+use crate::shape::Shape;
+
+/// Index of a layer within its [`ModelGraph`] (topological order).
+pub type LayerId = usize;
+
+/// One layer instance: kind + resolved per-sample shapes + producers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Position in topological order.
+    pub id: LayerId,
+    /// Display name (e.g. `"7x7 Conv, 64"` as in paper Fig. 1).
+    pub name: String,
+    /// Layer kind and hyper-parameters.
+    pub kind: LayerKind,
+    /// Producer layers; `inputs\[0\]` is the primary input. All producers have
+    /// smaller ids (topological invariant, `C_ij` of constraint 9.3).
+    pub inputs: Vec<LayerId>,
+    /// Per-sample input shape (of the primary input).
+    pub in_shape: Shape,
+    /// Per-sample output shape.
+    pub out_shape: Shape,
+}
+
+impl Layer {
+    /// Forward FLOPs for a mini-batch of `batch` samples.
+    #[inline]
+    pub fn forward_flops(&self, batch: usize) -> f64 {
+        self.kind.forward_flops(&self.in_shape, &self.out_shape) * batch as f64
+    }
+
+    /// Backward FLOPs for a mini-batch of `batch` samples.
+    #[inline]
+    pub fn backward_flops(&self, batch: usize) -> f64 {
+        self.kind.backward_flops(&self.in_shape, &self.out_shape) * batch as f64
+    }
+
+    /// Trainable parameter count.
+    #[inline]
+    pub fn params(&self) -> u64 {
+        self.kind.params(&self.in_shape)
+    }
+
+    /// Memory decomposition at `batch`.
+    #[inline]
+    pub fn memory(&self, batch: usize, p: &MemoryParams) -> LayerMemory {
+        LayerMemory::of(&self.kind, &self.in_shape, &self.out_shape, batch, p)
+    }
+}
+
+/// A DNN expressed as layers in topological order with explicit dependency
+/// edges. Linear chains, residual networks (ResNet/WRN), transformer stacks
+/// and encoder–decoder skips (U-Net) are all representable — the model
+/// families the paper supports (Sec. III-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Model name (e.g. `"ResNet-50"`).
+    pub name: String,
+    /// Layers in topological order.
+    pub layers: Vec<Layer>,
+}
+
+impl ModelGraph {
+    /// Number of layers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the graph has no layers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total forward FLOPs at `batch`.
+    pub fn forward_flops(&self, batch: usize) -> f64 {
+        self.layers.iter().map(|l| l.forward_flops(batch)).sum()
+    }
+
+    /// Total backward FLOPs at `batch`.
+    pub fn backward_flops(&self, batch: usize) -> f64 {
+        self.layers.iter().map(|l| l.backward_flops(batch)).sum()
+    }
+
+    /// Aggregate memory decomposition at `batch`.
+    pub fn memory(&self, batch: usize, p: &MemoryParams) -> LayerMemory {
+        self.layers
+            .iter()
+            .map(|l| l.memory(batch, p))
+            .fold(LayerMemory::default(), |acc, m| acc.add(&m))
+    }
+
+    /// Peak training footprint at `batch`: all model state plus all saved
+    /// activations and the largest transient (grad + workspace) — the value
+    /// compared against device capacity to decide whether training is
+    /// in-core (first x-axis point of every Fig. 5 plot) or out-of-core.
+    pub fn peak_footprint(&self, batch: usize, p: &MemoryParams) -> u64 {
+        let agg = self.memory(batch, p);
+        let max_transient = self
+            .layers
+            .iter()
+            .map(|l| {
+                let m = l.memory(batch, p);
+                m.activation_grads + m.workspace
+            })
+            .max()
+            .unwrap_or(0);
+        agg.model_state() + agg.activations + agg.workspace.min(max_transient) + max_transient
+    }
+
+    /// Consumers of each layer (inverse adjacency).
+    pub fn consumers(&self) -> Vec<Vec<LayerId>> {
+        let mut out = vec![Vec::new(); self.layers.len()];
+        for l in &self.layers {
+            for &p in &l.inputs {
+                out[p].push(l.id);
+            }
+        }
+        out
+    }
+
+    /// Edges `(src, dst)` that jump over at least one layer (`dst > src + 1`)
+    /// — the non-linear connections (residual adds, U-Net skips) the planner
+    /// must respect (paper Sec. III-F.4).
+    pub fn skip_edges(&self) -> Vec<(LayerId, LayerId)> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            for &p in &l.inputs {
+                if l.id > p + 1 {
+                    out.push((p, l.id));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the graph is a pure chain (every layer consumes only its
+    /// predecessor).
+    pub fn is_linear(&self) -> bool {
+        self.skip_edges().is_empty()
+    }
+
+    /// Validate structural invariants:
+    /// topological producer order, primary-input shape agreement, and that
+    /// layer 0 is the (only) input.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("empty graph".into());
+        }
+        if !matches!(self.layers[0].kind, LayerKind::Input) {
+            return Err("layer 0 must be Input".into());
+        }
+        for (i, l) in self.layers.iter().enumerate() {
+            if l.id != i {
+                return Err(format!("layer {i} has id {}", l.id));
+            }
+            if i > 0 && l.inputs.is_empty() {
+                return Err(format!("layer {i} ({}) has no producers", l.name));
+            }
+            if matches!(l.kind, LayerKind::Input) && i != 0 {
+                return Err(format!("secondary Input at {i}"));
+            }
+            for &p in &l.inputs {
+                if p >= i {
+                    return Err(format!(
+                        "layer {i} ({}) depends on later/self layer {p}",
+                        l.name
+                    ));
+                }
+            }
+            if let Some(&p) = l.inputs.first() {
+                if self.layers[p].out_shape != l.in_shape {
+                    return Err(format!(
+                        "shape mismatch into layer {i} ({}): producer {} yields {}, layer expects {}",
+                        l.name, p, self.layers[p].out_shape, l.in_shape
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line summary used by examples and the bench harness.
+    pub fn summary(&self, batch: usize, p: &MemoryParams) -> String {
+        format!(
+            "{}: {} layers, {:.1}M params, fwd {:.1} GFLOPs @ batch {}, peak {:.2} GiB",
+            self.name,
+            self.len(),
+            self.total_params() as f64 / 1e6,
+            self.forward_flops(batch) / 1e9,
+            batch,
+            self.peak_footprint(batch, p) as f64 / (1u64 << 30) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny_chain() -> ModelGraph {
+        let mut b = GraphBuilder::new("tiny", Shape::chw(3, 8, 8));
+        b.conv(16, 3, 1, 1);
+        b.relu();
+        b.flatten();
+        b.fc(10);
+        b.softmax();
+        b.build()
+    }
+
+    #[test]
+    fn chain_validates_and_is_linear() {
+        let g = tiny_chain();
+        g.validate().unwrap();
+        assert!(g.is_linear());
+        assert_eq!(g.len(), 6); // input + 5
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let g = tiny_chain();
+        let per: f64 = g.layers.iter().map(|l| l.forward_flops(4)).sum();
+        assert_eq!(g.forward_flops(4), per);
+        let params: u64 = g.layers.iter().map(Layer::params).sum();
+        assert_eq!(g.total_params(), params);
+    }
+
+    #[test]
+    fn consumers_inverts_inputs() {
+        let g = tiny_chain();
+        let cons = g.consumers();
+        for l in &g.layers {
+            for &p in &l.inputs {
+                assert!(cons[p].contains(&l.id));
+            }
+        }
+        // Output layer has no consumers.
+        assert!(cons[g.len() - 1].is_empty());
+    }
+
+    #[test]
+    fn residual_graph_has_skip_edges() {
+        let mut b = GraphBuilder::new("res", Shape::chw(8, 4, 4));
+        let trunk = b.conv(8, 3, 1, 1);
+        b.relu();
+        let branch_end = b.conv(8, 3, 1, 1);
+        let add = b.add(trunk, branch_end);
+        let g = b.build();
+        g.validate().unwrap();
+        assert!(!g.is_linear());
+        let skips = g.skip_edges();
+        assert!(skips.contains(&(trunk, add)));
+    }
+
+    #[test]
+    fn peak_footprint_grows_with_batch() {
+        let g = tiny_chain();
+        let p = MemoryParams::default();
+        assert!(g.peak_footprint(8, &p) > g.peak_footprint(1, &p));
+    }
+
+    #[test]
+    fn validate_rejects_forward_dependency() {
+        let mut g = tiny_chain();
+        g.layers[1].inputs = vec![3];
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_shape_mismatch() {
+        let mut g = tiny_chain();
+        g.layers[1].in_shape = Shape::chw(4, 8, 8);
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+}

@@ -1,0 +1,517 @@
+//! Layer kinds with the paper's analytic compute-cost formulas (Sec. III-C).
+//!
+//! The paper's planner uses the aggregate number of arithmetic operations per
+//! layer as the compute proxy, citing evidence that framework-level fusion
+//! has minimal effect on aggregate operation counts. We implement each of the
+//! formulas in Sec. III-C 1)–9); composite layers used by the model zoo
+//! (e.g. [`LayerKind::TransformerBlock`]) document how they expand into the
+//! primitive formulas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::{conv_out, Shape};
+use crate::FLOPS_PER_MAC;
+
+/// The kind of a layer, with the hyper-parameters needed by the cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Network input (a data source; zero compute, activation = the sample).
+    Input,
+    /// 2-D convolution `in_ch -> out_ch` with square `kernel`, `stride`,
+    /// `padding` (paper III-C.1).
+    Conv2d {
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    },
+    /// Rectified linear unit (paper III-C.2): `|Y|` comparisons.
+    ReLU,
+    /// Max pooling (paper III-C.3 with `c = 1`).
+    MaxPool2d {
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    },
+    /// Average pooling (paper III-C.3 with `c = 2`: add + divide).
+    AvgPool2d {
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    },
+    /// Global average pooling to `C × 1 × 1`.
+    GlobalAvgPool,
+    /// Batch normalization (paper III-C.4): `3|B| + 4|X| + 2|Y|`.
+    BatchNorm2d,
+    /// Layer normalization over the feature dimension (transformers); same
+    /// cost form as batch-norm without the cross-batch statistics.
+    LayerNorm,
+    /// Fully connected layer (paper III-C.7): `|X| × |Y|` MACs.
+    FullyConnected { in_features: usize, out_features: usize },
+    /// Softmax (paper III-C.8): `2|X|`.
+    Softmax,
+    /// Dropout: one mask multiply per element (paper III-C.9 "other").
+    Dropout,
+    /// Element-wise addition of two inputs (residual join).
+    Add,
+    /// Channel concatenation of two inputs (U-Net skip join).
+    Concat,
+    /// Flatten CHW activation to a vector (paper III-C.9 reshaping; free).
+    Flatten,
+    /// LSTM step over a sequence (paper III-C.5): gate GEMMs plus the
+    /// `20·|Y|` element-wise combination the paper counts. `hidden` is the
+    /// cell width; input width comes from the incoming shape.
+    Lstm { hidden: usize },
+    /// Multi-head self-attention over a sequence (paper III-C.6). The paper's
+    /// proxy for one head is `4·d_k³ + d_k² + 2·d_k` with
+    /// `Attention(Q,K,V) = softmax(QKᵀ/√d_k)·V`; we evaluate it per head and
+    /// add the input/output projections (which the paper folds into its
+    /// "adjusted per variant" rule).
+    SelfAttention { heads: usize, d_model: usize },
+    /// A full pre-norm transformer block: self-attention + 2-layer MLP with
+    /// hidden width `4·d_model`, as used by Megatron-LM and Turing-NLG. This
+    /// composite exists so billion-parameter models stay at the granularity
+    /// the paper schedules (one block of layers per transformer layer).
+    TransformerBlock { heads: usize, d_model: usize },
+    /// Token + position embedding lookup (memory-bound; ~zero FLOPs).
+    Embedding { vocab: usize, d_model: usize },
+    /// 2-D transposed convolution (U-Net expansive path up-sampling).
+    ConvTranspose2d {
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+    },
+}
+
+impl LayerKind {
+    /// Infer the per-sample output shape from the (first) input shape.
+    /// `second` carries the second operand's shape for [`LayerKind::Add`] /
+    /// [`LayerKind::Concat`].
+    pub fn out_shape(&self, input: &Shape, second: Option<&Shape>) -> Shape {
+        match self {
+            LayerKind::Input => input.clone(),
+            LayerKind::Conv2d {
+                out_ch,
+                kernel,
+                stride,
+                padding,
+                in_ch,
+            } => {
+                let (h, w) = input.hw().expect("Conv2d needs a CHW input");
+                assert_eq!(
+                    input.channels(),
+                    Some(*in_ch),
+                    "Conv2d in_ch mismatch: declared {in_ch}, got {input}"
+                );
+                Shape::chw(
+                    *out_ch,
+                    conv_out(h, *kernel, *stride, *padding),
+                    conv_out(w, *kernel, *stride, *padding),
+                )
+            }
+            LayerKind::ReLU
+            | LayerKind::BatchNorm2d
+            | LayerKind::LayerNorm
+            | LayerKind::Softmax
+            | LayerKind::Dropout => input.clone(),
+            LayerKind::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            }
+            | LayerKind::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let c = input.channels().expect("pooling needs a CHW input");
+                let (h, w) = input.hw().unwrap();
+                Shape::chw(
+                    c,
+                    conv_out(h, *kernel, *stride, *padding),
+                    conv_out(w, *kernel, *stride, *padding),
+                )
+            }
+            LayerKind::GlobalAvgPool => {
+                let c = input.channels().expect("global pool needs a CHW input");
+                Shape::chw(c, 1, 1)
+            }
+            LayerKind::FullyConnected { out_features, .. } => Shape::vec(*out_features),
+            LayerKind::Add => {
+                let rhs = second.expect("Add needs two inputs");
+                assert_eq!(input, rhs, "Add operands must have identical shapes");
+                input.clone()
+            }
+            LayerKind::Concat => {
+                let rhs = second.expect("Concat needs two inputs");
+                let (c1, (h1, w1)) = (input.channels().unwrap(), input.hw().unwrap());
+                let (c2, (h2, w2)) = (rhs.channels().unwrap(), rhs.hw().unwrap());
+                assert_eq!((h1, w1), (h2, w2), "Concat spatial dims must match");
+                Shape::chw(c1 + c2, h1, w1)
+            }
+            LayerKind::Flatten => Shape::vec(input.elements() as usize),
+            LayerKind::Lstm { hidden } => {
+                let (len, _d) = input.seq_dims().expect("LSTM needs a sequence input");
+                Shape::seq(len, *hidden)
+            }
+            LayerKind::SelfAttention { d_model, .. }
+            | LayerKind::TransformerBlock { d_model, .. } => {
+                let (len, d) = input.seq_dims().expect("attention needs a sequence input");
+                assert_eq!(d, *d_model, "attention d_model mismatch");
+                Shape::seq(len, *d_model)
+            }
+            LayerKind::Embedding { d_model, .. } => {
+                let len = input.0[0];
+                Shape::seq(len, *d_model)
+            }
+            LayerKind::ConvTranspose2d {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+            } => {
+                let (h, w) = input.hw().expect("ConvTranspose2d needs a CHW input");
+                assert_eq!(input.channels(), Some(*in_ch), "ConvTranspose2d in_ch mismatch");
+                // Standard transposed-conv size: (in - 1) * stride + kernel.
+                Shape::chw(*out_ch, (h - 1) * stride + *kernel, (w - 1) * stride + *kernel)
+            }
+        }
+    }
+
+    /// Trainable parameter count (weights + biases where conventional).
+    pub fn params(&self, input: &Shape) -> u64 {
+        match self {
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => (*in_ch as u64) * (*out_ch as u64) * (*kernel as u64).pow(2) + *out_ch as u64,
+            LayerKind::ConvTranspose2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => (*in_ch as u64) * (*out_ch as u64) * (*kernel as u64).pow(2) + *out_ch as u64,
+            LayerKind::BatchNorm2d => {
+                2 * input.channels().expect("BN needs CHW") as u64
+            }
+            LayerKind::LayerNorm => {
+                let d = input.seq_dims().map(|(_, d)| d).unwrap_or_else(|| input.elements() as usize);
+                2 * d as u64
+            }
+            LayerKind::FullyConnected {
+                in_features,
+                out_features,
+            } => (*in_features as u64) * (*out_features as u64) + *out_features as u64,
+            LayerKind::Lstm { hidden } => {
+                let d = input.seq_dims().expect("LSTM needs sequence").1 as u64;
+                let h = *hidden as u64;
+                // 4 gates, each with input and recurrent weights plus bias.
+                4 * (d * h + h * h + h)
+            }
+            LayerKind::SelfAttention { d_model, .. } => {
+                let d = *d_model as u64;
+                // Q, K, V and output projections.
+                4 * (d * d + d)
+            }
+            LayerKind::TransformerBlock { d_model, .. } => {
+                let d = *d_model as u64;
+                // Attention projections + MLP (d->4d->d) + 2 layer-norms.
+                4 * (d * d + d) + (d * 4 * d + 4 * d) + (4 * d * d + d) + 2 * (2 * d)
+            }
+            LayerKind::Embedding { vocab, d_model } => (*vocab as u64) * (*d_model as u64),
+            _ => 0,
+        }
+    }
+
+    /// Forward-pass FLOPs for **one sample**, per the paper's Sec. III-C
+    /// formulas. Batch scaling is the caller's responsibility (multiply by
+    /// the mini-batch size), except for the `3|B|` batch-statistics term of
+    /// batch-norm, which is negligible and charged per sample here.
+    pub fn forward_flops(&self, input: &Shape, output: &Shape) -> f64 {
+        let x = input.elements() as f64;
+        let y = output.elements() as f64;
+        match self {
+            LayerKind::Input | LayerKind::Flatten => 0.0,
+            // |Y| * K * K * C_i multiply-adds (III-C.1).
+            LayerKind::Conv2d {
+                in_ch, kernel, ..
+            } => y * (*kernel as f64).powi(2) * *in_ch as f64 * FLOPS_PER_MAC,
+            LayerKind::ConvTranspose2d {
+                in_ch, kernel, ..
+            } => {
+                // Same MAC count as the equivalent forward conv over the
+                // *input* elements scattering into the output.
+                x * (*kernel as f64).powi(2) * *in_ch as f64 * FLOPS_PER_MAC
+            }
+            // |Y| comparisons (III-C.2).
+            LayerKind::ReLU => y,
+            // |Y| * K * K (III-C.3), c = 1 for max (compare).
+            LayerKind::MaxPool2d { kernel, .. } => y * (*kernel as f64).powi(2),
+            // c = 2 for average (add then scale).
+            LayerKind::AvgPool2d { kernel, .. } => y * (*kernel as f64).powi(2) * 2.0,
+            LayerKind::GlobalAvgPool => x + y,
+            // 3|B| + 4|X| + 2|Y| (III-C.4); |B| ~ 1 per sample slot.
+            LayerKind::BatchNorm2d => 3.0 + 4.0 * x + 2.0 * y,
+            LayerKind::LayerNorm => 4.0 * x + 2.0 * y,
+            // |WT| = |X| × |Y| MACs (III-C.7).
+            LayerKind::FullyConnected {
+                in_features,
+                out_features,
+            } => *in_features as f64 * *out_features as f64 * FLOPS_PER_MAC,
+            // 2|X| (III-C.8).
+            LayerKind::Softmax => 2.0 * x,
+            LayerKind::Dropout => y,
+            LayerKind::Add => y,
+            LayerKind::Concat => 0.0,
+            LayerKind::Lstm { hidden } => {
+                let (len, d) = input.seq_dims().expect("LSTM needs sequence");
+                let (len, d, h) = (len as f64, d as f64, *hidden as f64);
+                // Gate GEMMs per step (4 gates over input+recurrent)…
+                let gemm = 4.0 * (d * h + h * h) * FLOPS_PER_MAC;
+                // …plus the paper's 20·|Y| element-wise combination ops.
+                len * (gemm + 20.0 * h)
+            }
+            LayerKind::SelfAttention { heads, d_model } => {
+                let (len, _) = input.seq_dims().expect("attention needs sequence");
+                let dk = *d_model as f64 / *heads as f64;
+                // Paper III-C.6 proxy per head: 4·d_k³ + d_k² + 2·d_k,
+                // evaluated once per (head, query position)…
+                let per_head = 4.0 * dk.powi(3) + dk.powi(2) + 2.0 * dk;
+                // …plus QKV/output projections (4 d² MACs per token), the
+                // "adjust per variant" rule of the paper.
+                let d = *d_model as f64;
+                let proj = 4.0 * d * d * FLOPS_PER_MAC;
+                len as f64 * (*heads as f64 * per_head + proj)
+            }
+            LayerKind::TransformerBlock { heads, d_model } => {
+                let (len, _) = input.seq_dims().expect("transformer needs sequence");
+                let (len, d) = (len as f64, *d_model as f64);
+                // Projections: QKV + out = 4d²; MLP d→4d→d = 8d² MACs/token.
+                let proj = (4.0 * d * d + 8.0 * d * d) * FLOPS_PER_MAC;
+                // Score and value matmuls: 2·len·d MACs per token.
+                let attn = 2.0 * len * d * FLOPS_PER_MAC;
+                // Softmax over len scores per (head, token) + 2 layer-norms.
+                let small = 2.0 * len * *heads as f64 + 2.0 * (4.0 * d + 2.0 * d);
+                len * (proj + attn + small)
+            }
+            LayerKind::Embedding { .. } => 0.0,
+        }
+    }
+
+    /// Backward-pass FLOPs for one sample.
+    ///
+    /// Parametric layers compute both ∂L/∂x and ∂L/∂W, each costing about as
+    /// much as the forward pass (the standard 2× rule used by e.g. the
+    /// Megatron-LM and Checkmate cost models); element-wise layers cost ~1×.
+    pub fn backward_flops(&self, input: &Shape, output: &Shape) -> f64 {
+        let mult = match self {
+            LayerKind::Conv2d { .. }
+            | LayerKind::ConvTranspose2d { .. }
+            | LayerKind::FullyConnected { .. }
+            | LayerKind::Lstm { .. }
+            | LayerKind::SelfAttention { .. }
+            | LayerKind::TransformerBlock { .. } => 2.0,
+            LayerKind::BatchNorm2d | LayerKind::LayerNorm => 1.5,
+            LayerKind::Input | LayerKind::Embedding { .. } => 0.0,
+            _ => 1.0,
+        };
+        self.forward_flops(input, output) * mult
+    }
+
+    /// True if the layer owns trainable parameters.
+    #[inline]
+    pub fn is_parametric(&self, input: &Shape) -> bool {
+        self.params(input) > 0
+    }
+
+    /// Short mnemonic used in plan pretty-printing and Fig. 7-style output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerKind::Input => "in",
+            LayerKind::Conv2d { .. } => "conv",
+            LayerKind::ReLU => "relu",
+            LayerKind::MaxPool2d { .. } => "maxpool",
+            LayerKind::AvgPool2d { .. } => "avgpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::BatchNorm2d => "bn",
+            LayerKind::LayerNorm => "ln",
+            LayerKind::FullyConnected { .. } => "fc",
+            LayerKind::Softmax => "softmax",
+            LayerKind::Dropout => "drop",
+            LayerKind::Add => "add",
+            LayerKind::Concat => "cat",
+            LayerKind::Flatten => "flat",
+            LayerKind::Lstm { .. } => "lstm",
+            LayerKind::SelfAttention { .. } => "attn",
+            LayerKind::TransformerBlock { .. } => "xfmr",
+            LayerKind::Embedding { .. } => "emb",
+            LayerKind::ConvTranspose2d { .. } => "deconv",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_flops_match_paper_formula() {
+        // 3x3 conv, 64 -> 64 channels on 56x56: |Y|·K·K·C_i MACs.
+        let k = LayerKind::Conv2d {
+            in_ch: 64,
+            out_ch: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let input = Shape::chw(64, 56, 56);
+        let output = k.out_shape(&input, None);
+        assert_eq!(output, Shape::chw(64, 56, 56));
+        let y = output.elements() as f64;
+        assert_eq!(k.forward_flops(&input, &output), y * 9.0 * 64.0 * 2.0);
+    }
+
+    #[test]
+    fn relu_costs_one_comparison_per_output() {
+        let k = LayerKind::ReLU;
+        let s = Shape::chw(64, 8, 8);
+        assert_eq!(k.forward_flops(&s, &s), s.elements() as f64);
+    }
+
+    #[test]
+    fn fc_flops_and_params() {
+        let k = LayerKind::FullyConnected {
+            in_features: 2048,
+            out_features: 1000,
+        };
+        let input = Shape::vec(2048);
+        let out = k.out_shape(&input, None);
+        assert_eq!(out, Shape::vec(1000));
+        assert_eq!(k.params(&input), 2048 * 1000 + 1000);
+        assert_eq!(k.forward_flops(&input, &out), 2048.0 * 1000.0 * 2.0);
+    }
+
+    #[test]
+    fn batchnorm_matches_paper_counting() {
+        let k = LayerKind::BatchNorm2d;
+        let s = Shape::chw(16, 4, 4);
+        let x = s.elements() as f64;
+        assert_eq!(k.forward_flops(&s, &s), 3.0 + 4.0 * x + 2.0 * x);
+        assert_eq!(k.params(&s), 32); // scale + shift per channel
+    }
+
+    #[test]
+    fn softmax_costs_two_per_input() {
+        let k = LayerKind::Softmax;
+        let s = Shape::vec(1000);
+        assert_eq!(k.forward_flops(&s, &s), 2000.0);
+    }
+
+    #[test]
+    fn residual_add_requires_matching_shapes() {
+        let k = LayerKind::Add;
+        let s = Shape::chw(256, 56, 56);
+        assert_eq!(k.out_shape(&s, Some(&s)), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn residual_add_rejects_mismatch() {
+        let k = LayerKind::Add;
+        let a = Shape::chw(256, 56, 56);
+        let b = Shape::chw(128, 56, 56);
+        k.out_shape(&a, Some(&b));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let k = LayerKind::Concat;
+        let a = Shape::chw(256, 28, 28);
+        let b = Shape::chw(128, 28, 28);
+        assert_eq!(k.out_shape(&a, Some(&b)), Shape::chw(384, 28, 28));
+    }
+
+    #[test]
+    fn transformer_block_params_match_analytic_count() {
+        // GPT-2 small-ish: d=768. Params/layer ≈ 12·d² + low-order terms.
+        let k = LayerKind::TransformerBlock {
+            heads: 12,
+            d_model: 768,
+        };
+        let input = Shape::seq(1024, 768);
+        let p = k.params(&input) as f64;
+        let d = 768.0_f64;
+        assert!((p - 12.0 * d * d).abs() / (12.0 * d * d) < 0.01);
+    }
+
+    #[test]
+    fn megatron_8b_parameter_count_is_plausible() {
+        // Megatron-LM 8.3B config: H=3072, L=72 (Table IV). Per-layer 12·H²
+        // ⇒ 72 · 12 · 3072² ≈ 8.15B, plus embeddings ≈ 8.3B total.
+        let k = LayerKind::TransformerBlock {
+            heads: 32,
+            d_model: 3072,
+        };
+        let input = Shape::seq(1024, 3072);
+        let total = 72 * k.params(&input)
+            + LayerKind::Embedding {
+                vocab: 50257,
+                d_model: 3072,
+            }
+            .params(&Shape::vec(1024));
+        let b = total as f64 / 1e9;
+        assert!((8.0..9.0).contains(&b), "got {b} B params");
+    }
+
+    #[test]
+    fn lstm_flops_include_gemm_and_pointwise() {
+        let k = LayerKind::Lstm { hidden: 128 };
+        let input = Shape::seq(10, 64);
+        let out = k.out_shape(&input, None);
+        assert_eq!(out, Shape::seq(10, 128));
+        let per_step_gemm = 4.0 * (64.0 * 128.0 + 128.0 * 128.0) * 2.0;
+        let expect = 10.0 * (per_step_gemm + 20.0 * 128.0);
+        assert_eq!(k.forward_flops(&input, &out), expect);
+    }
+
+    #[test]
+    fn backward_is_twice_forward_for_parametric_layers() {
+        let k = LayerKind::Conv2d {
+            in_ch: 3,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let input = Shape::chw(3, 16, 16);
+        let out = k.out_shape(&input, None);
+        assert_eq!(
+            k.backward_flops(&input, &out),
+            2.0 * k.forward_flops(&input, &out)
+        );
+    }
+
+    #[test]
+    fn flatten_is_free_and_reshapes() {
+        let k = LayerKind::Flatten;
+        let input = Shape::chw(2048, 1, 1);
+        assert_eq!(k.out_shape(&input, None), Shape::vec(2048));
+        assert_eq!(k.forward_flops(&input, &Shape::vec(2048)), 0.0);
+    }
+
+    #[test]
+    fn conv_transpose_upsamples() {
+        let k = LayerKind::ConvTranspose2d {
+            in_ch: 128,
+            out_ch: 64,
+            kernel: 2,
+            stride: 2,
+        };
+        let input = Shape::chw(128, 14, 14);
+        assert_eq!(k.out_shape(&input, None), Shape::chw(64, 28, 28));
+    }
+}

@@ -1,0 +1,45 @@
+//! Model intermediate representation for the KARMA reproduction.
+//!
+//! KARMA (Wahib et al., SC '20) plans out-of-core training from three pieces
+//! of per-layer metadata (paper Fig. 1, steps 1–2):
+//!
+//! 1. a **dependency graph** of the model, including non-linear edges
+//!    (residual connections, U-Net skips) — [`graph::ModelGraph`];
+//! 2. an analytic **compute cost** per layer (Sec. III-C: FLOP formulas for
+//!    convolution, ReLU, pooling, batch-norm, LSTM, self-attention, fully
+//!    connected, softmax, …) — [`layer::LayerKind::forward_flops`];
+//! 3. a **memory model** broken down per variable type (inputs, weights,
+//!    weight gradients, activations, activation gradients; Sec. III-D), which
+//!    lets the planner project footprints across mini-batch sizes without
+//!    re-profiling — [`memory::LayerMemory`].
+//!
+//! Layers are grouped into contiguous **blocks** (paper footnote 1: "a set of
+//! consecutive layers that are bundled together when they are computed,
+//! swapped, and their weights are being updated") — [`block::Block`] and
+//! [`block::BlockPartition`].
+//!
+//! Shapes stored in the graph are **per-sample** (no batch dimension); every
+//! cost query takes the mini-batch size as a parameter. This mirrors the
+//! paper's approach of profiling once and projecting across batch sizes.
+
+pub mod block;
+pub mod builder;
+pub mod graph;
+pub mod layer;
+pub mod memory;
+pub mod shape;
+
+pub use block::{Block, BlockCost, BlockPartition};
+pub use builder::GraphBuilder;
+pub use graph::{Layer, LayerId, ModelGraph};
+pub use layer::LayerKind;
+pub use memory::{LayerMemory, MemoryParams};
+pub use shape::Shape;
+
+/// FLOPs charged per multiply-accumulate. The paper counts "multiply and add"
+/// pairs; we expand each MAC to 2 floating-point operations so that our
+/// figures line up with vendor peak-FLOP specifications.
+pub const FLOPS_PER_MAC: f64 = 2.0;
+
+/// Bytes per element for the default (f32) training precision.
+pub const DTYPE_BYTES: u64 = 4;

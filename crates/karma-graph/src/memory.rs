@@ -1,0 +1,305 @@
+//! Per-variable memory accounting (paper Sec. III-D).
+//!
+//! The paper profiles each model once with PyTorch's `memory_stats()` and
+//! NVIDIA tooling, breaks usage down "per variable type, i.e. inputs,
+//! weights, weight gradients, activations, and activation gradients", and
+//! then *projects* footprints across mini-batch sizes without re-profiling.
+//! We reproduce exactly that decomposition analytically: weight-side terms
+//! are batch-invariant, activation-side terms scale linearly with batch, and
+//! a workspace term models cuDNN scratch / allocator slack.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::LayerKind;
+use crate::shape::Shape;
+use crate::DTYPE_BYTES;
+
+/// Knobs of the memory model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryParams {
+    /// Bytes per tensor element (4 for f32 training).
+    pub dtype_bytes: u64,
+    /// Bytes of optimizer state per parameter (0 = plain SGD, 4 = momentum,
+    /// 8 = Adam first+second moments), in addition to weight + gradient.
+    pub optimizer_bytes_per_param: u64,
+    /// Workspace charged as a fraction of a convolution's activation output
+    /// (models cuDNN algo scratch). Other layers get no workspace.
+    pub conv_workspace_frac: f64,
+    /// Multiplicative allocator slack (caching-allocator fragmentation).
+    pub allocator_slack: f64,
+    /// Multiplier on activation-side terms obtained by per-model offline
+    /// profiling — the reproduction's analogue of the paper's Sec. III-D
+    /// empirical calibration. A layer-output census undercounts frameworks
+    /// that also retain pre-activations, normalization statistics and
+    /// gradient staging buffers (multiplier > 1), and overcounts models
+    /// dominated by fused/in-place ops (multiplier < 1).
+    pub activation_overhead: f64,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams {
+            dtype_bytes: DTYPE_BYTES,
+            optimizer_bytes_per_param: 4, // SGD + momentum, the paper's setup
+            conv_workspace_frac: 0.25,
+            allocator_slack: 1.05,
+            activation_overhead: 1.0,
+        }
+    }
+}
+
+impl MemoryParams {
+    /// Plain-SGD, zero-slack parameters for exact-arithmetic unit tests.
+    pub fn exact() -> Self {
+        MemoryParams {
+            dtype_bytes: DTYPE_BYTES,
+            optimizer_bytes_per_param: 0,
+            conv_workspace_frac: 0.0,
+            allocator_slack: 1.0,
+            activation_overhead: 1.0,
+        }
+    }
+
+    /// Default parameters with a profiled per-model activation multiplier
+    /// (see [`MemoryParams::activation_overhead`]).
+    pub fn calibrated(activation_overhead: f64) -> Self {
+        MemoryParams {
+            activation_overhead,
+            ..MemoryParams::default()
+        }
+    }
+}
+
+/// Memory requirement of one layer at a given batch size, decomposed by
+/// variable type exactly as the paper's offline profiling step reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LayerMemory {
+    /// Trainable weights (batch-invariant).
+    pub weights: u64,
+    /// Weight gradients (batch-invariant).
+    pub weight_grads: u64,
+    /// Optimizer state (batch-invariant).
+    pub optimizer: u64,
+    /// Stored output activations (scales with batch; needed by backward).
+    pub activations: u64,
+    /// Activation gradients (scales with batch).
+    pub activation_grads: u64,
+    /// Scratch workspace while the layer executes (scales with batch).
+    pub workspace: u64,
+}
+
+impl LayerMemory {
+    /// Compute the decomposition for `kind` with per-sample `input`/`output`
+    /// shapes at mini-batch size `batch`.
+    pub fn of(
+        kind: &LayerKind,
+        input: &Shape,
+        output: &Shape,
+        batch: usize,
+        p: &MemoryParams,
+    ) -> Self {
+        let params = kind.params(input);
+        let act_elems = output.elements() * batch as u64;
+        let slack = |b: u64| (b as f64 * p.allocator_slack) as u64;
+        let act_slack = |b: u64| (b as f64 * p.allocator_slack * p.activation_overhead) as u64;
+        let workspace = match kind {
+            LayerKind::Conv2d { .. } | LayerKind::ConvTranspose2d { .. } => {
+                (act_elems as f64 * p.conv_workspace_frac) as u64 * p.dtype_bytes
+            }
+            // Attention keeps the (len × len) score matrix per head.
+            LayerKind::SelfAttention { heads, .. }
+            | LayerKind::TransformerBlock { heads, .. } => {
+                let len = input.seq_dims().map(|(l, _)| l as u64).unwrap_or(0);
+                len * len * *heads as u64 * batch as u64 * p.dtype_bytes
+            }
+            _ => 0,
+        };
+        LayerMemory {
+            weights: slack(params * p.dtype_bytes),
+            weight_grads: slack(params * p.dtype_bytes),
+            optimizer: slack(params * p.optimizer_bytes_per_param),
+            activations: act_slack(act_elems * p.dtype_bytes),
+            activation_grads: act_slack(act_elems * p.dtype_bytes),
+            workspace: act_slack(workspace),
+        }
+    }
+
+    /// Everything the layer ever touches (peak, both phases live).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.weights
+            + self.weight_grads
+            + self.optimizer
+            + self.activations
+            + self.activation_grads
+            + self.workspace
+    }
+
+    /// Bytes that must be resident to run the **forward** pass: weights plus
+    /// the output activation being produced (gradients don't exist yet).
+    #[inline]
+    pub fn forward_resident(&self) -> u64 {
+        self.weights + self.activations + self.workspace
+    }
+
+    /// Bytes that must be resident to run the **backward** pass: weights,
+    /// saved activations, activation gradients and weight gradients.
+    #[inline]
+    pub fn backward_resident(&self) -> u64 {
+        self.weights + self.weight_grads + self.activations + self.activation_grads
+            + self.workspace
+    }
+
+    /// Bytes moved when this layer's state is swapped between near and far
+    /// memory after the forward pass: the saved activations (weights ride
+    /// along per block; the planner accounts for them at block granularity).
+    #[inline]
+    pub fn swap_bytes_forward(&self) -> u64 {
+        self.activations
+    }
+
+    /// Batch-invariant bytes (model state replicated per device in data
+    /// parallelism; the term ZeRO partitions away).
+    #[inline]
+    pub fn model_state(&self) -> u64 {
+        self.weights + self.weight_grads + self.optimizer
+    }
+
+    /// Element-wise sum of two decompositions (block aggregation).
+    pub fn add(&self, o: &LayerMemory) -> LayerMemory {
+        LayerMemory {
+            weights: self.weights + o.weights,
+            weight_grads: self.weight_grads + o.weight_grads,
+            optimizer: self.optimizer + o.optimizer,
+            activations: self.activations + o.activations,
+            activation_grads: self.activation_grads + o.activation_grads,
+            workspace: self.workspace + o.workspace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> (LayerKind, Shape, Shape) {
+        let k = LayerKind::Conv2d {
+            in_ch: 64,
+            out_ch: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let s = Shape::chw(64, 56, 56);
+        (k.clone(), s.clone(), k.out_shape(&s, None))
+    }
+
+    #[test]
+    fn activations_scale_with_batch_weights_do_not() {
+        let (k, i, o) = conv();
+        let p = MemoryParams::exact();
+        let m1 = LayerMemory::of(&k, &i, &o, 1, &p);
+        let m8 = LayerMemory::of(&k, &i, &o, 8, &p);
+        assert_eq!(m8.activations, 8 * m1.activations);
+        assert_eq!(m8.weights, m1.weights);
+        assert_eq!(m8.weight_grads, m1.weight_grads);
+    }
+
+    #[test]
+    fn exact_decomposition_for_fc() {
+        let k = LayerKind::FullyConnected {
+            in_features: 10,
+            out_features: 4,
+        };
+        let i = Shape::vec(10);
+        let o = Shape::vec(4);
+        let m = LayerMemory::of(&k, &i, &o, 2, &MemoryParams::exact());
+        assert_eq!(m.weights, (10 * 4 + 4) * 4);
+        assert_eq!(m.weight_grads, m.weights);
+        assert_eq!(m.optimizer, 0);
+        assert_eq!(m.activations, 4 * 2 * 4);
+        assert_eq!(m.activation_grads, m.activations);
+        assert_eq!(m.workspace, 0);
+        assert_eq!(
+            m.total(),
+            m.weights + m.weight_grads + m.activations + m.activation_grads
+        );
+    }
+
+    #[test]
+    fn optimizer_state_counted_per_param() {
+        let k = LayerKind::FullyConnected {
+            in_features: 10,
+            out_features: 4,
+        };
+        let i = Shape::vec(10);
+        let o = Shape::vec(4);
+        let mut p = MemoryParams::exact();
+        p.optimizer_bytes_per_param = 8; // Adam
+        let m = LayerMemory::of(&k, &i, &o, 1, &p);
+        assert_eq!(m.optimizer, (10 * 4 + 4) * 8);
+    }
+
+    #[test]
+    fn conv_gets_workspace() {
+        let (k, i, o) = conv();
+        let mut p = MemoryParams::exact();
+        p.conv_workspace_frac = 0.5;
+        let m = LayerMemory::of(&k, &i, &o, 1, &p);
+        assert_eq!(m.workspace, (o.elements() as f64 * 0.5) as u64 * 4);
+    }
+
+    #[test]
+    fn attention_workspace_is_quadratic_in_sequence() {
+        let k = LayerKind::SelfAttention {
+            heads: 2,
+            d_model: 8,
+        };
+        let i = Shape::seq(16, 8);
+        let o = k.out_shape(&i, None);
+        let m = LayerMemory::of(&k, &i, &o, 3, &MemoryParams::exact());
+        assert_eq!(m.workspace, 16 * 16 * 2 * 3 * 4);
+    }
+
+    #[test]
+    fn resident_sets_are_ordered() {
+        let (k, i, o) = conv();
+        let m = LayerMemory::of(&k, &i, &o, 4, &MemoryParams::default());
+        assert!(m.forward_resident() <= m.backward_resident());
+        assert!(m.backward_resident() <= m.total());
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let (k, i, o) = conv();
+        let p = MemoryParams::exact();
+        let m = LayerMemory::of(&k, &i, &o, 2, &p);
+        let s = m.add(&m);
+        assert_eq!(s.total(), 2 * m.total());
+        assert_eq!(s.activations, 2 * m.activations);
+    }
+
+    #[test]
+    fn activation_overhead_scales_only_activation_terms() {
+        let (k, i, o) = conv();
+        let exact = LayerMemory::of(&k, &i, &o, 2, &MemoryParams::exact());
+        let mut p = MemoryParams::exact();
+        p.activation_overhead = 3.0;
+        let cal = LayerMemory::of(&k, &i, &o, 2, &p);
+        assert_eq!(cal.activations, 3 * exact.activations);
+        assert_eq!(cal.activation_grads, 3 * exact.activation_grads);
+        assert_eq!(cal.weights, exact.weights);
+        assert_eq!(cal.optimizer, exact.optimizer);
+    }
+
+    #[test]
+    fn allocator_slack_inflates_everything() {
+        let (k, i, o) = conv();
+        let exact = LayerMemory::of(&k, &i, &o, 2, &MemoryParams::exact());
+        let mut p = MemoryParams::exact();
+        p.allocator_slack = 2.0;
+        let slack = LayerMemory::of(&k, &i, &o, 2, &p);
+        assert_eq!(slack.activations, 2 * exact.activations);
+        assert_eq!(slack.weights, 2 * exact.weights);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-sample tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A per-sample tensor shape (the batch dimension is *not* stored; cost
+/// queries scale by batch explicitly, mirroring the paper's batch-size
+/// projection of profiled footprints).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Feature-map shape `C × H × W`.
+    pub fn chw(c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![c, h, w])
+    }
+
+    /// Flat feature vector of dimension `d`.
+    pub fn vec(d: usize) -> Self {
+        Shape(vec![d])
+    }
+
+    /// Sequence of `len` tokens with `d`-dimensional features.
+    pub fn seq(len: usize, d: usize) -> Self {
+        Shape(vec![len, d])
+    }
+
+    /// Scalar (e.g. a loss value).
+    pub fn scalar() -> Self {
+        Shape(vec![])
+    }
+
+    /// Number of elements per sample.
+    #[inline]
+    pub fn elements(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// Channel count for a CHW shape; `None` otherwise.
+    pub fn channels(&self) -> Option<usize> {
+        (self.0.len() == 3).then(|| self.0[0])
+    }
+
+    /// `(h, w)` for a CHW shape; `None` otherwise.
+    pub fn hw(&self) -> Option<(usize, usize)> {
+        (self.0.len() == 3).then(|| (self.0[1], self.0[2]))
+    }
+
+    /// `(len, d)` for a sequence shape; `None` otherwise.
+    pub fn seq_dims(&self) -> Option<(usize, usize)> {
+        (self.0.len() == 2).then(|| (self.0[0], self.0[1]))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Output spatial size of a convolution/pooling window:
+/// `floor((in + 2*pad - kernel) / stride) + 1`.
+#[inline]
+pub fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        input + 2 * pad >= kernel,
+        "window larger than padded input: in={input} k={kernel} pad={pad}"
+    );
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(Shape::chw(3, 224, 224).elements(), 3 * 224 * 224);
+        assert_eq!(Shape::vec(1000).elements(), 1000);
+        assert_eq!(Shape::seq(1024, 3072).elements(), 1024 * 3072);
+        assert_eq!(Shape::scalar().elements(), 1);
+    }
+
+    #[test]
+    fn conv_out_formula() {
+        // 224x224, 7x7 stride 2 pad 3 -> 112 (ResNet stem).
+        assert_eq!(conv_out(224, 7, 2, 3), 112);
+        // 3x3 stride 1 pad 1 preserves size.
+        assert_eq!(conv_out(56, 3, 1, 1), 56);
+        // 1x1 stride 1 preserves size.
+        assert_eq!(conv_out(56, 1, 1, 0), 56);
+        // 3x3 max-pool stride 2 pad 1 on 112 -> 56.
+        assert_eq!(conv_out(112, 3, 2, 1), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn conv_out_rejects_oversized_window() {
+        conv_out(2, 7, 1, 0);
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(Shape::chw(3, 224, 224).to_string(), "(3x224x224)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Shape::chw(64, 56, 56);
+        assert_eq!(s.channels(), Some(64));
+        assert_eq!(s.hw(), Some((56, 56)));
+        assert_eq!(s.seq_dims(), None);
+        let t = Shape::seq(128, 768);
+        assert_eq!(t.seq_dims(), Some((128, 768)));
+        assert_eq!(t.channels(), None);
+    }
+}

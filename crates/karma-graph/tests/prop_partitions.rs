@@ -1,0 +1,73 @@
+//! Property tests: block-partition invariants on randomized graphs.
+
+use karma_graph::{BlockPartition, GraphBuilder, MemoryParams, Shape};
+use proptest::prelude::*;
+
+fn chain(n: usize, ch: usize) -> karma_graph::ModelGraph {
+    let mut b = GraphBuilder::new("prop", Shape::chw(ch, 8, 8));
+    for _ in 0..n {
+        b.conv(ch, 3, 1, 1);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Any partition conserves the graph totals: FLOPs, params and every
+    /// memory component sum across blocks to the whole-model values
+    /// (constraints 9.1/9.2: complete and disjoint).
+    #[test]
+    fn partitions_conserve_totals(
+        convs in 2usize..12,
+        cuts in prop::collection::btree_set(1usize..12, 0..6),
+        batch in 1usize..9,
+    ) {
+        let g = chain(convs, 4);
+        let n = g.len();
+        let mut bounds: Vec<usize> = vec![0];
+        bounds.extend(cuts.into_iter().filter(|&c| c < n));
+        bounds.dedup();
+        let p = BlockPartition::new(bounds, n).unwrap();
+        let mem = MemoryParams::default();
+        let costs = p.costs(&g, batch, &mem);
+
+        let fwd: f64 = costs.iter().map(|c| c.forward_flops).sum();
+        prop_assert!((fwd - g.forward_flops(batch)).abs() < 1e-6 * fwd.max(1.0));
+        let params: u64 = costs.iter().map(|c| c.params).sum();
+        prop_assert_eq!(params, g.total_params());
+        let agg = g.memory(batch, &mem);
+        let act: u64 = costs.iter().map(|c| c.memory.activations).sum();
+        prop_assert_eq!(act, agg.activations);
+        let w: u64 = costs.iter().map(|c| c.memory.weights).sum();
+        prop_assert_eq!(w, agg.weights);
+    }
+
+    /// block_of is the inverse of the block ranges.
+    #[test]
+    fn block_of_inverts_ranges(
+        n in 2usize..40,
+        k in 1usize..10,
+    ) {
+        let p = BlockPartition::uniform(n, k);
+        for b in p.blocks() {
+            for l in b.layers.clone() {
+                prop_assert_eq!(p.block_of(l), b.index);
+            }
+        }
+    }
+
+    /// Memory decompositions scale: activation terms linearly with batch,
+    /// weight terms not at all — over arbitrary chains.
+    #[test]
+    fn memory_projection_law(convs in 1usize..10, scale in 2usize..6) {
+        let g = chain(convs, 4);
+        let mem = MemoryParams::exact();
+        let m1 = g.memory(1, &mem);
+        let mk = g.memory(scale, &mem);
+        prop_assert_eq!(mk.activations, m1.activations * scale as u64);
+        prop_assert_eq!(mk.activation_grads, m1.activation_grads * scale as u64);
+        prop_assert_eq!(mk.weights, m1.weights);
+        prop_assert_eq!(mk.optimizer, m1.optimizer);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cluster-level topology: many nodes over a system interconnect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinkSpec, NodeSpec};
+
+/// A homogeneous cluster of [`NodeSpec`]s joined by `system_link`
+/// (InfiniBand on ABCI). Total GPU count is `nodes * gpus_per_node`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Inter-node network link.
+    pub system_link: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// The ABCI supercomputer (paper Table II): 1,088 nodes × 4 V100s with
+    /// dual-rail EDR InfiniBand. `nodes` selects the allocation size.
+    pub fn abci(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        ClusterSpec {
+            node: NodeSpec::abci(),
+            nodes,
+            system_link: LinkSpec::infiniband_edr_x2(),
+        }
+    }
+
+    /// An ABCI allocation sized to provide exactly `gpus` GPUs.
+    pub fn abci_with_gpus(gpus: usize) -> Self {
+        let node = NodeSpec::abci();
+        let nodes = gpus.div_ceil(node.gpus_per_node).max(1);
+        ClusterSpec {
+            node,
+            nodes,
+            system_link: LinkSpec::infiniband_edr_x2(),
+        }
+    }
+
+    /// Total GPU count.
+    #[inline]
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.node.gpus_per_node
+    }
+
+    /// The slowest link a ring allreduce across all GPUs must traverse:
+    /// the system link if more than one node participates, else NVLink.
+    pub fn allreduce_bottleneck(&self) -> &LinkSpec {
+        if self.nodes > 1 {
+            &self.system_link
+        } else {
+            &self.node.peer_link
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abci_gpu_counts() {
+        assert_eq!(ClusterSpec::abci(512).total_gpus(), 2048);
+        assert_eq!(ClusterSpec::abci_with_gpus(2048).nodes, 512);
+        assert_eq!(ClusterSpec::abci_with_gpus(1).total_gpus(), 4);
+    }
+
+    #[test]
+    fn single_node_allreduce_uses_nvlink() {
+        let c = ClusterSpec::abci(1);
+        assert_eq!(c.allreduce_bottleneck().name, "NVLink");
+        let c = ClusterSpec::abci(2);
+        assert_eq!(c.allreduce_bottleneck().name, "IB-EDR-x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterSpec::abci(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! GPU ("near memory" device) specification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{gb_per_s, tflops, GIB};
+
+/// A discrete accelerator with dedicated ("near") memory.
+///
+/// The planner treats the device as a throughput machine: a peak FLOP rate
+/// derated by an achievable-efficiency factor (DL kernels do not reach peak),
+/// a memory capacity, and a local memory bandwidth that bounds swap staging
+/// (the `TNM` term in Eq. 4 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable name, e.g. `"V100-SXM2-16GB"`.
+    pub name: String,
+    /// Dedicated device memory in bytes.
+    pub memory_bytes: u64,
+    /// Fraction of `memory_bytes` usable for tensors. The remainder models
+    /// CUDA context, cuDNN workspaces and allocator fragmentation that the
+    /// paper measures with NVIDIA profiling tools (Sec. III-D).
+    pub usable_fraction: f64,
+    /// Peak single-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Average achievable fraction of peak for DL kernels (GEMM-heavy ~0.55,
+    /// memory-bound layers much lower; this is the *aggregate* derating used
+    /// when a finer per-layer efficiency is not supplied).
+    pub efficiency: f64,
+    /// Device (near) memory bandwidth in bytes/s, bounding on-device staging.
+    pub mem_bandwidth: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100 SXM2 16 GiB as deployed in ABCI (paper Table II).
+    ///
+    /// The paper's device-query metadata lists 14.7 TFLOPS; HBM2 bandwidth is
+    /// 900 GB/s. The default efficiency of 0.55 reproduces the paper's
+    /// in-core ResNet-50 throughput ballpark on the simulator substrate.
+    pub fn v100_16gb() -> Self {
+        GpuSpec {
+            name: "V100-SXM2-16GB".to_owned(),
+            memory_bytes: 16 * GIB,
+            usable_fraction: 0.92,
+            peak_flops: tflops(14.7),
+            efficiency: 0.55,
+            mem_bandwidth: gb_per_s(900),
+        }
+    }
+
+    /// V100 with 32 GiB of HBM2 (the larger SXM2 variant mentioned in the
+    /// paper's discussion of Megatron-LM minimum GPU counts).
+    pub fn v100_32gb() -> Self {
+        GpuSpec {
+            name: "V100-SXM2-32GB".to_owned(),
+            memory_bytes: 32 * GIB,
+            ..Self::v100_16gb()
+        }
+    }
+
+    /// A deliberately tiny device used by unit tests so that out-of-core
+    /// behaviour triggers at laptop scale.
+    pub fn toy(memory_bytes: u64, flops: f64) -> Self {
+        GpuSpec {
+            name: "toy".to_owned(),
+            memory_bytes,
+            usable_fraction: 1.0,
+            peak_flops: flops,
+            efficiency: 1.0,
+            mem_bandwidth: flops, // 1 B/s per FLOP/s: irrelevant for toys
+        }
+    }
+
+    /// Bytes of device memory available to tensor data (`Capacity` in the
+    /// paper's constraint 9.4).
+    #[inline]
+    pub fn usable_bytes(&self) -> u64 {
+        (self.memory_bytes as f64 * self.usable_fraction) as u64
+    }
+
+    /// Effective sustained FLOP/s after derating.
+    #[inline]
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.efficiency
+    }
+
+    /// Time to execute `flops` floating point operations, in seconds, under
+    /// the aggregate efficiency model.
+    #[inline]
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops / self.effective_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_table_ii() {
+        let g = GpuSpec::v100_16gb();
+        assert_eq!(g.memory_bytes, 16 * GIB);
+        assert!((g.peak_flops - 14.7e12).abs() < 1.0);
+        assert!(g.usable_bytes() < g.memory_bytes);
+        assert!(g.usable_bytes() > 14 * GIB);
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let g = GpuSpec::v100_16gb();
+        let t1 = g.compute_time(1.0e12);
+        let t2 = g.compute_time(2.0e12);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toy_device_is_fully_usable() {
+        let g = GpuSpec::toy(1000, 10.0);
+        assert_eq!(g.usable_bytes(), 1000);
+        assert_eq!(g.effective_flops(), 10.0);
+    }
+
+    #[test]
+    fn v100_32gb_doubles_capacity_only() {
+        let a = GpuSpec::v100_16gb();
+        let b = GpuSpec::v100_32gb();
+        assert_eq!(b.memory_bytes, 2 * a.memory_bytes);
+        assert_eq!(b.peak_flops, a.peak_flops);
+    }
+}

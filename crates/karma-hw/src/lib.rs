@@ -1,0 +1,53 @@
+//! Hardware descriptions for the KARMA reproduction.
+//!
+//! The KARMA paper (Wahib et al., SC '20) evaluates on the ABCI supercomputer
+//! (Table II): NVIDIA V100 SXM2 GPUs (16 GiB), PCIe Gen3 x16 host links,
+//! NVLink GPU-GPU links and dual-rail EDR InfiniBand between nodes. This crate
+//! captures those quantities as plain data types consumed by the simulator
+//! (`karma-sim`), the planner (`karma-core`) and the distributed cost models
+//! (`karma-dist`).
+//!
+//! All bandwidths are stored in **bytes per second** and all capacities in
+//! **bytes** so that downstream arithmetic never mixes units. Helper
+//! constructors accept the more conventional GB/s / GiB figures.
+
+pub mod cluster;
+pub mod gpu;
+pub mod link;
+pub mod node;
+
+pub use cluster::ClusterSpec;
+pub use gpu::GpuSpec;
+pub use link::LinkSpec;
+pub use node::{CpuSpec, NodeSpec};
+
+/// Bytes in one KiB.
+pub const KIB: u64 = 1024;
+/// Bytes in one MiB.
+pub const MIB: u64 = 1024 * KIB;
+/// Bytes in one GiB.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Convert gigabytes-per-second (decimal, as vendors quote) to bytes/s.
+#[inline]
+pub const fn gb_per_s(gb: u64) -> f64 {
+    (gb * 1_000_000_000) as f64
+}
+
+/// Convert teraflops to flop/s.
+#[inline]
+pub const fn tflops(tf: f64) -> f64 {
+    tf * 1.0e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        assert_eq!(GIB, 1024 * 1024 * 1024);
+        assert_eq!(gb_per_s(16), 16.0e9);
+        assert_eq!(tflops(14.7), 14.7e12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Interconnect ("far memory" ↔ "near memory" and inter-node) links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gb_per_s;
+
+/// A bidirectional point-to-point link with an α–β cost model.
+///
+/// Transfer time of `n` bytes is `latency + n / bandwidth`. The paper assumes
+/// the CPU↔GPU interconnect is bidirectional (PCIe or NVLink), which lets
+/// swap-out overlap swap-in; the simulator models each direction as an
+/// independent lane of this bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Per-direction bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+}
+
+impl LinkSpec {
+    /// PCI-Express Gen3 x16: 16 GB/s per direction (paper Table II).
+    pub fn pcie_gen3_x16() -> Self {
+        LinkSpec {
+            name: "PCIe-Gen3-x16".to_owned(),
+            bandwidth: gb_per_s(16),
+            latency: 5.0e-6,
+        }
+    }
+
+    /// NVLink (V100 generation): 50 GB/s per direction (paper Table II).
+    pub fn nvlink() -> Self {
+        LinkSpec {
+            name: "NVLink".to_owned(),
+            bandwidth: gb_per_s(50),
+            latency: 2.0e-6,
+        }
+    }
+
+    /// Dual-rail 100 Gbps EDR InfiniBand: 12.5 GB/s aggregate (Table II).
+    pub fn infiniband_edr_x2() -> Self {
+        LinkSpec {
+            name: "IB-EDR-x2".to_owned(),
+            bandwidth: gb_per_s(12) + gb_per_s(1) / 2.0,
+            latency: 1.0e-6,
+        }
+    }
+
+    /// A link so fast it never bottlenecks — useful for isolating compute
+    /// effects in tests and ablations.
+    pub fn infinite() -> Self {
+        LinkSpec {
+            name: "infinite".to_owned(),
+            bandwidth: f64::INFINITY,
+            latency: 0.0,
+        }
+    }
+
+    /// A toy link with the given bandwidth (bytes/s) and zero latency.
+    pub fn toy(bandwidth: f64) -> Self {
+        LinkSpec {
+            name: "toy-link".to_owned(),
+            bandwidth,
+            latency: 0.0,
+        }
+    }
+
+    /// α–β transfer time for `bytes` over this link, in seconds.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Effective achieved bandwidth for a message of `bytes` (bytes/s),
+    /// accounting for latency amortization.
+    #[inline]
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_matches_table_ii() {
+        let l = LinkSpec::pcie_gen3_x16();
+        assert_eq!(l.bandwidth, 16.0e9);
+    }
+
+    #[test]
+    fn transfer_time_is_alpha_beta() {
+        let l = LinkSpec::toy(100.0);
+        assert_eq!(l.transfer_time(0), 0.0);
+        assert!((l.transfer_time(200) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak_for_small_messages() {
+        let l = LinkSpec::pcie_gen3_x16();
+        assert!(l.effective_bandwidth(4 * 1024) < l.bandwidth);
+        // Large messages amortize latency.
+        let big = 1 << 30;
+        assert!(l.effective_bandwidth(big) > 0.99 * l.bandwidth);
+    }
+
+    #[test]
+    fn infinite_link_is_instant() {
+        let l = LinkSpec::infinite();
+        assert_eq!(l.transfer_time(u64::MAX), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Node-level hardware: CPU ("far memory" host) and the node assembly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{gb_per_s, tflops, GpuSpec, LinkSpec, GIB};
+
+/// Host CPU specification: the "far memory" side of the swap pipeline and,
+/// for data-parallel KARMA, the place where weight updates execute
+/// (Sec. III-G stage 5 of the pipeline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Host DRAM capacity in bytes (far memory).
+    pub memory_bytes: u64,
+    /// Host DRAM bandwidth in bytes/s (the `TFM` term of Eq. 4).
+    pub mem_bandwidth: f64,
+    /// Sustained host FLOP/s available for optimizer (weight update) kernels.
+    /// Updates are streaming AXPY-like kernels, so this is bandwidth-derived
+    /// in practice; we expose it directly so the cost model stays explicit.
+    pub update_flops: f64,
+}
+
+impl CpuSpec {
+    /// Dual Intel Xeon Gold 6148 with 384 GiB (ABCI compute node, Table II
+    /// lists 32 GiB × 6 per socket × 2).
+    pub fn xeon_gold_6148_x2() -> Self {
+        CpuSpec {
+            name: "Xeon-Gold-6148-x2".to_owned(),
+            memory_bytes: 384 * GIB,
+            mem_bandwidth: gb_per_s(200),
+            update_flops: tflops(0.6),
+        }
+    }
+
+    /// A toy host with the given update throughput; infinite memory.
+    pub fn toy(update_flops: f64) -> Self {
+        CpuSpec {
+            name: "toy-cpu".to_owned(),
+            memory_bytes: u64::MAX,
+            mem_bandwidth: f64::INFINITY,
+            update_flops,
+        }
+    }
+
+    /// Seconds to apply an SGD-style update to `params` parameters.
+    ///
+    /// Plain SGD costs 2 FLOPs per parameter (`w -= lr * g`); momentum ~5,
+    /// Adam ~12. `flops_per_param` selects the optimizer intensity.
+    #[inline]
+    pub fn update_time(&self, params: u64, flops_per_param: f64) -> f64 {
+        params as f64 * flops_per_param / self.update_flops
+    }
+}
+
+/// A compute node: one host plus `gpus_per_node` identical accelerators
+/// connected by `host_link` (PCIe) and `peer_link` (NVLink).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Host CPU / far-memory description.
+    pub cpu: CpuSpec,
+    /// Accelerator description (all GPUs in a node are identical).
+    pub gpu: GpuSpec,
+    /// Number of GPUs in the node.
+    pub gpus_per_node: usize,
+    /// CPU↔GPU link (swap path).
+    pub host_link: LinkSpec,
+    /// GPU↔GPU link within the node.
+    pub peer_link: LinkSpec,
+}
+
+impl NodeSpec {
+    /// An ABCI compute node: 4× V100 SXM2 16 GiB, PCIe Gen3 x16 to host,
+    /// NVLink between GPUs (paper Table II).
+    pub fn abci() -> Self {
+        NodeSpec {
+            cpu: CpuSpec::xeon_gold_6148_x2(),
+            gpu: GpuSpec::v100_16gb(),
+            gpus_per_node: 4,
+            host_link: LinkSpec::pcie_gen3_x16(),
+            peer_link: LinkSpec::nvlink(),
+        }
+    }
+
+    /// A single-GPU toy node for tests.
+    pub fn toy(gpu: GpuSpec, host_link: LinkSpec) -> Self {
+        NodeSpec {
+            cpu: CpuSpec::toy(1.0e9),
+            gpu,
+            gpus_per_node: 1,
+            host_link,
+            peer_link: LinkSpec::infinite(),
+        }
+    }
+
+    /// The swap-in throughput bound of Eq. 4:
+    /// `Tswap-in = min { TFM, TNM, TIC }`.
+    pub fn swap_throughput(&self) -> f64 {
+        self.cpu
+            .mem_bandwidth
+            .min(self.gpu.mem_bandwidth)
+            .min(self.host_link.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abci_node_has_four_v100s() {
+        let n = NodeSpec::abci();
+        assert_eq!(n.gpus_per_node, 4);
+        assert_eq!(n.gpu.memory_bytes, 16 * GIB);
+    }
+
+    #[test]
+    fn swap_throughput_is_min_of_three() {
+        // On ABCI the PCIe link is the bottleneck.
+        let n = NodeSpec::abci();
+        assert_eq!(n.swap_throughput(), n.host_link.bandwidth);
+
+        // With an infinite link the host DRAM becomes the bound.
+        let mut fast = n.clone();
+        fast.host_link = LinkSpec::infinite();
+        assert_eq!(fast.swap_throughput(), fast.cpu.mem_bandwidth);
+    }
+
+    #[test]
+    fn sgd_update_time_counts_two_flops_per_param() {
+        let c = CpuSpec::toy(100.0);
+        assert!((c.update_time(50, 2.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Collective-communication cost models for the KARMA reproduction.
+//!
+//! The paper's distributed experiments rest on two communication patterns:
+//!
+//! * a plain synchronous **AllReduce** of the full gradient (what the
+//!   original Megatron-LM hybrid uses once per iteration), and
+//! * KARMA's **phased gradient exchange** (Sec. III-G stage 4): gradients are
+//!   exchanged block-by-block as blocks finish their backward pass, adopting
+//!   the layer-grouping model of Shi et al. (MG-WFBP, paper ref \[36\]), so
+//!   communication overlaps the remaining backward computation and the
+//!   CPU-side weight updates.
+//!
+//! NCCL/MPI on InfiniBand is substituted by α–β analytic models over
+//! [`karma_hw::LinkSpec`]s — the paper's own scaling analysis is expressible
+//! entirely in these terms, and `karma-runtime` provides a *real*
+//! shared-memory allreduce for execution-level validation.
+
+pub mod allreduce;
+pub mod phased;
+
+pub use allreduce::{AllReduceAlgo, AllReduceModel};
+pub use phased::{ExchangeGroup, PhasedExchange};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_hw::ClusterSpec;
+
+    #[test]
+    fn public_types_compose() {
+        let cluster = ClusterSpec::abci(2);
+        let m = AllReduceModel::new(AllReduceAlgo::Ring, &cluster);
+        assert!(m.time(1 << 20) > 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Phased (grouped) gradient exchange — paper Sec. III-G stage 4.
+//!
+//! Instead of one AllReduce over the entire gradient at the end of backward,
+//! KARMA exchanges gradients **by groups of blocks**: a block's gradients
+//! enter the exchange as soon as its backward pass (and swap-out to the
+//! host) completes, overlapping communication with the rest of the backward
+//! phase. The grouping policy follows Shi et al.'s merged-gradient WFBP
+//! (paper ref \[36\]): merge adjacent small tensors until the α-cost of an
+//! extra message outweighs the β-cost of delaying the merge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::allreduce::AllReduceModel;
+
+/// A contiguous group of blocks whose gradients are exchanged together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExchangeGroup {
+    /// Block indices in the group (contiguous, in backward completion order).
+    pub blocks: Vec<usize>,
+    /// Total gradient bytes exchanged for the group.
+    pub bytes: u64,
+}
+
+/// The phased-exchange schedule for one training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedExchange {
+    /// Groups in launch order (backward completion order: last block first).
+    pub groups: Vec<ExchangeGroup>,
+}
+
+impl PhasedExchange {
+    /// Greedy MG-WFBP-style grouping. `grad_bytes[i]` is block `i`'s
+    /// gradient size; groups are formed over blocks in *backward* order
+    /// (block b-1 … 0 — the paper numbers blocks from the front, and the
+    /// backward phase finishes the last block first).
+    ///
+    /// A new message is opened when the accumulated group already amortizes
+    /// the per-message latency: merging is beneficial while
+    /// `α > β·(merge delay)`, which reduces to a byte threshold
+    /// `merge_threshold = α · bandwidth` on the bottleneck link.
+    pub fn plan(grad_bytes: &[u64], model: &AllReduceModel) -> Self {
+        // Threshold: bytes whose transfer time equals one message latency.
+        // Below it, an extra message costs more than merging.
+        let t_small = model.time(1);
+        let t_ref = model.time(1 << 20);
+        // Effective per-message fixed cost and per-byte cost from two probes.
+        let beta = (t_ref - t_small) / ((1 << 20) - 1) as f64;
+        let threshold = if beta > 0.0 { (t_small / beta) as u64 } else { 0 };
+
+        let mut groups: Vec<ExchangeGroup> = Vec::new();
+        let mut current = ExchangeGroup {
+            blocks: Vec::new(),
+            bytes: 0,
+        };
+        for i in (0..grad_bytes.len()).rev() {
+            current.blocks.push(i);
+            current.bytes += grad_bytes[i];
+            if current.bytes >= threshold {
+                groups.push(std::mem::replace(
+                    &mut current,
+                    ExchangeGroup {
+                        blocks: Vec::new(),
+                        bytes: 0,
+                    },
+                ));
+            }
+        }
+        if !current.blocks.is_empty() {
+            // Tail too small to amortize a message: merge into the last
+            // group if one exists.
+            if let Some(last) = groups.last_mut() {
+                last.blocks.extend(current.blocks);
+                last.bytes += current.bytes;
+            } else {
+                groups.push(current);
+            }
+        }
+        PhasedExchange { groups }
+    }
+
+    /// One group per block: the fully eager (un-merged) schedule.
+    pub fn per_block(grad_bytes: &[u64]) -> Self {
+        PhasedExchange {
+            groups: (0..grad_bytes.len())
+                .rev()
+                .map(|i| ExchangeGroup {
+                    blocks: vec![i],
+                    bytes: grad_bytes[i],
+                })
+                .collect(),
+        }
+    }
+
+    /// Single bulk exchange of everything (the non-phased baseline).
+    pub fn bulk(grad_bytes: &[u64]) -> Self {
+        PhasedExchange {
+            groups: vec![ExchangeGroup {
+                blocks: (0..grad_bytes.len()).rev().collect(),
+                bytes: grad_bytes.iter().sum(),
+            }],
+        }
+    }
+
+    /// Total bytes across groups.
+    pub fn total_bytes(&self) -> u64 {
+        self.groups.iter().map(|g| g.bytes).sum()
+    }
+
+    /// Sum of standalone group exchange times (no overlap) — an upper bound
+    /// on communication time, and the serial cost if nothing overlaps.
+    pub fn serial_time(&self, model: &AllReduceModel) -> f64 {
+        self.groups.iter().map(|g| model.time(g.bytes)).sum()
+    }
+
+    /// Pipelined exchange finish time, given per-group "ready" times (when
+    /// the group's gradients finished computing). Exchanges are serialized
+    /// on the network but may start as soon as their group is ready.
+    pub fn pipelined_finish(&self, ready: &[f64], model: &AllReduceModel) -> f64 {
+        assert_eq!(ready.len(), self.groups.len(), "one ready time per group");
+        let mut t = 0.0f64;
+        for (g, &r) in self.groups.iter().zip(ready) {
+            t = t.max(r) + model.time(g.bytes);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::AllReduceAlgo;
+    use karma_hw::ClusterSpec;
+
+    fn model() -> AllReduceModel {
+        AllReduceModel::new(AllReduceAlgo::Ring, &ClusterSpec::abci(32))
+    }
+
+    #[test]
+    fn grouping_preserves_total_bytes_and_order() {
+        let grads = vec![10 << 20, 5 << 20, 80 << 20, 1 << 20, 200 << 20];
+        let m = model();
+        for plan in [
+            PhasedExchange::plan(&grads, &m),
+            PhasedExchange::per_block(&grads),
+            PhasedExchange::bulk(&grads),
+        ] {
+            assert_eq!(plan.total_bytes(), grads.iter().sum::<u64>());
+            // Backward order: flattened block list is strictly decreasing.
+            let flat: Vec<usize> = plan.groups.iter().flat_map(|g| g.blocks.clone()).collect();
+            let mut sorted = flat.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(flat, sorted);
+            // Complete and disjoint.
+            let mut seen = flat;
+            seen.sort_unstable();
+            assert_eq!(seen, (0..grads.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tiny_gradients_get_merged() {
+        // 1 KiB blocks: far below the latency-amortization threshold.
+        let grads = vec![1024u64; 16];
+        let plan = PhasedExchange::plan(&grads, &model());
+        assert!(
+            plan.groups.len() < 16,
+            "expected merging, got {} groups",
+            plan.groups.len()
+        );
+    }
+
+    #[test]
+    fn huge_gradients_stay_separate() {
+        let grads = vec![512 << 20; 4];
+        let plan = PhasedExchange::plan(&grads, &model());
+        assert_eq!(plan.groups.len(), 4);
+    }
+
+    #[test]
+    fn phased_beats_bulk_when_overlapped() {
+        // Three equal groups becoming ready at staggered times: the phased
+        // schedule hides two exchanges inside the compute, the bulk one
+        // cannot start until everything is ready.
+        let grads = vec![100 << 20; 3];
+        let m = model();
+        let phased = PhasedExchange::per_block(&grads);
+        let bulk = PhasedExchange::bulk(&grads);
+        let t_one = m.time(grads[0]);
+        let ready = vec![0.0, t_one, 2.0 * t_one];
+        let phased_finish = phased.pipelined_finish(&ready, &m);
+        let bulk_finish = bulk.pipelined_finish(&[2.0 * t_one], &m);
+        assert!(
+            phased_finish < bulk_finish,
+            "{phased_finish} !< {bulk_finish}"
+        );
+    }
+
+    #[test]
+    fn serial_time_upper_bounds_pipelined() {
+        let grads = vec![32 << 20, 64 << 20, 16 << 20];
+        let m = model();
+        let plan = PhasedExchange::per_block(&grads);
+        let ready = vec![0.0; plan.groups.len()];
+        assert!(plan.pipelined_finish(&ready, &m) <= plan.serial_time(&m) + 1e-12);
+    }
+
+    #[test]
+    fn empty_gradient_list_yields_empty_plan() {
+        let plan = PhasedExchange::plan(&[], &model());
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,442 @@
+//! The out-of-core executor: real training steps under a near-memory budget.
+
+use karma_tensor::layers::ParamGrads;
+use karma_tensor::{Gradients, Sequential, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::store::{FarMemory, NearMemory};
+
+/// Per-block activation policy (the executable analogue of the planner's
+/// swap / recompute / resident decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockPolicy {
+    /// Keep interior activations in near memory through the iteration.
+    Resident,
+    /// Move interior activations to far memory after the block's forward,
+    /// fetch them back for its backward.
+    Swap,
+    /// Drop interior activations after the block's forward, re-forward the
+    /// block from its input boundary during backward.
+    Recompute,
+}
+
+/// Execution accounting for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OocStats {
+    /// Bytes moved device→host.
+    pub swapped_out_bytes: usize,
+    /// Bytes moved host→device.
+    pub swapped_in_bytes: usize,
+    /// Layers re-forwarded by recompute.
+    pub recomputed_layers: usize,
+    /// Near-memory high-water mark (bytes).
+    pub peak_near_bytes: usize,
+}
+
+/// Runs real training steps with per-block out-of-core policies.
+///
+/// Block `b` covers layers `[boundaries[b], boundaries[b+1])`. The *input
+/// boundary* activation of every block (and the final logits) always stays
+/// in near memory — these are the checkpoints recompute restarts from and
+/// the data dependencies between adjacent blocks. Weights stay resident
+/// (single-GPU KARMA semantics; the distributed pipeline streams weights,
+/// which is modelled in `karma-dist` and exercised here only through
+/// gradients).
+#[derive(Debug, Clone)]
+pub struct OocExecutor {
+    boundaries: Vec<usize>,
+    policy: Vec<BlockPolicy>,
+    budget: usize,
+    n_layers: usize,
+}
+
+impl OocExecutor {
+    /// Build an executor over block `boundaries` (start layer of each
+    /// block, first entry 0) with one policy per block and a near-memory
+    /// byte `budget` for activations.
+    pub fn new(
+        boundaries: Vec<usize>,
+        policy: Vec<BlockPolicy>,
+        budget: usize,
+        n_layers: usize,
+    ) -> Self {
+        assert!(!boundaries.is_empty() && boundaries[0] == 0);
+        assert_eq!(boundaries.len(), policy.len(), "one policy per block");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must increase"
+        );
+        assert!(*boundaries.last().unwrap() < n_layers);
+        OocExecutor {
+            boundaries,
+            policy,
+            budget,
+            n_layers,
+        }
+    }
+
+    /// An in-core executor (one resident block) with an effectively
+    /// unlimited budget — the reference configuration.
+    pub fn in_core(n_layers: usize) -> Self {
+        OocExecutor::new(
+            vec![0],
+            vec![BlockPolicy::Resident],
+            usize::MAX / 2,
+            n_layers,
+        )
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Block policies.
+    pub fn policies(&self) -> &[BlockPolicy] {
+        &self.policy
+    }
+
+    fn block_range(&self, b: usize) -> (usize, usize) {
+        let start = self.boundaries[b];
+        let end = self
+            .boundaries
+            .get(b + 1)
+            .copied()
+            .unwrap_or(self.n_layers);
+        (start, end)
+    }
+
+    /// One full training step: forward (with policy-driven eviction),
+    /// loss, block-wise backward (with swap-in / recompute), SGD update.
+    pub fn train_step(
+        &self,
+        net: &mut Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+    ) -> (f32, OocStats) {
+        let (loss, grads, stats) = self.grad_step(net, x, labels, |_b, _g| {});
+        net.apply(&grads, lr);
+        (loss, stats)
+    }
+
+    /// Compute gradients without updating, invoking `on_block(b, grads)`
+    /// as each block's backward completes (back to front) — the hook the
+    /// phased gradient exchange plugs into. `grads` covers the *layers of
+    /// block b* and may be modified in place (e.g. replaced by the
+    /// all-reduced average).
+    pub fn grad_step(
+        &self,
+        net: &Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        mut on_block: impl FnMut(usize, &mut [ParamGrads]),
+    ) -> (f32, Gradients, OocStats) {
+        assert_eq!(net.len(), self.n_layers, "executor/net layer mismatch");
+        let mut near = NearMemory::new(self.budget);
+        let mut far = FarMemory::new();
+        let mut stats = OocStats::default();
+
+        // ---- forward ----
+        near.put(0, x.clone());
+        for b in 0..self.n_blocks() {
+            let (start, end) = self.block_range(b);
+            for i in start..end {
+                let y = net.layers[i].forward(near.get(i));
+                near.put(i + 1, y);
+            }
+            match self.policy[b] {
+                BlockPolicy::Resident => {}
+                BlockPolicy::Swap => {
+                    for i in start + 1..end {
+                        let t = near.take(i);
+                        stats.swapped_out_bytes += t.bytes();
+                        far.swap_out(i, t);
+                    }
+                }
+                BlockPolicy::Recompute => {
+                    for i in start + 1..end {
+                        drop(near.take(i));
+                    }
+                }
+            }
+        }
+
+        // ---- loss ----
+        let logits = near.get(self.n_layers).clone();
+        let (loss, mut dy) = Sequential::softmax_xent(&logits, labels);
+        drop(near.take(self.n_layers));
+
+        // ---- backward, block by block ----
+        let mut per_layer = vec![ParamGrads::default(); self.n_layers];
+        for b in (0..self.n_blocks()).rev() {
+            let (start, end) = self.block_range(b);
+            match self.policy[b] {
+                BlockPolicy::Resident => {}
+                BlockPolicy::Swap => {
+                    for i in start + 1..end {
+                        let t = far.swap_in(i);
+                        stats.swapped_in_bytes += t.bytes();
+                        near.put(i, t);
+                    }
+                }
+                BlockPolicy::Recompute => {
+                    // Re-forward from the block's input boundary.
+                    for i in start..end - 1 {
+                        let y = net.layers[i].forward(near.get(i));
+                        near.put(i + 1, y);
+                        stats.recomputed_layers += 1;
+                    }
+                }
+            }
+            for i in (start..end).rev() {
+                let (dx, g) = net.layers[i].backward(near.get(i), &dy);
+                per_layer[i] = g;
+                dy = dx;
+                drop(near.take(i));
+            }
+            on_block(b, &mut per_layer[start..end]);
+        }
+
+        stats.peak_near_bytes = near.peak();
+        (loss, Gradients { per_layer }, stats)
+    }
+
+    /// Capacity-based automatic policy: measure per-activation bytes with
+    /// one dry forward, keep the longest suffix of blocks resident that
+    /// fits in `budget` (reserving the largest block's interior as working
+    /// space), and mark the rest `Swap` (or `Recompute` when
+    /// `recompute_far` is set).
+    pub fn auto(
+        net: &Sequential,
+        x: &Tensor,
+        boundaries: Vec<usize>,
+        budget: usize,
+        recompute_far: bool,
+    ) -> Self {
+        let n_layers = net.len();
+        let acts = net.forward_all(x);
+        let sizes: Vec<usize> = acts.iter().map(Tensor::bytes).collect();
+        let nb = boundaries.len();
+        let interior = |b: usize| -> usize {
+            let start = boundaries[b];
+            let end = boundaries.get(b + 1).copied().unwrap_or(n_layers);
+            (start + 1..end).map(|i| sizes[i]).sum()
+        };
+        // Always-resident bytes: every block's input boundary + the input
+        // + the logits, plus the largest interior as working space.
+        let bounds_bytes: usize = boundaries.iter().map(|&s| sizes[s]).sum::<usize>()
+            + sizes[n_layers];
+        let max_interior = (0..nb).map(interior).max().unwrap_or(0);
+        let reserve = bounds_bytes + max_interior;
+        let mut policy = vec![
+            if recompute_far {
+                BlockPolicy::Recompute
+            } else {
+                BlockPolicy::Swap
+            };
+            nb
+        ];
+        let mut acc = 0usize;
+        for b in (0..nb).rev() {
+            acc += interior(b);
+            if reserve + acc > budget {
+                break;
+            }
+            policy[b] = BlockPolicy::Resident;
+        }
+        OocExecutor::new(boundaries, policy, budget, n_layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_tensor::{small_cnn, SyntheticDataset};
+
+    fn setup() -> (Sequential, Tensor, Vec<usize>) {
+        let data = SyntheticDataset::classification(32, 1, 16, 4, 21);
+        let net = small_cnn(4, 11);
+        let (x, y) = data.batch(0, 16);
+        (net, x, y)
+    }
+
+    /// In-core reference snapshot after `steps` steps.
+    fn reference(steps: usize) -> Vec<f32> {
+        let (mut net, x, y) = setup();
+        for _ in 0..steps {
+            net.train_step(&x, &y, 0.05);
+        }
+        net.snapshot()
+    }
+
+    #[test]
+    fn swap_execution_is_bit_identical_to_in_core() {
+        let (mut net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let mut stats = OocStats::default();
+        for _ in 0..3 {
+            let (_, s) = exec.train_step(&mut net, &x, &y, 0.05);
+            stats = s;
+        }
+        assert_eq!(net.snapshot(), reference(3), "weights must match bitwise");
+        assert!(stats.swapped_out_bytes > 0);
+        assert_eq!(stats.swapped_out_bytes, stats.swapped_in_bytes);
+    }
+
+    #[test]
+    fn recompute_execution_is_bit_identical_to_in_core() {
+        let (mut net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Recompute,
+                BlockPolicy::Recompute,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let mut total_recomputed = 0;
+        for _ in 0..3 {
+            let (_, s) = exec.train_step(&mut net, &x, &y, 0.05);
+            total_recomputed += s.recomputed_layers;
+        }
+        assert_eq!(net.snapshot(), reference(3));
+        assert!(total_recomputed > 0);
+    }
+
+    #[test]
+    fn mixed_policies_match_too() {
+        let (mut net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 2, 4, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        );
+        for _ in 0..2 {
+            exec.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(net.snapshot(), reference(2));
+    }
+
+    #[test]
+    fn ooc_peaks_below_in_core_peak() {
+        let (net, x, y) = setup();
+        let in_core = OocExecutor::in_core(net.len());
+        let (_, _, s_ic) = in_core.grad_step(&net, &x, &y, |_, _| {});
+        let ooc = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Swap],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let (_, _, s_ooc) = ooc.grad_step(&net, &x, &y, |_, _| {});
+        assert!(
+            s_ooc.peak_near_bytes < s_ic.peak_near_bytes,
+            "ooc {} !< in-core {}",
+            s_ooc.peak_near_bytes,
+            s_ic.peak_near_bytes
+        );
+    }
+
+    #[test]
+    fn budget_is_enforced_for_real() {
+        // A budget below the in-core peak but above the OOC working set:
+        // the OOC executor runs; trying to keep everything resident panics.
+        let (net, x, y) = setup();
+        let in_core = OocExecutor::in_core(net.len());
+        let (_, _, s_ic) = in_core.grad_step(&net, &x, &y, |_, _| {});
+        let budget = s_ic.peak_near_bytes * 2 / 3;
+        let ooc = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Swap],
+            budget,
+            net.len(),
+        );
+        let (_, _, s) = ooc.grad_step(&net, &x, &y, |_, _| {});
+        assert!(s.peak_near_bytes <= budget);
+
+        let resident = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            budget,
+            net.len(),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            resident.grad_step(&net, &x, &y, |_, _| {});
+        }));
+        assert!(result.is_err(), "resident beyond budget must OOM");
+    }
+
+    #[test]
+    fn auto_policy_respects_budget_and_trains() {
+        let (mut net, x, y) = setup();
+        let in_core = OocExecutor::in_core(net.len());
+        let (_, _, s_ic) = in_core.grad_step(&net, &x, &y, |_, _| {});
+        let budget = s_ic.peak_near_bytes * 3 / 4;
+        let exec = OocExecutor::auto(&net, &x, vec![0, 2, 4, 6], budget, false);
+        assert!(exec.policies().contains(&BlockPolicy::Swap));
+        let (_, s) = exec.train_step(&mut net, &x, &y, 0.05);
+        assert!(s.peak_near_bytes <= budget);
+        assert_eq!(net.snapshot(), reference(1));
+    }
+
+    #[test]
+    fn batchnorm_recompute_is_bit_identical() {
+        // Batch-norm recomputes its statistics from the saved input, so
+        // OOC recompute must reproduce identical bits even through the
+        // normalization path.
+        use karma_tensor::small_resnet_style;
+        let data = SyntheticDataset::classification(32, 1, 16, 4, 71);
+        let (x, y) = data.batch(0, 16);
+
+        let mut reference = small_resnet_style(4, 7);
+        let mut ooc = small_resnet_style(4, 7);
+        let exec = OocExecutor::new(
+            vec![0, 3, 6, 9],
+            vec![
+                BlockPolicy::Recompute,
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            ooc.len(),
+        );
+        for _ in 0..3 {
+            reference.train_step(&x, &y, 0.05);
+            exec.train_step(&mut ooc, &x, &y, 0.05);
+        }
+        assert_eq!(ooc.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn on_block_hook_sees_blocks_back_to_front() {
+        let (net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let mut seen = Vec::new();
+        exec.grad_step(&net, &x, &y, |b, _| seen.push(b));
+        assert_eq!(seen, vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Real out-of-core execution of KARMA-style schedules.
+//!
+//! The simulator (`karma-sim`) answers *how fast* a schedule runs; this
+//! crate answers *whether it computes the right thing*, reproducing the
+//! paper's accuracy-parity validation (Sec. IV-D) at laptop scale:
+//!
+//! * [`store`] — a budgeted **near-memory** arena plus an unbounded **far
+//!   memory** store; every activation lives in exactly one of them and all
+//!   movement is accounted (bytes, transfer counts, peak usage);
+//! * [`exec::OocExecutor`] — runs a real `karma-tensor` training step under
+//!   a hard near-memory budget, with per-block policies (resident / swap /
+//!   recompute) mirroring the planner's schedules. Because layers are pure
+//!   functions over explicitly saved inputs, the executed arithmetic is
+//!   **bit-identical** to in-core training — the property the paper's
+//!   accuracy experiments check empirically;
+//! * [`dp`] — multi-worker data parallelism with the per-block *phased*
+//!   gradient exchange and host-side update of Sec. III-G, implemented with
+//!   real threads over crossbeam channels.
+
+pub mod dp;
+pub mod exec;
+pub mod fault;
+pub mod store;
+
+pub use dp::{train_data_parallel, DataParallelReport};
+pub use fault::{train_with_failures, FaultReport, Failure};
+pub use exec::{BlockPolicy, OocExecutor, OocStats};
+pub use store::{FarMemory, NearMemory};

@@ -1,0 +1,204 @@
+//! Near (budgeted) and far (unbounded) activation stores.
+
+use karma_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Device-side store with a hard byte budget. Inserting beyond the budget
+/// panics — the executor must have made room first, exactly like a real
+/// allocator returning OOM.
+#[derive(Debug)]
+pub struct NearMemory {
+    budget: usize,
+    used: usize,
+    peak: usize,
+    slots: HashMap<usize, Tensor>,
+}
+
+impl NearMemory {
+    /// A store with `budget` bytes of capacity.
+    pub fn new(budget: usize) -> Self {
+        NearMemory {
+            budget,
+            used: 0,
+            peak: 0,
+            slots: HashMap::new(),
+        }
+    }
+
+    /// Store tensor under `key`. Panics if the budget would be exceeded or
+    /// the key is occupied.
+    pub fn put(&mut self, key: usize, t: Tensor) {
+        assert!(
+            !self.slots.contains_key(&key),
+            "near-memory slot {key} already occupied"
+        );
+        let bytes = t.bytes();
+        assert!(
+            self.used + bytes <= self.budget,
+            "near-memory OOM: need {bytes} B with {} B used of {} B budget",
+            self.used,
+            self.budget
+        );
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.slots.insert(key, t);
+    }
+
+    /// Remove and return the tensor under `key`.
+    pub fn take(&mut self, key: usize) -> Tensor {
+        let t = self
+            .slots
+            .remove(&key)
+            .unwrap_or_else(|| panic!("near-memory slot {key} is empty"));
+        self.used -= t.bytes();
+        t
+    }
+
+    /// Borrow the tensor under `key`.
+    pub fn get(&self, key: usize) -> &Tensor {
+        self.slots
+            .get(&key)
+            .unwrap_or_else(|| panic!("near-memory slot {key} is empty"))
+    }
+
+    /// Is `key` resident?
+    pub fn contains(&self, key: usize) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> usize {
+        self.budget - self.used
+    }
+}
+
+/// Host-side store: unbounded, but movement through it is counted so tests
+/// and reports can verify swap traffic.
+#[derive(Debug, Default)]
+pub struct FarMemory {
+    slots: HashMap<usize, Tensor>,
+    bytes_in: usize,
+    bytes_out: usize,
+    transfers: usize,
+}
+
+impl FarMemory {
+    /// Empty store.
+    pub fn new() -> Self {
+        FarMemory::default()
+    }
+
+    /// Swap a tensor out of the device into far memory.
+    pub fn swap_out(&mut self, key: usize, t: Tensor) {
+        assert!(
+            !self.slots.contains_key(&key),
+            "far-memory slot {key} already occupied"
+        );
+        self.bytes_out += t.bytes();
+        self.transfers += 1;
+        self.slots.insert(key, t);
+    }
+
+    /// Swap a tensor back in (removes it from far memory).
+    pub fn swap_in(&mut self, key: usize) -> Tensor {
+        let t = self
+            .slots
+            .remove(&key)
+            .unwrap_or_else(|| panic!("far-memory slot {key} is empty"));
+        self.bytes_in += t.bytes();
+        self.transfers += 1;
+        t
+    }
+
+    /// Is `key` present?
+    pub fn contains(&self, key: usize) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Total bytes moved host→device so far.
+    pub fn bytes_swapped_in(&self) -> usize {
+        self.bytes_in
+    }
+
+    /// Total bytes moved device→host so far.
+    pub fn bytes_swapped_out(&self) -> usize {
+        self.bytes_out
+    }
+
+    /// Number of individual transfers.
+    pub fn transfers(&self) -> usize {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(bytes: usize) -> Tensor {
+        Tensor::zeros(&[bytes / 4])
+    }
+
+    #[test]
+    fn near_memory_tracks_usage_and_peak() {
+        let mut near = NearMemory::new(100);
+        near.put(0, t(40));
+        near.put(1, t(40));
+        assert_eq!(near.used(), 80);
+        assert_eq!(near.free(), 20);
+        let a = near.take(0);
+        assert_eq!(a.bytes(), 40);
+        assert_eq!(near.used(), 40);
+        assert_eq!(near.peak(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOM")]
+    fn near_memory_enforces_budget() {
+        let mut near = NearMemory::new(64);
+        near.put(0, t(40));
+        near.put(1, t(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn near_memory_rejects_double_put() {
+        let mut near = NearMemory::new(100);
+        near.put(0, t(4));
+        near.put(0, t(4));
+    }
+
+    #[test]
+    fn far_memory_counts_traffic() {
+        let mut far = FarMemory::new();
+        far.swap_out(3, t(100));
+        assert!(far.contains(3));
+        let back = far.swap_in(3);
+        assert_eq!(back.bytes(), 100);
+        assert_eq!(far.bytes_swapped_out(), 100);
+        assert_eq!(far.bytes_swapped_in(), 100);
+        assert_eq!(far.transfers(), 2);
+        assert!(!far.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn far_memory_swap_in_of_missing_key_panics() {
+        FarMemory::new().swap_in(9);
+    }
+}

@@ -1,0 +1,141 @@
+//! ASCII Gantt rendering of execution traces — the reproduction's analogue
+//! of the paper's Fig. 2/Fig. 3 pipeline diagrams, generated from *actual*
+//! simulated schedules instead of hand drawing.
+
+use crate::engine::{LaneKind, ALL_LANES};
+use crate::trace::Trace;
+
+/// Render `trace` as one text row per lane, `width` columns wide.
+///
+/// Each cell shows the operation occupying that time slice (`F`/`B`/`R` on
+/// compute, `<`/`>` for copies in/out, `A` for AllReduce, `U` for host
+/// updates, `.` for idle). Concurrent activity lines up vertically, so
+/// overlap and stalls are visible at a glance.
+pub fn render(trace: &Trace, width: usize) -> String {
+    assert!(width >= 10, "need at least 10 columns");
+    let makespan = trace.makespan();
+    if makespan <= 0.0 {
+        return String::from("(empty trace)");
+    }
+    let mut out = String::new();
+    for lane in ALL_LANES {
+        let spans = trace.lane_spans(lane);
+        if spans.is_empty() {
+            continue;
+        }
+        let mut row = vec!['.'; width];
+        for s in spans {
+            let a = ((s.start / makespan) * width as f64).floor() as usize;
+            let b = (((s.end / makespan) * width as f64).ceil() as usize).min(width);
+            let ch = cell_char(lane, &s.label.kind);
+            for c in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("{:>8} |", lane_name(lane)));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:>8}  0s{:>width$.3}s\n",
+        "",
+        makespan,
+        width = width - 2
+    ));
+    out
+}
+
+fn lane_name(lane: LaneKind) -> &'static str {
+    match lane {
+        LaneKind::Compute => "compute",
+        LaneKind::CopyIn => "copy-in",
+        LaneKind::CopyOut => "copy-out",
+        LaneKind::Network => "network",
+        LaneKind::Host => "host",
+    }
+}
+
+fn cell_char(lane: LaneKind, kind: &str) -> char {
+    match (lane, kind) {
+        (LaneKind::Compute, "F") => 'F',
+        (LaneKind::Compute, "B") => 'B',
+        (LaneKind::Compute, "R") => 'R',
+        (LaneKind::CopyIn, _) => '<',
+        (LaneKind::CopyOut, _) => '>',
+        (LaneKind::Network, _) => 'A',
+        (LaneKind::Host, _) => 'U',
+        _ => '#',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, OpLabel, OpSpec};
+
+    fn trace() -> Trace {
+        let mut e = Engine::new();
+        let f = e.submit(OpSpec::new(
+            LaneKind::Compute,
+            1.0,
+            vec![],
+            OpLabel::block("F", 0),
+        ));
+        let so = e.submit(OpSpec::new(
+            LaneKind::CopyOut,
+            2.0,
+            vec![f],
+            OpLabel::block("Sout", 0),
+        ));
+        e.submit(OpSpec::new(
+            LaneKind::Compute,
+            1.0,
+            vec![f],
+            OpLabel::block("B", 0),
+        ));
+        e.submit(OpSpec::new(
+            LaneKind::CopyIn,
+            1.0,
+            vec![so],
+            OpLabel::block("Sin", 0),
+        ));
+        e.run()
+    }
+
+    #[test]
+    fn renders_all_active_lanes() {
+        let g = render(&trace(), 40);
+        assert!(g.contains("compute"));
+        assert!(g.contains("copy-in"));
+        assert!(g.contains("copy-out"));
+        assert!(!g.contains("network"), "no network ops were submitted");
+        assert!(g.contains('F'));
+        assert!(g.contains('B'));
+        assert!(g.contains('>'));
+        assert!(g.contains('<'));
+    }
+
+    #[test]
+    fn overlap_is_visible() {
+        // Sout runs concurrently with B: the copy-out row must show '>'
+        // in columns where compute shows 'B'.
+        let g = render(&trace(), 40);
+        let rows: Vec<&str> = g.lines().collect();
+        let compute = rows.iter().find(|r| r.contains("compute")).unwrap();
+        let copy_out = rows.iter().find(|r| r.contains("copy-out")).unwrap();
+        let b_pos = compute.find('B').unwrap();
+        assert_eq!(copy_out.as_bytes()[b_pos] as char, '>');
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::new(Vec::new(), 0, 0);
+        assert_eq!(render(&t, 40), "(empty trace)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn tiny_width_rejected() {
+        render(&trace(), 2);
+    }
+}

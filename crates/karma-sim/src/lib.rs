@@ -1,0 +1,34 @@
+//! Discrete-event simulation of the out-of-core training pipeline.
+//!
+//! This crate is the reproduction's substitute for the paper's hardware
+//! testbed (V100 GPUs + PCIe + NVLink + InfiniBand, Table II). Training
+//! schedules are lowered to operations on five serialized **lanes** that
+//! mirror the real resources KARMA orchestrates:
+//!
+//! | Lane | Hardware analogue |
+//! |---|---|
+//! | [`LaneKind::Compute`] | the GPU compute stream |
+//! | [`LaneKind::CopyIn`] | host→device DMA engine (swap-in / prefetch) |
+//! | [`LaneKind::CopyOut`] | device→host DMA engine (swap-out) |
+//! | [`LaneKind::Network`] | inter-node AllReduce (NCCL/MPI) |
+//! | [`LaneKind::Host`] | CPU-side weight-update kernels |
+//!
+//! Lanes execute their operations **in submission order** (CUDA-stream
+//! semantics); cross-lane dependencies express the pipeline structure
+//! (e.g. "backward of block b waits for swap-in of block b's activations").
+//! The [`engine`] performs deterministic list scheduling and produces a
+//! [`trace::Trace`] from which makespan, occupancy (paper Eq. 1), per-layer
+//! stalls (Fig. 6) and peak memory are derived.
+//!
+//! [`profiler`] reproduces the paper's offline metadata-extraction pass
+//! (Fig. 1 steps 1–2): per-layer compute times from the analytic FLOP model
+//! and per-layer memory from the Sec. III-D decomposition.
+
+pub mod engine;
+pub mod gantt;
+pub mod profiler;
+pub mod trace;
+
+pub use engine::{Engine, LaneKind, OpId, OpLabel, OpSpec};
+pub use profiler::{LayerProfile, ModelProfile};
+pub use trace::{Span, Trace};

@@ -1,0 +1,156 @@
+//! Offline profiling pass (paper Fig. 1 steps 1–2, Sec. III-C/III-D).
+//!
+//! KARMA extracts per-layer metadata before planning: compute cost via
+//! static analysis (the FLOP formulas), memory via one-off empirical
+//! profiling, and device characteristics via device query. In the
+//! reproduction the "measurement" comes from the same analytic models the
+//! simulator executes, so the planner sees exactly the quantities the
+//! hardware would produce — this mirrors the paper's claim that projected
+//! metadata is accurate enough to plan from.
+
+use karma_graph::{LayerMemory, MemoryParams, ModelGraph};
+use karma_hw::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one layer at a fixed batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer id.
+    pub layer: usize,
+    /// Display name.
+    pub name: String,
+    /// Forward time on the profiled device (s).
+    pub forward_time: f64,
+    /// Backward time on the profiled device (s).
+    pub backward_time: f64,
+    /// Memory decomposition.
+    pub memory: LayerMemory,
+}
+
+/// Metadata for a whole model at a fixed batch size (one "profiling run").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name.
+    pub model: String,
+    /// Batch size of this profile.
+    pub batch: usize,
+    /// Per-layer rows, in topological order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl ModelProfile {
+    /// Profile `graph` at `batch` on `gpu` with memory model `mem`.
+    pub fn collect(graph: &ModelGraph, batch: usize, gpu: &GpuSpec, mem: &MemoryParams) -> Self {
+        let layers = graph
+            .layers
+            .iter()
+            .map(|l| LayerProfile {
+                layer: l.id,
+                name: l.name.clone(),
+                forward_time: gpu.compute_time(l.forward_flops(batch)),
+                backward_time: gpu.compute_time(l.backward_flops(batch)),
+                memory: l.memory(batch, mem),
+            })
+            .collect();
+        ModelProfile {
+            model: graph.name.clone(),
+            batch,
+            layers,
+        }
+    }
+
+    /// Total forward time.
+    pub fn total_forward(&self) -> f64 {
+        self.layers.iter().map(|l| l.forward_time).sum()
+    }
+
+    /// Total backward time.
+    pub fn total_backward(&self) -> f64 {
+        self.layers.iter().map(|l| l.backward_time).sum()
+    }
+
+    /// Sum of activation bytes over a layer range (swap volume of a block).
+    pub fn activations_in(&self, range: std::ops::Range<usize>) -> u64 {
+        self.layers[range].iter().map(|l| l.memory.activations).sum()
+    }
+
+    /// Project this profile to a different batch size without re-profiling —
+    /// the paper's Sec. III-D projection: activation-side terms scale with
+    /// batch, weight-side terms do not, compute scales linearly.
+    pub fn project(&self, new_batch: usize) -> ModelProfile {
+        let ratio = new_batch as f64 / self.batch as f64;
+        let scale_u = |v: u64| (v as f64 * ratio) as u64;
+        ModelProfile {
+            model: self.model.clone(),
+            batch: new_batch,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerProfile {
+                    layer: l.layer,
+                    name: l.name.clone(),
+                    forward_time: l.forward_time * ratio,
+                    backward_time: l.backward_time * ratio,
+                    memory: LayerMemory {
+                        weights: l.memory.weights,
+                        weight_grads: l.memory.weight_grads,
+                        optimizer: l.memory.optimizer,
+                        activations: scale_u(l.memory.activations),
+                        activation_grads: scale_u(l.memory.activation_grads),
+                        workspace: scale_u(l.memory.workspace),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::{GraphBuilder, Shape};
+
+    fn toy_graph() -> ModelGraph {
+        let mut b = GraphBuilder::new("toy", Shape::chw(3, 16, 16));
+        b.conv(8, 3, 1, 1);
+        b.relu();
+        b.flatten();
+        b.fc(10);
+        b.build()
+    }
+
+    #[test]
+    fn profile_times_match_flops_over_throughput() {
+        let g = toy_graph();
+        let gpu = GpuSpec::toy(1 << 30, 1.0e9);
+        let p = ModelProfile::collect(&g, 4, &gpu, &MemoryParams::exact());
+        for (lp, l) in p.layers.iter().zip(&g.layers) {
+            assert!((lp.forward_time - l.forward_flops(4) / 1.0e9).abs() < 1e-15);
+        }
+        assert!(p.total_backward() > p.total_forward());
+    }
+
+    #[test]
+    fn projection_matches_direct_profiling_for_linear_terms() {
+        let g = toy_graph();
+        let gpu = GpuSpec::v100_16gb();
+        let mem = MemoryParams::exact();
+        let base = ModelProfile::collect(&g, 2, &gpu, &mem);
+        let projected = base.project(8);
+        let direct = ModelProfile::collect(&g, 8, &gpu, &mem);
+        for (a, b) in projected.layers.iter().zip(&direct.layers) {
+            assert!((a.forward_time - b.forward_time).abs() / b.forward_time.max(1e-30) < 1e-9);
+            assert_eq!(a.memory.activations, b.memory.activations);
+            assert_eq!(a.memory.weights, b.memory.weights);
+        }
+    }
+
+    #[test]
+    fn activations_in_range_sums_block() {
+        let g = toy_graph();
+        let p = ModelProfile::collect(&g, 2, &GpuSpec::v100_16gb(), &MemoryParams::exact());
+        let whole = p.activations_in(0..g.len());
+        let split = p.activations_in(0..2) + p.activations_in(2..g.len());
+        assert_eq!(whole, split);
+    }
+}

@@ -1,0 +1,213 @@
+//! Execution traces and the analyses the paper's figures are built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{LaneKind, OpId, OpLabel};
+
+/// One executed operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Which op.
+    pub op: OpId,
+    /// Lane it ran on.
+    pub lane: LaneKind,
+    /// Semantic label.
+    pub label: OpLabel,
+    /// Start time (s).
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+}
+
+impl Span {
+    /// Span duration.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A completed simulation: spans plus memory accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    spans: Vec<Span>,
+    peak_memory: u64,
+    final_memory: u64,
+}
+
+impl Trace {
+    /// Construct from raw spans (used by the engine).
+    pub fn new(spans: Vec<Span>, peak_memory: u64, final_memory: u64) -> Self {
+        Trace {
+            spans,
+            peak_memory,
+            final_memory,
+        }
+    }
+
+    /// All spans in submission order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total schedule length (s).
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Peak simultaneous device memory (bytes).
+    pub fn peak_memory(&self) -> u64 {
+        self.peak_memory
+    }
+
+    /// Device memory still allocated at the end (bytes) — should be the
+    /// persistent model state for a well-formed training plan.
+    pub fn final_memory(&self) -> u64 {
+        self.final_memory
+    }
+
+    /// Spans on one lane, ordered by start time.
+    pub fn lane_spans(&self, lane: LaneKind) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.lane == lane).collect();
+        v.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        v
+    }
+
+    /// Busy time on a lane.
+    pub fn lane_busy(&self, lane: LaneKind) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Idle time on a lane between its first op's start and its last op's
+    /// end (stalls in the paper's sense: the processor waiting inside the
+    /// active window).
+    pub fn lane_stall(&self, lane: LaneKind) -> f64 {
+        let spans = self.lane_spans(lane);
+        if spans.is_empty() {
+            return 0.0;
+        }
+        let window = spans.last().unwrap().end - spans[0].start;
+        // The compute window also includes waiting before the first op.
+        let lead_in = spans[0].start;
+        window + lead_in - self.lane_busy(lane)
+    }
+
+    /// Gaps (start, end) on a lane, including the lead-in wait before its
+    /// first operation.
+    pub fn lane_gaps(&self, lane: LaneKind) -> Vec<(f64, f64)> {
+        let spans = self.lane_spans(lane);
+        let mut gaps = Vec::new();
+        let mut cursor = 0.0f64;
+        for s in spans {
+            if s.start > cursor + 1e-12 {
+                gaps.push((cursor, s.start));
+            }
+            cursor = cursor.max(s.end);
+        }
+        gaps
+    }
+
+    /// Occupancy of the compute lane per paper Eq. 1:
+    /// `T_busy / (T_busy + T_idle)` measured over the whole makespan.
+    pub fn compute_occupancy(&self) -> f64 {
+        let m = self.makespan();
+        if m == 0.0 {
+            return 1.0;
+        }
+        self.lane_busy(LaneKind::Compute) / m
+    }
+
+    /// Per-label accounting: for every compute-lane span, its duration plus
+    /// the stall (gap) that immediately precedes it — the quantity paper
+    /// Fig. 6 plots per layer for the backward phase ("runtime … in
+    /// addition to all the stalls from layer swapping and recompute").
+    pub fn compute_spans_with_stalls(&self) -> Vec<(OpLabel, f64, f64)> {
+        let spans = self.lane_spans(LaneKind::Compute);
+        let mut out = Vec::with_capacity(spans.len());
+        let mut cursor = 0.0f64;
+        for s in spans {
+            let stall = (s.start - cursor).max(0.0);
+            out.push((s.label.clone(), s.duration(), stall));
+            cursor = cursor.max(s.end);
+        }
+        out
+    }
+
+    /// Sum of durations of spans whose label kind matches `kind`.
+    pub fn total_for_kind(&self, kind: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.label.kind == kind)
+            .map(Span::duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, OpSpec};
+
+    fn labelled(lane: LaneKind, dur: f64, deps: Vec<OpId>, kind: &str, block: usize) -> OpSpec {
+        OpSpec::new(lane, dur, deps, OpLabel::block(kind, block))
+    }
+
+    fn pipeline_trace() -> Trace {
+        // CopyIn 2s -> Compute 1s, twice, with a second copy overlapping.
+        let mut e = Engine::new();
+        let c0 = e.submit(labelled(LaneKind::CopyIn, 2.0, vec![], "Sin", 0));
+        let c1 = e.submit(labelled(LaneKind::CopyIn, 2.0, vec![], "Sin", 1));
+        e.submit(labelled(LaneKind::Compute, 1.0, vec![c0], "B", 0));
+        e.submit(labelled(LaneKind::Compute, 1.0, vec![c1], "B", 1));
+        e.run()
+    }
+
+    #[test]
+    fn gap_analysis_finds_lead_in_and_bubbles() {
+        let t = pipeline_trace();
+        // Compute: starts at 2 (lead-in gap 0..2), b0 [2,3], b1 [4,5]
+        // (waits for c1 finishing at 4) -> bubble (3,4).
+        let gaps = t.lane_gaps(LaneKind::Compute);
+        assert_eq!(gaps.len(), 2);
+        assert!((gaps[0].0 - 0.0).abs() < 1e-12 && (gaps[0].1 - 2.0).abs() < 1e-12);
+        assert!((gaps[1].0 - 3.0).abs() < 1e-12 && (gaps[1].1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalls_attribute_to_following_span() {
+        let t = pipeline_trace();
+        let rows = t.compute_spans_with_stalls();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0.block, 0);
+        assert!((rows[0].2 - 2.0).abs() < 1e-12); // lead-in charged to b0
+        assert!((rows[1].2 - 1.0).abs() < 1e-12); // bubble charged to b1
+    }
+
+    #[test]
+    fn occupancy_counts_all_idle() {
+        let t = pipeline_trace();
+        // makespan 5, busy 2 -> 0.4.
+        assert!((t.compute_occupancy() - 0.4).abs() < 1e-12);
+        assert!((t.lane_stall(LaneKind::Compute) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_for_kind_sums_matching_spans() {
+        let t = pipeline_trace();
+        assert!((t.total_for_kind("Sin") - 4.0).abs() < 1e-12);
+        assert!((t.total_for_kind("B") - 2.0).abs() < 1e-12);
+        assert_eq!(t.total_for_kind("nope"), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace::new(Vec::new(), 0, 0);
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.compute_occupancy(), 1.0);
+        assert!(t.lane_gaps(LaneKind::Compute).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Exact dynamic programming for contiguous partition problems.
+//!
+//! When a partition objective decomposes as a sum of per-block costs
+//! `w(i, j)` over blocks `[i, j)`, the optimal partition is computable in
+//! `O(n²)` — this is the classical interval-partition DP. KARMA's full
+//! occupancy objective is *not* separable (overlap couples adjacent blocks),
+//! but a separable surrogate (compute/transfer imbalance per block) is an
+//! excellent seed for the ACO and the exact optimum for the surrogate is a
+//! useful ablation datum (experiment X2 in DESIGN.md).
+
+/// Find the minimum-total-cost partition of `0..n` into contiguous blocks.
+///
+/// `cost(i, j)` returns the cost of block `[i, j)` or `None` if that block
+/// is infeasible (e.g. exceeds device capacity — constraint 9.4).
+/// Returns the block start boundaries and the total cost, or `None` when no
+/// feasible partition exists.
+pub fn optimal_partition(
+    n: usize,
+    cost: impl Fn(usize, usize) -> Option<f64>,
+) -> Option<(Vec<usize>, f64)> {
+    assert!(n > 0, "cannot partition zero layers");
+    // best[j] = minimal cost of partitioning 0..j.
+    let mut best = vec![f64::INFINITY; n + 1];
+    let mut back = vec![usize::MAX; n + 1];
+    best[0] = 0.0;
+    for j in 1..=n {
+        for i in 0..j {
+            if best[i].is_finite() {
+                if let Some(w) = cost(i, j) {
+                    let c = best[i] + w;
+                    if c < best[j] {
+                        best[j] = c;
+                        back[j] = i;
+                    }
+                }
+            }
+        }
+    }
+    if !best[n].is_finite() {
+        return None;
+    }
+    let mut bounds = Vec::new();
+    let mut j = n;
+    while j > 0 {
+        let i = back[j];
+        bounds.push(i);
+        j = i;
+    }
+    bounds.reverse();
+    Some((bounds, best[n]))
+}
+
+/// Like [`optimal_partition`] but with an exact block-count `k` (used by the
+/// gradient-checkpointing baseline: √N segments).
+pub fn optimal_partition_k(
+    n: usize,
+    k: usize,
+    cost: impl Fn(usize, usize) -> Option<f64>,
+) -> Option<(Vec<usize>, f64)> {
+    assert!(n > 0 && k > 0 && k <= n, "invalid n={n}, k={k}");
+    // best[b][j] = min cost of covering 0..j with exactly b blocks.
+    let mut best = vec![vec![f64::INFINITY; n + 1]; k + 1];
+    let mut back = vec![vec![usize::MAX; n + 1]; k + 1];
+    best[0][0] = 0.0;
+    for b in 1..=k {
+        for j in b..=n {
+            for i in (b - 1)..j {
+                if best[b - 1][i].is_finite() {
+                    if let Some(w) = cost(i, j) {
+                        let c = best[b - 1][i] + w;
+                        if c < best[b][j] {
+                            best[b][j] = c;
+                            back[b][j] = i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !best[k][n].is_finite() {
+        return None;
+    }
+    let mut bounds = Vec::with_capacity(k);
+    let (mut b, mut j) = (k, n);
+    while b > 0 {
+        let i = back[b][j];
+        bounds.push(i);
+        j = i;
+        b -= 1;
+    }
+    bounds.reverse();
+    Some((bounds, best[k][n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_prefer_one_block_when_block_cost_is_constant() {
+        // cost = 1 per block regardless of extent -> one block optimal.
+        let (bounds, c) = optimal_partition(10, |_, _| Some(1.0)).unwrap();
+        assert_eq!(bounds, vec![0]);
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn capacity_infeasibility_forces_splits() {
+        // Blocks longer than 3 layers are infeasible; cost 1 per block.
+        let (bounds, c) =
+            optimal_partition(10, |i, j| (j - i <= 3).then_some(1.0)).unwrap();
+        assert_eq!(c, 4.0); // ceil(10/3)
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds.len(), 4);
+    }
+
+    #[test]
+    fn quadratic_cost_balances_blocks() {
+        // cost = (len)^2: optimum is as many singleton blocks as possible.
+        let (bounds, c) = optimal_partition(6, |i, j| Some(((j - i) * (j - i)) as f64)).unwrap();
+        assert_eq!(bounds, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c, 6.0);
+    }
+
+    #[test]
+    fn no_feasible_partition_returns_none() {
+        assert!(optimal_partition(5, |_, _| None).is_none());
+        // Blocks of exactly 2 can't tile 5 layers.
+        assert!(optimal_partition(5, |i, j| (j - i == 2).then_some(1.0)).is_none());
+    }
+
+    #[test]
+    fn fixed_k_partition_balances_weighted_load() {
+        // Weights 1..=6, k = 3, cost = (sum of block weights)^2.
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let block_cost = |i: usize, j: usize| Some(w[i..j].iter().sum::<f64>().powi(2));
+        let (bounds, _) = optimal_partition_k(6, 3, block_cost).unwrap();
+        // Balanced split: [1,2,3][4,5][6] -> sums 6,9,6.
+        assert_eq!(bounds, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let (bounds, _) = optimal_partition_k(4, 4, |_, _| Some(1.0)).unwrap();
+        assert_eq!(bounds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k_partition_infeasible_when_blocks_capped() {
+        // Max block length 1 but only k=2 blocks for n=4: infeasible.
+        assert!(optimal_partition_k(4, 2, |i, j| (j - i == 1).then_some(1.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn k_larger_than_n_rejected() {
+        let _ = optimal_partition_k(3, 5, |_, _| Some(1.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Exhaustive enumeration of contiguous partitions (ground truth for tests
+//! and the X2 ablation). A model of `n` layers has `2^(n-1)` contiguous
+//! partitions; this is tractable for `n <= ~20`.
+
+/// Evaluate every contiguous partition of `0..n` with the black-box
+/// `score` (lower is better; `None` = infeasible) and return the best
+/// boundary vector with its score.
+pub fn best_partition_exhaustive(
+    n: usize,
+    mut score: impl FnMut(&[usize]) -> Option<f64>,
+) -> Option<(Vec<usize>, f64)> {
+    assert!(n >= 1, "cannot partition zero layers");
+    assert!(n <= 24, "exhaustive search limited to n<=24 (2^23 candidates)");
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let cuts = n - 1;
+    let mut bounds = Vec::with_capacity(n);
+    for mask in 0u64..(1u64 << cuts) {
+        bounds.clear();
+        bounds.push(0);
+        for c in 0..cuts {
+            if mask & (1 << c) != 0 {
+                bounds.push(c + 1);
+            }
+        }
+        if let Some(s) = score(&bounds) {
+            let better = match &best {
+                None => true,
+                Some((_, bs)) => s < *bs,
+            };
+            if better {
+                best = Some((bounds.clone(), s));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimal_partition;
+
+    #[test]
+    fn agrees_with_dp_on_separable_costs() {
+        // Random-ish separable cost; exhaustive and DP must agree.
+        let w = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let block_cost =
+            |i: usize, j: usize| Some(w[i..j].iter().sum::<f64>().powi(2) + 2.0);
+        let (dp_bounds, dp_cost) = optimal_partition(8, block_cost).unwrap();
+        let (ex_bounds, ex_cost) = best_partition_exhaustive(8, |bounds| {
+            let mut total = 0.0;
+            for (bi, &start) in bounds.iter().enumerate() {
+                let end = bounds.get(bi + 1).copied().unwrap_or(8);
+                total += block_cost(start, end)?;
+            }
+            Some(total)
+        })
+        .unwrap();
+        assert!((dp_cost - ex_cost).abs() < 1e-9);
+        assert_eq!(dp_bounds, ex_bounds);
+    }
+
+    #[test]
+    fn enumerates_all_partitions() {
+        let mut count = 0usize;
+        best_partition_exhaustive(5, |_| {
+            count += 1;
+            Some(1.0)
+        });
+        assert_eq!(count, 16); // 2^(5-1)
+    }
+
+    #[test]
+    fn returns_none_when_everything_infeasible() {
+        assert!(best_partition_exhaustive(4, |_| None).is_none());
+    }
+
+    #[test]
+    fn single_layer_has_single_partition() {
+        let (bounds, s) = best_partition_exhaustive(1, |b| Some(b.len() as f64)).unwrap();
+        assert_eq!(bounds, vec![0]);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn refuses_unbounded_enumeration() {
+        best_partition_exhaustive(30, |_| Some(0.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Optimization substrate for the KARMA reproduction.
+//!
+//! The paper solves its two-tier blocking/recompute problem (Fig. 4) with
+//! the proprietary MIDACO solver — a **mixed-integer distributed ant colony
+//! optimizer** (paper refs \[37\], \[38\]). This crate substitutes it with:
+//!
+//! * [`aco`] — a mixed-integer ant-colony optimizer over the same canonical
+//!   form (minimize an objective subject to penalized constraints), the
+//!   drop-in MIDACO replacement used by `karma-core`'s planner;
+//! * [`dp`] — an exact dynamic program for *interval-separable* contiguous
+//!   partition problems, used both to seed the ACO and to verify it on
+//!   instances where the objective decomposes;
+//! * [`exhaustive`] — brute-force enumeration of all contiguous partitions
+//!   for small `n`, the ground truth in tests and the ablation bench.
+//!
+//! The planner's objective (pipeline occupancy, Eq. 8/9) is evaluated by a
+//! black-box callback, so all three solvers share the [`problem::Problem`]
+//! trait.
+
+pub mod aco;
+pub mod dp;
+pub mod exhaustive;
+pub mod problem;
+
+pub use aco::{Aco, AcoConfig};
+pub use dp::optimal_partition;
+pub use exhaustive::best_partition_exhaustive;
+pub use problem::{Evaluation, Problem};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize sum of squared distance to a target vector with a simple
+    /// constraint — a smoke test across the solver stack.
+    struct Quad {
+        target: Vec<i64>,
+    }
+
+    impl Problem for Quad {
+        fn dims(&self) -> usize {
+            self.target.len()
+        }
+        fn bounds(&self, _i: usize) -> (i64, i64) {
+            (0, 10)
+        }
+        fn evaluate(&self, x: &[i64]) -> Evaluation {
+            let obj: f64 = x
+                .iter()
+                .zip(&self.target)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            // Constraint: sum(x) >= 10.
+            let s: i64 = x.iter().sum();
+            Evaluation {
+                objective: obj,
+                violation: (10 - s).max(0) as f64,
+            }
+        }
+    }
+
+    #[test]
+    fn aco_solves_separable_quadratic() {
+        let p = Quad {
+            target: vec![3, 7, 2, 5],
+        };
+        let best = Aco::new(AcoConfig::fast(42)).minimize(&p);
+        assert_eq!(best.x, vec![3, 7, 2, 5]);
+        assert_eq!(best.eval.objective, 0.0);
+        assert_eq!(best.eval.violation, 0.0);
+    }
+}

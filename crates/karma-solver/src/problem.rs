@@ -1,0 +1,98 @@
+//! The canonical constrained mixed-integer problem form shared by all
+//! solvers — mirroring MIDACO's black-box interface: integer decision
+//! variables with box bounds, one objective to minimize and an aggregate
+//! constraint-violation measure.
+
+/// Result of evaluating a candidate solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Objective value (minimized).
+    pub objective: f64,
+    /// Total constraint violation; `0.0` means feasible. Infeasible
+    /// solutions compare worse than any feasible one (oracle penalty).
+    pub violation: f64,
+}
+
+impl Evaluation {
+    /// Lexicographic comparison: feasibility first, then objective — the
+    /// "oracle penalty" ordering MIDACO-style solvers use.
+    pub fn better_than(&self, other: &Evaluation) -> bool {
+        match (self.violation <= 0.0, other.violation <= 0.0) {
+            (true, true) => self.objective < other.objective,
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => self.violation < other.violation,
+        }
+    }
+}
+
+/// A black-box constrained integer program.
+pub trait Problem {
+    /// Number of integer decision variables.
+    fn dims(&self) -> usize;
+    /// Inclusive bounds of variable `i`.
+    fn bounds(&self, i: usize) -> (i64, i64);
+    /// Evaluate a candidate (always called with `x.len() == dims()` and all
+    /// entries within bounds).
+    fn evaluate(&self, x: &[i64]) -> Evaluation;
+    /// Optional warm-start candidates (e.g. a DP seed). Entries are clamped
+    /// to bounds by the solver.
+    fn seeds(&self) -> Vec<Vec<i64>> {
+        Vec::new()
+    }
+}
+
+/// A candidate solution with its evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Decision vector.
+    pub x: Vec<i64>,
+    /// Its evaluation.
+    pub eval: Evaluation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_always_beats_infeasible() {
+        let good = Evaluation {
+            objective: 1000.0,
+            violation: 0.0,
+        };
+        let bad = Evaluation {
+            objective: 0.0,
+            violation: 0.1,
+        };
+        assert!(good.better_than(&bad));
+        assert!(!bad.better_than(&good));
+    }
+
+    #[test]
+    fn among_feasible_lower_objective_wins() {
+        let a = Evaluation {
+            objective: 1.0,
+            violation: 0.0,
+        };
+        let b = Evaluation {
+            objective: 2.0,
+            violation: 0.0,
+        };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+    }
+
+    #[test]
+    fn among_infeasible_lower_violation_wins() {
+        let a = Evaluation {
+            objective: 9.0,
+            violation: 1.0,
+        };
+        let b = Evaluation {
+            objective: 0.0,
+            violation: 2.0,
+        };
+        assert!(a.better_than(&b));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: solver cross-checks on randomized instances.
+
+use karma_solver::{best_partition_exhaustive, optimal_partition, Aco, AcoConfig, Evaluation, Problem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    /// The DP finds the exhaustive optimum on random separable interval
+    /// costs (cost of a block = quadratic in its weight sum + fixed cost).
+    #[test]
+    fn dp_matches_exhaustive_on_random_instances(
+        weights in prop::collection::vec(0.1f64..10.0, 2..10),
+        fixed in 0.1f64..5.0,
+    ) {
+        let n = weights.len();
+        let block_cost = |i: usize, j: usize| -> Option<f64> {
+            Some(weights[i..j].iter().sum::<f64>().powi(2) + fixed)
+        };
+        let (_, dp_cost) = optimal_partition(n, block_cost).unwrap();
+        let (_, ex_cost) = best_partition_exhaustive(n, |bounds| {
+            let mut total = 0.0;
+            for (bi, &start) in bounds.iter().enumerate() {
+                let end = bounds.get(bi + 1).copied().unwrap_or(n);
+                total += block_cost(start, end)?;
+            }
+            Some(total)
+        })
+        .unwrap();
+        prop_assert!((dp_cost - ex_cost).abs() < 1e-9, "dp {} vs exhaustive {}", dp_cost, ex_cost);
+    }
+
+    /// The ACO never returns anything worse than the best of its own seeds
+    /// (its archive is initialized with them), and always within bounds.
+    #[test]
+    fn aco_result_dominates_its_seeds(
+        target in prop::collection::vec(0i64..8, 3..10),
+        seed in 0u64..1000,
+    ) {
+        #[derive(Clone)]
+        struct P { target: Vec<i64> }
+        impl Problem for P {
+            fn dims(&self) -> usize { self.target.len() }
+            fn bounds(&self, _: usize) -> (i64, i64) { (0, 8) }
+            fn evaluate(&self, x: &[i64]) -> Evaluation {
+                Evaluation {
+                    objective: x.iter().zip(&self.target)
+                        .map(|(a, b)| ((a - b) as f64).abs())
+                        .sum(),
+                    violation: 0.0,
+                }
+            }
+            fn seeds(&self) -> Vec<Vec<i64>> {
+                vec![vec![4; self.target.len()], vec![0; self.target.len()]]
+            }
+        }
+        let p = P { target };
+        let best_seed = p.seeds().into_iter()
+            .map(|s| p.evaluate(&s).objective)
+            .fold(f64::INFINITY, f64::min);
+        let sol = Aco::new(AcoConfig::fast(seed)).minimize(&p);
+        prop_assert!(sol.eval.objective <= best_seed + 1e-12);
+        for (i, &v) in sol.x.iter().enumerate() {
+            let (lo, hi) = p.bounds(i);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    /// Fixed-k DP: more blocks never hurt when block costs are quadratic
+    /// in block weight (finer splits only remove the coupling).
+    #[test]
+    fn more_blocks_never_hurt_for_superadditive_costs(
+        weights in prop::collection::vec(0.1f64..10.0, 4..10),
+    ) {
+        use karma_solver::dp::optimal_partition_k;
+        let n = weights.len();
+        let cost = |i: usize, j: usize| -> Option<f64> {
+            Some(weights[i..j].iter().sum::<f64>().powi(2))
+        };
+        let mut prev = f64::INFINITY;
+        for k in 1..=n {
+            let (_, c) = optimal_partition_k(n, k, cost).unwrap();
+            prop_assert!(c <= prev + 1e-9, "k={}: {} > {}", k, c, prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded synthetic datasets (the reproduction's stand-in for ImageNet /
+//! CIFAR-10 / ssTEM / OpenWebText — see DESIGN.md substitutions).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::tensor::Tensor;
+
+/// A deterministic in-memory classification dataset: class-conditional
+/// Gaussian blobs rendered as `channels × side × side` images, learnable by
+/// the small CNNs used in tests and examples.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// All images, `[samples, channels, side, side]`.
+    pub images: Tensor,
+    /// Integer labels.
+    pub labels: Vec<usize>,
+    /// Sample shape `(channels, side)`.
+    pub channels: usize,
+    /// Image side length.
+    pub side: usize,
+    /// Class count.
+    pub classes: usize,
+}
+
+impl SyntheticDataset {
+    /// Generate `samples` images of `channels × side × side` across
+    /// `classes` classes with RNG `seed`.
+    pub fn classification(
+        samples: usize,
+        channels: usize,
+        side: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(samples * channels * side * side);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % classes;
+            labels.push(class);
+            // Class-dependent bright quadrant plus noise.
+            let (qy, qx) = (class / 2 % 2, class % 2);
+            for _c in 0..channels {
+                for y in 0..side {
+                    for x in 0..side {
+                        let in_quadrant =
+                            (y * 2 / side == qy) && (x * 2 / side == qx);
+                        let base = if in_quadrant { 0.8 } else { 0.1 };
+                        data.push(base + rng.gen::<f32>() * 0.2);
+                    }
+                }
+            }
+        }
+        SyntheticDataset {
+            images: Tensor::from_vec(&[samples, channels, side, side], data),
+            labels,
+            channels,
+            side,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Slice out the mini-batch starting at `start` (wraps are the
+    /// caller's concern; `start + batch` must be in range).
+    pub fn batch(&self, start: usize, batch: usize) -> (Tensor, Vec<usize>) {
+        assert!(start + batch <= self.len(), "batch out of range");
+        let stride = self.channels * self.side * self.side;
+        let x = Tensor::from_vec(
+            &[batch, self.channels, self.side, self.side],
+            self.images.data[start * stride..(start + batch) * stride].to_vec(),
+        );
+        (x, self.labels[start..start + batch].to_vec())
+    }
+
+    /// Split samples across `workers` equal contiguous shards and return
+    /// shard `rank` of size `per_worker` from batch window `start`.
+    pub fn shard(
+        &self,
+        start: usize,
+        per_worker: usize,
+        rank: usize,
+    ) -> (Tensor, Vec<usize>) {
+        self.batch(start + rank * per_worker, per_worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = SyntheticDataset::classification(10, 1, 8, 2, 5);
+        let b = SyntheticDataset::classification(10, 1, 8, 2, 5);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let d = SyntheticDataset::classification(8, 1, 8, 4, 1);
+        assert_eq!(d.labels, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_slices_correctly() {
+        let d = SyntheticDataset::classification(10, 2, 4, 2, 3);
+        let (x, y) = d.batch(4, 3);
+        assert_eq!(x.shape, vec![3, 2, 4, 4]);
+        assert_eq!(y, vec![0, 1, 0]);
+        let direct = &d.images.data[4 * 32..7 * 32];
+        assert_eq!(&x.data[..], direct);
+    }
+
+    #[test]
+    fn shards_partition_the_window() {
+        let d = SyntheticDataset::classification(16, 1, 4, 2, 4);
+        let (full, _) = d.batch(0, 8);
+        let (s0, _) = d.shard(0, 4, 0);
+        let (s1, _) = d.shard(0, 4, 1);
+        assert_eq!(&full.data[..4 * 16], &s0.data[..]);
+        assert_eq!(&full.data[4 * 16..], &s1.data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_bounds_checked() {
+        let d = SyntheticDataset::classification(4, 1, 4, 2, 1);
+        d.batch(2, 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Real-execution substrate for the KARMA reproduction.
+//!
+//! The paper validates correctness by training to convergence and comparing
+//! accuracy (Sec. IV-D): out-of-core execution must not change the
+//! computation. This crate provides exactly enough of a deep-learning stack
+//! to replay that validation **for real** on the CPU:
+//!
+//! * [`tensor::Tensor`] — dense f32 tensors with rayon-parallel matmul;
+//! * [`layers`] — layers as **pure functions**: `forward(x)` and
+//!   `backward(x, dy)` take the saved input explicitly, so an out-of-core
+//!   runtime (`karma-runtime`) can keep, move, drop or recompute saved
+//!   activations freely and the arithmetic is bit-identical either way;
+//! * [`net::Sequential`] — a layer stack with a plain in-core training
+//!   step, the reference against which OOC execution is compared;
+//! * [`data`] — seeded synthetic classification datasets sized like the
+//!   paper's workloads.
+
+pub mod data;
+pub mod layers;
+pub mod net;
+pub mod norm;
+pub mod tensor;
+
+pub use data::SyntheticDataset;
+pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU};
+pub use net::{small_cnn, small_resnet_style, Gradients, Sequential};
+pub use norm::{BatchNorm2d, GlobalAvgPool};
+pub use tensor::Tensor;

@@ -1,0 +1,269 @@
+//! Sequential networks and the in-core reference training step.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Layer, ParamGrads};
+use crate::tensor::Tensor;
+
+/// Per-layer parameter gradients for one step.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Gradients {
+    /// `per_layer[i]` holds layer `i`'s parameter gradients.
+    pub per_layer: Vec<ParamGrads>,
+}
+
+impl Gradients {
+    /// Element-wise accumulate another worker's gradients.
+    pub fn accumulate(&mut self, other: &Gradients) {
+        assert_eq!(self.per_layer.len(), other.per_layer.len());
+        for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
+            for (ga, gb) in a.grads.iter_mut().zip(&b.grads) {
+                ga.axpy(1.0, gb);
+            }
+        }
+    }
+
+    /// Scale all gradients (e.g. 1/num_workers for averaging).
+    pub fn scale(&mut self, s: f32) {
+        for l in &mut self.per_layer {
+            for g in &mut l.grads {
+                g.scale(s);
+            }
+        }
+    }
+
+    /// Total bytes of gradient payload (what an exchange moves).
+    pub fn bytes(&self) -> usize {
+        self.per_layer
+            .iter()
+            .flat_map(|l| l.grads.iter())
+            .map(Tensor::bytes)
+            .sum()
+    }
+}
+
+/// A stack of layers trained with softmax cross-entropy.
+pub struct Sequential {
+    /// The layers in forward order.
+    pub layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Build from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass returning every layer input: `acts[i]` is the input to
+    /// layer `i`, `acts[len]` is the network output (logits).
+    pub fn forward_all(&self, x: &Tensor) -> Vec<Tensor> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for l in &self.layers {
+            let y = l.forward(acts.last().unwrap());
+            acts.push(y);
+        }
+        acts
+    }
+
+    /// Softmax cross-entropy loss and logits gradient for integer labels.
+    /// Returns `(mean loss, dlogits)`.
+    pub fn softmax_xent(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let batch = logits.shape[0];
+        assert_eq!(batch, labels.len());
+        let classes = logits.shape[1];
+        let mut dl = vec![0.0f32; logits.len()];
+        let mut loss = 0.0f32;
+        for (n, &label) in labels.iter().enumerate() {
+            let row = &logits.data[n * classes..(n + 1) * classes];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            loss -= (exps[label] / z).ln();
+            for c in 0..classes {
+                dl[n * classes + c] = (exps[c] / z - f32::from(c == label)) / batch as f32;
+            }
+        }
+        (loss / batch as f32, Tensor::from_vec(&logits.shape, dl))
+    }
+
+    /// One full in-core training step (the reference the OOC runtime is
+    /// compared against): forward, loss, backward, SGD update. Returns the
+    /// mean loss.
+    pub fn train_step(&mut self, x: &Tensor, labels: &[usize], lr: f32) -> f32 {
+        let acts = self.forward_all(x);
+        let (loss, mut dy) = Self::softmax_xent(acts.last().unwrap(), labels);
+        let grads = self.backward_from(&acts, &mut dy);
+        self.apply(&grads, lr);
+        loss
+    }
+
+    /// Backward through all layers given the saved activations; consumes
+    /// `dy` in place. Exposed separately so OOC runtimes can drive it
+    /// block by block.
+    pub fn backward_from(&self, acts: &[Tensor], dy: &mut Tensor) -> Gradients {
+        let mut per_layer = vec![ParamGrads::default(); self.layers.len()];
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let (dx, g) = l.backward(&acts[i], dy);
+            per_layer[i] = g;
+            *dy = dx;
+        }
+        Gradients { per_layer }
+    }
+
+    /// SGD: `w -= lr * g`.
+    pub fn apply(&mut self, grads: &Gradients, lr: f32) {
+        for (l, g) in self.layers.iter_mut().zip(&grads.per_layer) {
+            l.update(g, -lr);
+        }
+    }
+
+    /// Classification accuracy on `(x, labels)`.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f64 {
+        let acts = self.forward_all(x);
+        let pred = acts.last().unwrap().argmax_rows();
+        let hits = pred
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        hits as f64 / labels.len() as f64
+    }
+
+    /// Flat snapshot of all parameters (for bit-parity comparisons).
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params().into_iter().flat_map(|t| t.data.clone()))
+            .collect()
+    }
+}
+
+/// A small deterministic CNN used across tests, examples and the runtime
+/// parity checks: conv-relu-pool ×2, flatten, dense.
+pub fn small_cnn(classes: usize, seed: u64) -> Sequential {
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU};
+    Sequential::new(vec![
+        Box::new(Conv2d::new(1, 4, 3, 1, 1, seed)),
+        Box::new(ReLU),
+        Box::new(MaxPool2d { k: 2 }),
+        Box::new(Conv2d::new(4, 8, 3, 1, 1, seed + 1)),
+        Box::new(ReLU),
+        Box::new(MaxPool2d { k: 2 }),
+        Box::new(Flatten),
+        Box::new(Dense::new(8 * 4 * 4, classes, seed + 2)),
+    ])
+}
+
+/// A deeper normalized CNN (conv-BN-ReLU blocks + global average pooling)
+/// exercising every real layer kind — the zoo's ResNet idiom at test scale.
+pub fn small_resnet_style(classes: usize, seed: u64) -> Sequential {
+    use crate::layers::{Conv2d, Dense, Flatten, ReLU};
+    use crate::norm::{BatchNorm2d, GlobalAvgPool};
+    Sequential::new(vec![
+        Box::new(Conv2d::new(1, 8, 3, 1, 1, seed)),
+        Box::new(BatchNorm2d::new(8)),
+        Box::new(ReLU),
+        Box::new(Conv2d::new(8, 8, 3, 2, 1, seed + 1)),
+        Box::new(BatchNorm2d::new(8)),
+        Box::new(ReLU),
+        Box::new(Conv2d::new(8, 16, 3, 2, 1, seed + 2)),
+        Box::new(BatchNorm2d::new(16)),
+        Box::new(ReLU),
+        Box::new(GlobalAvgPool),
+        Box::new(Flatten),
+        Box::new(Dense::new(16, classes, seed + 3)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+
+    #[test]
+    fn softmax_xent_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 0.5, 0.5, 0.5]);
+        let (loss, d) = Sequential::softmax_xent(&logits, &[2, 0]);
+        assert!(loss > 0.0);
+        for row in d.data.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = SyntheticDataset::classification(64, 1, 16, 4, 42);
+        let mut net = small_cnn(4, 1);
+        let (x, y) = data.batch(0, 32);
+        let first = net.train_step(&x, &y, 0.05);
+        let mut last = first;
+        for _ in 0..30 {
+            last = net.train_step(&x, &y, 0.05);
+        }
+        assert!(
+            last < first * 0.6,
+            "loss should fall: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn training_improves_accuracy_above_chance() {
+        let data = SyntheticDataset::classification(128, 1, 16, 4, 7);
+        let mut net = small_cnn(4, 3);
+        let (x, y) = data.batch(0, 128);
+        for _ in 0..40 {
+            net.train_step(&x, &y, 0.05);
+        }
+        let acc = net.accuracy(&x, &y);
+        assert!(acc > 0.5, "accuracy {acc} should beat 0.25 chance");
+    }
+
+    #[test]
+    fn snapshot_changes_only_after_update() {
+        let data = SyntheticDataset::classification(16, 1, 16, 4, 9);
+        let mut net = small_cnn(4, 5);
+        let s0 = net.snapshot();
+        let (x, y) = data.batch(0, 16);
+        let acts = net.forward_all(&x);
+        assert_eq!(net.snapshot(), s0, "forward must not mutate");
+        let (_, mut dy) = Sequential::softmax_xent(acts.last().unwrap(), &y);
+        let grads = net.backward_from(&acts, &mut dy);
+        assert_eq!(net.snapshot(), s0, "backward must not mutate");
+        net.apply(&grads, 0.1);
+        assert_ne!(net.snapshot(), s0);
+    }
+
+    #[test]
+    fn gradient_accumulate_and_scale() {
+        let data = SyntheticDataset::classification(8, 1, 16, 4, 11);
+        let net = small_cnn(4, 5);
+        let (x, y) = data.batch(0, 8);
+        let acts = net.forward_all(&x);
+        let (_, mut dy) = Sequential::softmax_xent(acts.last().unwrap(), &y);
+        let g1 = net.backward_from(&acts, &mut dy.clone());
+        let mut sum = net.backward_from(&acts, &mut dy);
+        sum.accumulate(&g1);
+        sum.scale(0.5);
+        // (g + g)/2 == g
+        for (a, b) in sum.per_layer.iter().zip(&g1.per_layer) {
+            for (ta, tb) in a.grads.iter().zip(&b.grads) {
+                for (va, vb) in ta.data.iter().zip(&tb.data) {
+                    assert!((va - vb).abs() < 1e-6);
+                }
+            }
+        }
+        assert!(sum.bytes() > 0);
+    }
+}

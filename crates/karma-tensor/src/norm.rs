@@ -1,0 +1,285 @@
+//! Normalization and pooling layers (pure-function style, like `layers`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Layer, ParamGrads};
+use crate::tensor::Tensor;
+
+/// Batch normalization over `[batch, ch, h, w]` with per-channel affine
+/// parameters, using *batch statistics* in both forward and backward (the
+/// training-mode behaviour the paper's cost model counts in Sec. III-C.4).
+///
+/// Statistics are recomputed from the saved input in backward, so the
+/// layer stays pure and out-of-core recompute reproduces identical bits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    /// Per-channel scale (γ).
+    pub gamma: Tensor,
+    /// Per-channel shift (β).
+    pub beta: Tensor,
+    /// Numerical stabilizer.
+    pub eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Identity-initialized batch norm over `ch` channels.
+    pub fn new(ch: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::from_vec(&[ch], vec![1.0; ch]),
+            beta: Tensor::zeros(&[ch]),
+            eps: 1e-5,
+        }
+    }
+
+    /// Per-channel mean and variance of `x`.
+    fn stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let (b, c, h, w) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+        let m = (b * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for n in 0..b {
+            for (ch, m) in mean.iter_mut().enumerate() {
+                for i in 0..h * w {
+                    *m += x.data[(n * c + ch) * h * w + i];
+                }
+            }
+        }
+        for v in &mut mean {
+            *v /= m;
+        }
+        for n in 0..b {
+            for ch in 0..c {
+                for i in 0..h * w {
+                    let d = x.data[(n * c + ch) * h * w + i] - mean[ch];
+                    var[ch] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= m;
+        }
+        (mean, var)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let (b, c, h, w) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+        let (mean, var) = self.stats(x);
+        let mut out = vec![0.0f32; x.len()];
+        for n in 0..b {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps).sqrt();
+                for i in 0..h * w {
+                    let idx = (n * c + ch) * h * w + i;
+                    out[idx] =
+                        (x.data[idx] - mean[ch]) * inv * self.gamma.data[ch] + self.beta.data[ch];
+                }
+            }
+        }
+        Tensor::from_vec(&x.shape, out)
+    }
+
+    fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, ParamGrads) {
+        let (b, c, h, w) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+        let m = (b * h * w) as f32;
+        let (mean, var) = self.stats(x);
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        let plane = h * w;
+        for n in 0..b {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps).sqrt();
+                for i in 0..plane {
+                    let idx = (n * c + ch) * plane + i;
+                    let xhat = (x.data[idx] - mean[ch]) * inv;
+                    dgamma[ch] += dy.data[idx] * xhat;
+                    dbeta[ch] += dy.data[idx];
+                    sum_dy[ch] += dy.data[idx];
+                    sum_dy_xhat[ch] += dy.data[idx] * xhat;
+                }
+            }
+        }
+        // Standard batch-norm input gradient:
+        // dx = γ·inv/m · (m·dy − Σdy − x̂·Σ(dy·x̂))
+        let mut dx = vec![0.0f32; x.len()];
+        for n in 0..b {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps).sqrt();
+                for i in 0..plane {
+                    let idx = (n * c + ch) * plane + i;
+                    let xhat = (x.data[idx] - mean[ch]) * inv;
+                    dx[idx] = self.gamma.data[ch] * inv / m
+                        * (m * dy.data[idx] - sum_dy[ch] - xhat * sum_dy_xhat[ch]);
+                }
+            }
+        }
+        (
+            Tensor::from_vec(&x.shape, dx),
+            ParamGrads {
+                grads: vec![
+                    Tensor::from_vec(&[c], dgamma),
+                    Tensor::from_vec(&[c], dbeta),
+                ],
+            },
+        )
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn update(&mut self, grads: &ParamGrads, alpha: f32) {
+        self.gamma.axpy(alpha, &grads.grads[0]);
+        self.beta.axpy(alpha, &grads.grads[1]);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm"
+    }
+}
+
+/// Global average pooling: `[batch, ch, h, w]` → `[batch, ch]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let (b, c, h, w) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+        let plane = (h * w) as f32;
+        let mut out = vec![0.0f32; b * c];
+        for n in 0..b {
+            for ch in 0..c {
+                let s: f32 = x.data[(n * c + ch) * h * w..(n * c + ch + 1) * h * w]
+                    .iter()
+                    .sum();
+                out[n * c + ch] = s / plane;
+            }
+        }
+        Tensor::from_vec(&[b, c], out)
+    }
+
+    fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, ParamGrads) {
+        let (b, c, h, w) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+        let plane = (h * w) as f32;
+        let mut dx = vec![0.0f32; x.len()];
+        for n in 0..b {
+            for ch in 0..c {
+                let g = dy.data[n * c + ch] / plane;
+                for i in 0..h * w {
+                    dx[(n * c + ch) * h * w + i] = g;
+                }
+            }
+        }
+        (Tensor::from_vec(&x.shape, dx), ParamGrads::default())
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn update(&mut self, _grads: &ParamGrads, _alpha: f32) {}
+
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.iter().product())
+                .map(|_| rng.gen::<f32>() * 2.0 - 1.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn batchnorm_normalizes_per_channel() {
+        let bn = BatchNorm2d::new(3);
+        let x = sample(&[4, 3, 5, 5], 1);
+        let y = bn.forward(&x);
+        // With identity affine, each channel of y has ~zero mean, ~unit var.
+        let (mean, var) = bn.stats(&y);
+        for ch in 0..3 {
+            assert!(mean[ch].abs() < 1e-5, "mean {}", mean[ch]);
+            assert!((var[ch] - 1.0).abs() < 1e-3, "var {}", var[ch]);
+        }
+    }
+
+    #[test]
+    fn batchnorm_input_gradient_matches_finite_differences() {
+        let bn = BatchNorm2d::new(2);
+        let x = sample(&[2, 2, 3, 3], 2);
+        let dy = sample(&[2, 2, 3, 3], 3);
+        let (dx, _) = bn.backward(&x, &dy);
+        let eps = 1e-3;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let loss = |t: &Tensor| -> f32 {
+                bn.forward(t)
+                    .data
+                    .iter()
+                    .zip(&dy.data)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data[i]).abs() < 2e-2,
+                "grad[{i}]: numeric {num} vs analytic {}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_param_gradients_match_finite_differences() {
+        let bn = BatchNorm2d::new(2);
+        let x = sample(&[2, 2, 3, 3], 4);
+        let dy = Tensor::from_vec(&x.shape, vec![1.0; x.len()]);
+        let (_, g) = bn.backward(&x, &dy);
+        let eps = 1e-3;
+        for ch in 0..2 {
+            let mut bp = bn.clone();
+            bp.gamma.data[ch] += eps;
+            let mut bm = bn.clone();
+            bm.gamma.data[ch] -= eps;
+            let num = (bp.forward(&x).sum() - bm.forward(&x).sum()) / (2.0 * eps);
+            assert!((num - g.grads[0].data[ch]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gap_averages_and_spreads_gradient() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
+        let gap = GlobalAvgPool;
+        let y = gap.forward(&x);
+        assert_eq!(y.shape, vec![1, 1]);
+        assert!((y.data[0] - 3.0).abs() < 1e-6);
+        let (dx, _) = gap.backward(&x, &Tensor::from_vec(&[1, 1], vec![4.0]));
+        assert!(dx.data.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn batchnorm_is_deterministic_and_pure() {
+        let bn = BatchNorm2d::new(4);
+        let x = sample(&[3, 4, 4, 4], 5);
+        let a = bn.forward(&x);
+        let b = bn.forward(&x);
+        assert_eq!(a, b);
+    }
+}

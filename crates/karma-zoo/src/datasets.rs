@@ -1,0 +1,98 @@
+//! Dataset descriptions from paper Table III.
+
+use karma_graph::Shape;
+use serde::{Deserialize, Serialize};
+
+/// A dataset as the planner sees it: a name, sample count and per-sample
+/// shape. Actual pixels/tokens are synthesized by `karma-tensor::data`; the
+/// paper's throughput results depend only on these quantities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of training samples (Table III "# Samples").
+    pub samples: u64,
+    /// Per-sample tensor shape.
+    pub sample_shape: Shape,
+    /// Number of target classes (vocabulary size for language modelling).
+    pub classes: usize,
+}
+
+impl DatasetSpec {
+    /// ImageNet-1k resized to 224×224 (Table III: 1,280,000 samples).
+    pub fn imagenet() -> Self {
+        DatasetSpec {
+            name: "ImageNet".into(),
+            samples: 1_280_000,
+            sample_shape: Shape::chw(3, 224, 224),
+            classes: 1000,
+        }
+    }
+
+    /// CIFAR-10 (Table III: 60,000 samples, 32×32).
+    pub fn cifar10() -> Self {
+        DatasetSpec {
+            name: "CIFAR-10".into(),
+            samples: 60_000,
+            sample_shape: Shape::chw(3, 32, 32),
+            classes: 10,
+        }
+    }
+
+    /// ssTEM serial-section EM stack (Table III: 30 samples). The challenge
+    /// images are 512×512 single-channel.
+    pub fn sstem() -> Self {
+        DatasetSpec {
+            name: "ssTEM".into(),
+            samples: 30,
+            sample_shape: Shape::chw(1, 512, 512),
+            classes: 2,
+        }
+    }
+
+    /// OpenWebText tokenized to GPT-2's 1024-token context (Table III:
+    /// 7,200,000 samples).
+    pub fn openwebtext() -> Self {
+        DatasetSpec {
+            name: "OpenWT".into(),
+            samples: 7_200_000,
+            sample_shape: Shape(vec![1024]),
+            classes: 50_257,
+        }
+    }
+
+    /// Iterations needed for one epoch at global batch `global_batch`.
+    pub fn iters_per_epoch(&self, global_batch: u64) -> u64 {
+        assert!(global_batch > 0, "batch must be positive");
+        self.samples.div_ceil(global_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_sample_counts() {
+        assert_eq!(DatasetSpec::imagenet().samples, 1_280_000);
+        assert_eq!(DatasetSpec::cifar10().samples, 60_000);
+        assert_eq!(DatasetSpec::sstem().samples, 30);
+        assert_eq!(DatasetSpec::openwebtext().samples, 7_200_000);
+    }
+
+    #[test]
+    fn iters_per_epoch_rounds_up() {
+        let d = DatasetSpec::sstem();
+        assert_eq!(d.iters_per_epoch(8), 4); // 30/8 -> 3.75 -> 4
+        assert_eq!(d.iters_per_epoch(30), 1);
+        assert_eq!(d.iters_per_epoch(31), 1);
+    }
+
+    #[test]
+    fn imagenet_samples_are_224() {
+        let d = DatasetSpec::imagenet();
+        assert_eq!(d.sample_shape, Shape::chw(3, 224, 224));
+        // ~100 KiB per f32-encoded sample as the paper notes (<100 KiB jpeg).
+        assert_eq!(d.sample_shape.elements(), 150_528);
+    }
+}

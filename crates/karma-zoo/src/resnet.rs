@@ -1,0 +1,170 @@
+//! Residual networks: ResNet-50/200 (ImageNet) and ResNet-1001 (CIFAR-10).
+//!
+//! ImageNet ResNets use the bottleneck design of He et al. (paper ref \[2\])
+//! with stage block counts {50: 3-4-6-3, 200: 3-24-36-3}. ResNet-1001 is
+//! the pre-activation CIFAR bottleneck variant: depth = 9n+2 with n=111
+//! bottleneck units across three stages of width {16,32,64}×4.
+
+use karma_graph::{GraphBuilder, LayerId, ModelGraph, Shape};
+
+/// One ImageNet bottleneck unit: 1×1 reduce → 3×3 → 1×1 expand, with a
+/// projection shortcut when shape changes. Returns the id of the final add.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    entry: LayerId,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> LayerId {
+    let needs_projection = b.shape_of(entry).channels() != Some(out_ch) || stride != 1;
+    b.set_cursor(entry);
+    b.conv_bn_relu(mid_ch, 1, 1, 0);
+    b.conv_bn_relu(mid_ch, 3, stride, 1);
+    b.conv(out_ch, 1, 1, 0);
+    b.batch_norm();
+    let main = b.cursor();
+    let shortcut = if needs_projection {
+        b.set_cursor(entry);
+        b.conv(out_ch, 1, stride, 0);
+        b.batch_norm()
+    } else {
+        entry
+    };
+    let joined = b.add(main, shortcut);
+    b.relu();
+    joined
+}
+
+/// Build an ImageNet bottleneck ResNet with the given per-stage unit counts.
+fn imagenet_resnet(name: &str, stages: [usize; 4]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, Shape::chw(3, 224, 224));
+    b.conv_bn_relu(64, 7, 2, 3);
+    b.max_pool(3, 2, 1);
+    let widths = [(64usize, 256usize), (128, 512), (256, 1024), (512, 2048)];
+    for (stage, &units) in stages.iter().enumerate() {
+        let (mid, out) = widths[stage];
+        for unit in 0..units {
+            let stride = if stage > 0 && unit == 0 { 2 } else { 1 };
+            let entry = b.cursor();
+            bottleneck(&mut b, entry, mid, out, stride);
+        }
+    }
+    b.global_avg_pool();
+    b.flatten();
+    b.fc(1000);
+    b.softmax();
+    b.build()
+}
+
+/// ResNet-50 on ImageNet (Table III: >25M params).
+pub fn resnet50() -> ModelGraph {
+    imagenet_resnet("ResNet-50", [3, 4, 6, 3])
+}
+
+/// ResNet-200 on ImageNet (Table III: >64M params). He et al.'s deepest
+/// ImageNet variant: stages [3, 24, 36, 3].
+pub fn resnet200() -> ModelGraph {
+    imagenet_resnet("ResNet-200", [3, 24, 36, 3])
+}
+
+/// ResNet-1001 on CIFAR-10 (Table III: >10M params): pre-activation
+/// bottlenecks, depth 9n+2 with n = 111 units **per stage** (3 stages,
+/// 333 three-conv units, 1001 weighted layers total).
+pub fn resnet1001() -> ModelGraph {
+    let mut b = GraphBuilder::new("ResNet-1001", Shape::chw(3, 32, 32));
+    b.conv_bn_relu(16, 3, 1, 1);
+    let widths = [(16usize, 64usize), (32, 128), (64, 256)];
+    for (stage, &(mid, out)) in widths.iter().enumerate() {
+        for unit in 0..111 {
+            let stride = if stage > 0 && unit == 0 { 2 } else { 1 };
+            let entry = b.cursor();
+            bottleneck(&mut b, entry, mid, out, stride);
+        }
+    }
+    b.global_avg_pool();
+    b.flatten();
+    b.fc(10);
+    b.softmax();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::MemoryParams;
+
+    #[test]
+    fn resnet50_matches_reference_parameter_count() {
+        let g = resnet50();
+        g.validate().unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // torchvision resnet50: 25.557M.
+        assert!((25.0..26.5).contains(&m), "got {m}M");
+    }
+
+    #[test]
+    fn resnet50_flops_match_reference() {
+        // Reference: ~4.1 GFLOPs multiply-adds ⇒ ~8.2 GFLOPs at 2 flops/MAC.
+        let g = resnet50();
+        let f = g.forward_flops(1) / 1e9;
+        assert!((7.0..10.0).contains(&f), "got {f} GFLOPs");
+    }
+
+    #[test]
+    fn resnet200_params() {
+        let g = resnet200();
+        g.validate().unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // Reference resnet200: 64.7M.
+        assert!((63.0..67.0).contains(&m), "got {m}M");
+    }
+
+    #[test]
+    fn resnet1001_params() {
+        let g = resnet1001();
+        g.validate().unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // Pre-act ResNet-1001 on CIFAR: 10.3M.
+        assert!((9.5..11.5).contains(&m), "got {m}M");
+    }
+
+    #[test]
+    fn residual_topology_present() {
+        let g = resnet50();
+        assert!(!g.is_linear());
+        // 16 bottleneck units -> at least 16 skip edges.
+        assert!(g.skip_edges().len() >= 16);
+    }
+
+    #[test]
+    fn resnet50_output_is_imagenet_classes() {
+        let g = resnet50();
+        let last = g.layers.last().unwrap();
+        assert_eq!(last.out_shape, Shape::vec(1000));
+    }
+
+    #[test]
+    fn resnet200_barely_fits_small_batches_on_16gib() {
+        // Paper: ResNet-200 local batch limited to ~6 ImageNet samples on a
+        // 16 GiB V100 at ordinary training settings; Fig. 5 marks batch 4 as
+        // the in-core point and batch 8+ as out-of-core. With the profiled
+        // calibration (see `fig5_workloads`) these boundaries reproduce.
+        let g = resnet200();
+        let p = MemoryParams::calibrated(crate::CAL_RESNET200);
+        let cap = 16.0 * (1u64 << 30) as f64;
+        assert!((g.peak_footprint(4, &p) as f64) < cap, "batch 4 must fit");
+        assert!((g.peak_footprint(8, &p) as f64) > cap, "batch 8 exceeds");
+    }
+
+    #[test]
+    fn stage_downsampling_halves_resolution() {
+        let g = resnet50();
+        // Find the final pre-pool feature map: 2048 x 7 x 7.
+        let gap = g
+            .layers
+            .iter()
+            .find(|l| l.kind.mnemonic() == "gap")
+            .unwrap();
+        assert_eq!(gap.in_shape, Shape::chw(2048, 7, 7));
+    }
+}

@@ -1,0 +1,123 @@
+//! Recurrent and attention models — coverage for the paper's Sec. III-C.5
+//! (LSTM) and III-C.6 (self-attention) cost formulas.
+//!
+//! The paper's evaluation centres on CNNs and transformer stacks, but its
+//! cost model explicitly supports RNNs and attention ("we adapt the number
+//! of operations to the specific RNN variant we use"); these builders give
+//! the planner real graphs exercising those layer kinds.
+
+use karma_graph::{GraphBuilder, LayerKind, ModelGraph, Shape};
+
+/// A stacked-LSTM sequence classifier: embedding-free (raw feature
+/// sequences), `layers` LSTM layers of width `hidden`, and a softmax head
+/// over the final step's features.
+pub fn lstm_classifier(
+    seq_len: usize,
+    features: usize,
+    hidden: usize,
+    layers: usize,
+    classes: usize,
+) -> ModelGraph {
+    let mut b = GraphBuilder::new(
+        format!("LSTM-{layers}x{hidden}"),
+        Shape::seq(seq_len, features),
+    );
+    for i in 0..layers {
+        b.push(LayerKind::Lstm { hidden }, format!("LSTM {i} ({hidden})"));
+    }
+    b.push(
+        LayerKind::FullyConnected {
+            in_features: seq_len * hidden,
+            out_features: classes,
+        },
+        format!("FC, {classes}"),
+    );
+    b.softmax();
+    b.build()
+}
+
+/// An attention encoder: `layers` self-attention layers with interleaved
+/// layer-norms (the paper's III-C.6 primitive, *not* the fused
+/// transformer-block composite) over `seq_len × d_model` inputs.
+pub fn attention_encoder(
+    seq_len: usize,
+    d_model: usize,
+    heads: usize,
+    layers: usize,
+    classes: usize,
+) -> ModelGraph {
+    let mut b = GraphBuilder::new(
+        format!("Attn-{layers}xh{heads}"),
+        Shape::seq(seq_len, d_model),
+    );
+    for i in 0..layers {
+        b.push(
+            LayerKind::SelfAttention { heads, d_model },
+            format!("SelfAttention {i}"),
+        );
+        b.push(LayerKind::LayerNorm, format!("LayerNorm {i}"));
+    }
+    b.push(
+        LayerKind::FullyConnected {
+            in_features: seq_len * d_model,
+            out_features: classes,
+        },
+        format!("FC, {classes}"),
+    );
+    b.softmax();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::MemoryParams;
+
+    #[test]
+    fn lstm_classifier_validates_with_expected_costs() {
+        let g = lstm_classifier(64, 32, 128, 3, 10);
+        g.validate().unwrap();
+        // 3 LSTM layers: first (32->128), then two (128->128).
+        let p = |d: u64, h: u64| 4 * (d * h + h * h + h);
+        assert_eq!(
+            g.total_params(),
+            p(32, 128) + 2 * p(128, 128) + (64 * 128 * 10 + 10)
+        );
+        // Per paper III-C.5: gate GEMMs + 20|Y| per step.
+        let lstm = &g.layers[1];
+        let per_step = 4.0 * (32.0 * 128.0 + 128.0 * 128.0) * 2.0 + 20.0 * 128.0;
+        assert!((lstm.forward_flops(1) - 64.0 * per_step).abs() < 1.0);
+    }
+
+    #[test]
+    fn attention_encoder_validates_and_is_plannable() {
+        let g = attention_encoder(64, 128, 4, 4, 10);
+        g.validate().unwrap();
+        assert!(g.is_linear());
+        // Attention workspace is quadratic in sequence length.
+        let m = g.memory(2, &MemoryParams::exact());
+        assert!(m.workspace >= 4 * (64 * 64 * 4 * 2) as u64);
+    }
+
+    #[test]
+    fn rnn_models_plan_out_of_core() {
+        use karma_core::planner::{Karma, KarmaOptions};
+        use karma_hw::{GpuSpec, LinkSpec, NodeSpec};
+        let g = lstm_classifier(128, 64, 256, 4, 10);
+        let mem = MemoryParams::exact();
+        // LSTMs are weight-heavy at this scale: keep the full model state
+        // resident (single-GPU KARMA semantics) and squeeze activations.
+        let state = g.memory(8, &mem).model_state() as f64;
+        let acts = (g.peak_footprint(8, &mem) as f64 - state).max(1.0);
+        let node = NodeSpec::toy(
+            GpuSpec::toy((state * 1.05 + acts * 0.35) as u64, 5.0e9),
+            LinkSpec::toy(3.0e8),
+        );
+        let plan = Karma::new(node, mem)
+            .plan(&g, 8, &KarmaOptions::fast(9))
+            .unwrap();
+        assert!(plan.metrics.capacity_ok);
+        assert!(plan.capacity_plan.plan.count(karma_core::plan::OpKind::SwapOut) > 0
+            || plan.capacity_plan.plan.count(karma_core::plan::OpKind::Recompute) > 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! GPT-2-family transformer stacks: Megatron-LM (Table IV) and Turing-NLG.
+
+use karma_graph::{GraphBuilder, LayerKind, ModelGraph, Shape};
+use serde::{Deserialize, Serialize};
+
+/// GPT-2 BPE vocabulary size used by Megatron-LM and Turing-NLG.
+pub const GPT2_VOCAB: usize = 50_257;
+/// Context length used throughout the paper's NLP experiments.
+pub const SEQ_LEN: usize = 1024;
+
+/// One Megatron-LM configuration row from paper Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MegatronConfig {
+    /// Hidden size `H`.
+    pub hidden: usize,
+    /// Attention heads `A`.
+    pub heads: usize,
+    /// Transformer layers `L`.
+    pub layers: usize,
+    /// Nominal parameter count in billions as reported in Table IV.
+    pub nominal_params_b: f64,
+    /// Model-parallel ways the original implementation uses (Table IV "MP").
+    pub model_parallel: usize,
+    /// GPUs of the original MP+DP hybrid configuration (Table IV "MP+DP").
+    pub hybrid_gpus: usize,
+    /// GPUs used by data-parallel KARMA in Table IV.
+    pub karma_gpus: usize,
+}
+
+/// The five Megatron-LM rows of Table IV.
+pub fn megatron_table4() -> Vec<MegatronConfig> {
+    vec![
+        MegatronConfig { hidden: 1152, heads: 12, layers: 18, nominal_params_b: 0.7, model_parallel: 1, hybrid_gpus: 64, karma_gpus: 32 },
+        MegatronConfig { hidden: 1536, heads: 16, layers: 40, nominal_params_b: 1.2, model_parallel: 2, hybrid_gpus: 128, karma_gpus: 64 },
+        MegatronConfig { hidden: 1920, heads: 20, layers: 54, nominal_params_b: 2.5, model_parallel: 4, hybrid_gpus: 256, karma_gpus: 128 },
+        MegatronConfig { hidden: 2304, heads: 24, layers: 64, nominal_params_b: 4.2, model_parallel: 8, hybrid_gpus: 512, karma_gpus: 256 },
+        MegatronConfig { hidden: 3072, heads: 32, layers: 72, nominal_params_b: 8.3, model_parallel: 16, hybrid_gpus: 1024, karma_gpus: 512 },
+    ]
+}
+
+/// Build a GPT-2-style decoder stack: embedding, `layers` transformer
+/// blocks, final layer-norm and the (weight-tied) output projection.
+pub fn gpt2_like(name: &str, hidden: usize, heads: usize, layers: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new(name, Shape(vec![SEQ_LEN]));
+    b.push(
+        LayerKind::Embedding {
+            vocab: GPT2_VOCAB,
+            d_model: hidden,
+        },
+        format!("Embedding {GPT2_VOCAB}x{hidden}"),
+    );
+    for i in 0..layers {
+        b.push(
+            LayerKind::TransformerBlock {
+                heads,
+                d_model: hidden,
+            },
+            format!("Layer {i} (h{heads} d{hidden})"),
+        );
+    }
+    b.push(LayerKind::LayerNorm, "Final LayerNorm");
+    // Output head: logits over the vocabulary (weights tied to the
+    // embedding in the reference implementations; we count them once by
+    // modelling the head as an FC consuming the last hidden state).
+    b.push(
+        LayerKind::FullyConnected {
+            in_features: hidden,
+            out_features: GPT2_VOCAB,
+        },
+        "LM head",
+    );
+    b.softmax();
+    b.build()
+}
+
+/// Megatron-LM at one of the Table IV configurations.
+pub fn megatron(cfg: &MegatronConfig) -> ModelGraph {
+    gpt2_like(
+        &format!("Megatron-LM-{:.1}B", cfg.nominal_params_b),
+        cfg.hidden,
+        cfg.heads,
+        cfg.layers,
+    )
+}
+
+/// Turing-NLG (paper Sec. IV-C): 78 transformer layers, hidden 4256,
+/// 28 attention heads, 17B parameters.
+pub fn turing_nlg() -> ModelGraph {
+    gpt2_like("Turing-NLG-17B", 4256, 28, 78)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_configs_hit_nominal_parameter_counts() {
+        // Rows 2-5 follow the standard 12·L·H² + embeddings estimate within
+        // tolerance. Row 1 (H=1152, L=18) analytically yields ~0.35B; the
+        // paper's "0.7B" label doesn't match 12·L·H² for that row, so we only
+        // require the built model to exceed half the nominal count there.
+        for (i, cfg) in megatron_table4().into_iter().enumerate() {
+            let g = megatron(&cfg);
+            g.validate().unwrap();
+            let b = g.total_params() as f64 / 1e9;
+            if i == 0 {
+                assert!(b > 0.3, "{}: built {b:.2}B", g.name);
+            } else {
+                let rel = (b - cfg.nominal_params_b).abs() / cfg.nominal_params_b;
+                assert!(
+                    rel < 0.25,
+                    "{}: built {b:.2}B vs nominal {:.1}B",
+                    g.name,
+                    cfg.nominal_params_b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn turing_nlg_is_seventeen_billion() {
+        let g = turing_nlg();
+        let b = g.total_params() as f64 / 1e9;
+        assert!((15.5..18.5).contains(&b), "got {b:.2}B");
+        // 78 transformer layers as the paper states.
+        let xf = g
+            .layers
+            .iter()
+            .filter(|l| l.kind.mnemonic() == "xfmr")
+            .count();
+        assert_eq!(xf, 78);
+    }
+
+    #[test]
+    fn transformer_stack_is_linear() {
+        let cfg = megatron_table4()[0];
+        assert!(megatron(&cfg).is_linear());
+    }
+
+    #[test]
+    fn megatron_8b_needs_sixteen_16gib_gpus_for_model_state() {
+        // Paper intro: 8.3B params need >= 16 GPUs of 16 GiB for MP.
+        let cfg = megatron_table4()[4];
+        let g = megatron(&cfg);
+        let p = karma_graph::MemoryParams::default();
+        let state = g.memory(1, &p).model_state() as f64;
+        let per_gpu = 16.0 * (1u64 << 30) as f64;
+        assert!(state / 16.0 < per_gpu, "16-way MP must fit");
+        // 8-way would leave no room for activations/workspace on 16 GiB.
+        assert!(state / 8.0 > per_gpu * 0.7, "8-way MP should be tight/infeasible");
+    }
+
+    #[test]
+    fn bigger_configs_cost_more_flops() {
+        let cfgs = megatron_table4();
+        let mut prev = 0.0;
+        for c in &cfgs {
+            let f = megatron(c).forward_flops(1);
+            assert!(f > prev, "flops must grow across Table IV rows");
+            prev = f;
+        }
+    }
+}

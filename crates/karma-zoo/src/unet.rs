@@ -1,0 +1,101 @@
+//! U-Net (Ronneberger et al., paper ref \[42\]) for the ssTEM segmentation
+//! workload — the paper's example of a model with **non-affine** skip
+//! connections from the contracting path to the expansive path
+//! (Sec. III-F.4): KARMA's second optimization flips contracting-path blocks
+//! with outgoing skips to *recompute* so they need not be swapped in
+//! prematurely.
+
+use karma_graph::{GraphBuilder, LayerId, ModelGraph, Shape};
+
+/// Two 3×3 same-padded Conv-ReLU pairs (one U-Net "double conv").
+fn double_conv(b: &mut GraphBuilder, ch: usize) -> LayerId {
+    b.conv(ch, 3, 1, 1);
+    b.relu();
+    b.conv(ch, 3, 1, 1);
+    b.relu()
+}
+
+/// The original 4-level U-Net with widths 64…1024, adapted to same-padding
+/// on 512×512 single-channel ssTEM sections (Table III: >31M params,
+/// 27 weight layers).
+pub fn unet() -> ModelGraph {
+    let mut b = GraphBuilder::new("U-Net", Shape::chw(1, 512, 512));
+
+    // Contracting path; remember each level's feature map for the skips.
+    let mut skips: Vec<LayerId> = Vec::with_capacity(4);
+    for width in [64usize, 128, 256, 512] {
+        let level = double_conv(&mut b, width);
+        skips.push(level);
+        b.max_pool(2, 2, 0);
+    }
+
+    // Bottleneck.
+    double_conv(&mut b, 1024);
+
+    // Expansive path: up-sample, concat with the mirrored skip, double conv.
+    for width in [512usize, 256, 128, 64] {
+        b.conv_transpose(width, 2, 2);
+        let up = b.cursor();
+        let skip = skips.pop().expect("one skip per level");
+        b.concat(skip, up);
+        double_conv(&mut b, width);
+    }
+
+    // 1×1 conv to per-pixel class scores.
+    b.conv(2, 1, 1, 0);
+    b.softmax();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unet_matches_reference_parameter_count() {
+        let g = unet();
+        g.validate().unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // Reference U-Net: ~31M.
+        assert!((30.0..33.0).contains(&m), "got {m}M");
+    }
+
+    #[test]
+    fn unet_has_long_range_skips() {
+        let g = unet();
+        let skips = g.skip_edges();
+        // 4 encoder->decoder skips spanning at least the bottleneck (the
+        // innermost one crosses ~7 layers, the outermost ~40).
+        let long = skips.iter().filter(|(s, d)| d - s > 5).count();
+        assert!(long >= 4, "expected >=4 long skips, got {long}");
+        let very_long = skips.iter().filter(|(s, d)| d - s > 30).count();
+        assert!(very_long >= 1, "outermost skip should span the whole net");
+    }
+
+    #[test]
+    fn unet_output_is_per_pixel() {
+        let g = unet();
+        let last = g.layers.last().unwrap();
+        assert_eq!(last.out_shape, Shape::chw(2, 512, 512));
+    }
+
+    #[test]
+    fn decoder_restores_resolution() {
+        let g = unet();
+        // The deepest feature map is 1024 x 32 x 32.
+        assert!(g
+            .layers
+            .iter()
+            .any(|l| l.out_shape == Shape::chw(1024, 32, 32)));
+    }
+
+    #[test]
+    fn activations_dominate_weights_at_batch() {
+        // U-Net's OOC pressure is activation-driven (high-res feature maps),
+        // unlike VGG whose pressure is weight-driven.
+        let g = unet();
+        let p = karma_graph::MemoryParams::default();
+        let m = g.memory(8, &p);
+        assert!(m.activations > 4 * m.weights);
+    }
+}

@@ -1,0 +1,67 @@
+//! VGG16 (Simonyan & Zisserman, paper ref \[39\]).
+
+use karma_graph::{GraphBuilder, ModelGraph, Shape};
+
+/// VGG16 configuration "D": 13 convolutions in five pooled groups followed
+/// by three fully connected layers. Table III lists it among the ImageNet
+/// workloads; its 100M+-parameter FC head makes it swap-heavy, which is why
+/// Fig. 5's VGG16 panel saturates earliest.
+pub fn vgg16() -> ModelGraph {
+    let mut b = GraphBuilder::new("VGG16", Shape::chw(3, 224, 224));
+    let groups: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (convs, ch) in groups {
+        for _ in 0..convs {
+            b.conv(ch, 3, 1, 1);
+            b.relu();
+        }
+        b.max_pool(2, 2, 0);
+    }
+    b.flatten();
+    b.fc(4096);
+    b.relu();
+    b.dropout();
+    b.fc(4096);
+    b.relu();
+    b.dropout();
+    b.fc(1000);
+    b.softmax();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_matches_reference_parameter_count() {
+        let g = vgg16();
+        g.validate().unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // Canonical VGG16: 138.36M.
+        assert!((137.0..140.0).contains(&m), "got {m}M");
+    }
+
+    #[test]
+    fn vgg16_is_a_pure_chain() {
+        assert!(vgg16().is_linear());
+    }
+
+    #[test]
+    fn vgg16_flops_match_reference() {
+        // ~15.5 GFLOPs multiply-adds ⇒ ~31 GFLOPs at 2 flops/MAC.
+        let f = vgg16().forward_flops(1) / 1e9;
+        assert!((28.0..34.0).contains(&f), "got {f} GFLOPs");
+    }
+
+    #[test]
+    fn fc_head_dominates_parameters() {
+        let g = vgg16();
+        let fc_params: u64 = g
+            .layers
+            .iter()
+            .filter(|l| l.kind.mnemonic() == "fc")
+            .map(|l| l.params())
+            .sum();
+        assert!(fc_params as f64 > 0.85 * g.total_params() as f64);
+    }
+}

@@ -1,0 +1,77 @@
+//! Wide residual network WRN-28-10 (Zagoruyko & Komodakis, paper ref \[40\]).
+
+use karma_graph::{GraphBuilder, LayerId, ModelGraph, Shape};
+
+/// One pre-activation basic unit (BN-ReLU-Conv ×2) with widened channels.
+fn wide_basic(b: &mut GraphBuilder, entry: LayerId, out_ch: usize, stride: usize) -> LayerId {
+    let needs_projection = b.shape_of(entry).channels() != Some(out_ch) || stride != 1;
+    b.set_cursor(entry);
+    b.batch_norm();
+    b.relu();
+    b.conv(out_ch, 3, stride, 1);
+    b.batch_norm();
+    b.relu();
+    b.dropout();
+    b.conv(out_ch, 3, 1, 1);
+    let main = b.cursor();
+    let shortcut = if needs_projection {
+        b.set_cursor(entry);
+        b.conv(out_ch, 1, stride, 0)
+    } else {
+        entry
+    };
+    b.add(main, shortcut)
+}
+
+/// WRN-28-10 on CIFAR-10 (Table III: >36M params): depth 28 ⇒ n = 4 basic
+/// units per stage, widening factor 10 ⇒ widths {160, 320, 640}.
+pub fn wrn28_10() -> ModelGraph {
+    let mut b = GraphBuilder::new("WRN-28-10", Shape::chw(3, 32, 32));
+    b.conv(16, 3, 1, 1);
+    for (stage, width) in [160usize, 320, 640].into_iter().enumerate() {
+        for unit in 0..4 {
+            let stride = if stage > 0 && unit == 0 { 2 } else { 1 };
+            let entry = b.cursor();
+            wide_basic(&mut b, entry, width, stride);
+        }
+    }
+    b.batch_norm();
+    b.relu();
+    b.global_avg_pool();
+    b.flatten();
+    b.fc(10);
+    b.softmax();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrn_matches_reference_parameter_count() {
+        let g = wrn28_10();
+        g.validate().unwrap();
+        let m = g.total_params() as f64 / 1e6;
+        // Reference WRN-28-10: 36.5M.
+        assert!((35.5..37.5).contains(&m), "got {m}M");
+    }
+
+    #[test]
+    fn wrn_has_residual_topology() {
+        let g = wrn28_10();
+        assert!(!g.is_linear());
+        assert!(g.skip_edges().len() >= 12);
+    }
+
+    #[test]
+    fn wrn_final_features_are_640x8x8() {
+        let g = wrn28_10();
+        let gap = g
+            .layers
+            .iter()
+            .find(|l| l.kind.mnemonic() == "gap")
+            .unwrap();
+        assert_eq!(gap.in_shape, Shape::chw(640, 8, 8));
+    }
+}

@@ -1,0 +1,85 @@
+//! Accuracy parity (paper Sec. IV-D): out-of-core execution must not
+//! change the computation. Here we verify it *for real*, not just in
+//! simulation: the same network is trained in-core, out-of-core
+//! (swap + recompute) and 4-worker data-parallel out-of-core, on real
+//! tensors — weights must match bitwise (single worker) or to float
+//! round-off (data parallel).
+//!
+//! ```text
+//! cargo run --release --example accuracy_parity
+//! ```
+
+use karma::runtime::{train_data_parallel, BlockPolicy, OocExecutor};
+use karma::tensor::{small_cnn, SyntheticDataset};
+
+fn main() {
+    let data = SyntheticDataset::classification(512, 1, 16, 4, 2026);
+    let steps = 12;
+    let batch = 32;
+    let lr = 0.05;
+
+    // 1) In-core reference.
+    let mut in_core = small_cnn(4, 99);
+    for s in 0..steps {
+        let (x, y) = data.batch(s * batch, batch);
+        in_core.train_step(&x, &y, lr);
+    }
+    let (xt, yt) = data.batch(0, 128);
+    println!("in-core          : accuracy {:.3}", in_core.accuracy(&xt, &yt));
+
+    // 2) Out-of-core: 2 swapped blocks + 1 recomputed + 1 resident, under
+    //    a real byte budget.
+    let mut ooc = small_cnn(4, 99);
+    let exec = OocExecutor::new(
+        vec![0, 2, 4, 6],
+        vec![
+            BlockPolicy::Swap,
+            BlockPolicy::Recompute,
+            BlockPolicy::Swap,
+            BlockPolicy::Resident,
+        ],
+        usize::MAX / 2,
+        ooc.len(),
+    );
+    let mut swapped = 0usize;
+    for s in 0..steps {
+        let (x, y) = data.batch(s * batch, batch);
+        let (_, st) = exec.train_step(&mut ooc, &x, &y, lr);
+        swapped += st.swapped_in_bytes + st.swapped_out_bytes;
+    }
+    println!(
+        "out-of-core      : accuracy {:.3} ({} KiB swapped) — weights {}",
+        ooc.accuracy(&xt, &yt),
+        swapped / 1024,
+        if ooc.snapshot() == in_core.snapshot() {
+            "BITWISE EQUAL to in-core"
+        } else {
+            "DIVERGED (bug!)"
+        }
+    );
+
+    // 3) Data-parallel out-of-core: 4 workers, shard 8 each (global batch
+    //    32), phased per-block gradient exchange.
+    let mut nets: Vec<_> = (0..4).map(|_| small_cnn(4, 99)).collect();
+    let report = train_data_parallel(&mut nets, &exec, &data, 8, lr, steps);
+    let dp_acc = {
+        // Evaluate with worker 0's weights (all replicas identical).
+        nets[0].accuracy(&xt, &yt)
+    };
+    let max_rel = report
+        .final_snapshot
+        .iter()
+        .zip(&in_core.snapshot())
+        .map(|(a, b)| (a - b).abs() / b.abs().max(1e-3))
+        .fold(0.0f32, f32::max);
+    println!(
+        "data-parallel OOC: accuracy {dp_acc:.3} (4 workers, {} exchanges) — \
+         max relative deviation from in-core {max_rel:.2e}",
+        report.exchange_messages
+    );
+    println!(
+        "\nAs the paper reports (Sec. IV-D): the out-of-core strategy has no \
+         impact on accuracy —\nneither shape nor hyper-parameters change, and \
+         the executed arithmetic is identical."
+    );
+}

@@ -1,0 +1,38 @@
+//! Cost/performance (paper Table V): when is growing the per-GPU batch
+//! out-of-core cheaper than adding GPUs?
+//!
+//! ```text
+//! cargo run --release --example cost_perf
+//! ```
+
+use karma::dist::cost_perf_table;
+use karma::graph::MemoryParams;
+use karma::zoo;
+
+fn main() {
+    println!("Cost/performance, $/P = GPUs / throughput (normalized to row 1)\n");
+    for (model, base_batch, cal) in [
+        (zoo::resnet::resnet50(), 128usize, zoo::CAL_RESNET50),
+        (zoo::resnet::resnet200(), 4, zoo::CAL_RESNET200),
+    ] {
+        let mem = MemoryParams::calibrated(cal);
+        println!("{} (100 GPUs baseline, per-GPU batch {base_batch}):", model.name);
+        println!(
+            "{:>12} {:>9} {:>8} {:>11} {:>8}",
+            "global batch", "DP GPUs", "DP $/P", "KARMA GPUs", "K $/P"
+        );
+        let rows = cost_perf_table(&model, base_batch, 100, &[1, 2, 3, 4, 5, 6], &mem);
+        for r in rows {
+            println!(
+                "{:>12} {:>9} {:>8.3} {:>11} {:>8.3}",
+                r.global_batch, r.dp_gpus, r.dp_cost_perf, r.karma_gpus, r.karma_cost_perf
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: KARMA's $/P stays lower for the first batch increases (the \
+         capacity-based\nstrategy degrades slowly at first), then classic \
+         scale-out wins as out-of-core\nslowdown compounds — the Table V shape."
+    );
+}

@@ -1,0 +1,57 @@
+//! Data-parallel KARMA on billion-parameter language models.
+//!
+//! Megatron-LM 8.3B needs 16-way model parallelism on 16 GiB V100s — its
+//! weights alone are ~33 GB. Data-parallel KARMA instead streams each
+//! block's state through the device and trains with *pure* data
+//! parallelism (paper Sec. III-G / Table IV), avoiding model-parallel code
+//! entirely.
+//!
+//! ```text
+//! cargo run --release --example megatron_dp
+//! ```
+
+use karma::dist::{hybrid_iter_time, karma_dp_iteration, DistOptions, HybridConfig};
+use karma::graph::MemoryParams;
+use karma::hw::ClusterSpec;
+use karma::zoo::transformer::{megatron, megatron_table4};
+
+fn main() {
+    let mem = MemoryParams::default();
+
+    println!("Megatron-LM configurations (paper Table IV):");
+    println!(
+        "{:>7} {:>4} {:>12} {:>14} {:>14} {:>12}",
+        "params", "MP", "hybrid GPUs", "hybrid s/iter", "KARMA GPUs", "KARMA s/iter"
+    );
+    for cfg in megatron_table4() {
+        let g = megatron(&cfg);
+        let state_gib = g.memory(1, &mem).model_state() as f64 / (1u64 << 30) as f64;
+
+        // Original hybrid at its Table IV GPU count.
+        let cluster = ClusterSpec::abci_with_gpus(cfg.hybrid_gpus);
+        let hybrid = HybridConfig::megatron(cfg.model_parallel, false);
+        let t_hybrid = hybrid_iter_time(&g, &hybrid, &cluster, cfg.hybrid_gpus);
+
+        // Data-parallel KARMA at half the GPUs (Table IV's comparison):
+        // global batch 512 x MP over karma_gpus GPUs = 16 sequences/GPU
+        // on every row.
+        let karma_cluster = ClusterSpec::abci_with_gpus(cfg.karma_gpus);
+        let r = karma_dp_iteration(&g, 16, &karma_cluster, &mem, &DistOptions::default());
+
+        println!(
+            "{:>6.1}B {:>4} {:>12} {:>14.2} {:>14} {:>12.2}   (state/GPU {state_gib:.0} GiB streamed)",
+            cfg.nominal_params_b,
+            cfg.model_parallel,
+            cfg.hybrid_gpus,
+            t_hybrid,
+            cfg.karma_gpus,
+            r.iter_time,
+        );
+    }
+
+    println!(
+        "\nKARMA trains every configuration with PURE data parallelism — no \
+         model-parallel code, no minimum-GPU floor —\nwhile the hybrid needs \
+         the model split across up to 16 GPUs before it can run at all."
+    );
+}

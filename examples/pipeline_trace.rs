@@ -1,0 +1,45 @@
+//! Visualize KARMA's pipeline the way the paper's Fig. 2 does — but from an
+//! *actual simulated schedule*: compute, copy-in, copy-out lanes over time,
+//! plus the generated training script (Fig. 1 step 5).
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use karma::core::codegen::generate_training_script;
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::hw::NodeSpec;
+use karma::sim::gantt;
+use karma::zoo;
+
+fn main() {
+    // A mid-size workload so the Gantt rows stay legible.
+    let model = zoo::wrn::wrn28_10();
+    let mem = karma::graph::MemoryParams::calibrated(zoo::CAL_WRN28_10);
+    let planner = Karma::new(NodeSpec::abci(), mem);
+
+    for (label, opts) in [
+        ("KARMA (capacity-based, no recompute)", KarmaOptions::without_recompute()),
+        ("KARMA (with recompute interleave)", KarmaOptions::default()),
+    ] {
+        let plan = planner.plan(&model, 768, &opts).unwrap();
+        println!("\n=== {label} — WRN-28-10 @ batch 768 ===");
+        println!(
+            "makespan {:.3}s | occupancy {:.0}% | blocks {} | resident from {}",
+            plan.metrics.makespan,
+            plan.metrics.occupancy * 100.0,
+            plan.costs.n_blocks(),
+            plan.capacity_plan.resident_from,
+        );
+        print!("{}", gantt::render(&plan.trace, 100));
+    }
+
+    // The generated training script (paper Fig. 1, step 5) — head only.
+    let plan = planner.plan(&model, 768, &KarmaOptions::default()).unwrap();
+    let script = generate_training_script(&model.name, &plan.capacity_plan.plan, &plan.costs);
+    println!("\n=== generated training script (first 24 lines) ===");
+    for line in script.lines().take(24) {
+        println!("{line}");
+    }
+    println!("...");
+}

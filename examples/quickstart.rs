@@ -1,0 +1,48 @@
+//! Quickstart: plan out-of-core training for a model that does not fit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::graph::MemoryParams;
+use karma::hw::NodeSpec;
+use karma::zoo;
+
+fn main() {
+    // An ABCI node: V100 16 GiB behind PCIe Gen3 x16.
+    let node = NodeSpec::abci();
+
+    // ResNet-50 at batch 256 needs ~2x the device memory (Fig. 5 regime).
+    let model = zoo::resnet::resnet50();
+    let mem = MemoryParams::calibrated(zoo::CAL_RESNET50);
+    println!("{}", model.summary(256, &mem));
+
+    let planner = Karma::new(node, mem);
+    for batch in [128, 256, 512] {
+        let plan = planner
+            .plan(&model, batch, &KarmaOptions::default())
+            .expect("plannable");
+        println!(
+            "batch {batch:>4}: {:>7.1} samples/s | occupancy {:>5.1}% | {} blocks | \
+             {} swapped, {} recomputed | capacity ok: {}",
+            plan.samples_per_sec(),
+            plan.metrics.occupancy * 100.0,
+            plan.partition.num_blocks(),
+            plan.capacity_plan.plan.count(karma::core::plan::OpKind::SwapOut),
+            plan.capacity_plan.plan.count(karma::core::plan::OpKind::Recompute),
+            plan.metrics.capacity_ok,
+        );
+    }
+
+    // The execution plan in the paper's notation (Sec. III-F.3), for a
+    // coarse view: plan a small model so the string stays readable.
+    let small = zoo::wrn::wrn28_10();
+    let mem = MemoryParams::calibrated(zoo::CAL_WRN28_10);
+    let plan = Karma::new(NodeSpec::abci(), mem)
+        .plan(&small, 512, &KarmaOptions::fast(1))
+        .unwrap();
+    let s = plan.notation();
+    let head: String = s.chars().take(120).collect();
+    println!("\nWRN-28-10 @512 schedule: {head}...");
+}

@@ -1,0 +1,56 @@
+//! Train ResNet-200 beyond device memory: KARMA vs every baseline.
+//!
+//! Reproduces the ResNet-200 panel of paper Fig. 5 as a table:
+//! throughput (samples/s) per method as the batch grows past the 16 GiB
+//! V100 capacity (only batch 4 fits in-core).
+//!
+//! ```text
+//! cargo run --release --example resnet_oom
+//! ```
+
+use karma::baselines::{run_baseline, Baseline};
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::hw::NodeSpec;
+use karma::zoo;
+
+fn main() {
+    let w = zoo::fig5_workloads()
+        .into_iter()
+        .find(|w| w.model.name == "ResNet-200")
+        .unwrap();
+    let node = NodeSpec::abci();
+    let planner = Karma::new(node.clone(), w.mem.clone());
+
+    println!("ResNet-200 / ImageNet on V100-16GB (samples/s):");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>12} {:>9} {:>9} {:>15}",
+        "batch", "in-core", "vDNN++", "SuperN", "Checkmate", "KARMA", "KARMA+R", "peak/capacity"
+    );
+    for &batch in &w.batch_sizes {
+        let in_core = run_baseline(Baseline::InCore, &w.model, batch, &node, &w.mem).unwrap();
+        let fits = in_core.metrics.capacity_ok;
+        let vdnn = run_baseline(Baseline::VdnnPlusPlus, &w.model, batch, &node, &w.mem).unwrap();
+        let sn = run_baseline(Baseline::SuperNeurons, &w.model, batch, &node, &w.mem).unwrap();
+        let ck = run_baseline(Baseline::Checkmate, &w.model, batch, &node, &w.mem).unwrap();
+        let karma = planner
+            .plan(&w.model, batch, &KarmaOptions::without_recompute())
+            .unwrap();
+        let karma_r = planner.plan(&w.model, batch, &KarmaOptions::default()).unwrap();
+        println!(
+            "{:>6} {:>9} {:>9.1} {:>9.1} {:>12.1} {:>9.1} {:>9.1} {:>14.0}%",
+            batch,
+            if fits {
+                format!("{:.1}", in_core.samples_per_sec())
+            } else {
+                "OOM".to_owned()
+            },
+            vdnn.samples_per_sec(),
+            sn.samples_per_sec(),
+            ck.samples_per_sec(),
+            karma.samples_per_sec(),
+            karma_r.samples_per_sec(),
+            karma_r.metrics.peak_act_bytes as f64 / karma_r.costs.act_capacity as f64 * 100.0,
+        );
+    }
+    println!("\n(only the first batch size fits in memory, as in the paper's Fig. 5)");
+}

@@ -1,0 +1,52 @@
+//! # KARMA — out-of-core distributed DNN training, reproduced in Rust
+//!
+//! A full reproduction of *"Scaling Distributed Deep Learning Workloads
+//! beyond the Memory Capacity with KARMA"* (Wahib et al., SC '20): the
+//! occupancy-model-driven planner that combines **capacity-based layer
+//! swapping** with **interleaved redundant recompute**, and the first
+//! **data-parallel out-of-core** training pipeline.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`hw`] | `karma-hw` | GPUs, links, nodes, clusters (ABCI presets) |
+//! | [`graph`] | `karma-graph` | model IR, FLOP cost model, memory model |
+//! | [`zoo`] | `karma-zoo` | every model in paper Table III/IV |
+//! | [`net`] | `karma-net` | AllReduce models, phased gradient exchange |
+//! | [`solver`] | `karma-solver` | ACO (MIDACO substitute), DP, exhaustive |
+//! | [`sim`] | `karma-sim` | discrete-event GPU+host simulator |
+//! | [`core`] | `karma-core` | occupancy model, planner, plans |
+//! | [`baselines`] | `karma-baselines` | vDNN++, ooc_cuDNN, SuperNeurons, … |
+//! | [`dist`] | `karma-dist` | 5-stage DP pipeline, Megatron/ZeRO models |
+//! | [`tensor`] | `karma-tensor` | real f32 layers with pure fwd/bwd |
+//! | [`runtime`] | `karma-runtime` | real OOC execution, bit-parity checked |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use karma::core::planner::{Karma, KarmaOptions};
+//! use karma::graph::MemoryParams;
+//! use karma::hw::NodeSpec;
+//!
+//! // Plan out-of-core training of ResNet-50 at batch 256 on a V100 node.
+//! let node = NodeSpec::abci();
+//! let planner = Karma::new(node, MemoryParams::calibrated(karma::zoo::CAL_RESNET50));
+//! let plan = planner
+//!     .plan(&karma::zoo::resnet::resnet50(), 256, &KarmaOptions::fast(1))
+//!     .expect("plannable");
+//! assert!(plan.metrics.capacity_ok);
+//! println!("{:.1} samples/s — {}", plan.samples_per_sec(), plan.notation());
+//! ```
+
+pub use karma_baselines as baselines;
+pub use karma_core as core;
+pub use karma_dist as dist;
+pub use karma_graph as graph;
+pub use karma_hw as hw;
+pub use karma_net as net;
+pub use karma_runtime as runtime;
+pub use karma_sim as sim;
+pub use karma_solver as solver;
+pub use karma_tensor as tensor;
+pub use karma_zoo as zoo;

@@ -1,0 +1,106 @@
+//! Integration: distributed KARMA vs the hybrid/ZeRO baselines (subset of
+//! Table IV / Fig. 8 kept small for test-time budget).
+
+use karma::dist::{
+    hybrid_iter_time, karma_dp_iteration, zero_iter_time, DistOptions, HybridConfig, ZeroConfig,
+};
+use karma::graph::MemoryParams;
+use karma::hw::ClusterSpec;
+use karma::zoo::transformer::{megatron, megatron_table4};
+
+/// Table IV row 2 (1.2B, MP=2): data-parallel KARMA trains the model with
+/// no model parallelism and a per-GPU efficiency at least on par with the
+/// hybrid's.
+#[test]
+fn table4_mid_row_reproduces() {
+    let cfg = megatron_table4()[1];
+    let g = megatron(&cfg);
+    let mem = MemoryParams::default();
+
+    let hybrid_cluster = ClusterSpec::abci_with_gpus(cfg.hybrid_gpus);
+    let hybrid_s = hybrid_iter_time(
+        &g,
+        &HybridConfig::megatron(cfg.model_parallel, false),
+        &hybrid_cluster,
+        cfg.hybrid_gpus,
+    );
+
+    let karma_cluster = ClusterSpec::abci_with_gpus(cfg.karma_gpus);
+    let karma = karma_dp_iteration(&g, 16, &karma_cluster, &mem, &DistOptions::default());
+    assert!(karma.metrics.capacity_ok, "KARMA must fit the device");
+
+    // Per-GPU sample throughput comparison at the configured batches.
+    let hybrid_per_gpu = 512.0 / hybrid_s / cfg.hybrid_gpus as f64;
+    let karma_per_gpu = (16 * cfg.karma_gpus) as f64 / karma.iter_time / cfg.karma_gpus as f64;
+    assert!(
+        karma_per_gpu >= hybrid_per_gpu * 0.9,
+        "KARMA per-GPU {karma_per_gpu} far below hybrid {hybrid_per_gpu}"
+    );
+}
+
+/// The model-state floor: the 1.2B model cannot keep its state resident on
+/// a 16 GiB V100, yet the distributed pipeline trains it.
+#[test]
+fn state_streaming_lifts_the_memory_floor() {
+    let cfg = megatron_table4()[1];
+    let g = megatron(&cfg);
+    let mem = MemoryParams::default();
+    let cluster = ClusterSpec::abci_with_gpus(8);
+    assert!(
+        g.memory(1, &mem).model_state() > cluster.node.gpu.usable_bytes(),
+        "model state should exceed one device"
+    );
+    let r = karma_dp_iteration(&g, 4, &cluster, &mem, &DistOptions::default());
+    assert!(r.metrics.capacity_ok);
+    assert!(r.iter_time > 0.0);
+}
+
+/// Fig. 8 Turing-panel relationship at scale, on the 1.2B stand-in to stay
+/// within test budget: ZeRO+KARMA beats plain KARMA, and the phased
+/// exchange beats the bulk exchange.
+#[test]
+fn zero_partitioning_and_phasing_help() {
+    let cfg = megatron_table4()[1];
+    let g = megatron(&cfg);
+    let mem = MemoryParams::default();
+    let cluster = ClusterSpec::abci_with_gpus(64);
+
+    let plain = karma_dp_iteration(&g, 8, &cluster, &mem, &DistOptions::default());
+    let zeroed = karma_dp_iteration(
+        &g,
+        8,
+        &cluster,
+        &mem,
+        &DistOptions {
+            zero_partition: true,
+            ..Default::default()
+        },
+    );
+    assert!(zeroed.iter_time < plain.iter_time);
+
+    let bulk = karma_dp_iteration(
+        &g,
+        8,
+        &cluster,
+        &mem,
+        &DistOptions {
+            phased_exchange: false,
+            ..Default::default()
+        },
+    );
+    assert!(plain.iter_time <= bulk.iter_time + 1e-9);
+
+    // Sanity on the analytic side: ZeRO costs at least as much as the
+    // phased hybrid per iteration (it buys memory, not speed).
+    let z = zero_iter_time(
+        &g,
+        &ZeroConfig {
+            model_parallel: 2,
+            global_batch: 512,
+        },
+        &cluster,
+        64,
+    );
+    let h = hybrid_iter_time(&g, &HybridConfig::megatron(2, true), &cluster, 64);
+    assert!(z >= h);
+}

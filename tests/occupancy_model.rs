@@ -1,0 +1,89 @@
+//! Integration: the analytic occupancy model (paper Eqs. 1-8) against the
+//! discrete-event simulator — the model's backward-time estimates must
+//! track the simulated backward phase of the same schedule.
+
+use karma::core::capacity::{build_training_plan, CapacityPlanOptions};
+use karma::core::cost::BlockCosts;
+use karma::core::lower::{simulate_plan, LowerOptions};
+use karma::core::occupancy::OccupancyModel;
+use karma::sim::LaneKind;
+use proptest::prelude::*;
+
+fn costs(n: usize, act: u64, bw: f64, cap_blocks: f64) -> BlockCosts {
+    BlockCosts {
+        forward: vec![1.0; n],
+        backward: vec![1.0; n],
+        act_bytes: vec![act; n],
+        swap_bytes: vec![act; n],
+        boundary_bytes: vec![act / 10; n],
+        transient_bytes: vec![0; n],
+        state_bytes: vec![0; n],
+        grad_bytes: vec![act / 2; n],
+        params: vec![1; n],
+        swap_bw: bw,
+        act_capacity: (cap_blocks * act as f64) as i64,
+        batch: 1,
+    }
+}
+
+/// Simulated backward-phase duration of a plan: from the first backward
+/// span's start to the makespan.
+fn simulated_backward(costs: &BlockCosts) -> (f64, usize) {
+    let cp = build_training_plan(costs, &CapacityPlanOptions::karma(costs.n_blocks()));
+    let (trace, m) = simulate_plan(&cp.plan, costs, &LowerOptions::default());
+    let bwd_start = trace
+        .spans()
+        .iter()
+        .filter(|s| s.lane == LaneKind::Compute && s.label.kind == "B")
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
+    (m.makespan - bwd_start, cp.resident_from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Eq. 8's estimate is within 40% of the simulated backward phase over
+    /// a broad random range of block counts, swap speeds and capacities.
+    /// (The analytic model ignores swap-out contention and forward-phase
+    /// carry-over, so exact agreement is not expected — the paper uses it
+    /// as an optimization objective, not a clock.)
+    #[test]
+    fn analytic_backward_tracks_simulation(
+        n in 4usize..16,
+        swap_s in 0.2f64..3.0,
+        cap_blocks in 2.1f64..10.0,
+    ) {
+        let act = 1_000u64;
+        let c = costs(n, act, act as f64 / swap_s, cap_blocks);
+        prop_assume!(!c.fits_in_core());
+        let (sim, resident_from) = simulated_backward(&c);
+        let model = OccupancyModel::new(&c, resident_from, vec![false; n]);
+        let analytic = model.backward_time();
+        let rel = (analytic - sim).abs() / sim;
+        prop_assert!(rel < 0.4, "analytic {analytic} vs simulated {sim} (rel {rel})");
+    }
+
+    /// The occupancy trajectory is always in (0, 1] and degrades (weakly)
+    /// as the swap gets slower, all else equal.
+    #[test]
+    fn occupancy_bounded_and_monotone_in_bandwidth(
+        n in 4usize..16,
+        cap_blocks in 2.1f64..6.0,
+    ) {
+        let act = 1_000u64;
+        let fast = costs(n, act, act as f64 / 0.25, cap_blocks);
+        let slow = costs(n, act, act as f64 / 2.5, cap_blocks);
+        let rf_fast = karma::core::capacity::capacity_resident_from(&fast, &vec![false; n]);
+        let rf_slow = karma::core::capacity::capacity_resident_from(&slow, &vec![false; n]);
+        prop_assert_eq!(rf_fast, rf_slow); // residency is bandwidth-free
+        let m_fast = OccupancyModel::new(&fast, rf_fast, vec![false; n]);
+        let m_slow = OccupancyModel::new(&slow, rf_slow, vec![false; n]);
+        let t_fast = m_fast.backward_trajectory();
+        let t_slow = m_slow.backward_trajectory();
+        for o in t_fast.per_step.iter().chain(&t_slow.per_step) {
+            prop_assert!(*o > 0.0 && *o <= 1.0 + 1e-12);
+        }
+        prop_assert!(t_slow.mean() <= t_fast.mean() + 1e-12);
+    }
+}

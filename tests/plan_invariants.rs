@@ -1,0 +1,93 @@
+//! Property-based integration tests: planner invariants over randomized
+//! model/hardware configurations.
+
+use karma::core::capacity::{build_training_plan, CapacityPlanOptions, PrefetchPolicy};
+use karma::core::cost::LayerCostTable;
+use karma::core::lower::{simulate_plan, LowerOptions};
+use karma::core::plan::OpKind;
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::graph::{GraphBuilder, MemoryParams, ModelGraph, Shape};
+use karma::hw::{GpuSpec, LinkSpec, NodeSpec};
+use proptest::prelude::*;
+
+fn random_chain(convs: usize, channels: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new("prop-chain", Shape::chw(channels, 16, 16));
+    for _ in 0..convs {
+        b.conv(channels, 3, 1, 1);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// KARMA plans are structurally valid, respect capacity in simulation,
+    /// and every block gets exactly one forward and one backward.
+    #[test]
+    fn karma_plans_are_valid_and_capacity_safe(
+        convs in 4usize..14,
+        channels in 2usize..8,
+        capacity_frac in 0.3f64..2.0,
+        bw_exp in 7.0f64..9.5,
+    ) {
+        let g = random_chain(convs, channels);
+        let mem = MemoryParams::exact();
+        let need = g.peak_footprint(2, &mem) as f64;
+        let node = NodeSpec::toy(
+            GpuSpec::toy((need * capacity_frac) as u64, 5.0e9),
+            LinkSpec::toy(10f64.powf(bw_exp)),
+        );
+        let planner = Karma::new(node, mem);
+        match planner.plan(&g, 2, &KarmaOptions::fast(7)) {
+            Ok(plan) => {
+                plan.capacity_plan.plan.validate().unwrap();
+                prop_assert!(plan.metrics.capacity_ok,
+                    "peak {} > cap {}", plan.metrics.peak_act_bytes, plan.costs.act_capacity);
+                let n = plan.costs.n_blocks();
+                for b in 0..n {
+                    prop_assert!(plan.capacity_plan.plan.find(OpKind::Forward, b).is_some());
+                    prop_assert!(plan.capacity_plan.plan.find(OpKind::Backward, b).is_some());
+                }
+                prop_assert!(plan.metrics.makespan > 0.0);
+                prop_assert!(plan.metrics.occupancy > 0.0 && plan.metrics.occupancy <= 1.0 + 1e-9);
+            }
+            Err(e) => {
+                // Only tolerable failure: the device is genuinely too small.
+                prop_assert!(capacity_frac < 0.8, "unexpected failure: {e}");
+            }
+        }
+    }
+
+    /// The capacity-based strategy never loses to the eager swap-all
+    /// strategy on the same blocking (Fig. 2 (b) vs (a)).
+    #[test]
+    fn capacity_strategy_dominates_eager(
+        convs in 4usize..12,
+        capacity_frac in 0.35f64..0.9,
+    ) {
+        let g = random_chain(convs, 4);
+        let mem = MemoryParams::exact();
+        let need = g.peak_footprint(2, &mem) as f64;
+        let node = NodeSpec::toy(
+            GpuSpec::toy((need * capacity_frac) as u64, 5.0e9),
+            LinkSpec::toy(2.0e8),
+        );
+        let table = LayerCostTable::from_graph(&g, 2, &node, &mem);
+        let bounds: Vec<usize> = (0..g.len()).collect();
+        let costs = table.block_costs(&bounds);
+        prop_assume!(costs.is_schedulable());
+        let n = costs.n_blocks();
+
+        let karma = build_training_plan(&costs, &CapacityPlanOptions::karma(n));
+        let (_t, m_karma) = simulate_plan(&karma.plan, &costs, &LowerOptions::default());
+        let eager = build_training_plan(&costs, &CapacityPlanOptions {
+            recompute: vec![false; n],
+            resident_from: Some(n),
+            prefetch: PrefetchPolicy::OneAhead,
+            sync_swap_out: false,
+        });
+        let (_t, m_eager) = simulate_plan(&eager.plan, &costs, &LowerOptions::default());
+        prop_assert!(m_karma.makespan <= m_eager.makespan + 1e-9,
+            "karma {} > eager {}", m_karma.makespan, m_eager.makespan);
+    }
+}
