@@ -25,7 +25,10 @@ impl std::fmt::Display for TriState {
 }
 
 /// One Table I row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the rows borrow `&'static str` names, which cannot be
+/// deserialized into (with real serde either).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Capability {
     /// System name.
     pub name: &'static str,

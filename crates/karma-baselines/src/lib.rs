@@ -16,6 +16,10 @@
 //!   (block-level knapsack approximation of their ILP);
 //! * **Capuchin** (ref \[14\]) — dynamic-tracking hybrid: eager swapping like
 //!   vDNN but with measured-cost recompute substitutions.
+//!
+//! **Workspace position:** sits beside `karma-dist` just below the bench
+//! layer, reusing `karma-core`'s plan/capacity machinery and `karma-sim` so
+//! every baseline is costed under identical assumptions.
 
 pub mod capabilities;
 pub mod methods;

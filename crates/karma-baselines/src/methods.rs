@@ -1,6 +1,8 @@
 //! Baseline schedule builders.
 
-use karma_core::capacity::{build_training_plan, CapacityPlan, CapacityPlanOptions, PrefetchPolicy};
+use karma_core::capacity::{
+    build_training_plan, CapacityPlan, CapacityPlanOptions, PrefetchPolicy,
+};
 use karma_core::cost::{BlockCosts, LayerCostTable};
 use karma_core::lower::{simulate_plan, LowerOptions, SimMetrics};
 use karma_core::planner::PlanError;
@@ -456,8 +458,8 @@ mod tests {
     fn model_state_overflow_reported() {
         let g = cnn();
         let node = NodeSpec::toy(GpuSpec::toy(256, 1e9), LinkSpec::toy(1e6));
-        let err = run_baseline(Baseline::VdnnPlusPlus, &g, 1, &node, &MemoryParams::exact())
-            .unwrap_err();
+        let err =
+            run_baseline(Baseline::VdnnPlusPlus, &g, 1, &node, &MemoryParams::exact()).unwrap_err();
         assert!(matches!(err, PlanError::ModelStateTooLarge { .. }));
     }
 }

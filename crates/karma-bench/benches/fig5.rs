@@ -8,14 +8,21 @@ use karma_hw::NodeSpec;
 use karma_zoo::fig5_workloads;
 
 fn bench_fig5(c: &mut Criterion) {
-    let w = fig5_workloads().into_iter().find(|w| w.model.name == "ResNet-200").unwrap();
+    let w = fig5_workloads()
+        .into_iter()
+        .find(|w| w.model.name == "ResNet-200")
+        .unwrap();
     let node = NodeSpec::abci();
     let batch = 12;
     let mut group = c.benchmark_group("fig5_resnet200_b12");
     group.sample_size(10);
     group.bench_function("karma_plan_with_recompute", |b| {
         let planner = Karma::new(node.clone(), w.mem.clone());
-        b.iter(|| planner.plan(&w.model, batch, &KarmaOptions::fast(1)).unwrap())
+        b.iter(|| {
+            planner
+                .plan(&w.model, batch, &KarmaOptions::fast(1))
+                .unwrap()
+        })
     });
     group.bench_function("vdnn_plan", |b| {
         b.iter(|| run_baseline(Baseline::VdnnPlusPlus, &w.model, batch, &node, &w.mem).unwrap())

@@ -109,12 +109,7 @@ pub fn solver_ablation(graph: &ModelGraph, batch: usize, mem: &MemoryParams) -> 
     let aco = score(&aco_bounds);
     let best_uniform = [4usize, 8, 16, 32, 64]
         .iter()
-        .map(|&k| {
-            score(
-                BlockPartition::uniform(graph.len(), k.clamp(1, graph.len()))
-                    .boundaries(),
-            )
-        })
+        .map(|&k| score(BlockPartition::uniform(graph.len(), k.clamp(1, graph.len())).boundaries()))
         .fold(f64::INFINITY, f64::min);
     SolverAblation {
         model: graph.name.clone(),

@@ -9,7 +9,11 @@ fn main() {
         "Fig. 7 — best blocking for ResNet-50 @ batch {} on V100-16GB",
         fig7::BATCH
     ));
-    println!("{} blocks over {} layers:", r.blocks.len(), plan.partition.n_layers());
+    println!(
+        "{} blocks over {} layers:",
+        r.blocks.len(),
+        plan.partition.n_layers()
+    );
     for (i, (first, last, len)) in r.blocks.iter().enumerate() {
         println!("  block {i:>2}: [{first} ... {last}] ({len} layers)");
     }

@@ -41,8 +41,16 @@ fn print_series(points: &[fig8::Fig8Point]) {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (cfg25, cfg83) = fig8::figure_configs();
-    let gpus_25: &[usize] = if quick { &[128, 2048] } else { &[128, 256, 512, 1024, 2048] };
-    let gpus_83: &[usize] = if quick { &[512, 2048] } else { &[512, 1024, 2048] };
+    let gpus_25: &[usize] = if quick {
+        &[128, 2048]
+    } else {
+        &[128, 256, 512, 1024, 2048]
+    };
+    let gpus_83: &[usize] = if quick {
+        &[512, 2048]
+    } else {
+        &[512, 1024, 2048]
+    };
 
     karma_bench::rule("Fig. 8 — Megatron-LM 2.5B (hours/epoch)");
     print_series(&fig8::megatron_series(&cfg25, gpus_25));

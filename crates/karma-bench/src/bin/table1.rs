@@ -7,7 +7,13 @@ fn main() {
     karma_bench::rule("Table I — Limitations and Restrictions of Related Approaches");
     println!(
         "{:<22} {:<14} {:<12} {:<10} {:<11} {:<15} {:<14}",
-        "Name", "Approach", "Min.Memory", "Universal", "Multi-node", "StrongScaling", "FaultTolerance"
+        "Name",
+        "Approach",
+        "Min.Memory",
+        "Universal",
+        "Multi-node",
+        "StrongScaling",
+        "FaultTolerance"
     );
     for c in capability_table() {
         println!(

@@ -74,9 +74,7 @@ fn points_for(w: &Fig5Workload, batch: usize, node: &NodeSpec) -> Vec<Fig5Point>
     let ic = run_baseline(Baseline::InCore, &w.model, batch, node, &w.mem).ok();
     push(
         "in-core",
-        ic.as_ref()
-            .filter(|_| fits)
-            .map(|r| r.samples_per_sec()),
+        ic.as_ref().filter(|_| fits).map(|r| r.samples_per_sec()),
     );
     for (b, label) in [
         (Baseline::VdnnPlusPlus, "vDNN++"),
@@ -175,7 +173,10 @@ pub fn summarize(points: &[Fig5Point]) -> Fig5Summary {
         }
     };
     let lo = degradations.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = degradations.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let hi = degradations
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     Fig5Summary {
         mean_speedup_over_best_ooc: gm(&ooc_speedups),
         mean_speedup_over_checkmate: gm(&ck_speedups),

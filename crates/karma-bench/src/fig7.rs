@@ -35,7 +35,9 @@ pub fn blocking() -> (KarmaPlan, Fig7Result) {
         .unwrap();
     let node = NodeSpec::abci();
     let planner = Karma::new(node.clone(), w.mem.clone());
-    let plan = planner.plan(&w.model, BATCH, &KarmaOptions::default()).unwrap();
+    let plan = planner
+        .plan(&w.model, BATCH, &KarmaOptions::default())
+        .unwrap();
 
     let blocks = plan
         .partition

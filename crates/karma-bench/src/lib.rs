@@ -14,6 +14,9 @@
 //!
 //! Binaries under `src/bin/` print the tables; criterion benches under
 //! `benches/` time the underlying planning/simulation kernels.
+//!
+//! **Workspace position:** the top of the dependency order — depends on
+//! every analysis-side crate and is depended on by nothing.
 
 pub mod ablation;
 pub mod fig5;

@@ -91,8 +91,8 @@ pub struct CapacityPlan {
 /// budget (capacity minus the largest transient and one prefetch buffer).
 pub fn capacity_resident_from(costs: &BlockCosts, recompute: &[bool]) -> usize {
     let n = costs.n_blocks();
-    let reserve = costs.max_transient() as i64
-        + costs.act_bytes.iter().copied().max().unwrap_or(0) as i64;
+    let reserve =
+        costs.max_transient() as i64 + costs.act_bytes.iter().copied().max().unwrap_or(0) as i64;
     let budget = costs.act_capacity - reserve;
     let mut acc: i64 = 0;
     let mut resident_from = n;
@@ -208,12 +208,12 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
     let mut last_backward: Option<usize> = None;
 
     let emit_sin = |plan: &mut Plan,
-                        b: usize,
-                        extra_dep: Option<usize>,
-                        free: &mut i64,
-                        pending_souts: &mut std::collections::VecDeque<(usize, i64)>,
-                        sin_idx: &mut Vec<usize>,
-                        sout_idx: &[usize]| {
+                    b: usize,
+                    extra_dep: Option<usize>,
+                    free: &mut i64,
+                    pending_souts: &mut std::collections::VecDeque<(usize, i64)>,
+                    sin_idx: &mut Vec<usize>,
+                    sout_idx: &[usize]| {
         let mut deps = vec![sout_idx[b]];
         if let Some(d) = extra_dep {
             deps.push(d);
@@ -454,8 +454,7 @@ mod tests {
         for b in (0..plain.resident_from).step_by(2) {
             rc[b] = true;
         }
-        let with_rc =
-            build_training_plan(&c, &CapacityPlanOptions::karma_with_recompute(rc));
+        let with_rc = build_training_plan(&c, &CapacityPlanOptions::karma_with_recompute(rc));
         let (_t, m_rc) = simulate_plan(&with_rc.plan, &c, &LowerOptions::default());
         assert!(
             m_rc.makespan < m_plain.makespan,

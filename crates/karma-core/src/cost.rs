@@ -93,9 +93,8 @@ impl BlockCosts {
     /// Whether any out-of-core schedule is possible at all: the largest
     /// single block's working set must fit by itself.
     pub fn is_schedulable(&self) -> bool {
-        (0..self.n_blocks()).all(|b| {
-            (self.act_bytes[b] + self.transient_bytes[b]) as i64 <= self.act_capacity
-        })
+        (0..self.n_blocks())
+            .all(|b| (self.act_bytes[b] + self.transient_bytes[b]) as i64 <= self.act_capacity)
     }
 }
 
@@ -151,8 +150,7 @@ impl LayerCostTable {
             bwd.push(bwd.last().unwrap() + gpu.compute_time(l.backward_flops(batch)));
             act.push(act.last().unwrap() + m.activations);
             swap.push(
-                swap.last().unwrap()
-                    + l.out_shape.elements() * batch as u64 * mem.dtype_bytes,
+                swap.last().unwrap() + l.out_shape.elements() * batch as u64 * mem.dtype_bytes,
             );
             transient.push(transient.last().unwrap() + m.activation_grads + m.workspace);
             state.push(state.last().unwrap() + m.model_state());
@@ -353,9 +351,6 @@ mod tests {
         let c = BlockCosts::compute(&g, &p, 2, &node, &mem);
         let state: u64 = c.state_bytes.iter().sum();
         let input = g.layers[0].out_shape.elements() * 2 * 4;
-        assert_eq!(
-            c.act_capacity,
-            (1i64 << 30) - state as i64 - input as i64
-        );
+        assert_eq!(c.act_capacity, (1i64 << 30) - state as i64 - input as i64);
     }
 }

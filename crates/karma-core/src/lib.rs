@@ -23,6 +23,12 @@
 //!    onto the event simulator by [`lower`].
 //!
 //! The one-call facade is [`planner::Karma`].
+//!
+//! **Workspace position:** the convergence point of the analysis stack —
+//! combines `karma-graph` (model IR), `karma-hw` (node specs), `karma-sim`
+//! (event simulation) and `karma-solver` (search); everything downstream
+//! (`karma-zoo` presets, `karma-baselines`, `karma-dist`, `karma-bench`)
+//! consumes its plans.
 
 pub mod capacity;
 pub mod codegen;

@@ -112,20 +112,12 @@ pub fn simulate_plan(plan: &Plan, costs: &BlockCosts, opts: &LowerOptions) -> (T
                 costs.transient_bytes[b],
                 costs.act_bytes[b] + costs.transient_bytes[b],
             ),
-            OpKind::SwapOut => OpSpec::new(
-                LaneKind::CopyOut,
-                swap_t,
-                deps,
-                OpLabel::block("Sout", b),
-            )
-            .with_memory(0, costs.act_bytes[b]),
-            OpKind::SwapIn => OpSpec::new(
-                LaneKind::CopyIn,
-                swap_t,
-                deps,
-                OpLabel::block("Sin", b),
-            )
-            .with_memory(costs.act_bytes[b], 0),
+            OpKind::SwapOut => {
+                OpSpec::new(LaneKind::CopyOut, swap_t, deps, OpLabel::block("Sout", b))
+                    .with_memory(0, costs.act_bytes[b])
+            }
+            OpKind::SwapIn => OpSpec::new(LaneKind::CopyIn, swap_t, deps, OpLabel::block("Sin", b))
+                .with_memory(costs.act_bytes[b], 0),
             OpKind::AllReduce => OpSpec::new(
                 LaneKind::Network,
                 *opts

@@ -162,8 +162,12 @@ impl BufferModel {
             // Eq. 5: buffers swapped in this step, bounded by availability.
             let swapped_in = (self.swapin_buffers_per_sec * self.proc_time).min(avail.max(0.0));
             let processed = 1.0f64; // one buffer consumed per step
-            // Eq. 2: occupancy proxy.
-            let occ = if avail >= requ { 1.0 } else { (avail / requ).max(0.0) };
+                                    // Eq. 2: occupancy proxy.
+            let occ = if avail >= requ {
+                1.0
+            } else {
+                (avail / requ).max(0.0)
+            };
             out.push(occ);
             // Eq. 3: availability evolves by (swapped-in - processed).
             avail -= processed - swapped_in;

@@ -134,7 +134,7 @@ pub fn optimize_blocking(table: &LayerCostTable, cfg: &OptConfig) -> Vec<usize> 
     let candidates = table.cut_candidates(cfg.max_cut_candidates);
 
     // Uniform-partition seeds projected onto the candidate set.
-    let seeds: Vec<Vec<i64>> = cfg
+    let mut seeds: Vec<Vec<i64>> = cfg
         .seed_block_counts
         .iter()
         .map(|&k| {
@@ -143,14 +143,20 @@ pub fn optimize_blocking(table: &LayerCostTable, cfg: &OptConfig) -> Vec<usize> 
             candidates
                 .iter()
                 .map(|&c| {
-                    let near = targets
-                        .iter()
-                        .any(|&t| (c as i64 - t as i64).unsigned_abs() as usize <= n / (2 * k).max(1));
+                    let near = targets.iter().any(|&t| {
+                        (c as i64 - t as i64).unsigned_abs() as usize <= n / (2 * k).max(1)
+                    });
                     i64::from(near)
                 })
                 .collect()
         })
         .collect();
+    // Feasibility anchor: the finest candidate blocking has the smallest
+    // per-block footprint, so whenever *any* candidate blocking satisfies
+    // the capacity constraint this seed does. Starting the archive with it
+    // guarantees the search returns a feasible blocking when one exists,
+    // independent of the random stream.
+    seeds.push(vec![1; candidates.len()]);
 
     let problem = BlockingProblem {
         table,
@@ -180,8 +186,10 @@ pub fn refine_recompute(costs: &BlockCosts) -> Vec<bool> {
             .map(|b| costs.forward[b] < costs.swap_time(b))
             .collect();
         let quick = |rc: Vec<bool>| {
-            let cp =
-                build_training_plan(costs, &CapacityPlanOptions::karma_with_recompute(rc.clone()));
+            let cp = build_training_plan(
+                costs,
+                &CapacityPlanOptions::karma_with_recompute(rc.clone()),
+            );
             let (_t, m) = simulate_plan(&cp.plan, costs, &LowerOptions::default());
             (rc, m)
         };
@@ -190,8 +198,8 @@ pub fn refine_recompute(costs: &BlockCosts) -> Vec<bool> {
         let (knap, m_knap) = quick(knapsack_recompute(costs));
         let mut best = (none, m_none);
         for cand in [(rc, m_rc), (knap, m_knap)] {
-            let better = (cand.1.capacity_ok, -cand.1.makespan)
-                > (best.1.capacity_ok, -best.1.makespan);
+            let better =
+                (cand.1.capacity_ok, -cand.1.makespan) > (best.1.capacity_ok, -best.1.makespan);
             if better {
                 best = cand;
             }
@@ -199,7 +207,10 @@ pub fn refine_recompute(costs: &BlockCosts) -> Vec<bool> {
         return best.0;
     }
     let score = |rc: &Vec<bool>| -> f64 {
-        let cp = build_training_plan(costs, &CapacityPlanOptions::karma_with_recompute(rc.clone()));
+        let cp = build_training_plan(
+            costs,
+            &CapacityPlanOptions::karma_with_recompute(rc.clone()),
+        );
         let (_t, m) = simulate_plan(&cp.plan, costs, &LowerOptions::default());
         if m.capacity_ok {
             m.makespan

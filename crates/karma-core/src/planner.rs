@@ -212,8 +212,10 @@ impl Karma {
             vec![false; costs.n_blocks()]
         };
         // Step 5: execution-plan generation (Algorithm 1).
-        let mut capacity_plan =
-            build_training_plan(&costs, &CapacityPlanOptions::karma_with_recompute(recompute));
+        let mut capacity_plan = build_training_plan(
+            &costs,
+            &CapacityPlanOptions::karma_with_recompute(recompute),
+        );
         let (mut trace, mut metrics) =
             simulate_plan(&capacity_plan.plan, &costs, &LowerOptions::default());
 
@@ -310,14 +312,21 @@ mod tests {
             .plan(&g, 4, &KarmaOptions::fast(3))
             .unwrap();
         let without = Karma::new(node, mem)
-            .plan(&g, 4, &KarmaOptions {
-                recompute: false,
-                opt: OptConfig::fast(3),
-            })
+            .plan(
+                &g,
+                4,
+                &KarmaOptions {
+                    recompute: false,
+                    opt: OptConfig::fast(3),
+                },
+            )
             .unwrap();
         assert!(with.metrics.makespan <= without.metrics.makespan + 1e-9);
         assert_eq!(
-            without.capacity_plan.plan.count(crate::plan::OpKind::Recompute),
+            without
+                .capacity_plan
+                .plan
+                .count(crate::plan::OpKind::Recompute),
             0
         );
     }

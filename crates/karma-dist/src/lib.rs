@@ -13,6 +13,10 @@
 //!   ZeRO+KARMA combination (Fig. 8 right panel).
 //! * [`costperf`] — the Table V cost/performance ($/P) analysis comparing
 //!   data-parallel scale-out against KARMA batch scale-up.
+//!
+//! **Workspace position:** the widest analysis-side consumer — combines
+//! `karma-core` planning, `karma-net` collective models, `karma-sim`
+//! simulation and `karma-zoo` workloads; only `karma-bench` sits above it.
 
 pub mod costperf;
 pub mod megatron;

@@ -106,8 +106,7 @@ pub fn karma_dp_iteration(
 ) -> DistResult {
     let node = &cluster.node;
     let table = LayerCostTable::from_graph(graph, per_gpu_batch, node, mem);
-    let input_bytes =
-        graph.layers[0].out_shape.elements() * per_gpu_batch as u64 * mem.dtype_bytes;
+    let input_bytes = graph.layers[0].out_shape.elements() * per_gpu_batch as u64 * mem.dtype_bytes;
     let state_divisor = if opts.zero_partition {
         cluster.total_gpus().max(1) as u64
     } else {
@@ -157,8 +156,7 @@ pub fn karma_dp_iteration(
             let lead = g.blocks[0];
             // Host-bound hop over PCIe for the group's gradients, then the
             // inter-node exchange.
-            ar_time[lead] =
-                g.bytes as f64 / node.host_link.bandwidth + allreduce.time(g.bytes);
+            ar_time[lead] = g.bytes as f64 / node.host_link.bandwidth + allreduce.time(g.bytes);
             let group_params: u64 = g.blocks.iter().map(|&b| costs.params[b]).sum();
             up_time[lead] = node.cpu.update_time(group_params / state_divisor, 5.0);
         }

@@ -123,9 +123,7 @@ impl BlockPartition {
     /// Split into `k` blocks of near-equal layer counts.
     pub fn uniform(n_layers: usize, k: usize) -> Self {
         let k = k.clamp(1, n_layers);
-        let bounds = (0..k)
-            .map(|i| i * n_layers / k)
-            .collect::<Vec<_>>();
+        let bounds = (0..k).map(|i| i * n_layers / k).collect::<Vec<_>>();
         // Integer division can duplicate boundaries when k > n_layers; the
         // clamp above prevents that.
         BlockPartition::new(bounds, n_layers).unwrap()
@@ -151,11 +149,7 @@ impl BlockPartition {
     /// The `i`-th block.
     pub fn block(&self, i: usize) -> Block {
         let start = self.boundaries[i];
-        let end = self
-            .boundaries
-            .get(i + 1)
-            .copied()
-            .unwrap_or(self.n_layers);
+        let end = self.boundaries.get(i + 1).copied().unwrap_or(self.n_layers);
         Block {
             index: i,
             layers: start..end,

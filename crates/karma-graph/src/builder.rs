@@ -51,7 +51,12 @@ impl GraphBuilder {
     }
 
     /// Append `kind` consuming `from`; returns the new layer's id.
-    pub fn append_to(&mut self, from: LayerId, kind: LayerKind, name: impl Into<String>) -> LayerId {
+    pub fn append_to(
+        &mut self,
+        from: LayerId,
+        kind: LayerKind,
+        name: impl Into<String>,
+    ) -> LayerId {
         let in_shape = self.layers[from].out_shape.clone();
         let out_shape = kind.out_shape(&in_shape, None);
         let id = self.layers.len();

@@ -48,7 +48,10 @@ pub enum LayerKind {
     /// cost form as batch-norm without the cross-batch statistics.
     LayerNorm,
     /// Fully connected layer (paper III-C.7): `|X| × |Y|` MACs.
-    FullyConnected { in_features: usize, out_features: usize },
+    FullyConnected {
+        in_features: usize,
+        out_features: usize,
+    },
     /// Softmax (paper III-C.8): `2|X|`.
     Softmax,
     /// Dropout: one mask multiply per element (paper III-C.9 "other").
@@ -173,9 +176,17 @@ impl LayerKind {
                 stride,
             } => {
                 let (h, w) = input.hw().expect("ConvTranspose2d needs a CHW input");
-                assert_eq!(input.channels(), Some(*in_ch), "ConvTranspose2d in_ch mismatch");
+                assert_eq!(
+                    input.channels(),
+                    Some(*in_ch),
+                    "ConvTranspose2d in_ch mismatch"
+                );
                 // Standard transposed-conv size: (in - 1) * stride + kernel.
-                Shape::chw(*out_ch, (h - 1) * stride + *kernel, (w - 1) * stride + *kernel)
+                Shape::chw(
+                    *out_ch,
+                    (h - 1) * stride + *kernel,
+                    (w - 1) * stride + *kernel,
+                )
             }
         }
     }
@@ -195,11 +206,12 @@ impl LayerKind {
                 kernel,
                 ..
             } => (*in_ch as u64) * (*out_ch as u64) * (*kernel as u64).pow(2) + *out_ch as u64,
-            LayerKind::BatchNorm2d => {
-                2 * input.channels().expect("BN needs CHW") as u64
-            }
+            LayerKind::BatchNorm2d => 2 * input.channels().expect("BN needs CHW") as u64,
             LayerKind::LayerNorm => {
-                let d = input.seq_dims().map(|(_, d)| d).unwrap_or_else(|| input.elements() as usize);
+                let d = input
+                    .seq_dims()
+                    .map(|(_, d)| d)
+                    .unwrap_or_else(|| input.elements() as usize);
                 2 * d as u64
             }
             LayerKind::FullyConnected {
@@ -237,12 +249,10 @@ impl LayerKind {
         match self {
             LayerKind::Input | LayerKind::Flatten => 0.0,
             // |Y| * K * K * C_i multiply-adds (III-C.1).
-            LayerKind::Conv2d {
-                in_ch, kernel, ..
-            } => y * (*kernel as f64).powi(2) * *in_ch as f64 * FLOPS_PER_MAC,
-            LayerKind::ConvTranspose2d {
-                in_ch, kernel, ..
-            } => {
+            LayerKind::Conv2d { in_ch, kernel, .. } => {
+                y * (*kernel as f64).powi(2) * *in_ch as f64 * FLOPS_PER_MAC
+            }
+            LayerKind::ConvTranspose2d { in_ch, kernel, .. } => {
                 // Same MAC count as the equivalent forward conv over the
                 // *input* elements scattering into the output.
                 x * (*kernel as f64).powi(2) * *in_ch as f64 * FLOPS_PER_MAC

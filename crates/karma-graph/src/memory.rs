@@ -107,8 +107,7 @@ impl LayerMemory {
                 (act_elems as f64 * p.conv_workspace_frac) as u64 * p.dtype_bytes
             }
             // Attention keeps the (len × len) score matrix per head.
-            LayerKind::SelfAttention { heads, .. }
-            | LayerKind::TransformerBlock { heads, .. } => {
+            LayerKind::SelfAttention { heads, .. } | LayerKind::TransformerBlock { heads, .. } => {
                 let len = input.seq_dims().map(|(l, _)| l as u64).unwrap_or(0);
                 len * len * *heads as u64 * batch as u64 * p.dtype_bytes
             }
@@ -146,8 +145,7 @@ impl LayerMemory {
     /// saved activations, activation gradients and weight gradients.
     #[inline]
     pub fn backward_resident(&self) -> u64 {
-        self.weights + self.weight_grads + self.activations + self.activation_grads
-            + self.workspace
+        self.weights + self.weight_grads + self.activations + self.activation_grads + self.workspace
     }
 
     /// Bytes moved when this layer's state is swapped between near and far

@@ -96,8 +96,8 @@ impl AllReduceModel {
                 let g = self.gpus_per_node.min(self.gpus) as f64;
                 let nodes = (p / g).ceil();
                 // Intra-node reduce-scatter + allgather over NVLink.
-                let intra =
-                    2.0 * (g - 1.0) / g * n / self.peer.bandwidth + 2.0 * (g - 1.0) * self.peer.latency;
+                let intra = 2.0 * (g - 1.0) / g * n / self.peer.bandwidth
+                    + 2.0 * (g - 1.0) * self.peer.latency;
                 if nodes <= 1.0 {
                     return intra;
                 }
@@ -105,8 +105,8 @@ impl AllReduceModel {
                 // scale-dependent contention.
                 let bw = self.system.bandwidth / (1.0 + self.congestion * nodes.log2());
                 let step_cost = self.system.latency + self.step_overhead;
-                let inter = 2.0 * (nodes - 1.0) / nodes * (n / g) / bw
-                    + 2.0 * (nodes - 1.0) * step_cost;
+                let inter =
+                    2.0 * (nodes - 1.0) / nodes * (n / g) / bw + 2.0 * (nodes - 1.0) * step_cost;
                 intra + inter
             }
         }
@@ -158,7 +158,10 @@ mod tests {
         let ideal = 2.0 * n as f64 / b;
         let t = m.time(n);
         assert!(t > ideal, "must include latency");
-        assert!(t < 1.3 * ideal, "large-message ring should near the bound: {t} vs {ideal}");
+        assert!(
+            t < 1.3 * ideal,
+            "large-message ring should near the bound: {t} vs {ideal}"
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! [`karma_hw::LinkSpec`]s — the paper's own scaling analysis is expressible
 //! entirely in these terms, and `karma-runtime` provides a *real*
 //! shared-memory allreduce for execution-level validation.
+//!
+//! **Workspace position:** depends only on `karma-hw` for link/cluster
+//! specs; `karma-dist` layers the distributed pipeline models on top.
 
 pub mod allreduce;
 pub mod phased;

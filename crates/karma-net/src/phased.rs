@@ -45,7 +45,11 @@ impl PhasedExchange {
         let t_ref = model.time(1 << 20);
         // Effective per-message fixed cost and per-byte cost from two probes.
         let beta = (t_ref - t_small) / ((1 << 20) - 1) as f64;
-        let threshold = if beta > 0.0 { (t_small / beta) as u64 } else { 0 };
+        let threshold = if beta > 0.0 {
+            (t_small / beta) as u64
+        } else {
+            0
+        };
 
         let mut groups: Vec<ExchangeGroup> = Vec::new();
         let mut current = ExchangeGroup {

@@ -115,11 +115,7 @@ pub fn train_data_parallel(
             });
 
             // Workers.
-            for (rank, (net, result)) in nets
-                .iter()
-                .zip(step_results.iter_mut())
-                .enumerate()
-            {
+            for (rank, (net, result)) in nets.iter().zip(step_results.iter_mut()).enumerate() {
                 let to_agg = to_agg.clone();
                 let from_agg = replies[rank].1.clone();
                 scope.spawn(move || {
@@ -182,7 +178,11 @@ mod tests {
     fn ooc_exec(n_layers: usize) -> OocExecutor {
         OocExecutor::new(
             vec![0, 3, 6],
-            vec![BlockPolicy::Swap, BlockPolicy::Recompute, BlockPolicy::Resident],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Resident,
+            ],
             usize::MAX / 2,
             n_layers,
         )

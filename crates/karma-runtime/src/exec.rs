@@ -98,11 +98,7 @@ impl OocExecutor {
 
     fn block_range(&self, b: usize) -> (usize, usize) {
         let start = self.boundaries[b];
-        let end = self
-            .boundaries
-            .get(b + 1)
-            .copied()
-            .unwrap_or(self.n_layers);
+        let end = self.boundaries.get(b + 1).copied().unwrap_or(self.n_layers);
         (start, end)
     }
 
@@ -225,8 +221,8 @@ impl OocExecutor {
         };
         // Always-resident bytes: every block's input boundary + the input
         // + the logits, plus the largest interior as working space.
-        let bounds_bytes: usize = boundaries.iter().map(|&s| sizes[s]).sum::<usize>()
-            + sizes[n_layers];
+        let bounds_bytes: usize =
+            boundaries.iter().map(|&s| sizes[s]).sum::<usize>() + sizes[n_layers];
         let max_interior = (0..nb).map(interior).max().unwrap_or(0);
         let reserve = bounds_bytes + max_interior;
         let mut policy = vec![

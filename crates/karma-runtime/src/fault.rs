@@ -129,7 +129,11 @@ mod tests {
         let nets: Vec<_> = (0..workers).map(|_| small_cnn(4, 303)).collect();
         let exec = OocExecutor::new(
             vec![0, 3, 6],
-            vec![BlockPolicy::Swap, BlockPolicy::Recompute, BlockPolicy::Resident],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Resident,
+            ],
             usize::MAX / 2,
             nets[0].len(),
         );

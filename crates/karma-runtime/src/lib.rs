@@ -16,6 +16,10 @@
 //! * [`dp`] — multi-worker data parallelism with the per-block *phased*
 //!   gradient exchange and host-side update of Sec. III-G, implemented with
 //!   real threads over crossbeam channels.
+//!
+//! **Workspace position:** the execution-side top layer — builds only on
+//! `karma-tensor`, deliberately independent of the analysis stack so parity
+//! results cannot be contaminated by the models they validate.
 
 pub mod dp;
 pub mod exec;
@@ -23,6 +27,6 @@ pub mod fault;
 pub mod store;
 
 pub use dp::{train_data_parallel, DataParallelReport};
-pub use fault::{train_with_failures, FaultReport, Failure};
 pub use exec::{BlockPolicy, OocExecutor, OocStats};
+pub use fault::{train_with_failures, Failure, FaultReport};
 pub use store::{FarMemory, NearMemory};

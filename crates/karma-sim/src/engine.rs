@@ -175,11 +175,7 @@ impl Engine {
                     if !op.deps.iter().all(|d| !finish[d.0].is_nan()) {
                         break;
                     }
-                    let dep_ready = op
-                        .deps
-                        .iter()
-                        .map(|d| finish[d.0])
-                        .fold(0.0f64, f64::max);
+                    let dep_ready = op.deps.iter().map(|d| finish[d.0]).fold(0.0f64, f64::max);
                     let start = lane_free[li].max(dep_ready);
                     let end = start + op.duration;
                     finish[idx] = end;
@@ -227,11 +223,7 @@ impl Engine {
                 events.push((s.end, -(op.mem_release as i64)));
             }
         }
-        events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
         let mut cur = 0i64;
         let mut peak = 0i64;
         for (_, d) in events {

@@ -71,7 +71,10 @@ impl ModelProfile {
 
     /// Sum of activation bytes over a layer range (swap volume of a block).
     pub fn activations_in(&self, range: std::ops::Range<usize>) -> u64 {
-        self.layers[range].iter().map(|l| l.memory.activations).sum()
+        self.layers[range]
+            .iter()
+            .map(|l| l.memory.activations)
+            .sum()
     }
 
     /// Project this profile to a different batch size without re-profiling —

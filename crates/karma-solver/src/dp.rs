@@ -107,8 +107,7 @@ mod tests {
     #[test]
     fn capacity_infeasibility_forces_splits() {
         // Blocks longer than 3 layers are infeasible; cost 1 per block.
-        let (bounds, c) =
-            optimal_partition(10, |i, j| (j - i <= 3).then_some(1.0)).unwrap();
+        let (bounds, c) = optimal_partition(10, |i, j| (j - i <= 3).then_some(1.0)).unwrap();
         assert_eq!(c, 4.0); // ceil(10/3)
         assert_eq!(bounds[0], 0);
         assert_eq!(bounds.len(), 4);

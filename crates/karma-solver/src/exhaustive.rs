@@ -10,7 +10,10 @@ pub fn best_partition_exhaustive(
     mut score: impl FnMut(&[usize]) -> Option<f64>,
 ) -> Option<(Vec<usize>, f64)> {
     assert!(n >= 1, "cannot partition zero layers");
-    assert!(n <= 24, "exhaustive search limited to n<=24 (2^23 candidates)");
+    assert!(
+        n <= 24,
+        "exhaustive search limited to n<=24 (2^23 candidates)"
+    );
     let mut best: Option<(Vec<usize>, f64)> = None;
     let cuts = n - 1;
     let mut bounds = Vec::with_capacity(n);
@@ -44,8 +47,7 @@ mod tests {
     fn agrees_with_dp_on_separable_costs() {
         // Random-ish separable cost; exhaustive and DP must agree.
         let w = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
-        let block_cost =
-            |i: usize, j: usize| Some(w[i..j].iter().sum::<f64>().powi(2) + 2.0);
+        let block_cost = |i: usize, j: usize| Some(w[i..j].iter().sum::<f64>().powi(2) + 2.0);
         let (dp_bounds, dp_cost) = optimal_partition(8, block_cost).unwrap();
         let (ex_bounds, ex_cost) = best_partition_exhaustive(8, |bounds| {
             let mut total = 0.0;

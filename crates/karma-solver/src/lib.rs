@@ -16,6 +16,9 @@
 //! The planner's objective (pipeline occupancy, Eq. 8/9) is evaluated by a
 //! black-box callback, so all three solvers share the [`problem::Problem`]
 //! trait.
+//!
+//! **Workspace position:** a leaf crate (no `karma-*` dependencies);
+//! `karma-core` plugs its blocking/recompute objective into these solvers.
 
 pub mod aco;
 pub mod dp;

@@ -1,6 +1,8 @@
 //! Property tests: solver cross-checks on randomized instances.
 
-use karma_solver::{best_partition_exhaustive, optimal_partition, Aco, AcoConfig, Evaluation, Problem};
+use karma_solver::{
+    best_partition_exhaustive, optimal_partition, Aco, AcoConfig, Evaluation, Problem,
+};
 use proptest::prelude::*;
 
 proptest! {

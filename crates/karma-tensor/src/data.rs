@@ -45,8 +45,7 @@ impl SyntheticDataset {
             for _c in 0..channels {
                 for y in 0..side {
                     for x in 0..side {
-                        let in_quadrant =
-                            (y * 2 / side == qy) && (x * 2 / side == qx);
+                        let in_quadrant = (y * 2 / side == qy) && (x * 2 / side == qx);
                         let base = if in_quadrant { 0.8 } else { 0.1 };
                         data.push(base + rng.gen::<f32>() * 0.2);
                     }
@@ -86,12 +85,7 @@ impl SyntheticDataset {
 
     /// Split samples across `workers` equal contiguous shards and return
     /// shard `rank` of size `per_worker` from batch window `start`.
-    pub fn shard(
-        &self,
-        start: usize,
-        per_worker: usize,
-        rank: usize,
-    ) -> (Tensor, Vec<usize>) {
+    pub fn shard(&self, start: usize, per_worker: usize, rank: usize) -> (Tensor, Vec<usize>) {
         self.batch(start + rank * per_worker, per_worker)
     }
 }

@@ -135,7 +135,14 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Deterministic He-init convolution.
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let fan_in = (in_ch * k * k) as f32;
         let scale = (2.0 / fan_in).sqrt();
@@ -193,9 +200,8 @@ impl Layer for Conv2d {
                                         }
                                         let ix = ix - self.pad;
                                         acc += xin[ic * h * w + iy * w + ix]
-                                            * self.w.data[((oc * c + ic) * self.k + ky)
-                                                * self.k
-                                                + kx];
+                                            * self.w.data
+                                                [((oc * c + ic) * self.k + ky) * self.k + kx];
                                     }
                                 }
                             }
@@ -241,8 +247,7 @@ impl Layer for Conv2d {
                                         continue;
                                     }
                                     let ix = ix - self.pad;
-                                    let wi =
-                                        ((oc * c + ic) * self.k + ky) * self.k + kx;
+                                    let wi = ((oc * c + ic) * self.k + ky) * self.k + kx;
                                     dw[wi] += g * xin[ic * h * w + iy * w + ix];
                                     dxn[ic * h * w + iy * w + ix] += g * self.w.data[wi];
                                 }
@@ -283,10 +288,7 @@ pub struct ReLU;
 
 impl Layer for ReLU {
     fn forward(&self, x: &Tensor) -> Tensor {
-        Tensor::from_vec(
-            &x.shape,
-            x.data.iter().map(|&v| v.max(0.0)).collect(),
-        )
+        Tensor::from_vec(&x.shape, x.data.iter().map(|&v| v.max(0.0)).collect())
     }
 
     fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, ParamGrads) {
@@ -329,9 +331,8 @@ impl Layer for MaxPool2d {
                         let mut m = f32::NEG_INFINITY;
                         for ky in 0..self.k {
                             for kx in 0..self.k {
-                                let v = x.data[((n * c + ch) * h + oy * self.k + ky) * w
-                                    + ox * self.k
-                                    + kx];
+                                let v = x.data
+                                    [((n * c + ch) * h + oy * self.k + ky) * w + ox * self.k + kx];
                                 m = m.max(v);
                             }
                         }
@@ -356,9 +357,8 @@ impl Layer for MaxPool2d {
                         let mut bi = 0;
                         for ky in 0..self.k {
                             for kx in 0..self.k {
-                                let idx = ((n * c + ch) * h + oy * self.k + ky) * w
-                                    + ox * self.k
-                                    + kx;
+                                let idx =
+                                    ((n * c + ch) * h + oy * self.k + ky) * w + ox * self.k + kx;
                                 if x.data[idx] > best {
                                     best = x.data[idx];
                                     bi = idx;

@@ -14,6 +14,9 @@
 //!   step, the reference against which OOC execution is compared;
 //! * [`data`] — seeded synthetic classification datasets sized like the
 //!   paper's workloads.
+//!
+//! **Workspace position:** a leaf crate (no `karma-*` dependencies);
+//! `karma-runtime` builds the real out-of-core executor on top of it.
 
 pub mod data;
 pub mod layers;

@@ -132,11 +132,7 @@ impl Sequential {
     pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f64 {
         let acts = self.forward_all(x);
         let pred = acts.last().unwrap().argmax_rows();
-        let hits = pred
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let hits = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
         hits as f64 / labels.len() as f64
     }
 

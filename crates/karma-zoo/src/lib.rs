@@ -20,6 +20,10 @@
 //!
 //! [`datasets`] carries the sample shapes/counts of Table III so workload
 //! generators can size synthetic data identically to the paper.
+//!
+//! **Workspace position:** builds on `karma-graph`/`karma-hw` for model and
+//! node descriptions and on `karma-core` for calibrated memory presets;
+//! consumed by `karma-dist` and `karma-bench`.
 
 pub mod datasets;
 pub mod resnet;
@@ -118,8 +122,7 @@ mod tests {
             w.model.validate().unwrap();
             assert!(!w.batch_sizes.is_empty());
             assert_eq!(
-                w.model.layers[0].out_shape,
-                w.dataset.sample_shape,
+                w.model.layers[0].out_shape, w.dataset.sample_shape,
                 "{}: input shape should match dataset",
                 w.model.name
             );

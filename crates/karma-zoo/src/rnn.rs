@@ -117,7 +117,16 @@ mod tests {
             .plan(&g, 8, &KarmaOptions::fast(9))
             .unwrap();
         assert!(plan.metrics.capacity_ok);
-        assert!(plan.capacity_plan.plan.count(karma_core::plan::OpKind::SwapOut) > 0
-            || plan.capacity_plan.plan.count(karma_core::plan::OpKind::Recompute) > 0);
+        assert!(
+            plan.capacity_plan
+                .plan
+                .count(karma_core::plan::OpKind::SwapOut)
+                > 0
+                || plan
+                    .capacity_plan
+                    .plan
+                    .count(karma_core::plan::OpKind::Recompute)
+                    > 0
+        );
     }
 }

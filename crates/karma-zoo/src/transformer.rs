@@ -30,11 +30,51 @@ pub struct MegatronConfig {
 /// The five Megatron-LM rows of Table IV.
 pub fn megatron_table4() -> Vec<MegatronConfig> {
     vec![
-        MegatronConfig { hidden: 1152, heads: 12, layers: 18, nominal_params_b: 0.7, model_parallel: 1, hybrid_gpus: 64, karma_gpus: 32 },
-        MegatronConfig { hidden: 1536, heads: 16, layers: 40, nominal_params_b: 1.2, model_parallel: 2, hybrid_gpus: 128, karma_gpus: 64 },
-        MegatronConfig { hidden: 1920, heads: 20, layers: 54, nominal_params_b: 2.5, model_parallel: 4, hybrid_gpus: 256, karma_gpus: 128 },
-        MegatronConfig { hidden: 2304, heads: 24, layers: 64, nominal_params_b: 4.2, model_parallel: 8, hybrid_gpus: 512, karma_gpus: 256 },
-        MegatronConfig { hidden: 3072, heads: 32, layers: 72, nominal_params_b: 8.3, model_parallel: 16, hybrid_gpus: 1024, karma_gpus: 512 },
+        MegatronConfig {
+            hidden: 1152,
+            heads: 12,
+            layers: 18,
+            nominal_params_b: 0.7,
+            model_parallel: 1,
+            hybrid_gpus: 64,
+            karma_gpus: 32,
+        },
+        MegatronConfig {
+            hidden: 1536,
+            heads: 16,
+            layers: 40,
+            nominal_params_b: 1.2,
+            model_parallel: 2,
+            hybrid_gpus: 128,
+            karma_gpus: 64,
+        },
+        MegatronConfig {
+            hidden: 1920,
+            heads: 20,
+            layers: 54,
+            nominal_params_b: 2.5,
+            model_parallel: 4,
+            hybrid_gpus: 256,
+            karma_gpus: 128,
+        },
+        MegatronConfig {
+            hidden: 2304,
+            heads: 24,
+            layers: 64,
+            nominal_params_b: 4.2,
+            model_parallel: 8,
+            hybrid_gpus: 512,
+            karma_gpus: 256,
+        },
+        MegatronConfig {
+            hidden: 3072,
+            heads: 32,
+            layers: 72,
+            nominal_params_b: 8.3,
+            model_parallel: 16,
+            hybrid_gpus: 1024,
+            karma_gpus: 512,
+        },
     ]
 }
 
@@ -147,7 +187,10 @@ mod tests {
         let per_gpu = 16.0 * (1u64 << 30) as f64;
         assert!(state / 16.0 < per_gpu, "16-way MP must fit");
         // 8-way would leave no room for activations/workspace on 16 GiB.
-        assert!(state / 8.0 > per_gpu * 0.7, "8-way MP should be tight/infeasible");
+        assert!(
+            state / 8.0 > per_gpu * 0.7,
+            "8-way MP should be tight/infeasible"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ fn main() {
         in_core.train_step(&x, &y, lr);
     }
     let (xt, yt) = data.batch(0, 128);
-    println!("in-core          : accuracy {:.3}", in_core.accuracy(&xt, &yt));
+    println!(
+        "in-core          : accuracy {:.3}",
+        in_core.accuracy(&xt, &yt)
+    );
 
     // 2) Out-of-core: 2 swapped blocks + 1 recomputed + 1 resident, under
     //    a real byte budget.

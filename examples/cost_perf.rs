@@ -16,7 +16,10 @@ fn main() {
         (zoo::resnet::resnet200(), 4, zoo::CAL_RESNET200),
     ] {
         let mem = MemoryParams::calibrated(cal);
-        println!("{} (100 GPUs baseline, per-GPU batch {base_batch}):", model.name);
+        println!(
+            "{} (100 GPUs baseline, per-GPU batch {base_batch}):",
+            model.name
+        );
         println!(
             "{:>12} {:>9} {:>8} {:>11} {:>8}",
             "global batch", "DP GPUs", "DP $/P", "KARMA GPUs", "K $/P"

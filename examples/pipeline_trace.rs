@@ -19,7 +19,10 @@ fn main() {
     let planner = Karma::new(NodeSpec::abci(), mem);
 
     for (label, opts) in [
-        ("KARMA (capacity-based, no recompute)", KarmaOptions::without_recompute()),
+        (
+            "KARMA (capacity-based, no recompute)",
+            KarmaOptions::without_recompute(),
+        ),
         ("KARMA (with recompute interleave)", KarmaOptions::default()),
     ] {
         let plan = planner.plan(&model, 768, &opts).unwrap();

@@ -29,8 +29,12 @@ fn main() {
             plan.samples_per_sec(),
             plan.metrics.occupancy * 100.0,
             plan.partition.num_blocks(),
-            plan.capacity_plan.plan.count(karma::core::plan::OpKind::SwapOut),
-            plan.capacity_plan.plan.count(karma::core::plan::OpKind::Recompute),
+            plan.capacity_plan
+                .plan
+                .count(karma::core::plan::OpKind::SwapOut),
+            plan.capacity_plan
+                .plan
+                .count(karma::core::plan::OpKind::Recompute),
             plan.metrics.capacity_ok,
         );
     }

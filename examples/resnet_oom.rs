@@ -35,7 +35,9 @@ fn main() {
         let karma = planner
             .plan(&w.model, batch, &KarmaOptions::without_recompute())
             .unwrap();
-        let karma_r = planner.plan(&w.model, batch, &KarmaOptions::default()).unwrap();
+        let karma_r = planner
+            .plan(&w.model, batch, &KarmaOptions::default())
+            .unwrap();
         println!(
             "{:>6} {:>9} {:>9.1} {:>9.1} {:>12.1} {:>9.1} {:>9.1} {:>14.0}%",
             batch,

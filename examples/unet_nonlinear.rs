@@ -32,7 +32,9 @@ fn main() {
 
     let planner = Karma::new(NodeSpec::abci(), mem);
     for batch in [8usize, 16, 24, 40] {
-        let plan = planner.plan(&model, batch, &KarmaOptions::default()).unwrap();
+        let plan = planner
+            .plan(&model, batch, &KarmaOptions::default())
+            .unwrap();
         let n = plan.partition.num_blocks();
         let recomputed: Vec<usize> = (0..n)
             .filter(|&b| plan.capacity_plan.recompute[b])

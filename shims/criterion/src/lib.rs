@@ -1,0 +1,110 @@
+//! Offline stand-in for `criterion`. Bench functions compile and run
+//! unmodified: each registered closure is executed a handful of times and
+//! the mean wall-clock time is printed. There is no statistical analysis,
+//! warm-up or HTML report — swap in the real crate for publication-grade
+//! numbers.
+
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each bench function by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, 10, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{name}", self.name), self.samples, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // The 10-iteration default keeps total runtime bounded; an explicit
+    // `sample_size` request is honored as-is.
+    let iters = samples as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: 0.0,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed_ns / b.iters.max(1) as f64;
+    println!(
+        "bench {name}: mean {:.3} ms over {} iters",
+        mean_ns / 1e6,
+        b.iters
+    );
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_secs_f64() * 1e9;
+    }
+}
+
+/// Build a function that runs each listed bench with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Build a `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`] runs a genuine
+//! 8-round ChaCha keystream (key expanded from the `u64` seed with
+//! SplitMix64), so streams are deterministic, high-quality and cheap.
+//! They are **not** bit-compatible with the upstream crate — nothing in the
+//! KARMA workspace depends on matching upstream output, only on per-seed
+//! determinism.
+
+use rand::{RngCore, SeedableRng};
+
+/// 8-round ChaCha block generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    word: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds of column + diagonal quarter-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..4 {
+            let k = splitmix64(&mut sm);
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // counter = 0, nonce = 0.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_unit_floats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+        for _ in 0..1000 {
+            let x = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&u));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+}

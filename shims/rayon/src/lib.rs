@@ -1,0 +1,69 @@
+//! Offline stand-in for `rayon`. Parallel entry points return the
+//! corresponding **sequential** std iterators, so every downstream adaptor
+//! (`enumerate`, `for_each`, `map`, …) keeps working and results are
+//! identical — just single-threaded. Swap in the real crate for actual
+//! parallelism; nothing in the call sites needs to change.
+
+/// `par_chunks_mut`/`par_chunks` on slices (and anything derefing to one).
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter`/`par_iter_mut` on slices.
+pub trait IntoParallelRefIterator<'a, T: 'a> {
+    fn par_iter(&'a self) -> std::slice::Iter<'a, T>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a, T> for [T] {
+    fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+        self.iter()
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a, T: 'a> {
+    fn par_iter_mut(&'a mut self) -> std::slice::IterMut<'a, T>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a, T> for [T] {
+    fn par_iter_mut(&'a mut self) -> std::slice::IterMut<'a, T> {
+        self.iter_mut()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_behaves_like_chunks_mut() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

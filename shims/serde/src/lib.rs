@@ -1,0 +1,104 @@
+//! Offline stand-in for `serde`, scoped to what the KARMA workspace uses:
+//! `#[derive(Serialize, Deserialize)]` on non-generic structs/enums and
+//! JSON round-trips through `serde_json::{to_string, from_str}`.
+//!
+//! Instead of serde's serializer/visitor architecture, this shim converts
+//! values to and from a JSON-like [`Value`] tree:
+//!
+//! * [`Serialize::to_value`] — turn `&self` into a [`Value`];
+//! * [`Deserialize::from_value`] — rebuild `Self` from a [`Value`].
+//!
+//! The derive macros (re-exported from the sibling `serde_derive` shim)
+//! generate field-by-field conversions. The `serde_json` shim then prints
+//! and parses the `Value` tree as real JSON text, so round-trips are exact
+//! for every type the workspace serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// A parsed JSON document.
+///
+/// Integers keep their signedness (`I64`/`U64`) so `u64` byte counts survive
+/// round-trips exactly; floats are `F64`. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Look up `name` in an object, erroring on non-objects/missing keys.
+    /// Used by the generated `Deserialize` impls.
+    pub fn expect_field(&self, name: &str) -> Result<&Value, Error> {
+        let obj = self
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object with field `{name}`")))?;
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+    }
+
+    /// Expect an array of exactly `n` elements (tuple payloads).
+    pub fn expect_array(&self, n: usize) -> Result<&[Value], Error> {
+        let arr = self
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array".to_string()))?;
+        if arr.len() != n {
+            return Err(Error::custom(format!(
+                "expected array of {n} elements, got {}",
+                arr.len()
+            )));
+        }
+        Ok(arr)
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

@@ -1,0 +1,428 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` shim in this workspace uses a simplified data model
+//! (`to_value`/`from_value` over a JSON-like `Value` tree) instead of the
+//! real serde visitor architecture, so its derives can be generated with
+//! plain string codegen — no `syn`/`quote` required, which keeps the
+//! workspace buildable with zero crates.io access.
+//!
+//! Supported shapes: unit/named-field/tuple structs and enums whose variants
+//! are unit, tuple or struct-like. Generics and `#[serde(...)]` attributes
+//! are intentionally unsupported (the KARMA workspace uses neither).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or of one enum variant.
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group that follows.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional `pub(...)` restriction.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                let shape = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Shape::Unit,
+                };
+                return Input {
+                    name,
+                    kind: Kind::Struct(shape),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                let body = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    _ => panic!("serde_derive shim: enum {name} has no body"),
+                };
+                return Input {
+                    name,
+                    kind: Kind::Enum(parse_variants(body)),
+                };
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token {other}"),
+            None => panic!("serde_derive shim: no struct or enum found"),
+        }
+    }
+}
+
+fn expect_ident(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type {name} is not supported");
+        }
+    }
+}
+
+/// Parse `a: T, pub b: U, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        }
+        // Skip `: Type` up to the next top-level comma. Commas nested in
+        // angle brackets (e.g. `BTreeMap<String, u64>`) belong to the type.
+        let mut angle = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant body (`(A, B<C, D>)` → 2).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    // Tokens seen since the last top-level comma; a trailing comma closes a
+    // field but never opens a new one, so `(u64,)` still counts as 1.
+    let mut field_open = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if field_open {
+                        count += 1;
+                        field_open = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        field_open = true;
+    }
+    count + usize::from(field_open)
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Shape)> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                it.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                it.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip an optional discriminant up to the separating comma.
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Named(fields)) => obj_literal(
+            fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect(),
+        ),
+        Kind::Struct(Shape::Tuple(n)) => arr_literal(
+            (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect(),
+        ),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            arr_literal(
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect(),
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {},\n",
+                            binds.join(", "),
+                            tagged(v, &payload)
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let payload = obj_literal(
+                            fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                                .collect(),
+                        );
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => {},\n",
+                            fields.join(", "),
+                            tagged(v, &payload)
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__v.expect_field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.expect_array({n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __a = __payload.expect_array({n})?; ::std::result::Result::Ok({name}::{v}({})) }}",
+                                inits.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{v}\" => {expr},\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__payload.expect_field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                             \"unknown unit variant `{{}}` for {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                                 \"unknown variant `{{}}` for {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                         \"invalid value for enum {name}: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// `Value::Object(Vec::from([(String::from(k), v), ...]))`
+fn obj_literal(pairs: Vec<(String, String)>) -> String {
+    if pairs.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    let items: Vec<String> = pairs
+        .into_iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+/// `Value::Array(Vec::from([...]))`
+fn arr_literal(items: Vec<String>) -> String {
+    if items.is_empty() {
+        return "::serde::Value::Array(::std::vec::Vec::new())".to_string();
+    }
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+/// `Value::Object(Vec::from([(String::from(tag), payload)]))`
+fn tagged(tag: &str, payload: &str) -> String {
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{tag}\"), {payload})]))"
+    )
+}

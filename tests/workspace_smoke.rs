@@ -1,0 +1,124 @@
+//! Workspace wiring smoke test.
+//!
+//! One cheap end-to-end path per subsystem, so a manifest, feature-gate, or
+//! re-export regression anywhere in the 12-crate dependency chain fails fast
+//! here with a pointer to the broken layer — instead of surfacing later as a
+//! confusing failure deep inside a paper-reproduction test.
+
+use karma::baselines::{run_baseline, Baseline};
+use karma::core::lower::{simulate_plan, LowerOptions};
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::graph::MemoryParams;
+use karma::hw::{ClusterSpec, NodeSpec};
+use karma::net::{AllReduceAlgo, AllReduceModel};
+use karma::runtime::{BlockPolicy, OocExecutor};
+use karma::sim::LaneKind;
+use karma::solver::optimal_partition;
+use karma::tensor::{small_cnn, SyntheticDataset};
+use karma::zoo;
+
+/// zoo → graph → hw → solver → core: plan a real zoo model out-of-core on
+/// the paper's ABCI node, exactly as the facade quickstart does.
+#[test]
+fn plan_zoo_model_on_abci() {
+    let node = NodeSpec::abci();
+    let planner = Karma::new(node, MemoryParams::calibrated(zoo::CAL_RESNET50));
+    let plan = planner
+        .plan(&zoo::resnet::resnet50(), 256, &KarmaOptions::fast(1))
+        .expect("ResNet-50 @ 256 must be plannable on a V100 node");
+    assert!(
+        plan.metrics.capacity_ok,
+        "plan must respect device capacity"
+    );
+    assert!(plan.samples_per_sec() > 0.0);
+    assert!(!plan.notation().is_empty());
+}
+
+/// core → sim: lower a plan and drive the discrete-event simulator
+/// explicitly, checking the trace is physically sensible.
+#[test]
+fn simulate_planned_schedule() {
+    let node = NodeSpec::abci();
+    let planner = Karma::new(node, MemoryParams::calibrated(zoo::CAL_RESNET50));
+    let plan = planner
+        .plan(&zoo::resnet::resnet50(), 256, &KarmaOptions::fast(1))
+        .expect("plannable");
+
+    let (trace, metrics) = simulate_plan(
+        &plan.capacity_plan.plan,
+        &plan.costs,
+        &LowerOptions::default(),
+    );
+    assert!(metrics.makespan > 0.0);
+    assert!(
+        !trace.lane_spans(LaneKind::Compute).is_empty(),
+        "an OOC iteration must schedule compute work"
+    );
+    assert!(trace.makespan() >= trace.lane_busy(LaneKind::Compute));
+}
+
+/// tensor → runtime: really execute an out-of-core training step and check
+/// it swaps without changing the computation (the Sec. IV-D property).
+#[test]
+fn execute_ooc_training_step() {
+    let data = SyntheticDataset::classification(32, 1, 16, 4, 7);
+    let (x, y) = data.batch(0, 16);
+
+    let mut reference = small_cnn(4, 11);
+    reference.train_step(&x, &y, 0.05);
+
+    let mut ooc = small_cnn(4, 11);
+    let exec = OocExecutor::new(
+        vec![0, 3, 6],
+        vec![
+            BlockPolicy::Swap,
+            BlockPolicy::Recompute,
+            BlockPolicy::Resident,
+        ],
+        usize::MAX / 2,
+        ooc.len(),
+    );
+    let (_, stats) = exec.train_step(&mut ooc, &x, &y, 0.05);
+    assert!(
+        stats.swapped_out_bytes > 0,
+        "the OOC step must actually swap"
+    );
+    assert_eq!(ooc.snapshot(), reference.snapshot(), "bitwise parity");
+}
+
+/// hw → net: the AllReduce cost model over an ABCI cluster behaves
+/// monotonically in message size.
+#[test]
+fn allreduce_model_is_monotonic() {
+    let cluster = ClusterSpec::abci(4);
+    let ar = AllReduceModel::new(AllReduceAlgo::Ring, &cluster);
+    let small = ar.time(1 << 20);
+    let large = ar.time(1 << 26);
+    assert!(small > 0.0);
+    assert!(large > small, "64 MiB must cost more than 1 MiB");
+}
+
+/// solver: the DP partitioner finds the obvious optimum on a toy instance.
+#[test]
+fn solver_partitions_toy_chain() {
+    // Unit cost per block → the optimum is one single block.
+    let (cuts, cost) = optimal_partition(6, |_, _| Some(1.0)).expect("feasible");
+    assert_eq!(cost, 1.0);
+    assert_eq!(cuts, vec![0]);
+}
+
+/// baselines: a comparison system runs on the same substrate end-to-end.
+#[test]
+fn baseline_runs_on_zoo_model() {
+    let node = NodeSpec::abci();
+    let mem = MemoryParams::calibrated(zoo::CAL_RESNET50);
+    let r = run_baseline(
+        Baseline::GradientCheckpoint,
+        &zoo::resnet::resnet50(),
+        64,
+        &node,
+        &mem,
+    )
+    .expect("gradient checkpointing handles ResNet-50 @ 64");
+    assert!(r.samples_per_sec() > 0.0);
+}
