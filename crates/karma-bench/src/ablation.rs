@@ -8,6 +8,7 @@ use karma_core::opt::{optimize_blocking, refine_recompute, OptConfig};
 use karma_graph::{BlockPartition, MemoryParams, ModelGraph};
 use karma_hw::NodeSpec;
 use karma_zoo::fig5_workloads;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// X1: strategy ablation — one model/batch, four strategy variants.
@@ -107,9 +108,12 @@ pub fn solver_ablation(graph: &ModelGraph, batch: usize, mem: &MemoryParams) -> 
 
     let aco_bounds = optimize_blocking(&table, &OptConfig::fast(23));
     let aco = score(&aco_bounds);
+    // Each uniform-k reference is an independent plan + simulation.
     let best_uniform = [4usize, 8, 16, 32, 64]
-        .iter()
+        .par_iter()
         .map(|&k| score(BlockPartition::uniform(graph.len(), k.clamp(1, graph.len())).boundaries()))
+        .collect::<Vec<_>>()
+        .into_iter()
         .fold(f64::INFINITY, f64::min);
     SolverAblation {
         model: graph.name.clone(),

@@ -1,0 +1,157 @@
+//! Planner-search micro-benchmark: times `optimize_blocking` end to end
+//! (candidate generation, ACO search, per-candidate plan construction +
+//! simulation) on two zoo models and records the numbers in
+//! `BENCH_planner.json` — the perf trajectory anchor for the planner
+//! across PRs.
+//!
+//! Each model gets two entries **measured in the same run**:
+//!
+//! * `baseline`  — evaluation memoization off, 1 worker thread: the
+//!   pre-parallel, pre-cache search cost;
+//! * `optimized` — memoization on, all worker threads.
+//!
+//! The report also cross-checks the determinism guarantee at runtime: both
+//! modes must return identical block boundaries.
+//!
+//! Usage: `planner_bench [--smoke] [--out PATH]` — `--smoke` runs one
+//! model with the tiny test config (used by CI to exercise the parallel
+//! path), `--out` overrides the JSON path.
+
+use std::time::Instant;
+
+use karma_core::cost::LayerCostTable;
+use karma_core::opt::{optimize_blocking, OptConfig};
+use karma_hw::NodeSpec;
+use karma_zoo::fig5_workloads;
+use serde::Serialize;
+
+#[derive(Serialize, Clone)]
+struct BenchEntry {
+    model: String,
+    mode: String,
+    wall_ms: f64,
+    threads: usize,
+    memoize: bool,
+    blocks: usize,
+}
+
+#[derive(Serialize)]
+struct ModelSpeedup {
+    model: String,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    config: String,
+    host_threads: usize,
+    entries: Vec<BenchEntry>,
+    speedup: Vec<ModelSpeedup>,
+}
+
+/// Median wall-clock milliseconds of `runs` timed calls (after one warm-up
+/// call), plus the boundaries of the last call.
+fn time_optimize(table: &LayerCostTable, cfg: &OptConfig, runs: usize) -> (f64, Vec<usize>) {
+    let mut bounds = optimize_blocking(table, cfg); // warm-up
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        bounds = optimize_blocking(table, cfg);
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[samples.len() / 2], bounds)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_planner.json")
+        .to_string();
+
+    let models: &[&str] = if smoke {
+        &["ResNet-50"]
+    } else {
+        &["ResNet-50", "VGG16"]
+    };
+    let runs = if smoke { 1 } else { 3 };
+    let node = NodeSpec::abci();
+
+    let mut entries = Vec::new();
+    let mut speedup = Vec::new();
+    for w in fig5_workloads() {
+        if !models.contains(&w.model.name.as_str()) {
+            continue;
+        }
+        // Mid out-of-core batch, as the ablation harness uses.
+        let batch = w.batch_sizes[w.batch_sizes.len() / 2];
+        let table = LayerCostTable::from_graph(&w.model, batch, &node, &w.mem);
+        let cfg = if smoke {
+            OptConfig::fast(17)
+        } else {
+            OptConfig::default()
+        };
+
+        // Baseline: the pre-parallel search — one worker, no memoization.
+        let mut baseline_cfg = cfg.clone();
+        baseline_cfg.memoize = false;
+        rayon::set_num_threads(1);
+        let (base_ms, base_bounds) = time_optimize(&table, &baseline_cfg, runs);
+        entries.push(BenchEntry {
+            model: w.model.name.clone(),
+            mode: "baseline".into(),
+            wall_ms: base_ms,
+            threads: 1,
+            memoize: false,
+            blocks: base_bounds.len(),
+        });
+
+        // Optimized: memoized evaluations on every available worker.
+        rayon::set_num_threads(0);
+        let threads = rayon::current_num_threads();
+        let (opt_ms, opt_bounds) = time_optimize(&table, &cfg, runs);
+        entries.push(BenchEntry {
+            model: w.model.name.clone(),
+            mode: "optimized".into(),
+            wall_ms: opt_ms,
+            threads,
+            memoize: true,
+            blocks: opt_bounds.len(),
+        });
+
+        // The determinism guarantee, checked on real planner inputs: thread
+        // count and memoization must not change the result.
+        assert_eq!(
+            base_bounds, opt_bounds,
+            "{}: baseline and optimized boundaries diverged",
+            w.model.name
+        );
+
+        let s = base_ms / opt_ms.max(1e-9);
+        println!(
+            "{:<12} batch {:>4}: baseline {:>9.1} ms -> optimized {:>9.1} ms ({:.2}x, {} threads)",
+            w.model.name, batch, base_ms, opt_ms, s, threads
+        );
+        speedup.push(ModelSpeedup {
+            model: w.model.name.clone(),
+            speedup: s,
+        });
+    }
+
+    let report = BenchReport {
+        config: if smoke { "smoke" } else { "default" }.into(),
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries,
+        speedup,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

@@ -6,6 +6,7 @@ use karma_baselines::{run_baseline, Baseline};
 use karma_core::planner::{Karma, KarmaOptions};
 use karma_hw::NodeSpec;
 use karma_zoo::{fig5_workloads, Fig5Workload};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One measured point.
@@ -36,7 +37,11 @@ pub const METHODS: [&str; 6] = [
 /// criterion bench and integration tests.
 pub fn run(models: Option<&[&str]>, quick: bool) -> Vec<Fig5Point> {
     let node = NodeSpec::abci();
-    let mut out = Vec::new();
+    // Expand the model × batch grid up front, then score every cell in
+    // parallel — each cell is an independent planner + baseline run, and
+    // the order-preserving collect keeps the output row order identical to
+    // the sequential sweep.
+    let mut cells: Vec<(Fig5Workload, usize)> = Vec::new();
     for w in fig5_workloads() {
         if let Some(filter) = models {
             if !filter.contains(&w.model.name.as_str()) {
@@ -48,11 +53,15 @@ pub fn run(models: Option<&[&str]>, quick: bool) -> Vec<Fig5Point> {
         } else {
             w.batch_sizes.clone()
         };
-        for &batch in &batches {
-            out.extend(points_for(&w, batch, &node));
-        }
+        cells.extend(batches.into_iter().map(|b| (w.clone(), b)));
     }
-    out
+    cells
+        .par_iter()
+        .map(|(w, batch)| points_for(w, *batch, &node))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 fn points_for(w: &Fig5Workload, batch: usize, node: &NodeSpec) -> Vec<Fig5Point> {

@@ -89,30 +89,41 @@ fn profile_from_trace(trace: &Trace, method: &str) -> Fig6Profile {
 /// Produce the four profiles of the figure (SuperNeurons, vDNN++, KARMA,
 /// KARMA w/ recompute) for ResNet-200 at the OOC batch.
 pub fn profiles() -> Vec<Fig6Profile> {
+    use rayon::prelude::*;
+
     let w = fig5_workloads()
         .into_iter()
         .find(|w| w.model.name == "ResNet-200")
         .expect("zoo has ResNet-200");
     let node = NodeSpec::abci();
-    let mut out = Vec::new();
+    let planner = Karma::new(node.clone(), w.mem.clone());
 
-    for (b, label) in [
-        (Baseline::SuperNeurons, "SuperNeurons"),
-        (Baseline::VdnnPlusPlus, "vDNN++"),
-    ] {
-        let r = run_baseline(b, &w.model, OOC_BATCH, &node, &w.mem).unwrap();
-        out.push(profile_from_trace(&r.trace, label));
+    // The four method runs are independent simulations — run them in
+    // parallel, with the figure's legend order as plain data.
+    enum Run {
+        Base(Baseline),
+        Karma(KarmaOptions),
     }
-    let planner = Karma::new(node, w.mem.clone());
-    let karma = planner
-        .plan(&w.model, OOC_BATCH, &KarmaOptions::without_recompute())
-        .unwrap();
-    out.push(profile_from_trace(&karma.trace, "KARMA"));
-    let karma_r = planner
-        .plan(&w.model, OOC_BATCH, &KarmaOptions::default())
-        .unwrap();
-    out.push(profile_from_trace(&karma_r.trace, "KARMA (w/ recomp)"));
-    out
+    let methods = [
+        ("SuperNeurons", Run::Base(Baseline::SuperNeurons)),
+        ("vDNN++", Run::Base(Baseline::VdnnPlusPlus)),
+        ("KARMA", Run::Karma(KarmaOptions::without_recompute())),
+        ("KARMA (w/ recomp)", Run::Karma(KarmaOptions::default())),
+    ];
+    methods
+        .par_iter()
+        .map(|(label, run)| {
+            let trace = match run {
+                Run::Base(b) => {
+                    run_baseline(*b, &w.model, OOC_BATCH, &node, &w.mem)
+                        .unwrap()
+                        .trace
+                }
+                Run::Karma(opts) => planner.plan(&w.model, OOC_BATCH, opts).unwrap().trace,
+            };
+            profile_from_trace(&trace, label)
+        })
+        .collect()
 }
 
 /// Spike statistics used to check the paper's qualitative claims.

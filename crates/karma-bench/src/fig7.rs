@@ -35,9 +35,16 @@ pub fn blocking() -> (KarmaPlan, Fig7Result) {
         .unwrap();
     let node = NodeSpec::abci();
     let planner = Karma::new(node.clone(), w.mem.clone());
+    // Run the planner un-wrapped so its internal ACO batch evaluation keeps
+    // the full pool width (a nested region would run inline); only the two
+    // cheap baseline references — plain simulations — overlap as a pair.
     let plan = planner
         .plan(&w.model, BATCH, &KarmaOptions::default())
         .unwrap();
+    let (sn, vd) = rayon::join(
+        || run_baseline(Baseline::SuperNeurons, &w.model, BATCH, &node, &w.mem).unwrap(),
+        || run_baseline(Baseline::VdnnPlusPlus, &w.model, BATCH, &node, &w.mem).unwrap(),
+    );
 
     let blocks = plan
         .partition
@@ -50,8 +57,6 @@ pub fn blocking() -> (KarmaPlan, Fig7Result) {
         .collect();
 
     let karma_stall = plan.trace.lane_stall(LaneKind::Compute);
-    let sn = run_baseline(Baseline::SuperNeurons, &w.model, BATCH, &node, &w.mem).unwrap();
-    let vd = run_baseline(Baseline::VdnnPlusPlus, &w.model, BATCH, &node, &w.mem).unwrap();
     let sn_stall = sn.trace.lane_stall(LaneKind::Compute);
     let vd_stall = vd.trace.lane_stall(LaneKind::Compute);
 

@@ -10,6 +10,7 @@ use karma_graph::MemoryParams;
 use karma_hw::ClusterSpec;
 use karma_zoo::datasets::DatasetSpec;
 use karma_zoo::transformer::{megatron, megatron_table4, turing_nlg, MegatronConfig};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One curve point.
@@ -37,100 +38,111 @@ fn epoch_hours(iter_time: f64, global_batch: u64) -> f64 {
 pub fn megatron_series(cfg: &MegatronConfig, gpus_list: &[usize]) -> Vec<Fig8Point> {
     let g = megatron(cfg);
     let mem = MemoryParams::default();
-    let mut out = Vec::new();
-    for &gpus in gpus_list {
-        if gpus < cfg.model_parallel {
-            continue;
-        }
-        let cluster = ClusterSpec::abci_with_gpus(gpus);
+    // Each GPU count is an independent column of the figure — sweep them in
+    // parallel, preserving x-axis order.
+    let columns: Vec<Vec<Fig8Point>> = gpus_list
+        .iter()
+        .copied()
+        .filter(|&gpus| gpus >= cfg.model_parallel)
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&gpus| {
+            let mut out = Vec::with_capacity(3);
+            let cluster = ClusterSpec::abci_with_gpus(gpus);
 
-        for (label, phased) in [
-            ("MP+DP Megatron-LM", false),
-            ("MP+DP (opt. gradient ex.)", true),
-        ] {
-            let t = hybrid_iter_time(
-                &g,
-                &HybridConfig::megatron(cfg.model_parallel, phased),
-                &cluster,
-                gpus,
-            );
+            for (label, phased) in [
+                ("MP+DP Megatron-LM", false),
+                ("MP+DP (opt. gradient ex.)", true),
+            ] {
+                let t = hybrid_iter_time(
+                    &g,
+                    &HybridConfig::megatron(cfg.model_parallel, phased),
+                    &cluster,
+                    gpus,
+                );
+                out.push(Fig8Point {
+                    model: g.name.clone(),
+                    method: label.to_owned(),
+                    gpus,
+                    hours_per_epoch: epoch_hours(t, GLOBAL_BATCH as u64),
+                });
+            }
+
+            // KARMA at parity: every GPU is a replica; the global batch is the
+            // hybrid's multiplied by the MP factor (Fig. 8 caption), so KARMA
+            // runs m-fold fewer communication rounds per epoch.
+            let global_karma = (GLOBAL_BATCH * cfg.model_parallel) as u64;
+            let per_gpu = (global_karma as usize / gpus).max(1);
+            let r = karma_dp_iteration(&g, per_gpu, &cluster, &mem, &DistOptions::default());
             out.push(Fig8Point {
                 model: g.name.clone(),
-                method: label.to_owned(),
+                method: "KARMA (DP parity)".to_owned(),
                 gpus,
-                hours_per_epoch: epoch_hours(t, GLOBAL_BATCH as u64),
+                hours_per_epoch: epoch_hours(r.iter_time, (per_gpu * gpus) as u64),
             });
-        }
-
-        // KARMA at parity: every GPU is a replica; the global batch is the
-        // hybrid's multiplied by the MP factor (Fig. 8 caption), so KARMA
-        // runs m-fold fewer communication rounds per epoch.
-        let global_karma = (GLOBAL_BATCH * cfg.model_parallel) as u64;
-        let per_gpu = (global_karma as usize / gpus).max(1);
-        let r = karma_dp_iteration(&g, per_gpu, &cluster, &mem, &DistOptions::default());
-        out.push(Fig8Point {
-            model: g.name.clone(),
-            method: "KARMA (DP parity)".to_owned(),
-            gpus,
-            hours_per_epoch: epoch_hours(r.iter_time, (per_gpu * gpus) as u64),
-        });
-    }
-    out
+            out
+        })
+        .collect();
+    columns.into_iter().flatten().collect()
 }
 
 /// The Turing-NLG panel: ZeRO, KARMA, ZeRO+KARMA.
 pub fn turing_series(gpus_list: &[usize]) -> Vec<Fig8Point> {
     let g = turing_nlg();
     let mem = MemoryParams::default();
-    let mut out = Vec::new();
-    for &gpus in gpus_list {
-        let cluster = ClusterSpec::abci_with_gpus(gpus);
+    let columns: Vec<Vec<Fig8Point>> = gpus_list
+        .par_iter()
+        .map(|&gpus| {
+            let mut out = Vec::with_capacity(3);
+            let cluster = ClusterSpec::abci_with_gpus(gpus);
 
-        // ZeRO reference: MP=4 within the node, ZeRO-DP across nodes.
-        let zero_cfg = ZeroConfig {
-            model_parallel: 4,
-            global_batch: GLOBAL_BATCH,
-        };
-        let t_zero = zero_iter_time(&g, &zero_cfg, &cluster, gpus);
-        out.push(Fig8Point {
-            model: g.name.clone(),
-            method: "ZeRO".to_owned(),
-            gpus,
-            hours_per_epoch: epoch_hours(t_zero, GLOBAL_BATCH as u64),
-        });
+            // ZeRO reference: MP=4 within the node, ZeRO-DP across nodes.
+            let zero_cfg = ZeroConfig {
+                model_parallel: 4,
+                global_batch: GLOBAL_BATCH,
+            };
+            let t_zero = zero_iter_time(&g, &zero_cfg, &cluster, gpus);
+            out.push(Fig8Point {
+                model: g.name.clone(),
+                method: "ZeRO".to_owned(),
+                gpus,
+                hours_per_epoch: epoch_hours(t_zero, GLOBAL_BATCH as u64),
+            });
 
-        // Pure data-parallel KARMA (streams 17B of state per iteration —
-        // slower than ZeRO at equal GPUs, as the paper reports); global
-        // batch x4 (the ZeRO hybrid's MP factor), per the parity rule.
-        let global_karma = GLOBAL_BATCH * 4;
-        let per_gpu = (global_karma / gpus).max(1);
-        let karma = karma_dp_iteration(&g, per_gpu, &cluster, &mem, &DistOptions::default());
-        out.push(Fig8Point {
-            model: g.name.clone(),
-            method: "KARMA".to_owned(),
-            gpus,
-            hours_per_epoch: epoch_hours(karma.iter_time, (gpus * per_gpu) as u64),
-        });
+            // Pure data-parallel KARMA (streams 17B of state per iteration —
+            // slower than ZeRO at equal GPUs, as the paper reports); global
+            // batch x4 (the ZeRO hybrid's MP factor), per the parity rule.
+            let global_karma = GLOBAL_BATCH * 4;
+            let per_gpu = (global_karma / gpus).max(1);
+            let karma = karma_dp_iteration(&g, per_gpu, &cluster, &mem, &DistOptions::default());
+            out.push(Fig8Point {
+                model: g.name.clone(),
+                method: "KARMA".to_owned(),
+                gpus,
+                hours_per_epoch: epoch_hours(karma.iter_time, (gpus * per_gpu) as u64),
+            });
 
-        // ZeRO + KARMA: partitioned state rides the swap pipeline.
-        let both = karma_dp_iteration(
-            &g,
-            per_gpu,
-            &cluster,
-            &mem,
-            &DistOptions {
-                zero_partition: true,
-                ..Default::default()
-            },
-        );
-        out.push(Fig8Point {
-            model: g.name.clone(),
-            method: "ZeRO + KARMA".to_owned(),
-            gpus,
-            hours_per_epoch: epoch_hours(both.iter_time, (gpus * per_gpu) as u64),
-        });
-    }
-    out
+            // ZeRO + KARMA: partitioned state rides the swap pipeline.
+            let both = karma_dp_iteration(
+                &g,
+                per_gpu,
+                &cluster,
+                &mem,
+                &DistOptions {
+                    zero_partition: true,
+                    ..Default::default()
+                },
+            );
+            out.push(Fig8Point {
+                model: g.name.clone(),
+                method: "ZeRO + KARMA".to_owned(),
+                gpus,
+                hours_per_epoch: epoch_hours(both.iter_time, (gpus * per_gpu) as u64),
+            });
+            out
+        })
+        .collect();
+    columns.into_iter().flatten().collect()
 }
 
 /// Convenience: the two Megatron configurations the figure plots.

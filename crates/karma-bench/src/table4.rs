@@ -13,6 +13,7 @@ use karma_dist::{hybrid_iter_time, karma_dp_iteration, DistOptions, HybridConfig
 use karma_graph::MemoryParams;
 use karma_hw::ClusterSpec;
 use karma_zoo::transformer::{megatron, megatron_table4};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One Table IV row, reproduced.
@@ -49,8 +50,10 @@ pub const KARMA_PER_GPU_BATCH: usize = 16;
 /// Reproduce the table.
 pub fn rows() -> Vec<Table4Row> {
     let mem = MemoryParams::default();
+    // Each configuration row is independent; sweep them in parallel
+    // (order-preserving collect keeps the table's row order).
     megatron_table4()
-        .into_iter()
+        .into_par_iter()
         .map(|cfg| {
             let g = megatron(&cfg);
             let hybrid_cluster = ClusterSpec::abci_with_gpus(cfg.hybrid_gpus);

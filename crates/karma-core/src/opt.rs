@@ -15,6 +15,9 @@
 //! constraint 10.1 (recompute time below swap time); each flip is accepted
 //! only if the simulated makespan improves.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use karma_solver::{Aco, AcoConfig, Evaluation, Problem};
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +38,15 @@ pub struct OptConfig {
     pub generations: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Reuse evaluations of repeated cut genomes: in-batch deduplication in
+    /// the ACO plus a cross-generation memo cache around plan construction
+    /// and simulation. Ants resample identical genomes constantly as the
+    /// archive converges, so repeats become free. Purely an
+    /// evaluation-count optimization — the search trajectory and result
+    /// are unchanged. `false` reproduces the unoptimized evaluation cost
+    /// (every sampled genome simulated afresh) for baseline measurements
+    /// (`planner_bench`).
+    pub memoize: bool,
 }
 
 impl Default for OptConfig {
@@ -44,6 +56,7 @@ impl Default for OptConfig {
             seed_block_counts: vec![4, 6, 8, 12, 16, 24, 32],
             generations: 60,
             seed: 0x6b61726d61, // "karma"
+            memoize: true,
         }
     }
 }
@@ -56,6 +69,7 @@ impl OptConfig {
             seed_block_counts: vec![2, 4, 8],
             generations: 25,
             seed,
+            memoize: true,
         }
     }
 }
@@ -66,6 +80,11 @@ struct BlockingProblem<'a> {
     /// Allowed cut positions (layer indices), ascending.
     candidates: Vec<usize>,
     seeds: Vec<Vec<i64>>,
+    /// Cross-generation evaluation memo (genome → evaluation), `None` when
+    /// [`OptConfig::memoize`] is off. Behind a `Mutex` because the ACO
+    /// evaluates each generation's batch from several threads; the lock is
+    /// held only for lookup/insert, never across the simulation itself.
+    cache: Option<Mutex<HashMap<Vec<i64>, Evaluation>>>,
 }
 
 impl BlockingProblem<'_> {
@@ -89,9 +108,18 @@ impl Problem for BlockingProblem<'_> {
         (0, 1)
     }
     fn evaluate(&self, x: &[i64]) -> Evaluation {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lock().unwrap().get(x) {
+                return *hit;
+            }
+        }
         let bounds = self.boundaries(x);
         let costs = self.table.block_costs(&bounds);
-        evaluate_blocking(&costs)
+        let eval = evaluate_blocking(&costs);
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().insert(x.to_vec(), eval);
+        }
+        eval
     }
     fn seeds(&self) -> Vec<Vec<i64>> {
         self.seeds.clone()
@@ -162,9 +190,11 @@ pub fn optimize_blocking(table: &LayerCostTable, cfg: &OptConfig) -> Vec<usize> 
         table,
         candidates,
         seeds,
+        cache: cfg.memoize.then(|| Mutex::new(HashMap::new())),
     };
     let mut aco_cfg = AcoConfig::planner(cfg.seed);
     aco_cfg.generations = cfg.generations;
+    aco_cfg.dedupe = cfg.memoize;
     let best = Aco::new(aco_cfg).minimize(&problem);
     problem.boundaries(&best.x)
 }
@@ -359,6 +389,37 @@ mod tests {
         let (_t, m_rc) = simulate_plan(&with.plan, &costs, &LowerOptions::default());
         assert!(m_rc.makespan <= m_plain.makespan + 1e-9);
         assert!(m_rc.capacity_ok);
+    }
+
+    #[test]
+    fn optimize_blocking_invariant_to_thread_count() {
+        // The planner's promise after the parallel rework: same OptConfig →
+        // bit-identical boundaries regardless of how many rayon workers
+        // evaluate the ACO batches.
+        let g = chain(14);
+        let node = tight_node(&g, 0.5);
+        let table = LayerCostTable::from_graph(&g, 4, &node, &MemoryParams::exact());
+        rayon::set_num_threads(1);
+        let sequential = optimize_blocking(&table, &OptConfig::fast(9));
+        rayon::set_num_threads(4);
+        let parallel = optimize_blocking(&table, &OptConfig::fast(9));
+        rayon::set_num_threads(0); // restore auto sizing
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn memoization_does_not_change_the_result() {
+        let g = chain(12);
+        let node = tight_node(&g, 0.5);
+        let table = LayerCostTable::from_graph(&g, 4, &node, &MemoryParams::exact());
+        let mut plain = OptConfig::fast(4);
+        plain.memoize = false;
+        let mut memo = plain.clone();
+        memo.memoize = true;
+        assert_eq!(
+            optimize_blocking(&table, &plain),
+            optimize_blocking(&table, &memo)
+        );
     }
 
     #[test]

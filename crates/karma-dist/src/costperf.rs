@@ -16,6 +16,7 @@ use karma_core::planner::{Karma, KarmaOptions};
 use karma_graph::{MemoryParams, ModelGraph};
 use karma_hw::ClusterSpec;
 use karma_net::{AllReduceAlgo, AllReduceModel};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One Table V row.
@@ -73,9 +74,22 @@ pub fn cost_perf_table(
         .expect("base batch must fit");
     let local_in_core = in_core.metrics.makespan;
 
+    // KARMA leg: one independent out-of-core planner run per step — the
+    // expensive part of the table, swept in parallel (order-preserving).
+    let karma_makespans: Vec<f64> = steps
+        .par_iter()
+        .map(|&s| {
+            planner
+                .plan(graph, base_batch * s, &KarmaOptions::fast(7))
+                .expect("KARMA plan")
+                .metrics
+                .makespan
+        })
+        .collect();
+
     let mut rows = Vec::with_capacity(steps.len());
     let mut norm: Option<(f64, f64)> = None;
-    for &s in steps {
+    for (&s, &karma_makespan) in steps.iter().zip(&karma_makespans) {
         let global = base_batch * base_gpus * s;
 
         // DP: add GPUs.
@@ -85,11 +99,7 @@ pub fn cost_perf_table(
         let dp_cp = dp_gpus as f64 / dp_throughput;
 
         // KARMA: fixed GPUs, bigger per-GPU batch (out-of-core past s=1).
-        let karma_batch = base_batch * s;
-        let karma_plan = planner
-            .plan(graph, karma_batch, &KarmaOptions::fast(7))
-            .expect("KARMA plan");
-        let karma_iter = dp_iter_time(karma_plan.metrics.makespan, grad_bytes, base_gpus);
+        let karma_iter = dp_iter_time(karma_makespan, grad_bytes, base_gpus);
         let karma_throughput = global as f64 / karma_iter;
         let karma_cp = base_gpus as f64 / karma_throughput;
 

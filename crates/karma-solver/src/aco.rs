@@ -11,12 +11,26 @@
 //!   ranks), then sample a discretized Gaussian around its value with a
 //!   deviation that shrinks as the archive converges;
 //! * uniform exploration with probability `explore`.
+//!
+//! # Generation-batched parallel evaluation
+//!
+//! Each generation is processed in three phases: every ant is **sampled
+//! sequentially** from one RNG stream (so a fixed seed fixes the entire
+//! search trajectory), the batch is **deduplicated** (against itself and
+//! against the archive — duplicate genomes cannot enter the archive, so
+//! re-evaluating them is pure waste), and the surviving candidates are
+//! **evaluated in parallel** via `rayon`. Results merge into the archive
+//! in sampling order, which — evaluation being pure — makes the returned
+//! solution bit-identical for any worker-thread count.
+
+use std::collections::HashSet;
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
-use crate::problem::{Problem, Solution};
+use crate::problem::{Evaluation, Problem, Solution};
 
 /// ACO hyper-parameters.
 #[derive(Debug, Clone)]
@@ -35,6 +49,11 @@ pub struct AcoConfig {
     pub xi: f64,
     /// RNG seed (deterministic runs; vary for restarts).
     pub seed: u64,
+    /// Drop duplicate genomes (within a generation's batch, and genomes
+    /// already in the archive) before evaluation. Duplicates can never
+    /// enter the archive, so evaluating them is pure waste; disable only
+    /// to reproduce the unoptimized evaluation cost in benchmarks.
+    pub dedupe: bool,
 }
 
 impl AcoConfig {
@@ -48,6 +67,7 @@ impl AcoConfig {
             rank_decay: 0.75,
             xi: 0.9,
             seed,
+            dedupe: true,
         }
     }
 
@@ -61,6 +81,7 @@ impl AcoConfig {
             rank_decay: 0.7,
             xi: 0.85,
             seed,
+            dedupe: true,
         }
     }
 }
@@ -80,57 +101,97 @@ impl Aco {
     }
 
     /// Minimize `p`, returning the best solution found.
+    ///
+    /// Deterministic for a fixed [`AcoConfig::seed`] independent of the
+    /// rayon worker count: sampling consumes one sequential RNG stream and
+    /// batch results merge in sampling order (see the module docs).
     pub fn minimize<P: Problem>(&self, p: &P) -> Solution {
         let n = p.dims();
         assert!(n > 0, "problem has no variables");
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
 
-        // Initial archive: seeds (clamped) + uniform random candidates.
-        let mut archive: Vec<Solution> = Vec::with_capacity(self.cfg.archive);
-        for seed in p.seeds() {
-            let x = clamp_to_bounds(p, &seed);
-            let eval = p.evaluate(&x);
-            archive.push(Solution { x, eval });
+        // Initial archive: seeds (clamped) + uniform random candidates,
+        // sampled sequentially, evaluated as one parallel batch.
+        let mut initial: Vec<Vec<i64>> = p.seeds().iter().map(|s| clamp_to_bounds(p, s)).collect();
+        while initial.len() < self.cfg.archive {
+            initial.push(
+                (0..n)
+                    .map(|i| {
+                        let (lo, hi) = p.bounds(i);
+                        rng.gen_range(lo..=hi)
+                    })
+                    .collect(),
+            );
         }
-        while archive.len() < self.cfg.archive {
-            let x: Vec<i64> = (0..n)
-                .map(|i| {
-                    let (lo, hi) = p.bounds(i);
-                    rng.gen_range(lo..=hi)
-                })
-                .collect();
-            let eval = p.evaluate(&x);
-            archive.push(Solution { x, eval });
-        }
+        let mut archive = evaluate_batch(p, initial);
         sort_archive(&mut archive);
         archive.truncate(self.cfg.archive);
 
+        // Rank-weighted kernel-selection CDF: weight(r) = rank_decay^r,
+        // normalized. Depends only on the (fixed) archive size, so hoist it
+        // out of the per-variable sampling loop — the same prefix-sum
+        // arithmetic as before, just computed once.
+        let kernel_cdf: Vec<f64> = {
+            let k = archive.len();
+            let q = self.cfg.rank_decay;
+            let norm: f64 = (0..k).map(|r| q.powi(r as i32)).sum();
+            let mut acc = 0.0;
+            (0..k)
+                .map(|r| {
+                    acc += q.powi(r as i32) / norm;
+                    acc
+                })
+                .collect()
+        };
+
         let mut scratch = vec![0i64; n];
         for _gen in 0..self.cfg.generations {
+            // Phase 1: sample the whole generation from the generation-start
+            // archive (single sequential RNG stream).
+            let mut genomes: Vec<Vec<i64>> = Vec::with_capacity(self.cfg.ants);
             for _ant in 0..self.cfg.ants {
-                self.sample(p, &archive, &mut scratch, &mut rng);
-                let eval = p.evaluate(&scratch);
-                if eval.better_than(&archive.last().unwrap().eval) {
-                    let sol = Solution {
-                        x: scratch.clone(),
+                self.sample(p, &archive, &kernel_cdf, &mut scratch, &mut rng);
+                genomes.push(scratch.clone());
+            }
+            // Phase 2: dedupe, keeping first occurrences in sampling order.
+            // Genomes already in the archive are dropped outright — the
+            // archive stays duplicate-free, so they can never be inserted.
+            let mut seen: HashSet<&[i64]> = HashSet::with_capacity(genomes.len());
+            let unique: Vec<&[i64]> = genomes
+                .iter()
+                .map(Vec::as_slice)
+                .filter(|g| {
+                    !self.cfg.dedupe || (!archive.iter().any(|s| s.x == *g) && seen.insert(*g))
+                })
+                .collect();
+            // Phase 3: evaluate candidates in parallel (pure), then merge
+            // into the archive in the fixed sampling order.
+            let evals: Vec<Evaluation> = unique.par_iter().map(|x| p.evaluate(x)).collect();
+            for (&x, eval) in unique.iter().zip(evals) {
+                if eval.better_than(&archive.last().unwrap().eval)
+                    // Earlier merges this generation may have inserted an
+                    // identical genome; keep the archive duplicate-free to
+                    // preserve diversity.
+                    && !archive.iter().any(|s| s.x == x)
+                {
+                    *archive.last_mut().unwrap() = Solution {
+                        x: x.to_vec(),
                         eval,
                     };
-                    // Keep the archive duplicate-free to preserve diversity.
-                    if !archive.iter().any(|s| s.x == sol.x) {
-                        *archive.last_mut().unwrap() = sol;
-                        sort_archive(&mut archive);
-                    }
+                    sort_archive(&mut archive);
                 }
             }
         }
         archive.into_iter().next().unwrap()
     }
 
-    /// Sample one ant into `out`.
+    /// Sample one ant into `out`. `kernel_cdf` is the precomputed
+    /// rank-weighted kernel-selection CDF (see [`Aco::minimize`]).
     fn sample<P: Problem>(
         &self,
         p: &P,
         archive: &[Solution],
+        kernel_cdf: &[f64],
         out: &mut [i64],
         rng: &mut ChaCha8Rng,
     ) {
@@ -141,16 +202,12 @@ impl Aco {
                 *slot = rng.gen_range(lo..=hi);
                 continue;
             }
-            // Rank-weighted kernel selection: weight(r) = rank_decay^r.
+            // Rank-weighted kernel selection: inverse CDF of the truncated
+            // geometric distribution.
             let pick = {
                 let u: f64 = rng.gen();
-                let q = self.cfg.rank_decay;
-                // Inverse CDF of the truncated geometric distribution.
-                let norm: f64 = (0..k).map(|r| q.powi(r as i32)).sum();
-                let mut acc = 0.0;
                 let mut chosen = k - 1;
-                for r in 0..k {
-                    acc += q.powi(r as i32) / norm;
+                for (r, &acc) in kernel_cdf.iter().enumerate() {
                     if u <= acc {
                         chosen = r;
                         break;
@@ -172,6 +229,15 @@ impl Aco {
             *slot = v.clamp(lo, hi);
         }
     }
+}
+
+/// Evaluate a candidate batch in parallel, preserving input order.
+fn evaluate_batch<P: Problem>(p: &P, xs: Vec<Vec<i64>>) -> Vec<Solution> {
+    let evals: Vec<Evaluation> = xs.par_iter().map(|x| p.evaluate(x)).collect();
+    xs.into_iter()
+        .zip(evals)
+        .map(|(x, eval)| Solution { x, eval })
+        .collect()
 }
 
 fn sort_archive(archive: &mut [Solution]) {
@@ -265,6 +331,26 @@ mod tests {
         let a = Aco::new(AcoConfig::fast(11)).minimize(&p);
         let b = Aco::new(AcoConfig::fast(11)).minimize(&p);
         assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The tentpole guarantee: one worker vs many workers returns the
+        // bit-identical best solution (sampling is a single sequential RNG
+        // stream; parallel evaluation is pure; merges happen in sampling
+        // order). Knapsackish has a rugged landscape, so any divergence in
+        // the search trajectory would show up in the decision vector.
+        let sequential = {
+            rayon::set_num_threads(1);
+            Aco::new(AcoConfig::fast(29)).minimize(&Knapsackish)
+        };
+        let parallel = {
+            rayon::set_num_threads(4);
+            Aco::new(AcoConfig::fast(29)).minimize(&Knapsackish)
+        };
+        rayon::set_num_threads(0); // restore auto sizing
+        assert_eq!(sequential.x, parallel.x);
+        assert_eq!(sequential.eval, parallel.eval);
     }
 
     #[test]

@@ -27,7 +27,13 @@ impl Evaluation {
 }
 
 /// A black-box constrained integer program.
-pub trait Problem {
+///
+/// `Sync` is a supertrait because the ACO solver evaluates each
+/// generation's candidate batch in parallel ([`crate::Aco::minimize`]):
+/// `evaluate` must be safe to call concurrently from several threads.
+/// Implementations that cache evaluations internally should use a
+/// thread-safe wrapper (e.g. `Mutex<HashMap<..>>`).
+pub trait Problem: Sync {
     /// Number of integer decision variables.
     fn dims(&self) -> usize;
     /// Inclusive bounds of variable `i`.

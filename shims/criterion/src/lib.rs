@@ -1,8 +1,19 @@
-//! Offline stand-in for `criterion`. Bench functions compile and run
-//! unmodified: each registered closure is executed a handful of times and
-//! the mean wall-clock time is printed. There is no statistical analysis,
-//! warm-up or HTML report — swap in the real crate for publication-grade
-//! numbers.
+//! Offline stand-in for `criterion` with a statistically honest measurement
+//! loop. Bench functions compile and run unmodified; each registered
+//! closure goes through:
+//!
+//! 1. a **warm-up phase** (unrecorded iterations until
+//!    [`WARM_UP`](Bencher::DEFAULT_WARM_UP_NS) elapses) so caches, branch
+//!    predictors and lazily-initialized state settle;
+//! 2. a **measurement phase** timing every iteration individually, running
+//!    until both the requested sample count and a **minimum measurement
+//!    time** are met;
+//! 3. **outlier rejection** (Tukey fences at 1.5×IQR, as in the real
+//!    crate's analysis) followed by **median-of-samples** reporting.
+//!
+//! There is still no HTML report or regression tracking — swap in the real
+//! crate for publication-grade numbers — but the printed medians are stable
+//! enough to quote deltas between PRs.
 
 use std::time::Instant;
 
@@ -21,7 +32,9 @@ impl Criterion {
         println!("group {name}");
         BenchmarkGroup {
             name: name.to_string(),
-            samples: 10,
+            samples: Bencher::DEFAULT_SAMPLES,
+            warm_up_ns: Bencher::DEFAULT_WARM_UP_NS,
+            min_measure_ns: Bencher::DEFAULT_MIN_MEASURE_NS,
         }
     }
 
@@ -29,7 +42,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, 10, &mut f);
+        run_bench(
+            name,
+            Bencher::DEFAULT_SAMPLES,
+            Bencher::DEFAULT_WARM_UP_NS,
+            Bencher::DEFAULT_MIN_MEASURE_NS,
+            &mut f,
+        );
         self
     }
 }
@@ -37,6 +56,8 @@ impl Criterion {
 pub struct BenchmarkGroup {
     name: String,
     samples: usize,
+    warm_up_ns: f64,
+    min_measure_ns: f64,
 }
 
 impl BenchmarkGroup {
@@ -45,46 +66,163 @@ impl BenchmarkGroup {
         self
     }
 
+    /// Minimum wall-clock time the measurement phase must cover.
+    pub fn measurement_time(&mut self, d: std::time::Duration) -> &mut Self {
+        self.min_measure_ns = d.as_secs_f64() * 1e9;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: std::time::Duration) -> &mut Self {
+        self.warm_up_ns = d.as_secs_f64() * 1e9;
+        self
+    }
+
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(&format!("{}/{name}", self.name), self.samples, &mut f);
+        run_bench(
+            &format!("{}/{name}", self.name),
+            self.samples,
+            self.warm_up_ns,
+            self.min_measure_ns,
+            &mut f,
+        );
         self
     }
 
     pub fn finish(self) {}
 }
 
-fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
-    // The 10-iteration default keeps total runtime bounded; an explicit
-    // `sample_size` request is honored as-is.
-    let iters = samples as u64;
+fn run_bench(
+    name: &str,
+    samples: usize,
+    warm_up_ns: f64,
+    min_measure_ns: f64,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let mut b = Bencher {
-        iters,
-        elapsed_ns: 0.0,
+        target_samples: samples,
+        warm_up_ns,
+        min_measure_ns,
+        sample_ns: Vec::new(),
     };
     f(&mut b);
-    let mean_ns = b.elapsed_ns / b.iters.max(1) as f64;
+    let stats = robust_stats(&b.sample_ns);
     println!(
-        "bench {name}: mean {:.3} ms over {} iters",
-        mean_ns / 1e6,
-        b.iters
+        "bench {name}: median {:.3} ms (mean {:.3} ms, {} samples, {} outliers rejected)",
+        stats.median_ns / 1e6,
+        stats.mean_ns / 1e6,
+        stats.kept,
+        stats.rejected,
     );
 }
 
+/// Robust summary of per-iteration timings: Tukey-fence outlier rejection
+/// (1.5×IQR) followed by median/mean over the surviving samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustStats {
+    /// Median of the kept samples (ns).
+    pub median_ns: f64,
+    /// Mean of the kept samples (ns).
+    pub mean_ns: f64,
+    /// Samples surviving the fences.
+    pub kept: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+}
+
+/// Compute [`RobustStats`] over raw per-iteration nanosecond samples.
+pub fn robust_stats(samples: &[f64]) -> RobustStats {
+    if samples.is_empty() {
+        return RobustStats {
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            kept: 0,
+            rejected: 0,
+        };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q1 = percentile(&sorted, 0.25);
+    let q3 = percentile(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|&s| s >= lo && s <= hi)
+        .collect();
+    // The fences always keep the quartiles themselves, so `kept` is
+    // non-empty whenever `samples` is.
+    RobustStats {
+        median_ns: percentile(&kept, 0.5),
+        mean_ns: kept.iter().sum::<f64>() / kept.len() as f64,
+        kept: kept.len(),
+        rejected: sorted.len() - kept.len(),
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let idx = pos.floor() as usize;
+    let frac = pos - idx as f64;
+    if idx + 1 < sorted.len() {
+        sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
+    } else {
+        sorted[idx]
+    }
+}
+
 pub struct Bencher {
-    iters: u64,
-    elapsed_ns: f64,
+    target_samples: usize,
+    warm_up_ns: f64,
+    min_measure_ns: f64,
+    sample_ns: Vec<f64>,
 }
 
 impl Bencher {
+    /// Default sample count per bench.
+    pub const DEFAULT_SAMPLES: usize = 10;
+    /// Default warm-up (50 ms) — enough to populate caches without making
+    /// the whole suite crawl.
+    pub const DEFAULT_WARM_UP_NS: f64 = 50e6;
+    /// Default minimum measurement time (200 ms).
+    pub const DEFAULT_MIN_MEASURE_NS: f64 = 200e6;
+    /// Hard cap on extra iterations taken to satisfy the minimum
+    /// measurement time, so ultra-fast closures still terminate promptly.
+    const MAX_SAMPLE_FACTOR: usize = 50;
+
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let start = Instant::now();
-        for _ in 0..self.iters {
+        // Warm-up: unrecorded iterations until the warm-up budget elapses
+        // (always at least one).
+        let warm_start = Instant::now();
+        loop {
             black_box(f());
+            if warm_start.elapsed().as_secs_f64() * 1e9 >= self.warm_up_ns {
+                break;
+            }
         }
-        self.elapsed_ns = start.elapsed().as_secs_f64() * 1e9;
+        // Measurement: every iteration timed individually; keep going until
+        // both the sample target and the minimum measurement time are met.
+        self.sample_ns.clear();
+        let measure_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            self.sample_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            let enough_samples = self.sample_ns.len() >= self.target_samples;
+            let enough_time = measure_start.elapsed().as_secs_f64() * 1e9 >= self.min_measure_ns;
+            let capped = self.sample_ns.len() >= self.target_samples * Self::MAX_SAMPLE_FACTOR;
+            if (enough_samples && enough_time) || capped {
+                break;
+            }
+        }
     }
 }
 
@@ -107,4 +245,56 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sets() {
+        let s = robust_stats(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median_ns, 2.0);
+        assert_eq!(s.rejected, 0);
+        let s = robust_stats(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.median_ns, 2.5);
+    }
+
+    #[test]
+    fn outliers_are_rejected() {
+        // Nine tight samples plus one wild spike: the spike must not move
+        // the median and must be counted as rejected.
+        let mut samples = vec![10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9];
+        samples.push(10_000.0);
+        let s = robust_stats(&samples);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.kept, 9);
+        assert!((s.median_ns - 10.0).abs() < 0.5, "median {}", s.median_ns);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert_eq!(robust_stats(&[]).kept, 0);
+        let s = robust_stats(&[7.0]);
+        assert_eq!(s.median_ns, 7.0);
+        assert_eq!(s.kept, 1);
+    }
+
+    #[test]
+    fn bencher_collects_at_least_the_target_samples() {
+        let mut b = Bencher {
+            target_samples: 5,
+            warm_up_ns: 0.0,
+            min_measure_ns: 0.0,
+            sample_ns: Vec::new(),
+        };
+        let mut runs = 0u64;
+        b.iter(|| {
+            runs += 1;
+            runs
+        });
+        assert!(b.sample_ns.len() >= 5);
+        // warm-up ran at least once on top of the measured iterations
+        assert!(runs as usize > b.sample_ns.len());
+    }
 }

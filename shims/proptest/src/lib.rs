@@ -5,8 +5,11 @@
 //! [`prop_assert_eq!`] and [`prop_assume!`].
 //!
 //! Inputs are sampled from a deterministic per-test RNG (seeded from the
-//! test name), so failures reproduce across runs. There is **no shrinking**:
-//! a failing case reports the assertion message only.
+//! test name), so failures reproduce across runs. There is **no
+//! shrinking**, but a failing case reports the **sampled inputs**
+//! (`Debug`-formatted, one per line) alongside the assertion message, so
+//! failures can be turned into concrete regression tests directly. As in
+//! the real crate, strategy outputs must therefore implement `Debug`.
 
 use std::collections::BTreeSet;
 use std::ops::{Range, RangeInclusive};
@@ -271,11 +274,28 @@ macro_rules! __proptest_item {
             let __cfg: $crate::ProptestConfig = $cfg;
             $crate::run_proptest(&__cfg, stringify!($name), |__rng| {
                 $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                // Debug-render the sampled inputs up front (the body takes
+                // ownership) so a failure can report them.
+                let __inputs: ::std::string::String = [
+                    $(::std::format!(
+                        "    {} = {:?}",
+                        ::std::stringify!($arg),
+                        &$arg
+                    )),+
+                ]
+                .join("\n");
                 let mut __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
                     $body
                     ::std::result::Result::Ok(())
                 };
-                __case()
+                match __case() {
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(
+                            ::std::format!("{__msg}\n  sampled inputs:\n{__inputs}"),
+                        ))
+                    }
+                    __other => __other,
+                }
             });
         }
         $crate::__proptest_item! { @cfg ($cfg) $($rest)* }
@@ -350,4 +370,39 @@ pub mod prelude {
         prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
         ProptestConfig, Strategy, TestCaseError,
     };
+}
+
+#[cfg(test)]
+mod tests {
+    // Not #[test] itself: invoked under catch_unwind below.
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig { cases: 4, ..Default::default() })]
+        fn always_fails(x in 10u32..20, v in crate::prop::collection::vec(0i64..3, 2..4)) {
+            crate::prop_assert!(v.len() > 100, "lengths are small (x={})", x);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_sampled_inputs() {
+        let payload = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the failure message");
+        assert!(msg.contains("lengths are small"), "message lost: {msg}");
+        assert!(msg.contains("sampled inputs:"), "inputs missing: {msg}");
+        assert!(msg.contains("x = 1"), "x not rendered: {msg}"); // x ∈ 10..20
+        assert!(msg.contains("v = ["), "v not rendered: {msg}");
+    }
+
+    #[test]
+    fn passing_property_still_passes() {
+        crate::proptest! {
+            #![proptest_config(crate::ProptestConfig { cases: 16, ..Default::default() })]
+            fn in_range(x in 0u32..5) {
+                crate::prop_assert!(x < 5);
+            }
+        }
+        in_range();
+    }
 }

@@ -1,60 +1,424 @@
-//! Offline stand-in for `rayon`. Parallel entry points return the
-//! corresponding **sequential** std iterators, so every downstream adaptor
-//! (`enumerate`, `for_each`, `map`, …) keeps working and results are
-//! identical — just single-threaded. Swap in the real crate for actual
-//! parallelism; nothing in the call sites needs to change.
+//! Offline stand-in for `rayon` with **real** data parallelism.
+//!
+//! Unlike the first-generation shim (which degraded every `par_*` entry
+//! point to a sequential std iterator), this version executes parallel
+//! regions on scoped `std::thread` workers:
+//!
+//! * **Pool sizing** — `std::thread::available_parallelism`, overridable
+//!   with `KARMA_NUM_THREADS` / `RAYON_NUM_THREADS` (checked in that
+//!   order) or at runtime via [`set_num_threads`] (the shim's substitute
+//!   for `ThreadPoolBuilder::build_global`). `1` forces sequential
+//!   execution everywhere.
+//! * **Chunked distribution** — each parallel region splits its items into
+//!   one contiguous chunk per worker and joins the workers in chunk order,
+//!   so every adaptor is **order-preserving**: `par_iter().map(f).collect()`
+//!   yields exactly the sequential result, independent of thread count.
+//! * **Oversubscription guard** — a thread-local "pool worker" mark keeps
+//!   nested parallel regions (e.g. a parallel bench sweep whose inner
+//!   planner also calls `par_iter`) from multiplying threads: a region
+//!   started from a worker thread runs inline on that worker, while
+//!   independent top-level regions always get the full pool width.
+//!
+//! The trait surface of the real crate that the workspace consumes is kept
+//! intact (`par_chunks[_mut]`, `par_iter[_mut]`, `into_par_iter` on `Vec`
+//! and ranges, `map`/`enumerate`/`for_each`/`collect`/`sum`), so no call
+//! site changes when swapping in the real `rayon`.
 
-/// `par_chunks_mut`/`par_chunks` on slices (and anything derefing to one).
-pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+// --------------------------------------------------------------- pool size
+
+/// Runtime override installed by [`set_num_threads`]; `0` means "auto".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set on threads spawned by this shim's parallel regions — the
+    /// oversubscription guard: a region started *from* a pool worker (i.e.
+    /// nested parallelism) runs inline instead of multiplying threads.
+    /// Being thread-local it cannot leak on panic, and independent
+    /// top-level regions (e.g. concurrent tests) never throttle each other.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        for var in ["KARMA_NUM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Override the worker count for every subsequent parallel region
+/// (`0` restores the environment/auto default). Process-global, like
+/// rayon's global pool.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count parallel regions are currently sized to.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => auto_threads(),
+        n => n,
     }
 }
 
-pub trait ParallelSlice<T> {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
+// --------------------------------------------------------------- executor
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+/// Worker count for a new parallel region: the configured pool size for
+/// top-level regions, 1 (inline) when the caller is itself a pool worker —
+/// nested regions don't multiply threads.
+fn region_threads() -> usize {
+    if IS_POOL_WORKER.with(Cell::get) {
+        1
+    } else {
+        current_num_threads()
     }
 }
 
-/// `par_iter`/`par_iter_mut` on slices.
+/// Apply `f` to every item on `threads` scoped worker threads, preserving
+/// input order in the output (`threads` is further limited by the item
+/// count).
+fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Contiguous chunks, one per worker, joined in chunk order.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    IS_POOL_WORKER.with(|w| w.set(true));
+                    c.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Run two closures, potentially in parallel, and return both results —
+/// the shim's version of `rayon::join`. `fa` runs on a scoped worker while
+/// `fb` runs on the calling thread (sequentially, `fa` first, when the
+/// pool is saturated or sized to 1).
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if region_threads() <= 1 {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|s| {
+        let ha = s.spawn(move || {
+            IS_POOL_WORKER.with(|w| w.set(true));
+            fa()
+        });
+        let b = fb();
+        let a = match ha.join() {
+            Ok(a) => a,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (a, b)
+    })
+}
+
+// ------------------------------------------------------ parallel iterators
+
+/// The adaptor/terminal surface shared by every parallel iterator here.
+///
+/// Execution model: terminal operations ([`for_each`](Self::for_each),
+/// [`collect`](Self::collect), [`sum`](Self::sum)) materialize the base
+/// items and drive the composed per-item closure on the pool; lazy
+/// adaptors ([`map`](Self::map)) only compose closures.
+pub trait ParallelIterator: Sized {
+    /// Item produced by this iterator stage.
+    type Item: Send;
+
+    /// Materialize all items in input order, running mapped stages on the
+    /// pool.
+    fn into_vec(self) -> Vec<Self::Item>;
+
+    /// Run `f` over every item on the pool, collecting results in input
+    /// order — the driver behind every terminal operation.
+    fn par_apply<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Lazily map each item (executed on the pool by the terminal op).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its input-order index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Consume every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.par_apply(|x| {
+            f(x);
+        });
+    }
+
+    /// Collect into a container, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(self.into_vec())
+    }
+
+    /// Sum the items (reduction itself is sequential; producing the items
+    /// is parallel).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_vec().into_iter().sum()
+    }
+}
+
+/// Containers a parallel iterator can [`collect`](ParallelIterator::collect)
+/// into.
+pub trait FromParallelIterator<T> {
+    /// Build the container from the already-ordered item vector.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Base parallel iterator over an owned, already-materialized item vector.
+/// Every entry point (`par_iter`, `par_chunks_mut`, `into_par_iter`, …)
+/// lowers to this.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    fn par_apply<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map_vec(self.items, region_threads(), &f)
+    }
+}
+
+/// Lazy mapping stage (see [`ParallelIterator::map`]).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn into_vec(self) -> Vec<R> {
+        self.base.par_apply(self.f)
+    }
+
+    fn par_apply<R2, G>(self, g: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        self.base.par_apply(move |x| g(f(x)))
+    }
+}
+
+/// Index-pairing stage (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+{
+    type Item = (usize, B::Item);
+
+    fn into_vec(self) -> Vec<Self::Item> {
+        self.base.into_vec().into_iter().enumerate().collect()
+    }
+
+    fn par_apply<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        // Indices refer to this stage's input order, so attach them after
+        // materializing the base (itself parallel for mapped stages).
+        let indexed: Vec<(usize, B::Item)> = self.base.into_vec().into_iter().enumerate().collect();
+        par_map_vec(indexed, region_threads(), &f)
+    }
+}
+
+// ----------------------------------------------------------- entry points
+
+/// `par_chunks_mut` on slices (and anything derefing to one).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParVec<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParVec<&mut [T]> {
+        ParVec {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over non-overlapping shared chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParVec<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParVec<&[T]> {
+        ParVec {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter` on slices.
 pub trait IntoParallelRefIterator<'a, T: 'a> {
-    fn par_iter(&'a self) -> std::slice::Iter<'a, T>;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParVec<&'a T>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a, T> for [T] {
-    fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
-        self.iter()
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a, T> for [T] {
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
     }
 }
 
+/// `par_iter_mut` on slices.
 pub trait IntoParallelRefMutIterator<'a, T: 'a> {
-    fn par_iter_mut(&'a mut self) -> std::slice::IterMut<'a, T>;
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParVec<&'a mut T>;
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a, T> for [T] {
-    fn par_iter_mut(&'a mut self) -> std::slice::IterMut<'a, T> {
-        self.iter_mut()
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a, T> for [T] {
+    fn par_iter_mut(&'a mut self) -> ParVec<&'a mut T> {
+        ParVec {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// By-value parallel iteration (`Vec`, ranges).
+pub trait IntoParallelIterator {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec {
+            items: self.collect(),
+        }
     }
 }
 
 pub mod prelude {
     pub use crate::{
-        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn par_chunks_mut_behaves_like_chunks_mut() {
@@ -65,5 +429,95 @@ mod tests {
             }
         });
         assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn map_collect_matches_sequential_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = input.iter().map(|&x| x * x + 1).collect();
+        let par: Vec<u64> = input.par_iter().map(|&x| x * x + 1).collect();
+        assert_eq!(par, seq);
+        let owned: Vec<u64> = input.into_par_iter().map(|x| x * x + 1).collect();
+        assert_eq!(owned, seq);
+    }
+
+    #[test]
+    fn range_into_par_iter_preserves_order() {
+        let par: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * 3).collect();
+        let seq: Vec<usize> = (0..257usize).map(|i| i * 3).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<i64> = (0..100i64).collect();
+        let got: Vec<i64> = v.into_par_iter().map(|x| x + 1).map(|x| x * 2).collect();
+        let want: Vec<i64> = (0..100i64).map(|x| (x + 1) * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn executor_uses_multiple_threads_when_asked() {
+        // Drive the executor directly with a forced width so the test is
+        // independent of the host's core count.
+        let items: Vec<usize> = (0..64).collect();
+        let ids = Mutex::new(HashSet::new());
+        let out = par_map_vec(items, 4, &|x| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected >1 worker thread, got {:?}",
+            ids.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (0..500).collect();
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, (0..500u64).map(|x| x * 2).sum());
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut v: Vec<u64> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v, (0..100u64).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_regions_run_inline_on_workers() {
+        // A region launched from inside a pool worker must not fan out
+        // again; launched from a top-level thread it may.
+        let items: Vec<usize> = (0..8).collect();
+        let nested_widths: Vec<usize> = par_map_vec(items, 4, &|_| super::region_threads());
+        assert!(
+            nested_widths.iter().all(|&w| w == 1),
+            "nested regions should be inline, got {nested_widths:?}"
+        );
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| (0..100u64).sum::<u64>(), || "right".to_string());
+        assert_eq!(a, 4950);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map_vec(items, 4, &|x| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
     }
 }
