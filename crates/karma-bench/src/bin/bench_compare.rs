@@ -1,0 +1,55 @@
+//! The `check-bench` CI gate: compare a fresh `BENCH_*.json` against the
+//! committed baseline and exit non-zero on a regression.
+//!
+//! Usage: `bench_compare <committed.json> <fresh.json> [--max-slowdown F]`
+//!
+//! `F` is the tolerated optimized/baseline wall-time-ratio regression as a
+//! fraction (default 0.25 = 25%). See `karma_bench::compare` for the
+//! normalization rules (machine speed cancels in the ratio; thread-count
+//! differences only make the gate lenient; configs must match).
+
+use karma_bench::compare::{compare_reports, DEFAULT_MAX_SLOWDOWN};
+use karma_bench::report::BenchReport;
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_compare: {path} is not a bench report: {e:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_slowdown = args
+        .iter()
+        .position(|a| a == "--max-slowdown")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<f64>().expect("--max-slowdown takes a fraction"))
+        .unwrap_or(DEFAULT_MAX_SLOWDOWN);
+    let paths: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--max-slowdown"))
+        .map(|(_, a)| a)
+        .collect();
+    let [committed, fresh] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <committed.json> <fresh.json> [--max-slowdown F]");
+        std::process::exit(2);
+    };
+
+    let outcome = compare_reports(&load(committed), &load(fresh), max_slowdown);
+    for note in &outcome.notes {
+        println!("note: {note}");
+    }
+    if outcome.passed() {
+        println!(
+            "bench gate OK: {fresh} within {}% of {committed}",
+            max_slowdown * 100.0
+        );
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plan→runtime execution micro-benchmark: times a *real* out-of-core
+//! training step driven end to end by the planner — profile the model
+//! (`karma-sim::ModelProfile`), plan from the profile
+//! (`LayerCostTable::from_profile` → `optimize_blocking` →
+//! `refine_recompute` → `build_training_plan`), lower the plan through the
+//! bridge (`karma_runtime::bridge::lower_plan`) and execute it on the
+//! tensor stack. Records `BENCH_exec.json` in the same shape as
+//! `BENCH_planner.json`, so the executor path joins the cross-PR perf
+//! trajectory and the CI regression gate.
+//!
+//! Modes, **measured in the same run**:
+//!
+//! * `baseline`  — the pre-bridge executor: the plan's block policies with
+//!   the hand-written just-in-time transfer schedule (evict after own
+//!   forward, fetch before own backward);
+//! * `optimized` — the bridged executor: the same policies plus the plan's
+//!   exact eviction order and capacity-based prefetch schedule.
+//!
+//! The run also cross-checks the bridge at runtime: both executors must
+//! produce bit-identical losses and identical block-level op counts.
+//!
+//! Usage: `exec_bench [--smoke] [--out PATH]`.
+
+use std::time::Instant;
+
+use karma_bench::report::{BenchEntry, BenchReport, ModelSpeedup};
+use karma_core::capacity::{build_training_plan, CapacityPlanOptions};
+use karma_core::cost::LayerCostTable;
+use karma_core::opt::{optimize_blocking, refine_recompute, OptConfig};
+use karma_graph::{MemoryParams, ModelGraph};
+use karma_hw::{GpuSpec, LinkSpec, NodeSpec};
+use karma_runtime::bridge::{expected_residency, graph_boundaries_to_net, lower_plan};
+use karma_runtime::OocExecutor;
+use karma_sim::ModelProfile;
+use karma_tensor::{conv_stack, small_resnet_style, Sequential, SyntheticDataset, Tensor};
+
+/// Median wall-clock milliseconds of `runs` gradient steps (one warm-up).
+fn time_steps(
+    exec: &OocExecutor,
+    net: &Sequential,
+    x: &Tensor,
+    y: &[usize],
+    runs: usize,
+) -> (f64, f32) {
+    let (mut loss, _, _) = exec.grad_step(net, x, y, |_, _| {});
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        let (l, _, _) = exec.grad_step(net, x, y, |_, _| {});
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        loss = l;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[samples.len() / 2], loss)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_exec.json")
+        .to_string();
+    // Both workloads are millisecond-scale, so smoke mode keeps them and
+    // trims repetitions: between them the two plans exercise both
+    // transfer lanes.
+    let runs = if smoke { 3 } else { 9 };
+    // Each graph is the zoo's mirror of its executable net (see
+    // `karma_zoo::micro`), so the analytic profile describes exactly the
+    // tensors the executor touches.
+    let workloads: Vec<(ModelGraph, Sequential, u64)> = vec![
+        (
+            karma_zoo::micro::conv_stack_graph(6, 4),
+            conv_stack(6, 4, 11),
+            21,
+        ),
+        (
+            karma_zoo::micro::resnet_style_graph(4),
+            small_resnet_style(4, 7),
+            71,
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    let mut speedup = Vec::new();
+    for (graph, net, seed) in workloads {
+        let batch = 16;
+        let data = SyntheticDataset::classification(32, 1, 16, 4, seed);
+        let (x, y) = data.batch(0, batch);
+
+        // Steps 1-2: offline profile; a device sized so the model is
+        // out-of-core and the planner must swap.
+        let mem = MemoryParams::exact();
+        let need = graph.peak_footprint(batch, &mem) as f64;
+        // Link fast enough that capacity-based swapping competes with
+        // recompute: the plan should exercise both transfer lanes.
+        let node = NodeSpec::toy(
+            GpuSpec::toy((need * 0.65) as u64, 5.0e9),
+            LinkSpec::toy(4.0e9),
+        );
+        let profile = ModelProfile::collect(&graph, batch, &node.gpu, &mem);
+        let table = LayerCostTable::from_profile(&profile, &node);
+
+        // Steps 3-5: plan from the profile. Cuts at graph layer 1 are
+        // excluded — they would isolate the input layer, which the
+        // executor cannot realize.
+        let mut cfg = OptConfig::fast(17);
+        cfg.min_cut_layer = 2;
+        cfg.max_cut_candidates = 5;
+        let bounds = optimize_blocking(&table, &cfg);
+        let costs = table.block_costs(&bounds);
+        let rc = refine_recompute(&costs);
+        let cp = build_training_plan(&costs, &CapacityPlanOptions::karma_with_recompute(rc));
+
+        // Bridge: graph-space boundaries -> net-space executor.
+        let net_bounds = graph_boundaries_to_net(&bounds)
+            .expect("planner isolated the input layer; pick another seed");
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        let replay = expected_residency(&cp.plan, &net_bounds, &key_bytes, net.len())
+            .expect("planner plan must be bridgeable");
+        let budget = replay.peak_bytes;
+        let bridged =
+            lower_plan(&cp.plan, &net_bounds, budget, net.len()).expect("planner plan must lower");
+        let jit = OocExecutor::new(
+            net_bounds.clone(),
+            bridged.policies().to_vec(),
+            budget,
+            net.len(),
+        );
+
+        let (base_ms, base_loss) = time_steps(&jit, &net, &x, &y, runs);
+        let (opt_ms, opt_loss) = time_steps(&bridged, &net, &x, &y, runs);
+
+        // Runtime cross-check: the bridge moves transfers, not arithmetic.
+        assert_eq!(base_loss, opt_loss, "{}: loss diverged", graph.name);
+        let (_, _, s_jit) = jit.grad_step(&net, &x, &y, |_, _| {});
+        let (_, _, s_br) = bridged.grad_step(&net, &x, &y, |_, _| {});
+        assert_eq!(s_jit.swap_out_ops, s_br.swap_out_ops);
+        assert_eq!(s_jit.swap_in_ops, s_br.swap_in_ops);
+        assert_eq!(s_jit.recompute_ops, s_br.recompute_ops);
+
+        let blocks = cp.plan.n_blocks;
+        for (mode, wall_ms) in [("baseline", base_ms), ("optimized", opt_ms)] {
+            entries.push(BenchEntry {
+                model: graph.name.clone(),
+                mode: mode.into(),
+                wall_ms,
+                threads: 1,
+                memoize: false,
+                blocks,
+            });
+        }
+        let s = base_ms / opt_ms.max(1e-9);
+        println!(
+            "{:<14} batch {:>3}, {} blocks, {} swaps, {} recomputes: \
+             jit {:>7.3} ms -> bridged {:>7.3} ms ({:.2}x)",
+            graph.name, batch, blocks, s_br.swap_in_ops, s_br.recompute_ops, base_ms, opt_ms, s
+        );
+        speedup.push(ModelSpeedup {
+            model: graph.name.clone(),
+            speedup: s,
+        });
+    }
+
+    let report = BenchReport {
+        config: if smoke { "smoke" } else { "default" }.into(),
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries,
+        speedup,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

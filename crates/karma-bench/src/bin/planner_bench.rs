@@ -19,35 +19,11 @@
 
 use std::time::Instant;
 
+use karma_bench::report::{BenchEntry, BenchReport, ModelSpeedup};
 use karma_core::cost::LayerCostTable;
 use karma_core::opt::{optimize_blocking, OptConfig};
 use karma_hw::NodeSpec;
 use karma_zoo::fig5_workloads;
-use serde::Serialize;
-
-#[derive(Serialize, Clone)]
-struct BenchEntry {
-    model: String,
-    mode: String,
-    wall_ms: f64,
-    threads: usize,
-    memoize: bool,
-    blocks: usize,
-}
-
-#[derive(Serialize)]
-struct ModelSpeedup {
-    model: String,
-    speedup: f64,
-}
-
-#[derive(Serialize)]
-struct BenchReport {
-    config: String,
-    host_threads: usize,
-    entries: Vec<BenchEntry>,
-    speedup: Vec<ModelSpeedup>,
-}
 
 /// Median wall-clock milliseconds of `runs` timed calls (after one warm-up
 /// call), plus the boundaries of the last call.

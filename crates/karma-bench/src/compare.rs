@@ -1,0 +1,209 @@
+//! The CI bench-regression gate (`check-bench`).
+//!
+//! Compares a freshly generated [`BenchReport`] against the committed
+//! baseline and fails on a real slowdown of the optimized path. Because
+//! the two reports generally come from different machines (a laptop
+//! recorded the baseline, a CI runner the fresh one), absolute wall times
+//! are not comparable; instead the gate normalizes per report:
+//!
+//! * **machine speed** cancels in the `optimized / baseline` wall-time
+//!   ratio, since both modes of one report are measured in the same run;
+//! * **thread count** only ever works in the gate's favor — a runner with
+//!   more cores makes the parallel `optimized` mode faster, never slower,
+//!   so a ratio regression beyond the threshold is a genuine code
+//!   regression, not a topology artifact;
+//! * **smoke mode** is pinned by refusing to compare reports whose
+//!   `config` fields differ.
+//!
+//! The `blocks` fields double as a determinism canary: the same search
+//! config must reproduce the same blocking on any host, so a drift fails
+//! the gate even when timing looks fine.
+
+use crate::report::BenchReport;
+
+/// Default slowdown tolerance: fail beyond a 25% ratio regression.
+pub const DEFAULT_MAX_SLOWDOWN: f64 = 0.25;
+
+/// Outcome of one gate evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Human-readable per-model observations.
+    pub notes: Vec<String>,
+    /// Violations; non-empty fails the gate.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no violation was recorded.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare `fresh` against `baseline`, tolerating up to `max_slowdown`
+/// (e.g. `0.25` = 25%) regression of the per-model optimized/baseline
+/// wall-time ratio.
+pub fn compare_reports(
+    baseline: &BenchReport,
+    fresh: &BenchReport,
+    max_slowdown: f64,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if baseline.config != fresh.config {
+        out.failures.push(format!(
+            "config mismatch: baseline is '{}', fresh is '{}' — regenerate the committed \
+             baseline with the same mode",
+            baseline.config, fresh.config
+        ));
+        return out;
+    }
+    for model in baseline.models() {
+        let pair = |r: &BenchReport| -> Option<(f64, f64)> {
+            let base = r.entry(model, "baseline")?;
+            let opt = r.entry(model, "optimized")?;
+            Some((base.wall_ms, opt.wall_ms))
+        };
+        let Some((b_base, b_opt)) = pair(baseline) else {
+            out.notes
+                .push(format!("{model}: baseline report is incomplete, skipped"));
+            continue;
+        };
+        let Some((f_base, f_opt)) = pair(fresh) else {
+            out.failures
+                .push(format!("{model}: missing from the fresh report"));
+            continue;
+        };
+        // Determinism canary before any timing question.
+        for mode in ["baseline", "optimized"] {
+            let committed = baseline.entry(model, mode).unwrap().blocks;
+            let got = fresh.entry(model, mode).unwrap().blocks;
+            if committed != got {
+                out.failures.push(format!(
+                    "{model}/{mode}: plan drifted from {committed} to {got} blocks under an \
+                     unchanged config — the search is no longer deterministic"
+                ));
+            }
+        }
+        let r_old = b_opt / b_base.max(1e-9);
+        let r_new = f_opt / f_base.max(1e-9);
+        let limit = r_old * (1.0 + max_slowdown);
+        if r_new > limit {
+            out.failures.push(format!(
+                "{model}: optimized/baseline wall-time ratio regressed from {r_old:.3} to \
+                 {r_new:.3} (limit {limit:.3}, tolerance {:.0}%)",
+                max_slowdown * 100.0
+            ));
+        } else {
+            out.notes.push(format!(
+                "{model}: ratio {r_new:.3} vs committed {r_old:.3} (limit {limit:.3}) — ok"
+            ));
+        }
+    }
+    for model in fresh.models() {
+        if !baseline.models().contains(&model) {
+            out.notes
+                .push(format!("{model}: new workload, no committed baseline yet"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchEntry, ModelSpeedup};
+
+    fn entry(model: &str, mode: &str, wall_ms: f64, threads: usize, blocks: usize) -> BenchEntry {
+        BenchEntry {
+            model: model.into(),
+            mode: mode.into(),
+            wall_ms,
+            threads,
+            memoize: mode == "optimized",
+            blocks,
+        }
+    }
+
+    fn report(config: &str, pairs: &[(&str, f64, f64, usize)]) -> BenchReport {
+        BenchReport {
+            config: config.into(),
+            host_threads: 4,
+            entries: pairs
+                .iter()
+                .flat_map(|&(m, base, opt, blocks)| {
+                    vec![
+                        entry(m, "baseline", base, 1, blocks),
+                        entry(m, "optimized", opt, 4, blocks),
+                    ]
+                })
+                .collect(),
+            speedup: pairs
+                .iter()
+                .map(|&(m, base, opt, _)| ModelSpeedup {
+                    model: m.into(),
+                    speedup: base / opt,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let out = compare_reports(&r, &r, DEFAULT_MAX_SLOWDOWN);
+        assert!(out.passed(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn synthetic_30_percent_ratio_regression_fails() {
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        // Same baseline cost, optimized 30% slower in ratio terms.
+        let new = report("smoke", &[("resnet", 100.0, 52.0, 7)]);
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("regressed"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn ten_percent_regression_is_within_tolerance() {
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let new = report("smoke", &[("resnet", 100.0, 44.0, 7)]);
+        assert!(compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN).passed());
+    }
+
+    #[test]
+    fn machine_speed_is_normalized_away() {
+        // The CI runner is 3x slower across the board: absolute times grow,
+        // the ratio does not, the gate passes.
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let new = report("smoke", &[("resnet", 300.0, 120.0, 7)]);
+        assert!(compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN).passed());
+    }
+
+    #[test]
+    fn blocks_drift_fails_the_determinism_canary() {
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let new = report("smoke", &[("resnet", 100.0, 40.0, 9)]);
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("deterministic"));
+    }
+
+    #[test]
+    fn missing_model_fails_new_model_notes() {
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let new = report("smoke", &[("vgg", 80.0, 30.0, 5)]);
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed(), "dropped coverage must fail");
+        assert!(out.notes.iter().any(|n| n.contains("new workload")));
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let old = report("default", &[("resnet", 100.0, 40.0, 7)]);
+        let new = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("config mismatch"));
+    }
+}

@@ -15,14 +15,23 @@
 //! Binaries under `src/bin/` print the tables; criterion benches under
 //! `benches/` time the underlying planning/simulation kernels.
 //!
+//! Beyond the paper artifacts, [`report`] defines the `BENCH_*.json`
+//! schema written by the perf-trajectory binaries (`planner_bench` for
+//! the search, `exec_bench` for the plan→runtime execution path) and
+//! [`compare`] implements the CI regression gate (`bench_compare`) over
+//! those files.
+//!
 //! **Workspace position:** the top of the dependency order — depends on
-//! every analysis-side crate and is depended on by nothing.
+//! both the analysis-side crates and (for `exec_bench`) the execution
+//! stack, and is depended on by nothing.
 
 pub mod ablation;
+pub mod compare;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod report;
 pub mod table4;
 pub mod table5;
 

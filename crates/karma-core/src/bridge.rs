@@ -1,0 +1,641 @@
+//! Lowering execution plans toward the runtime executor (plan half).
+//!
+//! [`lower_to_runtime`] analyses a validated [`Plan`] and extracts the
+//! executor-shaped description of it: one activation policy per block
+//! (resident / swap / recompute), the eviction order of the forward phase
+//! (which blocks swap out after which forward), and the prefetch schedule
+//! of the backward phase (which blocks swap in before which backward).
+//! Plans whose op sequence the out-of-core executor cannot realize — ops
+//! the single-GPU runtime has no analogue for, forwards out of block
+//! order, a swap-in that would arrive after the backward that needs it —
+//! are rejected with a typed [`RuntimeLowerError`], never a panic.
+//!
+//! The result is deliberately free of runtime types: `karma-runtime`'s
+//! `bridge` module turns a [`RuntimeSchedule`] plus block boundaries and a
+//! byte budget into a real `OocExecutor`. Keeping the analysis here means
+//! the planner side can verify executability (and tests can fuzz it)
+//! without linking the tensor stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::plan::{OpKind, Plan};
+
+/// Per-block activation policy derived from a plan's op sequence — the
+/// plan-level mirror of the runtime's `BlockPolicy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoweredPolicy {
+    /// No swap or recompute ops: activations stay resident.
+    Resident,
+    /// The block has a `Sout`/`Sin` pair: interior activations move to far
+    /// memory after the forward and return before the backward.
+    Swap,
+    /// The block has a `R` op: interior activations are dropped after the
+    /// forward and re-materialized from the boundary checkpoint.
+    Recompute,
+}
+
+/// Why a plan cannot be realized by the out-of-core executor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeLowerError {
+    /// `Plan::validate` failed (dangling deps, duplicate forwards, …).
+    Invalid(String),
+    /// The plan uses an op the single-GPU executor has no analogue for
+    /// (`AR` / `U` belong to the distributed pipeline).
+    UnsupportedOp {
+        /// The offending op kind.
+        op: OpKind,
+        /// Its block.
+        block: usize,
+    },
+    /// More than one op of this kind on one block.
+    DuplicateOp {
+        /// The duplicated op kind.
+        op: OpKind,
+        /// Its block.
+        block: usize,
+    },
+    /// A block has no forward op.
+    MissingForward {
+        /// The block.
+        block: usize,
+    },
+    /// Forwards are not issued in ascending block order (the executor runs
+    /// blocks front to back).
+    ForwardOutOfOrder {
+        /// First block whose forward breaks the order.
+        block: usize,
+    },
+    /// A block has no backward op.
+    MissingBackward {
+        /// The block.
+        block: usize,
+    },
+    /// Backwards are not issued in descending block order.
+    BackwardOutOfOrder {
+        /// First block whose backward breaks the order.
+        block: usize,
+    },
+    /// A block both swaps and recomputes.
+    SwapRecomputeConflict {
+        /// The block.
+        block: usize,
+    },
+    /// `Sout` issued before the block's forward produced the data.
+    SwapOutBeforeForward {
+        /// The block.
+        block: usize,
+    },
+    /// `Sout` issued after the backward phase began (the executor evicts
+    /// only during the forward sweep).
+    SwapOutInBackwardPhase {
+        /// The block.
+        block: usize,
+    },
+    /// `Sout` with no matching `Sin`: the backward would find no data.
+    SwapOutNotFetched {
+        /// The block.
+        block: usize,
+    },
+    /// `Sin` with no matching `Sout`: nothing was ever moved out.
+    SwapInWithoutSwapOut {
+        /// The block.
+        block: usize,
+    },
+    /// `Sin` issued before its `Sout`.
+    SwapInBeforeSwapOut {
+        /// The block.
+        block: usize,
+    },
+    /// `Sin` issued while the forward sweep is still running (the executor
+    /// prefetches only between backward steps).
+    SwapInDuringForward {
+        /// The block.
+        block: usize,
+    },
+    /// `Sin` issued after the backward that needs the data.
+    SwapInAfterBackward {
+        /// The block.
+        block: usize,
+    },
+    /// `Sin` issued between a block's recompute and its backward — the
+    /// executor fetches before it re-forwards, so that order is
+    /// unrealizable.
+    SwapInSplitsRecompute {
+        /// The swapped block whose fetch lands in the gap.
+        block: usize,
+    },
+    /// `R` issued while the forward sweep is still running.
+    RecomputeDuringForward {
+        /// The block.
+        block: usize,
+    },
+    /// The first compute op after a block's `R` is not its own backward
+    /// (the executor re-forwards immediately before the backward).
+    RecomputeNotAdjacent {
+        /// The block.
+        block: usize,
+    },
+}
+
+impl fmt::Display for RuntimeLowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use RuntimeLowerError::*;
+        match self {
+            Invalid(msg) => write!(f, "structurally invalid plan: {msg}"),
+            UnsupportedOp { op, block } => write!(
+                f,
+                "op {} on block {block} has no single-GPU executor analogue",
+                op.mnemonic()
+            ),
+            DuplicateOp { op, block } => {
+                write!(f, "block {block} has more than one {} op", op.mnemonic())
+            }
+            MissingForward { block } => write!(f, "block {block} has no forward op"),
+            ForwardOutOfOrder { block } => {
+                write!(f, "forward of block {block} breaks ascending block order")
+            }
+            MissingBackward { block } => write!(f, "block {block} has no backward op"),
+            BackwardOutOfOrder { block } => {
+                write!(f, "backward of block {block} breaks descending block order")
+            }
+            SwapRecomputeConflict { block } => {
+                write!(f, "block {block} both swaps and recomputes")
+            }
+            SwapOutBeforeForward { block } => {
+                write!(f, "swap-out of block {block} precedes its forward")
+            }
+            SwapOutInBackwardPhase { block } => {
+                write!(f, "swap-out of block {block} lands in the backward phase")
+            }
+            SwapOutNotFetched { block } => {
+                write!(f, "block {block} swaps out but never back in")
+            }
+            SwapInWithoutSwapOut { block } => {
+                write!(f, "swap-in of block {block} has no matching swap-out")
+            }
+            SwapInBeforeSwapOut { block } => {
+                write!(f, "swap-in of block {block} precedes its swap-out")
+            }
+            SwapInDuringForward { block } => {
+                write!(f, "swap-in of block {block} lands in the forward phase")
+            }
+            SwapInAfterBackward { block } => {
+                write!(f, "swap-in of block {block} arrives after its backward")
+            }
+            SwapInSplitsRecompute { block } => write!(
+                f,
+                "swap-in of block {block} lands between a recompute and its backward"
+            ),
+            RecomputeDuringForward { block } => {
+                write!(f, "recompute of block {block} lands in the forward phase")
+            }
+            RecomputeNotAdjacent { block } => write!(
+                f,
+                "recompute of block {block} is not adjacent to its backward"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeLowerError {}
+
+/// The executor-shaped description of a plan: everything `karma-runtime`
+/// needs to configure an `OocExecutor`, and nothing tied to tensor types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeSchedule {
+    /// One policy per block.
+    pub policies: Vec<LoweredPolicy>,
+    /// `evict_after[j]` — blocks whose interiors swap out right after block
+    /// `j`'s forward, in plan issue order.
+    pub evict_after: Vec<Vec<usize>>,
+    /// `prefetch_before[j]` — blocks whose interiors swap back in right
+    /// before backward step `j` is processed, in plan issue order.
+    pub prefetch_before: Vec<Vec<usize>>,
+    /// Largest prefetch distance in the plan: how many backward steps
+    /// before its own a swap-in is issued (0 = every fetch is
+    /// just-in-time).
+    pub prefetch_depth: usize,
+}
+
+impl RuntimeSchedule {
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Blocks with the swap policy (also the expected swap-out and swap-in
+    /// op counts of an execution).
+    pub fn swap_blocks(&self) -> usize {
+        self.policies
+            .iter()
+            .filter(|p| **p == LoweredPolicy::Swap)
+            .count()
+    }
+
+    /// Blocks with the recompute policy (the expected recompute op count).
+    pub fn recompute_blocks(&self) -> usize {
+        self.policies
+            .iter()
+            .filter(|p| **p == LoweredPolicy::Recompute)
+            .count()
+    }
+
+    /// Forward-phase eviction order (flattened `evict_after`).
+    pub fn eviction_order(&self) -> Vec<usize> {
+        self.evict_after.iter().flatten().copied().collect()
+    }
+}
+
+/// Per-block op indices gathered in one scan.
+struct OpIndex {
+    fwd: Vec<Option<usize>>,
+    bwd: Vec<Option<usize>>,
+    sout: Vec<Option<usize>>,
+    sin: Vec<Option<usize>>,
+    rec: Vec<Option<usize>>,
+}
+
+impl OpIndex {
+    fn scan(plan: &Plan) -> Result<Self, RuntimeLowerError> {
+        let n = plan.n_blocks;
+        let mut ix = OpIndex {
+            fwd: vec![None; n],
+            bwd: vec![None; n],
+            sout: vec![None; n],
+            sin: vec![None; n],
+            rec: vec![None; n],
+        };
+        for (i, op) in plan.ops.iter().enumerate() {
+            let slot = match op.kind {
+                OpKind::Forward => &mut ix.fwd,
+                OpKind::Backward => &mut ix.bwd,
+                OpKind::SwapOut => &mut ix.sout,
+                OpKind::SwapIn => &mut ix.sin,
+                OpKind::Recompute => &mut ix.rec,
+                OpKind::AllReduce | OpKind::HostUpdate => {
+                    return Err(RuntimeLowerError::UnsupportedOp {
+                        op: op.kind,
+                        block: op.block,
+                    })
+                }
+            };
+            if slot[op.block].replace(i).is_some() {
+                return Err(RuntimeLowerError::DuplicateOp {
+                    op: op.kind,
+                    block: op.block,
+                });
+            }
+        }
+        Ok(ix)
+    }
+}
+
+/// Analyse `plan` into a [`RuntimeSchedule`], or explain why the
+/// out-of-core executor cannot realize it. Never panics on a plan that
+/// passes [`Plan::validate`]; structurally invalid plans are returned as
+/// [`RuntimeLowerError::Invalid`].
+pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerError> {
+    plan.validate().map_err(RuntimeLowerError::Invalid)?;
+    let n = plan.n_blocks;
+    if n == 0 {
+        return Err(RuntimeLowerError::Invalid("plan covers zero blocks".into()));
+    }
+    let ix = OpIndex::scan(plan)?;
+
+    // Compute-order skeleton: forwards front to back, backwards back to
+    // front — the only traversal the block-structured executor performs.
+    for b in 0..n {
+        if ix.fwd[b].is_none() {
+            return Err(RuntimeLowerError::MissingForward { block: b });
+        }
+        if ix.bwd[b].is_none() {
+            return Err(RuntimeLowerError::MissingBackward { block: b });
+        }
+        if b > 0 && ix.fwd[b].unwrap() < ix.fwd[b - 1].unwrap() {
+            return Err(RuntimeLowerError::ForwardOutOfOrder { block: b });
+        }
+        if b > 0 && ix.bwd[b].unwrap() > ix.bwd[b - 1].unwrap() {
+            return Err(RuntimeLowerError::BackwardOutOfOrder { block: b });
+        }
+    }
+    let last_fwd = ix.fwd[n - 1].unwrap();
+    // First op of the backward phase: the earliest Sin / R / B.
+    let first_bwd_phase = (0..n)
+        .flat_map(|b| [ix.bwd[b], ix.sin[b], ix.rec[b]])
+        .flatten()
+        .min()
+        .unwrap();
+
+    // Per-block policy classification and shape checks.
+    let mut policies = Vec::with_capacity(n);
+    for b in 0..n {
+        let policy = match (ix.sout[b], ix.sin[b], ix.rec[b]) {
+            (None, None, None) => LoweredPolicy::Resident,
+            (_, _, Some(r)) => {
+                if ix.sout[b].is_some() || ix.sin[b].is_some() {
+                    return Err(RuntimeLowerError::SwapRecomputeConflict { block: b });
+                }
+                if r <= last_fwd {
+                    return Err(RuntimeLowerError::RecomputeDuringForward { block: b });
+                }
+                LoweredPolicy::Recompute
+            }
+            (Some(so), Some(si), None) => {
+                if so < ix.fwd[b].unwrap() {
+                    return Err(RuntimeLowerError::SwapOutBeforeForward { block: b });
+                }
+                if so >= first_bwd_phase {
+                    return Err(RuntimeLowerError::SwapOutInBackwardPhase { block: b });
+                }
+                if si <= last_fwd {
+                    return Err(RuntimeLowerError::SwapInDuringForward { block: b });
+                }
+                if si < so {
+                    return Err(RuntimeLowerError::SwapInBeforeSwapOut { block: b });
+                }
+                if si > ix.bwd[b].unwrap() {
+                    return Err(RuntimeLowerError::SwapInAfterBackward { block: b });
+                }
+                LoweredPolicy::Swap
+            }
+            (Some(_), None, None) => return Err(RuntimeLowerError::SwapOutNotFetched { block: b }),
+            (None, Some(_), None) => {
+                return Err(RuntimeLowerError::SwapInWithoutSwapOut { block: b })
+            }
+        };
+        policies.push(policy);
+    }
+
+    // Recompute adjacency: the first compute op after R(b) must be B(b).
+    let mut compute_ops: Vec<(usize, usize, bool)> = Vec::new(); // (index, block, is_backward)
+    for b in 0..n {
+        compute_ops.push((ix.bwd[b].unwrap(), b, true));
+        if let Some(r) = ix.rec[b] {
+            compute_ops.push((r, b, false));
+        }
+    }
+    compute_ops.sort_unstable();
+    for b in 0..n {
+        if let Some(r) = ix.rec[b] {
+            let next = compute_ops.iter().find(|&&(i, _, _)| i > r);
+            match next {
+                Some(&(_, nb, true)) if nb == b => {}
+                _ => return Err(RuntimeLowerError::RecomputeNotAdjacent { block: b }),
+            }
+        }
+    }
+
+    // Eviction order: attach each Sout to the latest forward issued
+    // before it.
+    let mut evict_after = vec![Vec::new(); n];
+    let mut souts: Vec<(usize, usize)> =
+        (0..n).filter_map(|b| ix.sout[b].map(|i| (i, b))).collect();
+    souts.sort_unstable();
+    for (i, b) in souts {
+        let j = (0..n)
+            .rev()
+            .find(|&j| ix.fwd[j].unwrap() < i)
+            .expect("Sout checked to follow its own forward");
+        evict_after[j].push(b);
+    }
+
+    // Prefetch schedule: attach each Sin to the backward step owning the
+    // next compute op.
+    let mut prefetch_before = vec![Vec::new(); n];
+    let mut prefetch_depth = 0usize;
+    let mut sins: Vec<(usize, usize)> = (0..n).filter_map(|b| ix.sin[b].map(|i| (i, b))).collect();
+    sins.sort_unstable();
+    for (i, b) in sins {
+        let &(_, j, is_bwd) = compute_ops
+            .iter()
+            .find(|&&(ci, _, _)| ci > i)
+            .expect("Sin checked to precede its own backward");
+        if is_bwd && ix.rec[j].is_some() {
+            // The step's recompute already ran; the executor cannot fetch
+            // between a re-forward and its backward.
+            return Err(RuntimeLowerError::SwapInSplitsRecompute { block: b });
+        }
+        prefetch_depth = prefetch_depth.max(j - b);
+        prefetch_before[j].push(b);
+    }
+
+    Ok(RuntimeSchedule {
+        policies,
+        evict_after,
+        prefetch_before,
+        prefetch_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::{build_training_plan, CapacityPlanOptions, PrefetchPolicy};
+    use crate::cost::BlockCosts;
+
+    fn costs(n: usize, act: u64, swap_s: f64, capacity_blocks: f64) -> BlockCosts {
+        BlockCosts {
+            forward: vec![1.0; n],
+            backward: vec![1.0; n],
+            act_bytes: vec![act; n],
+            swap_bytes: vec![act; n],
+            boundary_bytes: vec![act / 10; n],
+            transient_bytes: vec![0; n],
+            state_bytes: vec![0; n],
+            grad_bytes: vec![act / 2; n],
+            params: vec![1; n],
+            swap_bw: act as f64 / swap_s,
+            act_capacity: (capacity_blocks * act as f64) as i64,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    fn karma_plan_lowers_with_matching_policies() {
+        let c = costs(6, 100, 2.0, 4.0);
+        let cp = build_training_plan(&c, &CapacityPlanOptions::karma(6));
+        let s = lower_to_runtime(&cp.plan).unwrap();
+        assert_eq!(s.n_blocks(), 6);
+        for b in 0..6 {
+            let expect = if b < cp.resident_from {
+                LoweredPolicy::Swap
+            } else {
+                LoweredPolicy::Resident
+            };
+            assert_eq!(s.policies[b], expect, "block {b}");
+        }
+        assert_eq!(s.swap_blocks(), cp.plan.count(OpKind::SwapOut));
+        assert_eq!(s.swap_blocks(), cp.plan.count(OpKind::SwapIn));
+        // Capacity-based prefetch issues fetches ahead of their use.
+        assert!(s.prefetch_depth > 0);
+        // Forward-phase evictions come front to back.
+        let order = s.eviction_order();
+        assert!(order.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn recompute_plan_lowers_with_recompute_policy() {
+        let c = costs(6, 100, 2.0, 3.0);
+        let mut rc = vec![false; 6];
+        rc[0] = true;
+        rc[2] = true;
+        let cp = build_training_plan(&c, &CapacityPlanOptions::karma_with_recompute(rc));
+        let s = lower_to_runtime(&cp.plan).unwrap();
+        assert_eq!(s.policies[0], LoweredPolicy::Recompute);
+        assert_eq!(s.policies[2], LoweredPolicy::Recompute);
+        assert_eq!(s.recompute_blocks(), cp.plan.count(OpKind::Recompute));
+    }
+
+    #[test]
+    fn every_capacity_plan_variant_lowers() {
+        let c = costs(7, 100, 1.5, 3.5);
+        for prefetch in [
+            PrefetchPolicy::CapacityBased,
+            PrefetchPolicy::OneAhead,
+            PrefetchPolicy::None,
+        ] {
+            for sync in [false, true] {
+                for resident_from in [None, Some(7), Some(0)] {
+                    let opts = CapacityPlanOptions {
+                        recompute: vec![false; 7],
+                        resident_from,
+                        prefetch,
+                        sync_swap_out: sync,
+                    };
+                    let cp = build_training_plan(&c, &opts);
+                    lower_to_runtime(&cp.plan).unwrap_or_else(|e| {
+                        panic!("{prefetch:?}/sync={sync}/rf={resident_from:?}: {e}")
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_core_plan_is_all_resident() {
+        let c = costs(4, 100, 2.0, 100.0);
+        let cp = build_training_plan(&c, &CapacityPlanOptions::karma(4));
+        let s = lower_to_runtime(&cp.plan).unwrap();
+        assert!(s.policies.iter().all(|p| *p == LoweredPolicy::Resident));
+        assert_eq!(s.prefetch_depth, 0);
+        assert!(s.eviction_order().is_empty());
+    }
+
+    #[test]
+    fn distributed_ops_are_rejected() {
+        let mut p = Plan::new(1);
+        let f = p.push(OpKind::Forward, 0, vec![]);
+        let b = p.push(OpKind::Backward, 0, vec![f]);
+        p.push(OpKind::AllReduce, 0, vec![b]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::UnsupportedOp {
+                op: OpKind::AllReduce,
+                block: 0
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_order_backwards_are_rejected() {
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b0 = p.push(OpKind::Backward, 0, vec![f1]);
+        p.push(OpKind::Backward, 1, vec![b0]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::BackwardOutOfOrder { block: 1 })
+        );
+    }
+
+    #[test]
+    fn swap_in_after_backward_is_rejected() {
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+        p.push(OpKind::SwapIn, 0, vec![so, b0]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::SwapInAfterBackward { block: 0 })
+        );
+    }
+
+    #[test]
+    fn orphan_swap_ops_are_rejected() {
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        p.push(OpKind::Backward, 0, vec![b1]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::SwapOutNotFetched { block: 0 })
+        );
+    }
+
+    #[test]
+    fn swap_plus_recompute_on_one_block_is_rejected() {
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+        let r0 = p.push(OpKind::Recompute, 0, vec![b1]);
+        p.push(OpKind::Backward, 0, vec![si, r0]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::SwapRecomputeConflict { block: 0 })
+        );
+    }
+
+    #[test]
+    fn non_adjacent_recompute_is_rejected() {
+        let mut p = Plan::new(3);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+        // R(0) issued before B(2): two backwards intervene.
+        let r0 = p.push(OpKind::Recompute, 0, vec![f2]);
+        let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+        let b1 = p.push(OpKind::Backward, 1, vec![b2]);
+        p.push(OpKind::Backward, 0, vec![b1, r0]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::RecomputeNotAdjacent { block: 0 })
+        );
+    }
+
+    #[test]
+    fn invalid_plan_reports_invalid_not_panic() {
+        let mut p = Plan::new(2);
+        p.push(OpKind::Forward, 0, vec![]);
+        p.push(OpKind::Forward, 0, vec![]); // duplicate forward
+        assert!(matches!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        let errs = [
+            RuntimeLowerError::Invalid("x".into()),
+            RuntimeLowerError::UnsupportedOp {
+                op: OpKind::HostUpdate,
+                block: 1,
+            },
+            RuntimeLowerError::MissingForward { block: 0 },
+            RuntimeLowerError::SwapInSplitsRecompute { block: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

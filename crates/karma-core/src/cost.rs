@@ -176,6 +176,58 @@ impl LayerCostTable {
         }
     }
 
+    /// Build the table from an offline profiling pass instead of the graph
+    /// itself — the paper's actual data flow (Fig. 1 steps 1–2 feed step
+    /// 3): the planner consumes per-layer *measurements*, so a profile
+    /// collected once (or projected to a new batch size with
+    /// [`karma_sim::ModelProfile::project`]) is sufficient to plan from
+    /// without re-deriving costs from the model IR.
+    ///
+    /// For a profile produced by [`karma_sim::ModelProfile::collect`] on a
+    /// graph, the resulting table is identical to
+    /// [`LayerCostTable::from_graph`] on the same inputs.
+    pub fn from_profile(profile: &karma_sim::ModelProfile, node: &NodeSpec) -> Self {
+        let n = profile.layers.len();
+        assert!(n > 0, "profile covers no layers");
+        let mut fwd = vec![0.0];
+        let mut bwd = vec![0.0];
+        let mut act = vec![0u64];
+        let mut swap = vec![0u64];
+        let mut transient = vec![0u64];
+        let mut state = vec![0u64];
+        let mut grad = vec![0u64];
+        let mut params = vec![0u64];
+        for l in &profile.layers {
+            fwd.push(fwd.last().unwrap() + l.forward_time);
+            bwd.push(bwd.last().unwrap() + l.backward_time);
+            act.push(act.last().unwrap() + l.memory.activations);
+            swap.push(swap.last().unwrap() + l.swap_bytes);
+            transient
+                .push(transient.last().unwrap() + l.memory.activation_grads + l.memory.workspace);
+            state.push(state.last().unwrap() + l.memory.model_state());
+            grad.push(grad.last().unwrap() + l.memory.weight_grads);
+            params.push(params.last().unwrap() + l.params);
+        }
+        let total_state = *state.last().unwrap();
+        // Row 0 is the input layer; its raw bytes are the resident batch.
+        let input_bytes = profile.layers[0].swap_bytes;
+        let act_capacity = node.gpu.usable_bytes() as i64 - total_state as i64 - input_bytes as i64;
+        LayerCostTable {
+            fwd,
+            bwd,
+            act,
+            swap,
+            transient,
+            state,
+            grad,
+            params,
+            swap_bw: node.swap_throughput(),
+            act_capacity,
+            batch: profile.batch,
+            n_layers: n,
+        }
+    }
+
     /// Number of layers covered.
     #[inline]
     pub fn n_layers(&self) -> usize {
@@ -338,6 +390,28 @@ mod tests {
                 assert!(
                     (via_table.forward[i] - node.gpu.compute_time(d.forward_flops)).abs() < 1e-12
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn from_profile_matches_from_graph() {
+        // A profile collected on the graph must plan identically to the
+        // graph itself — the bridge from the offline profiling pass
+        // (Fig. 1 steps 1–2) into the planner.
+        let g = chain();
+        let node = toy_node(1 << 26);
+        for mem in [MemoryParams::exact(), MemoryParams::default()] {
+            let direct = LayerCostTable::from_graph(&g, 4, &node, &mem);
+            let profile = karma_sim::ModelProfile::collect(&g, 4, &node.gpu, &mem);
+            let via_profile = LayerCostTable::from_profile(&profile, &node);
+            assert_eq!(via_profile.n_layers(), direct.n_layers());
+            assert_eq!(via_profile.act_capacity(), direct.act_capacity());
+            for k in 1..=g.len() {
+                let p = BlockPartition::uniform(g.len(), k);
+                let a = via_profile.block_costs(p.boundaries());
+                let b = direct.block_costs(p.boundaries());
+                assert_eq!(a, b, "uniform-{k} costs diverge");
             }
         }
     }

@@ -20,7 +20,9 @@
 //! 5. **Execution plan generation** — [`plan`] (the op-level IR with the
 //!    paper's `F1 → F2‖Sout1 → …` notation) built by [`capacity`]
 //!    (Algorithm 1: the capacity-based schedule, Fig. 2 (b)/(c)), lowered
-//!    onto the event simulator by [`lower`].
+//!    onto the event simulator by [`lower`] and toward the real
+//!    out-of-core executor by [`bridge`] (consumed by
+//!    `karma-runtime::bridge`).
 //!
 //! The one-call facade is [`planner::Karma`].
 //!
@@ -30,6 +32,7 @@
 //! (`karma-zoo` presets, `karma-baselines`, `karma-dist`, `karma-bench`)
 //! consumes its plans.
 
+pub mod bridge;
 pub mod capacity;
 pub mod codegen;
 pub mod cost;
@@ -39,6 +42,7 @@ pub mod opt;
 pub mod plan;
 pub mod planner;
 
+pub use bridge::{lower_to_runtime, LoweredPolicy, RuntimeLowerError, RuntimeSchedule};
 pub use capacity::{build_training_plan, CapacityPlanOptions};
 pub use codegen::generate_training_script;
 pub use cost::BlockCosts;

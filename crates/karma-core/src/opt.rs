@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use karma_solver::{Aco, AcoConfig, Evaluation, Problem};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::capacity::{build_training_plan, CapacityPlanOptions};
@@ -38,6 +39,12 @@ pub struct OptConfig {
     pub generations: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Smallest allowed cut position (layer index). The default `1`
+    /// admits every cut; set `2` when the plan will be lowered onto the
+    /// runtime executor — graph layer 0 is the model input, and a cut at
+    /// position 1 would open an input-only block with no executable
+    /// analogue (`karma-runtime::bridge` rejects such boundaries).
+    pub min_cut_layer: usize,
     /// Reuse evaluations of repeated cut genomes: in-batch deduplication in
     /// the ACO plus a cross-generation memo cache around plan construction
     /// and simulation. Ants resample identical genomes constantly as the
@@ -56,6 +63,7 @@ impl Default for OptConfig {
             seed_block_counts: vec![4, 6, 8, 12, 16, 24, 32],
             generations: 60,
             seed: 0x6b61726d61, // "karma"
+            min_cut_layer: 1,
             memoize: true,
         }
     }
@@ -69,6 +77,7 @@ impl OptConfig {
             seed_block_counts: vec![2, 4, 8],
             generations: 25,
             seed,
+            min_cut_layer: 1,
             memoize: true,
         }
     }
@@ -159,7 +168,11 @@ pub fn optimize_blocking(table: &LayerCostTable, cfg: &OptConfig) -> Vec<usize> 
     // Candidate cut positions: activation-mass + layer-count quantiles
     // (activation mass is front-loaded in CNNs, so uniform layer spacing
     // would leave early blocks unsplittably large).
-    let candidates = table.cut_candidates(cfg.max_cut_candidates);
+    let candidates: Vec<usize> = table
+        .cut_candidates(cfg.max_cut_candidates)
+        .into_iter()
+        .filter(|&c| c >= cfg.min_cut_layer)
+        .collect();
 
     // Uniform-partition seeds projected onto the candidate set.
     let mut seeds: Vec<Vec<i64>> = cfg
@@ -251,23 +264,49 @@ pub fn refine_recompute(costs: &BlockCosts) -> Vec<bool> {
 
     // Greedy sweeps from a starting assignment; each flip (in either
     // direction) is kept only if the simulated makespan improves.
+    //
+    // The per-flip re-simulations run speculatively on the rayon pool, one
+    // chunk of candidate flips at a time, all scored against the *current*
+    // assignment. The chunk is then scanned in block order and only the
+    // first improving flip is accepted (later speculative scores are stale
+    // and discarded). A candidate ahead of the first improver would have
+    // been rejected against the very same base by the serial sweep too, so
+    // the accept sequence — and therefore the result — is bit-identical to
+    // the serial greedy at any thread count; only wall time changes.
+    let chunk_len = rayon::current_num_threads().max(1);
     let sweep = |mut rc: Vec<bool>| -> (Vec<bool>, f64) {
         let mut best = score(&rc);
         for _sweep in 0..4 {
             let mut improved = false;
-            for b in 0..n {
-                if !rc[b] && costs.forward[b] >= costs.swap_time(b) {
-                    // Constraint 10.1: recompute must be cheaper than the
-                    // swap it replaces to be able to reduce stalls.
-                    continue;
-                }
-                rc[b] = !rc[b];
-                let s = score(&rc);
-                if s < best - 1e-12 {
-                    best = s;
-                    improved = true;
-                } else {
-                    rc[b] = !rc[b];
+            let mut cursor = 0usize;
+            while cursor < n {
+                // Constraint 10.1: a flip *to* recompute is a candidate
+                // only when recomputing is cheaper than the swap it
+                // replaces; flips back to swapping are always candidates.
+                let chunk: Vec<usize> = (cursor..n)
+                    .filter(|&b| rc[b] || costs.forward[b] < costs.swap_time(b))
+                    .take(chunk_len)
+                    .collect();
+                let Some(&chunk_last) = chunk.last() else {
+                    break;
+                };
+                let scores: Vec<f64> = chunk
+                    .par_iter()
+                    .map(|&b| {
+                        let mut cand = rc.clone();
+                        cand[b] = !cand[b];
+                        score(&cand)
+                    })
+                    .collect();
+                let accepted = chunk.iter().zip(&scores).find(|&(_, &s)| s < best - 1e-12);
+                match accepted {
+                    Some((&b, &s)) => {
+                        rc[b] = !rc[b];
+                        best = s;
+                        improved = true;
+                        cursor = b + 1;
+                    }
+                    None => cursor = chunk_last + 1,
                 }
             }
             if !improved {
@@ -429,6 +468,23 @@ mod tests {
         let node = tight_node(&chain(4), 2.0); // any roomy device
         let table = LayerCostTable::from_graph(&g, 1, &node, &MemoryParams::exact());
         assert_eq!(optimize_blocking(&table, &OptConfig::fast(3)), vec![0]);
+    }
+
+    #[test]
+    fn refine_recompute_invariant_to_thread_count() {
+        // The speculative parallel sweeps must reproduce the serial greedy
+        // accept order bit-for-bit at any pool width.
+        let g = chain(10);
+        let node = tight_node(&g, 0.4);
+        let table = LayerCostTable::from_graph(&g, 4, &node, &MemoryParams::exact());
+        let bounds = optimize_blocking(&table, &OptConfig::fast(6));
+        let costs = table.block_costs(&bounds);
+        rayon::set_num_threads(1);
+        let serial = refine_recompute(&costs);
+        rayon::set_num_threads(4);
+        let parallel = refine_recompute(&costs);
+        rayon::set_num_threads(0); // restore auto sizing
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests for the plan→runtime lowering: any plan that passes
+//! `Plan::validate` either lowers to a runnable executor schedule or
+//! returns the typed rejection error — never panics.
+
+use karma_core::bridge::{lower_to_runtime, LoweredPolicy};
+use karma_core::capacity::{build_training_plan, CapacityPlanOptions, PrefetchPolicy};
+use karma_core::cost::BlockCosts;
+use karma_core::plan::{OpKind, Plan};
+use proptest::prelude::*;
+
+/// Decode a fuzz vector into a structurally valid plan: ops are appended
+/// with dependencies drawn only from earlier indices, so `Plan::push`
+/// never rejects, and `Plan::validate` can only fail on duplicate
+/// forwards (which we keep, to exercise the `Invalid` path too).
+fn decode_plan(n_blocks: usize, genes: &[(u8, u8, u8)]) -> Plan {
+    let mut p = Plan::new(n_blocks);
+    for &(kind, block, dep) in genes {
+        let kind = match kind % 7 {
+            0 => OpKind::Forward,
+            1 => OpKind::Backward,
+            2 => OpKind::Recompute,
+            3 => OpKind::SwapIn,
+            4 => OpKind::SwapOut,
+            5 => OpKind::AllReduce,
+            _ => OpKind::HostUpdate,
+        };
+        let block = block as usize % n_blocks;
+        let deps = if p.ops.is_empty() {
+            vec![]
+        } else {
+            vec![dep as usize % p.ops.len()]
+        };
+        p.push(kind, block, deps);
+    }
+    p
+}
+
+fn toy_costs(n: usize, act: u64, swap_s: f64, capacity_blocks: f64) -> BlockCosts {
+    BlockCosts {
+        forward: vec![1.0; n],
+        backward: vec![1.0; n],
+        act_bytes: vec![act; n],
+        swap_bytes: vec![act; n],
+        boundary_bytes: vec![act / 8; n],
+        transient_bytes: vec![act / 16; n],
+        state_bytes: vec![0; n],
+        grad_bytes: vec![act / 2; n],
+        params: vec![1; n],
+        swap_bw: act as f64 / swap_s,
+        act_capacity: (capacity_blocks * act as f64) as i64,
+        batch: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Arbitrary op soups never panic the lowering: every outcome is a
+    /// schedule or a typed error. (Proptest surfaces panics as failures.)
+    #[test]
+    fn lowering_never_panics_on_arbitrary_plans(
+        n_blocks in 1usize..6,
+        kinds in prop::collection::vec(0u8..7, 0..28),
+        blocks in prop::collection::vec(0u8..8, 0..28),
+        deps in prop::collection::vec(0u8..64, 0..28),
+    ) {
+        // The shim has no tuple strategies; zip three streams instead
+        // (zip truncates to the shortest, which only varies the op count).
+        let genes: Vec<(u8, u8, u8)> = kinds
+            .iter()
+            .zip(&blocks)
+            .zip(&deps)
+            .map(|((&k, &b), &d)| (k, b, d))
+            .collect();
+        let plan = decode_plan(n_blocks, &genes);
+        let lowered = lower_to_runtime(&plan);
+        if plan.validate().is_err() {
+            // Structural invalidity must come back as the Invalid variant.
+            prop_assert!(matches!(
+                lowered,
+                Err(karma_core::bridge::RuntimeLowerError::Invalid(_))
+            ));
+        } else if let Ok(s) = &lowered {
+            // A successful lowering is internally consistent.
+            prop_assert_eq!(s.n_blocks(), n_blocks);
+            prop_assert_eq!(s.swap_blocks(), plan.count(OpKind::SwapOut));
+            prop_assert_eq!(s.recompute_blocks(), plan.count(OpKind::Recompute));
+            prop_assert_eq!(s.eviction_order().len(), s.swap_blocks());
+        }
+    }
+
+    /// Everything the capacity-based schedule builder emits is
+    /// executor-realizable: the bridge must accept it, with policies
+    /// matching the builder's bookkeeping.
+    #[test]
+    fn builder_plans_always_lower(
+        n in 1usize..10,
+        act in 64u64..4096,
+        swap_s in 0.2f64..4.0,
+        capacity_blocks in 1.2f64..12.0,
+        rc_mask in 0u32..256,
+        prefetch_ix in 0u8..3,
+        sync_bit in 0u8..2,
+        eager_bit in 0u8..2,
+    ) {
+        let costs = toy_costs(n, act, swap_s, capacity_blocks);
+        let recompute: Vec<bool> = (0..n).map(|b| rc_mask >> (b % 32) & 1 == 1).collect();
+        let opts = CapacityPlanOptions {
+            recompute,
+            resident_from: if eager_bit == 1 { Some(n) } else { None },
+            prefetch: [
+                PrefetchPolicy::CapacityBased,
+                PrefetchPolicy::OneAhead,
+                PrefetchPolicy::None,
+            ][prefetch_ix as usize],
+            sync_swap_out: sync_bit == 1,
+        };
+        let cp = build_training_plan(&costs, &opts);
+        let sched = lower_to_runtime(&cp.plan);
+        prop_assert!(sched.is_ok(), "builder plan rejected: {:?}", sched.err());
+        let sched = sched.unwrap();
+        for b in 0..n {
+            let expect = if cp.recompute[b] {
+                LoweredPolicy::Recompute
+            } else if b < cp.resident_from {
+                LoweredPolicy::Swap
+            } else {
+                LoweredPolicy::Resident
+            };
+            prop_assert_eq!(sched.policies[b], expect, "block {}", b);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The plan→runtime bridge: execute what the planner planned.
+//!
+//! [`lower_plan`] turns a validated `karma-core` [`Plan`] into a configured
+//! [`OocExecutor`]: per-block [`BlockPolicy`] assignment plus the plan's
+//! exact eviction order and prefetch schedule (via
+//! [`OocExecutor::with_schedule`]). Plans the executor cannot realize come
+//! back as a typed [`BridgeError`], never a panic — the planner side of
+//! that analysis lives in `karma_core::bridge::lower_to_runtime`.
+//!
+//! [`expected_residency`] replays a plan's block-level ops against real
+//! per-activation byte sizes and predicts the executor's near-memory
+//! trajectory sample by sample. Together with the op counts in
+//! [`crate::OocStats`] this closes the loop the paper's Sec. IV claims:
+//! the schedule the planner searched over is the schedule the runtime
+//! runs, with matching swap/recompute operations and residency.
+//!
+//! ```
+//! use karma_core::plan::{OpKind, Plan};
+//! use karma_runtime::bridge::lower_plan;
+//! use karma_tensor::{small_cnn, SyntheticDataset};
+//!
+//! // A hand-written 3-block plan: swap block 0 out during the forward
+//! // sweep, prefetch it back during the backward sweep.
+//! let mut p = Plan::new(3);
+//! let f0 = p.push(OpKind::Forward, 0, vec![]);
+//! let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+//! let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+//! let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+//! let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+//! let si = p.push(OpKind::SwapIn, 0, vec![so, b2]);
+//! let b1 = p.push(OpKind::Backward, 1, vec![b2]);
+//! p.push(OpKind::Backward, 0, vec![b1, si]);
+//!
+//! let mut net = small_cnn(4, 11);
+//! let exec = lower_plan(&p, &[0, 3, 6], usize::MAX / 2, net.len()).unwrap();
+//! let data = SyntheticDataset::classification(32, 1, 16, 4, 7);
+//! let (x, y) = data.batch(0, 16);
+//! let (_loss, stats) = exec.train_step(&mut net, &x, &y, 0.05);
+//! assert_eq!(stats.swap_out_ops, p.count(OpKind::SwapOut));
+//! assert_eq!(stats.swap_in_ops, p.count(OpKind::SwapIn));
+//! ```
+
+use karma_core::bridge::{lower_to_runtime, LoweredPolicy, RuntimeLowerError};
+use karma_core::plan::{OpKind, Plan};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::exec::{BlockPolicy, ExecEvent, OocExecutor, ResidencySample};
+
+/// Why a plan could not be bridged onto the executor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BridgeError {
+    /// The plan itself is unrealizable (see [`RuntimeLowerError`]).
+    Lower(RuntimeLowerError),
+    /// The plan and the boundary vector disagree on the block count.
+    BlockCountMismatch {
+        /// Blocks the plan covers.
+        plan_blocks: usize,
+        /// Blocks the boundaries describe.
+        boundary_blocks: usize,
+    },
+    /// Boundaries are not a valid partition (must start at 0, strictly
+    /// increase, and stay below the layer count).
+    InvalidBoundaries(String),
+    /// A planner boundary in graph-layer space would open a block holding
+    /// only the input layer, which has no executable analogue.
+    LeadingInputBlock,
+    /// `expected_residency` needs one byte size per near-memory key
+    /// (input + every layer output).
+    KeyBytesLength {
+        /// `n_layers + 1`.
+        expected: usize,
+        /// What was passed.
+        got: usize,
+    },
+}
+
+impl From<RuntimeLowerError> for BridgeError {
+    fn from(e: RuntimeLowerError) -> Self {
+        BridgeError::Lower(e)
+    }
+}
+
+impl fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeError::Lower(e) => write!(f, "unrealizable plan: {e}"),
+            BridgeError::BlockCountMismatch {
+                plan_blocks,
+                boundary_blocks,
+            } => write!(
+                f,
+                "plan covers {plan_blocks} blocks but boundaries describe {boundary_blocks}"
+            ),
+            BridgeError::InvalidBoundaries(msg) => write!(f, "invalid boundaries: {msg}"),
+            BridgeError::LeadingInputBlock => {
+                write!(f, "boundary at graph layer 1 isolates the input layer")
+            }
+            BridgeError::KeyBytesLength { expected, got } => {
+                write!(f, "need {expected} per-key byte sizes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+fn check_boundaries(plan: &Plan, boundaries: &[usize], n_layers: usize) -> Result<(), BridgeError> {
+    if boundaries.len() != plan.n_blocks {
+        return Err(BridgeError::BlockCountMismatch {
+            plan_blocks: plan.n_blocks,
+            boundary_blocks: boundaries.len(),
+        });
+    }
+    if boundaries.first() != Some(&0) {
+        return Err(BridgeError::InvalidBoundaries(
+            "first boundary must be 0".into(),
+        ));
+    }
+    if !boundaries.windows(2).all(|w| w[0] < w[1]) {
+        return Err(BridgeError::InvalidBoundaries(
+            "boundaries must strictly increase".into(),
+        ));
+    }
+    if *boundaries.last().unwrap() >= n_layers {
+        return Err(BridgeError::InvalidBoundaries(format!(
+            "last boundary {} is beyond the {n_layers}-layer net",
+            boundaries.last().unwrap()
+        )));
+    }
+    Ok(())
+}
+
+/// Lower `plan` into a runnable executor over `boundaries` (start layer of
+/// each block, net-layer space) with a near-memory byte `budget`. The
+/// executor reproduces the plan's per-block policies, eviction order and
+/// prefetch schedule exactly.
+pub fn lower_plan(
+    plan: &Plan,
+    boundaries: &[usize],
+    budget: usize,
+    n_layers: usize,
+) -> Result<OocExecutor, BridgeError> {
+    let sched = lower_to_runtime(plan)?;
+    check_boundaries(plan, boundaries, n_layers)?;
+    let policy: Vec<BlockPolicy> = sched
+        .policies
+        .iter()
+        .map(|p| match p {
+            LoweredPolicy::Resident => BlockPolicy::Resident,
+            LoweredPolicy::Swap => BlockPolicy::Swap,
+            LoweredPolicy::Recompute => BlockPolicy::Recompute,
+        })
+        .collect();
+    Ok(
+        OocExecutor::new(boundaries.to_vec(), policy, budget, n_layers)
+            .with_schedule(sched.evict_after, sched.prefetch_before),
+    )
+}
+
+/// Map planner boundaries from graph-layer space (where layer 0 is the
+/// input) to net-layer space (where layer 0 is the first real layer and
+/// the input is near-memory key 0). Fails with
+/// [`BridgeError::LeadingInputBlock`] when a cut at graph layer 1 would
+/// isolate the input.
+pub fn graph_boundaries_to_net(graph_bounds: &[usize]) -> Result<Vec<usize>, BridgeError> {
+    if graph_bounds.first() != Some(&0) {
+        return Err(BridgeError::InvalidBoundaries(
+            "first boundary must be 0".into(),
+        ));
+    }
+    let mut net = vec![0usize];
+    for &g in &graph_bounds[1..] {
+        if g <= 1 {
+            return Err(BridgeError::LeadingInputBlock);
+        }
+        net.push(g - 1);
+    }
+    Ok(net)
+}
+
+/// The predicted near-memory trajectory of a bridged execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidencyReplay {
+    /// One predicted sample per plan op, in issue order — what
+    /// [`OocExecutor::grad_step_traced`] will record.
+    pub samples: Vec<ResidencySample>,
+    /// The executor's near-memory high-water mark, including the
+    /// transient full-block residency inside a recomputed block's forward
+    /// (which the sampled trajectory never sees).
+    pub peak_bytes: usize,
+}
+
+/// Replay `plan`'s block-level ops with the executor's movement semantics
+/// over real per-key byte sizes (`key_bytes[k]` = bytes of near-memory key
+/// `k`: the input for `k = 0`, layer `k - 1`'s output otherwise, so
+/// `key_bytes.len()` must be `n_layers + 1`). Returns the exact residency
+/// trajectory and high-water mark the bridged executor will produce — the
+/// cross-check that the runtime moves precisely the bytes the plan
+/// prescribes.
+pub fn expected_residency(
+    plan: &Plan,
+    boundaries: &[usize],
+    key_bytes: &[usize],
+    n_layers: usize,
+) -> Result<ResidencyReplay, BridgeError> {
+    let sched = lower_to_runtime(plan)?;
+    if key_bytes.len() != n_layers + 1 {
+        return Err(BridgeError::KeyBytesLength {
+            expected: n_layers + 1,
+            got: key_bytes.len(),
+        });
+    }
+    check_boundaries(plan, boundaries, n_layers)?;
+    let range = |b: usize| -> (usize, usize) {
+        let start = boundaries[b];
+        let end = boundaries.get(b + 1).copied().unwrap_or(n_layers);
+        (start, end)
+    };
+    // Interior keys of block b (evicted / fetched / recomputed): the
+    // block's layer outputs minus its own top boundary, which stays
+    // resident as the next block's checkpoint.
+    let interior = |b: usize| -> usize {
+        let (s, e) = range(b);
+        key_bytes[s + 1..e].iter().sum()
+    };
+    let full = |b: usize| -> usize {
+        let (s, e) = range(b);
+        key_bytes[s + 1..=e].iter().sum()
+    };
+
+    let mut cur = key_bytes[0]; // the input batch
+    let mut peak = cur;
+    let mut logits_dropped = false;
+    let mut samples = Vec::with_capacity(plan.ops.len());
+    for op in &plan.ops {
+        let b = op.block;
+        let event = match op.kind {
+            OpKind::Forward => {
+                cur += full(b);
+                peak = peak.max(cur);
+                if sched.policies[b] == LoweredPolicy::Recompute {
+                    cur -= interior(b);
+                }
+                ExecEvent::Forward
+            }
+            OpKind::SwapOut => {
+                cur -= interior(b);
+                ExecEvent::SwapOut
+            }
+            OpKind::SwapIn | OpKind::Recompute | OpKind::Backward => {
+                if !logits_dropped {
+                    // The executor releases the logits after the loss,
+                    // before the first backward-phase op.
+                    cur -= key_bytes[n_layers];
+                    logits_dropped = true;
+                }
+                match op.kind {
+                    OpKind::SwapIn => {
+                        cur += interior(b);
+                        peak = peak.max(cur);
+                        ExecEvent::SwapIn
+                    }
+                    OpKind::Recompute => {
+                        cur += interior(b);
+                        peak = peak.max(cur);
+                        ExecEvent::Recompute
+                    }
+                    _ => {
+                        // Backward releases the interior plus the block's
+                        // input boundary (its top boundary was already
+                        // released by the block above).
+                        let (s, _) = range(b);
+                        cur -= interior(b) + key_bytes[s];
+                        ExecEvent::Backward
+                    }
+                }
+            }
+            OpKind::AllReduce | OpKind::HostUpdate => {
+                unreachable!("lower_to_runtime rejects distributed ops")
+            }
+        };
+        samples.push(ResidencySample {
+            event,
+            block: b,
+            near_bytes: cur,
+        });
+    }
+    Ok(ResidencyReplay {
+        samples,
+        peak_bytes: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_tensor::{small_cnn, SyntheticDataset, Tensor};
+
+    fn setup() -> (karma_tensor::Sequential, Tensor, Vec<usize>) {
+        let data = SyntheticDataset::classification(32, 1, 16, 4, 21);
+        let net = small_cnn(4, 11);
+        let (x, y) = data.batch(0, 16);
+        (net, x, y)
+    }
+
+    /// The doctest's plan: 3 blocks, block 0 swapped with prefetch.
+    fn swap_plan() -> Plan {
+        let mut p = Plan::new(3);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+        let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b2]);
+        let b1 = p.push(OpKind::Backward, 1, vec![b2]);
+        p.push(OpKind::Backward, 0, vec![b1, si]);
+        p
+    }
+
+    #[test]
+    fn lowered_executor_matches_plan_op_counts() {
+        let (net, x, y) = setup();
+        let p = swap_plan();
+        let exec = lower_plan(&p, &[0, 3, 6], usize::MAX / 2, net.len()).unwrap();
+        let (_, _, stats) = exec.grad_step(&net, &x, &y, |_, _| {});
+        assert_eq!(stats.swap_out_ops, p.count(OpKind::SwapOut));
+        assert_eq!(stats.swap_in_ops, p.count(OpKind::SwapIn));
+        assert_eq!(stats.recompute_ops, p.count(OpKind::Recompute));
+        // The plan prefetches block 0 one step early (before B(1)).
+        assert_eq!(exec.prefetch_before()[1], vec![0]);
+    }
+
+    #[test]
+    fn executed_trajectory_matches_replay_exactly() {
+        let (net, x, y) = setup();
+        let p = swap_plan();
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        let replay = expected_residency(&p, &[0, 3, 6], &key_bytes, net.len()).unwrap();
+        // The replayed peak is a *sufficient* budget by construction.
+        let exec = lower_plan(&p, &[0, 3, 6], replay.peak_bytes, net.len()).unwrap();
+        let (_, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(trace, replay.samples);
+        assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+    }
+
+    #[test]
+    fn wrong_key_bytes_length_is_typed() {
+        // A forgotten input entry must come back as the typed error, not
+        // as a silently truncated replay.
+        let p = swap_plan();
+        let short = vec![64usize; 8]; // 8-layer net needs 9 entries
+        assert_eq!(
+            expected_residency(&p, &[0, 3, 6], &short, 8).unwrap_err(),
+            BridgeError::KeyBytesLength {
+                expected: 9,
+                got: 8
+            }
+        );
+    }
+
+    #[test]
+    fn block_count_mismatch_is_typed() {
+        let p = swap_plan();
+        assert_eq!(
+            lower_plan(&p, &[0, 4], usize::MAX / 2, 8).unwrap_err(),
+            BridgeError::BlockCountMismatch {
+                plan_blocks: 3,
+                boundary_blocks: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bad_boundaries_are_typed() {
+        let p = swap_plan();
+        assert!(matches!(
+            lower_plan(&p, &[0, 6, 3], usize::MAX / 2, 8),
+            Err(BridgeError::InvalidBoundaries(_))
+        ));
+        assert!(matches!(
+            lower_plan(&p, &[0, 3, 9], usize::MAX / 2, 8),
+            Err(BridgeError::InvalidBoundaries(_))
+        ));
+    }
+
+    #[test]
+    fn unrealizable_plan_errors_propagate() {
+        let mut p = Plan::new(1);
+        let f = p.push(OpKind::Forward, 0, vec![]);
+        let b = p.push(OpKind::Backward, 0, vec![f]);
+        p.push(OpKind::AllReduce, 0, vec![b]);
+        assert_eq!(
+            lower_plan(&p, &[0], usize::MAX / 2, 8).unwrap_err(),
+            BridgeError::Lower(RuntimeLowerError::UnsupportedOp {
+                op: OpKind::AllReduce,
+                block: 0
+            })
+        );
+    }
+
+    #[test]
+    fn graph_boundary_mapping_shifts_out_the_input_layer() {
+        assert_eq!(graph_boundaries_to_net(&[0, 3, 6]).unwrap(), vec![0, 2, 5]);
+        assert_eq!(
+            graph_boundaries_to_net(&[0, 1, 4]),
+            Err(BridgeError::LeadingInputBlock)
+        );
+    }
+}

@@ -31,6 +31,42 @@ pub struct OocStats {
     pub recomputed_layers: usize,
     /// Near-memory high-water mark (bytes).
     pub peak_near_bytes: usize,
+    /// Block-level swap-out operations (one per evicted block — the
+    /// executed analogue of a plan's `Sout` ops).
+    pub swap_out_ops: usize,
+    /// Block-level swap-in operations (`Sin` analogue).
+    pub swap_in_ops: usize,
+    /// Block-level recompute operations (`R` analogue;
+    /// [`OocStats::recomputed_layers`] counts the layer-granular work).
+    pub recompute_ops: usize,
+}
+
+/// Block-level event kinds the executor emits while tracing residency —
+/// the executed analogues of the plan IR's compute/transfer ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecEvent {
+    /// A block's forward pass completed (interiors already dropped for
+    /// recompute-policy blocks).
+    Forward,
+    /// A block's interior activations moved to far memory.
+    SwapOut,
+    /// A block's interior activations returned to near memory.
+    SwapIn,
+    /// A block re-forwarded its interior from the boundary checkpoint.
+    Recompute,
+    /// A block's backward pass completed (its activations are released).
+    Backward,
+}
+
+/// Near-memory residency sampled immediately after a block-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidencySample {
+    /// What just happened.
+    pub event: ExecEvent,
+    /// The block it happened to.
+    pub block: usize,
+    /// Bytes resident in near memory right after the event.
+    pub near_bytes: usize,
 }
 
 /// Runs real training steps with per-block out-of-core policies.
@@ -48,12 +84,21 @@ pub struct OocExecutor {
     policy: Vec<BlockPolicy>,
     budget: usize,
     n_layers: usize,
+    /// `evict_after[j]` — swap-policy blocks whose interiors move to far
+    /// memory right after block `j`'s forward.
+    evict_after: Vec<Vec<usize>>,
+    /// `prefetch_before[j]` — swap-policy blocks whose interiors return to
+    /// near memory right before backward step `j` is processed.
+    prefetch_before: Vec<Vec<usize>>,
 }
 
 impl OocExecutor {
     /// Build an executor over block `boundaries` (start layer of each
     /// block, first entry 0) with one policy per block and a near-memory
-    /// byte `budget` for activations.
+    /// byte `budget` for activations. The default transfer schedule is
+    /// just-in-time: each swap block evicts right after its own forward
+    /// and fetches right before its own backward; use
+    /// [`OocExecutor::with_schedule`] for plan-driven orders.
     pub fn new(
         boundaries: Vec<usize>,
         policy: Vec<BlockPolicy>,
@@ -67,12 +112,65 @@ impl OocExecutor {
             "boundaries must increase"
         );
         assert!(*boundaries.last().unwrap() < n_layers);
+        let jit: Vec<Vec<usize>> = policy
+            .iter()
+            .enumerate()
+            .map(|(b, p)| {
+                if *p == BlockPolicy::Swap {
+                    vec![b]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
         OocExecutor {
             boundaries,
             policy,
             budget,
             n_layers,
+            evict_after: jit.clone(),
+            prefetch_before: jit,
         }
+    }
+
+    /// Replace the transfer schedule: `evict_after[j]` lists the blocks to
+    /// swap out after block `j`'s forward, `prefetch_before[j]` the blocks
+    /// to swap in before backward step `j`. Every swap-policy block must
+    /// appear exactly once in each; an eviction cannot precede its block's
+    /// forward (`e <= j`) and a fetch cannot follow its block's backward
+    /// (`p <= j`). This is the hook the plan→runtime bridge drives.
+    pub fn with_schedule(
+        mut self,
+        evict_after: Vec<Vec<usize>>,
+        prefetch_before: Vec<Vec<usize>>,
+    ) -> Self {
+        let n = self.n_blocks();
+        assert_eq!(evict_after.len(), n, "one eviction list per block");
+        assert_eq!(prefetch_before.len(), n, "one prefetch list per block");
+        let mut evicted = vec![0usize; n];
+        let mut fetched = vec![0usize; n];
+        for (j, list) in evict_after.iter().enumerate() {
+            for &e in list {
+                assert!(e <= j, "block {e} evicted before its forward (step {j})");
+                assert_eq!(self.policy[e], BlockPolicy::Swap, "block {e} never swaps");
+                evicted[e] += 1;
+            }
+        }
+        for (j, list) in prefetch_before.iter().enumerate() {
+            for &p in list {
+                assert!(p <= j, "block {p} fetched after its backward (step {j})");
+                assert_eq!(self.policy[p], BlockPolicy::Swap, "block {p} never swaps");
+                fetched[p] += 1;
+            }
+        }
+        for b in 0..n {
+            let want = usize::from(self.policy[b] == BlockPolicy::Swap);
+            assert_eq!(evicted[b], want, "block {b} eviction count");
+            assert_eq!(fetched[b], want, "block {b} fetch count");
+        }
+        self.evict_after = evict_after;
+        self.prefetch_before = prefetch_before;
+        self
     }
 
     /// An in-core executor (one resident block) with an effectively
@@ -94,6 +192,21 @@ impl OocExecutor {
     /// Block policies.
     pub fn policies(&self) -> &[BlockPolicy] {
         &self.policy
+    }
+
+    /// Block boundaries (start layer of each block).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Forward-phase eviction schedule.
+    pub fn evict_after(&self) -> &[Vec<usize>] {
+        &self.evict_after
+    }
+
+    /// Backward-phase prefetch schedule.
+    pub fn prefetch_before(&self) -> &[Vec<usize>] {
+        &self.prefetch_before
     }
 
     fn block_range(&self, b: usize) -> (usize, usize) {
@@ -126,12 +239,48 @@ impl OocExecutor {
         net: &Sequential,
         x: &Tensor,
         labels: &[usize],
+        on_block: impl FnMut(usize, &mut [ParamGrads]),
+    ) -> (f32, Gradients, OocStats) {
+        self.grad_step_inner(net, x, labels, on_block, None)
+    }
+
+    /// [`OocExecutor::grad_step`] plus a residency trace: one
+    /// [`ResidencySample`] per block-level event, in execution order — the
+    /// executed trajectory the plan→runtime bridge cross-checks against
+    /// the plan's predicted one.
+    pub fn grad_step_traced(
+        &self,
+        net: &Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        on_block: impl FnMut(usize, &mut [ParamGrads]),
+    ) -> (f32, Gradients, OocStats, Vec<ResidencySample>) {
+        let mut trace = Vec::new();
+        let (loss, grads, stats) = self.grad_step_inner(net, x, labels, on_block, Some(&mut trace));
+        (loss, grads, stats, trace)
+    }
+
+    fn grad_step_inner(
+        &self,
+        net: &Sequential,
+        x: &Tensor,
+        labels: &[usize],
         mut on_block: impl FnMut(usize, &mut [ParamGrads]),
+        mut trace: Option<&mut Vec<ResidencySample>>,
     ) -> (f32, Gradients, OocStats) {
         assert_eq!(net.len(), self.n_layers, "executor/net layer mismatch");
         let mut near = NearMemory::new(self.budget);
         let mut far = FarMemory::new();
         let mut stats = OocStats::default();
+        let mut sample = |near: &NearMemory, event: ExecEvent, block: usize| {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(ResidencySample {
+                    event,
+                    block,
+                    near_bytes: near.used(),
+                });
+            }
+        };
 
         // ---- forward ----
         near.put(0, x.clone());
@@ -141,20 +290,21 @@ impl OocExecutor {
                 let y = net.layers[i].forward(near.get(i));
                 near.put(i + 1, y);
             }
-            match self.policy[b] {
-                BlockPolicy::Resident => {}
-                BlockPolicy::Swap => {
-                    for i in start + 1..end {
-                        let t = near.take(i);
-                        stats.swapped_out_bytes += t.bytes();
-                        far.swap_out(i, t);
-                    }
+            if self.policy[b] == BlockPolicy::Recompute {
+                for i in start + 1..end {
+                    drop(near.take(i));
                 }
-                BlockPolicy::Recompute => {
-                    for i in start + 1..end {
-                        drop(near.take(i));
-                    }
+            }
+            sample(&near, ExecEvent::Forward, b);
+            for &e in &self.evict_after[b] {
+                let (es, ee) = self.block_range(e);
+                for i in es + 1..ee {
+                    let t = near.take(i);
+                    stats.swapped_out_bytes += t.bytes();
+                    far.swap_out(i, t);
                 }
+                stats.swap_out_ops += 1;
+                sample(&near, ExecEvent::SwapOut, e);
             }
         }
 
@@ -166,24 +316,26 @@ impl OocExecutor {
         // ---- backward, block by block ----
         let mut per_layer = vec![ParamGrads::default(); self.n_layers];
         for b in (0..self.n_blocks()).rev() {
+            for &p in &self.prefetch_before[b] {
+                let (ps, pe) = self.block_range(p);
+                for i in ps + 1..pe {
+                    let t = far.swap_in(i);
+                    stats.swapped_in_bytes += t.bytes();
+                    near.put(i, t);
+                }
+                stats.swap_in_ops += 1;
+                sample(&near, ExecEvent::SwapIn, p);
+            }
             let (start, end) = self.block_range(b);
-            match self.policy[b] {
-                BlockPolicy::Resident => {}
-                BlockPolicy::Swap => {
-                    for i in start + 1..end {
-                        let t = far.swap_in(i);
-                        stats.swapped_in_bytes += t.bytes();
-                        near.put(i, t);
-                    }
+            if self.policy[b] == BlockPolicy::Recompute {
+                // Re-forward from the block's input boundary.
+                for i in start..end - 1 {
+                    let y = net.layers[i].forward(near.get(i));
+                    near.put(i + 1, y);
+                    stats.recomputed_layers += 1;
                 }
-                BlockPolicy::Recompute => {
-                    // Re-forward from the block's input boundary.
-                    for i in start..end - 1 {
-                        let y = net.layers[i].forward(near.get(i));
-                        near.put(i + 1, y);
-                        stats.recomputed_layers += 1;
-                    }
-                }
+                stats.recompute_ops += 1;
+                sample(&near, ExecEvent::Recompute, b);
             }
             for i in (start..end).rev() {
                 let (dx, g) = net.layers[i].backward(near.get(i), &dy);
@@ -192,6 +344,7 @@ impl OocExecutor {
                 drop(near.take(i));
             }
             on_block(b, &mut per_layer[start..end]);
+            sample(&near, ExecEvent::Backward, b);
         }
 
         stats.peak_near_bytes = near.peak();
@@ -420,6 +573,108 @@ mod tests {
             exec.train_step(&mut ooc, &x, &y, 0.05);
         }
         assert_eq!(ooc.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn block_level_op_counts_are_recorded() {
+        let (net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 2, 4, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let (_, _, s) = exec.grad_step(&net, &x, &y, |_, _| {});
+        assert_eq!(s.swap_out_ops, 2);
+        assert_eq!(s.swap_in_ops, 2);
+        assert_eq!(s.recompute_ops, 1);
+        assert!(s.recomputed_layers >= s.recompute_ops);
+    }
+
+    #[test]
+    fn custom_schedule_matches_jit_bitwise_with_earlier_fetches() {
+        // Deferred evictions + deep prefetch move the *transfers*, not the
+        // arithmetic: weights and op counts must match the just-in-time
+        // schedule exactly.
+        let (mut net, x, y) = setup();
+        let jit = OocExecutor::new(
+            vec![0, 2, 4, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let sched = jit.clone().with_schedule(
+            vec![vec![], vec![0, 1], vec![], vec![]], // both evictions after F(1)
+            vec![vec![], vec![], vec![], vec![1, 0]], // both fetches before B(3)
+        );
+        let (_, _, s_jit) = jit.grad_step(&net, &x, &y, |_, _| {});
+        let (_, _, s_sched) = sched.grad_step(&net, &x, &y, |_, _| {});
+        assert_eq!(s_jit.swap_out_ops, s_sched.swap_out_ops);
+        assert_eq!(s_jit.swapped_out_bytes, s_sched.swapped_out_bytes);
+        assert_eq!(s_jit.swapped_in_bytes, s_sched.swapped_in_bytes);
+        // Prefetching holds more bytes at once.
+        assert!(s_sched.peak_near_bytes >= s_jit.peak_near_bytes);
+        for _ in 0..2 {
+            sched.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(
+            net.snapshot(),
+            reference(2),
+            "schedule must not change math"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eviction count")]
+    fn schedule_must_cover_every_swap_block() {
+        let (net, _, _) = setup();
+        OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_schedule(
+            vec![vec![0], vec![], vec![]], // block 1 never evicted
+            vec![vec![0], vec![1], vec![]],
+        );
+    }
+
+    #[test]
+    fn traced_step_samples_every_block_event() {
+        let (net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let (loss_t, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+        let (loss, _, _) = exec.grad_step(&net, &x, &y, |_, _| {});
+        assert_eq!(loss, loss_t, "tracing must not perturb execution");
+        // 3 forwards + 1 evict + 1 fetch + 1 recompute + 3 backwards.
+        assert_eq!(trace.len(), 9);
+        assert_eq!(trace[0].event, ExecEvent::Forward);
+        assert_eq!(trace[0].block, 0);
+        let last = trace.last().unwrap();
+        assert_eq!((last.event, last.block), (ExecEvent::Backward, 0));
+        assert_eq!(last.near_bytes, 0, "every activation is released");
+        // The high-water mark bounds every sampled point.
+        assert!(trace.iter().all(|s| s.near_bytes <= stats.peak_near_bytes));
     }
 
     #[test]

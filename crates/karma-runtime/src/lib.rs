@@ -15,18 +15,26 @@
 //!   accuracy experiments check empirically;
 //! * [`dp`] — multi-worker data parallelism with the per-block *phased*
 //!   gradient exchange and host-side update of Sec. III-G, implemented with
-//!   real threads over crossbeam channels.
+//!   real threads over crossbeam channels;
+//! * [`bridge`] — the plan→runtime lowering: a validated `karma-core`
+//!   `Plan` becomes a configured [`exec::OocExecutor`] (policies, eviction
+//!   order, prefetch schedule), with a residency replay predicting the
+//!   executed trajectory byte for byte.
 //!
-//! **Workspace position:** the execution-side top layer — builds only on
-//! `karma-tensor`, deliberately independent of the analysis stack so parity
-//! results cannot be contaminated by the models they validate.
+//! **Workspace position:** the execution-side top layer over
+//! `karma-tensor`. The parity-critical modules ([`store`], [`exec`],
+//! [`dp`], [`fault`]) stay independent of the analysis stack so parity
+//! results cannot be contaminated by the models they validate; only
+//! [`bridge`] links `karma-core`, and only to *consume* plans.
 
+pub mod bridge;
 pub mod dp;
 pub mod exec;
 pub mod fault;
 pub mod store;
 
+pub use bridge::{expected_residency, graph_boundaries_to_net, lower_plan, BridgeError};
 pub use dp::{train_data_parallel, DataParallelReport};
-pub use exec::{BlockPolicy, OocExecutor, OocStats};
+pub use exec::{BlockPolicy, ExecEvent, OocExecutor, OocStats, ResidencySample};
 pub use fault::{train_with_failures, Failure, FaultReport};
 pub use store::{FarMemory, NearMemory};

@@ -25,6 +25,13 @@ pub struct LayerProfile {
     pub backward_time: f64,
     /// Memory decomposition.
     pub memory: LayerMemory,
+    /// Raw output-tensor bytes — what a swap of this layer actually moves
+    /// over the interconnect (the profiled footprint in
+    /// [`LayerMemory::activations`] additionally carries allocator slack
+    /// and overheads that never travel).
+    pub swap_bytes: u64,
+    /// Trainable parameters.
+    pub params: u64,
 }
 
 /// Metadata for a whole model at a fixed batch size (one "profiling run").
@@ -50,6 +57,8 @@ impl ModelProfile {
                 forward_time: gpu.compute_time(l.forward_flops(batch)),
                 backward_time: gpu.compute_time(l.backward_flops(batch)),
                 memory: l.memory(batch, mem),
+                swap_bytes: l.out_shape.elements() * batch as u64 * mem.dtype_bytes,
+                params: l.params(),
             })
             .collect();
         ModelProfile {
@@ -94,6 +103,8 @@ impl ModelProfile {
                     name: l.name.clone(),
                     forward_time: l.forward_time * ratio,
                     backward_time: l.backward_time * ratio,
+                    swap_bytes: scale_u(l.swap_bytes),
+                    params: l.params,
                     memory: LayerMemory {
                         weights: l.memory.weights,
                         weight_grads: l.memory.weight_grads,
@@ -145,6 +156,8 @@ mod tests {
             assert!((a.forward_time - b.forward_time).abs() / b.forward_time.max(1e-30) < 1e-9);
             assert_eq!(a.memory.activations, b.memory.activations);
             assert_eq!(a.memory.weights, b.memory.weights);
+            assert_eq!(a.swap_bytes, b.swap_bytes);
+            assert_eq!(a.params, b.params);
         }
     }
 

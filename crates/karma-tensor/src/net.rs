@@ -161,6 +161,29 @@ pub fn small_cnn(classes: usize, seed: u64) -> Sequential {
     ])
 }
 
+/// A plain conv stack: `pairs` conv+ReLU pairs at constant 16×16 spatial
+/// size, then flatten + FC. Deep enough that multi-layer blocks have real
+/// interior activations — the substrate for out-of-core tests where swap
+/// and recompute must move actual bytes (a block's boundary activation
+/// always stays resident, so single-layer blocks transfer nothing).
+pub fn conv_stack(pairs: usize, classes: usize, seed: u64) -> Sequential {
+    use crate::layers::{Conv2d, Dense, Flatten, ReLU};
+    let mut layers: Vec<Box<dyn crate::layers::Layer>> = Vec::with_capacity(2 * pairs + 2);
+    let mut in_ch = 1;
+    for i in 0..pairs {
+        layers.push(Box::new(Conv2d::new(in_ch, 4, 3, 1, 1, seed + i as u64)));
+        layers.push(Box::new(ReLU));
+        in_ch = 4;
+    }
+    layers.push(Box::new(Flatten));
+    layers.push(Box::new(Dense::new(
+        4 * 16 * 16,
+        classes,
+        seed + pairs as u64,
+    )));
+    Sequential::new(layers)
+}
+
 /// A deeper normalized CNN (conv-BN-ReLU blocks + global average pooling)
 /// exercising every real layer kind — the zoo's ResNet idiom at test scale.
 pub fn small_resnet_style(classes: usize, seed: u64) -> Sequential {

@@ -26,6 +26,7 @@
 //! consumed by `karma-dist` and `karma-bench`.
 
 pub mod datasets;
+pub mod micro;
 pub mod resnet;
 pub mod rnn;
 pub mod transformer;

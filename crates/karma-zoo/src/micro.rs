@@ -1,0 +1,67 @@
+//! Executable micro-models: `ModelGraph` mirrors of the real
+//! `karma-tensor` test networks.
+//!
+//! The plan→runtime bridge's byte-level cross-checks rest on one premise:
+//! the analytic graph describes **exactly** the tensors the executor
+//! touches, so that graph layer `i`'s activation bytes (under
+//! `MemoryParams::exact`) equal near-memory key `i`. These builders are
+//! the single source of that correspondence — `exec_bench`, the
+//! `plan_to_runtime` example and the integration tests all plan over the
+//! same mirror, and `tests/plan_to_runtime.rs::profile_mirrors_real_tensor_bytes`
+//! guards the pairing layer for layer.
+//!
+//! Keep each builder in lockstep with its `karma_tensor` counterpart.
+
+use karma_graph::{GraphBuilder, ModelGraph, Shape};
+
+/// Mirror of `karma_tensor::conv_stack(pairs, classes, _)`: `pairs`
+/// conv+ReLU pairs at constant 1×16×16 input, then flatten + FC. Graph
+/// layer 0 is the input; net layer `i` is graph layer `i + 1`.
+pub fn conv_stack_graph(pairs: usize, classes: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new("conv-stack", Shape::chw(1, 16, 16));
+    for _ in 0..pairs {
+        b.conv(4, 3, 1, 1);
+        b.relu();
+    }
+    b.flatten();
+    b.fc(classes);
+    b.build()
+}
+
+/// Mirror of `karma_tensor::small_resnet_style(classes, _)`: conv-BN-ReLU
+/// blocks with stride-2 downsampling, global average pooling, flatten, FC.
+pub fn resnet_style_graph(classes: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new("resnet-style", Shape::chw(1, 16, 16));
+    b.conv(8, 3, 1, 1);
+    b.batch_norm();
+    b.relu();
+    b.conv(8, 3, 2, 1);
+    b.batch_norm();
+    b.relu();
+    b.conv(16, 3, 2, 1);
+    b.batch_norm();
+    b.relu();
+    b.global_avg_pool();
+    b.flatten();
+    b.fc(classes);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_stack_graph_has_expected_shape() {
+        let g = conv_stack_graph(6, 4);
+        assert_eq!(g.len(), 2 * 6 + 2 + 1, "pairs + flatten/fc + input");
+        assert_eq!(g.layers.last().unwrap().out_shape.elements(), 4);
+    }
+
+    #[test]
+    fn resnet_style_graph_has_expected_shape() {
+        let g = resnet_style_graph(4);
+        assert_eq!(g.len(), 13, "12 layers + input");
+        assert_eq!(g.layers.last().unwrap().out_shape.elements(), 4);
+    }
+}

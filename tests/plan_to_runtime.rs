@@ -1,0 +1,232 @@
+//! Plan → runtime bridge cross-checks: the schedule the planner searched
+//! over is the schedule the runtime executes.
+//!
+//! The end-to-end path under test is the paper's actual tool flow:
+//! profile the model (`karma-sim::ModelProfile`, Fig. 1 steps 1–2), plan
+//! from the profile (`LayerCostTable::from_profile` → `optimize_blocking`
+//! → `refine_recompute` → `build_training_plan`, steps 3–5), then lower
+//! the plan through `karma_runtime::bridge` and run a *real* training
+//! step on the tensor stack.
+//!
+//! Cross-check layers:
+//!
+//! * **op counts** — executed block-level swap-out / swap-in / recompute
+//!   operations must equal the plan's op counts *and* the op counts in the
+//!   `karma-sim` discrete-event simulation of the same plan;
+//! * **residency trajectory** — the executed near-memory trajectory must
+//!   equal, sample for sample, the bridge's replay of the plan over the
+//!   real tensor sizes. (The event simulator's byte *timeline* is not
+//!   directly comparable: it overlaps transfers with compute and accounts
+//!   cost-model bytes, including the input in block 0 and transient
+//!   backward buffers, so the trajectory contract lives in the bridge
+//!   replay while the simulator anchors op counts and capacity.)
+//! * **bit parity** — the bridged executor must train to exactly the same
+//!   weights as in-core training.
+
+use karma::core::capacity::{build_training_plan, CapacityPlanOptions};
+use karma::core::cost::LayerCostTable;
+use karma::core::lower::{simulate_plan, LowerOptions};
+use karma::core::opt::{optimize_blocking, refine_recompute, OptConfig};
+use karma::core::plan::OpKind;
+use karma::core::{lower_to_runtime, LoweredPolicy};
+use karma::graph::{MemoryParams, ModelGraph};
+use karma::hw::{GpuSpec, LinkSpec, NodeSpec};
+use karma::runtime::bridge::{expected_residency, graph_boundaries_to_net, lower_plan};
+use karma::sim::ModelProfile;
+use karma::tensor::{conv_stack, Sequential, SyntheticDataset, Tensor};
+use karma::zoo::fig5_workloads;
+
+/// The `karma_zoo::micro::conv_stack_graph` mirror of
+/// `karma_tensor::conv_stack(6, ..)`; under `MemoryParams::exact`, graph
+/// layer `i`'s activation bytes equal the executor's near-memory key `i`
+/// exactly (guarded below by `profile_mirrors_real_tensor_bytes`). Deep
+/// enough (14 net layers) that multi-layer blocks carry real interior
+/// activations, so swap and recompute move actual bytes.
+fn conv_stack_graph() -> ModelGraph {
+    karma::zoo::micro::conv_stack_graph(6, 4)
+}
+
+fn setup() -> (Sequential, Tensor, Vec<usize>) {
+    let data = SyntheticDataset::classification(32, 1, 16, 4, 21);
+    let (x, y) = data.batch(0, 16);
+    (conv_stack(6, 4, 11), x, y)
+}
+
+/// Profile → plan → bridge on the mirrored conv stack, forcing an
+/// out-of-core device. Returns everything the cross-checks need.
+fn plan_conv_stack(
+    link_bw: f64,
+) -> (
+    karma::core::capacity::CapacityPlan,
+    karma::core::cost::BlockCosts,
+    Vec<usize>,
+) {
+    let graph = conv_stack_graph();
+    let mem = MemoryParams::exact();
+    let need = graph.peak_footprint(16, &mem) as f64;
+    let node = NodeSpec::toy(
+        GpuSpec::toy((need * 0.65) as u64, 5.0e9),
+        LinkSpec::toy(link_bw),
+    );
+    let profile = ModelProfile::collect(&graph, 16, &node.gpu, &mem);
+    let table = LayerCostTable::from_profile(&profile, &node);
+    let mut cfg = OptConfig::fast(17);
+    // An input-only block has no executable analogue; coarse cuts only, so
+    // multi-layer blocks carry real interiors and the executed
+    // swaps/recomputes move actual bytes.
+    cfg.min_cut_layer = 2;
+    cfg.max_cut_candidates = 5;
+    let bounds = optimize_blocking(&table, &cfg);
+    let costs = table.block_costs(&bounds);
+    let rc = refine_recompute(&costs);
+    let cp = build_training_plan(&costs, &CapacityPlanOptions::karma_with_recompute(rc));
+    let net_bounds = graph_boundaries_to_net(&bounds).expect("min_cut_layer=2 forbids cut 1");
+    (cp, costs, net_bounds)
+}
+
+#[test]
+fn profile_mirrors_real_tensor_bytes() {
+    // The premise of every byte-level cross-check below: the analytic
+    // profile of the mirrored graph describes exactly the tensors the
+    // executor touches (graph layer i == near-memory key i).
+    let (net, x, _) = setup();
+    let graph = conv_stack_graph();
+    assert_eq!(graph.len(), net.len() + 1, "graph adds the input layer");
+    let profile = ModelProfile::collect(&graph, 16, &GpuSpec::v100_16gb(), &MemoryParams::exact());
+    let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+    for (i, lp) in profile.layers.iter().enumerate() {
+        assert_eq!(
+            lp.memory.activations as usize, key_bytes[i],
+            "layer {i} ({})",
+            lp.name
+        );
+        assert_eq!(lp.swap_bytes as usize, key_bytes[i], "layer {i} raw bytes");
+    }
+}
+
+#[test]
+fn planned_plan_executes_with_sim_matching_op_counts() {
+    // The headline acceptance check: a plan produced by optimize_blocking
+    // executes through OocExecutor via the bridge, and its executed
+    // swap/recompute op counts match the karma-sim simulation of the
+    // same plan.
+    let (net, x, y) = setup();
+    for link_bw in [4.0e9, 2.0e8] {
+        let (cp, costs, net_bounds) = plan_conv_stack(link_bw);
+        let (trace, metrics) = simulate_plan(&cp.plan, &costs, &LowerOptions::default());
+        assert!(metrics.capacity_ok, "planner must respect capacity");
+        let sim_souts = trace
+            .spans()
+            .iter()
+            .filter(|s| s.label.kind == "Sout")
+            .count();
+        let sim_sins = trace
+            .spans()
+            .iter()
+            .filter(|s| s.label.kind == "Sin")
+            .count();
+        let sim_recs = trace.spans().iter().filter(|s| s.label.kind == "R").count();
+
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        let replay = expected_residency(&cp.plan, &net_bounds, &key_bytes, net.len()).unwrap();
+        let exec = lower_plan(&cp.plan, &net_bounds, replay.peak_bytes, net.len()).unwrap();
+        let (_, _, stats, traj) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+
+        // Plan == simulation == real execution, op for op.
+        assert_eq!(cp.plan.count(OpKind::SwapOut), sim_souts);
+        assert_eq!(cp.plan.count(OpKind::SwapIn), sim_sins);
+        assert_eq!(cp.plan.count(OpKind::Recompute), sim_recs);
+        assert_eq!(stats.swap_out_ops, sim_souts, "executed swap-outs vs sim");
+        assert_eq!(stats.swap_in_ops, sim_sins, "executed swap-ins vs sim");
+        assert_eq!(stats.recompute_ops, sim_recs, "executed recomputes vs sim");
+
+        // The plans must move real bytes, not just count empty-interior
+        // ops: out-of-core execution has to actually happen.
+        assert!(
+            stats.swapped_out_bytes > 0 || stats.recomputed_layers > 0,
+            "link_bw {link_bw}: degenerate plan"
+        );
+        assert_eq!(stats.swapped_out_bytes, stats.swapped_in_bytes);
+
+        // The executed residency trajectory is exactly the plan's replay
+        // over the real tensor sizes: one sample per plan op, equal bytes.
+        assert_eq!(traj.len(), cp.plan.ops.len());
+        assert_eq!(traj, replay.samples, "link_bw {link_bw}");
+        assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+    }
+}
+
+#[test]
+fn bridged_execution_is_bit_identical_to_in_core() {
+    let (mut net, x, y) = setup();
+    let mut reference = conv_stack(6, 4, 11);
+    let (cp, _costs, net_bounds) = plan_conv_stack(4.0e9);
+    let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+    let replay = expected_residency(&cp.plan, &net_bounds, &key_bytes, net.len()).unwrap();
+    let exec = lower_plan(&cp.plan, &net_bounds, replay.peak_bytes, net.len()).unwrap();
+    for _ in 0..3 {
+        reference.train_step(&x, &y, 0.05);
+        exec.train_step(&mut net, &x, &y, 0.05);
+    }
+    assert_eq!(net.snapshot(), reference.snapshot(), "bitwise parity");
+}
+
+#[test]
+fn fig5_grid_plans_lower_with_sim_matching_op_counts() {
+    // Round-trip over the paper's Fig. 5 model grid: every planned
+    // workload lowers to a runtime schedule whose expected op counts
+    // agree with both the plan and its simulation. (These models are
+    // analytic graphs — real tensor execution is cross-checked on the
+    // mirrored small CNN above; this pins the sim↔schedule agreement at
+    // paper scale.)
+    let node = NodeSpec::abci();
+    for w in fig5_workloads() {
+        // The largest out-of-core batch of each panel.
+        let batch = *w.batch_sizes.last().unwrap();
+        let profile = ModelProfile::collect(&w.model, batch, &node.gpu, &w.mem);
+        let table = LayerCostTable::from_profile(&profile, &node);
+        let mut cfg = OptConfig::fast(9);
+        cfg.min_cut_layer = 2;
+        let bounds = optimize_blocking(&table, &cfg);
+        let costs = table.block_costs(&bounds);
+        let rc = refine_recompute(&costs);
+        let cp = build_training_plan(&costs, &CapacityPlanOptions::karma_with_recompute(rc));
+
+        let sched = lower_to_runtime(&cp.plan)
+            .unwrap_or_else(|e| panic!("{} @ {batch}: {e}", w.model.name));
+        let (trace, _metrics) = simulate_plan(&cp.plan, &costs, &LowerOptions::default());
+        let sim_souts = trace
+            .spans()
+            .iter()
+            .filter(|s| s.label.kind == "Sout")
+            .count();
+        let sim_recs = trace.spans().iter().filter(|s| s.label.kind == "R").count();
+        assert_eq!(
+            sched.swap_blocks(),
+            sim_souts,
+            "{} @ {batch}: schedule vs sim swaps",
+            w.model.name
+        );
+        assert_eq!(
+            sched.recompute_blocks(),
+            sim_recs,
+            "{} @ {batch}: schedule vs sim recomputes",
+            w.model.name
+        );
+        assert_eq!(sched.swap_blocks(), cp.plan.count(OpKind::SwapIn));
+        // Boundary mapping stays realizable for every grid model.
+        let net_bounds = graph_boundaries_to_net(&bounds)
+            .unwrap_or_else(|e| panic!("{} @ {batch}: {e}", w.model.name));
+        assert_eq!(net_bounds.len(), costs.n_blocks());
+        // Policy split covers every block.
+        let resident = sched
+            .policies
+            .iter()
+            .filter(|p| **p == LoweredPolicy::Resident)
+            .count();
+        assert_eq!(
+            resident + sched.swap_blocks() + sched.recompute_blocks(),
+            costs.n_blocks()
+        );
+    }
+}
