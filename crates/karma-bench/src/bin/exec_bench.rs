@@ -14,10 +14,18 @@
 //!   the hand-written just-in-time transfer schedule (evict after own
 //!   forward, fetch before own backward);
 //! * `optimized` — the bridged executor: the same policies plus the plan's
-//!   exact eviction order and capacity-based prefetch schedule.
+//!   exact eviction order and capacity-based prefetch schedule;
+//! * `distributed` — the distributed column: the bridged schedule
+//!   replicated across two worker threads with the grouped phased
+//!   gradient exchange (`AR`/`U` ops appended per the MG-WFBP grouping,
+//!   lowered through `lower_dist_plan`, executed by `dp::train`).
+//!   Wall time is per global step, so it includes the exchange and the
+//!   replication overhead on top of one worker's compute.
 //!
-//! The run also cross-checks the bridge at runtime: both executors must
-//! produce bit-identical losses and identical block-level op counts.
+//! The run also cross-checks the bridge at runtime: both single-GPU
+//! executors must produce bit-identical losses and identical block-level
+//! op counts, and the distributed run must ship exactly the message count
+//! and bytes `expected_exchange` predicts.
 //!
 //! Usage: `exec_bench [--smoke] [--out PATH]`.
 
@@ -27,9 +35,15 @@ use karma_bench::report::{BenchEntry, BenchReport, ModelSpeedup};
 use karma_core::capacity::{build_training_plan, CapacityPlanOptions};
 use karma_core::cost::LayerCostTable;
 use karma_core::opt::{optimize_blocking, refine_recompute, OptConfig};
+use karma_dist::append_exchange_ops;
 use karma_graph::{MemoryParams, ModelGraph};
-use karma_hw::{GpuSpec, LinkSpec, NodeSpec};
-use karma_runtime::bridge::{expected_residency, graph_boundaries_to_net, lower_plan};
+use karma_hw::{ClusterSpec, GpuSpec, LinkSpec, NodeSpec};
+use karma_net::{AllReduceAlgo, AllReduceModel, PhasedExchange};
+use karma_runtime::bridge::{
+    block_grad_bytes, expected_exchange, expected_residency, graph_boundaries_to_net,
+    lower_dist_plan, lower_plan,
+};
+use karma_runtime::dp::train;
 use karma_runtime::OocExecutor;
 use karma_sim::ModelProfile;
 use karma_tensor::{conv_stack, small_resnet_style, Sequential, SyntheticDataset, Tensor};
@@ -69,24 +83,26 @@ fn main() {
     // transfer lanes.
     let runs = if smoke { 3 } else { 9 };
     // Each graph is the zoo's mirror of its executable net (see
-    // `karma_zoo::micro`), so the analytic profile describes exactly the
-    // tensors the executor touches.
-    let workloads: Vec<(ModelGraph, Sequential, u64)> = vec![
+    // `karma_zoo::micro`); the constructor is kept so the distributed
+    // column can mint identical replicas.
+    type Workload = (ModelGraph, fn() -> Sequential, u64);
+    let workloads: Vec<Workload> = vec![
         (
             karma_zoo::micro::conv_stack_graph(6, 4),
-            conv_stack(6, 4, 11),
+            || conv_stack(6, 4, 11),
             21,
         ),
         (
             karma_zoo::micro::resnet_style_graph(4),
-            small_resnet_style(4, 7),
+            || small_resnet_style(4, 7),
             71,
         ),
     ];
 
     let mut entries = Vec::new();
     let mut speedup = Vec::new();
-    for (graph, net, seed) in workloads {
+    for (graph, make_net, seed) in workloads {
+        let net = make_net();
         let batch = 16;
         let data = SyntheticDataset::classification(32, 1, 16, 4, seed);
         let (x, y) = data.batch(0, batch);
@@ -142,8 +158,42 @@ fn main() {
         assert_eq!(s_jit.swap_in_ops, s_br.swap_in_ops);
         assert_eq!(s_jit.recompute_ops, s_br.recompute_ops);
 
+        // Distributed column: append the MG-WFBP-grouped AR/U ops over
+        // real per-block gradient sizes, lower through the distributed
+        // bridge, and time full data-parallel steps (2 worker replicas
+        // at the same per-worker batch, grouped phased exchange).
+        let workers = 2usize;
+        let grad_bytes = block_grad_bytes(&net, &net_bounds);
+        let model = AllReduceModel::new(AllReduceAlgo::Hierarchical, &ClusterSpec::abci(2));
+        let phased = PhasedExchange::plan(&grad_bytes, &model);
+        let mut dist_plan = cp.plan.clone();
+        append_exchange_ops(&mut dist_plan, &phased);
+        let (dist_exec, xchg) = lower_dist_plan(&dist_plan, &net_bounds, budget, net.len())
+            .expect("distributed plan must lower");
+        let dp_data =
+            SyntheticDataset::classification(workers * batch, 1, 16, 4, seed.wrapping_add(1));
+        let mut nets: Vec<Sequential> = (0..workers).map(|_| make_net()).collect();
+        let exchange = expected_exchange(&dist_plan, &grad_bytes, workers, 1)
+            .expect("distributed plan must replay");
+        // Warm-up step doubles as the traffic cross-check.
+        let report = train(&mut nets, &dist_exec, &xchg, &dp_data, batch, 0.05, 1);
+        assert_eq!(report.exchange_messages, exchange.messages);
+        assert_eq!(report.exchanged_bytes as u64, exchange.total_bytes);
+        let mut dist_samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t = Instant::now();
+            train(&mut nets, &dist_exec, &xchg, &dp_data, batch, 0.05, 1);
+            dist_samples.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        dist_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dist_ms = dist_samples[dist_samples.len() / 2];
+
         let blocks = cp.plan.n_blocks;
-        for (mode, wall_ms) in [("baseline", base_ms), ("optimized", opt_ms)] {
+        for (mode, wall_ms) in [
+            ("baseline", base_ms),
+            ("optimized", opt_ms),
+            ("distributed", dist_ms),
+        ] {
             entries.push(BenchEntry {
                 model: graph.name.clone(),
                 mode: mode.into(),
@@ -156,8 +206,20 @@ fn main() {
         let s = base_ms / opt_ms.max(1e-9);
         println!(
             "{:<14} batch {:>3}, {} blocks, {} swaps, {} recomputes: \
-             jit {:>7.3} ms -> bridged {:>7.3} ms ({:.2}x)",
-            graph.name, batch, blocks, s_br.swap_in_ops, s_br.recompute_ops, base_ms, opt_ms, s
+             jit {:>7.3} ms -> bridged {:>7.3} ms ({:.2}x); \
+             dp x{} {:>7.3} ms/step, {} msgs ({} groups)",
+            graph.name,
+            batch,
+            blocks,
+            s_br.swap_in_ops,
+            s_br.recompute_ops,
+            base_ms,
+            opt_ms,
+            s,
+            workers,
+            dist_ms,
+            report.exchange_messages,
+            xchg.n_groups()
         );
         speedup.push(ModelSpeedup {
             model: graph.name.clone(),

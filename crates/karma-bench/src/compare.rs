@@ -84,19 +84,50 @@ pub fn compare_reports(
                 ));
             }
         }
-        let r_old = b_opt / b_base.max(1e-9);
-        let r_new = f_opt / f_base.max(1e-9);
-        let limit = r_old * (1.0 + max_slowdown);
-        if r_new > limit {
-            out.failures.push(format!(
-                "{model}: optimized/baseline wall-time ratio regressed from {r_old:.3} to \
-                 {r_new:.3} (limit {limit:.3}, tolerance {:.0}%)",
-                max_slowdown * 100.0
-            ));
-        } else {
-            out.notes.push(format!(
-                "{model}: ratio {r_new:.3} vs committed {r_old:.3} (limit {limit:.3}) — ok"
-            ));
+        let gate_ratio = |mode: &str, b_mode: f64, f_mode: f64| -> Result<String, String> {
+            let r_old = b_mode / b_base.max(1e-9);
+            let r_new = f_mode / f_base.max(1e-9);
+            let limit = r_old * (1.0 + max_slowdown);
+            if r_new > limit {
+                Err(format!(
+                    "{model}: {mode}/baseline wall-time ratio regressed from {r_old:.3} to \
+                     {r_new:.3} (limit {limit:.3}, tolerance {:.0}%)",
+                    max_slowdown * 100.0
+                ))
+            } else {
+                Ok(format!(
+                    "{model}/{mode}: ratio {r_new:.3} vs committed {r_old:.3} (limit {limit:.3}) \
+                     — ok"
+                ))
+            }
+        };
+        let record = |out: &mut GateOutcome, res: Result<String, String>| match res {
+            Ok(n) => out.notes.push(n),
+            Err(e) => out.failures.push(e),
+        };
+        record(&mut out, gate_ratio("optimized", b_opt, f_opt));
+        // Optional columns (the distributed data-parallel step) gate the
+        // same way once the committed baseline carries them; its wall
+        // time normalizes against the same single-GPU baseline, so
+        // machine speed still cancels.
+        match (
+            baseline.entry(model, "distributed"),
+            fresh.entry(model, "distributed"),
+        ) {
+            (None, _) => {}
+            (Some(_), None) => out.failures.push(format!(
+                "{model}: distributed column missing from the fresh report"
+            )),
+            (Some(b), Some(f)) => {
+                if b.blocks != f.blocks {
+                    out.failures.push(format!(
+                        "{model}/distributed: plan drifted from {} to {} blocks under an \
+                         unchanged config — the search is no longer deterministic",
+                        b.blocks, f.blocks
+                    ));
+                }
+                record(&mut out, gate_ratio("distributed", b.wall_ms, f.wall_ms));
+            }
         }
     }
     for model in fresh.models() {
@@ -145,6 +176,76 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    fn with_distributed(mut r: BenchReport, m: &str, wall_ms: f64, blocks: usize) -> BenchReport {
+        r.entries.push(entry(m, "distributed", wall_ms, 1, blocks));
+        r
+    }
+
+    #[test]
+    fn distributed_column_gates_like_optimized() {
+        let base = || report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let old = with_distributed(base(), "resnet", 200.0, 7);
+        // 5% drift: within tolerance.
+        let ok = with_distributed(base(), "resnet", 210.0, 7);
+        assert!(compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN).passed());
+        // 50% ratio regression of the distributed step: fails.
+        let bad = with_distributed(base(), "resnet", 300.0, 7);
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("distributed/baseline"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn dropped_distributed_column_fails() {
+        let old = with_distributed(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "resnet",
+            200.0,
+            7,
+        );
+        let new = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("distributed column missing"));
+    }
+
+    #[test]
+    fn baseline_without_distributed_column_skips_the_gate() {
+        // Old baselines predate the column: a fresh report carrying it is
+        // noted as uncovered, not failed.
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let new = with_distributed(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "resnet",
+            500.0,
+            7,
+        );
+        assert!(compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN).passed());
+    }
+
+    #[test]
+    fn distributed_blocks_drift_fails() {
+        let old = with_distributed(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "resnet",
+            200.0,
+            7,
+        );
+        let new = with_distributed(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "resnet",
+            200.0,
+            9,
+        );
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("deterministic"));
     }
 
     #[test]

@@ -5,16 +5,22 @@
 //! (resident / swap / recompute), the eviction order of the forward phase
 //! (which blocks swap out after which forward), and the prefetch schedule
 //! of the backward phase (which blocks swap in before which backward).
-//! Plans whose op sequence the out-of-core executor cannot realize — ops
-//! the single-GPU runtime has no analogue for, forwards out of block
-//! order, a swap-in that would arrive after the backward that needs it —
-//! are rejected with a typed [`RuntimeLowerError`], never a panic.
+//! Distributed plans (paper Sec. III-G) are accepted too: their `AR` /
+//! `U` ops are analysed into a [`DistSchedule`] — the per-group phased
+//! gradient exchange (group membership, launch order, and how much of the
+//! remaining backward/swap work each exchange overlaps) that rides
+//! alongside the per-worker [`RuntimeSchedule`]. Plans whose op sequence
+//! the runtime cannot realize — forwards out of block order, a swap-in
+//! that would arrive after the backward that needs it, an exchange
+//! launched before its gradients exist — are rejected with a typed
+//! [`RuntimeLowerError`], never a panic.
 //!
 //! The result is deliberately free of runtime types: `karma-runtime`'s
 //! `bridge` module turns a [`RuntimeSchedule`] plus block boundaries and a
-//! byte budget into a real `OocExecutor`. Keeping the analysis here means
-//! the planner side can verify executability (and tests can fuzz it)
-//! without linking the tensor stack.
+//! byte budget into a real `OocExecutor` (and a [`DistSchedule`] into the
+//! grouped exchange its `dp` module executes). Keeping the analysis here
+//! means the planner side can verify executability (and tests can fuzz
+//! it) without linking the tensor stack.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -40,12 +46,35 @@ pub enum LoweredPolicy {
 pub enum RuntimeLowerError {
     /// `Plan::validate` failed (dangling deps, duplicate forwards, …).
     Invalid(String),
-    /// The plan uses an op the single-GPU executor has no analogue for
-    /// (`AR` / `U` belong to the distributed pipeline).
-    UnsupportedOp {
-        /// The offending op kind.
-        op: OpKind,
-        /// Its block.
+    /// An `AR` op's launch order breaks backward-completion order: lead
+    /// blocks must strictly descend in issue order, because a group can
+    /// only enter the exchange once its gradients exist.
+    ExchangeOutOfOrder {
+        /// Lead block of the offending `AR`.
+        block: usize,
+    },
+    /// The exchange groups do not cover every block: the first `AR`'s
+    /// lead must be the last block, so the derived contiguous groups
+    /// partition the whole model (every gradient is exchanged).
+    ExchangeCoverageGap {
+        /// First block left out of any group.
+        block: usize,
+    },
+    /// An `AR` op launches before the backward of its group's
+    /// last-finishing member (the gate) — its gradients would not exist.
+    ExchangeBeforeBackward {
+        /// Lead block of the offending `AR`.
+        block: usize,
+    },
+    /// A `U` op on a block with no `AR` op: host updates consume the
+    /// exchanged (averaged) gradients, so they ride an exchange group.
+    UpdateWithoutExchange {
+        /// The block.
+        block: usize,
+    },
+    /// A `U` op issued before its block's `AR` completed.
+    UpdateBeforeExchange {
+        /// The block.
         block: usize,
     },
     /// More than one op of this kind on one block.
@@ -143,11 +172,23 @@ impl fmt::Display for RuntimeLowerError {
         use RuntimeLowerError::*;
         match self {
             Invalid(msg) => write!(f, "structurally invalid plan: {msg}"),
-            UnsupportedOp { op, block } => write!(
+            ExchangeOutOfOrder { block } => write!(
                 f,
-                "op {} on block {block} has no single-GPU executor analogue",
-                op.mnemonic()
+                "exchange of block {block} breaks backward-completion launch order"
             ),
+            ExchangeCoverageGap { block } => {
+                write!(f, "block {block} belongs to no exchange group")
+            }
+            ExchangeBeforeBackward { block } => write!(
+                f,
+                "exchange led by block {block} launches before its gate backward"
+            ),
+            UpdateWithoutExchange { block } => {
+                write!(f, "host update of block {block} has no exchange to ride")
+            }
+            UpdateBeforeExchange { block } => {
+                write!(f, "host update of block {block} precedes its exchange")
+            }
             DuplicateOp { op, block } => {
                 write!(f, "block {block} has more than one {} op", op.mnemonic())
             }
@@ -200,6 +241,69 @@ impl fmt::Display for RuntimeLowerError {
 
 impl std::error::Error for RuntimeLowerError {}
 
+/// One phased-exchange group derived from a plan's `AR` / `U` ops: a
+/// contiguous run of blocks whose gradients are all-reduced in one
+/// message (the plan-level mirror of `karma_net::PhasedExchange`'s
+/// `ExchangeGroup`, without byte sizes — the plan IR carries none).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistGroup {
+    /// The block carrying the group's `AR` (and `U`) ops — its highest
+    /// member, the first to finish backward.
+    pub lead: usize,
+    /// Member blocks in backward-completion order (contiguous,
+    /// descending, `lead` first).
+    pub blocks: Vec<usize>,
+    /// The group's last-finishing member (its lowest block): the exchange
+    /// launches right after this block's backward.
+    pub gate: usize,
+    /// Whether a CPU-side weight update (`U`) follows the exchange.
+    pub has_update: bool,
+}
+
+impl DistGroup {
+    /// Backward steps still pending when the exchange launches — the
+    /// compute/swap window the paper overlaps communication with
+    /// (Sec. III-G stage 4): blocks `gate-1 .. 0` have not run backward
+    /// yet when this group's `AR` is issued.
+    pub fn overlap_backwards(&self) -> usize {
+        self.gate
+    }
+}
+
+/// The distributed half of a lowered plan: the phased gradient exchange
+/// as a list of groups in launch order. Groups partition the blocks, so
+/// one training step ships exactly one message per group per worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistSchedule {
+    /// Exchange groups in launch order (backward-completion order: the
+    /// group holding the last block first).
+    pub groups: Vec<DistGroup>,
+}
+
+impl DistSchedule {
+    /// Number of exchange groups (= messages per worker per step).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Index of the group that exchanges `block`'s gradients.
+    pub fn group_of(&self, block: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.blocks.contains(&block))
+    }
+
+    /// Exchange messages one training step produces across `workers`
+    /// replicas.
+    pub fn messages_per_step(&self, workers: usize) -> usize {
+        self.groups.len() * workers
+    }
+
+    /// Member blocks per group, in launch order — the shape
+    /// `karma-runtime`'s grouped exchange consumes.
+    pub fn group_blocks(&self) -> Vec<Vec<usize>> {
+        self.groups.iter().map(|g| g.blocks.clone()).collect()
+    }
+}
+
 /// The executor-shaped description of a plan: everything `karma-runtime`
 /// needs to configure an `OocExecutor`, and nothing tied to tensor types.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -216,6 +320,9 @@ pub struct RuntimeSchedule {
     /// before its own a swap-in is issued (0 = every fetch is
     /// just-in-time).
     pub prefetch_depth: usize,
+    /// The phased gradient exchange, when the plan is distributed
+    /// (`None` for single-GPU plans with no `AR` / `U` ops).
+    pub dist: Option<DistSchedule>,
 }
 
 impl RuntimeSchedule {
@@ -245,6 +352,11 @@ impl RuntimeSchedule {
     pub fn eviction_order(&self) -> Vec<usize> {
         self.evict_after.iter().flatten().copied().collect()
     }
+
+    /// True when the plan carried distributed (`AR` / `U`) ops.
+    pub fn is_distributed(&self) -> bool {
+        self.dist.is_some()
+    }
 }
 
 /// Per-block op indices gathered in one scan.
@@ -254,6 +366,8 @@ struct OpIndex {
     sout: Vec<Option<usize>>,
     sin: Vec<Option<usize>>,
     rec: Vec<Option<usize>>,
+    ar: Vec<Option<usize>>,
+    upd: Vec<Option<usize>>,
 }
 
 impl OpIndex {
@@ -265,6 +379,8 @@ impl OpIndex {
             sout: vec![None; n],
             sin: vec![None; n],
             rec: vec![None; n],
+            ar: vec![None; n],
+            upd: vec![None; n],
         };
         for (i, op) in plan.ops.iter().enumerate() {
             let slot = match op.kind {
@@ -273,12 +389,8 @@ impl OpIndex {
                 OpKind::SwapOut => &mut ix.sout,
                 OpKind::SwapIn => &mut ix.sin,
                 OpKind::Recompute => &mut ix.rec,
-                OpKind::AllReduce | OpKind::HostUpdate => {
-                    return Err(RuntimeLowerError::UnsupportedOp {
-                        op: op.kind,
-                        block: op.block,
-                    })
-                }
+                OpKind::AllReduce => &mut ix.ar,
+                OpKind::HostUpdate => &mut ix.upd,
             };
             if slot[op.block].replace(i).is_some() {
                 return Err(RuntimeLowerError::DuplicateOp {
@@ -291,10 +403,88 @@ impl OpIndex {
     }
 }
 
+/// Derive the phased-exchange schedule from a plan's `AR` / `U` ops.
+///
+/// Group membership is recovered from the launch order: `AR` leads must
+/// strictly descend (backward-completion order), and each group covers
+/// the contiguous block range from its lead down to just above the next
+/// group's lead (the last group reaches block 0) — exactly how the
+/// distributed pipeline emits them (one `AR` per merged-gradient group,
+/// on the group's first-finishing block, gated on its last-finishing
+/// member's backward).
+fn analyse_dist(ix: &OpIndex, n: usize) -> Result<DistSchedule, RuntimeLowerError> {
+    // AR ops in issue (= launch) order.
+    let mut ars: Vec<(usize, usize)> = (0..n).filter_map(|b| ix.ar[b].map(|i| (i, b))).collect();
+    ars.sort_unstable();
+    if let Some(b) = (0..n).find(|&b| ix.upd[b].is_some() && ix.ar[b].is_none()) {
+        return Err(RuntimeLowerError::UpdateWithoutExchange { block: b });
+    }
+    for w in ars.windows(2) {
+        if w[1].1 >= w[0].1 {
+            return Err(RuntimeLowerError::ExchangeOutOfOrder { block: w[1].1 });
+        }
+    }
+    if ars.first().map(|&(_, lead)| lead) != Some(n - 1) {
+        // Blocks above the first lead would never be exchanged.
+        return Err(RuntimeLowerError::ExchangeCoverageGap { block: n - 1 });
+    }
+    let mut groups = Vec::with_capacity(ars.len());
+    for (gi, &(ar_ix, lead)) in ars.iter().enumerate() {
+        let gate = ars.get(gi + 1).map_or(0, |&(_, next_lead)| next_lead + 1);
+        // The gate (lowest member) finishes backward last; launching
+        // after it means launching after every member's gradients exist.
+        if ar_ix < ix.bwd[gate].expect("backwards checked for every block") {
+            return Err(RuntimeLowerError::ExchangeBeforeBackward { block: lead });
+        }
+        let has_update = match ix.upd[lead] {
+            Some(u_ix) if u_ix < ar_ix => {
+                return Err(RuntimeLowerError::UpdateBeforeExchange { block: lead })
+            }
+            Some(_) => true,
+            None => false,
+        };
+        groups.push(DistGroup {
+            lead,
+            blocks: (gate..=lead).rev().collect(),
+            gate,
+            has_update,
+        });
+    }
+    Ok(DistSchedule { groups })
+}
+
 /// Analyse `plan` into a [`RuntimeSchedule`], or explain why the
-/// out-of-core executor cannot realize it. Never panics on a plan that
-/// passes [`Plan::validate`]; structurally invalid plans are returned as
+/// out-of-core executor cannot realize it. Distributed plans are
+/// accepted: their `AR` / `U` ops become the schedule's
+/// [`DistSchedule`]. Never panics on a plan that passes
+/// [`Plan::validate`]; structurally invalid plans are returned as
 /// [`RuntimeLowerError::Invalid`].
+///
+/// ```
+/// use karma_core::bridge::lower_to_runtime;
+/// use karma_core::plan::{OpKind, Plan};
+///
+/// // Two blocks; each block's gradients exchanged as their own group as
+/// // soon as its backward finishes, block 1's exchange overlapping
+/// // block 0's backward (paper Sec. III-G stage 4).
+/// let mut p = Plan::new(2);
+/// let f0 = p.push(OpKind::Forward, 0, vec![]);
+/// let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+/// let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+/// let ar1 = p.push(OpKind::AllReduce, 1, vec![b1]);
+/// let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+/// let ar0 = p.push(OpKind::AllReduce, 0, vec![b0]);
+/// p.push(OpKind::HostUpdate, 1, vec![ar1]);
+/// p.push(OpKind::HostUpdate, 0, vec![ar0]);
+///
+/// let sched = lower_to_runtime(&p).unwrap();
+/// let dist = sched.dist.expect("plan has AR/U ops");
+/// assert_eq!(dist.n_groups(), 2);
+/// assert_eq!(dist.groups[0].blocks, vec![1]); // launch order: last block first
+/// assert_eq!(dist.groups[1].blocks, vec![0]);
+/// assert_eq!(dist.groups[0].overlap_backwards(), 1); // overlaps B(0)
+/// assert!(dist.groups.iter().all(|g| g.has_update));
+/// ```
 pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerError> {
     plan.validate().map_err(RuntimeLowerError::Invalid)?;
     let n = plan.n_blocks;
@@ -420,11 +610,20 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
         prefetch_before[j].push(b);
     }
 
+    // Distributed half: AR/U ops become the phased-exchange schedule.
+    let has_dist = (0..n).any(|b| ix.ar[b].is_some() || ix.upd[b].is_some());
+    let dist = if has_dist {
+        Some(analyse_dist(&ix, n)?)
+    } else {
+        None
+    };
+
     Ok(RuntimeSchedule {
         policies,
         evict_after,
         prefetch_before,
         prefetch_depth,
+        dist,
     })
 }
 
@@ -522,18 +721,128 @@ mod tests {
         assert!(s.eviction_order().is_empty());
     }
 
+    /// 3 blocks, grouped {2,1} + {0}: the shape `karma-dist`'s pipeline
+    /// emits (one AR per merged group on its lead, gated on the last
+    /// member's backward, one U per AR).
+    fn dist_plan(with_updates: bool) -> Plan {
+        let mut p = Plan::new(3);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+        let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+        let b1 = p.push(OpKind::Backward, 1, vec![b2]);
+        let ar2 = p.push(OpKind::AllReduce, 2, vec![b1]); // group {2,1}, gate 1
+        let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+        let ar0 = p.push(OpKind::AllReduce, 0, vec![b0]); // group {0}
+        if with_updates {
+            let u2 = p.push(OpKind::HostUpdate, 2, vec![ar2]);
+            p.push(OpKind::HostUpdate, 0, vec![ar0, u2]);
+        }
+        p
+    }
+
     #[test]
-    fn distributed_ops_are_rejected() {
+    fn distributed_ops_are_analysed_into_groups() {
+        let s = lower_to_runtime(&dist_plan(true)).unwrap();
+        assert!(s.is_distributed());
+        let d = s.dist.unwrap();
+        assert_eq!(d.n_groups(), 2);
+        assert_eq!(d.groups[0].blocks, vec![2, 1]);
+        assert_eq!((d.groups[0].lead, d.groups[0].gate), (2, 1));
+        assert_eq!(d.groups[0].overlap_backwards(), 1);
+        assert_eq!(d.groups[1].blocks, vec![0]);
+        assert_eq!(d.groups[1].overlap_backwards(), 0);
+        assert!(d.groups.iter().all(|g| g.has_update));
+        assert_eq!(d.group_of(1), Some(0));
+        assert_eq!(d.group_of(0), Some(1));
+        assert_eq!(d.messages_per_step(4), 8);
+        assert_eq!(d.group_blocks(), vec![vec![2, 1], vec![0]]);
+    }
+
+    #[test]
+    fn updates_are_optional_in_the_exchange() {
+        let d = lower_to_runtime(&dist_plan(false)).unwrap().dist.unwrap();
+        assert!(d.groups.iter().all(|g| !g.has_update));
+    }
+
+    #[test]
+    fn single_gpu_plans_have_no_dist_schedule() {
+        let c = costs(4, 100, 2.0, 100.0);
+        let cp = build_training_plan(&c, &CapacityPlanOptions::karma(4));
+        assert!(!lower_to_runtime(&cp.plan).unwrap().is_distributed());
+    }
+
+    #[test]
+    fn exchange_before_gate_backward_is_rejected() {
+        // AR(2) for group {2,1} issued after B(2) but before B(1): the
+        // gate's gradients do not exist yet.
+        let mut p = Plan::new(3);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+        let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+        p.push(OpKind::AllReduce, 2, vec![b2]);
+        let b1 = p.push(OpKind::Backward, 1, vec![b2]);
+        let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+        p.push(OpKind::AllReduce, 0, vec![b0]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::ExchangeBeforeBackward { block: 2 })
+        );
+    }
+
+    #[test]
+    fn exchange_launch_order_must_follow_backward_completion() {
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+        p.push(OpKind::AllReduce, 0, vec![b0]);
+        p.push(OpKind::AllReduce, 1, vec![b1]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::ExchangeOutOfOrder { block: 1 })
+        );
+    }
+
+    #[test]
+    fn uncovered_blocks_are_rejected() {
+        // Only block 0 exchanges: block 1's gradients would never move.
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let b0 = p.push(OpKind::Backward, 0, vec![b1]);
+        p.push(OpKind::AllReduce, 0, vec![b0]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::ExchangeCoverageGap { block: 1 })
+        );
+    }
+
+    #[test]
+    fn update_without_exchange_is_rejected() {
         let mut p = Plan::new(1);
         let f = p.push(OpKind::Forward, 0, vec![]);
         let b = p.push(OpKind::Backward, 0, vec![f]);
+        p.push(OpKind::HostUpdate, 0, vec![b]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::UpdateWithoutExchange { block: 0 })
+        );
+    }
+
+    #[test]
+    fn update_before_exchange_is_rejected() {
+        let mut p = Plan::new(1);
+        let f = p.push(OpKind::Forward, 0, vec![]);
+        let b = p.push(OpKind::Backward, 0, vec![f]);
+        p.push(OpKind::HostUpdate, 0, vec![b]);
         p.push(OpKind::AllReduce, 0, vec![b]);
         assert_eq!(
             lower_to_runtime(&p),
-            Err(RuntimeLowerError::UnsupportedOp {
-                op: OpKind::AllReduce,
-                block: 0
-            })
+            Err(RuntimeLowerError::UpdateBeforeExchange { block: 0 })
         );
     }
 
@@ -627,12 +936,13 @@ mod tests {
     fn errors_display_without_panicking() {
         let errs = [
             RuntimeLowerError::Invalid("x".into()),
-            RuntimeLowerError::UnsupportedOp {
-                op: OpKind::HostUpdate,
-                block: 1,
-            },
             RuntimeLowerError::MissingForward { block: 0 },
             RuntimeLowerError::SwapInSplitsRecompute { block: 3 },
+            RuntimeLowerError::ExchangeOutOfOrder { block: 1 },
+            RuntimeLowerError::ExchangeCoverageGap { block: 2 },
+            RuntimeLowerError::ExchangeBeforeBackward { block: 0 },
+            RuntimeLowerError::UpdateWithoutExchange { block: 4 },
+            RuntimeLowerError::UpdateBeforeExchange { block: 5 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

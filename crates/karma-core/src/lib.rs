@@ -42,7 +42,9 @@ pub mod opt;
 pub mod plan;
 pub mod planner;
 
-pub use bridge::{lower_to_runtime, LoweredPolicy, RuntimeLowerError, RuntimeSchedule};
+pub use bridge::{
+    lower_to_runtime, DistGroup, DistSchedule, LoweredPolicy, RuntimeLowerError, RuntimeSchedule,
+};
 pub use capacity::{build_training_plan, CapacityPlanOptions};
 pub use codegen::generate_training_script;
 pub use cost::BlockCosts;

@@ -20,7 +20,7 @@ use karma_core::capacity::{build_training_plan, CapacityPlanOptions};
 use karma_core::cost::{BlockCosts, LayerCostTable};
 use karma_core::lower::{simulate_plan, LowerOptions, SimMetrics};
 use karma_core::opt::refine_recompute;
-use karma_core::plan::OpKind;
+use karma_core::plan::{OpKind, Plan};
 use karma_graph::{MemoryParams, ModelGraph};
 use karma_hw::ClusterSpec;
 use karma_net::{AllReduceAlgo, AllReduceModel, PhasedExchange};
@@ -66,6 +66,32 @@ pub struct DistResult {
     pub n_blocks: usize,
     /// Per-GPU mini-batch size.
     pub per_gpu_batch: usize,
+}
+
+/// Append the phased-exchange ops to a per-worker plan: one `AR` per
+/// group on its **lead** block (its first-finishing member), gated on the
+/// last member's backward, and one host-side `U` after each `AR`
+/// (updates of different groups serialize on the simulator's host lane;
+/// no explicit dependency chain is needed).
+///
+/// This is the single source of the distributed op shape:
+/// [`karma_dp_iteration`] emits through it, and
+/// `karma_core::bridge::lower_to_runtime` recovers exactly these groups
+/// as its `DistSchedule` — the round-trip the distributed
+/// plan→runtime tests pin.
+pub fn append_exchange_ops(plan: &mut Plan, groups: &PhasedExchange) {
+    for g in &groups.groups {
+        let lead = g.blocks[0];
+        // The group launches when its *last-finishing* member's backward
+        // completes; members are in backward order, so that's the final
+        // entry.
+        let gate = *g.blocks.last().expect("groups are non-empty");
+        let b_gate = plan
+            .find(OpKind::Backward, gate)
+            .expect("every block has a backward");
+        let ar = plan.push(OpKind::AllReduce, lead, vec![b_gate]);
+        plan.push(OpKind::HostUpdate, lead, vec![ar]);
+    }
 }
 
 /// Build block costs for the distributed setting: block state (weights,
@@ -160,18 +186,7 @@ pub fn karma_dp_iteration(
             let group_params: u64 = g.blocks.iter().map(|&b| costs.params[b]).sum();
             up_time[lead] = node.cpu.update_time(group_params / state_divisor, 5.0);
         }
-        for g in &groups.groups {
-            let lead = g.blocks[0];
-            // The group launches when its *last-finishing* member's
-            // backward completes; members are in backward order, so that's
-            // the final entry.
-            let gate = *g.blocks.last().unwrap();
-            let b_gate = plan
-                .find(OpKind::Backward, gate)
-                .expect("every block has a backward");
-            let ar = plan.push(OpKind::AllReduce, lead, vec![b_gate]);
-            plan.push(OpKind::HostUpdate, lead, vec![ar]);
-        }
+        append_exchange_ops(&mut plan, &groups);
 
         let lower = LowerOptions {
             swap_state: false, // state already folded into swap_bytes

@@ -38,6 +38,12 @@ impl PhasedExchange {
     /// the per-message latency: merging is beneficial while
     /// `α > β·(merge delay)`, which reduces to a byte threshold
     /// `merge_threshold = α · bandwidth` on the bottleneck link.
+    ///
+    /// Edge cases produce valid schedules, never degenerate ones: an
+    /// empty gradient list yields zero groups, and a single-block plan
+    /// yields exactly one single-block group even when the block is far
+    /// below the merge threshold (the tail always flushes). Every group
+    /// in a returned schedule is non-empty.
     pub fn plan(grad_bytes: &[u64], model: &AllReduceModel) -> Self {
         // Threshold: bytes whose transfer time equals one message latency.
         // Below it, an extra message costs more than merging.
@@ -95,14 +101,35 @@ impl PhasedExchange {
         }
     }
 
-    /// Single bulk exchange of everything (the non-phased baseline).
+    /// Single bulk exchange of everything (the non-phased baseline). An
+    /// empty gradient list yields zero groups — never an empty group,
+    /// which downstream consumers (the pipeline's per-group lead lookup,
+    /// the runtime's gate detection) cannot represent.
     pub fn bulk(grad_bytes: &[u64]) -> Self {
+        if grad_bytes.is_empty() {
+            return PhasedExchange { groups: Vec::new() };
+        }
         PhasedExchange {
             groups: vec![ExchangeGroup {
                 blocks: (0..grad_bytes.len()).rev().collect(),
                 bytes: grad_bytes.iter().sum(),
             }],
         }
+    }
+
+    /// Index of the group that exchanges `block`'s gradients.
+    ///
+    /// ```
+    /// use karma_net::PhasedExchange;
+    ///
+    /// let plan = PhasedExchange::per_block(&[10, 20, 30]);
+    /// // Launch order is backward-completion order: block 2 ships first.
+    /// assert_eq!(plan.group(2), Some(0));
+    /// assert_eq!(plan.group(0), Some(2));
+    /// assert_eq!(plan.group(7), None);
+    /// ```
+    pub fn group(&self, block: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.blocks.contains(&block))
     }
 
     /// Total bytes across groups.
@@ -210,8 +237,61 @@ mod tests {
 
     #[test]
     fn empty_gradient_list_yields_empty_plan() {
-        let plan = PhasedExchange::plan(&[], &model());
-        assert!(plan.groups.is_empty());
-        assert_eq!(plan.total_bytes(), 0);
+        // Zero groups, not one empty group: every group in a schedule is
+        // non-empty so per-group lead/gate lookups stay total.
+        let m = model();
+        for plan in [
+            PhasedExchange::plan(&[], &m),
+            PhasedExchange::per_block(&[]),
+            PhasedExchange::bulk(&[]),
+        ] {
+            assert!(plan.groups.is_empty());
+            assert_eq!(plan.total_bytes(), 0);
+            assert_eq!(plan.serial_time(&m), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_block_plans_form_one_valid_group() {
+        // A lone block far below the merge threshold must still flush
+        // into exactly one group (the greedy loop's tail case), for any
+        // constructor.
+        let m = model();
+        for grads in [[1u64], [0u64]] {
+            for plan in [
+                PhasedExchange::plan(&grads, &m),
+                PhasedExchange::per_block(&grads),
+                PhasedExchange::bulk(&grads),
+            ] {
+                assert_eq!(plan.groups.len(), 1);
+                assert_eq!(plan.groups[0].blocks, vec![0]);
+                assert_eq!(plan.groups[0].bytes, grads[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn no_schedule_ever_contains_an_empty_group() {
+        let m = model();
+        for grads in [vec![], vec![1u64], vec![0, 0, 0], vec![1 << 30; 5]] {
+            for plan in [
+                PhasedExchange::plan(&grads, &m),
+                PhasedExchange::per_block(&grads),
+                PhasedExchange::bulk(&grads),
+            ] {
+                assert!(plan.groups.iter().all(|g| !g.blocks.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn group_lookup_covers_every_block() {
+        let grads = vec![10 << 20, 5 << 20, 80 << 20, 1 << 20, 200 << 20];
+        let plan = PhasedExchange::plan(&grads, &model());
+        for b in 0..grads.len() {
+            let g = plan.group(b).expect("every block is grouped");
+            assert!(plan.groups[g].blocks.contains(&b));
+        }
+        assert_eq!(plan.group(grads.len()), None);
     }
 }

@@ -7,12 +7,21 @@
 //! back as a typed [`BridgeError`], never a panic — the planner side of
 //! that analysis lives in `karma_core::bridge::lower_to_runtime`.
 //!
+//! Distributed plans lower too: [`lower_dist_plan`] additionally turns
+//! the plan's `AR`/`U` ops (analysed into a
+//! [`karma_core::bridge::DistSchedule`]) into the
+//! [`crate::dp::ExchangeSchedule`] that [`crate::dp::train`] executes
+//! with real worker threads and a grouped, overlap-friendly gradient
+//! exchange.
+//!
 //! [`expected_residency`] replays a plan's block-level ops against real
 //! per-activation byte sizes and predicts the executor's near-memory
-//! trajectory sample by sample. Together with the op counts in
-//! [`crate::OocStats`] this closes the loop the paper's Sec. IV claims:
-//! the schedule the planner searched over is the schedule the runtime
-//! runs, with matching swap/recompute operations and residency.
+//! trajectory sample by sample; [`expected_exchange`] does the same for
+//! the distributed half, predicting message count and bytes-per-group
+//! exactly. Together with the op counts in [`crate::OocStats`] this
+//! closes the loop the paper's Sec. IV claims: the schedule the planner
+//! searched over is the schedule the runtime runs, with matching
+//! swap/recompute operations, residency, and exchange traffic.
 //!
 //! ```
 //! use karma_core::plan::{OpKind, Plan};
@@ -45,6 +54,7 @@ use karma_core::plan::{OpKind, Plan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::dp::ExchangeSchedule;
 use crate::exec::{BlockPolicy, ExecEvent, OocExecutor, ResidencySample};
 
 /// Why a plan could not be bridged onto the executor.
@@ -69,6 +79,13 @@ pub enum BridgeError {
     /// (input + every layer output).
     KeyBytesLength {
         /// `n_layers + 1`.
+        expected: usize,
+        /// What was passed.
+        got: usize,
+    },
+    /// `expected_exchange` needs one gradient byte size per block.
+    GradBytesLength {
+        /// The plan's block count.
         expected: usize,
         /// What was passed.
         got: usize,
@@ -98,6 +115,9 @@ impl fmt::Display for BridgeError {
             }
             BridgeError::KeyBytesLength { expected, got } => {
                 write!(f, "need {expected} per-key byte sizes, got {got}")
+            }
+            BridgeError::GradBytesLength { expected, got } => {
+                write!(f, "need {expected} per-block gradient sizes, got {got}")
             }
         }
     }
@@ -134,7 +154,30 @@ fn check_boundaries(plan: &Plan, boundaries: &[usize], n_layers: usize) -> Resul
 /// Lower `plan` into a runnable executor over `boundaries` (start layer of
 /// each block, net-layer space) with a near-memory byte `budget`. The
 /// executor reproduces the plan's per-block policies, eviction order and
-/// prefetch schedule exactly.
+/// prefetch schedule exactly. Distributed plans are accepted — their
+/// `AR`/`U` ops describe the *exchange*, which the executor does not run;
+/// use [`lower_dist_plan`] to also recover the exchange grouping for
+/// [`crate::dp::train`].
+///
+/// ```
+/// use karma_core::plan::{OpKind, Plan};
+/// use karma_runtime::bridge::lower_plan;
+/// use karma_runtime::BlockPolicy;
+///
+/// // Two blocks, block 0 swapped out during the forward sweep and
+/// // prefetched one backward step early.
+/// let mut p = Plan::new(2);
+/// let f0 = p.push(OpKind::Forward, 0, vec![]);
+/// let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+/// let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+/// let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+/// let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+/// p.push(OpKind::Backward, 0, vec![b1, si]);
+///
+/// let exec = lower_plan(&p, &[0, 3], usize::MAX / 2, 6).unwrap();
+/// assert_eq!(exec.policies(), &[BlockPolicy::Swap, BlockPolicy::Resident]);
+/// assert_eq!(exec.evict_after(), &[vec![0], vec![]]);
+/// ```
 pub fn lower_plan(
     plan: &Plan,
     boundaries: &[usize],
@@ -142,6 +185,17 @@ pub fn lower_plan(
     n_layers: usize,
 ) -> Result<OocExecutor, BridgeError> {
     let sched = lower_to_runtime(plan)?;
+    build_executor(sched, plan, boundaries, budget, n_layers)
+}
+
+/// Turn an already-analysed schedule into the configured executor.
+fn build_executor(
+    sched: karma_core::bridge::RuntimeSchedule,
+    plan: &Plan,
+    boundaries: &[usize],
+    budget: usize,
+    n_layers: usize,
+) -> Result<OocExecutor, BridgeError> {
     check_boundaries(plan, boundaries, n_layers)?;
     let policy: Vec<BlockPolicy> = sched
         .policies
@@ -156,6 +210,105 @@ pub fn lower_plan(
         OocExecutor::new(boundaries.to_vec(), policy, budget, n_layers)
             .with_schedule(sched.evict_after, sched.prefetch_before),
     )
+}
+
+/// Lower a (possibly distributed) `plan` into the executor *and* the
+/// gradient-exchange schedule its `AR`/`U` ops prescribe. Single-GPU
+/// plans (no `AR`/`U`) get the un-merged per-block exchange — the
+/// protocol [`crate::dp::train_data_parallel`] always ran — so the pair
+/// is directly runnable by [`crate::dp::train`] either way.
+pub fn lower_dist_plan(
+    plan: &Plan,
+    boundaries: &[usize],
+    budget: usize,
+    n_layers: usize,
+) -> Result<(OocExecutor, ExchangeSchedule), BridgeError> {
+    let mut sched = lower_to_runtime(plan)?;
+    let xchg = match sched.dist.take() {
+        Some(d) => ExchangeSchedule::new(d.group_blocks(), plan.n_blocks),
+        None => ExchangeSchedule::per_block(plan.n_blocks),
+    };
+    let exec = build_executor(sched, plan, boundaries, budget, n_layers)?;
+    Ok((exec, xchg))
+}
+
+/// Per-block gradient payload sizes of `net` over `boundaries` — what
+/// each block contributes to an exchange message. Derived from the
+/// parameter shapes (one gradient tensor per parameter, identical
+/// shape), so no training step is needed; [`expected_exchange`] and the
+/// MG-WFBP grouping both consume this.
+pub fn block_grad_bytes(net: &karma_tensor::Sequential, boundaries: &[usize]) -> Vec<u64> {
+    use karma_tensor::Tensor;
+    let layer_bytes: Vec<u64> = net
+        .layers
+        .iter()
+        .map(|l| l.params().iter().map(|t| Tensor::bytes(t)).sum::<usize>() as u64)
+        .collect();
+    (0..boundaries.len())
+        .map(|b| {
+            let s = boundaries[b];
+            let e = boundaries.get(b + 1).copied().unwrap_or(net.len());
+            layer_bytes[s..e].iter().sum()
+        })
+        .collect()
+}
+
+/// The predicted gradient-exchange traffic of a distributed execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExchangeReplay {
+    /// Member blocks per message, in launch order.
+    pub groups: Vec<Vec<usize>>,
+    /// Payload bytes of one worker's message per group, in launch order —
+    /// what `DataParallelReport::group_bytes` will record.
+    pub per_group_bytes: Vec<u64>,
+    /// Messages one step produces across all workers.
+    pub messages_per_step: usize,
+    /// Messages the whole run produces (`messages_per_step × steps`) —
+    /// what `DataParallelReport::exchange_messages` will record.
+    pub messages: usize,
+    /// Gradient payload one step ships across all workers.
+    pub bytes_per_step: u64,
+    /// Payload the whole run ships — what
+    /// `DataParallelReport::exchanged_bytes` will record.
+    pub total_bytes: u64,
+}
+
+/// Replay `plan`'s exchange ops over real per-block gradient sizes
+/// (`grad_bytes[b]` = bytes of block `b`'s parameter gradients) and
+/// predict exactly the message count and payload a `workers`-replica,
+/// `steps`-step [`crate::dp::train`] run will ship — the distributed
+/// analogue of [`expected_residency`]. Plans without `AR`/`U` ops replay
+/// the per-block protocol, mirroring [`lower_dist_plan`].
+pub fn expected_exchange(
+    plan: &Plan,
+    grad_bytes: &[u64],
+    workers: usize,
+    steps: usize,
+) -> Result<ExchangeReplay, BridgeError> {
+    let sched = lower_to_runtime(plan)?;
+    if grad_bytes.len() != plan.n_blocks {
+        return Err(BridgeError::GradBytesLength {
+            expected: plan.n_blocks,
+            got: grad_bytes.len(),
+        });
+    }
+    let groups: Vec<Vec<usize>> = match sched.dist {
+        Some(d) => d.group_blocks(),
+        None => (0..plan.n_blocks).rev().map(|b| vec![b]).collect(),
+    };
+    let per_group_bytes: Vec<u64> = groups
+        .iter()
+        .map(|g| g.iter().map(|&b| grad_bytes[b]).sum())
+        .collect();
+    let bytes_per_step: u64 = per_group_bytes.iter().sum::<u64>() * workers as u64;
+    Ok(ExchangeReplay {
+        messages_per_step: groups.len() * workers,
+        messages: groups.len() * workers * steps,
+        bytes_per_step,
+        total_bytes: bytes_per_step * steps as u64,
+        groups,
+        per_group_bytes,
+    })
 }
 
 /// Map planner boundaries from graph-layer space (where layer 0 is the
@@ -235,6 +388,13 @@ pub fn expected_residency(
     let mut samples = Vec::with_capacity(plan.ops.len());
     for op in &plan.ops {
         let b = op.block;
+        if matches!(op.kind, OpKind::AllReduce | OpKind::HostUpdate) {
+            // The exchange moves gradients over the network/host, not
+            // activations through near memory: no residency change and no
+            // executor event (the executed trace never sees them either —
+            // `dp::train` runs the exchange outside `grad_step`).
+            continue;
+        }
         let event = match op.kind {
             OpKind::Forward => {
                 cur += full(b);
@@ -276,9 +436,7 @@ pub fn expected_residency(
                     }
                 }
             }
-            OpKind::AllReduce | OpKind::HostUpdate => {
-                unreachable!("lower_to_runtime rejects distributed ops")
-            }
+            OpKind::AllReduce | OpKind::HostUpdate => unreachable!("skipped above"),
         };
         samples.push(ResidencySample {
             event,
@@ -386,16 +544,76 @@ mod tests {
 
     #[test]
     fn unrealizable_plan_errors_propagate() {
+        // A host update with no exchange to ride is unrealizable.
         let mut p = Plan::new(1);
         let f = p.push(OpKind::Forward, 0, vec![]);
         let b = p.push(OpKind::Backward, 0, vec![f]);
-        p.push(OpKind::AllReduce, 0, vec![b]);
+        p.push(OpKind::HostUpdate, 0, vec![b]);
         assert_eq!(
             lower_plan(&p, &[0], usize::MAX / 2, 8).unwrap_err(),
-            BridgeError::Lower(RuntimeLowerError::UnsupportedOp {
-                op: OpKind::AllReduce,
-                block: 0
-            })
+            BridgeError::Lower(RuntimeLowerError::UpdateWithoutExchange { block: 0 })
+        );
+    }
+
+    /// `swap_plan` plus a grouped exchange: blocks {2, 1} ship together
+    /// once B(1) lands (overlapping B(0)), block 0 ships last.
+    fn dist_swap_plan() -> Plan {
+        let mut p = Plan::new(3);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+        let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b2]);
+        let b1 = p.push(OpKind::Backward, 1, vec![b2]);
+        let ar2 = p.push(OpKind::AllReduce, 2, vec![b1]);
+        let b0 = p.push(OpKind::Backward, 0, vec![b1, si]);
+        let ar0 = p.push(OpKind::AllReduce, 0, vec![b0]);
+        let u2 = p.push(OpKind::HostUpdate, 2, vec![ar2]);
+        p.push(OpKind::HostUpdate, 0, vec![ar0, u2]);
+        p
+    }
+
+    #[test]
+    fn distributed_plan_lowers_to_executor_and_exchange() {
+        let p = dist_swap_plan();
+        let (exec, xchg) = lower_dist_plan(&p, &[0, 3, 6], usize::MAX / 2, 8).unwrap();
+        assert_eq!(exec.n_blocks(), 3);
+        assert_eq!(xchg.groups(), &[vec![2, 1], vec![0]]);
+        // Single-GPU plans fall back to the per-block protocol.
+        let (_, xchg) = lower_dist_plan(&swap_plan(), &[0, 3, 6], usize::MAX / 2, 8).unwrap();
+        assert_eq!(xchg.groups(), &[vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn residency_replay_skips_exchange_ops() {
+        // The distributed plan's residency replay equals the single-GPU
+        // plan's: AR/U move gradients, not near-memory activations.
+        let key_bytes = vec![64usize; 9];
+        let dist = expected_residency(&dist_swap_plan(), &[0, 3, 6], &key_bytes, 8).unwrap();
+        let plain = expected_residency(&swap_plan(), &[0, 3, 6], &key_bytes, 8).unwrap();
+        assert_eq!(dist.samples, plain.samples);
+        assert_eq!(dist.peak_bytes, plain.peak_bytes);
+    }
+
+    #[test]
+    fn exchange_replay_predicts_messages_and_bytes() {
+        let p = dist_swap_plan();
+        let grad_bytes = vec![100u64, 200, 300];
+        let r = expected_exchange(&p, &grad_bytes, 4, 3).unwrap();
+        assert_eq!(r.groups, vec![vec![2, 1], vec![0]]);
+        assert_eq!(r.per_group_bytes, vec![500, 100]);
+        assert_eq!(r.messages_per_step, 8);
+        assert_eq!(r.messages, 24);
+        assert_eq!(r.bytes_per_step, 2400);
+        assert_eq!(r.total_bytes, 7200);
+        // Wrong gradient vector length is a typed error.
+        assert_eq!(
+            expected_exchange(&p, &[1, 2], 1, 1).unwrap_err(),
+            BridgeError::GradBytesLength {
+                expected: 3,
+                got: 2
+            }
         );
     }
 

@@ -3,18 +3,95 @@
 //! crossbeam channels instead of MPI.
 //!
 //! Each worker trains its out-of-core replica on a shard of the global
-//! batch. As each *block* finishes its backward pass, the worker ships
-//! that block's gradients to the aggregator ("the CPU side"), which
-//! averages across workers and returns the result — the worker installs it
-//! and continues with the next block. After the last block, every replica
-//! applies identical averaged gradients, so replicas stay bit-identical.
+//! batch. Gradients ship **by exchange group** ([`ExchangeSchedule`]): as
+//! a group's last block finishes its backward pass, the worker sends the
+//! group's gradients to the aggregator ("the CPU side") and *keeps
+//! computing* — the aggregation of already-shipped groups overlaps the
+//! remaining backward/swap work, exactly the overlap the paper's phased
+//! exchange buys. The averaged gradients are installed before the weight
+//! update, so every replica applies identical averages and replicas stay
+//! bit-identical.
+//!
+//! The group shapes come from `karma_net::PhasedExchange` (MG-WFBP
+//! merging) via the plan→runtime bridge, or from the [`ExchangeSchedule`]
+//! constructors directly ([`ExchangeSchedule::per_block`] reproduces the
+//! original one-message-per-block protocol, [`ExchangeSchedule::bulk`]
+//! the naive single-AllReduce baseline).
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use karma_tensor::layers::ParamGrads;
-use karma_tensor::{Sequential, SyntheticDataset, Tensor};
+use karma_tensor::{Gradients, Sequential, SyntheticDataset, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::exec::{OocExecutor, OocStats};
+
+/// The grouped gradient-exchange shape for one training step: which
+/// blocks ship together, in launch order. This is the runtime mirror of
+/// `karma_core::bridge::DistSchedule` (kept free of planner types so the
+/// parity-critical execution path stays independent of the analysis
+/// stack, like `BlockPolicy` mirrors `LoweredPolicy`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExchangeSchedule {
+    /// Member blocks per group: contiguous, descending within each group
+    /// (backward completion order) and across groups, covering every
+    /// block exactly once.
+    groups: Vec<Vec<usize>>,
+    n_blocks: usize,
+}
+
+impl ExchangeSchedule {
+    /// Build a schedule over `n_blocks` blocks, validating that `groups`
+    /// partition them in backward-completion order (descending, first
+    /// group starts at the last block). Panics on malformed groups, like
+    /// the executor's own schedule setters.
+    pub fn new(groups: Vec<Vec<usize>>, n_blocks: usize) -> Self {
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), n_blocks, "groups must cover every block once");
+        assert!(
+            flat.windows(2).all(|w| w[0] == w[1] + 1),
+            "groups must list blocks in contiguous descending order"
+        );
+        assert_eq!(
+            flat.first().copied(),
+            n_blocks.checked_sub(1),
+            "first group must start at the last block"
+        );
+        ExchangeSchedule { groups, n_blocks }
+    }
+
+    /// One group per block — the fully eager, un-merged protocol (what
+    /// [`train_data_parallel`] runs).
+    pub fn per_block(n_blocks: usize) -> Self {
+        ExchangeSchedule::new((0..n_blocks).rev().map(|b| vec![b]).collect(), n_blocks)
+    }
+
+    /// A single group holding every block — the bulk-AllReduce baseline
+    /// with no compute/communication overlap.
+    pub fn bulk(n_blocks: usize) -> Self {
+        ExchangeSchedule::new(vec![(0..n_blocks).rev().collect()], n_blocks)
+    }
+
+    /// Member blocks per group, launch order.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of groups (= exchange messages per worker per step).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of blocks covered.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// The group's *gate*: its lowest block, whose backward finishes
+    /// last and launches the group's exchange.
+    pub fn gate(&self, group: usize) -> usize {
+        *self.groups[group].last().expect("groups are non-empty")
+    }
+}
 
 /// Outcome of a data-parallel training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,22 +104,71 @@ pub struct DataParallelReport {
     pub swapped_bytes: usize,
     /// Aggregate recomputed layers across workers and steps.
     pub recomputed_layers: usize,
-    /// Gradient-exchange messages (one per block per worker per step).
+    /// Gradient-exchange messages (one per group per worker per step).
     pub exchange_messages: usize,
+    /// Total gradient payload shipped worker→aggregator, across workers
+    /// and steps.
+    pub exchanged_bytes: usize,
+    /// Payload bytes of one worker's message per group, in launch order
+    /// (identical for every worker and step: replicas share shapes).
+    pub group_bytes: Vec<usize>,
 }
 
-type BlockMsg = (usize, usize, Vec<ParamGrads>); // (rank, block, grads)
+type GroupMsg = (usize, usize, Vec<ParamGrads>); // (rank, group, grads)
 type ReplyChannel = (Sender<Vec<ParamGrads>>, Receiver<Vec<ParamGrads>>);
 
-/// Train `nets` (identical replicas) data-parallel for `steps` steps.
+/// Layer span `[start, end)` covered by `group` (contiguous descending
+/// blocks ⇒ contiguous layers from the gate's first to the lead's last).
+fn group_span(
+    xchg: &ExchangeSchedule,
+    group: usize,
+    boundaries: &[usize],
+    n_layers: usize,
+) -> (usize, usize) {
+    let blocks = &xchg.groups()[group];
+    let lead = blocks[0];
+    let gate = *blocks.last().unwrap();
+    let start = boundaries[gate];
+    let end = boundaries.get(lead + 1).copied().unwrap_or(n_layers);
+    (start, end)
+}
+
+/// Train `nets` (identical replicas) data-parallel for `steps` steps with
+/// the grouped phased gradient exchange.
 ///
 /// Worker `r` consumes shard `r` of each global batch window:
-/// `data[start + step*global .. ]` split into `workers` shards of
-/// `per_worker` samples. Returns the shared report; `nets` are left at the
-/// final (identical) parameters.
-pub fn train_data_parallel(
+/// `data[start + step*global .. ]` split into `nets.len()` shards of
+/// `per_worker` samples. As each exchange group's gate block finishes its
+/// backward, the worker ships the group's gradients and continues; the
+/// averaged result is installed before the SGD update, so replicas end
+/// every step bit-identical (asserted). `nets` are left at the final
+/// parameters.
+///
+/// ```
+/// use karma_runtime::dp::{train, ExchangeSchedule};
+/// use karma_runtime::exec::{BlockPolicy, OocExecutor};
+/// use karma_tensor::{small_cnn, SyntheticDataset};
+///
+/// let data = SyntheticDataset::classification(64, 1, 16, 4, 33);
+/// let mut nets: Vec<_> = (0..2).map(|_| small_cnn(4, 77)).collect();
+/// let exec = OocExecutor::new(
+///     vec![0, 3, 6],
+///     vec![BlockPolicy::Swap, BlockPolicy::Recompute, BlockPolicy::Resident],
+///     usize::MAX / 2,
+///     nets[0].len(),
+/// );
+/// // Blocks {2, 1} exchange together as soon as B(1) lands, overlapping
+/// // B(0); block 0 ships last.
+/// let xchg = ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3);
+/// let report = train(&mut nets, &exec, &xchg, &data, 8, 0.05, 2);
+/// // 2 groups × 2 workers × 2 steps:
+/// assert_eq!(report.exchange_messages, 8);
+/// assert_eq!(report.group_bytes.len(), 2);
+/// ```
+pub fn train(
     nets: &mut [Sequential],
     exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
     data: &SyntheticDataset,
     per_worker: usize,
     lr: f32,
@@ -50,6 +176,11 @@ pub fn train_data_parallel(
 ) -> DataParallelReport {
     let workers = nets.len();
     assert!(workers >= 1, "need at least one worker");
+    assert_eq!(
+        xchg.n_blocks(),
+        exec.n_blocks(),
+        "exchange schedule / executor block mismatch"
+    );
     let global = per_worker * workers;
     assert!(
         steps * global <= data.len(),
@@ -61,55 +192,83 @@ pub fn train_data_parallel(
         assert_eq!(n.snapshot(), first, "replicas must start identical");
     }
 
+    let n_groups = xchg.n_groups();
+    let n_layers = nets[0].len();
+    let boundaries = exec.boundaries().to_vec();
+    // Per-block lookup: which group, and is this block its group's gate?
+    let mut group_of = vec![0usize; exec.n_blocks()];
+    let mut is_gate = vec![false; exec.n_blocks()];
+    for (g, blocks) in xchg.groups().iter().enumerate() {
+        for &b in blocks {
+            group_of[b] = g;
+        }
+        is_gate[xchg.gate(g)] = true;
+    }
+
     let mut losses = Vec::with_capacity(steps);
     let mut swapped = 0usize;
     let mut recomputed = 0usize;
     let mut messages = 0usize;
+    let mut shipped = 0usize;
+    let mut group_bytes = vec![0usize; n_groups];
 
     for step in 0..steps {
         let start = step * global;
         // Channels: workers -> aggregator, aggregator -> each worker.
-        let (to_agg, from_workers): (Sender<BlockMsg>, Receiver<BlockMsg>) = unbounded();
+        let (to_agg, from_workers): (Sender<GroupMsg>, Receiver<GroupMsg>) = unbounded();
         let replies: Vec<ReplyChannel> = (0..workers).map(|_| unbounded()).collect();
         let reply_senders: Vec<Sender<Vec<ParamGrads>>> =
             replies.iter().map(|(s, _)| s.clone()).collect();
 
-        let mut step_results: Vec<Option<(f32, karma_tensor::Gradients, OocStats)>> =
+        let mut step_results: Vec<Option<(f32, Gradients, OocStats)>> =
             (0..workers).map(|_| None).collect();
 
+        let agg_messages = &mut messages;
+        let agg_shipped = &mut shipped;
+        let agg_group_bytes = &mut group_bytes;
         std::thread::scope(|scope| {
-            // Aggregator: for each block (arriving back-to-front), collect
-            // one message per worker, average, reply to everyone.
-            let n_blocks = exec.n_blocks();
+            // Aggregator: groups complete in launch order (each worker
+            // ships them in order), but messages from different workers
+            // interleave freely — bucket until a group is full, average
+            // in fixed rank order (deterministic), reply to everyone.
+            // This runs while workers are still in their backward
+            // phase: the overlap the phased exchange is for.
             scope.spawn(move || {
-                for _round in 0..n_blocks {
-                    let mut bucket: Vec<Option<Vec<ParamGrads>>> =
-                        (0..workers).map(|_| None).collect();
-                    let mut block_id = usize::MAX;
-                    for _ in 0..workers {
-                        let (rank, b, grads) = from_workers.recv().expect("worker died");
-                        if block_id == usize::MAX {
-                            block_id = b;
-                        }
-                        assert_eq!(b, block_id, "workers out of lockstep");
-                        bucket[rank] = Some(grads);
-                    }
-                    // Average in fixed rank order (deterministic).
-                    let mut acc = bucket[0].take().unwrap();
-                    for g in bucket.into_iter().skip(1).flatten() {
-                        for (a, b) in acc.iter_mut().zip(&g) {
-                            for (ta, tb) in a.grads.iter_mut().zip(&b.grads) {
-                                ta.axpy(1.0, tb);
+                let mut buckets: Vec<Vec<Option<Vec<ParamGrads>>>> =
+                    vec![vec![None; workers]; n_groups];
+                let mut next = 0usize;
+                for _ in 0..n_groups * workers {
+                    let (rank, g, payload) = from_workers.recv().expect("worker died");
+                    *agg_messages += 1;
+                    let bytes: usize = payload
+                        .iter()
+                        .flat_map(|pg| pg.grads.iter())
+                        .map(Tensor::bytes)
+                        .sum();
+                    *agg_shipped += bytes;
+                    agg_group_bytes[g] = bytes;
+                    let prev = buckets[g][rank].replace(payload);
+                    assert!(prev.is_none(), "duplicate message for group {g}");
+                    while next < n_groups && buckets[next].iter().all(Option::is_some) {
+                        // Average in fixed rank order (drain preserves it).
+                        let mut ranked = std::mem::take(&mut buckets[next]).into_iter().flatten();
+                        let mut acc = ranked.next().expect("workers >= 1");
+                        for other in ranked {
+                            for (a, b) in acc.iter_mut().zip(&other) {
+                                for (ta, tb) in a.grads.iter_mut().zip(&b.grads) {
+                                    ta.axpy(1.0, tb);
+                                }
                             }
                         }
-                    }
-                    for pg in &mut acc {
-                        for t in &mut pg.grads {
-                            t.scale(1.0 / workers as f32);
+                        for pg in &mut acc {
+                            for t in &mut pg.grads {
+                                t.scale(1.0 / workers as f32);
+                            }
                         }
-                    }
-                    for s in &reply_senders {
-                        s.send(acc.clone()).expect("worker died");
+                        for s in &reply_senders {
+                            s.send(acc.clone()).expect("worker died");
+                        }
+                        next += 1;
                     }
                 }
             });
@@ -118,16 +277,33 @@ pub fn train_data_parallel(
             for (rank, (net, result)) in nets.iter().zip(step_results.iter_mut()).enumerate() {
                 let to_agg = to_agg.clone();
                 let from_agg = replies[rank].1.clone();
+                let (group_of, is_gate) = (&group_of, &is_gate);
+                let (xchg, boundaries) = (&xchg, &boundaries);
                 scope.spawn(move || {
                     let (x, y): (Tensor, Vec<usize>) = data.shard(start, per_worker, rank);
-                    let out = exec.grad_step(net, &x, &y, |b, grads| {
-                        to_agg
-                            .send((rank, b, grads.to_vec()))
-                            .expect("aggregator died");
-                        let avg = from_agg.recv().expect("aggregator died");
-                        grads.clone_from_slice(&avg);
+                    // Blocks finish backward in descending order, so a
+                    // group's members arrive consecutively: stage them
+                    // and ship at the gate, without waiting for the
+                    // average (it is installed after the step).
+                    let mut staged: Vec<Vec<ParamGrads>> = Vec::new();
+                    let (loss, mut grads, stats) = exec.grad_step(net, &x, &y, |b, block_grads| {
+                        staged.push(block_grads.to_vec());
+                        if is_gate[b] {
+                            // Ascending layer order across the group.
+                            let payload: Vec<ParamGrads> =
+                                staged.drain(..).rev().flatten().collect();
+                            to_agg
+                                .send((rank, group_of[b], payload))
+                                .expect("aggregator died");
+                        }
                     });
-                    *result = Some(out);
+                    // Install the averages (arriving in launch order).
+                    for g in 0..xchg.n_groups() {
+                        let avg = from_agg.recv().expect("aggregator died");
+                        let (s, e) = group_span(xchg, g, boundaries, n_layers);
+                        grads.per_layer[s..e].clone_from_slice(&avg);
+                    }
+                    *result = Some((loss, grads, stats));
                 });
             }
         });
@@ -139,7 +315,6 @@ pub fn train_data_parallel(
             step_loss += loss;
             swapped += stats.swapped_in_bytes + stats.swapped_out_bytes;
             recomputed += stats.recomputed_layers;
-            messages += exec.n_blocks();
         }
         losses.push(step_loss / workers as f32);
     }
@@ -158,7 +333,69 @@ pub fn train_data_parallel(
         swapped_bytes: swapped,
         recomputed_layers: recomputed,
         exchange_messages: messages,
+        exchanged_bytes: shipped,
+        group_bytes,
     }
+}
+
+/// Train `nets` with the original one-message-per-block protocol — the
+/// un-merged ([`ExchangeSchedule::per_block`]) special case of [`train`].
+pub fn train_data_parallel(
+    nets: &mut [Sequential],
+    exec: &OocExecutor,
+    data: &SyntheticDataset,
+    per_worker: usize,
+    lr: f32,
+    steps: usize,
+) -> DataParallelReport {
+    let xchg = ExchangeSchedule::per_block(exec.n_blocks());
+    train(nets, exec, &xchg, data, per_worker, lr, steps)
+}
+
+/// The sequential single-worker emulation of the same `workers`-shard
+/// data-parallel step: shard gradients are computed one rank at a time
+/// on one thread, accumulated in rank order, and averaged with the exact
+/// float operations the aggregator uses. This is the **bitwise
+/// reference** for [`train`] — for any worker count, thread count, or
+/// exchange grouping, `train` must leave its replicas at exactly the
+/// weights this function produces (grouping moves messages, never
+/// arithmetic). Returns the per-step mean losses; `net` is left at the
+/// final parameters.
+pub fn train_reference(
+    net: &mut Sequential,
+    exec: &OocExecutor,
+    data: &SyntheticDataset,
+    per_worker: usize,
+    workers: usize,
+    lr: f32,
+    steps: usize,
+) -> Vec<f32> {
+    let global = per_worker * workers;
+    assert!(
+        steps * global <= data.len(),
+        "dataset too small: need {} samples",
+        steps * global
+    );
+    let mut losses = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let start = step * global;
+        let mut acc: Option<Gradients> = None;
+        let mut step_loss = 0.0f32;
+        for rank in 0..workers {
+            let (x, y) = data.shard(start, per_worker, rank);
+            let (loss, grads, _) = exec.grad_step(net, &x, &y, |_, _| {});
+            step_loss += loss;
+            match &mut acc {
+                None => acc = Some(grads),
+                Some(a) => a.accumulate(&grads),
+            }
+        }
+        let mut avg = acc.expect("workers >= 1");
+        avg.scale(1.0 / workers as f32);
+        net.apply(&avg, lr);
+        losses.push(step_loss / workers as f32);
+    }
+    losses
 }
 
 #[cfg(test)]
@@ -199,6 +436,55 @@ mod tests {
         assert!(report.swapped_bytes > 0);
         assert!(report.recomputed_layers > 0);
         assert_eq!(report.exchange_messages, 6 * 4 * 3);
+        assert!(report.exchanged_bytes > 0);
+        assert_eq!(report.group_bytes.len(), 3);
+    }
+
+    #[test]
+    fn grouping_moves_messages_not_arithmetic() {
+        // Per-block vs merged vs bulk grouping: fewer, larger messages,
+        // identical bytes, bit-identical weights.
+        let data = dataset();
+        let schedules = [
+            ExchangeSchedule::per_block(3),
+            ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3),
+            ExchangeSchedule::bulk(3),
+        ];
+        let mut snapshots = Vec::new();
+        let mut totals = Vec::new();
+        for xchg in &schedules {
+            let mut nets = replicas(2);
+            let exec = ooc_exec(nets[0].len());
+            let report = train(&mut nets, &exec, xchg, &data, 8, 0.05, 3);
+            assert_eq!(report.exchange_messages, 3 * 2 * xchg.n_groups());
+            assert_eq!(report.group_bytes.len(), xchg.n_groups());
+            totals.push(report.exchanged_bytes);
+            snapshots.push(report.final_snapshot);
+        }
+        assert_eq!(snapshots[0], snapshots[1], "merged grouping changed bits");
+        assert_eq!(snapshots[0], snapshots[2], "bulk grouping changed bits");
+        assert_eq!(totals[0], totals[1], "total payload must not change");
+        assert_eq!(totals[0], totals[2]);
+    }
+
+    #[test]
+    fn train_matches_sequential_reference_bitwise() {
+        let data = dataset();
+        for workers in [1, 2, 4] {
+            let mut nets = replicas(workers);
+            let exec = ooc_exec(nets[0].len());
+            let xchg = ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3);
+            let report = train(&mut nets, &exec, &xchg, &data, 8, 0.05, 3);
+
+            let mut reference = small_cnn(4, 77);
+            let ref_losses = train_reference(&mut reference, &exec, &data, 8, workers, 0.05, 3);
+            assert_eq!(
+                report.final_snapshot,
+                reference.snapshot(),
+                "{workers} workers diverged from the sequential reference"
+            );
+            assert_eq!(report.losses, ref_losses);
+        }
     }
 
     #[test]
@@ -250,5 +536,17 @@ mod tests {
         let mut nets = replicas(2);
         let exec = ooc_exec(nets[0].len());
         train_data_parallel(&mut nets, &exec, &data, 8, 0.05, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every block")]
+    fn partial_exchange_coverage_is_rejected() {
+        ExchangeSchedule::new(vec![vec![2, 1]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending order")]
+    fn ascending_groups_are_rejected() {
+        ExchangeSchedule::new(vec![vec![1, 2], vec![0]], 3);
     }
 }

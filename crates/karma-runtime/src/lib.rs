@@ -13,13 +13,17 @@
 //!   functions over explicitly saved inputs, the executed arithmetic is
 //!   **bit-identical** to in-core training — the property the paper's
 //!   accuracy experiments check empirically;
-//! * [`dp`] — multi-worker data parallelism with the per-block *phased*
+//! * [`dp`] — multi-worker data parallelism with the *grouped phased*
 //!   gradient exchange and host-side update of Sec. III-G, implemented with
-//!   real threads over crossbeam channels;
+//!   real threads over crossbeam channels: gradients ship group-by-group as
+//!   blocks finish backward, overlapping aggregation with the remaining
+//!   backward/swap work;
 //! * [`bridge`] — the plan→runtime lowering: a validated `karma-core`
 //!   `Plan` becomes a configured [`exec::OocExecutor`] (policies, eviction
-//!   order, prefetch schedule), with a residency replay predicting the
-//!   executed trajectory byte for byte.
+//!   order, prefetch schedule) plus, for distributed plans, the
+//!   [`dp::ExchangeSchedule`] its `AR`/`U` ops prescribe — with residency
+//!   and exchange replays predicting the executed trajectory, message
+//!   count, and shipped bytes exactly.
 //!
 //! **Workspace position:** the execution-side top layer over
 //! `karma-tensor`. The parity-critical modules ([`store`], [`exec`],
@@ -33,8 +37,11 @@ pub mod exec;
 pub mod fault;
 pub mod store;
 
-pub use bridge::{expected_residency, graph_boundaries_to_net, lower_plan, BridgeError};
-pub use dp::{train_data_parallel, DataParallelReport};
+pub use bridge::{
+    block_grad_bytes, expected_exchange, expected_residency, graph_boundaries_to_net,
+    lower_dist_plan, lower_plan, BridgeError, ExchangeReplay,
+};
+pub use dp::{train, train_data_parallel, train_reference, DataParallelReport, ExchangeSchedule};
 pub use exec::{BlockPolicy, ExecEvent, OocExecutor, OocStats, ResidencySample};
 pub use fault::{train_with_failures, Failure, FaultReport};
 pub use store::{FarMemory, NearMemory};
