@@ -85,6 +85,7 @@ fn main() {
             threads: 1,
             memoize: false,
             blocks: base_bounds.len(),
+            peak_bytes: 0, // planner benches never execute
         });
 
         // Optimized: memoized evaluations on every available worker.
@@ -98,6 +99,7 @@ fn main() {
             threads,
             memoize: true,
             blocks: opt_bounds.len(),
+            peak_bytes: 0, // planner benches never execute
         });
 
         // The determinism guarantee, checked on real planner inputs: thread

@@ -24,6 +24,13 @@ use crate::report::BenchReport;
 /// Default slowdown tolerance: fail beyond a 25% ratio regression.
 pub const DEFAULT_MAX_SLOWDOWN: f64 = 0.25;
 
+/// Executed-peak-bytes tolerance: fail beyond 10% growth. Peaks are byte
+/// counts of a deterministic plan, so unlike wall times they compare
+/// directly across machines; the headroom only absorbs legitimate small
+/// plan shifts (a real residency regression — e.g. boundary eviction
+/// silently dropped — blows well past it).
+pub const DEFAULT_MAX_PEAK_GROWTH: f64 = 0.10;
+
 /// Outcome of one gate evaluation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GateOutcome {
@@ -106,6 +113,33 @@ pub fn compare_reports(
             Err(e) => out.failures.push(e),
         };
         record(&mut out, gate_ratio("optimized", b_opt, f_opt));
+        // Executed peak bytes gate every mode that records them (0 = the
+        // mode never executes on the tensor stack, e.g. planner benches;
+        // reports are regenerated whenever the schema changes, so both
+        // sides always carry the field).
+        for mode in ["baseline", "optimized", "distributed"] {
+            let (Some(b), Some(f)) = (baseline.entry(model, mode), fresh.entry(model, mode)) else {
+                continue;
+            };
+            if b.peak_bytes == 0 || f.peak_bytes == 0 {
+                continue;
+            }
+            let limit = b.peak_bytes as f64 * (1.0 + DEFAULT_MAX_PEAK_GROWTH);
+            if f.peak_bytes as f64 > limit {
+                out.failures.push(format!(
+                    "{model}/{mode}: executed peak bytes regressed from {} to {} (limit \
+                     {limit:.0}, tolerance {:.0}%)",
+                    b.peak_bytes,
+                    f.peak_bytes,
+                    DEFAULT_MAX_PEAK_GROWTH * 100.0
+                ));
+            } else {
+                out.notes.push(format!(
+                    "{model}/{mode}: executed peak {} B vs committed {} B — ok",
+                    f.peak_bytes, b.peak_bytes
+                ));
+            }
+        }
         // Optional columns (the distributed data-parallel step) gate the
         // same way once the committed baseline carries them; its wall
         // time normalizes against the same single-GPU baseline, so
@@ -152,6 +186,7 @@ mod tests {
             threads,
             memoize: mode == "optimized",
             blocks,
+            peak_bytes: 0,
         }
     }
 
@@ -246,6 +281,66 @@ mod tests {
         let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
         assert!(!out.passed());
         assert!(out.failures[0].contains("deterministic"));
+    }
+
+    fn with_peak(mut r: BenchReport, mode: &str, peak: usize) -> BenchReport {
+        for e in &mut r.entries {
+            if e.mode == mode {
+                e.peak_bytes = peak;
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn peak_bytes_regression_beyond_ten_percent_fails() {
+        let old = with_peak(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "optimized",
+            1000,
+        );
+        let ok = with_peak(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "optimized",
+            1099,
+        );
+        assert!(compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN).passed());
+        let bad = with_peak(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "optimized",
+            1200,
+        );
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("executed peak bytes regressed"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn peak_bytes_gate_skips_unrecorded_columns() {
+        // A zero on either side means the mode never executes (planner
+        // benches): no gate, and shrinking peaks always pass.
+        let old = report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let new = with_peak(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "optimized",
+            999_999,
+        );
+        assert!(compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN).passed());
+        let old = with_peak(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "optimized",
+            1000,
+        );
+        let smaller = with_peak(
+            report("smoke", &[("resnet", 100.0, 40.0, 7)]),
+            "optimized",
+            500,
+        );
+        assert!(compare_reports(&old, &smaller, DEFAULT_MAX_SLOWDOWN).passed());
     }
 
     #[test]

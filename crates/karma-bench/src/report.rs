@@ -26,6 +26,11 @@ pub struct BenchEntry {
     /// Blocks in the produced plan — a determinism canary: the same
     /// config must reproduce the same blocking on any machine.
     pub blocks: usize,
+    /// Executed near-memory peak (bytes) of this mode's run — `0` when
+    /// the mode does not execute on the tensor stack (planner benches).
+    /// Byte counts are machine-independent, so the gate compares them
+    /// directly (no ratio normalization needed).
+    pub peak_bytes: usize,
 }
 
 /// Per-model speedup headline.
@@ -86,6 +91,7 @@ mod tests {
                     threads: 1,
                     memoize: false,
                     blocks: 5,
+                    peak_bytes: 1024,
                 },
                 BenchEntry {
                     model: "m".into(),
@@ -94,6 +100,7 @@ mod tests {
                     threads: 4,
                     memoize: true,
                     blocks: 5,
+                    peak_bytes: 768,
                 },
             ],
             speedup: vec![ModelSpeedup {

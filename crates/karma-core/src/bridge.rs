@@ -3,8 +3,11 @@
 //! [`lower_to_runtime`] analyses a validated [`Plan`] and extracts the
 //! executor-shaped description of it: one activation policy per block
 //! (resident / swap / recompute), the eviction order of the forward phase
-//! (which blocks swap out after which forward), and the prefetch schedule
-//! of the backward phase (which blocks swap in before which backward).
+//! (which blocks swap out after which forward), the prefetch schedule
+//! of the backward phase (which blocks swap in before which backward),
+//! and the boundary-residency contract (which blocks' boundary
+//! activations depart with their swap and when they must be back —
+//! before the block above begins backward, the prefetch deadline rule).
 //! Distributed plans (paper Sec. III-G) are accepted too: their `AR` /
 //! `U` ops are analysed into a [`DistSchedule`] — the per-group phased
 //! gradient exchange (group membership, launch order, and how much of the
@@ -39,6 +42,24 @@ pub enum LoweredPolicy {
     /// The block has a `R` op: interior activations are dropped after the
     /// forward and re-materialized from the boundary checkpoint.
     Recompute,
+}
+
+/// Per-block residency of the block's *boundary* activation (its final
+/// output — the next block's input). The cost model prices a swapped
+/// block's `Sout`/`Sin` at the full `act_bytes`, boundary included, so a
+/// swapped block's boundary leaves the device with the block; the
+/// recompute checkpoint and the logits must stay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundaryPolicy {
+    /// The boundary stays in near memory through the iteration: resident
+    /// blocks, recompute blocks (it is the checkpoint they re-forward
+    /// from, paper Table I), and the last block (its boundary is the
+    /// logits, consumed by the loss right after the forward sweep).
+    Resident,
+    /// The boundary departs with the block's swap-out — physically once
+    /// the consumer's forward has read it — and returns with the block's
+    /// swap-in, which must land before the consumer's backward.
+    Evict,
 }
 
 /// Why a plan cannot be realized by the out-of-core executor.
@@ -165,6 +186,22 @@ pub enum RuntimeLowerError {
         /// The block.
         block: usize,
     },
+    /// A swapped block's `Sin` is scheduled at its own backward step, so
+    /// the boundary activation riding it would return *after* the block
+    /// above consumed it: `B(block + 1)` reads `block`'s boundary as its
+    /// first input. The fetch must attach to backward step `block + 1` or
+    /// earlier.
+    BoundaryFetchAfterConsumerBackward {
+        /// The swapped block whose boundary re-fetch is late.
+        block: usize,
+    },
+    /// Same lateness, but the block above is a *recompute* block: its
+    /// re-forward (not just its backward) restarts from `block`'s
+    /// boundary, so the starved op is the checkpoint recompute.
+    BoundaryFetchAfterConsumerRecompute {
+        /// The swapped block whose boundary re-fetch is late.
+        block: usize,
+    },
 }
 
 impl fmt::Display for RuntimeLowerError {
@@ -234,6 +271,17 @@ impl fmt::Display for RuntimeLowerError {
             RecomputeNotAdjacent { block } => write!(
                 f,
                 "recompute of block {block} is not adjacent to its backward"
+            ),
+            BoundaryFetchAfterConsumerBackward { block } => write!(
+                f,
+                "boundary of block {block} would return after block {}'s backward consumed it",
+                block + 1
+            ),
+            BoundaryFetchAfterConsumerRecompute { block } => write!(
+                f,
+                "boundary of block {block} would return after block {}'s recompute restarted \
+                 from it",
+                block + 1
             ),
         }
     }
@@ -320,6 +368,22 @@ pub struct RuntimeSchedule {
     /// before its own a swap-in is issued (0 = every fetch is
     /// just-in-time).
     pub prefetch_depth: usize,
+    /// One boundary-residency policy per block: every swap-policy block
+    /// below the last evicts its boundary (the cost model prices its
+    /// departure), everything else keeps it resident.
+    pub boundary: Vec<BoundaryPolicy>,
+    /// `boundary_evict_after[j]` — blocks whose boundary activation
+    /// departs right after block `j`'s forward: `max(evict step, b + 1)`,
+    /// since the transfer cannot drain before block `b + 1`'s forward has
+    /// read the boundary. When the step equals the block's interior
+    /// eviction step the boundary rides that swap-out; otherwise it is
+    /// the deferred tail of a swap-out launched earlier.
+    pub boundary_evict_after: Vec<Vec<usize>>,
+    /// `boundary_fetch_before[j]` — blocks whose boundary returns right
+    /// before backward step `j`, riding the block's swap-in. The lowering
+    /// guarantees `j >= b + 1`: the boundary is back before the block
+    /// above begins backward (the prefetch deadline rule).
+    pub boundary_fetch_before: Vec<Vec<usize>>,
     /// The phased gradient exchange, when the plan is distributed
     /// (`None` for single-GPU plans with no `AR` / `U` ops).
     pub dist: Option<DistSchedule>,
@@ -351,6 +415,15 @@ impl RuntimeSchedule {
     /// Forward-phase eviction order (flattened `evict_after`).
     pub fn eviction_order(&self) -> Vec<usize> {
         self.evict_after.iter().flatten().copied().collect()
+    }
+
+    /// Blocks whose boundary activation leaves the device (the bytes the
+    /// pre-boundary-eviction executor silently kept resident).
+    pub fn boundary_evict_blocks(&self) -> usize {
+        self.boundary
+            .iter()
+            .filter(|p| **p == BoundaryPolicy::Evict)
+            .count()
     }
 
     /// True when the plan carried distributed (`AR` / `U`) ops.
@@ -579,6 +652,7 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
     // Eviction order: attach each Sout to the latest forward issued
     // before it.
     let mut evict_after = vec![Vec::new(); n];
+    let mut evict_step = vec![usize::MAX; n];
     let mut souts: Vec<(usize, usize)> =
         (0..n).filter_map(|b| ix.sout[b].map(|i| (i, b))).collect();
     souts.sort_unstable();
@@ -588,11 +662,13 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
             .find(|&j| ix.fwd[j].unwrap() < i)
             .expect("Sout checked to follow its own forward");
         evict_after[j].push(b);
+        evict_step[b] = j;
     }
 
     // Prefetch schedule: attach each Sin to the backward step owning the
     // next compute op.
     let mut prefetch_before = vec![Vec::new(); n];
+    let mut fetch_step = vec![usize::MAX; n];
     let mut prefetch_depth = 0usize;
     let mut sins: Vec<(usize, usize)> = (0..n).filter_map(|b| ix.sin[b].map(|i| (i, b))).collect();
     sins.sort_unstable();
@@ -608,6 +684,33 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
         }
         prefetch_depth = prefetch_depth.max(j - b);
         prefetch_before[j].push(b);
+        fetch_step[b] = j;
+    }
+
+    // Boundary residency: a swapped block's Sout/Sin move the *full*
+    // activation payload — the cost model credits `act_bytes`, boundary
+    // included — so every swap block below the last evicts its boundary.
+    // Departure cannot precede the consumer's forward (block `b + 1`
+    // reads the boundary as its input), and the return rides the block's
+    // Sin, which therefore must land before backward step `b + 1` — the
+    // step whose recompute/backward restarts from that boundary.
+    let mut boundary = vec![BoundaryPolicy::Resident; n];
+    let mut boundary_evict_after = vec![Vec::new(); n];
+    let mut boundary_fetch_before = vec![Vec::new(); n];
+    for b in 0..n {
+        if policies[b] != LoweredPolicy::Swap || b + 1 == n {
+            continue;
+        }
+        if fetch_step[b] < b + 1 {
+            return Err(if ix.rec[b + 1].is_some() {
+                RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: b }
+            } else {
+                RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: b }
+            });
+        }
+        boundary[b] = BoundaryPolicy::Evict;
+        boundary_evict_after[evict_step[b].max(b + 1)].push(b);
+        boundary_fetch_before[fetch_step[b]].push(b);
     }
 
     // Distributed half: AR/U ops become the phased-exchange schedule.
@@ -623,6 +726,9 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
         evict_after,
         prefetch_before,
         prefetch_depth,
+        boundary,
+        boundary_evict_after,
+        boundary_fetch_before,
         dist,
     })
 }
@@ -671,6 +777,99 @@ mod tests {
         // Forward-phase evictions come front to back.
         let order = s.eviction_order();
         assert!(order.windows(2).all(|w| w[0] < w[1]));
+        // Every swapped block below the last evicts its boundary; resident
+        // blocks keep theirs.
+        for b in 0..6 {
+            let expect = if s.policies[b] == LoweredPolicy::Swap && b + 1 < 6 {
+                BoundaryPolicy::Evict
+            } else {
+                BoundaryPolicy::Resident
+            };
+            assert_eq!(s.boundary[b], expect, "block {b} boundary");
+        }
+        assert_eq!(s.boundary_evict_blocks(), s.swap_blocks());
+    }
+
+    #[test]
+    fn boundary_schedule_respects_the_deadline_rule() {
+        // Eager swap-everything: the last block swaps too, but its
+        // boundary (the logits) stays; every other boundary departs only
+        // after the consumer's forward and returns at or before the
+        // consumer's backward step.
+        let c = costs(5, 100, 1.0, 2.5);
+        let opts = CapacityPlanOptions {
+            recompute: vec![false; 5],
+            resident_from: Some(5),
+            prefetch: PrefetchPolicy::None,
+            sync_swap_out: false,
+        };
+        let cp = build_training_plan(&c, &opts);
+        let s = lower_to_runtime(&cp.plan).unwrap();
+        assert_eq!(s.boundary[4], BoundaryPolicy::Resident, "logits stay");
+        assert_eq!(s.boundary_evict_blocks(), 4);
+        for (j, list) in s.boundary_evict_after.iter().enumerate() {
+            for &e in list {
+                assert!(j > e, "boundary of {e} left before F({}) read it", e + 1);
+            }
+        }
+        for (j, list) in s.boundary_fetch_before.iter().enumerate() {
+            for &p in list {
+                assert!(j > p, "boundary of {p} back after B({})", p + 1);
+                // The boundary rides the block's swap-in.
+                assert!(s.prefetch_before[j].contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn late_boundary_fetch_is_rejected() {
+        // Sin(0) at block 0's own backward step: the boundary it carries
+        // would return after B(1) consumed it.
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+        p.push(OpKind::Backward, 0, vec![b1, si]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 0 })
+        );
+    }
+
+    #[test]
+    fn late_boundary_fetch_under_recompute_consumer_is_rejected() {
+        // Block 1 recomputes — its re-forward restarts from block 0's
+        // boundary, so the same lateness names the starved recompute.
+        let mut p = Plan::new(3);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let f2 = p.push(OpKind::Forward, 2, vec![f1]);
+        let b2 = p.push(OpKind::Backward, 2, vec![f2]);
+        let r1 = p.push(OpKind::Recompute, 1, vec![b2]);
+        let b1 = p.push(OpKind::Backward, 1, vec![r1]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+        p.push(OpKind::Backward, 0, vec![b1, si]);
+        assert_eq!(
+            lower_to_runtime(&p),
+            Err(RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: 0 })
+        );
+    }
+
+    #[test]
+    fn last_block_swap_keeps_its_boundary_and_jit_fetch() {
+        // A single swapped block that is also the last: its boundary (the
+        // logits) is exempt, so fetching at its own step stays legal.
+        let mut p = Plan::new(1);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so]);
+        p.push(OpKind::Backward, 0, vec![f0, si]);
+        let s = lower_to_runtime(&p).unwrap();
+        assert_eq!(s.boundary, vec![BoundaryPolicy::Resident]);
+        assert_eq!(s.boundary_evict_blocks(), 0);
     }
 
     #[test]
@@ -943,6 +1142,8 @@ mod tests {
             RuntimeLowerError::ExchangeBeforeBackward { block: 0 },
             RuntimeLowerError::UpdateWithoutExchange { block: 4 },
             RuntimeLowerError::UpdateBeforeExchange { block: 5 },
+            RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 1 },
+            RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: 2 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

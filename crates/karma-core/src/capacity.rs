@@ -21,16 +21,24 @@ use crate::cost::BlockCosts;
 use crate::plan::{OpKind, Plan};
 
 /// When swapped-out blocks are fetched back during the backward phase.
+///
+/// A swapped block's swap-in carries its *boundary* activation along with
+/// the interior, and block `b + 1`'s backward (or recompute) restarts
+/// from that boundary — so the latest realizable fetch point for block
+/// `b` is backward step `b + 1`, one step before its own backward (the
+/// prefetch deadline rule; the last block, whose boundary is the logits
+/// and never travels, fetches at its own step).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrefetchPolicy {
     /// KARMA: issue each swap-in as soon as device capacity allows
     /// (capacity-based, Fig. 2 (b)).
     CapacityBased,
-    /// vDNN-style: swap-in of block `b` starts when block `b+1` starts
-    /// processing (one step of lookahead, Fig. 2 (a)).
+    /// vDNN-style: keep one backward step of transfer/compute overlap —
+    /// swap-in of block `b` launches one step ahead of its deadline
+    /// (Fig. 2 (a)).
     OneAhead,
-    /// ooc_cuDNN-style: no prefetch; swap-in starts only when the block is
-    /// needed.
+    /// ooc_cuDNN-style: no prefetch margin; every swap-in launches at its
+    /// deadline, so the consumer stalls for the full transfer.
     None,
 }
 
@@ -238,6 +246,10 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
         if opts.prefetch == PrefetchPolicy::CapacityBased {
             while next_prefetch < swapped.len() {
                 let b = swapped[next_prefetch];
+                if sin_idx[b] != usize::MAX {
+                    next_prefetch += 1; // already forced at its deadline
+                    continue;
+                }
                 let recoverable: i64 = pending_souts.iter().map(|p| p.1).sum();
                 if (costs.act_bytes[b] as i64) <= free + recoverable {
                     emit_sin(
@@ -255,16 +267,24 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
                 }
             }
         }
-        // One-ahead prefetch (vDNN): when block j is about to process,
-        // launch the swap-in of the next needed block.
+        // One-ahead prefetch (vDNN): launch each swap-in one backward
+        // step ahead of its deadline, overlapping one step of compute.
         if opts.prefetch == PrefetchPolicy::OneAhead {
-            while next_prefetch < swapped.len() && swapped[next_prefetch] > j {
-                // Skip entries already forced below.
-                next_prefetch += 1;
-            }
-            if next_prefetch < swapped.len() {
+            while next_prefetch < swapped.len() {
                 let b = swapped[next_prefetch];
-                if b + 1 == j || (j + 1 == n && b + 1 == n) || b == j {
+                if sin_idx[b] != usize::MAX {
+                    next_prefetch += 1; // already forced at its deadline
+                    continue;
+                }
+                if b + 2 > j {
+                    // The one-ahead window for this block sat at or past
+                    // the turnaround (the highest swapped blocks): leave
+                    // it to the deadline forcing below, and keep walking
+                    // so lower blocks still get their lookahead step.
+                    next_prefetch += 1;
+                    continue;
+                }
+                if b + 2 == j {
                     emit_sin(
                         &mut plan,
                         b,
@@ -276,7 +296,35 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
                     );
                     next_prefetch += 1;
                 }
+                break;
             }
+        }
+        // Deadline forcing (every policy): block j's compute is about to
+        // read block j-1's boundary, which rides Sin(j-1) — issue it now
+        // if no prefetch got there first. The turnaround step also fetches
+        // the last block itself (no later step could have).
+        let deadline_swapped = |b: usize| b < resident_from && !opts.recompute[b];
+        if j + 1 == n && deadline_swapped(j) && sin_idx[j] == usize::MAX {
+            emit_sin(
+                &mut plan,
+                j,
+                last_backward,
+                &mut free,
+                &mut pending_souts,
+                &mut sin_idx,
+                &sout_idx,
+            );
+        }
+        if j >= 1 && deadline_swapped(j - 1) && sin_idx[j - 1] == usize::MAX {
+            emit_sin(
+                &mut plan,
+                j - 1,
+                last_backward,
+                &mut free,
+                &mut pending_souts,
+                &mut sin_idx,
+                &sout_idx,
+            );
         }
 
         // Availability of block j's activations.
@@ -287,6 +335,12 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
         } else {
             deps.push(fwd_idx[n - 1]); // turnaround: after the last forward
         }
+        // Block j's compute restarts from block j-1's boundary: if that
+        // boundary travelled (j-1 swapped), wait for the carrying Sin.
+        let lower_sin = j
+            .checked_sub(1)
+            .filter(|&b| deadline_swapped(b))
+            .map(|b| sin_idx[b]);
         if opts.recompute[j] {
             // Recompute interleave: re-forward j (overlaps any in-flight
             // swap-ins on the copy lane), then run its backward. The
@@ -294,6 +348,7 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
             // has been resident since the forward phase.
             let interior = costs.act_bytes[j].saturating_sub(costs.boundary_bytes[j]) as i64;
             let mut r_deps = deps.clone();
+            r_deps.extend(lower_sin);
             while free < interior {
                 match pending_souts.pop_front() {
                     Some((idx, bytes)) => {
@@ -306,24 +361,12 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
             let r = plan.push(OpKind::Recompute, j, r_deps);
             free -= interior;
             deps = vec![r];
-        } else if is_swapped {
-            if sin_idx[j] == usize::MAX {
-                // Not prefetched yet (didn't fit / no-prefetch policy):
-                // forced, just-in-time swap-in.
-                emit_sin(
-                    &mut plan,
-                    j,
-                    last_backward,
-                    &mut free,
-                    &mut pending_souts,
-                    &mut sin_idx,
-                    &sout_idx,
-                );
-                if next_prefetch < swapped.len() && swapped[next_prefetch] == j {
-                    next_prefetch += 1;
-                }
+        } else {
+            if is_swapped {
+                assert_ne!(sin_idx[j], usize::MAX, "deadline forcing fetched block {j}");
+                deps.push(sin_idx[j]);
             }
-            deps.push(sin_idx[j]);
+            deps.extend(lower_sin);
         }
         bwd_idx[j] = plan.push(OpKind::Backward, j, deps);
         last_backward = Some(bwd_idx[j]);

@@ -43,7 +43,8 @@ pub mod plan;
 pub mod planner;
 
 pub use bridge::{
-    lower_to_runtime, DistGroup, DistSchedule, LoweredPolicy, RuntimeLowerError, RuntimeSchedule,
+    lower_to_runtime, BoundaryPolicy, DistGroup, DistSchedule, LoweredPolicy, RuntimeLowerError,
+    RuntimeSchedule,
 };
 pub use capacity::{build_training_plan, CapacityPlanOptions};
 pub use codegen::generate_training_script;

@@ -86,6 +86,42 @@ proptest! {
             prop_assert_eq!(s.swap_blocks(), plan.count(OpKind::SwapOut));
             prop_assert_eq!(s.recompute_blocks(), plan.count(OpKind::Recompute));
             prop_assert_eq!(s.eviction_order().len(), s.swap_blocks());
+            // Boundary contract: exactly the swap blocks below the last
+            // evict, each scheduled once per phase, never before the
+            // consumer's forward read the boundary and never after the
+            // consumer's backward needs it back.
+            let evicting: Vec<usize> = (0..n_blocks)
+                .filter(|&b| s.boundary[b] == karma_core::bridge::BoundaryPolicy::Evict)
+                .collect();
+            for &b in &evicting {
+                prop_assert_eq!(s.policies[b], LoweredPolicy::Swap, "block {}", b);
+                prop_assert!(b + 1 < n_blocks, "last block evicted its logits");
+            }
+            prop_assert_eq!(s.boundary_evict_blocks(), evicting.len());
+            let mut out_seen = vec![0usize; n_blocks];
+            let mut in_seen = vec![0usize; n_blocks];
+            for (j, list) in s.boundary_evict_after.iter().enumerate() {
+                for &e in list {
+                    prop_assert!(j > e, "boundary of {} out before F({})", e, e + 1);
+                    out_seen[e] += 1;
+                }
+            }
+            for (j, list) in s.boundary_fetch_before.iter().enumerate() {
+                for &p in list {
+                    prop_assert!(j > p, "boundary of {} back after B({})", p, p + 1);
+                    prop_assert!(
+                        s.prefetch_before[j].contains(&p),
+                        "boundary of {} does not ride its swap-in",
+                        p
+                    );
+                    in_seen[p] += 1;
+                }
+            }
+            for b in 0..n_blocks {
+                let want = usize::from(evicting.contains(&b));
+                prop_assert_eq!(out_seen[b], want, "block {} departures", b);
+                prop_assert_eq!(in_seen[b], want, "block {} returns", b);
+            }
         }
     }
 
@@ -128,6 +164,14 @@ proptest! {
                 LoweredPolicy::Resident
             };
             prop_assert_eq!(sched.policies[b], expect, "block {}", b);
+            // The builder meets the fetch deadline for every swapped
+            // block, so every swapped boundary below the last departs.
+            let expect_boundary = if expect == LoweredPolicy::Swap && b + 1 < n {
+                karma_core::bridge::BoundaryPolicy::Evict
+            } else {
+                karma_core::bridge::BoundaryPolicy::Resident
+            };
+            prop_assert_eq!(sched.boundary[b], expect_boundary, "block {} boundary", b);
         }
     }
 }

@@ -49,7 +49,7 @@
 //! assert_eq!(stats.swap_in_ops, p.count(OpKind::SwapIn));
 //! ```
 
-use karma_core::bridge::{lower_to_runtime, LoweredPolicy, RuntimeLowerError};
+use karma_core::bridge::{lower_to_runtime, BoundaryPolicy, LoweredPolicy, RuntimeLowerError};
 use karma_core::plan::{OpKind, Plan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -165,18 +165,22 @@ fn check_boundaries(plan: &Plan, boundaries: &[usize], n_layers: usize) -> Resul
 /// use karma_runtime::BlockPolicy;
 ///
 /// // Two blocks, block 0 swapped out during the forward sweep and
-/// // prefetched one backward step early.
+/// // fetched at the turnaround — before block 1's backward, which
+/// // restarts from block 0's (evicted) boundary activation.
 /// let mut p = Plan::new(2);
 /// let f0 = p.push(OpKind::Forward, 0, vec![]);
 /// let so = p.push(OpKind::SwapOut, 0, vec![f0]);
 /// let f1 = p.push(OpKind::Forward, 1, vec![f0]);
-/// let b1 = p.push(OpKind::Backward, 1, vec![f1]);
-/// let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+/// let si = p.push(OpKind::SwapIn, 0, vec![so, f1]);
+/// let b1 = p.push(OpKind::Backward, 1, vec![f1, si]);
 /// p.push(OpKind::Backward, 0, vec![b1, si]);
 ///
 /// let exec = lower_plan(&p, &[0, 3], usize::MAX / 2, 6).unwrap();
 /// assert_eq!(exec.policies(), &[BlockPolicy::Swap, BlockPolicy::Resident]);
 /// assert_eq!(exec.evict_after(), &[vec![0], vec![]]);
+/// // Block 0's boundary leaves with it and returns with its swap-in.
+/// assert_eq!(exec.boundary_evict(), &[true, false]);
+/// assert_eq!(exec.boundary_in_before(), &[vec![], vec![0]]);
 /// ```
 pub fn lower_plan(
     plan: &Plan,
@@ -206,9 +210,19 @@ fn build_executor(
             LoweredPolicy::Recompute => BlockPolicy::Recompute,
         })
         .collect();
+    let boundary_evict: Vec<bool> = sched
+        .boundary
+        .iter()
+        .map(|p| *p == BoundaryPolicy::Evict)
+        .collect();
     Ok(
         OocExecutor::new(boundaries.to_vec(), policy, budget, n_layers)
-            .with_schedule(sched.evict_after, sched.prefetch_before),
+            .with_schedule(sched.evict_after, sched.prefetch_before)
+            .with_boundary_schedule(
+                boundary_evict,
+                sched.boundary_evict_after,
+                sched.boundary_fetch_before,
+            ),
     )
 }
 
@@ -350,7 +364,11 @@ pub struct ResidencyReplay {
 /// `key_bytes.len()` must be `n_layers + 1`). Returns the exact residency
 /// trajectory and high-water mark the bridged executor will produce — the
 /// cross-check that the runtime moves precisely the bytes the plan
-/// prescribes.
+/// prescribes, boundary departures included: a swapped block's swap-out
+/// carries its boundary (as a deferred [`ExecEvent::BoundaryOut`] once
+/// the consumer's forward has read it, or merged into the swap-out when
+/// the eviction is already scheduled at or after that point), and its
+/// swap-in carries the boundary back.
 pub fn expected_residency(
     plan: &Plan,
     boundaries: &[usize],
@@ -371,8 +389,8 @@ pub fn expected_residency(
         (start, end)
     };
     // Interior keys of block b (evicted / fetched / recomputed): the
-    // block's layer outputs minus its own top boundary, which stays
-    // resident as the next block's checkpoint.
+    // block's layer outputs minus its own top boundary, which moves on
+    // its own schedule (or stays, for resident-boundary blocks).
     let interior = |b: usize| -> usize {
         let (s, e) = range(b);
         key_bytes[s + 1..e].iter().sum()
@@ -381,6 +399,11 @@ pub fn expected_residency(
         let (s, e) = range(b);
         key_bytes[s + 1..=e].iter().sum()
     };
+    let boundary_bytes = |b: usize| -> usize {
+        let (_, e) = range(b);
+        key_bytes[e]
+    };
+    let evicts_boundary = |b: usize| sched.boundary[b] == BoundaryPolicy::Evict;
 
     let mut cur = key_bytes[0]; // the input batch
     let mut peak = cur;
@@ -402,10 +425,40 @@ pub fn expected_residency(
                 if sched.policies[b] == LoweredPolicy::Recompute {
                     cur -= interior(b);
                 }
-                ExecEvent::Forward
+                samples.push(ResidencySample {
+                    event: ExecEvent::Forward,
+                    block: b,
+                    near_bytes: cur,
+                });
+                // Deferred boundary tails drain right after this forward:
+                // blocks whose interior eviction ran at an earlier step
+                // could not take their boundary along (this step's forward
+                // had not read it yet).
+                for &e in &sched.boundary_evict_after[b] {
+                    if sched.evict_after[b].contains(&e) {
+                        continue; // rides this step's swap-out below
+                    }
+                    cur -= boundary_bytes(e);
+                    samples.push(ResidencySample {
+                        event: ExecEvent::BoundaryOut,
+                        block: e,
+                        near_bytes: cur,
+                    });
+                }
+                continue;
             }
             OpKind::SwapOut => {
                 cur -= interior(b);
+                // The boundary rides when the eviction is scheduled at or
+                // after the consumer's forward.
+                let step = sched
+                    .evict_after
+                    .iter()
+                    .position(|l| l.contains(&b))
+                    .expect("swap block has an eviction step");
+                if evicts_boundary(b) && sched.boundary_evict_after[step].contains(&b) {
+                    cur -= boundary_bytes(b);
+                }
                 ExecEvent::SwapOut
             }
             OpKind::SwapIn | OpKind::Recompute | OpKind::Backward => {
@@ -417,7 +470,13 @@ pub fn expected_residency(
                 }
                 match op.kind {
                     OpKind::SwapIn => {
+                        // An evicted boundary always returns riding the
+                        // block's swap-in (the lowering pins the fetch at
+                        // or before the consumer's backward).
                         cur += interior(b);
+                        if evicts_boundary(b) {
+                            cur += boundary_bytes(b);
+                        }
                         peak = peak.max(cur);
                         ExecEvent::SwapIn
                     }
@@ -540,6 +599,23 @@ mod tests {
             lower_plan(&p, &[0, 3, 9], usize::MAX / 2, 8),
             Err(BridgeError::InvalidBoundaries(_))
         ));
+    }
+
+    #[test]
+    fn late_boundary_fetch_is_a_typed_bridge_error() {
+        // Sin at the swapped block's own backward step: the boundary it
+        // carries would return after the consumer's backward read it.
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let so = p.push(OpKind::SwapOut, 0, vec![f0]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        let b1 = p.push(OpKind::Backward, 1, vec![f1]);
+        let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
+        p.push(OpKind::Backward, 0, vec![b1, si]);
+        assert_eq!(
+            lower_plan(&p, &[0, 3], usize::MAX / 2, 6).unwrap_err(),
+            BridgeError::Lower(RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 0 })
+        );
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct DataParallelReport {
     pub swapped_bytes: usize,
     /// Aggregate recomputed layers across workers and steps.
     pub recomputed_layers: usize,
+    /// Highest per-worker near-memory residency across workers and steps
+    /// — replicas run the same schedule on same-shaped shards, so this
+    /// must equal the single-worker executed peak (and the bridge's
+    /// residency replay): distributed lowering inherits the boundary
+    /// eviction contract unchanged.
+    pub peak_near_bytes: usize,
     /// Gradient-exchange messages (one per group per worker per step).
     pub exchange_messages: usize,
     /// Total gradient payload shipped worker→aggregator, across workers
@@ -208,6 +214,7 @@ pub fn train(
     let mut losses = Vec::with_capacity(steps);
     let mut swapped = 0usize;
     let mut recomputed = 0usize;
+    let mut peak_near = 0usize;
     let mut messages = 0usize;
     let mut shipped = 0usize;
     let mut group_bytes = vec![0usize; n_groups];
@@ -315,6 +322,7 @@ pub fn train(
             step_loss += loss;
             swapped += stats.swapped_in_bytes + stats.swapped_out_bytes;
             recomputed += stats.recomputed_layers;
+            peak_near = peak_near.max(stats.peak_near_bytes);
         }
         losses.push(step_loss / workers as f32);
     }
@@ -332,6 +340,7 @@ pub fn train(
         final_snapshot,
         swapped_bytes: swapped,
         recomputed_layers: recomputed,
+        peak_near_bytes: peak_near,
         exchange_messages: messages,
         exchanged_bytes: shipped,
         group_bytes,

@@ -39,6 +39,18 @@ pub struct OocStats {
     /// Block-level recompute operations (`R` analogue;
     /// [`OocStats::recomputed_layers`] counts the layer-granular work).
     pub recompute_ops: usize,
+    /// Boundary-activation departures: the boundary tail of a block's
+    /// swap-out (merged into the swap-out when co-scheduled, a deferred
+    /// [`ExecEvent::BoundaryOut`] once the consumer's forward has read
+    /// the boundary otherwise). Bytes count into
+    /// [`OocStats::swapped_out_bytes`].
+    pub boundary_out_ops: usize,
+    /// Boundary-activation returns (riding the block's swap-in, or a
+    /// separate [`ExecEvent::BoundaryIn`] when scheduled apart).
+    pub boundary_in_ops: usize,
+    /// Far-memory (host-side swap pool) high-water mark: what an
+    /// offload target must provision to absorb the evictions.
+    pub peak_far_bytes: usize,
 }
 
 /// Block-level event kinds the executor emits while tracing residency —
@@ -56,6 +68,15 @@ pub enum ExecEvent {
     Recompute,
     /// A block's backward pass completed (its activations are released).
     Backward,
+    /// The deferred boundary tail of a block's swap-out drained: the
+    /// boundary activation left near memory once the consumer's forward
+    /// had read it. (When the swap-out itself is scheduled at or after
+    /// the consumer's forward, the boundary rides the
+    /// [`ExecEvent::SwapOut`] and no separate event is emitted.)
+    BoundaryOut,
+    /// A block's boundary activation returned to near memory apart from
+    /// its interior swap-in.
+    BoundaryIn,
 }
 
 /// Near-memory residency sampled immediately after a block-level event.
@@ -71,13 +92,17 @@ pub struct ResidencySample {
 
 /// Runs real training steps with per-block out-of-core policies.
 ///
-/// Block `b` covers layers `[boundaries[b], boundaries[b+1])`. The *input
-/// boundary* activation of every block (and the final logits) always stays
-/// in near memory — these are the checkpoints recompute restarts from and
-/// the data dependencies between adjacent blocks. Weights stay resident
-/// (single-GPU KARMA semantics; the distributed pipeline streams weights,
-/// which is modelled in `karma-dist` and exercised here only through
-/// gradients).
+/// Block `b` covers layers `[boundaries[b], boundaries[b+1])`. Boundary
+/// residency is **policy-driven**: by default every block's boundary
+/// activation (its final output — the next block's input, and the
+/// checkpoint recompute restarts from) stays in near memory, but a
+/// schedule set via [`OocExecutor::with_boundary_schedule`] evicts a
+/// swap-policy block's boundary along with the block — once the consumer
+/// block's forward has read it — and returns it before the consumer's
+/// backward. The final logits and recompute checkpoints always stay.
+/// Weights stay resident (single-GPU KARMA semantics; the distributed
+/// pipeline streams weights, which is modelled in `karma-dist` and
+/// exercised here only through gradients).
 #[derive(Debug, Clone)]
 pub struct OocExecutor {
     boundaries: Vec<usize>,
@@ -90,6 +115,17 @@ pub struct OocExecutor {
     /// `prefetch_before[j]` — swap-policy blocks whose interiors return to
     /// near memory right before backward step `j` is processed.
     prefetch_before: Vec<Vec<usize>>,
+    /// Per-block boundary eviction flag (swap-policy blocks below the
+    /// last only; default all-resident).
+    boundary_evict: Vec<bool>,
+    /// `boundary_out_after[j]` — blocks whose boundary departs right
+    /// after forward step `j` (`j >= block + 1`: the consumer's forward
+    /// must have read it).
+    boundary_out_after: Vec<Vec<usize>>,
+    /// `boundary_in_before[j]` — blocks whose boundary returns right
+    /// before backward step `j` (`j >= block + 1`: back before the
+    /// consumer's backward).
+    boundary_in_before: Vec<Vec<usize>>,
 }
 
 impl OocExecutor {
@@ -123,6 +159,7 @@ impl OocExecutor {
                 }
             })
             .collect();
+        let nb = boundaries.len();
         OocExecutor {
             boundaries,
             policy,
@@ -130,6 +167,9 @@ impl OocExecutor {
             n_layers,
             evict_after: jit.clone(),
             prefetch_before: jit,
+            boundary_evict: vec![false; nb],
+            boundary_out_after: vec![Vec::new(); nb],
+            boundary_in_before: vec![Vec::new(); nb],
         }
     }
 
@@ -173,6 +213,77 @@ impl OocExecutor {
         self
     }
 
+    /// Set the boundary-residency schedule: `evict[b]` marks block `b`'s
+    /// boundary activation for eviction, `out_after[j]` lists the blocks
+    /// whose boundary departs right after forward step `j`, and
+    /// `in_before[j]` the blocks whose boundary returns right before
+    /// backward step `j`. Only swap-policy blocks below the last may
+    /// evict (the last block's boundary is the logits, consumed by the
+    /// loss; recompute checkpoints never travel), and both schedule
+    /// steps must be `>= b + 1` — after the consumer's forward read the
+    /// boundary, back before the consumer's backward needs it. A
+    /// boundary scheduled at its block's own eviction/prefetch step
+    /// rides that swap-out/swap-in as one transfer; otherwise it is a
+    /// separate [`ExecEvent::BoundaryOut`]/[`ExecEvent::BoundaryIn`].
+    pub fn with_boundary_schedule(
+        mut self,
+        evict: Vec<bool>,
+        out_after: Vec<Vec<usize>>,
+        in_before: Vec<Vec<usize>>,
+    ) -> Self {
+        let n = self.n_blocks();
+        assert_eq!(evict.len(), n, "one boundary flag per block");
+        assert_eq!(out_after.len(), n, "one boundary-eviction list per block");
+        assert_eq!(in_before.len(), n, "one boundary-fetch list per block");
+        for (b, &e) in evict.iter().enumerate() {
+            if !e {
+                continue;
+            }
+            assert_eq!(
+                self.policy[b],
+                BlockPolicy::Swap,
+                "block {b} keeps its boundary: only swap blocks evict theirs"
+            );
+            assert!(
+                b + 1 < n,
+                "the last block's boundary (the logits) cannot be evicted"
+            );
+        }
+        let mut out = vec![0usize; n];
+        let mut inn = vec![0usize; n];
+        for (j, list) in out_after.iter().enumerate() {
+            for &e in list {
+                assert!(
+                    j > e,
+                    "boundary of block {e} evicted before block {}'s forward read it",
+                    e + 1
+                );
+                assert!(evict[e], "block {e} has no boundary eviction");
+                out[e] += 1;
+            }
+        }
+        for (j, list) in in_before.iter().enumerate() {
+            for &p in list {
+                assert!(
+                    j > p,
+                    "boundary of block {p} fetched after block {}'s backward consumed it",
+                    p + 1
+                );
+                assert!(evict[p], "block {p} has no boundary eviction");
+                inn[p] += 1;
+            }
+        }
+        for b in 0..n {
+            let want = usize::from(evict[b]);
+            assert_eq!(out[b], want, "block {b} boundary-eviction count");
+            assert_eq!(inn[b], want, "block {b} boundary-fetch count");
+        }
+        self.boundary_evict = evict;
+        self.boundary_out_after = out_after;
+        self.boundary_in_before = in_before;
+        self
+    }
+
     /// An in-core executor (one resident block) with an effectively
     /// unlimited budget — the reference configuration.
     pub fn in_core(n_layers: usize) -> Self {
@@ -207,6 +318,21 @@ impl OocExecutor {
     /// Backward-phase prefetch schedule.
     pub fn prefetch_before(&self) -> &[Vec<usize>] {
         &self.prefetch_before
+    }
+
+    /// Per-block boundary-eviction flags.
+    pub fn boundary_evict(&self) -> &[bool] {
+        &self.boundary_evict
+    }
+
+    /// Forward-phase boundary-departure schedule.
+    pub fn boundary_out_after(&self) -> &[Vec<usize>] {
+        &self.boundary_out_after
+    }
+
+    /// Backward-phase boundary-return schedule.
+    pub fn boundary_in_before(&self) -> &[Vec<usize>] {
+        &self.boundary_in_before
     }
 
     fn block_range(&self, b: usize) -> (usize, usize) {
@@ -296,12 +422,31 @@ impl OocExecutor {
                 }
             }
             sample(&near, ExecEvent::Forward, b);
+            // Deferred boundary tails first: their swap-out launched at an
+            // earlier step, so the transfer drains before this step's.
+            for &e in &self.boundary_out_after[b] {
+                if self.evict_after[b].contains(&e) {
+                    continue; // rides this step's swap-out below
+                }
+                let (_, ee) = self.block_range(e);
+                let t = near.take(ee);
+                stats.swapped_out_bytes += t.bytes();
+                far.swap_out(ee, t);
+                stats.boundary_out_ops += 1;
+                sample(&near, ExecEvent::BoundaryOut, e);
+            }
             for &e in &self.evict_after[b] {
                 let (es, ee) = self.block_range(e);
                 for i in es + 1..ee {
                     let t = near.take(i);
                     stats.swapped_out_bytes += t.bytes();
                     far.swap_out(i, t);
+                }
+                if self.boundary_out_after[b].contains(&e) {
+                    let t = near.take(ee);
+                    stats.swapped_out_bytes += t.bytes();
+                    far.swap_out(ee, t);
+                    stats.boundary_out_ops += 1;
                 }
                 stats.swap_out_ops += 1;
                 sample(&near, ExecEvent::SwapOut, e);
@@ -316,12 +461,32 @@ impl OocExecutor {
         // ---- backward, block by block ----
         let mut per_layer = vec![ParamGrads::default(); self.n_layers];
         for b in (0..self.n_blocks()).rev() {
+            // Boundary returns scheduled apart from their interior fetch
+            // come first: they are this step's hardest deadline (the
+            // step's compute restarts from them).
+            for &p in &self.boundary_in_before[b] {
+                if self.prefetch_before[b].contains(&p) {
+                    continue; // rides this step's swap-in below
+                }
+                let (_, pe) = self.block_range(p);
+                let t = far.swap_in(pe);
+                stats.swapped_in_bytes += t.bytes();
+                near.put(pe, t);
+                stats.boundary_in_ops += 1;
+                sample(&near, ExecEvent::BoundaryIn, p);
+            }
             for &p in &self.prefetch_before[b] {
                 let (ps, pe) = self.block_range(p);
                 for i in ps + 1..pe {
                     let t = far.swap_in(i);
                     stats.swapped_in_bytes += t.bytes();
                     near.put(i, t);
+                }
+                if self.boundary_in_before[b].contains(&p) {
+                    let t = far.swap_in(pe);
+                    stats.swapped_in_bytes += t.bytes();
+                    near.put(pe, t);
+                    stats.boundary_in_ops += 1;
                 }
                 stats.swap_in_ops += 1;
                 sample(&near, ExecEvent::SwapIn, p);
@@ -348,6 +513,7 @@ impl OocExecutor {
         }
 
         stats.peak_near_bytes = near.peak();
+        stats.peak_far_bytes = far.peak_resident_bytes();
         (loss, Gradients { per_layer }, stats)
     }
 
@@ -675,6 +841,216 @@ mod tests {
         assert_eq!(last.near_bytes, 0, "every activation is released");
         // The high-water mark bounds every sampled point.
         assert!(trace.iter().all(|s| s.near_bytes <= stats.peak_near_bytes));
+    }
+
+    #[test]
+    fn boundary_eviction_is_bitwise_and_shrinks_peak() {
+        // Constant-size conv stack with a large resident suffix: the peak
+        // sits at the fwd→bwd turnaround, where the always-resident
+        // boundaries of the pre-refactor executor are pure overhead.
+        use karma_tensor::conv_stack;
+        let data = SyntheticDataset::classification(32, 1, 16, 4, 21);
+        let (x, y) = data.batch(0, 16);
+        let mut net = conv_stack(6, 4, 11);
+        let base = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_schedule(
+            vec![vec![0], vec![1], vec![]],
+            vec![vec![], vec![0], vec![1]],
+        );
+        let evicting = base.clone().with_boundary_schedule(
+            vec![true, true, false],
+            vec![vec![], vec![0], vec![1]],
+            vec![vec![], vec![0], vec![1]],
+        );
+        let (loss_b, _, s_base) = base.grad_step(&net, &x, &y, |_, _| {});
+        let (loss_e, _, s_ev, trace) = evicting.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(loss_b, loss_e, "boundary eviction moved arithmetic");
+        // The boundaries actually left (and came back): more transfer
+        // bytes, more far-memory footprint, strictly less near-memory.
+        assert!(
+            s_ev.peak_near_bytes < s_base.peak_near_bytes,
+            "evicting {} !< base {}",
+            s_ev.peak_near_bytes,
+            s_base.peak_near_bytes
+        );
+        assert_eq!(s_ev.boundary_out_ops, 2);
+        assert_eq!(s_ev.boundary_in_ops, 2);
+        assert_eq!(s_base.boundary_out_ops, 0);
+        assert_eq!(s_ev.swapped_out_bytes, s_ev.swapped_in_bytes);
+        assert!(s_ev.swapped_out_bytes > s_base.swapped_out_bytes);
+        assert!(s_ev.peak_far_bytes > s_base.peak_far_bytes);
+        // Transfer-op fidelity: boundary tails are not extra swap ops.
+        assert_eq!(s_ev.swap_out_ops, s_base.swap_out_ops);
+        assert_eq!(s_ev.swap_in_ops, s_base.swap_in_ops);
+        // Deferred departures are separate events; returns ride the Sins.
+        let count = |ev: ExecEvent| trace.iter().filter(|s| s.event == ev).count();
+        assert_eq!(count(ExecEvent::BoundaryOut), 2);
+        assert_eq!(count(ExecEvent::BoundaryIn), 0);
+        let mut reference = conv_stack(6, 4, 11);
+        for _ in 0..3 {
+            reference.train_step(&x, &y, 0.05);
+            evicting.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(
+            net.snapshot(),
+            reference.snapshot(),
+            "weights must match bitwise"
+        );
+    }
+
+    #[test]
+    fn co_scheduled_boundary_rides_the_swap_out() {
+        // Interior eviction deferred to the consumer's forward step: the
+        // boundary merges into the same swap-out, no separate event.
+        let (mut net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_schedule(vec![vec![], vec![0], vec![]], vec![vec![], vec![0], vec![]])
+        .with_boundary_schedule(
+            vec![true, false, false],
+            vec![vec![], vec![0], vec![]],
+            vec![vec![], vec![0], vec![]],
+        );
+        let (_, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(stats.boundary_out_ops, 1);
+        assert_eq!(stats.boundary_in_ops, 1);
+        let count = |ev: ExecEvent| trace.iter().filter(|s| s.event == ev).count();
+        assert_eq!(count(ExecEvent::BoundaryOut), 0, "merged into the Sout");
+        assert_eq!(count(ExecEvent::BoundaryIn), 0, "merged into the Sin");
+        assert_eq!(count(ExecEvent::SwapOut), 1);
+        for _ in 0..2 {
+            exec.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(net.snapshot(), reference(2));
+    }
+
+    #[test]
+    fn split_boundary_fetch_emits_its_own_event() {
+        // Boundary scheduled back a step earlier than the interior: a
+        // separate BoundaryIn event, still bitwise-identical training.
+        let (mut net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_schedule(vec![vec![0], vec![], vec![]], vec![vec![], vec![0], vec![]])
+        .with_boundary_schedule(
+            vec![true, false, false],
+            vec![vec![], vec![0], vec![]],
+            vec![vec![], vec![], vec![0]],
+        );
+        let (_, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(stats.boundary_in_ops, 1);
+        let count = |ev: ExecEvent| trace.iter().filter(|s| s.event == ev).count();
+        assert_eq!(count(ExecEvent::BoundaryOut), 1, "deferred tail");
+        assert_eq!(count(ExecEvent::BoundaryIn), 1, "split return");
+        for _ in 0..2 {
+            exec.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(net.snapshot(), reference(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "only swap blocks")]
+    fn resident_blocks_keep_their_boundary() {
+        let (net, _, _) = setup();
+        OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_boundary_schedule(
+            vec![false, true, false],
+            vec![vec![], vec![], vec![1]],
+            vec![vec![], vec![], vec![1]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "logits")]
+    fn last_block_boundary_cannot_leave() {
+        let (net, _, _) = setup();
+        OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+                BlockPolicy::Swap,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_boundary_schedule(
+            vec![false, false, true],
+            vec![vec![], vec![], vec![2]],
+            vec![vec![], vec![], vec![2]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed it")]
+    fn boundary_fetch_after_consumer_backward_is_rejected() {
+        let (net, _, _) = setup();
+        OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_boundary_schedule(
+            vec![true, false, false],
+            vec![vec![], vec![0], vec![]],
+            vec![vec![0], vec![], vec![]], // step 0 < deadline 1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read it")]
+    fn boundary_eviction_before_consumer_forward_is_rejected() {
+        let (net, _, _) = setup();
+        OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_boundary_schedule(
+            vec![true, false, false],
+            vec![vec![0], vec![], vec![]], // step 0: F(1) has not read it yet
+            vec![vec![], vec![0], vec![]],
+        );
     }
 
     #[test]

@@ -88,13 +88,17 @@ impl NearMemory {
 }
 
 /// Host-side store: unbounded, but movement through it is counted so tests
-/// and reports can verify swap traffic.
+/// and reports can verify swap traffic, and residency is tracked so the
+/// host-side footprint of the swap pool (what a ZeRO-Infinity-style
+/// offload would have to provision) is reportable.
 #[derive(Debug, Default)]
 pub struct FarMemory {
     slots: HashMap<usize, Tensor>,
     bytes_in: usize,
     bytes_out: usize,
     transfers: usize,
+    resident: usize,
+    peak_resident: usize,
 }
 
 impl FarMemory {
@@ -111,6 +115,8 @@ impl FarMemory {
         );
         self.bytes_out += t.bytes();
         self.transfers += 1;
+        self.resident += t.bytes();
+        self.peak_resident = self.peak_resident.max(self.resident);
         self.slots.insert(key, t);
     }
 
@@ -122,7 +128,18 @@ impl FarMemory {
             .unwrap_or_else(|| panic!("far-memory slot {key} is empty"));
         self.bytes_in += t.bytes();
         self.transfers += 1;
+        self.resident -= t.bytes();
         t
+    }
+
+    /// Bytes currently parked in far memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// High-water mark of the far-memory pool.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
     }
 
     /// Is `key` present?
@@ -188,12 +205,26 @@ mod tests {
         let mut far = FarMemory::new();
         far.swap_out(3, t(100));
         assert!(far.contains(3));
+        assert_eq!(far.resident_bytes(), 100);
         let back = far.swap_in(3);
         assert_eq!(back.bytes(), 100);
         assert_eq!(far.bytes_swapped_out(), 100);
         assert_eq!(far.bytes_swapped_in(), 100);
         assert_eq!(far.transfers(), 2);
         assert!(!far.contains(3));
+        assert_eq!(far.resident_bytes(), 0);
+        assert_eq!(far.peak_resident_bytes(), 100);
+    }
+
+    #[test]
+    fn far_memory_peak_tracks_concurrent_residency() {
+        let mut far = FarMemory::new();
+        far.swap_out(0, t(40));
+        far.swap_out(1, t(60));
+        far.swap_in(0);
+        far.swap_out(2, t(20));
+        assert_eq!(far.peak_resident_bytes(), 100);
+        assert_eq!(far.resident_bytes(), 80);
     }
 
     #[test]

@@ -226,12 +226,18 @@ impl Engine {
         events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
         let mut cur = 0i64;
         let mut peak = 0i64;
-        for (_, d) in events {
+        let mut timeline: Vec<(f64, u64)> = Vec::with_capacity(events.len());
+        for (t, d) in events {
             cur += d;
             peak = peak.max(cur);
+            let v = cur.max(0) as u64;
+            match timeline.last_mut() {
+                Some(last) if last.0 == t => last.1 = v, // same instant: final value
+                _ => timeline.push((t, v)),
+            }
         }
 
-        Trace::new(spans, peak.max(0) as u64, cur.max(0) as u64)
+        Trace::new(spans, peak.max(0) as u64, cur.max(0) as u64).with_memory_timeline(timeline)
     }
 }
 
@@ -324,6 +330,12 @@ mod tests {
         let t = e.run();
         assert_eq!(t.peak_memory(), 200);
         assert_eq!(t.final_memory(), 0);
+        // The residency timeline carries the same peak and settles at the
+        // same final value, one entry per distinct timestamp.
+        let tl = t.memory_timeline();
+        assert_eq!(tl.iter().map(|&(_, v)| v).max(), Some(t.peak_memory()));
+        assert_eq!(tl.last().map(|&(_, v)| v), Some(t.final_memory()));
+        assert!(tl.windows(2).all(|w| w[0].0 < w[1].0), "timestamps ascend");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct Trace {
     spans: Vec<Span>,
     peak_memory: u64,
     final_memory: u64,
+    memory_timeline: Vec<(f64, u64)>,
 }
 
 impl Trace {
@@ -42,7 +43,23 @@ impl Trace {
             spans,
             peak_memory,
             final_memory,
+            memory_timeline: Vec::new(),
         }
+    }
+
+    /// Attach the residency step function (used by the engine).
+    pub fn with_memory_timeline(mut self, timeline: Vec<(f64, u64)>) -> Self {
+        self.memory_timeline = timeline;
+        self
+    }
+
+    /// The simulated residency trajectory: `(time, resident bytes)` after
+    /// every acquire/release event, one entry per distinct timestamp —
+    /// the model-side analogue of the executor's traced residency
+    /// samples, so peak *and shape* of the predicted memory curve are
+    /// inspectable, not just the high-water scalar.
+    pub fn memory_timeline(&self) -> &[(f64, u64)] {
+        &self.memory_timeline
     }
 
     /// All spans in submission order.

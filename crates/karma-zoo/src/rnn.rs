@@ -107,10 +107,14 @@ mod tests {
         let mem = MemoryParams::exact();
         // LSTMs are weight-heavy at this scale: keep the full model state
         // resident (single-GPU KARMA semantics) and squeeze activations.
+        // Half the activation footprint is the honest floor now that a
+        // swapped block's boundary really travels: while a block's
+        // backward runs, the swap-in carrying the block below (boundary
+        // included) is already resident.
         let state = g.memory(8, &mem).model_state() as f64;
         let acts = (g.peak_footprint(8, &mem) as f64 - state).max(1.0);
         let node = NodeSpec::toy(
-            GpuSpec::toy((state * 1.05 + acts * 0.35) as u64, 5.0e9),
+            GpuSpec::toy((state * 1.05 + acts * 0.5) as u64, 5.0e9),
             LinkSpec::toy(3.0e8),
         );
         let plan = Karma::new(node, mem)

@@ -68,5 +68,17 @@ fn main() {
     assert_eq!(stats.swap_out_ops, cp.plan.count(OpKind::SwapOut));
     assert_eq!(stats.swap_in_ops, cp.plan.count(OpKind::SwapIn));
     assert_eq!(stats.recompute_ops, cp.plan.count(OpKind::Recompute));
-    println!("executed swap/recompute ops match the plan exactly");
+    // The boundary contract: every swapped block below the last really
+    // evicted its boundary activation (and fetched it back before the
+    // block above's backward), so the executed peak is exactly the
+    // replay's — the cost model's capacity promise, kept at runtime.
+    let evictions = exec.boundary_evict().iter().filter(|e| **e).count();
+    assert_eq!(stats.boundary_out_ops, evictions);
+    assert_eq!(stats.boundary_in_ops, evictions);
+    assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+    println!(
+        "executed swap/recompute ops match the plan exactly; \
+         {evictions} boundary evictions, peak {} B == modeled peak",
+        stats.peak_near_bytes
+    );
 }

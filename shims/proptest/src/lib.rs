@@ -5,11 +5,16 @@
 //! [`prop_assert_eq!`] and [`prop_assume!`].
 //!
 //! Inputs are sampled from a deterministic per-test RNG (seeded from the
-//! test name), so failures reproduce across runs. There is **no
-//! shrinking**, but a failing case reports the **sampled inputs**
-//! (`Debug`-formatted, one per line) alongside the assertion message, so
-//! failures can be turned into concrete regression tests directly. As in
-//! the real crate, strategy outputs must therefore implement `Debug`.
+//! test name), so failures reproduce across runs. Failures **shrink**: the
+//! runner greedily bisects every input toward its minimal failing value —
+//! integers and floats halve toward their range start (with a final
+//! decrement pass so integer thresholds land exactly), vectors truncate
+//! toward their minimum length and shrink element-wise — re-running the
+//! property on each candidate until no simpler input still fails (or the
+//! [`ProptestConfig::max_shrink_iters`] budget runs out). The panic
+//! message reports the minimal failing inputs alongside the originally
+//! sampled ones. As in the real crate, strategy outputs must implement
+//! `Debug` (for reporting) and `Clone` (for shrinking).
 
 use std::collections::BTreeSet;
 use std::ops::{Range, RangeInclusive};
@@ -44,10 +49,19 @@ impl TestRng {
 
 // ------------------------------------------------------------ strategies
 
-/// A recipe for generating one input value.
+/// A recipe for generating one input value, and for proposing *simpler*
+/// variants of a failing value (shrinking).
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. The runner
+    /// re-runs the property on each candidate and greedily descends into
+    /// the first one that still fails; an empty list ends the descent.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! strategy_int {
@@ -60,6 +74,12 @@ macro_rules! strategy_int {
                 let off = (rng.next_u64() as u128 % span) as i128;
                 (self.start as i128 + off) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -70,10 +90,34 @@ macro_rules! strategy_int {
                 let off = (rng.next_u64() as u128 % span) as i128;
                 (lo as i128 + off) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Bisection candidates for an integer: the range start (minimal), the
+/// midpoint toward it (halving), and the decrement (so greedy descent
+/// lands exactly on a failure threshold instead of overshooting it).
+fn shrink_int(start: i128, value: i128) -> Vec<i128> {
+    if value <= start {
+        return Vec::new();
+    }
+    let mut out = vec![start];
+    let mid = start + (value - start) / 2;
+    if mid != start {
+        out.push(mid);
+    }
+    if value - 1 != mid {
+        out.push(value - 1);
+    }
+    out
+}
 
 macro_rules! strategy_float {
     ($($t:ty),*) => {$(
@@ -83,6 +127,16 @@ macro_rules! strategy_float {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + (rng.unit_f64() as $t) * (self.end - self.start)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(
+                    self.start as f64,
+                    (self.end - self.start) as f64,
+                    *value as f64,
+                )
+                .into_iter()
+                .map(|v| v as $t)
+                .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -91,10 +145,31 @@ macro_rules! strategy_float {
                 assert!(lo <= hi, "empty range strategy");
                 lo + (rng.unit_f64() as $t) * (hi - lo)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(
+                    *self.start() as f64,
+                    (*self.end() - *self.start()) as f64,
+                    *value as f64,
+                )
+                .into_iter()
+                .map(|v| v as $t)
+                .collect()
+            }
         }
     )*};
 }
 strategy_float!(f32, f64);
+
+/// Bisection candidates for a float: the range start, then the halfway
+/// point — cut off once the remaining distance is a negligible fraction
+/// of the range (floats would otherwise halve for hundreds of steps).
+fn shrink_float(start: f64, span: f64, value: f64) -> Vec<f64> {
+    let dist = value - start;
+    if dist.is_nan() || dist <= span * 1e-6 {
+        return Vec::new();
+    }
+    vec![start, start + dist / 2.0]
+}
 
 /// Always produces a clone of the given value.
 pub struct Just<T: Clone>(pub T);
@@ -124,11 +199,39 @@ pub mod prop {
             VecStrategy { elem, size }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 let len = self.size.clone().sample(rng);
                 (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                if value.is_empty() {
+                    return Vec::new(); // nothing left to truncate or simplify
+                }
+                let min = self.size.start;
+                let mut out = Vec::new();
+                // Length bisection first (a shorter failing case trumps
+                // simpler elements), respecting the minimum length.
+                let mut lens: Vec<usize> = Vec::new();
+                for target in [min, min + (value.len() - min) / 2, value.len() - 1] {
+                    if target < value.len() && target >= min && !lens.contains(&target) {
+                        lens.push(target);
+                        out.push(value[..target].to_vec());
+                    }
+                }
+                // Element-wise: shrink each position in place.
+                for (i, v) in value.iter().enumerate() {
+                    for c in self.elem.shrink(v) {
+                        let mut cand = value.clone();
+                        cand[i] = c;
+                        out.push(cand);
+                    }
+                }
+                out
             }
         }
 
@@ -148,16 +251,74 @@ pub mod prop {
 
         impl<S: Strategy> Strategy for BTreeSetStrategy<S>
         where
-            S::Value: Ord,
+            S::Value: Ord + Clone,
         {
             type Value = BTreeSet<S::Value>;
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 let len = self.size.clone().sample(rng);
                 (0..len).map(|_| self.elem.sample(rng)).collect()
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Halve the population (keep the smallest elements); set
+                // semantics make element-wise shrinking ill-defined, so
+                // length reduction is the only move.
+                let mut out = Vec::new();
+                for target in [
+                    self.size.start,
+                    value.len() / 2,
+                    value.len().saturating_sub(1),
+                ] {
+                    if target < value.len() {
+                        let cand: BTreeSet<S::Value> = value.iter().take(target).cloned().collect();
+                        if !out.contains(&cand) {
+                            out.push(cand);
+                        }
+                    }
+                }
+                out
+            }
         }
     }
 }
+
+// ----------------------------------------------------- tuple strategies
+
+/// Tuples of strategies generate (and shrink) tuples of values — the
+/// shape the [`proptest!`] macro packs every test's bindings into. Each
+/// shrink round proposes per-position candidates with the other
+/// positions held fixed.
+macro_rules! strategy_tuple {
+    ($($S:ident . $i:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$i.shrink(&value.$i) {
+                        let mut cand = value.clone();
+                        cand.$i = c;
+                        out.push(cand);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+strategy_tuple!(S0.0);
+strategy_tuple!(S0.0, S1.1);
+strategy_tuple!(S0.0, S1.1, S2.2);
+strategy_tuple!(S0.0, S1.1, S2.2, S3.3);
+strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4);
+strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
 
 // Silence "unused import" in downstream `use std::collections::BTreeSet` —
 // the type is part of this crate's public strategy surface.
@@ -166,13 +327,16 @@ fn _btree_set_is_used(_: BTreeSet<u8>) {}
 
 // ---------------------------------------------------------------- runner
 
-/// Runner configuration; only `cases` is read by the workspace.
+/// Runner configuration; `cases` and `max_shrink_iters` are read by the
+/// workspace.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of accepted (non-rejected) cases to run per test.
     pub cases: u32,
     /// Abort after this many `prop_assume!` rejections.
     pub max_global_rejects: u32,
+    /// Property re-runs the shrinker may spend minimizing a failure.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
@@ -180,6 +344,7 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 256,
             max_global_rejects: 65_536,
+            max_shrink_iters: 2_048,
         }
     }
 }
@@ -212,17 +377,58 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
-/// Drive one property: sample inputs and run `case` until `cfg.cases`
-/// accepted executions pass, panicking on the first failure.
-pub fn run_proptest<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+/// Greedy bisection descent: try each candidate simplification, commit to
+/// the first that still fails, repeat until a fixpoint or the iteration
+/// budget runs out. A candidate that passes or is rejected by
+/// `prop_assume!` is simply skipped.
+fn shrink_failure<S, F>(
+    cfg: &ProptestConfig,
+    strat: &S,
+    case: &mut F,
+    mut current: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32, u32)
 where
-    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut budget = cfg.max_shrink_iters;
+    let mut steps = 0u32;
+    'descent: while budget > 0 {
+        for cand in strat.shrink(&current) {
+            if budget == 0 {
+                break 'descent;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = case(&cand) {
+                current = cand;
+                msg = m;
+                steps += 1;
+                continue 'descent;
+            }
+        }
+        break; // no simpler candidate fails: local minimum
+    }
+    (current, msg, steps, cfg.max_shrink_iters - budget)
+}
+
+/// Drive one property: sample inputs from `strat` and run `case` until
+/// `cfg.cases` accepted executions pass. The first failure is shrunk to a
+/// minimal failing input before panicking; `render` formats a value for
+/// the failure report.
+pub fn run_proptest<S, F, R>(cfg: &ProptestConfig, name: &str, strat: &S, mut case: F, render: R)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+    R: Fn(&S::Value) -> String,
 {
     let mut rng = TestRng::new(fnv1a(name));
     let mut accepted = 0u32;
     let mut rejected = 0u32;
     while accepted < cfg.cases {
-        match case(&mut rng) {
+        let vals = strat.sample(&mut rng);
+        match case(&vals) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject) => {
                 rejected += 1;
@@ -235,7 +441,15 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!("proptest `{name}` failed after {accepted} passing case(s): {msg}");
+                let (min_vals, min_msg, steps, tried) =
+                    shrink_failure(cfg, strat, &mut case, vals.clone(), msg);
+                panic!(
+                    "proptest `{name}` failed after {accepted} passing case(s): {min_msg}\n  \
+                     minimal failing inputs ({steps} shrink step(s), {tried} candidate(s) \
+                     tried):\n{}\n  originally sampled inputs:\n{}",
+                    render(&min_vals),
+                    render(&vals),
+                );
             }
         }
     }
@@ -245,7 +459,8 @@ where
 
 /// Define property tests. Each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` (the attribute is written in the source, as with the
-/// real crate) that samples inputs and runs the body up to `cases` times.
+/// real crate) that samples inputs and runs the body up to `cases` times,
+/// shrinking any failure toward minimal inputs.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -272,31 +487,32 @@ macro_rules! __proptest_item {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            $crate::run_proptest(&__cfg, stringify!($name), |__rng| {
-                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
-                // Debug-render the sampled inputs up front (the body takes
-                // ownership) so a failure can report them.
-                let __inputs: ::std::string::String = [
-                    $(::std::format!(
-                        "    {} = {:?}",
-                        ::std::stringify!($arg),
-                        &$arg
-                    )),+
-                ]
-                .join("\n");
-                let mut __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
-                    $body
-                    ::std::result::Result::Ok(())
-                };
-                match __case() {
-                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
-                        ::std::result::Result::Err($crate::TestCaseError::Fail(
-                            ::std::format!("{__msg}\n  sampled inputs:\n{__inputs}"),
-                        ))
-                    }
-                    __other => __other,
-                }
-            });
+            let __strat = ( $($strat,)+ );
+            $crate::run_proptest(
+                &__cfg,
+                stringify!($name),
+                &__strat,
+                |__vals: &_| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    let ( $($arg,)+ ) = ::std::clone::Clone::clone(__vals);
+                    let mut __case =
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    __case()
+                },
+                |__vals: &_| {
+                    let ( $(ref $arg,)+ ) = *__vals;
+                    [
+                        $(::std::format!(
+                            "    {} = {:?}",
+                            ::std::stringify!($arg),
+                            $arg
+                        )),+
+                    ]
+                    .join("\n")
+                },
+            );
         }
         $crate::__proptest_item! { @cfg ($cfg) $($rest)* }
     };
@@ -382,17 +598,74 @@ mod tests {
         }
     }
 
-    #[test]
-    fn failing_case_reports_sampled_inputs() {
-        let payload = std::panic::catch_unwind(always_fails).unwrap_err();
-        let msg = payload
+    // Fails exactly when x >= 13: the shrinker must land on 13, not just
+    // near it (the decrement candidate closes the bisection gap).
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig { cases: 8, ..Default::default() })]
+        fn threshold_at_13(x in 0u32..1000) {
+            crate::prop_assert!(x < 13, "too big");
+        }
+    }
+
+    fn panic_message(f: fn()) -> String {
+        let payload = std::panic::catch_unwind(f).unwrap_err();
+        payload
             .downcast_ref::<String>()
             .cloned()
-            .expect("panic payload is the failure message");
+            .expect("panic payload is the failure message")
+    }
+
+    #[test]
+    fn failing_case_reports_minimal_and_original_inputs() {
+        let msg = panic_message(always_fails);
         assert!(msg.contains("lengths are small"), "message lost: {msg}");
-        assert!(msg.contains("sampled inputs:"), "inputs missing: {msg}");
-        assert!(msg.contains("x = 1"), "x not rendered: {msg}"); // x ∈ 10..20
-        assert!(msg.contains("v = ["), "v not rendered: {msg}");
+        assert!(
+            msg.contains("minimal failing inputs"),
+            "no shrink report: {msg}"
+        );
+        assert!(
+            msg.contains("originally sampled inputs:"),
+            "originals missing: {msg}"
+        );
+        // x halves to its range start, v truncates to its minimum length
+        // with elements shrunk to the element-range start.
+        assert!(msg.contains("x = 10"), "x not minimized: {msg}");
+        assert!(msg.contains("v = [0, 0]"), "v not minimized: {msg}");
+    }
+
+    #[test]
+    fn shrinking_bisects_to_the_exact_threshold() {
+        let msg = panic_message(threshold_at_13);
+        assert!(msg.contains("x = 13"), "threshold not found: {msg}");
+    }
+
+    #[test]
+    fn integer_shrink_proposes_start_mid_and_decrement() {
+        use crate::Strategy;
+        assert_eq!((0u32..100).shrink(&40), vec![0, 20, 39]);
+        assert_eq!((0u32..100).shrink(&1), vec![0]);
+        assert!((0u32..100).shrink(&0).is_empty());
+        assert_eq!((10u32..20).shrink(&12), vec![10, 11]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        use crate::Strategy;
+        let strat = crate::prop::collection::vec(0i64..10, 2..6);
+        for cand in strat.shrink(&vec![5, 5, 5, 5]) {
+            assert!(cand.len() >= 2, "shrank below the minimum: {cand:?}");
+        }
+        assert!(strat.shrink(&vec![5, 5, 5, 5]).iter().any(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn vec_shrink_of_empty_vec_is_empty_not_a_panic() {
+        // Min length 0 strategies can reach the empty vec during descent
+        // (or hold one while another tuple position shrinks): no further
+        // candidates, and no usize underflow.
+        use crate::Strategy;
+        let strat = crate::prop::collection::vec(0u8..7, 0..28);
+        assert!(strat.shrink(&Vec::new()).is_empty());
     }
 
     #[test]

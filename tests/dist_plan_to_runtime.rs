@@ -117,6 +117,19 @@ fn distributed_plan_lowers_and_executes_end_to_end() {
     let (exec, xchg) = lower_dist_plan(&plan, &net_bounds, replay.peak_bytes, net.len()).unwrap();
     assert_eq!(xchg.groups(), phased_blocks.as_slice());
 
+    // The distributed lowering carries the boundary-eviction policy: one
+    // worker's traced shard-step reproduces the single-worker replay
+    // sample for sample (every swapped boundary below the last departs).
+    let (x0, y0) = data.shard(0, 8, 0);
+    let (_, _, stats0, traj0) = exec.grad_step_traced(&net, &x0, &y0, |_, _| {});
+    assert_eq!(traj0, replay.samples, "per-worker residency != replay");
+    assert_eq!(stats0.peak_near_bytes, replay.peak_bytes);
+    let evicting = exec.boundary_evict().iter().filter(|e| **e).count();
+    assert_eq!(stats0.boundary_out_ops, evicting);
+    if stats0.swap_out_ops > 0 {
+        assert!(evicting > 0, "swaps without boundary eviction");
+    }
+
     let (workers, per_worker, steps) = (2usize, 8usize, 2usize);
     let exchange = expected_exchange(&plan, &grad_bytes, workers, steps).unwrap();
     let mut nets: Vec<Sequential> = (0..workers).map(|_| fresh_net()).collect();
@@ -125,6 +138,10 @@ fn distributed_plan_lowers_and_executes_end_to_end() {
     // Predicted exchange groups == executed messages.
     assert_eq!(report.exchange_messages, exchange.messages);
     assert_eq!(exchange.messages_per_step, dist.messages_per_step(workers));
+
+    // Per-worker peak residency matches the single-worker prediction:
+    // the replicas inherit boundary eviction unchanged.
+    assert_eq!(report.peak_near_bytes, replay.peak_bytes);
 
     // Cost-model bytes == shipped bytes, group for group.
     let shipped: Vec<u64> = report.group_bytes.iter().map(|&b| b as u64).collect();

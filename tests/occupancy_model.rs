@@ -43,11 +43,14 @@ fn simulated_backward(costs: &BlockCosts) -> (f64, usize) {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
 
-    /// Eq. 8's estimate is within 40% of the simulated backward phase over
+    /// Eq. 8's estimate is within 50% of the simulated backward phase over
     /// a broad random range of block counts, swap speeds and capacities.
-    /// (The analytic model ignores swap-out contention and forward-phase
-    /// carry-over, so exact agreement is not expected — the paper uses it
-    /// as an optimization objective, not a clock.)
+    /// (The analytic model ignores swap-out contention, forward-phase
+    /// carry-over, and the boundary-eviction turnaround stall — the first
+    /// backward now waits for the swap-in carrying the highest swapped
+    /// block's boundary when capacity forced that fetch to its deadline —
+    /// so exact agreement is not expected: the paper uses the model as an
+    /// optimization objective, not a clock.)
     #[test]
     fn analytic_backward_tracks_simulation(
         n in 4usize..16,
@@ -61,7 +64,7 @@ proptest! {
         let model = OccupancyModel::new(&c, resident_from, vec![false; n]);
         let analytic = model.backward_time();
         let rel = (analytic - sim).abs() / sim;
-        prop_assert!(rel < 0.4, "analytic {analytic} vs simulated {sim} (rel {rel})");
+        prop_assert!(rel < 0.5, "analytic {analytic} vs simulated {sim} (rel {rel})");
     }
 
     /// The occupancy trajectory is always in (0, 1] and degrades (weakly)

@@ -32,9 +32,11 @@ use karma::core::{lower_to_runtime, LoweredPolicy};
 use karma::graph::{MemoryParams, ModelGraph};
 use karma::hw::{GpuSpec, LinkSpec, NodeSpec};
 use karma::runtime::bridge::{expected_residency, graph_boundaries_to_net, lower_plan};
+use karma::runtime::OocExecutor;
 use karma::sim::ModelProfile;
 use karma::tensor::{conv_stack, Sequential, SyntheticDataset, Tensor};
 use karma::zoo::fig5_workloads;
+use proptest::prelude::*;
 
 /// The `karma_zoo::micro::conv_stack_graph` mirror of
 /// `karma_tensor::conv_stack(6, ..)`; under `MemoryParams::exact`, graph
@@ -149,10 +151,56 @@ fn planned_plan_executes_with_sim_matching_op_counts() {
         assert_eq!(stats.swapped_out_bytes, stats.swapped_in_bytes);
 
         // The executed residency trajectory is exactly the plan's replay
-        // over the real tensor sizes: one sample per plan op, equal bytes.
-        assert_eq!(traj.len(), cp.plan.ops.len());
+        // over the real tensor sizes: one sample per plan op plus one per
+        // deferred boundary departure, equal bytes — zero model-vs-
+        // execution gap, boundary eviction included.
+        let sched = lower_to_runtime(&cp.plan).unwrap();
+        let deferred_tails: usize = (0..sched.n_blocks())
+            .map(|j| {
+                sched.boundary_evict_after[j]
+                    .iter()
+                    .filter(|e| !sched.evict_after[j].contains(e))
+                    .count()
+            })
+            .sum();
+        assert_eq!(
+            traj.len(),
+            cp.plan.ops.len() + deferred_tails,
+            "one extra sample per deferred boundary tail"
+        );
         assert_eq!(traj, replay.samples, "link_bw {link_bw}");
         assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+
+        // Every swapped block below the last evicts its boundary, and the
+        // executed departures/returns match the schedule exactly.
+        let expect_evictions = sched.boundary_evict_blocks();
+        assert_eq!(stats.boundary_out_ops, expect_evictions);
+        assert_eq!(stats.boundary_in_ops, expect_evictions);
+        if stats.swap_out_ops > 0 {
+            assert!(
+                expect_evictions > 0,
+                "link_bw {link_bw}: swaps without boundary eviction"
+            );
+        }
+
+        // Executed peak strictly drops versus the pre-refactor executor
+        // (same plan schedule, boundaries pinned resident).
+        if expect_evictions > 0 {
+            let pinned = OocExecutor::new(
+                net_bounds.clone(),
+                exec.policies().to_vec(),
+                usize::MAX / 2,
+                net.len(),
+            )
+            .with_schedule(exec.evict_after().to_vec(), exec.prefetch_before().to_vec());
+            let (_, _, s_pin) = pinned.grad_step(&net, &x, &y, |_, _| {});
+            assert!(
+                stats.peak_near_bytes < s_pin.peak_near_bytes,
+                "link_bw {link_bw}: evicting {} !< resident-boundary {}",
+                stats.peak_near_bytes,
+                s_pin.peak_near_bytes
+            );
+        }
     }
 }
 
@@ -169,6 +217,92 @@ fn bridged_execution_is_bit_identical_to_in_core() {
         exec.train_step(&mut net, &x, &y, 0.05);
     }
     assert_eq!(net.snapshot(), reference.snapshot(), "bitwise parity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// For every capacity-builder plan that the simulator declares
+    /// feasible, the *executed* peak residency stays within the plan's
+    /// modeled budget (`act_capacity`, plus the input batch the model
+    /// accounts statically) — the capacity promise survives lowering now
+    /// that boundary bytes really leave. And flipping boundary eviction
+    /// off (the pre-refactor executor) changes residency only: losses and
+    /// weights stay bitwise identical.
+    #[test]
+    fn executed_peak_stays_within_the_modeled_budget(
+        k in 2usize..7,
+        cap_frac in 0.5f64..0.95,
+        bw_exp in 8.0f64..9.7,
+        rc_mask in 0u32..64,
+        prefetch_ix in 0u8..3,
+        eager_bit in 0u8..2,
+    ) {
+        use karma::core::capacity::PrefetchPolicy;
+        let graph = conv_stack_graph();
+        let mem = MemoryParams::exact();
+        let need = graph.peak_footprint(16, &mem) as f64;
+        let node = NodeSpec::toy(
+            GpuSpec::toy((need * cap_frac) as u64, 5.0e9),
+            LinkSpec::toy(10f64.powf(bw_exp)),
+        );
+        let profile = ModelProfile::collect(&graph, 16, &node.gpu, &mem);
+        let table = LayerCostTable::from_profile(&profile, &node);
+        let bounds = karma::graph::BlockPartition::uniform(graph.len(), k)
+            .boundaries()
+            .to_vec();
+        prop_assume!(bounds.get(1).copied().unwrap_or(2) >= 2);
+        let costs = table.block_costs(&bounds);
+        prop_assume!(costs.is_schedulable());
+        let n = costs.n_blocks();
+        let opts = karma::core::capacity::CapacityPlanOptions {
+            recompute: (0..n).map(|b| rc_mask >> (b % 32) & 1 == 1).collect(),
+            resident_from: if eager_bit == 1 { Some(n) } else { None },
+            prefetch: [
+                PrefetchPolicy::CapacityBased,
+                PrefetchPolicy::OneAhead,
+                PrefetchPolicy::None,
+            ][prefetch_ix as usize],
+            sync_swap_out: false,
+        };
+        let cp = build_training_plan(&costs, &opts);
+        let (_, metrics) = simulate_plan(&cp.plan, &costs, &LowerOptions::default());
+        prop_assume!(metrics.capacity_ok);
+
+        let (mut net, x, y) = setup();
+        let net_bounds = graph_boundaries_to_net(&bounds).unwrap();
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        let replay = expected_residency(&cp.plan, &net_bounds, &key_bytes, net.len()).unwrap();
+        let exec = lower_plan(&cp.plan, &net_bounds, replay.peak_bytes, net.len()).unwrap();
+        let (loss, _, stats) = exec.grad_step(&net, &x, &y, |_, _| {});
+        prop_assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+        // The input batch is accounted statically in act_capacity, so the
+        // executor's near-memory (which hosts it as key 0) gets it back.
+        let modeled_budget = costs.act_capacity + key_bytes[0] as i64;
+        prop_assert!(
+            (stats.peak_near_bytes as i64) <= modeled_budget,
+            "executed peak {} exceeds modeled budget {}",
+            stats.peak_near_bytes,
+            modeled_budget
+        );
+
+        // Boundary eviction moves bytes, never arithmetic.
+        let pinned = OocExecutor::new(
+            net_bounds.clone(),
+            exec.policies().to_vec(),
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_schedule(exec.evict_after().to_vec(), exec.prefetch_before().to_vec());
+        let (loss_pin, _, _) = pinned.grad_step(&net, &x, &y, |_, _| {});
+        prop_assert_eq!(loss, loss_pin, "loss diverged");
+        let mut pinned_net = conv_stack(6, 4, 11);
+        for _ in 0..2 {
+            exec.train_step(&mut net, &x, &y, 0.05);
+            pinned.train_step(&mut pinned_net, &x, &y, 0.05);
+        }
+        prop_assert_eq!(net.snapshot(), pinned_net.snapshot(), "weights diverged");
+    }
 }
 
 #[test]
@@ -228,5 +362,32 @@ fn fig5_grid_plans_lower_with_sim_matching_op_counts() {
             resident + sched.swap_blocks() + sched.recompute_blocks(),
             costs.n_blocks()
         );
+        // The boundary contract holds across the whole grid: every
+        // swapped block below the last evicts its boundary (what the
+        // cost model priced), scheduled after the consumer's forward and
+        // back before the consumer's backward.
+        let n = costs.n_blocks();
+        for b in 0..n {
+            let expect = sched.policies[b] == LoweredPolicy::Swap && b + 1 < n;
+            assert_eq!(
+                sched.boundary[b] == karma::core::BoundaryPolicy::Evict,
+                expect,
+                "{} @ {batch}: block {b} boundary policy",
+                w.model.name
+            );
+        }
+        for (j, list) in sched.boundary_evict_after.iter().enumerate() {
+            assert!(
+                list.iter().all(|&e| j > e),
+                "{}: early departure",
+                w.model.name
+            );
+        }
+        for (j, list) in sched.boundary_fetch_before.iter().enumerate() {
+            for &p in list {
+                assert!(j > p, "{}: late return", w.model.name);
+                assert!(sched.prefetch_before[j].contains(&p));
+            }
+        }
     }
 }
