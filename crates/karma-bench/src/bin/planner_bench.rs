@@ -86,6 +86,7 @@ fn main() {
             memoize: false,
             blocks: base_bounds.len(),
             peak_bytes: 0, // planner benches never execute
+            peak_tier_bytes: vec![],
         });
 
         // Optimized: memoized evaluations on every available worker.
@@ -100,6 +101,7 @@ fn main() {
             memoize: true,
             blocks: opt_bounds.len(),
             peak_bytes: 0, // planner benches never execute
+            peak_tier_bytes: vec![],
         });
 
         // The determinism guarantee, checked on real planner inputs: thread

@@ -117,50 +117,87 @@ pub fn compare_reports(
         // mode never executes on the tensor stack, e.g. planner benches;
         // reports are regenerated whenever the schema changes, so both
         // sides always carry the field).
-        for mode in ["baseline", "optimized", "distributed"] {
+        for mode in [
+            "baseline",
+            "optimized",
+            "distributed",
+            "tiered",
+            "zero_executed",
+        ] {
             let (Some(b), Some(f)) = (baseline.entry(model, mode), fresh.entry(model, mode)) else {
                 continue;
             };
-            if b.peak_bytes == 0 || f.peak_bytes == 0 {
-                continue;
-            }
-            let limit = b.peak_bytes as f64 * (1.0 + DEFAULT_MAX_PEAK_GROWTH);
-            if f.peak_bytes as f64 > limit {
-                out.failures.push(format!(
-                    "{model}/{mode}: executed peak bytes regressed from {} to {} (limit \
-                     {limit:.0}, tolerance {:.0}%)",
-                    b.peak_bytes,
-                    f.peak_bytes,
-                    DEFAULT_MAX_PEAK_GROWTH * 100.0
-                ));
-            } else {
-                out.notes.push(format!(
-                    "{model}/{mode}: executed peak {} B vs committed {} B — ok",
-                    f.peak_bytes, b.peak_bytes
-                ));
-            }
-        }
-        // Optional columns (the distributed data-parallel step) gate the
-        // same way once the committed baseline carries them; its wall
-        // time normalizes against the same single-GPU baseline, so
-        // machine speed still cancels.
-        match (
-            baseline.entry(model, "distributed"),
-            fresh.entry(model, "distributed"),
-        ) {
-            (None, _) => {}
-            (Some(_), None) => out.failures.push(format!(
-                "{model}: distributed column missing from the fresh report"
-            )),
-            (Some(b), Some(f)) => {
-                if b.blocks != f.blocks {
+            if b.peak_bytes != 0 && f.peak_bytes != 0 {
+                let limit = b.peak_bytes as f64 * (1.0 + DEFAULT_MAX_PEAK_GROWTH);
+                if f.peak_bytes as f64 > limit {
                     out.failures.push(format!(
-                        "{model}/distributed: plan drifted from {} to {} blocks under an \
-                         unchanged config — the search is no longer deterministic",
-                        b.blocks, f.blocks
+                        "{model}/{mode}: executed peak bytes regressed from {} to {} (limit \
+                         {limit:.0}, tolerance {:.0}%)",
+                        b.peak_bytes,
+                        f.peak_bytes,
+                        DEFAULT_MAX_PEAK_GROWTH * 100.0
+                    ));
+                } else {
+                    out.notes.push(format!(
+                        "{model}/{mode}: executed peak {} B vs committed {} B — ok",
+                        f.peak_bytes, b.peak_bytes
                     ));
                 }
-                record(&mut out, gate_ratio("distributed", b.wall_ms, f.wall_ms));
+            }
+            // Per-tier peaks gate with the same tolerance: a tiered run
+            // that starts leaning harder on a fast tier is a residency
+            // regression even when the whole-stack peak holds still.
+            if b.peak_tier_bytes.is_empty() {
+                continue;
+            }
+            if b.peak_tier_bytes.len() != f.peak_tier_bytes.len() {
+                out.failures.push(format!(
+                    "{model}/{mode}: tier stack drifted from {} to {} tiers under an unchanged \
+                     config",
+                    b.peak_tier_bytes.len(),
+                    f.peak_tier_bytes.len()
+                ));
+                continue;
+            }
+            for (t, (&bp, &fp)) in b.peak_tier_bytes.iter().zip(&f.peak_tier_bytes).enumerate() {
+                if bp == 0 || fp == 0 {
+                    continue;
+                }
+                let limit = bp as f64 * (1.0 + DEFAULT_MAX_PEAK_GROWTH);
+                if fp as f64 > limit {
+                    out.failures.push(format!(
+                        "{model}/{mode}: tier {t} peak regressed from {bp} to {fp} bytes (limit \
+                         {limit:.0}, tolerance {:.0}%)",
+                        DEFAULT_MAX_PEAK_GROWTH * 100.0
+                    ));
+                } else {
+                    out.notes.push(format!(
+                        "{model}/{mode}: tier {t} peak {fp} B vs committed {bp} B — ok"
+                    ));
+                }
+            }
+        }
+        // Optional columns (the distributed data-parallel step, the
+        // tiered offload stack, the executed KARMA-on-ZeRO run) gate the
+        // same way once the committed baseline carries them; their wall
+        // times normalize against the same single-GPU baseline, so
+        // machine speed still cancels.
+        for mode in ["distributed", "tiered", "zero_executed"] {
+            match (baseline.entry(model, mode), fresh.entry(model, mode)) {
+                (None, _) => {}
+                (Some(_), None) => out.failures.push(format!(
+                    "{model}: {mode} column missing from the fresh report"
+                )),
+                (Some(b), Some(f)) => {
+                    if b.blocks != f.blocks {
+                        out.failures.push(format!(
+                            "{model}/{mode}: plan drifted from {} to {} blocks under an \
+                             unchanged config — the search is no longer deterministic",
+                            b.blocks, f.blocks
+                        ));
+                    }
+                    record(&mut out, gate_ratio(mode, b.wall_ms, f.wall_ms));
+                }
             }
         }
     }
@@ -187,6 +224,7 @@ mod tests {
             memoize: mode == "optimized",
             blocks,
             peak_bytes: 0,
+            peak_tier_bytes: vec![],
         }
     }
 
@@ -341,6 +379,69 @@ mod tests {
             500,
         );
         assert!(compare_reports(&old, &smaller, DEFAULT_MAX_SLOWDOWN).passed());
+    }
+
+    fn with_tiered(mut r: BenchReport, m: &str, tiers: Vec<usize>) -> BenchReport {
+        let mut e = entry(m, "tiered", 50.0, 1, 7);
+        e.peak_bytes = tiers.iter().sum();
+        e.peak_tier_bytes = tiers;
+        r.entries.push(e);
+        r
+    }
+
+    #[test]
+    fn per_tier_peak_regression_beyond_ten_percent_fails() {
+        let base = || report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let old = with_tiered(base(), "resnet", vec![1000, 4000]);
+        // 5% growth in the fast tier: within tolerance.
+        let ok = with_tiered(base(), "resnet", vec![1050, 3950]);
+        let out = compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN);
+        assert!(out.passed(), "{:?}", out.failures);
+        // 20% growth in the fast tier regresses even though the
+        // whole-stack peak is unchanged.
+        let bad = with_tiered(base(), "resnet", vec![1200, 3800]);
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("tier 0 peak regressed"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn tier_count_drift_fails() {
+        let base = || report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let old = with_tiered(base(), "resnet", vec![1000, 4000]);
+        let new = with_tiered(base(), "resnet", vec![1000, 2000, 2000]);
+        let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("tier stack drifted"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn tiered_column_wall_time_gates_like_distributed() {
+        let base = || report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let old = with_tiered(base(), "resnet", vec![1000, 4000]);
+        let mut bad = with_tiered(base(), "resnet", vec![1000, 4000]);
+        bad.entries.last_mut().unwrap().wall_ms = 90.0; // 80% ratio regression
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("tiered/baseline wall-time ratio")),
+            "{:?}",
+            out.failures
+        );
+        // Dropping the column also fails.
+        let out = compare_reports(&old, &base(), DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("tiered column missing"));
     }
 
     #[test]

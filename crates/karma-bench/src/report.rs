@@ -31,6 +31,11 @@ pub struct BenchEntry {
     /// Byte counts are machine-independent, so the gate compares them
     /// directly (no ratio normalization needed).
     pub peak_bytes: usize,
+    /// Per-tier executed far-memory peaks (bytes, fastest tier first) of
+    /// this mode's run — empty when the mode does not execute, or runs
+    /// the single-pool executor where the whole-pool `peak_bytes` says
+    /// everything. Like `peak_bytes`, gated directly across machines.
+    pub peak_tier_bytes: Vec<usize>,
 }
 
 /// Per-model speedup headline.
@@ -92,6 +97,7 @@ mod tests {
                     memoize: false,
                     blocks: 5,
                     peak_bytes: 1024,
+                    peak_tier_bytes: vec![],
                 },
                 BenchEntry {
                     model: "m".into(),
@@ -101,6 +107,7 @@ mod tests {
                     memoize: true,
                     blocks: 5,
                     peak_bytes: 768,
+                    peak_tier_bytes: vec![512, 256],
                 },
             ],
             speedup: vec![ModelSpeedup {

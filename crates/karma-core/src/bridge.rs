@@ -62,6 +62,20 @@ pub enum BoundaryPolicy {
     Evict,
 }
 
+/// Where a block's swapped payload parks — the tier half of the lowered
+/// schedule. Tier indices order the far-memory stack fastest-first
+/// (tier 0 = host DRAM, tier 1 = simulated NVMe, …), mirroring the
+/// ZeRO-Infinity offload hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierPolicy {
+    /// The block's activations never leave the device (resident and
+    /// recompute blocks).
+    Device,
+    /// The block's swap traffic (interiors plus, when evicted, its
+    /// boundary) parks in far-memory tier `t`.
+    Far(usize),
+}
+
 /// Why a plan cannot be realized by the out-of-core executor.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RuntimeLowerError {
@@ -202,6 +216,18 @@ pub enum RuntimeLowerError {
         /// The swapped block whose boundary re-fetch is late.
         block: usize,
     },
+    /// A tier assignment was requested over an empty tier stack while the
+    /// plan swaps blocks: the swapped payload would have nowhere to park.
+    TierStackEmpty,
+    /// No tier can park `block`'s payload for its whole out-of-device
+    /// interval without some tier exceeding its capacity — the plan's
+    /// swap set is infeasible on this tier stack.
+    TierCapacityExceeded {
+        /// The first block that fits in no tier.
+        block: usize,
+        /// The block's parked payload (interiors plus evicted boundary).
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for RuntimeLowerError {
@@ -282,6 +308,17 @@ impl fmt::Display for RuntimeLowerError {
                 "boundary of block {block} would return after block {}'s recompute restarted \
                  from it",
                 block + 1
+            ),
+            TierStackEmpty => {
+                write!(
+                    f,
+                    "plan swaps blocks but the far-memory tier stack is empty"
+                )
+            }
+            TierCapacityExceeded { block, bytes } => write!(
+                f,
+                "no far-memory tier can park block {block}'s {bytes} B for its out-of-device \
+                 interval"
             ),
         }
     }
@@ -384,6 +421,11 @@ pub struct RuntimeSchedule {
     /// guarantees `j >= b + 1`: the boundary is back before the block
     /// above begins backward (the prefetch deadline rule).
     pub boundary_fetch_before: Vec<Vec<usize>>,
+    /// Per-block tier assignment for the swap traffic: lowering defaults
+    /// every swap block to the fastest far tier (`Far(0)`) and everything
+    /// else to [`TierPolicy::Device`]; [`assign_tiers`] repacks the
+    /// assignment against real per-tier capacities.
+    pub tier: Vec<TierPolicy>,
     /// The phased gradient exchange, when the plan is distributed
     /// (`None` for single-GPU plans with no `AR` / `U` ops).
     pub dist: Option<DistSchedule>,
@@ -721,6 +763,17 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
         None
     };
 
+    // Default tier assignment: every swap block parks in the fastest far
+    // tier; resident and recompute blocks never leave the device. A real
+    // tier stack with finite capacities repacks this via `assign_tiers`.
+    let tier = policies
+        .iter()
+        .map(|p| match p {
+            LoweredPolicy::Swap => TierPolicy::Far(0),
+            _ => TierPolicy::Device,
+        })
+        .collect();
+
     Ok(RuntimeSchedule {
         policies,
         evict_after,
@@ -729,8 +782,92 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
         boundary,
         boundary_evict_after,
         boundary_fetch_before,
+        tier,
         dist,
     })
+}
+
+/// Pack a lowered schedule's swap blocks onto a finite tier stack by
+/// greedy first-fit over the blocks' *parked intervals*.
+///
+/// Block `b`'s interiors leave the device after its eviction step and
+/// return at its fetch step; its boundary (when evicted) departs at its
+/// own — possibly later — departure step and returns with the same fetch.
+/// Within that window the payload occupies its tier, so two blocks whose
+/// windows overlap compete for capacity while blocks parked at disjoint
+/// times share it. The packer walks blocks front to back and gives each
+/// the fastest tier whose capacity holds the tier's occupancy timeline
+/// everywhere; a block that fits nowhere makes the plan infeasible on
+/// this stack ([`RuntimeLowerError::TierCapacityExceeded`]).
+///
+/// `tier_caps` are byte capacities fastest-first (`usize::MAX` =
+/// unbounded); `interior_bytes[b]` / `boundary_bytes[b]` are block `b`'s
+/// interior payload and boundary activation sizes.
+pub fn assign_tiers(
+    sched: &RuntimeSchedule,
+    tier_caps: &[usize],
+    interior_bytes: &[usize],
+    boundary_bytes: &[usize],
+) -> Result<Vec<TierPolicy>, RuntimeLowerError> {
+    let n = sched.n_blocks();
+    assert_eq!(interior_bytes.len(), n, "one interior byte count per block");
+    assert_eq!(boundary_bytes.len(), n, "one boundary byte count per block");
+    let mut tier = vec![TierPolicy::Device; n];
+    if sched.swap_blocks() == 0 {
+        return Ok(tier);
+    }
+    if tier_caps.is_empty() {
+        return Err(RuntimeLowerError::TierStackEmpty);
+    }
+    // Timeline slots: forward step j -> slot j, backward step j -> slot
+    // n + (n-1-j) (backwards run back to front). A payload departing
+    // after forward step e and fetched before backward step f is parked
+    // through slots [e, n + (n-1-f)): departures land at the end of their
+    // forward slot (additions only, so the slot's high-water mark is its
+    // final value) and fetches at the start of their backward slot.
+    let slots = 2 * n;
+    let step_of = |lists: &[Vec<usize>], b: usize| lists.iter().position(|l| l.contains(&b));
+    let mut usage = vec![vec![0usize; slots]; tier_caps.len()];
+    for b in 0..n {
+        if sched.policies[b] != LoweredPolicy::Swap {
+            continue;
+        }
+        let e = step_of(&sched.evict_after, b).expect("swap block has an eviction step");
+        let f = step_of(&sched.prefetch_before, b).expect("swap block has a fetch step");
+        let ret = n + (n - 1 - f);
+        let mut add = vec![0usize; slots];
+        for s in add.iter_mut().take(ret).skip(e) {
+            *s += interior_bytes[b];
+        }
+        if sched.boundary[b] == BoundaryPolicy::Evict {
+            let be = step_of(&sched.boundary_evict_after, b)
+                .expect("evicted boundary has a departure step");
+            for s in add.iter_mut().take(ret).skip(be) {
+                *s += boundary_bytes[b];
+            }
+        }
+        let fits = |u: &[usize], cap: usize| u.iter().zip(&add).all(|(&used, &a)| used + a <= cap);
+        match (0..tier_caps.len()).find(|&t| fits(&usage[t], tier_caps[t])) {
+            Some(t) => {
+                for (u, a) in usage[t].iter_mut().zip(&add) {
+                    *u += a;
+                }
+                tier[b] = TierPolicy::Far(t);
+            }
+            None => {
+                let boundary = if sched.boundary[b] == BoundaryPolicy::Evict {
+                    boundary_bytes[b]
+                } else {
+                    0
+                };
+                return Err(RuntimeLowerError::TierCapacityExceeded {
+                    block: b,
+                    bytes: interior_bytes[b] + boundary,
+                });
+            }
+        }
+    }
+    Ok(tier)
 }
 
 #[cfg(test)]
@@ -1132,6 +1269,88 @@ mod tests {
     }
 
     #[test]
+    fn lowering_defaults_swap_blocks_to_the_fastest_tier() {
+        let c = costs(6, 100, 2.0, 4.0);
+        let cp = build_training_plan(&c, &CapacityPlanOptions::karma(6));
+        let s = lower_to_runtime(&cp.plan).unwrap();
+        assert!(s.swap_blocks() > 0);
+        for b in 0..6 {
+            let expect = if s.policies[b] == LoweredPolicy::Swap {
+                TierPolicy::Far(0)
+            } else {
+                TierPolicy::Device
+            };
+            assert_eq!(s.tier[b], expect, "block {b}");
+        }
+    }
+
+    /// Eager swap-everything over 5 equal blocks: each block's interiors
+    /// park from its forward to its backward, so the windows nest and
+    /// every pair overlaps somewhere.
+    fn eager_swap_schedule() -> RuntimeSchedule {
+        let c = costs(5, 100, 1.0, 2.5);
+        let opts = CapacityPlanOptions {
+            recompute: vec![false; 5],
+            resident_from: Some(5),
+            prefetch: PrefetchPolicy::None,
+            sync_swap_out: false,
+        };
+        let cp = build_training_plan(&c, &opts);
+        lower_to_runtime(&cp.plan).unwrap()
+    }
+
+    #[test]
+    fn assign_tiers_first_fits_and_spills_to_slower_tiers() {
+        let s = eager_swap_schedule();
+        let interior = vec![90usize; 5];
+        let boundary = vec![10usize; 5];
+        // Unbounded fast tier: everything stays in tier 0.
+        let all_fast = assign_tiers(&s, &[usize::MAX], &interior, &boundary).unwrap();
+        assert!(all_fast
+            .iter()
+            .all(|t| matches!(t, TierPolicy::Far(0) | TierPolicy::Device)));
+        assert_eq!(all_fast, s.tier, "matches the lowering default");
+        // Fast tier holds ~2 parked blocks; the rest spill to the slow tier.
+        let packed = assign_tiers(&s, &[220, usize::MAX], &interior, &boundary).unwrap();
+        let fast = packed.iter().filter(|t| **t == TierPolicy::Far(0)).count();
+        let slow = packed.iter().filter(|t| **t == TierPolicy::Far(1)).count();
+        assert!(fast >= 1, "fast tier is used first");
+        assert!(slow >= 1, "overflow spills to the slow tier");
+        assert_eq!(fast + slow, 5, "every swap block parks somewhere");
+    }
+
+    #[test]
+    fn assign_tiers_rejects_infeasible_stacks_with_the_first_stuck_block() {
+        // Under the eager schedule all five blocks are parked
+        // concurrently around the loss, so three single-block tiers
+        // cannot hold them: blocks 0..3 claim one tier each and block 3
+        // is the first that fits nowhere.
+        let s = eager_swap_schedule();
+        let interior = vec![90usize; 5];
+        let boundary = vec![10usize; 5];
+        assert_eq!(
+            assign_tiers(&s, &[100, 100, 100], &interior, &boundary),
+            Err(RuntimeLowerError::TierCapacityExceeded {
+                block: 3,
+                bytes: 100
+            })
+        );
+    }
+
+    #[test]
+    fn assign_tiers_rejects_an_empty_stack_only_when_swaps_exist() {
+        let s = eager_swap_schedule();
+        let err = assign_tiers(&s, &[], &[90; 5], &[10; 5]);
+        assert_eq!(err, Err(RuntimeLowerError::TierStackEmpty));
+        // An all-resident plan needs no tiers at all.
+        let c = costs(4, 100, 2.0, 100.0);
+        let cp = build_training_plan(&c, &CapacityPlanOptions::karma(4));
+        let s = lower_to_runtime(&cp.plan).unwrap();
+        let tiers = assign_tiers(&s, &[], &[0; 4], &[0; 4]).unwrap();
+        assert!(tiers.iter().all(|t| *t == TierPolicy::Device));
+    }
+
+    #[test]
     fn errors_display_without_panicking() {
         let errs = [
             RuntimeLowerError::Invalid("x".into()),
@@ -1144,6 +1363,11 @@ mod tests {
             RuntimeLowerError::UpdateBeforeExchange { block: 5 },
             RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 1 },
             RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: 2 },
+            RuntimeLowerError::TierStackEmpty,
+            RuntimeLowerError::TierCapacityExceeded {
+                block: 3,
+                bytes: 4096,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

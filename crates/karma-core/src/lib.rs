@@ -43,8 +43,8 @@ pub mod plan;
 pub mod planner;
 
 pub use bridge::{
-    lower_to_runtime, BoundaryPolicy, DistGroup, DistSchedule, LoweredPolicy, RuntimeLowerError,
-    RuntimeSchedule,
+    assign_tiers, lower_to_runtime, BoundaryPolicy, DistGroup, DistSchedule, LoweredPolicy,
+    RuntimeLowerError, RuntimeSchedule, TierPolicy,
 };
 pub use capacity::{build_training_plan, CapacityPlanOptions};
 pub use codegen::generate_training_script;

@@ -37,6 +37,12 @@ pub struct LowerOptions {
     pub allreduce_time: Vec<f64>,
     /// Per-block host-update durations (required if the plan has `U` ops).
     pub update_time: Vec<f64>,
+    /// Per-block tier pricing: multiplies block `b`'s `Sout`/`Sin`
+    /// durations by `tier_swap_factor[b]` — the slowdown of the
+    /// far-memory tier the block's payload parks in, relative to host
+    /// DRAM (`karma_hw::NodeSpec::tier_swap_factor`). Empty means every
+    /// block swaps at baseline speed (all factors 1.0).
+    pub tier_swap_factor: Vec<f64>,
 }
 
 /// Headline metrics of a simulated iteration.
@@ -76,7 +82,7 @@ pub fn simulate_plan(plan: &Plan, costs: &BlockCosts, opts: &LowerOptions) -> (T
             costs.swap_time_with_state(b)
         } else {
             costs.swap_time(b)
-        };
+        } * opts.tier_swap_factor.get(b).copied().unwrap_or(1.0);
         let spec = match op.kind {
             OpKind::Forward => {
                 let acquire = if recomputed[b] {
@@ -259,6 +265,7 @@ mod tests {
             swap_state: false,
             allreduce_time: vec![0.5, 0.5],
             update_time: vec![0.25, 0.25],
+            ..Default::default()
         };
         let (t, m) = simulate_plan(&p, &costs, &opts);
         // Exchanges and updates overlap backward compute: makespan is
@@ -285,6 +292,25 @@ mod tests {
         let (t2, _) = simulate_plan(&p, &costs, &opts);
         assert!((t1.total_for_kind("Sout") - 1.0).abs() < 1e-9);
         assert!((t2.total_for_kind("Sout") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_swap_factor_lengthens_swaps_per_block() {
+        let costs = toy_costs(2);
+        let mut p = Plan::new(2);
+        let f0 = p.push(OpKind::Forward, 0, vec![]);
+        let f1 = p.push(OpKind::Forward, 1, vec![f0]);
+        p.push(OpKind::SwapOut, 0, vec![f0]);
+        p.push(OpKind::SwapOut, 1, vec![f1]);
+        let (t1, _) = simulate_plan(&p, &costs, &LowerOptions::default());
+        // Block 1 parks in a 4x-slower tier; block 0 stays at baseline.
+        let opts = LowerOptions {
+            tier_swap_factor: vec![1.0, 4.0],
+            ..Default::default()
+        };
+        let (t2, _) = simulate_plan(&p, &costs, &opts);
+        assert!((t1.total_for_kind("Sout") - 2.0).abs() < 1e-9);
+        assert!((t2.total_for_kind("Sout") - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod zero;
 pub use costperf::{cost_perf_table, CostPerfRow};
 pub use megatron::{hybrid_iter_time, HybridConfig};
 pub use pipeline::{append_exchange_ops, karma_dp_iteration, DistOptions, DistResult};
-pub use zero::{zero_iter_time, ZeroConfig};
+pub use zero::{zero_effective_capacity, zero_iter_time, ZeroConfig};

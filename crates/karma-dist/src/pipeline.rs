@@ -192,6 +192,7 @@ pub fn karma_dp_iteration(
             swap_state: false, // state already folded into swap_bytes
             allreduce_time: ar_time,
             update_time: up_time,
+            ..Default::default()
         };
         let (trace, metrics) = simulate_plan(&plan, &costs, &lower);
         let compute_end = trace

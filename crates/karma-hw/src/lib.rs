@@ -19,7 +19,7 @@ pub mod node;
 pub use cluster::ClusterSpec;
 pub use gpu::GpuSpec;
 pub use link::LinkSpec;
-pub use node::{CpuSpec, NodeSpec};
+pub use node::{CpuSpec, MemoryTierSpec, NodeSpec};
 
 /// Bytes in one KiB.
 pub const KIB: u64 = 1024;

@@ -53,6 +53,53 @@ impl CpuSpec {
     }
 }
 
+/// One level of the far-memory hierarchy: where swapped payloads park,
+/// with its own capacity and bandwidth. A ZeRO-Infinity-style offload
+/// stack (Rajbhandari et al. 2021) orders tiers fastest-first — host
+/// DRAM, then NVMe — and "Beyond the Memory Wall" (Kwon & Rhu) argues
+/// the cost model must price each level explicitly rather than assume a
+/// single uniform pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTierSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Tier capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Sustained tier bandwidth in bytes/s (replaces the `TFM` term of
+    /// Eq. 4 when a swap routes through this tier).
+    pub bandwidth: f64,
+}
+
+impl MemoryTierSpec {
+    /// The host-DRAM tier of `cpu`: the classic KARMA far memory.
+    pub fn host_dram(cpu: &CpuSpec) -> Self {
+        MemoryTierSpec {
+            name: format!("{}-dram", cpu.name),
+            capacity_bytes: cpu.memory_bytes,
+            bandwidth: cpu.mem_bandwidth,
+        }
+    }
+
+    /// A node-local NVMe tier (ABCI compute nodes carry a 1.6 TB NVMe
+    /// SSD; ~3 GB/s sustained is typical for that generation).
+    pub fn nvme() -> Self {
+        MemoryTierSpec {
+            name: "nvme".to_owned(),
+            capacity_bytes: 1600 * GIB,
+            bandwidth: gb_per_s(3),
+        }
+    }
+
+    /// A toy tier for tests.
+    pub fn toy(capacity_bytes: u64, bandwidth: f64) -> Self {
+        MemoryTierSpec {
+            name: "toy-tier".to_owned(),
+            capacity_bytes,
+            bandwidth,
+        }
+    }
+}
+
 /// A compute node: one host plus `gpus_per_node` identical accelerators
 /// connected by `host_link` (PCIe) and `peer_link` (NVLink).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,6 +148,24 @@ impl NodeSpec {
             .min(self.gpu.mem_bandwidth)
             .min(self.host_link.bandwidth)
     }
+
+    /// Eq. 4 with `tier`'s bandwidth in the far-memory slot: the swap
+    /// throughput of a transfer that parks in `tier` instead of host
+    /// DRAM.
+    pub fn tier_swap_throughput(&self, tier: &MemoryTierSpec) -> f64 {
+        tier.bandwidth
+            .min(self.gpu.mem_bandwidth)
+            .min(self.host_link.bandwidth)
+    }
+
+    /// Slowdown of swapping through `tier` relative to the node's
+    /// baseline far memory (>= 1 for tiers slower than host DRAM). This
+    /// factor scales a plan's `Sout`/`Sin` durations in the simulator
+    /// (`karma-core::lower::LowerOptions::tier_swap_factor`) and picks
+    /// the executed `TierStack`'s per-transfer copy-pass count.
+    pub fn tier_swap_factor(&self, tier: &MemoryTierSpec) -> f64 {
+        self.swap_throughput() / self.tier_swap_throughput(tier)
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +195,21 @@ mod tests {
     fn sgd_update_time_counts_two_flops_per_param() {
         let c = CpuSpec::toy(100.0);
         assert!((c.update_time(50, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tier_swap_factor_prices_slower_tiers_above_one() {
+        let n = NodeSpec::abci();
+        let dram = MemoryTierSpec::host_dram(&n.cpu);
+        // Host DRAM is the baseline: no slowdown.
+        assert_eq!(n.tier_swap_factor(&dram), 1.0);
+        // NVMe is slower than the PCIe link, so it becomes the bound.
+        let nvme = MemoryTierSpec::nvme();
+        let f = n.tier_swap_factor(&nvme);
+        assert!(f > 1.0, "NVMe must be priced above DRAM, got {f}");
+        assert_eq!(n.tier_swap_throughput(&nvme), nvme.bandwidth);
+        // A tier faster than every other bound changes nothing.
+        let fast = MemoryTierSpec::toy(GIB, f64::INFINITY);
+        assert_eq!(n.tier_swap_factor(&fast), 1.0);
     }
 }

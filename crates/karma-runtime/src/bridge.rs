@@ -49,13 +49,16 @@
 //! assert_eq!(stats.swap_in_ops, p.count(OpKind::SwapIn));
 //! ```
 
-use karma_core::bridge::{lower_to_runtime, BoundaryPolicy, LoweredPolicy, RuntimeLowerError};
+use karma_core::bridge::{
+    assign_tiers, lower_to_runtime, BoundaryPolicy, LoweredPolicy, RuntimeLowerError, TierPolicy,
+};
 use karma_core::plan::{OpKind, Plan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::dp::ExchangeSchedule;
 use crate::exec::{BlockPolicy, ExecEvent, OocExecutor, ResidencySample};
+use crate::store::TierSpec;
 
 /// Why a plan could not be bridged onto the executor.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +93,9 @@ pub enum BridgeError {
         /// What was passed.
         got: usize,
     },
+    /// A tiered replay's routing vector is malformed: wrong length, a
+    /// tier index beyond the stack, or an empty stack.
+    TierRouting(String),
 }
 
 impl From<RuntimeLowerError> for BridgeError {
@@ -119,6 +125,7 @@ impl fmt::Display for BridgeError {
             BridgeError::GradBytesLength { expected, got } => {
                 write!(f, "need {expected} per-block gradient sizes, got {got}")
             }
+            BridgeError::TierRouting(msg) => write!(f, "bad tier routing: {msg}"),
         }
     }
 }
@@ -190,6 +197,62 @@ pub fn lower_plan(
 ) -> Result<OocExecutor, BridgeError> {
     let sched = lower_to_runtime(plan)?;
     build_executor(sched, plan, boundaries, budget, n_layers)
+}
+
+/// [`lower_plan`] with a far-memory tier stack: pack each swapped block's
+/// out-of-device interval into the fastest tier with room
+/// ([`karma_core::bridge::assign_tiers`]), then route the executor's
+/// transfers accordingly ([`OocExecutor::with_tiers`]). `key_bytes[k]`
+/// prices near-memory key `k` exactly as in [`expected_residency`] —
+/// interval packing and the residency replay see the same bytes, so a
+/// stack that lowers here cannot overflow a tier at run time. Stacks with
+/// no room for some block come back as
+/// [`RuntimeLowerError::TierCapacityExceeded`] wrapped in
+/// [`BridgeError::Lower`].
+pub fn lower_plan_tiered(
+    plan: &Plan,
+    boundaries: &[usize],
+    budget: usize,
+    n_layers: usize,
+    key_bytes: &[usize],
+    tiers: &[TierSpec],
+) -> Result<OocExecutor, BridgeError> {
+    if tiers.is_empty() {
+        return Err(BridgeError::Lower(RuntimeLowerError::TierStackEmpty));
+    }
+    let sched = lower_to_runtime(plan)?;
+    check_boundaries(plan, boundaries, n_layers)?;
+    if key_bytes.len() != n_layers + 1 {
+        return Err(BridgeError::KeyBytesLength {
+            expected: n_layers + 1,
+            got: key_bytes.len(),
+        });
+    }
+    let n = plan.n_blocks;
+    let interior_bytes: Vec<usize> = (0..n)
+        .map(|b| {
+            let s = boundaries[b];
+            let e = boundaries.get(b + 1).copied().unwrap_or(n_layers);
+            key_bytes[s + 1..e].iter().sum()
+        })
+        .collect();
+    let boundary_bytes: Vec<usize> = (0..n)
+        .map(|b| {
+            let e = boundaries.get(b + 1).copied().unwrap_or(n_layers);
+            key_bytes[e]
+        })
+        .collect();
+    let caps: Vec<usize> = tiers.iter().map(|t| t.capacity).collect();
+    let routed = assign_tiers(&sched, &caps, &interior_bytes, &boundary_bytes)?;
+    let tier_of: Vec<usize> = routed
+        .iter()
+        .map(|p| match p {
+            TierPolicy::Far(t) => *t,
+            TierPolicy::Device => 0,
+        })
+        .collect();
+    let exec = build_executor(sched, plan, boundaries, budget, n_layers)?;
+    Ok(exec.with_tiers(tiers.to_vec(), tier_of))
 }
 
 /// Turn an already-analysed schedule into the configured executor.
@@ -356,6 +419,10 @@ pub struct ResidencyReplay {
     /// transient full-block residency inside a recomputed block's forward
     /// (which the sampled trajectory never sees).
     pub peak_bytes: usize,
+    /// Per-tier far-memory high-water marks, fastest tier first — what
+    /// [`crate::OocStats::peak_tier_bytes`] will record. Single-pool
+    /// replays carry one element.
+    pub peak_tier_bytes: Vec<usize>,
 }
 
 /// Replay `plan`'s block-level ops with the executor's movement semantics
@@ -375,6 +442,46 @@ pub fn expected_residency(
     key_bytes: &[usize],
     n_layers: usize,
 ) -> Result<ResidencyReplay, BridgeError> {
+    expected_residency_tiered(
+        plan,
+        boundaries,
+        key_bytes,
+        n_layers,
+        &vec![0; plan.n_blocks],
+        1,
+    )
+}
+
+/// [`expected_residency`] over an `n_tiers`-level far-memory stack with
+/// block `b`'s transfers routed to tier `tier_of[b]` — the replay of a
+/// [`lower_plan_tiered`] executor (pass it [`OocExecutor::tier_of`]).
+/// Every sample's `far_bytes` carries the whole per-tier trajectory, and
+/// the replay's `peak_tier_bytes` predicts [`crate::OocStats`]'s
+/// sample-for-sample. [`expected_residency`] is this with a single
+/// unbounded tier.
+pub fn expected_residency_tiered(
+    plan: &Plan,
+    boundaries: &[usize],
+    key_bytes: &[usize],
+    n_layers: usize,
+    tier_of: &[usize],
+    n_tiers: usize,
+) -> Result<ResidencyReplay, BridgeError> {
+    if n_tiers == 0 {
+        return Err(BridgeError::TierRouting("empty tier stack".into()));
+    }
+    if tier_of.len() != plan.n_blocks {
+        return Err(BridgeError::TierRouting(format!(
+            "need one tier per block: {} blocks, {} routes",
+            plan.n_blocks,
+            tier_of.len()
+        )));
+    }
+    if let Some(t) = tier_of.iter().find(|&&t| t >= n_tiers) {
+        return Err(BridgeError::TierRouting(format!(
+            "block routed to missing tier {t} of a {n_tiers}-tier stack"
+        )));
+    }
     let sched = lower_to_runtime(plan)?;
     if key_bytes.len() != n_layers + 1 {
         return Err(BridgeError::KeyBytesLength {
@@ -407,6 +514,8 @@ pub fn expected_residency(
 
     let mut cur = key_bytes[0]; // the input batch
     let mut peak = cur;
+    let mut far = vec![0usize; n_tiers];
+    let mut peak_tier = vec![0usize; n_tiers];
     let mut logits_dropped = false;
     let mut samples = Vec::with_capacity(plan.ops.len());
     for op in &plan.ops {
@@ -429,6 +538,7 @@ pub fn expected_residency(
                     event: ExecEvent::Forward,
                     block: b,
                     near_bytes: cur,
+                    far_bytes: far.clone(),
                 });
                 // Deferred boundary tails drain right after this forward:
                 // blocks whose interior eviction ran at an earlier step
@@ -439,16 +549,19 @@ pub fn expected_residency(
                         continue; // rides this step's swap-out below
                     }
                     cur -= boundary_bytes(e);
+                    far[tier_of[e]] += boundary_bytes(e);
+                    peak_tier[tier_of[e]] = peak_tier[tier_of[e]].max(far[tier_of[e]]);
                     samples.push(ResidencySample {
                         event: ExecEvent::BoundaryOut,
                         block: e,
                         near_bytes: cur,
+                        far_bytes: far.clone(),
                     });
                 }
                 continue;
             }
             OpKind::SwapOut => {
-                cur -= interior(b);
+                let mut moved = interior(b);
                 // The boundary rides when the eviction is scheduled at or
                 // after the consumer's forward.
                 let step = sched
@@ -457,8 +570,11 @@ pub fn expected_residency(
                     .position(|l| l.contains(&b))
                     .expect("swap block has an eviction step");
                 if evicts_boundary(b) && sched.boundary_evict_after[step].contains(&b) {
-                    cur -= boundary_bytes(b);
+                    moved += boundary_bytes(b);
                 }
+                cur -= moved;
+                far[tier_of[b]] += moved;
+                peak_tier[tier_of[b]] = peak_tier[tier_of[b]].max(far[tier_of[b]]);
                 ExecEvent::SwapOut
             }
             OpKind::SwapIn | OpKind::Recompute | OpKind::Backward => {
@@ -473,10 +589,12 @@ pub fn expected_residency(
                         // An evicted boundary always returns riding the
                         // block's swap-in (the lowering pins the fetch at
                         // or before the consumer's backward).
-                        cur += interior(b);
+                        let mut moved = interior(b);
                         if evicts_boundary(b) {
-                            cur += boundary_bytes(b);
+                            moved += boundary_bytes(b);
                         }
+                        cur += moved;
+                        far[tier_of[b]] -= moved;
                         peak = peak.max(cur);
                         ExecEvent::SwapIn
                     }
@@ -501,11 +619,13 @@ pub fn expected_residency(
             event,
             block: b,
             near_bytes: cur,
+            far_bytes: far.clone(),
         });
     }
     Ok(ResidencyReplay {
         samples,
         peak_bytes: peak,
+        peak_tier_bytes: peak_tier,
     })
 }
 
@@ -559,6 +679,105 @@ mod tests {
         let (_, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
         assert_eq!(trace, replay.samples);
         assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+    }
+
+    #[test]
+    fn tiered_lowering_spills_and_replay_matches_execution() {
+        let (net, x, y) = setup();
+        let p = swap_plan();
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        // A zero-capacity fast tier can park nothing: the one swapped
+        // block must spill to the slow tier, and the executed per-tier
+        // trajectory must match the tiered replay sample for sample.
+        let tiers = vec![TierSpec::host(0), TierSpec::nvme(usize::MAX)];
+        let exec = lower_plan_tiered(
+            &p,
+            &[0, 3, 6],
+            usize::MAX / 2,
+            net.len(),
+            &key_bytes,
+            &tiers,
+        )
+        .unwrap();
+        assert_eq!(exec.tier_of()[0], 1, "block 0 must spill to the slow tier");
+        let replay =
+            expected_residency_tiered(&p, &[0, 3, 6], &key_bytes, net.len(), exec.tier_of(), 2)
+                .unwrap();
+        let (_, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(trace, replay.samples);
+        assert_eq!(stats.peak_tier_bytes, replay.peak_tier_bytes);
+        assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+        assert_eq!(replay.peak_tier_bytes[0], 0, "fast tier stayed empty");
+        assert!(replay.peak_tier_bytes[1] > 0, "slow tier absorbed the swap");
+    }
+
+    #[test]
+    fn unbounded_single_tier_lowering_matches_the_plain_path() {
+        let (net, x, y) = setup();
+        let p = swap_plan();
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        let plain = lower_plan(&p, &[0, 3, 6], usize::MAX / 2, net.len()).unwrap();
+        let tiered = lower_plan_tiered(
+            &p,
+            &[0, 3, 6],
+            usize::MAX / 2,
+            net.len(),
+            &key_bytes,
+            &[TierSpec::unbounded()],
+        )
+        .unwrap();
+        let (loss_p, _, s_p, trace_p) = plain.grad_step_traced(&net, &x, &y, |_, _| {});
+        let (loss_t, _, s_t, trace_t) = tiered.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(loss_p, loss_t);
+        assert_eq!(trace_p, trace_t);
+        assert_eq!(s_p, s_t);
+    }
+
+    #[test]
+    fn infeasible_tier_stacks_are_typed_bridge_errors() {
+        let (net, x, _) = setup();
+        let p = swap_plan();
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        // No tier can hold block 0's parked bytes.
+        assert!(matches!(
+            lower_plan_tiered(
+                &p,
+                &[0, 3, 6],
+                usize::MAX / 2,
+                net.len(),
+                &key_bytes,
+                &[TierSpec::host(0)],
+            )
+            .unwrap_err(),
+            BridgeError::Lower(RuntimeLowerError::TierCapacityExceeded { block: 0, .. })
+        ));
+        // An empty stack cannot absorb a swapping plan at all.
+        assert_eq!(
+            lower_plan_tiered(&p, &[0, 3, 6], usize::MAX / 2, net.len(), &key_bytes, &[])
+                .unwrap_err(),
+            BridgeError::Lower(RuntimeLowerError::TierStackEmpty)
+        );
+    }
+
+    #[test]
+    fn tier_routing_validation_is_typed() {
+        let p = swap_plan();
+        let key_bytes = vec![64usize; 9];
+        // Wrong routing length.
+        assert!(matches!(
+            expected_residency_tiered(&p, &[0, 3, 6], &key_bytes, 8, &[0], 1).unwrap_err(),
+            BridgeError::TierRouting(_)
+        ));
+        // A route beyond the stack.
+        assert!(matches!(
+            expected_residency_tiered(&p, &[0, 3, 6], &key_bytes, 8, &[2, 0, 0], 2).unwrap_err(),
+            BridgeError::TierRouting(_)
+        ));
+        // An empty stack.
+        assert!(matches!(
+            expected_residency_tiered(&p, &[0, 3, 6], &key_bytes, 8, &[0, 0, 0], 0).unwrap_err(),
+            BridgeError::TierRouting(_)
+        ));
     }
 
     #[test]

@@ -110,6 +110,11 @@ pub struct DataParallelReport {
     /// residency replay): distributed lowering inherits the boundary
     /// eviction contract unchanged.
     pub peak_near_bytes: usize,
+    /// Highest per-worker residency in each far-memory tier across
+    /// workers and steps (elementwise max, fastest tier first) — the
+    /// distributed analogue of [`crate::OocStats::peak_tier_bytes`], and
+    /// what each level of the offload stack must provision per replica.
+    pub peak_tier_bytes: Vec<usize>,
     /// Gradient-exchange messages (one per group per worker per step).
     pub exchange_messages: usize,
     /// Total gradient payload shipped worker→aggregator, across workers
@@ -215,6 +220,7 @@ pub fn train(
     let mut swapped = 0usize;
     let mut recomputed = 0usize;
     let mut peak_near = 0usize;
+    let mut peak_tier = vec![0usize; exec.tiers().len()];
     let mut messages = 0usize;
     let mut shipped = 0usize;
     let mut group_bytes = vec![0usize; n_groups];
@@ -323,6 +329,9 @@ pub fn train(
             swapped += stats.swapped_in_bytes + stats.swapped_out_bytes;
             recomputed += stats.recomputed_layers;
             peak_near = peak_near.max(stats.peak_near_bytes);
+            for (p, s) in peak_tier.iter_mut().zip(&stats.peak_tier_bytes) {
+                *p = (*p).max(*s);
+            }
         }
         losses.push(step_loss / workers as f32);
     }
@@ -341,6 +350,7 @@ pub fn train(
         swapped_bytes: swapped,
         recomputed_layers: recomputed,
         peak_near_bytes: peak_near,
+        peak_tier_bytes: peak_tier,
         exchange_messages: messages,
         exchanged_bytes: shipped,
         group_bytes,

@@ -4,7 +4,7 @@ use karma_tensor::layers::ParamGrads;
 use karma_tensor::{Gradients, Sequential, Tensor};
 use serde::{Deserialize, Serialize};
 
-use crate::store::{FarMemory, NearMemory};
+use crate::store::{NearMemory, TierSpec, TierStack};
 
 /// Per-block activation policy (the executable analogue of the planner's
 /// swap / recompute / resident decisions).
@@ -21,7 +21,7 @@ pub enum BlockPolicy {
 }
 
 /// Execution accounting for one step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct OocStats {
     /// Bytes moved device→host.
     pub swapped_out_bytes: usize,
@@ -49,8 +49,14 @@ pub struct OocStats {
     /// separate [`ExecEvent::BoundaryIn`] when scheduled apart).
     pub boundary_in_ops: usize,
     /// Far-memory (host-side swap pool) high-water mark: what an
-    /// offload target must provision to absorb the evictions.
+    /// offload target must provision to absorb the evictions. With a
+    /// tier stack this is the peak of the *total* parked bytes.
     pub peak_far_bytes: usize,
+    /// Per-tier far-memory high-water marks, fastest tier first — what
+    /// each level of a ZeRO-Infinity-style offload stack must provision.
+    /// A single-pool run reports one element equal to
+    /// [`OocStats::peak_far_bytes`].
+    pub peak_tier_bytes: Vec<usize>,
 }
 
 /// Block-level event kinds the executor emits while tracing residency —
@@ -79,8 +85,9 @@ pub enum ExecEvent {
     BoundaryIn,
 }
 
-/// Near-memory residency sampled immediately after a block-level event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Near- and far-memory residency sampled immediately after a
+/// block-level event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResidencySample {
     /// What just happened.
     pub event: ExecEvent,
@@ -88,6 +95,10 @@ pub struct ResidencySample {
     pub block: usize,
     /// Bytes resident in near memory right after the event.
     pub near_bytes: usize,
+    /// Bytes parked in each far-memory tier right after the event,
+    /// fastest tier first. Single-pool runs carry one element, so every
+    /// sample-for-sample trace comparison pins the far trajectory too.
+    pub far_bytes: Vec<usize>,
 }
 
 /// Runs real training steps with per-block out-of-core policies.
@@ -126,6 +137,12 @@ pub struct OocExecutor {
     /// before backward step `j` (`j >= block + 1`: back before the
     /// consumer's backward).
     boundary_in_before: Vec<Vec<usize>>,
+    /// The far-memory tier stack, fastest first (default: one unbounded
+    /// host-speed tier — the classic single pool).
+    tiers: Vec<TierSpec>,
+    /// `tier_of[b]` — the tier block `b`'s swap traffic (interiors and,
+    /// when evicted, its boundary) routes through.
+    tier_of: Vec<usize>,
 }
 
 impl OocExecutor {
@@ -170,7 +187,25 @@ impl OocExecutor {
             boundary_evict: vec![false; nb],
             boundary_out_after: vec![Vec::new(); nb],
             boundary_in_before: vec![Vec::new(); nb],
+            tiers: vec![TierSpec::unbounded()],
+            tier_of: vec![0; nb],
         }
+    }
+
+    /// Replace the far-memory tier stack and per-block routing:
+    /// `tiers` is the stack fastest-first, `tier_of[b]` the tier block
+    /// `b`'s swap traffic parks in. Tier indices must be in range; the
+    /// assignment is only consulted for blocks that actually swap, so
+    /// resident/recompute blocks may carry any valid index.
+    pub fn with_tiers(mut self, tiers: Vec<TierSpec>, tier_of: Vec<usize>) -> Self {
+        assert!(!tiers.is_empty(), "tier stack needs at least one tier");
+        assert_eq!(tier_of.len(), self.n_blocks(), "one tier per block");
+        for (b, &t) in tier_of.iter().enumerate() {
+            assert!(t < tiers.len(), "block {b} routed to missing tier {t}");
+        }
+        self.tiers = tiers;
+        self.tier_of = tier_of;
+        self
     }
 
     /// Replace the transfer schedule: `evict_after[j]` lists the blocks to
@@ -335,6 +370,16 @@ impl OocExecutor {
         &self.boundary_in_before
     }
 
+    /// The far-memory tier stack, fastest first.
+    pub fn tiers(&self) -> &[TierSpec] {
+        &self.tiers
+    }
+
+    /// Per-block tier routing.
+    pub fn tier_of(&self) -> &[usize] {
+        &self.tier_of
+    }
+
     fn block_range(&self, b: usize) -> (usize, usize) {
         let start = self.boundaries[b];
         let end = self.boundaries.get(b + 1).copied().unwrap_or(self.n_layers);
@@ -396,14 +441,15 @@ impl OocExecutor {
     ) -> (f32, Gradients, OocStats) {
         assert_eq!(net.len(), self.n_layers, "executor/net layer mismatch");
         let mut near = NearMemory::new(self.budget);
-        let mut far = FarMemory::new();
+        let mut far = TierStack::new(&self.tiers);
         let mut stats = OocStats::default();
-        let mut sample = |near: &NearMemory, event: ExecEvent, block: usize| {
+        let mut sample = |near: &NearMemory, far: &TierStack, event: ExecEvent, block: usize| {
             if let Some(t) = trace.as_deref_mut() {
                 t.push(ResidencySample {
                     event,
                     block,
                     near_bytes: near.used(),
+                    far_bytes: far.tier_resident(),
                 });
             }
         };
@@ -421,7 +467,7 @@ impl OocExecutor {
                     drop(near.take(i));
                 }
             }
-            sample(&near, ExecEvent::Forward, b);
+            sample(&near, &far, ExecEvent::Forward, b);
             // Deferred boundary tails first: their swap-out launched at an
             // earlier step, so the transfer drains before this step's.
             for &e in &self.boundary_out_after[b] {
@@ -431,25 +477,25 @@ impl OocExecutor {
                 let (_, ee) = self.block_range(e);
                 let t = near.take(ee);
                 stats.swapped_out_bytes += t.bytes();
-                far.swap_out(ee, t);
+                far.swap_out(self.tier_of[e], ee, t);
                 stats.boundary_out_ops += 1;
-                sample(&near, ExecEvent::BoundaryOut, e);
+                sample(&near, &far, ExecEvent::BoundaryOut, e);
             }
             for &e in &self.evict_after[b] {
                 let (es, ee) = self.block_range(e);
                 for i in es + 1..ee {
                     let t = near.take(i);
                     stats.swapped_out_bytes += t.bytes();
-                    far.swap_out(i, t);
+                    far.swap_out(self.tier_of[e], i, t);
                 }
                 if self.boundary_out_after[b].contains(&e) {
                     let t = near.take(ee);
                     stats.swapped_out_bytes += t.bytes();
-                    far.swap_out(ee, t);
+                    far.swap_out(self.tier_of[e], ee, t);
                     stats.boundary_out_ops += 1;
                 }
                 stats.swap_out_ops += 1;
-                sample(&near, ExecEvent::SwapOut, e);
+                sample(&near, &far, ExecEvent::SwapOut, e);
             }
         }
 
@@ -469,27 +515,27 @@ impl OocExecutor {
                     continue; // rides this step's swap-in below
                 }
                 let (_, pe) = self.block_range(p);
-                let t = far.swap_in(pe);
+                let t = far.swap_in(self.tier_of[p], pe);
                 stats.swapped_in_bytes += t.bytes();
                 near.put(pe, t);
                 stats.boundary_in_ops += 1;
-                sample(&near, ExecEvent::BoundaryIn, p);
+                sample(&near, &far, ExecEvent::BoundaryIn, p);
             }
             for &p in &self.prefetch_before[b] {
                 let (ps, pe) = self.block_range(p);
                 for i in ps + 1..pe {
-                    let t = far.swap_in(i);
+                    let t = far.swap_in(self.tier_of[p], i);
                     stats.swapped_in_bytes += t.bytes();
                     near.put(i, t);
                 }
                 if self.boundary_in_before[b].contains(&p) {
-                    let t = far.swap_in(pe);
+                    let t = far.swap_in(self.tier_of[p], pe);
                     stats.swapped_in_bytes += t.bytes();
                     near.put(pe, t);
                     stats.boundary_in_ops += 1;
                 }
                 stats.swap_in_ops += 1;
-                sample(&near, ExecEvent::SwapIn, p);
+                sample(&near, &far, ExecEvent::SwapIn, p);
             }
             let (start, end) = self.block_range(b);
             if self.policy[b] == BlockPolicy::Recompute {
@@ -500,7 +546,7 @@ impl OocExecutor {
                     stats.recomputed_layers += 1;
                 }
                 stats.recompute_ops += 1;
-                sample(&near, ExecEvent::Recompute, b);
+                sample(&near, &far, ExecEvent::Recompute, b);
             }
             for i in (start..end).rev() {
                 let (dx, g) = net.layers[i].backward(near.get(i), &dy);
@@ -509,11 +555,12 @@ impl OocExecutor {
                 drop(near.take(i));
             }
             on_block(b, &mut per_layer[start..end]);
-            sample(&near, ExecEvent::Backward, b);
+            sample(&near, &far, ExecEvent::Backward, b);
         }
 
         stats.peak_near_bytes = near.peak();
         stats.peak_far_bytes = far.peak_resident_bytes();
+        stats.peak_tier_bytes = far.peak_tier_bytes();
         (loss, Gradients { per_layer }, stats)
     }
 
@@ -1051,6 +1098,84 @@ mod tests {
             vec![vec![0], vec![], vec![]], // step 0: F(1) has not read it yet
             vec![vec![], vec![0], vec![]],
         );
+    }
+
+    #[test]
+    fn tiered_execution_is_bitwise_identical_to_single_pool() {
+        // Same schedule, swap traffic split across a host and an NVMe
+        // tier: transfers are priced differently but the arithmetic (and
+        // the near-memory trajectory) must not move.
+        let (mut net, x, y) = setup();
+        let (mut pooled_net, _, _) = setup();
+        let pooled = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        );
+        let tiered = pooled.clone().with_tiers(
+            vec![TierSpec::host(usize::MAX), TierSpec::nvme(usize::MAX)],
+            vec![0, 1, 0],
+        );
+        let (loss_p, _, s_p, trace_p) = pooled.grad_step_traced(&net, &x, &y, |_, _| {});
+        let (loss_t, _, s_t, trace_t) = tiered.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(loss_p, loss_t, "tier routing moved arithmetic");
+        assert_eq!(s_p.peak_near_bytes, s_t.peak_near_bytes);
+        assert_eq!(s_p.peak_far_bytes, s_t.peak_far_bytes);
+        assert_eq!(s_p.swapped_out_bytes, s_t.swapped_out_bytes);
+        // Near-memory trajectories match sample for sample; only the
+        // per-tier split differs.
+        let near_p: Vec<usize> = trace_p.iter().map(|s| s.near_bytes).collect();
+        let near_t: Vec<usize> = trace_t.iter().map(|s| s.near_bytes).collect();
+        assert_eq!(near_p, near_t);
+        assert!(trace_p.iter().all(|s| s.far_bytes.len() == 1));
+        assert!(trace_t.iter().all(|s| s.far_bytes.len() == 2));
+        // Per-tier peaks: both tiers saw traffic, and they recompose the
+        // single pool's totals.
+        assert_eq!(s_t.peak_tier_bytes.len(), 2);
+        assert!(s_t.peak_tier_bytes.iter().all(|&p| p > 0));
+        assert_eq!(s_p.peak_tier_bytes, vec![s_p.peak_far_bytes]);
+        for _ in 0..3 {
+            pooled.train_step(&mut pooled_net, &x, &y, 0.05);
+            tiered.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(net.snapshot(), pooled_net.snapshot(), "bitwise parity");
+        assert_eq!(net.snapshot(), reference(3));
+    }
+
+    #[test]
+    fn tier_capacity_is_enforced_during_execution() {
+        // A tier too small for the routed block's interiors OOMs exactly
+        // like the near-memory allocator would.
+        let (net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_tiers(vec![TierSpec::host(1)], vec![0, 0, 0]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.grad_step(&net, &x, &y, |_, _| {});
+        }));
+        assert!(result.is_err(), "undersized tier must OOM");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing tier")]
+    fn tier_routing_must_stay_in_range() {
+        let (net, _, _) = setup();
+        OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_tiers(vec![TierSpec::unbounded()], vec![0, 1, 0]);
     }
 
     #[test]

@@ -38,10 +38,11 @@ pub mod fault;
 pub mod store;
 
 pub use bridge::{
-    block_grad_bytes, expected_exchange, expected_residency, graph_boundaries_to_net,
-    lower_dist_plan, lower_plan, BridgeError, ExchangeReplay,
+    block_grad_bytes, expected_exchange, expected_residency, expected_residency_tiered,
+    graph_boundaries_to_net, lower_dist_plan, lower_plan, lower_plan_tiered, BridgeError,
+    ExchangeReplay, ResidencyReplay,
 };
 pub use dp::{train, train_data_parallel, train_reference, DataParallelReport, ExchangeSchedule};
 pub use exec::{BlockPolicy, ExecEvent, OocExecutor, OocStats, ResidencySample};
 pub use fault::{train_with_failures, Failure, FaultReport};
-pub use store::{FarMemory, NearMemory};
+pub use store::{FarMemory, NearMemory, TierSpec, TierStack};

@@ -1,7 +1,215 @@
-//! Near (budgeted) and far (unbounded) activation stores.
+//! Near (budgeted) and far (unbounded or tiered) activation stores.
 
 use karma_tensor::Tensor;
 use std::collections::HashMap;
+
+/// One level of the far-memory hierarchy: a byte capacity plus a transfer
+/// price. `copy_passes` is the number of full memory passes a transfer
+/// through this tier costs relative to host DRAM (host = 1); the
+/// `TierStack` really performs that many passes, so slower tiers cost real
+/// wall time, not just modeled time. This mirrors the ZeRO-Infinity tier
+/// stack (device ↔ host ↔ NVMe), where each level trades capacity for
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Byte capacity of this tier (`usize::MAX` = unbounded).
+    pub capacity: usize,
+    /// Memory passes per transfer through this tier (>= 1; host = 1).
+    pub copy_passes: usize,
+}
+
+impl TierSpec {
+    /// An unbounded host-speed tier — the single-pool `FarMemory`
+    /// behaviour expressed as a one-tier stack.
+    pub fn unbounded() -> Self {
+        TierSpec {
+            capacity: usize::MAX,
+            copy_passes: 1,
+        }
+    }
+
+    /// A host-DRAM tier with `capacity` bytes (1 pass per transfer).
+    pub fn host(capacity: usize) -> Self {
+        TierSpec {
+            capacity,
+            copy_passes: 1,
+        }
+    }
+
+    /// A simulated NVMe tier with `capacity` bytes. Four passes per
+    /// transfer approximates the DRAM-vs-NVMe bandwidth gap at the scale
+    /// of these micro-benchmarks.
+    pub fn nvme(capacity: usize) -> Self {
+        TierSpec {
+            capacity,
+            copy_passes: 4,
+        }
+    }
+}
+
+/// Per-tier state: a `FarMemory`-shaped ledger plus the tier's spec.
+#[derive(Debug)]
+struct TierState {
+    spec: TierSpec,
+    slots: HashMap<usize, Tensor>,
+    bytes_in: usize,
+    bytes_out: usize,
+    transfers: usize,
+    resident: usize,
+    peak_resident: usize,
+}
+
+impl TierState {
+    fn new(spec: TierSpec) -> Self {
+        TierState {
+            spec,
+            slots: HashMap::new(),
+            bytes_in: 0,
+            bytes_out: 0,
+            transfers: 0,
+            resident: 0,
+            peak_resident: 0,
+        }
+    }
+}
+
+/// Run `passes` full copy passes over `t`. The copies are real (and
+/// `black_box`ed so the optimizer cannot elide them): this is where a slow
+/// tier's bandwidth price becomes measured wall time. Cloning is bitwise,
+/// so pricing never perturbs determinism.
+fn priced_copy(t: Tensor, passes: usize) -> Tensor {
+    let mut cur = t;
+    for _ in 0..passes {
+        cur = std::hint::black_box(cur.clone());
+    }
+    cur
+}
+
+/// An ordered stack of far-memory tiers (e.g. host DRAM, then simulated
+/// NVMe), each with its own capacity, transfer price and
+/// `FarMemory`-style accounting. The whole-stack `resident_bytes` /
+/// `peak_resident_bytes` counters keep `FarMemory`'s semantics (peak of
+/// the *total* parked bytes), so a one-tier unbounded stack is a drop-in
+/// replacement for the single pool.
+#[derive(Debug)]
+pub struct TierStack {
+    tiers: Vec<TierState>,
+    resident: usize,
+    peak_resident: usize,
+}
+
+impl TierStack {
+    /// A stack over `specs`, ordered fastest-first. Panics if `specs` is
+    /// empty or any tier prices a transfer at zero passes.
+    pub fn new(specs: &[TierSpec]) -> Self {
+        assert!(!specs.is_empty(), "tier stack needs at least one tier");
+        for (i, s) in specs.iter().enumerate() {
+            assert!(
+                s.copy_passes >= 1,
+                "tier {i} prices a transfer at zero passes"
+            );
+        }
+        TierStack {
+            tiers: specs.iter().map(|s| TierState::new(*s)).collect(),
+            resident: 0,
+            peak_resident: 0,
+        }
+    }
+
+    /// Number of tiers in the stack.
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Swap a tensor out of the device into tier `tier`. Panics if the
+    /// slot is occupied or the tier's capacity would be exceeded — like
+    /// `NearMemory`, the caller (the lowered schedule) must have proven
+    /// the transfer fits; capacity-infeasible plans are rejected with
+    /// typed errors at lowering time, never here.
+    pub fn swap_out(&mut self, tier: usize, key: usize, t: Tensor) {
+        let ts = &mut self.tiers[tier];
+        assert!(
+            !ts.slots.contains_key(&key),
+            "far-memory tier {tier} slot {key} already occupied"
+        );
+        let bytes = t.bytes();
+        assert!(
+            ts.resident + bytes <= ts.spec.capacity,
+            "far-memory tier {tier} OOM: need {bytes} B with {} B resident of {} B capacity",
+            ts.resident,
+            ts.spec.capacity
+        );
+        let t = priced_copy(t, ts.spec.copy_passes);
+        ts.bytes_out += bytes;
+        ts.transfers += 1;
+        ts.resident += bytes;
+        ts.peak_resident = ts.peak_resident.max(ts.resident);
+        ts.slots.insert(key, t);
+        self.resident += bytes;
+        self.peak_resident = self.peak_resident.max(self.resident);
+    }
+
+    /// Swap a tensor back in from tier `tier` (removes it from the tier).
+    pub fn swap_in(&mut self, tier: usize, key: usize) -> Tensor {
+        let ts = &mut self.tiers[tier];
+        let t = ts
+            .slots
+            .remove(&key)
+            .unwrap_or_else(|| panic!("far-memory tier {tier} slot {key} is empty"));
+        let bytes = t.bytes();
+        ts.bytes_in += bytes;
+        ts.transfers += 1;
+        ts.resident -= bytes;
+        self.resident -= bytes;
+        priced_copy(t, ts.spec.copy_passes)
+    }
+
+    /// Is `key` present in tier `tier`?
+    pub fn contains(&self, tier: usize, key: usize) -> bool {
+        self.tiers[tier].slots.contains_key(&key)
+    }
+
+    /// Bytes currently parked across all tiers.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// High-water mark of the total parked bytes (matches `FarMemory`'s
+    /// `peak_resident_bytes` for a one-tier stack).
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Bytes currently parked in tier `tier`.
+    pub fn tier_resident_bytes(&self, tier: usize) -> usize {
+        self.tiers[tier].resident
+    }
+
+    /// Per-tier resident bytes, fastest tier first.
+    pub fn tier_resident(&self) -> Vec<usize> {
+        self.tiers.iter().map(|t| t.resident).collect()
+    }
+
+    /// Per-tier high-water marks, fastest tier first.
+    pub fn peak_tier_bytes(&self) -> Vec<usize> {
+        self.tiers.iter().map(|t| t.peak_resident).collect()
+    }
+
+    /// Total bytes moved tiers→device so far.
+    pub fn bytes_swapped_in(&self) -> usize {
+        self.tiers.iter().map(|t| t.bytes_in).sum()
+    }
+
+    /// Total bytes moved device→tiers so far.
+    pub fn bytes_swapped_out(&self) -> usize {
+        self.tiers.iter().map(|t| t.bytes_out).sum()
+    }
+
+    /// Number of individual transfers across all tiers.
+    pub fn transfers(&self) -> usize {
+        self.tiers.iter().map(|t| t.transfers).sum()
+    }
+}
 
 /// Device-side store with a hard byte budget. Inserting beyond the budget
 /// panics — the executor must have made room first, exactly like a real
@@ -231,5 +439,146 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn far_memory_swap_in_of_missing_key_panics() {
         FarMemory::new().swap_in(9);
+    }
+
+    #[test]
+    fn far_memory_zero_byte_tensors_round_trip_without_moving_bytes() {
+        let mut far = FarMemory::new();
+        far.swap_out(0, t(0));
+        assert!(far.contains(0));
+        assert_eq!(far.resident_bytes(), 0);
+        assert_eq!(far.peak_resident_bytes(), 0);
+        let back = far.swap_in(0);
+        assert_eq!(back.bytes(), 0);
+        assert_eq!(
+            far.transfers(),
+            2,
+            "zero-byte moves still count as transfers"
+        );
+        assert_eq!(far.bytes_swapped_out(), 0);
+    }
+
+    #[test]
+    fn far_memory_reswap_of_just_swapped_key_reuses_the_slot() {
+        let mut far = FarMemory::new();
+        far.swap_out(5, t(40));
+        let back = far.swap_in(5);
+        // Swapping the same key right back out must find the slot free.
+        far.swap_out(5, back);
+        assert_eq!(far.resident_bytes(), 40);
+        assert_eq!(
+            far.peak_resident_bytes(),
+            40,
+            "re-swap does not double-count"
+        );
+        assert_eq!(far.transfers(), 3);
+        assert_eq!(far.bytes_swapped_out(), 80);
+        assert_eq!(far.bytes_swapped_in(), 40);
+    }
+
+    #[test]
+    fn far_memory_peak_tracks_interleaved_boundary_and_block_transfers() {
+        // A block's interiors (keys 1,2) and its boundary (key 3) leave at
+        // different times and return in the opposite order, the way the
+        // executor interleaves SwapOut/BoundaryOut and SwapIn/BoundaryIn.
+        let mut far = FarMemory::new();
+        far.swap_out(1, t(40)); // interior
+        far.swap_out(2, t(40)); // interior
+        assert_eq!(far.peak_resident_bytes(), 80);
+        far.swap_out(3, t(20)); // boundary departs later
+        assert_eq!(far.peak_resident_bytes(), 100, "peak includes the boundary");
+        far.swap_in(3); // boundary returns first
+        far.swap_out(4, t(32)); // next block departs while interiors parked
+        assert_eq!(far.resident_bytes(), 112);
+        assert_eq!(far.peak_resident_bytes(), 112, "peak advances past the dip");
+        far.swap_in(1);
+        far.swap_in(2);
+        far.swap_in(4);
+        assert_eq!(far.resident_bytes(), 0);
+        assert_eq!(far.peak_resident_bytes(), 112, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn tier_stack_single_unbounded_tier_matches_far_memory() {
+        let mut far = FarMemory::new();
+        let mut stack = TierStack::new(&[TierSpec::unbounded()]);
+        for (key, bytes) in [(0, 40), (1, 60), (2, 20)] {
+            far.swap_out(key, t(bytes));
+            stack.swap_out(0, key, t(bytes));
+        }
+        far.swap_in(1);
+        stack.swap_in(0, 1);
+        assert_eq!(stack.resident_bytes(), far.resident_bytes());
+        assert_eq!(stack.peak_resident_bytes(), far.peak_resident_bytes());
+        assert_eq!(stack.bytes_swapped_in(), far.bytes_swapped_in());
+        assert_eq!(stack.bytes_swapped_out(), far.bytes_swapped_out());
+        assert_eq!(stack.transfers(), far.transfers());
+        assert_eq!(stack.peak_tier_bytes(), vec![far.peak_resident_bytes()]);
+    }
+
+    #[test]
+    fn tier_stack_tracks_per_tier_and_whole_stack_peaks() {
+        let mut stack = TierStack::new(&[TierSpec::host(100), TierSpec::nvme(200)]);
+        stack.swap_out(0, 1, t(40));
+        stack.swap_out(1, 2, t(60));
+        stack.swap_out(0, 3, t(20));
+        assert_eq!(stack.tier_resident(), vec![60, 60]);
+        assert_eq!(stack.resident_bytes(), 120);
+        stack.swap_in(0, 1);
+        stack.swap_out(1, 4, t(100));
+        // Tier peaks are per-tier high-water marks; the stack peak is the
+        // high-water mark of the *sum*, which the per-tier peaks need not
+        // add up to (they peaked at different times).
+        assert_eq!(stack.peak_tier_bytes(), vec![60, 160]);
+        assert_eq!(stack.peak_resident_bytes(), 180);
+        assert_eq!(stack.tier_resident_bytes(0), 20);
+        assert_eq!(stack.tier_resident_bytes(1), 160);
+        assert_eq!(stack.transfers(), 5);
+    }
+
+    #[test]
+    fn tier_stack_zero_byte_tensor_and_reswap_edge_cases() {
+        let mut stack = TierStack::new(&[TierSpec::host(64)]);
+        stack.swap_out(0, 0, t(0));
+        assert!(stack.contains(0, 0));
+        assert_eq!(stack.resident_bytes(), 0);
+        let z = stack.swap_in(0, 0);
+        assert_eq!(z.bytes(), 0);
+        // Re-swap of the just-swapped key into a bounded tier must see the
+        // capacity it released.
+        stack.swap_out(0, 7, t(64));
+        let back = stack.swap_in(0, 7);
+        stack.swap_out(0, 7, back);
+        assert_eq!(stack.tier_resident_bytes(0), 64);
+        assert_eq!(stack.peak_tier_bytes(), vec![64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier 1 OOM")]
+    fn tier_stack_enforces_per_tier_capacity() {
+        let mut stack = TierStack::new(&[TierSpec::host(100), TierSpec::nvme(50)]);
+        stack.swap_out(1, 0, t(40));
+        stack.swap_out(1, 1, t(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn tier_stack_rejects_double_swap_out_within_a_tier() {
+        let mut stack = TierStack::new(&[TierSpec::unbounded()]);
+        stack.swap_out(0, 0, t(4));
+        stack.swap_out(0, 0, t(4));
+    }
+
+    #[test]
+    fn tier_stack_priced_copies_preserve_bits() {
+        let src = Tensor::from_vec(&[64], (0..64).map(|i| (i as f32).sin()).collect());
+        let mut cheap = TierStack::new(&[TierSpec::host(usize::MAX)]);
+        let mut dear = TierStack::new(&[TierSpec::nvme(usize::MAX)]);
+        cheap.swap_out(0, 0, src.clone());
+        dear.swap_out(0, 0, src.clone());
+        let a = cheap.swap_in(0, 0);
+        let b = dear.swap_in(0, 0);
+        assert_eq!(a.data, b.data, "transfer pricing must be bitwise-neutral");
+        assert_eq!(a.data, src.data);
     }
 }

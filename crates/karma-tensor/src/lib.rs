@@ -26,6 +26,6 @@ pub mod tensor;
 
 pub use data::SyntheticDataset;
 pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU};
-pub use net::{conv_stack, small_cnn, small_resnet_style, Gradients, Sequential};
+pub use net::{conv_stack, mlp_stack, small_cnn, small_resnet_style, Gradients, Sequential};
 pub use norm::{BatchNorm2d, GlobalAvgPool};
 pub use tensor::Tensor;

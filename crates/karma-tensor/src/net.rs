@@ -184,6 +184,30 @@ pub fn conv_stack(pairs: usize, classes: usize, seed: u64) -> Sequential {
     Sequential::new(layers)
 }
 
+/// A parameter-heavy MLP: flatten, then `hidden + 2` dense layers of
+/// `width` units with ReLU between them. Dense weights dominate the
+/// footprint (each hidden layer carries `width²` parameters against a
+/// `batch × width` activation), which is the regime where ZeRO-style
+/// optimizer-state partitioning frees real capacity — the executed
+/// Fig. 8 comparison plans over this workload.
+pub fn mlp_stack(hidden: usize, width: usize, classes: usize, seed: u64) -> Sequential {
+    use crate::layers::{Dense, Flatten, ReLU};
+    let mut layers: Vec<Box<dyn crate::layers::Layer>> = Vec::with_capacity(2 * hidden + 4);
+    layers.push(Box::new(Flatten));
+    layers.push(Box::new(Dense::new(16 * 16, width, seed)));
+    layers.push(Box::new(ReLU));
+    for i in 0..hidden {
+        layers.push(Box::new(Dense::new(width, width, seed + 1 + i as u64)));
+        layers.push(Box::new(ReLU));
+    }
+    layers.push(Box::new(Dense::new(
+        width,
+        classes,
+        seed + 1 + hidden as u64,
+    )));
+    Sequential::new(layers)
+}
+
 /// A deeper normalized CNN (conv-BN-ReLU blocks + global average pooling)
 /// exercising every real layer kind — the zoo's ResNet idiom at test scale.
 pub fn small_resnet_style(classes: usize, seed: u64) -> Sequential {

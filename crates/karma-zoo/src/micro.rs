@@ -28,6 +28,23 @@ pub fn conv_stack_graph(pairs: usize, classes: usize) -> ModelGraph {
     b.build()
 }
 
+/// Mirror of `karma_tensor::mlp_stack(hidden, width, classes, _)`:
+/// flatten over a 1×16×16 input, then `hidden + 2` FC layers of `width`
+/// units with ReLU between them — the parameter-dominated workload the
+/// executed ZeRO comparison plans over.
+pub fn mlp_stack_graph(hidden: usize, width: usize, classes: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new("mlp-stack", Shape::chw(1, 16, 16));
+    b.flatten();
+    b.fc(width);
+    b.relu();
+    for _ in 0..hidden {
+        b.fc(width);
+        b.relu();
+    }
+    b.fc(classes);
+    b.build()
+}
+
 /// Mirror of `karma_tensor::small_resnet_style(classes, _)`: conv-BN-ReLU
 /// blocks with stride-2 downsampling, global average pooling, flatten, FC.
 pub fn resnet_style_graph(classes: usize) -> ModelGraph {
@@ -55,6 +72,14 @@ mod tests {
     fn conv_stack_graph_has_expected_shape() {
         let g = conv_stack_graph(6, 4);
         assert_eq!(g.len(), 2 * 6 + 2 + 1, "pairs + flatten/fc + input");
+        assert_eq!(g.layers.last().unwrap().out_shape.elements(), 4);
+    }
+
+    #[test]
+    fn mlp_stack_graph_has_expected_shape() {
+        let g = mlp_stack_graph(3, 64, 4);
+        // input + flatten + (fc, relu) + 3×(fc, relu) + fc
+        assert_eq!(g.len(), 1 + 1 + 2 + 3 * 2 + 1);
         assert_eq!(g.layers.last().unwrap().out_shape.elements(), 4);
     }
 

@@ -15,9 +15,20 @@
 //! message reports the minimal failing inputs alongside the originally
 //! sampled ones. As in the real crate, strategy outputs must implement
 //! `Debug` (for reporting) and `Clone` (for shrinking).
+//!
+//! Failures also **persist**: the RNG state that produced a failing case
+//! is appended as a `cc <hex>` line to `<dir>/<test_name>.txt` (the real
+//! crate's `proptest-regressions` convention) and replayed before any
+//! novel sampling on the next run, so a CI failure reproduces locally
+//! even after the code — and therefore the sample stream — changes. The
+//! directory resolves, in order: a per-thread override
+//! ([`set_regressions_dir`]), the `PROPTEST_REGRESSIONS_DIR` environment
+//! variable, then `./proptest-regressions`.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 // ------------------------------------------------------------------- rng
 
@@ -31,6 +42,18 @@ impl TestRng {
         TestRng {
             state: seed ^ 0x9E37_79B9_7F4A_7C15,
         }
+    }
+
+    /// Rebuild a generator from a raw [`TestRng::state`] snapshot — how a
+    /// persisted failing case is replayed exactly.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The raw internal state; capturing it before sampling a case pins
+    /// that case's entire input draw.
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -179,6 +202,51 @@ impl<T: Clone> Strategy for Just<T> {
     fn sample(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
     }
+}
+
+/// A choice between strategies producing the same value type — what
+/// [`prop_oneof!`] builds. Sampling picks a branch uniformly; shrinking
+/// proposes every branch's candidates (the runner re-checks each, so a
+/// candidate from a branch that did not produce the value is just a
+/// harmless extra probe).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T: Clone> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.options.iter().flat_map(|s| s.shrink(value)).collect()
+    }
+}
+
+/// Box a strategy for [`Union`] storage — the coercion point
+/// [`prop_oneof!`] expands through (inference unifies every branch's
+/// value type here).
+#[doc(hidden)]
+pub fn __boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Pick one of several strategies per sample, as in the real crate:
+/// `prop_oneof![0u32..3, 10u32..13]`. All branches must yield the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::Union::new(::std::vec![$($crate::__boxed($strat)),+])
+    };
 }
 
 /// `prop::collection` and friends, mirroring the real crate's module paths.
@@ -377,6 +445,64 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
+// --------------------------------------------- failing-seed persistence
+
+thread_local! {
+    static REGRESSIONS_DIR: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+}
+
+/// Override where this thread's tests persist and replay failing seeds
+/// (`None` restores the default resolution). The shim's own self-tests
+/// point this at a scratch directory so deliberately-failing fixtures
+/// never write into the repository.
+pub fn set_regressions_dir(dir: Option<PathBuf>) {
+    REGRESSIONS_DIR.with(|c| *c.borrow_mut() = dir);
+}
+
+fn regressions_dir() -> PathBuf {
+    if let Some(d) = REGRESSIONS_DIR.with(|c| c.borrow().clone()) {
+        return d;
+    }
+    if let Ok(d) = std::env::var("PROPTEST_REGRESSIONS_DIR") {
+        if !d.is_empty() {
+            return PathBuf::from(d);
+        }
+    }
+    PathBuf::from("proptest-regressions")
+}
+
+/// `cc <hex>` lines of a regression file, in recorded order. Anything
+/// else (comments, blanks) is ignored.
+fn load_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("cc "))
+        .filter_map(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .collect()
+}
+
+/// Append `state` to the test's regression file (creating it, with a
+/// header, on first failure). Already-recorded states are not duplicated.
+fn persist_seed(path: &Path, state: u64) {
+    if load_seeds(path).contains(&state) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        if std::fs::create_dir_all(dir).is_err() {
+            return; // persistence is best-effort; the panic still reports the case
+        }
+    }
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failure cases proptest has generated in the past.\n\
+         # They are automatically read and re-run before any novel cases.\n"
+            .to_owned()
+    });
+    text.push_str(&format!("cc {state:016x}\n"));
+    let _ = std::fs::write(path, text);
+}
+
 /// Greedy bisection descent: try each candidate simplification, commit to
 /// the first that still fails, repeat until a fixpoint or the iteration
 /// budget runs out. A candidate that passes or is rejected by
@@ -412,10 +538,11 @@ where
     (current, msg, steps, cfg.max_shrink_iters - budget)
 }
 
-/// Drive one property: sample inputs from `strat` and run `case` until
-/// `cfg.cases` accepted executions pass. The first failure is shrunk to a
-/// minimal failing input before panicking; `render` formats a value for
-/// the failure report.
+/// Drive one property: replay any persisted failing seeds, then sample
+/// inputs from `strat` and run `case` until `cfg.cases` accepted
+/// executions pass. The first failure is shrunk to a minimal failing
+/// input, persisted to the test's regression file, and reported by
+/// panicking; `render` formats a value for the failure report.
 pub fn run_proptest<S, F, R>(cfg: &ProptestConfig, name: &str, strat: &S, mut case: F, render: R)
 where
     S: Strategy,
@@ -423,10 +550,32 @@ where
     F: FnMut(&S::Value) -> Result<(), TestCaseError>,
     R: Fn(&S::Value) -> String,
 {
+    let file = regressions_dir().join(format!("{name}.txt"));
+
+    // Persisted failures first: a recorded state replays the exact draw
+    // that failed before, regardless of where the fresh stream would go.
+    for state in load_seeds(&file) {
+        let mut rng = TestRng::from_state(state);
+        let vals = strat.sample(&mut rng);
+        if let Err(TestCaseError::Fail(msg)) = case(&vals) {
+            let (min_vals, min_msg, steps, tried) =
+                shrink_failure(cfg, strat, &mut case, vals.clone(), msg);
+            panic!(
+                "proptest `{name}`: replaying persisted failure from {} (cc {state:016x}): \
+                 {min_msg}\n  minimal failing inputs ({steps} shrink step(s), {tried} \
+                 candidate(s) tried):\n{}\n  originally sampled inputs:\n{}",
+                file.display(),
+                render(&min_vals),
+                render(&vals),
+            );
+        }
+    }
+
     let mut rng = TestRng::new(fnv1a(name));
     let mut accepted = 0u32;
     let mut rejected = 0u32;
     while accepted < cfg.cases {
+        let case_state = rng.state();
         let vals = strat.sample(&mut rng);
         match case(&vals) {
             Ok(()) => accepted += 1,
@@ -441,14 +590,16 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
+                persist_seed(&file, case_state);
                 let (min_vals, min_msg, steps, tried) =
                     shrink_failure(cfg, strat, &mut case, vals.clone(), msg);
                 panic!(
                     "proptest `{name}` failed after {accepted} passing case(s): {min_msg}\n  \
                      minimal failing inputs ({steps} shrink step(s), {tried} candidate(s) \
-                     tried):\n{}\n  originally sampled inputs:\n{}",
+                     tried):\n{}\n  originally sampled inputs:\n{}\n  failing seed saved to {}",
                     render(&min_vals),
                     render(&vals),
+                    file.display(),
                 );
             }
         }
@@ -583,8 +734,8 @@ macro_rules! prop_assume {
 
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -615,9 +766,23 @@ mod tests {
             .expect("panic payload is the failure message")
     }
 
+    /// A fresh per-test scratch directory for seed persistence, so the
+    /// deliberately-failing fixtures never write into the repository.
+    /// Tests run on separate threads, so the thread-local override is
+    /// naturally scoped.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("proptest-shim-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
     #[test]
     fn failing_case_reports_minimal_and_original_inputs() {
+        let dir = scratch_dir("report");
+        crate::set_regressions_dir(Some(dir.clone()));
         let msg = panic_message(always_fails);
+        crate::set_regressions_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
         assert!(msg.contains("lengths are small"), "message lost: {msg}");
         assert!(
             msg.contains("minimal failing inputs"),
@@ -635,8 +800,85 @@ mod tests {
 
     #[test]
     fn shrinking_bisects_to_the_exact_threshold() {
+        let dir = scratch_dir("threshold");
+        crate::set_regressions_dir(Some(dir.clone()));
         let msg = panic_message(threshold_at_13);
+        crate::set_regressions_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
         assert!(msg.contains("x = 13"), "threshold not found: {msg}");
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_and_replayed() {
+        let dir = scratch_dir("persist");
+        crate::set_regressions_dir(Some(dir.clone()));
+        // First run: the fresh stream fails, and the failing draw's RNG
+        // state lands in the regression file.
+        let first = panic_message(threshold_at_13);
+        assert!(first.contains("failing seed saved to"), "{first}");
+        let file = dir.join("threshold_at_13.txt");
+        let text = std::fs::read_to_string(&file).expect("regression file written");
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("cc ")).count(),
+            1,
+            "exactly one seed recorded: {text}"
+        );
+        // Second run: the persisted draw replays (and still fails) before
+        // any novel sampling, and is not re-recorded.
+        let second = panic_message(threshold_at_13);
+        assert!(second.contains("replaying persisted failure"), "{second}");
+        assert!(second.contains("x = 13"), "replay still shrinks: {second}");
+        let text2 = std::fs::read_to_string(&file).unwrap();
+        assert_eq!(text, text2, "replay must not duplicate the seed");
+        crate::set_regressions_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_seed_replays_the_exact_draw() {
+        // from_state(state()) pins the sample stream: the replay sees the
+        // same inputs the recorded failure saw.
+        use crate::Strategy;
+        let mut rng = crate::TestRng::new(99);
+        rng.next_u64(); // advance somewhere mid-stream
+        let state = rng.state();
+        let strat = (0u32..1000, crate::prop::collection::vec(0i64..9, 1..5));
+        let original = strat.sample(&mut rng);
+        let replayed = strat.sample(&mut crate::TestRng::from_state(state));
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn prop_oneof_samples_every_branch_and_shrinks_across_them() {
+        use crate::Strategy;
+        let strat = crate::prop_oneof![0u32..3, 10u32..13, 100u32..103];
+        let mut rng = crate::TestRng::new(7);
+        let mut buckets = [false; 3];
+        for _ in 0..256 {
+            match strat.sample(&mut rng) {
+                0..=2 => buckets[0] = true,
+                10..=12 => buckets[1] = true,
+                100..=102 => buckets[2] = true,
+                other => panic!("sample {other} outside every branch"),
+            }
+        }
+        assert_eq!(buckets, [true; 3], "every branch must be reachable");
+        // Shrinking proposes candidates from every branch; descent can
+        // cross into a simpler branch's range.
+        let cands = strat.shrink(&102);
+        assert!(cands.contains(&0), "missing cross-branch start: {cands:?}");
+        assert!(cands.contains(&100), "missing own-branch start: {cands:?}");
+    }
+
+    #[test]
+    fn prop_oneof_composes_with_the_macro() {
+        crate::proptest! {
+            #![proptest_config(crate::ProptestConfig { cases: 32, ..Default::default() })]
+            fn oneof_in_proptest(x in crate::prop_oneof![0u32..5, 100u32..105]) {
+                crate::prop_assert!(x < 5 || (100..105).contains(&x));
+            }
+        }
+        oneof_in_proptest();
     }
 
     #[test]
