@@ -26,9 +26,11 @@ impl std::fmt::Display for TriState {
 
 /// One Table I row.
 ///
-/// Serialize-only: the rows borrow `&'static str` names, which cannot be
-/// deserialized into (with real serde either).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+/// Round-trips through JSON even though the rows borrow `&'static str`
+/// names: the serde shim deserializes borrowed strings by interning them
+/// into a process-lifetime pool (real serde would need to borrow from the
+/// document instead).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Capability {
     /// System name.
     pub name: &'static str,
@@ -142,6 +144,16 @@ mod tests {
     #[test]
     fn table_matches_paper_row_count() {
         assert_eq!(capability_table().len(), 8);
+    }
+
+    #[test]
+    fn capability_rows_round_trip_through_json() {
+        // Checkpointing hardware/capability specs needs the full round
+        // trip, borrowed names included (the former serde-shim debt).
+        let rows = capability_table();
+        let text = serde_json::to_string(&rows).unwrap();
+        let back: Vec<Capability> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, rows);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   half the pooled far peak, an unbounded NVMe tier pricing each
 //!   transfer at 4 memory passes), cross-checked per tier against
 //!   `expected_residency_tiered`;
+//! * `elastic`   — the distributed plan driven by `elastic::ElasticDriver`
+//!   through one full churn cycle (a worker dies mid-exchange, the pool
+//!   re-lowers, a joiner grows it back and re-lowers again); wall time is
+//!   per global step including both hot swaps, pricing recovery on top of
+//!   the steady-state distributed column;
 //! * `zero_executed` — the executed Fig. 8 ZeRO panel (mlp workload
 //!   only): the same model replanned with the device budget ZeRO's state
 //!   partitioning frees (`zero_effective_capacity`) and run through the
@@ -55,7 +60,8 @@ use karma_runtime::bridge::{
     graph_boundaries_to_net, lower_dist_plan, lower_plan, lower_plan_tiered,
 };
 use karma_runtime::dp::train;
-use karma_runtime::{OocExecutor, TierSpec};
+use karma_runtime::elastic::{ElasticDriver, ElasticOptions, PoolEvent};
+use karma_runtime::{OocExecutor, TierSpec, TierStack};
 use karma_sim::ModelProfile;
 use karma_tensor::{
     conv_stack, mlp_stack, small_resnet_style, Sequential, SyntheticDataset, Tensor,
@@ -294,6 +300,68 @@ fn main() {
             graph.name
         );
 
+        // Elastic column: the same distributed plan driven through one
+        // full churn cycle — a worker dies mid-exchange, the pool is
+        // re-lowered, and a joiner grows it back (re-lowered again). Wall
+        // time is per global step *including* the two hot swaps, so the
+        // column prices what recovery costs on top of the steady-state
+        // distributed path. The per-worker peak contract must survive
+        // both swaps.
+        let churn_steps = 4usize;
+        let churn_data =
+            SyntheticDataset::classification(8 * batch, 1, 16, 4, seed.wrapping_add(2));
+        let driver =
+            ElasticDriver::from_plan(dist_plan.clone(), net_bounds.clone(), budget, net.len());
+        let mut churn_opts = ElasticOptions::plain(batch, 0.05, churn_steps);
+        churn_opts.events = vec![
+            PoolEvent::Fail {
+                step: 1,
+                rank: 1,
+                groups_shipped: 1,
+            },
+            PoolEvent::Join {
+                step: 3,
+                joiners: 1,
+            },
+        ];
+        let mut churn_nets: Vec<Sequential> = (0..workers).map(|_| make_net()).collect();
+        let mut churn_store = TierStack::new(&[TierSpec::unbounded()]);
+        // Warm-up cycle doubles as the contract cross-check. The pool
+        // returns to its starting width, so timed cycles reuse the nets.
+        let churn_report = driver
+            .run(
+                &mut churn_nets,
+                Some(&make_net),
+                &churn_data,
+                &churn_opts,
+                &mut churn_store,
+                None,
+            )
+            .expect("churn cycle must run");
+        assert_eq!(churn_report.relowers, 2, "{}: shrink + regrow", graph.name);
+        assert_eq!(
+            churn_report.peak_near_bytes, replay.peak_bytes,
+            "{}: churn moved the per-worker peak",
+            graph.name
+        );
+        let mut churn_samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t = Instant::now();
+            driver
+                .run(
+                    &mut churn_nets,
+                    Some(&make_net),
+                    &churn_data,
+                    &churn_opts,
+                    &mut churn_store,
+                    None,
+                )
+                .expect("churn cycle must run");
+            churn_samples.push(t.elapsed().as_secs_f64() * 1e3 / churn_steps as f64);
+        }
+        churn_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let elastic_ms = churn_samples[churn_samples.len() / 2];
+
         let blocks = cp.plan.n_blocks;
         for (mode, wall_ms, peak_bytes, peak_tier_bytes) in [
             ("baseline", base_ms, s_jit.peak_near_bytes, vec![]),
@@ -305,6 +373,7 @@ fn main() {
                 s_tier.peak_near_bytes,
                 s_tier.peak_tier_bytes.clone(),
             ),
+            ("elastic", elastic_ms, churn_report.peak_near_bytes, vec![]),
         ] {
             entries.push(BenchEntry {
                 model: graph.name.clone(),
@@ -418,7 +487,7 @@ fn main() {
              jit {:>7.3} ms -> bridged {:>7.3} ms ({:.2}x); \
              peak {} B -> {} B ({} boundary evictions); \
              dp x{} {:>7.3} ms/step, {} msgs ({} groups); \
-             tiered {:>7.3} ms, far peaks {:?} B",
+             tiered {:>7.3} ms, far peaks {:?} B; elastic {:>7.3} ms/step",
             graph.name,
             batch,
             blocks,
@@ -435,7 +504,8 @@ fn main() {
             report.exchange_messages,
             xchg.n_groups(),
             tier_ms,
-            s_tier.peak_tier_bytes
+            s_tier.peak_tier_bytes,
+            elastic_ms
         );
         speedup.push(ModelSpeedup {
             model: graph.name.clone(),

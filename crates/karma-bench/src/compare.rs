@@ -122,6 +122,7 @@ pub fn compare_reports(
             "optimized",
             "distributed",
             "tiered",
+            "elastic",
             "zero_executed",
         ] {
             let (Some(b), Some(f)) = (baseline.entry(model, mode), fresh.entry(model, mode)) else {
@@ -178,11 +179,11 @@ pub fn compare_reports(
             }
         }
         // Optional columns (the distributed data-parallel step, the
-        // tiered offload stack, the executed KARMA-on-ZeRO run) gate the
-        // same way once the committed baseline carries them; their wall
-        // times normalize against the same single-GPU baseline, so
-        // machine speed still cancels.
-        for mode in ["distributed", "tiered", "zero_executed"] {
+        // tiered offload stack, the elastic churn cycle, the executed
+        // KARMA-on-ZeRO run) gate the same way once the committed
+        // baseline carries them; their wall times normalize against the
+        // same single-GPU baseline, so machine speed still cancels.
+        for mode in ["distributed", "tiered", "elastic", "zero_executed"] {
             match (baseline.entry(model, mode), fresh.entry(model, mode)) {
                 (None, _) => {}
                 (Some(_), None) => out.failures.push(format!(
@@ -319,6 +320,33 @@ mod tests {
         let out = compare_reports(&old, &new, DEFAULT_MAX_SLOWDOWN);
         assert!(!out.passed());
         assert!(out.failures[0].contains("deterministic"));
+    }
+
+    fn with_elastic(mut r: BenchReport, m: &str, wall_ms: f64, blocks: usize) -> BenchReport {
+        r.entries.push(entry(m, "elastic", wall_ms, 1, blocks));
+        r
+    }
+
+    #[test]
+    fn elastic_column_gates_like_the_other_executed_modes() {
+        let base = || report("smoke", &[("resnet", 100.0, 40.0, 7)]);
+        let old = with_elastic(base(), "resnet", 250.0, 7);
+        // Within tolerance: passes.
+        let ok = with_elastic(base(), "resnet", 260.0, 7);
+        assert!(compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN).passed());
+        // A churn cycle that got 60% slower relative to baseline: fails.
+        let bad = with_elastic(base(), "resnet", 400.0, 7);
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("elastic/baseline"),
+            "{:?}",
+            out.failures
+        );
+        // Dropping the column entirely also fails.
+        let out = compare_reports(&old, &base(), DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("elastic column missing"));
     }
 
     fn with_peak(mut r: BenchReport, mode: &str, peak: usize) -> BenchReport {

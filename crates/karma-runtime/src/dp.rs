@@ -125,6 +125,138 @@ pub struct DataParallelReport {
     pub group_bytes: Vec<usize>,
 }
 
+/// A planned worker failure inside one training step: the worker at
+/// `rank` (its position in the pool *at that step*) dies after shipping
+/// `groups_shipped` exchange groups of step `step`. `groups_shipped = 0`
+/// kills it before its first message of the step; a value at or above the
+/// schedule's group count means it dies only after shipping everything
+/// (its replica still leaves the pool, but every group keeps its
+/// contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerFailure {
+    /// Step index (relative to the start of the run) the failure hits.
+    pub step: usize,
+    /// Rank in the pool at that step (after earlier failures re-shard).
+    pub rank: usize,
+    /// Exchange groups of that step shipped before dying, in launch order.
+    pub groups_shipped: usize,
+}
+
+/// A static schedule of per-worker, per-step failures — the
+/// fault-injection hook of [`train_churn`].
+///
+/// The plan being static is what makes mid-exchange failure handling
+/// deterministic: every participant (and the sequential reference)
+/// derives the same per-group contributor sets from it up front, instead
+/// of racing on message arrival order. This models a membership protocol
+/// that reaches agreement on the failed rank before the survivors commit
+/// the step — the same role MPI-ULFM's `shrink` plays in the recovery the
+/// paper sketches for its out-of-core data parallelism (Sec. II-B).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    failures: Vec<WorkerFailure>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no failures, [`train_churn`] degenerates to
+    /// [`train`].
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan, rejecting two failures of the same rank in the same
+    /// step (one worker cannot die twice).
+    pub fn new(failures: Vec<WorkerFailure>) -> Self {
+        for (i, f) in failures.iter().enumerate() {
+            assert!(
+                !failures[..i]
+                    .iter()
+                    .any(|g| g.step == f.step && g.rank == f.rank),
+                "duplicate failure for rank {} at step {}",
+                f.rank,
+                f.step
+            );
+        }
+        FaultPlan { failures }
+    }
+
+    /// True when the plan schedules no failures.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// All scheduled failures.
+    pub fn failures(&self) -> &[WorkerFailure] {
+        &self.failures
+    }
+
+    /// Failures hitting `step`, as `(rank, groups_shipped)` sorted by
+    /// rank.
+    pub fn at_step(&self, step: usize) -> Vec<(usize, usize)> {
+        let mut hits: Vec<(usize, usize)> = self
+            .failures
+            .iter()
+            .filter(|f| f.step == step)
+            .map(|f| (f.rank, f.groups_shipped))
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+}
+
+/// The batch-window slice of one [`train_churn`] call: where in the
+/// dataset it starts and how it shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Sample offset of the first step's global batch (the data cursor a
+    /// checkpoint restores).
+    pub offset: usize,
+    /// Samples per worker per step.
+    pub per_worker: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Steps to run.
+    pub steps: usize,
+}
+
+/// Outcome of a fault-injected data-parallel run ([`train_churn`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Mean participant loss per step (dying workers' shard losses count:
+    /// they computed them before dying).
+    pub losses: Vec<f32>,
+    /// Pool size at each step's start.
+    pub pool_sizes: Vec<usize>,
+    /// Final parameters (identical across surviving replicas).
+    pub final_snapshot: Vec<f32>,
+    /// Aggregate swap traffic across workers and steps.
+    pub swapped_bytes: usize,
+    /// Aggregate recomputed layers across workers and steps.
+    pub recomputed_layers: usize,
+    /// Highest per-worker near-memory residency (see
+    /// [`DataParallelReport::peak_near_bytes`]).
+    pub peak_near_bytes: usize,
+    /// Highest per-worker residency per far-memory tier (see
+    /// [`DataParallelReport::peak_tier_bytes`]).
+    pub peak_tier_bytes: Vec<usize>,
+    /// Gradient-exchange messages actually shipped (a dying worker's
+    /// unsent groups are missing from this count).
+    pub exchange_messages: usize,
+    /// Total gradient payload shipped worker→aggregator.
+    pub exchanged_bytes: usize,
+    /// Payload bytes of one worker's message per group, in launch order.
+    pub group_bytes: Vec<usize>,
+    /// Exchange groups that lost a scheduled contribution and fell back
+    /// to survivor-only averaging (one count per missing contribution).
+    pub aborted_groups: usize,
+    /// Exchange groups that kept a dying worker's already-shipped
+    /// contribution (one count per kept contribution).
+    pub completed_with_dead: usize,
+    /// Samples the run consumed (dying workers' shards included — their
+    /// microbatches are lost to the failure, as in a real run).
+    pub samples_consumed: usize,
+}
+
 type GroupMsg = (usize, usize, Vec<ParamGrads>); // (rank, group, grads)
 type ReplyChannel = (Sender<Vec<ParamGrads>>, Receiver<Vec<ParamGrads>>);
 
@@ -185,23 +317,84 @@ pub fn train(
     lr: f32,
     steps: usize,
 ) -> DataParallelReport {
-    let workers = nets.len();
-    assert!(workers >= 1, "need at least one worker");
+    let cfg = ChurnConfig {
+        offset: 0,
+        per_worker,
+        lr,
+        steps,
+    };
+    let (report, dead) = run_churn(nets, exec, xchg, data, &cfg, &FaultPlan::none());
+    debug_assert!(dead.is_empty(), "empty fault plan killed a worker");
+    DataParallelReport {
+        losses: report.losses,
+        final_snapshot: report.final_snapshot,
+        swapped_bytes: report.swapped_bytes,
+        recomputed_layers: report.recomputed_layers,
+        peak_near_bytes: report.peak_near_bytes,
+        peak_tier_bytes: report.peak_tier_bytes,
+        exchange_messages: report.exchange_messages,
+        exchanged_bytes: report.exchanged_bytes,
+        group_bytes: report.group_bytes,
+    }
+}
+
+/// [`train`] with mid-step worker failures injected from a static
+/// [`FaultPlan`] — the churn-safe phased exchange.
+///
+/// **The complete-or-abort rule.** When worker `r` dies at step `s` after
+/// shipping `k` groups, every exchange group decides its aggregation from
+/// the plan, not from message timing: group `g` **completes with** `r`'s
+/// contribution iff `r` shipped it before dying (`g < k`); otherwise the
+/// group **aborts to survivor-only averaging** — it averages over exactly
+/// the workers whose contribution was scheduled to arrive, in ascending
+/// rank order, divided by that count. Survivors install identical
+/// averages either way, so they end the step bit-identical at any thread
+/// count (asserted); the sequential emulation of the same rule is
+/// [`train_churn_reference`].
+///
+/// After the step, dead replicas are removed from `nets` and the
+/// survivors renumber contiguously in rank order (deterministic
+/// contiguous re-sharding); the next step's window shards over the
+/// shrunken pool. A step must keep at least one survivor. Ranks in the
+/// plan refer to the pool *at the failure's step*.
+pub fn train_churn(
+    nets: &mut Vec<Sequential>,
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+    faults: &FaultPlan,
+) -> ChurnReport {
+    let (report, dead) = run_churn(nets, exec, xchg, data, cfg, faults);
+    for &i in dead.iter().rev() {
+        nets.remove(i);
+    }
+    report
+}
+
+/// The engine behind [`train`] and [`train_churn`]: runs the phased
+/// exchange over the alive subset of `nets`, applying scheduled failures.
+/// Returns the report plus the indices of dead replicas (ascending) for
+/// the caller to drop.
+fn run_churn(
+    nets: &mut [Sequential],
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+    faults: &FaultPlan,
+) -> (ChurnReport, Vec<usize>) {
+    assert!(!nets.is_empty(), "need at least one worker");
     assert_eq!(
         xchg.n_blocks(),
         exec.n_blocks(),
         "exchange schedule / executor block mismatch"
     );
-    let global = per_worker * workers;
-    assert!(
-        steps * global <= data.len(),
-        "dataset too small: need {} samples",
-        steps * global
-    );
     let first = nets[0].snapshot();
     for n in nets.iter() {
         assert_eq!(n.snapshot(), first, "replicas must start identical");
     }
+    let (per_worker, lr) = (cfg.per_worker, cfg.lr);
 
     let n_groups = xchg.n_groups();
     let n_layers = nets[0].len();
@@ -216,7 +409,12 @@ pub fn train(
         is_gate[xchg.gate(g)] = true;
     }
 
-    let mut losses = Vec::with_capacity(steps);
+    // Alive replicas, as indices into `nets`; rank = position here.
+    let mut alive: Vec<usize> = (0..nets.len()).collect();
+    let mut dead: Vec<usize> = Vec::new();
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    let mut pool_sizes = Vec::with_capacity(cfg.steps);
     let mut swapped = 0usize;
     let mut recomputed = 0usize;
     let mut peak_near = 0usize;
@@ -224,16 +422,58 @@ pub fn train(
     let mut messages = 0usize;
     let mut shipped = 0usize;
     let mut group_bytes = vec![0usize; n_groups];
+    let mut aborted = 0usize;
+    let mut completed_with_dead = 0usize;
+    let mut offset = cfg.offset;
 
-    for step in 0..steps {
-        let start = step * global;
+    for step in 0..cfg.steps {
+        let workers = alive.len();
+        let start = offset;
+        assert!(
+            start + per_worker * workers <= data.len(),
+            "dataset too small: need {} samples",
+            start + per_worker * workers
+        );
+
+        // Who dies this step, and after how many shipped groups. All
+        // complete-or-abort decisions derive from this static table.
+        let dying_at = faults.at_step(step);
+        for &(rank, _) in &dying_at {
+            assert!(rank < workers, "failure rank {rank} outside pool {workers}");
+        }
+        assert!(
+            dying_at.len() < workers,
+            "a step must keep at least one survivor"
+        );
+        let mut death_after: Vec<Option<usize>> = vec![None; workers];
+        for &(rank, k) in &dying_at {
+            death_after[rank] = Some(k.min(n_groups));
+        }
+        // Group g's scheduled contributors: survivors always, a dying
+        // worker only for the groups it ships before the failure.
+        let contributors: Vec<Vec<usize>> = (0..n_groups)
+            .map(|g| {
+                (0..workers)
+                    .filter(|&r| death_after[r].is_none_or(|k| g < k))
+                    .collect()
+            })
+            .collect();
+        let expected_msgs: usize = contributors.iter().map(Vec::len).sum();
+        for &(_, k) in &dying_at {
+            let k = k.min(n_groups);
+            completed_with_dead += k;
+            aborted += n_groups - k;
+        }
+
         // Channels: workers -> aggregator, aggregator -> each worker.
         let (to_agg, from_workers): (Sender<GroupMsg>, Receiver<GroupMsg>) = unbounded();
         let replies: Vec<ReplyChannel> = (0..workers).map(|_| unbounded()).collect();
         let reply_senders: Vec<Sender<Vec<ParamGrads>>> =
             replies.iter().map(|(s, _)| s.clone()).collect();
 
-        let mut step_results: Vec<Option<(f32, Gradients, OocStats)>> =
+        // Survivors carry averaged gradients out; dying workers only a
+        // loss and stats (their update never happens).
+        let mut step_results: Vec<Option<(f32, Option<Gradients>, OocStats)>> =
             (0..workers).map(|_| None).collect();
 
         let agg_messages = &mut messages;
@@ -242,15 +482,17 @@ pub fn train(
         std::thread::scope(|scope| {
             // Aggregator: groups complete in launch order (each worker
             // ships them in order), but messages from different workers
-            // interleave freely — bucket until a group is full, average
-            // in fixed rank order (deterministic), reply to everyone.
-            // This runs while workers are still in their backward
-            // phase: the overlap the phased exchange is for.
+            // interleave freely — bucket until a group's scheduled
+            // contributors all arrived, average in fixed rank order
+            // (deterministic), reply to the survivors. This runs while
+            // workers are still in their backward phase: the overlap the
+            // phased exchange is for.
+            let (contributors, death_after) = (&contributors, &death_after);
             scope.spawn(move || {
                 let mut buckets: Vec<Vec<Option<Vec<ParamGrads>>>> =
                     vec![vec![None; workers]; n_groups];
                 let mut next = 0usize;
-                for _ in 0..n_groups * workers {
+                for _ in 0..expected_msgs {
                     let (rank, g, payload) = from_workers.recv().expect("worker died");
                     *agg_messages += 1;
                     let bytes: usize = payload
@@ -262,10 +504,16 @@ pub fn train(
                     agg_group_bytes[g] = bytes;
                     let prev = buckets[g][rank].replace(payload);
                     assert!(prev.is_none(), "duplicate message for group {g}");
-                    while next < n_groups && buckets[next].iter().all(Option::is_some) {
-                        // Average in fixed rank order (drain preserves it).
+                    while next < n_groups
+                        && contributors[next]
+                            .iter()
+                            .all(|&r| buckets[next][r].is_some())
+                    {
+                        // Average over the scheduled contributors in fixed
+                        // rank order (flatten over the rank-indexed bucket
+                        // row preserves it).
                         let mut ranked = std::mem::take(&mut buckets[next]).into_iter().flatten();
-                        let mut acc = ranked.next().expect("workers >= 1");
+                        let mut acc = ranked.next().expect("groups have a contributor");
                         for other in ranked {
                             for (a, b) in acc.iter_mut().zip(&other) {
                                 for (ta, tb) in a.grads.iter_mut().zip(&b.grads) {
@@ -275,11 +523,13 @@ pub fn train(
                         }
                         for pg in &mut acc {
                             for t in &mut pg.grads {
-                                t.scale(1.0 / workers as f32);
+                                t.scale(1.0 / contributors[next].len() as f32);
                             }
                         }
-                        for s in &reply_senders {
-                            s.send(acc.clone()).expect("worker died");
+                        for (r, s) in reply_senders.iter().enumerate() {
+                            if death_after[r].is_none() {
+                                s.send(acc.clone()).expect("worker died");
+                            }
                         }
                         next += 1;
                     }
@@ -287,11 +537,14 @@ pub fn train(
             });
 
             // Workers.
-            for (rank, (net, result)) in nets.iter().zip(step_results.iter_mut()).enumerate() {
+            let nets_view: &[Sequential] = nets;
+            for (rank, result) in step_results.iter_mut().enumerate() {
+                let net = &nets_view[alive[rank]];
                 let to_agg = to_agg.clone();
                 let from_agg = replies[rank].1.clone();
                 let (group_of, is_gate) = (&group_of, &is_gate);
                 let (xchg, boundaries) = (&xchg, &boundaries);
+                let my_death = death_after[rank];
                 scope.spawn(move || {
                     let (x, y): (Tensor, Vec<usize>) = data.shard(start, per_worker, rank);
                     // Blocks finish backward in descending order, so a
@@ -305,26 +558,40 @@ pub fn train(
                             // Ascending layer order across the group.
                             let payload: Vec<ParamGrads> =
                                 staged.drain(..).rev().flatten().collect();
-                            to_agg
-                                .send((rank, group_of[b], payload))
-                                .expect("aggregator died");
+                            let g = group_of[b];
+                            // A dying worker ships only its first
+                            // `groups_shipped` groups; the rest are lost
+                            // with it (the aggregator never waits for
+                            // them — the fault plan is static).
+                            if my_death.is_none_or(|k| g < k) {
+                                to_agg.send((rank, g, payload)).expect("aggregator died");
+                            }
                         }
                     });
-                    // Install the averages (arriving in launch order).
-                    for g in 0..xchg.n_groups() {
-                        let avg = from_agg.recv().expect("aggregator died");
-                        let (s, e) = group_span(xchg, g, boundaries, n_layers);
-                        grads.per_layer[s..e].clone_from_slice(&avg);
+                    if my_death.is_none() {
+                        // Install the averages (arriving in launch order).
+                        for g in 0..xchg.n_groups() {
+                            let avg = from_agg.recv().expect("aggregator died");
+                            let (s, e) = group_span(xchg, g, boundaries, n_layers);
+                            grads.per_layer[s..e].clone_from_slice(&avg);
+                        }
+                        *result = Some((loss, Some(grads), stats));
+                    } else {
+                        // Dead before the update: the loss and the stats
+                        // are real (the shard was computed), the weights
+                        // never advance.
+                        *result = Some((loss, None, stats));
                     }
-                    *result = Some((loss, grads, stats));
                 });
             }
         });
 
         let mut step_loss = 0.0f32;
-        for (net, result) in nets.iter_mut().zip(step_results) {
+        for (rank, result) in step_results.into_iter().enumerate() {
             let (loss, grads, stats) = result.expect("worker finished");
-            net.apply(&grads, lr);
+            if let Some(grads) = grads {
+                nets[alive[rank]].apply(&grads, lr);
+            }
             step_loss += loss;
             swapped += stats.swapped_in_bytes + stats.swapped_out_bytes;
             recomputed += stats.recomputed_layers;
@@ -334,18 +601,28 @@ pub fn train(
             }
         }
         losses.push(step_loss / workers as f32);
-    }
+        pool_sizes.push(workers);
+        offset += per_worker * workers;
 
-    let final_snapshot = nets[0].snapshot();
-    for n in nets.iter() {
+        // Contiguous re-sharding: drop the dead ranks, survivors keep
+        // their relative order and renumber 0..pool.
+        for &(rank, _) in dying_at.iter().rev() {
+            dead.push(alive.remove(rank));
+        }
+    }
+    dead.sort_unstable();
+
+    let final_snapshot = nets[alive[0]].snapshot();
+    for &i in &alive {
         assert_eq!(
-            n.snapshot(),
+            nets[i].snapshot(),
             final_snapshot,
             "replicas diverged — exchange broke determinism"
         );
     }
-    DataParallelReport {
+    let report = ChurnReport {
         losses,
+        pool_sizes,
         final_snapshot,
         swapped_bytes: swapped,
         recomputed_layers: recomputed,
@@ -354,7 +631,11 @@ pub fn train(
         exchange_messages: messages,
         exchanged_bytes: shipped,
         group_bytes,
-    }
+        aborted_groups: aborted,
+        completed_with_dead,
+        samples_consumed: offset - cfg.offset,
+    };
+    (report, dead)
 }
 
 /// Train `nets` with the original one-message-per-block protocol — the
@@ -413,6 +694,89 @@ pub fn train_reference(
         avg.scale(1.0 / workers as f32);
         net.apply(&avg, lr);
         losses.push(step_loss / workers as f32);
+    }
+    losses
+}
+
+/// The sequential single-worker emulation of [`train_churn`]'s
+/// complete-or-abort rule — the **bitwise reference** for fault-injected
+/// runs, as [`train_reference`] is for fault-free ones. Starting from a
+/// `pool`-worker pool, each step computes every participant's shard
+/// gradients in rank order on one thread, then averages each exchange
+/// group over exactly the contributors the [`FaultPlan`] schedules
+/// (ascending rank, divided by the contributor count) with the exact
+/// float operations the aggregator uses. `net` plays every surviving
+/// replica at once (they stay bit-identical); returns the per-step mean
+/// participant losses.
+///
+/// Unlike the fault-free reference, the grouping *is* arithmetic-bearing
+/// here: a worker that died after shipping one of three groups leaves
+/// different divisors on each group's average, so the reference needs the
+/// [`ExchangeSchedule`] to reproduce the spans.
+pub fn train_churn_reference(
+    net: &mut Sequential,
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+    pool: usize,
+    faults: &FaultPlan,
+) -> Vec<f32> {
+    assert!(pool >= 1, "need at least one worker");
+    let n_layers = net.len();
+    let n_groups = xchg.n_groups();
+    let boundaries = exec.boundaries().to_vec();
+    let mut workers = pool;
+    let mut offset = cfg.offset;
+    let mut losses = Vec::with_capacity(cfg.steps);
+    for step in 0..cfg.steps {
+        let dying_at = faults.at_step(step);
+        assert!(dying_at.len() < workers, "must keep at least one survivor");
+        let mut death_after: Vec<Option<usize>> = vec![None; workers];
+        for &(rank, k) in &dying_at {
+            assert!(rank < workers, "failure rank {rank} outside pool {workers}");
+            death_after[rank] = Some(k.min(n_groups));
+        }
+
+        let mut per_rank: Vec<Gradients> = Vec::with_capacity(workers);
+        let mut step_loss = 0.0f32;
+        for rank in 0..workers {
+            let (x, y) = data.shard(offset, cfg.per_worker, rank);
+            let (loss, grads, _) = exec.grad_step(net, &x, &y, |_, _| {});
+            step_loss += loss;
+            per_rank.push(grads);
+        }
+
+        // Per group: average over the scheduled contributors with the
+        // aggregator's float ops (first contributor's payload, axpy the
+        // rest in ascending rank order, one scale at the end).
+        let mut installed = Gradients {
+            per_layer: vec![ParamGrads::default(); n_layers],
+        };
+        for g in 0..n_groups {
+            let (s, e) = group_span(xchg, g, &boundaries, n_layers);
+            let contr: Vec<usize> = (0..workers)
+                .filter(|&r| death_after[r].is_none_or(|k| g < k))
+                .collect();
+            let mut acc: Vec<ParamGrads> = per_rank[contr[0]].per_layer[s..e].to_vec();
+            for &r in &contr[1..] {
+                for (a, b) in acc.iter_mut().zip(&per_rank[r].per_layer[s..e]) {
+                    for (ta, tb) in a.grads.iter_mut().zip(&b.grads) {
+                        ta.axpy(1.0, tb);
+                    }
+                }
+            }
+            for pg in &mut acc {
+                for t in &mut pg.grads {
+                    t.scale(1.0 / contr.len() as f32);
+                }
+            }
+            installed.per_layer[s..e].clone_from_slice(&acc);
+        }
+        net.apply(&installed, cfg.lr);
+        losses.push(step_loss / workers as f32);
+        offset += cfg.per_worker * workers;
+        workers -= dying_at.len();
     }
     losses
 }
@@ -546,6 +910,133 @@ mod tests {
             exec.train_step(&mut plain, &x, &y, 0.05);
         }
         assert_eq!(report.final_snapshot, plain.snapshot());
+    }
+
+    fn churn_cfg(steps: usize) -> ChurnConfig {
+        ChurnConfig {
+            offset: 0,
+            per_worker: 8,
+            lr: 0.05,
+            steps,
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_train() {
+        let data = dataset();
+        let xchg = ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3);
+
+        let mut plain = replicas(3);
+        let exec = ooc_exec(plain[0].len());
+        let expected = train(&mut plain, &exec, &xchg, &data, 8, 0.05, 3);
+
+        let mut nets = replicas(3);
+        let report = train_churn(
+            &mut nets,
+            &exec,
+            &xchg,
+            &data,
+            &churn_cfg(3),
+            &FaultPlan::none(),
+        );
+        assert_eq!(report.final_snapshot, expected.final_snapshot);
+        assert_eq!(report.losses, expected.losses);
+        assert_eq!(report.pool_sizes, vec![3, 3, 3]);
+        assert_eq!(report.aborted_groups, 0);
+        assert_eq!(report.completed_with_dead, 0);
+        assert_eq!(nets.len(), 3);
+    }
+
+    #[test]
+    fn mid_exchange_failure_matches_the_sequential_reference_bitwise() {
+        // Worker 1 of 4 dies at step 1 after shipping group 0 of 2: group
+        // 0 completes with its contribution (divisor 4), group 1 aborts
+        // to survivor-only averaging (divisor 3). Survivors must land on
+        // exactly the reference weights, run after run.
+        let data = dataset();
+        let xchg = ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3);
+        let faults = FaultPlan::new(vec![WorkerFailure {
+            step: 1,
+            rank: 1,
+            groups_shipped: 1,
+        }]);
+        let cfg = churn_cfg(3);
+
+        let mut reference = small_cnn(4, 77);
+        let exec = ooc_exec(reference.len());
+        let ref_losses =
+            train_churn_reference(&mut reference, &exec, &xchg, &data, &cfg, 4, &faults);
+
+        for _ in 0..2 {
+            let mut nets = replicas(4);
+            let report = train_churn(&mut nets, &exec, &xchg, &data, &cfg, &faults);
+            assert_eq!(report.final_snapshot, reference.snapshot(), "bit parity");
+            assert_eq!(report.losses, ref_losses);
+            assert_eq!(report.pool_sizes, vec![4, 4, 3]);
+            assert_eq!(report.completed_with_dead, 1);
+            assert_eq!(report.aborted_groups, 1);
+            assert_eq!(nets.len(), 3, "dead replica dropped from the pool");
+            // One message lost: the dead worker's unshipped group 1.
+            assert_eq!(report.exchange_messages, 2 * 4 + (2 * 4 - 1) + 2 * 3);
+        }
+    }
+
+    #[test]
+    fn failure_before_first_ship_aborts_every_group() {
+        let data = dataset();
+        let xchg = ExchangeSchedule::per_block(3);
+        let faults = FaultPlan::new(vec![WorkerFailure {
+            step: 0,
+            rank: 0,
+            groups_shipped: 0,
+        }]);
+        let cfg = churn_cfg(2);
+
+        let mut reference = small_cnn(4, 77);
+        let exec = ooc_exec(reference.len());
+        let ref_losses =
+            train_churn_reference(&mut reference, &exec, &xchg, &data, &cfg, 2, &faults);
+
+        let mut nets = replicas(2);
+        let report = train_churn(&mut nets, &exec, &xchg, &data, &cfg, &faults);
+        assert_eq!(report.final_snapshot, reference.snapshot());
+        assert_eq!(report.losses, ref_losses);
+        assert_eq!(report.aborted_groups, 3);
+        assert_eq!(report.completed_with_dead, 0);
+        assert_eq!(report.pool_sizes, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn killing_the_whole_pool_in_one_step_is_rejected() {
+        let data = dataset();
+        let xchg = ExchangeSchedule::per_block(3);
+        let faults = FaultPlan::new(vec![
+            WorkerFailure {
+                step: 0,
+                rank: 0,
+                groups_shipped: 0,
+            },
+            WorkerFailure {
+                step: 0,
+                rank: 1,
+                groups_shipped: 0,
+            },
+        ]);
+        let mut nets = replicas(2);
+        let exec = ooc_exec(nets[0].len());
+        train_churn(&mut nets, &exec, &xchg, &data, &churn_cfg(1), &faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate failure")]
+    fn duplicate_failures_are_rejected() {
+        let f = WorkerFailure {
+            step: 0,
+            rank: 0,
+            groups_shipped: 0,
+        };
+        FaultPlan::new(vec![f, f]);
     }
 
     #[test]

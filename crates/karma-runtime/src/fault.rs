@@ -3,24 +3,46 @@
 //! The paper argues out-of-core data parallelism is naturally
 //! fault-tolerant: because every worker holds a *complete* model replica,
 //! the pool can shrink when a worker dies — unlike model parallelism,
-//! where losing one shard loses the model. This module demonstrates that
-//! recovery path on the real runtime: a failure schedule kills workers at
-//! given steps, the survivors re-shard the batch window and keep training,
-//! and training remains deterministic across the shrink.
+//! where losing one shard loses the model. This module keeps the original
+//! demonstration API for that recovery path; since the elastic driver
+//! landed it is a thin wrapper over [`crate::elastic::ElasticDriver`]
+//! with a fixed (never re-planned) executor: a failure schedule kills
+//! workers at given steps, the survivors re-shard the batch window
+//! contiguously and keep training, and training remains deterministic
+//! across the shrink. Mid-step death, re-planning, pool growth, and
+//! checkpoint/restore live in [`crate::elastic`].
 
 use karma_tensor::{Sequential, SyntheticDataset};
 use serde::{Deserialize, Serialize};
 
-use crate::dp::train_data_parallel;
+use crate::dp::ExchangeSchedule;
+use crate::elastic::{ElasticDriver, ElasticOptions, PoolEvent};
 use crate::exec::OocExecutor;
+use crate::store::{TierSpec, TierStack};
 
-/// A planned worker failure: the worker with the highest rank dies after
-/// `after_step` completed steps. (Shrinking from the tail keeps shard
-/// assignment contiguous, as a rank-reorganizing MPI recovery would.)
+/// A planned worker failure: worker `rank` dies after `after_step`
+/// completed steps. Survivors keep their relative order and renumber
+/// contiguously from zero (the rank-reorganizing `shrink` of an
+/// MPI-ULFM-style recovery), so a non-tail death re-shards exactly like
+/// a tail death of the same pool size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Failure {
     /// Steps completed before the failure hits.
     pub after_step: usize,
+    /// Rank (in the pool at that point) of the dying worker.
+    pub rank: usize,
+}
+
+impl Failure {
+    /// The legacy schedule entry: the highest-ranked worker of a
+    /// `pool`-wide pool dies after `after_step`.
+    pub fn tail(after_step: usize, pool: usize) -> Self {
+        assert!(pool > 0, "tail failure needs a non-empty pool");
+        Failure {
+            after_step,
+            rank: pool - 1,
+        }
+    }
 }
 
 /// Outcome of a run with failures.
@@ -36,11 +58,12 @@ pub struct FaultReport {
 
 /// Train with a shrinking worker pool.
 ///
-/// Starts with `nets.len()` workers; at each [`Failure`] the pool drops
-/// its last replica and the *global batch shrinks accordingly* (the
+/// Starts with `nets.len()` workers; at each [`Failure`] the named rank
+/// leaves the pool and the *global batch shrinks accordingly* (the
 /// "shrinking worker pool" recovery of paper ref \[26\] — the alternative,
 /// re-balancing the same global batch over fewer workers, only changes
-/// `per_worker` bookkeeping).
+/// `per_worker` bookkeeping). Failures that would empty the pool are
+/// ignored: the sole survivor keeps training.
 pub fn train_with_failures(
     mut nets: Vec<Sequential>,
     exec: &OocExecutor,
@@ -51,77 +74,31 @@ pub fn train_with_failures(
     failures: &[Failure],
 ) -> FaultReport {
     assert!(!nets.is_empty());
-    let mut fail_iter = failures.iter().peekable();
-    let mut losses = Vec::with_capacity(total_steps);
-    let mut pool_sizes = Vec::with_capacity(total_steps);
-    let mut step = 0usize;
-    let mut offset = 0usize;
-
-    while step < total_steps {
-        // Apply any failures due at this point.
-        while let Some(f) = fail_iter.peek() {
-            if f.after_step <= step && nets.len() > 1 {
-                nets.pop(); // the highest rank dies
-                fail_iter.next();
-            } else if f.after_step <= step {
-                // Can't shrink below one worker; ignore the failure.
-                fail_iter.next();
-            } else {
-                break;
-            }
-        }
-        // Run one step with the current pool (re-sharded window).
-        let workers = nets.len();
-        let report = train_data_parallel_window(&mut nets, exec, data, offset, per_worker, lr);
-        offset += per_worker * workers;
-        losses.push(report);
-        pool_sizes.push(workers);
-        step += 1;
-    }
-
-    let final_snapshot = nets[0].snapshot();
-    for n in &nets {
-        assert_eq!(n.snapshot(), final_snapshot, "survivors diverged");
-    }
+    let driver = ElasticDriver::fixed(exec.clone(), ExchangeSchedule::per_block(exec.n_blocks()));
+    let mut opts = ElasticOptions::plain(per_worker, lr, total_steps);
+    opts.events = failures
+        .iter()
+        .map(|f| PoolEvent::Leave {
+            step: f.after_step,
+            rank: f.rank,
+        })
+        .collect();
+    // No growth, no checkpoints: the store stays empty.
+    let mut store = TierStack::new(&[TierSpec::unbounded()]);
+    let report = driver
+        .run(&mut nets, None, data, &opts, &mut store, None)
+        .expect("fixed-path shrink cannot fail to lower");
     FaultReport {
-        losses,
-        pool_sizes,
-        final_snapshot,
+        losses: report.losses,
+        pool_sizes: report.pool_sizes,
+        final_snapshot: report.final_snapshot,
     }
-}
-
-/// One data-parallel step over the window starting at `offset`.
-fn train_data_parallel_window(
-    nets: &mut [Sequential],
-    exec: &OocExecutor,
-    data: &SyntheticDataset,
-    offset: usize,
-    per_worker: usize,
-    lr: f32,
-) -> f32 {
-    // Reuse the full driver for a single step by slicing a sub-dataset
-    // view: the driver indexes from 0, so shift via a borrowed window.
-    let window = SyntheticDataset {
-        images: karma_tensor::Tensor::from_vec(
-            &{
-                let mut s = data.images.shape.clone();
-                s[0] = data.len() - offset;
-                s
-            },
-            data.images.data[offset * data.channels * data.side * data.side..].to_vec(),
-        ),
-        labels: data.labels[offset..].to_vec(),
-        channels: data.channels,
-        side: data.side,
-        classes: data.classes,
-    };
-    let report = train_data_parallel(nets, exec, &window, per_worker, lr, 1);
-    report.losses[0]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dp::train_data_parallel;
     use crate::exec::BlockPolicy;
     use karma_tensor::small_cnn;
 
@@ -151,7 +128,7 @@ mod tests {
             8,
             0.05,
             6,
-            &[Failure { after_step: 2 }, Failure { after_step: 4 }],
+            &[Failure::tail(2, 4), Failure::tail(4, 3)],
         );
         assert_eq!(report.pool_sizes, vec![4, 4, 3, 3, 2, 2]);
         assert_eq!(report.losses.len(), 6);
@@ -180,12 +157,46 @@ mod tests {
             0.05,
             4,
             &[
-                Failure { after_step: 0 },
-                Failure { after_step: 1 },
-                Failure { after_step: 2 },
+                Failure {
+                    after_step: 0,
+                    rank: 1,
+                },
+                Failure {
+                    after_step: 1,
+                    rank: 0,
+                },
+                Failure {
+                    after_step: 2,
+                    rank: 0,
+                },
             ],
         );
         assert_eq!(*report.pool_sizes.last().unwrap(), 1);
         assert_eq!(report.losses.len(), 4);
+    }
+
+    #[test]
+    fn non_tail_death_equals_tail_death_under_identical_replicas() {
+        // With bit-identical replicas the pool is symmetric: losing rank
+        // 0 and losing rank 3 leave the same survivors after contiguous
+        // renumbering, so training continues bit-identically either way.
+        let (nets_a, exec, data) = setup(4);
+        let head = train_with_failures(
+            nets_a,
+            &exec,
+            &data,
+            8,
+            0.05,
+            5,
+            &[Failure {
+                after_step: 2,
+                rank: 0,
+            }],
+        );
+        let (nets_b, _, _) = setup(4);
+        let tail = train_with_failures(nets_b, &exec, &data, 8, 0.05, 5, &[Failure::tail(2, 4)]);
+        assert_eq!(head.pool_sizes, tail.pool_sizes);
+        assert_eq!(head.final_snapshot, tail.final_snapshot);
+        assert_eq!(head.losses, tail.losses);
     }
 }

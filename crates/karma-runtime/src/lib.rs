@@ -23,7 +23,12 @@
 //!   order, prefetch schedule) plus, for distributed plans, the
 //!   [`dp::ExchangeSchedule`] its `AR`/`U` ops prescribe — with residency
 //!   and exchange replays predicting the executed trajectory, message
-//!   count, and shipped bytes exactly.
+//!   count, and shipped bytes exactly;
+//! * [`elastic`] — fault-tolerant training on the planned path: mid-step
+//!   worker death resolved by [`dp`]'s deterministic complete-or-abort
+//!   rule, re-lowering + hot swap of the executor and exchange schedule
+//!   on every pool shrink or growth, and far-store checkpoint/restore
+//!   with bitwise-identical resume.
 //!
 //! **Workspace position:** the execution-side top layer over
 //! `karma-tensor`. The parity-critical modules ([`store`], [`exec`],
@@ -33,6 +38,7 @@
 
 pub mod bridge;
 pub mod dp;
+pub mod elastic;
 pub mod exec;
 pub mod fault;
 pub mod store;
@@ -42,7 +48,13 @@ pub use bridge::{
     graph_boundaries_to_net, lower_dist_plan, lower_plan, lower_plan_tiered, BridgeError,
     ExchangeReplay, ResidencyReplay,
 };
-pub use dp::{train, train_data_parallel, train_reference, DataParallelReport, ExchangeSchedule};
+pub use dp::{
+    train, train_churn, train_churn_reference, train_data_parallel, train_reference, ChurnConfig,
+    ChurnReport, DataParallelReport, ExchangeSchedule, FaultPlan, WorkerFailure,
+};
+pub use elastic::{
+    Checkpoint, ElasticDriver, ElasticError, ElasticOptions, ElasticReport, PhaseInfo, PoolEvent,
+};
 pub use exec::{BlockPolicy, ExecEvent, OocExecutor, OocStats, ResidencySample};
 pub use fault::{train_with_failures, Failure, FaultReport};
 pub use store::{FarMemory, NearMemory, TierSpec, TierStack};

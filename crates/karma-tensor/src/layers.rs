@@ -31,6 +31,13 @@ pub trait Layer: Send + Sync {
     fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, ParamGrads);
     /// Parameters (possibly empty).
     fn params(&self) -> Vec<&Tensor>;
+    /// Mutable view of the same parameters, in the same order — the
+    /// checkpoint-restore path writes saved values straight back instead
+    /// of synthesizing an update (adding a delta would reassociate floats
+    /// and break bitwise resume). Stateless layers keep the empty default.
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
     /// Apply `w += alpha * g` to every parameter (SGD steps use negative
     /// alpha; the allreduce path uses it to install averaged gradients).
     fn update(&mut self, grads: &ParamGrads, alpha: f32);
@@ -101,6 +108,10 @@ impl Layer for Dense {
 
     fn params(&self) -> Vec<&Tensor> {
         vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
     }
 
     fn update(&mut self, grads: &ParamGrads, alpha: f32) {
@@ -270,6 +281,10 @@ impl Layer for Conv2d {
 
     fn params(&self) -> Vec<&Tensor> {
         vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
     }
 
     fn update(&mut self, grads: &ParamGrads, alpha: f32) {

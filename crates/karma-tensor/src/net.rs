@@ -143,6 +143,27 @@ impl Sequential {
             .flat_map(|l| l.params().into_iter().flat_map(|t| t.data.clone()))
             .collect()
     }
+
+    /// Overwrite every parameter from a flat [`Sequential::snapshot`] of a
+    /// same-architecture net (checkpoint restore / elastic pool growth).
+    /// Values are copied verbatim — no arithmetic — so the restored net is
+    /// bitwise-identical to the snapshotted one. Panics when `flat` does
+    /// not have exactly one value per parameter element.
+    pub fn restore(&mut self, flat: &[f32]) {
+        let mut off = 0usize;
+        for l in self.layers.iter_mut() {
+            for t in l.params_mut() {
+                let n = t.data.len();
+                assert!(
+                    off + n <= flat.len(),
+                    "snapshot too short: architecture mismatch"
+                );
+                t.data.copy_from_slice(&flat[off..off + n]);
+                off += n;
+            }
+        }
+        assert_eq!(off, flat.len(), "snapshot too long: architecture mismatch");
+    }
 }
 
 /// A small deterministic CNN used across tests, examples and the runtime
@@ -271,6 +292,39 @@ mod tests {
         }
         let acc = net.accuracy(&x, &y);
         assert!(acc > 0.5, "accuracy {acc} should beat 0.25 chance");
+    }
+
+    #[test]
+    fn restore_round_trips_snapshot_bitwise() {
+        let data = SyntheticDataset::classification(16, 1, 16, 4, 9);
+        let mut net = small_cnn(4, 5);
+        let (x, y) = data.batch(0, 16);
+        net.train_step(&x, &y, 0.05);
+        let trained = net.snapshot();
+
+        // A differently-seeded same-architecture net adopts the snapshot
+        // exactly, and diverged weights are fully overwritten.
+        let mut other = small_cnn(4, 77);
+        assert_ne!(other.snapshot(), trained);
+        other.restore(&trained);
+        assert_eq!(other.snapshot(), trained);
+
+        // Every param-bearing layer kind must round trip — batch norm's
+        // gamma/beta included, not just Dense/Conv2d weights.
+        let bn_net = small_resnet_style(4, 5);
+        let weights = bn_net.snapshot();
+        let mut bn_other = small_resnet_style(4, 77);
+        assert_ne!(bn_other.snapshot(), weights);
+        bn_other.restore(&weights);
+        assert_eq!(bn_other.snapshot(), weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn restore_rejects_wrong_length() {
+        let mut net = small_cnn(4, 5);
+        let short = vec![0.0f32; net.snapshot().len() - 1];
+        net.restore(&short);
     }
 
     #[test]

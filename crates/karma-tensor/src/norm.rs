@@ -131,6 +131,10 @@ impl Layer for BatchNorm2d {
         vec![&self.gamma, &self.beta]
     }
 
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
     fn update(&mut self, grads: &ParamGrads, alpha: f32) {
         self.gamma.axpy(alpha, &grads.grads[0]);
         self.beta.axpy(alpha, &grads.grads[1]);

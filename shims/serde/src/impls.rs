@@ -136,6 +136,40 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// `Deserialize` for borrowed `&'static str` fields.
+///
+/// Real serde can only borrow from the input document; with no document to
+/// borrow from (this shim deserializes an owned [`Value`] tree), the string
+/// is promoted to `'static` by leaking it — deduplicated through a process
+/// lifetime intern pool, so repeated round trips of the same document (the
+/// workspace pattern: fixed capability tables, hardware specs) allocate each
+/// distinct string once rather than growing without bound.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(intern(s)),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("intern pool poisoned");
+    match pool.get(s) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
+    }
+}
+
 // ------------------------------------------------------- option & wrappers
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -308,5 +342,25 @@ impl<T: Serialize> Serialize for Range<T> {
 impl<T: Deserialize> Deserialize for Range<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         Ok(T::from_value(v.expect_field("start")?)?..T::from_value(v.expect_field("end")?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_str_round_trips_through_the_intern_pool() {
+        let v = "karma".to_value();
+        let s: &'static str = Deserialize::from_value(&v).unwrap();
+        assert_eq!(s, "karma");
+        // A second round trip of the same string reuses the leaked copy.
+        let again: &'static str = Deserialize::from_value(&v).unwrap();
+        assert!(std::ptr::eq(s, again), "intern pool must deduplicate");
+    }
+
+    #[test]
+    fn static_str_rejects_non_strings() {
+        assert!(<&'static str as Deserialize>::from_value(&Value::U64(3)).is_err());
     }
 }
