@@ -1,0 +1,250 @@
+//! Plan-serving micro-benchmark: times `PlanServer::serve` cold (full
+//! `optimize_blocking` search) against warm (fingerprint hit in the
+//! in-memory tier) across the fig5 micro grid — the executable micro
+//! zoo models × two out-of-core batch sizes — and records the numbers
+//! in `BENCH_serve.json`, the plan-serving perf anchor across PRs.
+//!
+//! Each grid cell gets two entries **measured in the same run**:
+//!
+//! * `baseline`  — cold: a fresh server answers the request by running
+//!   the full ACO search (fanned out on the persistent pool);
+//! * `optimized` — warm: the same server answers the identical request
+//!   from the in-memory tier (fingerprint + read lock + `Arc` clone).
+//!
+//! For this report the `memoize` flag means *plan cache on*, and
+//! `blocks` is the served entry's block count — the determinism canary:
+//! warm and cold must serve bitwise-identical plans, so the canary is
+//! shared by construction and checked here explicitly.
+//!
+//! The binary also sanity-checks the concurrency contract: hammering
+//! one cold fingerprint from several OS threads runs exactly one
+//! search, and the ISSUE acceptance floor (warm ≥ 100× faster than
+//! cold, per cell) is asserted in-process.
+//!
+//! Usage: `serve_bench [--smoke] [--out PATH]` — `--smoke` runs one
+//! grid cell with fewer timing samples (CI-sized), `--out` overrides
+//! the JSON path.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use karma_bench::report::{BenchEntry, BenchReport, ModelSpeedup};
+use karma_core::planner::{Karma, KarmaOptions};
+use karma_graph::{MemoryParams, ModelGraph};
+use karma_hw::{GpuSpec, LinkSpec, NodeSpec};
+use karma_serve::{PlanServer, ServeSource};
+use karma_zoo::micro::{conv_stack_graph, mlp_stack_graph, resnet_style_graph};
+
+/// A toy node whose GPU holds the model state plus ~65% of the
+/// activation footprint, forcing a real out-of-core plan on every grid
+/// cell — including the parameter-dominated MLP, whose state must stay
+/// resident for the planner to accept the node at all.
+fn ooc_node(graph: &ModelGraph, batch: usize, mem: &MemoryParams) -> NodeSpec {
+    let state = graph.memory(batch, mem).model_state() as f64;
+    let acts = graph.peak_footprint(batch, mem) as f64 - state;
+    NodeSpec::toy(
+        GpuSpec::toy((state + acts * 0.65) as u64, 5.0e9),
+        LinkSpec::toy(4.0e9),
+    )
+}
+
+/// Median of `samples` milliseconds.
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Median cold-serve wall ms: every sample uses a *fresh* server, so the
+/// full search runs each time.
+fn time_cold(
+    graph: &ModelGraph,
+    batch: usize,
+    mem: &MemoryParams,
+    opts: &KarmaOptions,
+    runs: usize,
+) -> f64 {
+    let node = ooc_node(graph, batch, mem);
+    // Warm-up outside the timed loop (first-touch pool spawn etc.).
+    PlanServer::new(Karma::new(node.clone(), mem.clone()))
+        .serve(graph, batch, opts)
+        .expect("grid cell plans");
+    let samples = (0..runs)
+        .map(|_| {
+            let server = PlanServer::new(Karma::new(node.clone(), mem.clone()));
+            let t = Instant::now();
+            let served = server.serve(graph, batch, opts).expect("grid cell plans");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(served.source, ServeSource::Computed, "fresh server is cold");
+            ms
+        })
+        .collect();
+    median(samples)
+}
+
+/// Median warm-serve wall ms on `server` (already populated), plus the
+/// served entry's block count (the determinism canary).
+fn time_warm(
+    server: &PlanServer,
+    graph: &ModelGraph,
+    batch: usize,
+    opts: &KarmaOptions,
+    runs: usize,
+) -> (f64, usize) {
+    let mut blocks = 0;
+    let samples = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            let served = server.serve(graph, batch, opts).expect("warm hit");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                served.source,
+                ServeSource::Memory,
+                "populated server is warm"
+            );
+            blocks = served.entry.boundaries.len();
+            ms
+        })
+        .collect();
+    (median(samples), blocks)
+}
+
+/// Hammer one cold fingerprint from `threads` OS threads: the
+/// single-flight contract demands exactly one search and bitwise-equal
+/// plans for everyone.
+fn single_flight_check(graph: &ModelGraph, batch: usize, mem: &MemoryParams, threads: usize) {
+    let node = ooc_node(graph, batch, mem);
+    let server = Arc::new(PlanServer::new(Karma::new(node, mem.clone())));
+    let opts = KarmaOptions::fast(1);
+    let served: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let (graph, opts) = (graph.clone(), opts.clone());
+                s.spawn(move || {
+                    server
+                        .serve(&graph, batch, &opts)
+                        .expect("concurrent serve")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = server.stats();
+    assert_eq!(
+        stats.searches, 1,
+        "identical concurrent misses single-flight"
+    );
+    assert_eq!(stats.memory_hits + 1, threads, "the rest wake to warm hits");
+    for s in &served[1..] {
+        assert_eq!(
+            s.entry.plan, served[0].entry.plan,
+            "concurrent plans diverged"
+        );
+    }
+    println!(
+        "single-flight: {threads} threads, 1 search, {} coalesced",
+        stats.coalesced
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+
+    // The fig5 micro grid: every executable micro-zoo mirror × two
+    // out-of-core batches (smoke keeps one cell).
+    let grid: Vec<(String, ModelGraph, usize)> = {
+        let models = [
+            ("conv-stack", conv_stack_graph(6, 4)),
+            ("mlp-stack", mlp_stack_graph(3, 64, 4)),
+            ("resnet-style", resnet_style_graph(4)),
+        ];
+        let batches: &[usize] = if smoke { &[16] } else { &[8, 16] };
+        let cells = if smoke { 1 } else { models.len() };
+        models
+            .into_iter()
+            .take(cells)
+            .flat_map(|(name, g)| {
+                batches
+                    .iter()
+                    .map(move |&b| (format!("{name}/b{b}"), g.clone(), b))
+            })
+            .collect()
+    };
+    let (cold_runs, warm_runs) = if smoke { (3, 64) } else { (5, 256) };
+    let mem = MemoryParams::exact();
+    let opts = KarmaOptions::fast(17);
+    let threads = rayon::current_num_threads();
+
+    let mut entries = Vec::new();
+    let mut speedup = Vec::new();
+    for (cell, graph, batch) in &grid {
+        let cold_ms = time_cold(graph, *batch, &mem, &opts, cold_runs);
+
+        let node = ooc_node(graph, *batch, &mem);
+        let server = PlanServer::new(Karma::new(node, mem.clone()));
+        let cold_plan = server
+            .serve(graph, *batch, &opts)
+            .expect("populate the warm server");
+        let (warm_ms, blocks) = time_warm(&server, graph, *batch, &opts, warm_runs);
+        assert_eq!(blocks, cold_plan.entry.boundaries.len(), "canary drifted");
+
+        entries.push(BenchEntry {
+            model: cell.clone(),
+            mode: "baseline".into(),
+            wall_ms: cold_ms,
+            threads,
+            memoize: false, // cache off: the full search runs
+            blocks,
+            peak_bytes: 0, // serving never executes on the tensor stack
+            peak_tier_bytes: vec![],
+        });
+        entries.push(BenchEntry {
+            model: cell.clone(),
+            mode: "optimized".into(),
+            wall_ms: warm_ms,
+            threads,
+            memoize: true, // cache on: the in-memory tier answers
+            blocks,
+            peak_bytes: 0,
+            peak_tier_bytes: vec![],
+        });
+
+        let s = cold_ms / warm_ms.max(1e-9);
+        println!(
+            "{cell:<16}: cold {cold_ms:>8.2} ms -> warm {:>9.4} ms ({s:.0}x)",
+            warm_ms
+        );
+        assert!(
+            s >= 100.0,
+            "{cell}: warm must be >=100x faster than cold (got {s:.0}x)"
+        );
+        speedup.push(ModelSpeedup {
+            model: cell.clone(),
+            speedup: s,
+        });
+    }
+
+    // Concurrency contract on the first grid cell.
+    let (_, graph, batch) = &grid[0];
+    single_flight_check(graph, *batch, &mem, 4);
+
+    let report = BenchReport {
+        config: if smoke { "smoke" } else { "default" }.into(),
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries,
+        speedup,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

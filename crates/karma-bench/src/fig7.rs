@@ -35,9 +35,10 @@ pub fn blocking() -> (KarmaPlan, Fig7Result) {
         .unwrap();
     let node = NodeSpec::abci();
     let planner = Karma::new(node.clone(), w.mem.clone());
-    // Run the planner un-wrapped so its internal ACO batch evaluation keeps
-    // the full pool width (a nested region would run inline); only the two
-    // cheap baseline references — plain simulations — overlap as a pair.
+    // The planner's internal ACO batch evaluation width-shares the
+    // persistent pool, so wrapping it in a join gains nothing; only the
+    // two cheap baseline references — plain simulations — overlap as a
+    // pair.
     let plan = planner
         .plan(&w.model, BATCH, &KarmaOptions::default())
         .unwrap();

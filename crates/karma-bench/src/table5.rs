@@ -23,9 +23,10 @@ pub const STEPS: [usize; 6] = [1, 2, 3, 4, 5, 6];
 /// Reproduce the table. `quick` limits to 3 steps for tests/benches.
 pub fn rows(quick: bool) -> Table5 {
     let steps: &[usize] = if quick { &STEPS[..3] } else { &STEPS };
-    // Each half parallelizes over its steps inside `cost_perf_table`; an
-    // outer join here would demote one half's step sweep to a nested
-    // (inline) region and leave it fully serial, so the halves run in turn.
+    // Each half parallelizes over its steps inside `cost_perf_table`;
+    // nested regions width-share the pool, so an outer join would only
+    // interleave the two step sweeps over the same lanes — the halves
+    // run in turn for clearer attribution, at the same total width.
     Table5 {
         resnet50: cost_perf_table(
             &resnet::resnet50(),

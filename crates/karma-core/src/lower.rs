@@ -28,7 +28,11 @@ use crate::cost::BlockCosts;
 use crate::plan::{OpKind, Plan};
 
 /// Extra durations for distributed plans.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable (and comparable) because every knob here changes the
+/// simulated schedule, so the set is part of the plan-cache fingerprint
+/// contract (`karma-serve`, docs/SERVING.md).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LowerOptions {
     /// Swap ops move model state along with activations (the multi-GPU
     /// pipeline swaps blocks out for CPU-side updates, Sec. III-G).

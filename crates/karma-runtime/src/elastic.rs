@@ -34,7 +34,10 @@
 use karma_core::plan::Plan;
 use karma_tensor::{Sequential, SyntheticDataset, Tensor};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::bridge::{lower_dist_plan, lower_plan_tiered, BridgeError};
 use crate::dp::{train_churn, ChurnConfig, ExchangeSchedule, FaultPlan, WorkerFailure};
@@ -266,8 +269,21 @@ enum LowerPath {
 /// phased-exchange steps, applies scheduled [`PoolEvent`]s (hot-swapping
 /// the executor and exchange schedule on every pool change), and saves /
 /// resumes [`Checkpoint`]s through a far-store tier.
+///
+/// Lowered pairs are **memoized per pool size**: churning back to a
+/// previously-seen size (shrink to 3, grow back to 4, …) hot-swaps the
+/// cached executor + exchange schedule instead of re-running the lowering
+/// analysis — the plan-cache idea of `karma-serve`, applied to the
+/// re-lowering path. Lowering is deterministic, so a cached pair is
+/// bitwise the pair a fresh lowering would build; the memo only skips
+/// work, never changes results.
 pub struct ElasticDriver {
     path: LowerPath,
+    /// Pool size → validated lowered pair, filled on first lowering.
+    lowered: Mutex<HashMap<usize, (OocExecutor, ExchangeSchedule)>>,
+    /// Lifetime count of [`ElasticDriver::lower_for`] calls answered from
+    /// the memo.
+    lower_cache_hits: AtomicUsize,
 }
 
 /// Knobs of one [`ElasticDriver::run`].
@@ -336,6 +352,11 @@ pub struct ElasticReport {
     /// Times the executor + exchange schedule were re-lowered and
     /// hot-swapped (pool changes; the initial lowering is not counted).
     pub relowers: usize,
+    /// How many of this run's lowerings (initial + hot swaps) were
+    /// answered from the driver's per-pool-size memo instead of running
+    /// the lowering analysis — churn back to a previously-seen size is a
+    /// cache hit. Always 0 on the fixed path, which never re-lowers.
+    pub lower_cache_hits: usize,
     /// Checkpoints saved to the far store.
     pub checkpoints_saved: usize,
     /// Exchange groups that fell back to survivor-only averaging.
@@ -369,6 +390,8 @@ impl ElasticDriver {
                 n_layers,
                 tiered: None,
             },
+            lowered: Mutex::new(HashMap::new()),
+            lower_cache_hits: AtomicUsize::new(0),
         }
     }
 
@@ -391,6 +414,8 @@ impl ElasticDriver {
                 n_layers,
                 tiered: Some((key_bytes, tiers)),
             },
+            lowered: Mutex::new(HashMap::new()),
+            lower_cache_hits: AtomicUsize::new(0),
         }
     }
 
@@ -400,15 +425,20 @@ impl ElasticDriver {
     pub fn fixed(exec: OocExecutor, xchg: ExchangeSchedule) -> Self {
         ElasticDriver {
             path: LowerPath::Fixed(exec, xchg),
+            lowered: Mutex::new(HashMap::new()),
+            lower_cache_hits: AtomicUsize::new(0),
         }
     }
 
     /// Lower the executor + exchange schedule for a `workers`-wide pool.
     /// The plan is per-worker, so the lowered schedule itself is
     /// pool-size-invariant — what changes across pools is the shard map
-    /// and the exchange divisors, both owned by the runtime — but every
-    /// hot swap revalidates the plan end to end and surfaces an
-    /// infeasible stack as a typed error at the swap point.
+    /// and the exchange divisors, both owned by the runtime — but the
+    /// *first* lowering at each pool size revalidates the plan end to end
+    /// and surfaces an infeasible stack as a typed error at the swap
+    /// point. Churning back to a previously-seen size is a memo hit:
+    /// the already-validated pair is cloned out and counted in
+    /// [`ElasticReport::lower_cache_hits`].
     pub fn lower_for(
         &self,
         workers: usize,
@@ -425,19 +455,25 @@ impl ElasticDriver {
                 n_layers,
                 tiered,
             } => {
+                if let Some(pair) = self.lowered.lock().unwrap().get(&workers) {
+                    self.lower_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(pair.clone());
+                }
                 let map = |source| ElasticError::Lower { workers, source };
                 let (exec, xchg) =
                     lower_dist_plan(plan, boundaries, *budget, *n_layers).map_err(map)?;
-                match tiered {
-                    None => Ok((exec, xchg)),
+                let pair = match tiered {
+                    None => (exec, xchg),
                     Some((key_bytes, tiers)) => {
                         let exec = lower_plan_tiered(
                             plan, boundaries, *budget, *n_layers, key_bytes, tiers,
                         )
                         .map_err(map)?;
-                        Ok((exec, xchg))
+                        (exec, xchg)
                     }
-                }
+                };
+                self.lowered.lock().unwrap().insert(workers, pair.clone());
+                Ok(pair)
             }
         }
     }
@@ -473,6 +509,7 @@ impl ElasticDriver {
         let start_step = step;
         let start_cursor = cursor;
 
+        let hits_at_start = self.lower_cache_hits.load(Ordering::Relaxed);
         let (mut exec, mut xchg) = self.lower_for(nets.len())?;
         let n_groups = xchg.n_groups();
 
@@ -483,6 +520,7 @@ impl ElasticDriver {
             final_snapshot: Vec::new(),
             phases: Vec::new(),
             relowers: 0,
+            lower_cache_hits: 0,
             checkpoints_saved: 0,
             aborted_groups: 0,
             completed_with_dead: 0,
@@ -659,6 +697,7 @@ impl ElasticDriver {
         report.final_snapshot = nets[0].snapshot();
         report.samples_consumed = cursor - start_cursor;
         report.cursor = cursor;
+        report.lower_cache_hits = self.lower_cache_hits.load(Ordering::Relaxed) - hits_at_start;
         Ok(report)
     }
 }
@@ -765,6 +804,10 @@ mod tests {
         assert_eq!(report.pool_sizes, vec![4, 4, 3, 2, 4, 4]);
         assert_eq!(nets.len(), 4);
         assert_eq!(report.relowers, 3, "fail, leave, and join each hot-swap");
+        assert_eq!(
+            report.lower_cache_hits, 0,
+            "the fixed path clones, it never consults the memo"
+        );
         assert_eq!(report.completed_with_dead, 1);
         assert_eq!(report.aborted_groups, 1);
         assert!(report.phases.iter().any(|p| p.faulty));

@@ -1,0 +1,278 @@
+//! Content fingerprinting of plan requests.
+//!
+//! A production training service re-plans constantly — new model
+//! revisions, new device budgets, elastic pool sizes — and the full ACO
+//! search costs milliseconds to seconds. Two requests deserve the same
+//! plan exactly when every input the search reads is identical, so the
+//! cache key is a **content fingerprint**: a stable hash over the
+//! canonical serialization of those inputs, nothing else (no pointers,
+//! no timestamps, no insertion order).
+//!
+//! ## The fingerprint contract
+//!
+//! Exactly these fields hash, in this order (see also docs/SERVING.md):
+//!
+//! 1. [`FINGERPRINT_VERSION`] — bumping it invalidates every cache;
+//! 2. the full [`ModelGraph`] (layer kinds, hyper-parameters, shapes,
+//!    dependency edges, names);
+//! 3. the batch size;
+//! 4. the [`NodeSpec`] (GPU, links, CPU, memory tiers);
+//! 5. the [`MemoryParams`] memory model;
+//! 6. the [`KarmaOptions`] (recompute toggle + every `OptConfig` knob,
+//!    including the search seed);
+//! 7. the [`LowerOptions`] simulation knobs;
+//! 8. the optional runtime byte budget.
+//!
+//! Anything *not* in this list — thread count, cache state, wall clock —
+//! must never influence the returned plan, which is exactly the
+//! workspace's bit-determinism contract: `optimize_blocking` is a pure
+//! function of (2)–(7) at any `KARMA_NUM_THREADS`.
+//!
+//! Canonicalization rides the workspace serde shim: struct fields
+//! serialize in declaration order, there are no maps in any hashed type,
+//! and floats print shortest-round-trip — so value-equal inputs yield
+//! byte-equal JSON, however they were constructed.
+
+use std::fmt;
+
+use karma_core::lower::LowerOptions;
+use karma_core::planner::KarmaOptions;
+use karma_graph::{MemoryParams, ModelGraph};
+use karma_hw::NodeSpec;
+
+/// Version of the fingerprint contract; part of every hash, so bumping
+/// it orphans (and thereby invalidates) every previously persisted entry.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+/// A 128-bit content fingerprint (two independent 64-bit FNV-1a lanes —
+/// fast and stable across platforms; **not** cryptographic, which is fine
+/// for a cache key derived from trusted inputs).
+///
+/// ```
+/// use karma_serve::Fingerprint;
+/// let fp = Fingerprint::of_bytes(b"hello");
+/// assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+/// assert_ne!(fp, Fingerprint::of_bytes(b"hello!"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u64; 2]);
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second-lane basis (the 64-bit golden ratio), decorrelating the lanes.
+const LANE2_BASIS: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Fingerprint {
+    /// Fingerprint raw bytes (already-canonical content).
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        Fingerprint([
+            fnv1a(bytes, FNV_BASIS),
+            fnv1a(bytes, LANE2_BASIS ^ bytes.len() as u64),
+        ])
+    }
+
+    /// Parse the 32-hex-digit form printed by `Display`.
+    ///
+    /// ```
+    /// use karma_serve::Fingerprint;
+    /// assert_eq!(
+    ///     Fingerprint::parse("00000000000000010000000000000002"),
+    ///     Some(Fingerprint([1, 2]))
+    /// );
+    /// assert_eq!(Fingerprint::parse("not-hex"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Fingerprint([hi, lo]))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// Everything a plan request is a function of — the borrowed view the
+/// fingerprint (and the cold search) is computed from.
+///
+/// ```
+/// use karma_serve::PlanRequest;
+/// use karma_core::planner::KarmaOptions;
+/// use karma_graph::{GraphBuilder, MemoryParams, Shape};
+/// use karma_hw::NodeSpec;
+///
+/// let mut b = GraphBuilder::new("tiny", Shape::chw(4, 8, 8));
+/// b.conv(4, 3, 1, 1);
+/// let graph = b.build();
+/// let (node, mem, opts) = (NodeSpec::abci(), MemoryParams::exact(), KarmaOptions::fast(1));
+/// let req = PlanRequest::new(&graph, 2, &node, &mem, &opts);
+/// // Value-identical requests fingerprint identically…
+/// assert_eq!(req.fingerprint(), PlanRequest::new(&graph, 2, &node, &mem, &opts).fingerprint());
+/// // …and any knob change re-keys.
+/// assert_ne!(req.fingerprint(), PlanRequest::new(&graph, 4, &node, &mem, &opts).fingerprint());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanRequest<'a> {
+    /// The model to plan.
+    pub graph: &'a ModelGraph,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Target node.
+    pub node: &'a NodeSpec,
+    /// Memory model.
+    pub mem: &'a MemoryParams,
+    /// Planner knobs (recompute toggle + the full `OptConfig`).
+    pub opts: &'a KarmaOptions,
+    /// Simulation knobs the plan evaluation reads.
+    pub lower: LowerOptions,
+    /// Optional runtime near-memory budget (bytes) when the plan is
+    /// destined for lowering; `None` for pure planning requests.
+    pub budget: Option<u64>,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// A planning request with default simulation knobs and no runtime
+    /// budget (the common case).
+    pub fn new(
+        graph: &'a ModelGraph,
+        batch: usize,
+        node: &'a NodeSpec,
+        mem: &'a MemoryParams,
+        opts: &'a KarmaOptions,
+    ) -> Self {
+        PlanRequest {
+            graph,
+            batch,
+            node,
+            mem,
+            opts,
+            lower: LowerOptions::default(),
+            budget: None,
+        }
+    }
+
+    /// The canonical serialized form — the exact bytes the fingerprint
+    /// hashes, assembled field by field in the contract order so the
+    /// layout is explicit here rather than implied by a derive.
+    ///
+    /// ```
+    /// # use karma_serve::PlanRequest;
+    /// # use karma_core::planner::KarmaOptions;
+    /// # use karma_graph::{GraphBuilder, MemoryParams, Shape};
+    /// # use karma_hw::NodeSpec;
+    /// # let mut b = GraphBuilder::new("tiny", Shape::chw(4, 8, 8));
+    /// # b.conv(4, 3, 1, 1);
+    /// # let graph = b.build();
+    /// # let (node, mem, opts) = (NodeSpec::abci(), MemoryParams::exact(), KarmaOptions::fast(1));
+    /// let json = PlanRequest::new(&graph, 2, &node, &mem, &opts).canonical_json();
+    /// assert!(json.starts_with("{\"version\":1,"));
+    /// assert!(json.contains("\"batch\":2"));
+    /// ```
+    pub fn canonical_json(&self) -> String {
+        let part = |label: &str, json: Result<String, serde::Error>| {
+            let body = json.expect("workspace types serialize infallibly");
+            format!("\"{label}\":{body}")
+        };
+        let budget = match self.budget {
+            Some(b) => format!("\"budget\":{b}"),
+            None => "\"budget\":null".to_string(),
+        };
+        format!(
+            "{{\"version\":{},{},{},{},{},{},{},{}}}",
+            FINGERPRINT_VERSION,
+            part("graph", serde_json::to_string(self.graph)),
+            format_args!("\"batch\":{}", self.batch),
+            part("node", serde_json::to_string(self.node)),
+            part("mem", serde_json::to_string(self.mem)),
+            part("opts", serde_json::to_string(self.opts)),
+            part("lower", serde_json::to_string(&self.lower)),
+            budget,
+        )
+    }
+
+    /// The content fingerprint of this request.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_bytes(self.canonical_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use karma_graph::{GraphBuilder, Shape};
+
+    fn tiny_graph() -> ModelGraph {
+        let mut b = GraphBuilder::new("tiny", Shape::chw(4, 8, 8));
+        b.conv(4, 3, 1, 1);
+        b.relu();
+        b.build()
+    }
+
+    #[test]
+    fn fingerprint_is_a_pure_function_of_the_canonical_json() {
+        let g = tiny_graph();
+        let node = NodeSpec::abci();
+        let mem = MemoryParams::exact();
+        let opts = KarmaOptions::fast(7);
+        let (g2, node2, mem2, opts2) = (g.clone(), node.clone(), mem.clone(), opts.clone());
+        let a = PlanRequest::new(&g, 2, &node, &mem, &opts);
+        let b = PlanRequest::new(&g2, 2, &node2, &mem2, &opts2);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn every_contract_field_rekeys() {
+        let g = tiny_graph();
+        let node = NodeSpec::abci();
+        let mem = MemoryParams::exact();
+        let opts = KarmaOptions::fast(7);
+        let base = PlanRequest::new(&g, 2, &node, &mem, &opts).fingerprint();
+
+        let mut g2 = tiny_graph();
+        g2.name = "renamed".into();
+        assert_ne!(
+            PlanRequest::new(&g2, 2, &node, &mem, &opts).fingerprint(),
+            base
+        );
+
+        assert_ne!(
+            PlanRequest::new(&g, 3, &node, &mem, &opts).fingerprint(),
+            base
+        );
+
+        let mut opts2 = opts.clone();
+        opts2.opt.seed += 1;
+        assert_ne!(
+            PlanRequest::new(&g, 2, &node, &mem, &opts2).fingerprint(),
+            base
+        );
+
+        let mut with_budget = PlanRequest::new(&g, 2, &node, &mem, &opts);
+        with_budget.budget = Some(1 << 20);
+        assert_ne!(with_budget.fingerprint(), base);
+
+        let mut with_lower = PlanRequest::new(&g, 2, &node, &mem, &opts);
+        with_lower.lower.swap_state = true;
+        assert_ne!(with_lower.fingerprint(), base);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let fp = Fingerprint::of_bytes(b"round trip");
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+    }
+}

@@ -1,0 +1,38 @@
+//! Plan-serving layer: a fingerprint-keyed plan cache/server over the
+//! KARMA planner.
+//!
+//! A production training service re-plans constantly — new model
+//! revisions, new device budgets, elastic pool sizes — yet most requests
+//! repeat an input combination the search has already solved. This crate
+//! splits plan acquisition into two regimes:
+//!
+//! * **warm** — the request's [content fingerprint](fingerprint) hits the
+//!   two-tier [`PlanStore`] (in-memory map, then an on-disk JSON
+//!   directory) and the validated [`PlanEntry`] returns in microseconds,
+//!   without touching the thread pool;
+//! * **cold** — the full `optimize_blocking` ACO search runs (fanned out
+//!   across the persistent work-stealing pool in the `rayon` shim),
+//!   and the result populates both tiers for every later request.
+//!
+//! Identical concurrent misses are **single-flight** (one search,
+//! everyone else parks and wakes to the warm hit), and a damaged
+//! persisted entry surfaces as a typed [`ServeError::Corrupt`] — never a
+//! stale plan. The determinism contract underneath makes caching sound
+//! in the first place: the search is a pure function of the fingerprinted
+//! fields at any `KARMA_NUM_THREADS`, so a cached plan is bitwise the
+//! plan a fresh search would return.
+//!
+//! See `docs/SERVING.md` for the full fingerprint/invalidation contract
+//! and `examples/plan_server.rs` for a worked walkthrough.
+//!
+//! **Workspace position:** sits above `karma-core` (planner, plan IR) and
+//! below nothing — `karma-bench`'s `serve_bench` measures it, the elastic
+//! runtime pairs with it through the plan entries it serves.
+
+pub mod fingerprint;
+pub mod server;
+pub mod store;
+
+pub use fingerprint::{Fingerprint, PlanRequest, FINGERPRINT_VERSION};
+pub use server::{PlanServer, ServeSource, ServeStats, ServedPlan};
+pub use store::{PlanEntry, PlanStore, ServeError, STORE_FORMAT_VERSION};

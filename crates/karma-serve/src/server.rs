@@ -1,0 +1,265 @@
+//! The plan server: concurrent fingerprint-keyed serving over one
+//! [`PlanStore`], cold misses fanned out on the persistent `rayon`-shim
+//! pool by the ACO search underneath [`Karma::plan`].
+//!
+//! ## Concurrency model
+//!
+//! * **Warm hits never touch the pool**: a hit is a read-lock lookup plus
+//!   an `Arc` clone, so thousands of concurrent requests against one
+//!   cache resolve in microseconds, independent of each other.
+//! * **Cold misses are single-flight**: concurrent requests for the same
+//!   fingerprint elect one computing thread; the rest park on a condvar
+//!   and wake to a warm hit. Distinct fingerprints compute concurrently —
+//!   their parallel regions width-share the pool.
+//! * **Panic-safe**: the in-flight claim is released by a drop guard, so
+//!   a panicking search can never wedge waiters.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use karma_core::lower::LowerOptions;
+use karma_core::planner::{Karma, KarmaOptions};
+use karma_graph::ModelGraph;
+
+use crate::fingerprint::{Fingerprint, PlanRequest};
+use crate::store::{PlanEntry, PlanStore, ServeError};
+
+/// Where a served plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// In-memory tier (µs path; the pool was never touched).
+    Memory,
+    /// On-disk tier, validated and promoted to memory.
+    Disk,
+    /// Cold miss: the full `optimize_blocking` search ran.
+    Computed,
+}
+
+/// A successfully served plan.
+#[derive(Debug, Clone)]
+pub struct ServedPlan {
+    /// The validated entry (shared with the cache — cloning is free).
+    pub entry: Arc<PlanEntry>,
+    /// Which tier answered.
+    pub source: ServeSource,
+    /// The request fingerprint (cache key).
+    pub fingerprint: Fingerprint,
+}
+
+/// Counter snapshot of a server's lifetime traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered from memory.
+    pub memory_hits: usize,
+    /// Requests answered from disk.
+    pub disk_hits: usize,
+    /// Full searches run (cold misses).
+    pub searches: usize,
+    /// Requests that parked behind an identical in-flight miss and woke
+    /// to a warm hit.
+    pub coalesced: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    memory_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
+    searches: AtomicUsize,
+    coalesced: AtomicUsize,
+}
+
+/// Fingerprint-keyed plan cache/server over one planner.
+///
+/// ```
+/// use karma_core::planner::{Karma, KarmaOptions};
+/// use karma_graph::{GraphBuilder, MemoryParams, Shape};
+/// use karma_hw::{GpuSpec, LinkSpec, NodeSpec};
+/// use karma_serve::{PlanServer, ServeSource};
+///
+/// let mut b = GraphBuilder::new("tiny", Shape::chw(4, 8, 8));
+/// for _ in 0..4 {
+///     b.conv(4, 3, 1, 1);
+/// }
+/// let graph = b.build();
+/// let mem = MemoryParams::exact();
+/// let need = graph.peak_footprint(2, &mem);
+/// let node = NodeSpec::toy(GpuSpec::toy(need * 2, 5.0e9), LinkSpec::toy(3.0e8));
+///
+/// let server = PlanServer::new(Karma::new(node, mem));
+/// let opts = KarmaOptions::fast(1);
+/// let cold = server.serve(&graph, 2, &opts).unwrap();
+/// let warm = server.serve(&graph, 2, &opts).unwrap();
+/// assert_eq!(cold.source, ServeSource::Computed);
+/// assert_eq!(warm.source, ServeSource::Memory);
+/// assert_eq!(warm.entry.plan, cold.entry.plan); // bitwise-identical
+/// assert_eq!(server.stats().searches, 1); // the warm hit ran no search
+/// ```
+pub struct PlanServer {
+    planner: Karma,
+    lower: LowerOptions,
+    store: PlanStore,
+    counters: Counters,
+    inflight: Mutex<HashSet<Fingerprint>>,
+    inflight_done: Condvar,
+}
+
+/// Releases an in-flight claim even when the search panics.
+struct InflightGuard<'a> {
+    server: &'a PlanServer,
+    fp: Fingerprint,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = self.server.inflight.lock().unwrap();
+        set.remove(&self.fp);
+        self.server.inflight_done.notify_all();
+    }
+}
+
+impl PlanServer {
+    /// Server over a memory-only store.
+    pub fn new(planner: Karma) -> Self {
+        Self::with_store(planner, PlanStore::in_memory())
+    }
+
+    /// Server over an explicit (possibly disk-backed) store.
+    ///
+    /// ```
+    /// use karma_core::planner::Karma;
+    /// use karma_graph::MemoryParams;
+    /// use karma_hw::NodeSpec;
+    /// use karma_serve::{PlanServer, PlanStore};
+    /// let server =
+    ///     PlanServer::with_store(Karma::new(NodeSpec::abci(), MemoryParams::exact()),
+    ///                            PlanStore::in_memory());
+    /// assert_eq!(server.store().len(), 0);
+    /// ```
+    pub fn with_store(planner: Karma, store: PlanStore) -> Self {
+        PlanServer {
+            planner,
+            lower: LowerOptions::default(),
+            store,
+            counters: Counters::default(),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+        }
+    }
+
+    /// The underlying store (for eviction, size checks, path lookups).
+    pub fn store(&self) -> &PlanStore {
+        &self.store
+    }
+
+    /// The planner the cold path runs.
+    pub fn planner(&self) -> &Karma {
+        &self.planner
+    }
+
+    /// The full request (fingerprint inputs) this server derives for
+    /// `(graph, batch, opts)` — node, memory model and simulation knobs
+    /// come from the server's own configuration.
+    pub fn request<'a>(
+        &'a self,
+        graph: &'a ModelGraph,
+        batch: usize,
+        opts: &'a KarmaOptions,
+    ) -> PlanRequest<'a> {
+        let mut req = PlanRequest::new(
+            graph,
+            batch,
+            self.planner.node(),
+            self.planner.memory_params(),
+            opts,
+        );
+        req.lower = self.lower.clone();
+        req
+    }
+
+    /// Serve a plan: memory tier, then disk tier, then the full search.
+    /// See the module docs for the concurrency contract; see
+    /// [`crate::store`] for the invalidation rules a disk entry must
+    /// pass (a failing entry surfaces as [`ServeError::Corrupt`], never
+    /// as a stale plan).
+    pub fn serve(
+        &self,
+        graph: &ModelGraph,
+        batch: usize,
+        opts: &KarmaOptions,
+    ) -> Result<ServedPlan, ServeError> {
+        let fp = self.request(graph, batch, opts).fingerprint();
+
+        // Fast path + single-flight claim.
+        let mut parked = false;
+        loop {
+            if let Some(entry) = self.store.get(fp) {
+                self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+                if parked {
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(ServedPlan {
+                    entry,
+                    source: ServeSource::Memory,
+                    fingerprint: fp,
+                });
+            }
+            let mut inflight = self.inflight.lock().unwrap();
+            if !inflight.contains(&fp) {
+                inflight.insert(fp);
+                break;
+            }
+            // An identical miss is computing; park until it resolves,
+            // then re-check the store (hit) or claim the slot (the
+            // computer failed — this thread retries).
+            parked = true;
+            while inflight.contains(&fp) {
+                inflight = self.inflight_done.wait(inflight).unwrap();
+            }
+        }
+        let _claim = InflightGuard { server: self, fp };
+
+        // Disk tier.
+        if let Some(entry) = self.store.load_from_disk(fp)? {
+            self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(ServedPlan {
+                entry,
+                source: ServeSource::Disk,
+                fingerprint: fp,
+            });
+        }
+
+        // Cold miss: the full ACO search (fans out on the persistent
+        // pool), then populate both tiers.
+        self.counters.searches.fetch_add(1, Ordering::Relaxed);
+        let planned = self
+            .planner
+            .plan(graph, batch, opts)
+            .map_err(ServeError::Plan)?;
+        let entry = self.store.insert(fp, PlanEntry::from_karma(fp, &planned))?;
+        Ok(ServedPlan {
+            entry,
+            source: ServeSource::Computed,
+            fingerprint: fp,
+        })
+    }
+
+    /// Lifetime traffic counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            searches: self.counters.searches.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanServer")
+            .field("store", &self.store)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,270 @@
+//! The two-tier plan store: an in-memory map for µs hits and an optional
+//! on-disk directory (one JSON file per fingerprint) that survives
+//! restarts.
+//!
+//! ## Invalidation rules
+//!
+//! An on-disk entry is served only when **all** of these hold; any
+//! violation is a typed [`ServeError::Corrupt`] — a damaged file can
+//! surface an error, never a stale or wrong plan:
+//!
+//! * the file parses as a [`PlanEntry`] JSON document,
+//! * `entry.format == `[`STORE_FORMAT_VERSION`],
+//! * `entry.fingerprint` equals the fingerprint being looked up (which
+//!   already encodes [`crate::FINGERPRINT_VERSION`] and every request
+//!   field), and
+//! * the embedded plan passes [`Plan::validate`] and its shape is
+//!   internally consistent (`recompute` covers every block).
+//!
+//! Writes are atomic (`<hex>.json.tmp` + rename), so a crash mid-write
+//! leaves either the old entry or none — a truncated entry can only
+//! appear through external interference, and then the checks above
+//! refuse it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use karma_core::lower::SimMetrics;
+use karma_core::plan::Plan;
+use karma_core::planner::{KarmaPlan, PlanError};
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::Fingerprint;
+
+/// On-disk format version; persisted in every entry and checked on load.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// A validated, cache-ready plan: the blocking search's full output, in
+/// exactly the shape the lowering bridge and the elastic driver consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEntry {
+    /// [`STORE_FORMAT_VERSION`] at write time.
+    pub format: u32,
+    /// Hex form of the request fingerprint this entry answers — a
+    /// self-check against misfiled or hand-edited entries.
+    pub fingerprint: String,
+    /// Chosen block boundaries (layer indices, ascending, starting at 0).
+    pub boundaries: Vec<usize>,
+    /// First resident block of the capacity schedule.
+    pub resident_from: usize,
+    /// Per-block recompute decisions.
+    pub recompute: Vec<bool>,
+    /// The executable plan.
+    pub plan: Plan,
+    /// Simulated metrics of the plan (makespan, occupancy, peak bytes).
+    pub metrics: SimMetrics,
+}
+
+impl PlanEntry {
+    /// Package a finished [`KarmaPlan`] under `fp`.
+    pub fn from_karma(fp: Fingerprint, planned: &KarmaPlan) -> Self {
+        PlanEntry {
+            format: STORE_FORMAT_VERSION,
+            fingerprint: fp.to_string(),
+            boundaries: planned.partition.boundaries().to_vec(),
+            resident_from: planned.capacity_plan.resident_from,
+            recompute: planned.capacity_plan.recompute.clone(),
+            plan: planned.capacity_plan.plan.clone(),
+            metrics: planned.metrics,
+        }
+    }
+
+    /// The invalidation checks a loaded entry must pass before it may be
+    /// served for `fp` (see the module docs).
+    fn check(&self, fp: Fingerprint) -> Result<(), String> {
+        if self.format != STORE_FORMAT_VERSION {
+            return Err(format!(
+                "format {} != supported {STORE_FORMAT_VERSION}",
+                self.format
+            ));
+        }
+        if self.fingerprint != fp.to_string() {
+            return Err(format!(
+                "embedded fingerprint {} != requested {fp}",
+                self.fingerprint
+            ));
+        }
+        if self.recompute.len() != self.plan.n_blocks {
+            return Err(format!(
+                "recompute covers {} blocks, plan has {}",
+                self.recompute.len(),
+                self.plan.n_blocks
+            ));
+        }
+        self.plan.validate()
+    }
+}
+
+/// Why a serve request failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The cold search itself failed (infeasible device/model pair).
+    Plan(PlanError),
+    /// A persisted entry exists but is damaged or inconsistent; it was
+    /// **not** served. `path` names the offending file.
+    Corrupt {
+        /// The refused entry file.
+        path: PathBuf,
+        /// What check failed.
+        reason: String,
+    },
+    /// Disk I/O failed while reading or writing an entry.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Plan(e) => write!(f, "cold plan search failed: {e}"),
+            ServeError::Corrupt { path, reason } => {
+                write!(
+                    f,
+                    "refusing corrupt plan entry {}: {reason}",
+                    path.display()
+                )
+            }
+            ServeError::Io { path, reason } => {
+                write!(f, "plan store I/O error at {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The two-tier store. All methods take `&self`; the in-memory tier is
+/// behind an `RwLock`, so concurrent hits only contend on a read lock.
+pub struct PlanStore {
+    mem: RwLock<HashMap<Fingerprint, Arc<PlanEntry>>>,
+    dir: Option<PathBuf>,
+}
+
+impl PlanStore {
+    /// Memory-only store (entries die with the process).
+    ///
+    /// ```
+    /// use karma_serve::PlanStore;
+    /// let store = PlanStore::in_memory();
+    /// assert_eq!(store.len(), 0);
+    /// ```
+    pub fn in_memory() -> Self {
+        PlanStore {
+            mem: RwLock::new(HashMap::new()),
+            dir: None,
+        }
+    }
+
+    /// Store persisting entries under `dir` (created if absent), one
+    /// `<fingerprint>.json` per plan.
+    ///
+    /// ```
+    /// use karma_serve::PlanStore;
+    /// let dir = std::env::temp_dir().join("karma-serve-doctest-store");
+    /// let store = PlanStore::with_dir(&dir).unwrap();
+    /// assert_eq!(store.len(), 0);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
+    pub fn with_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PlanStore {
+            mem: RwLock::new(HashMap::new()),
+            dir: Some(dir),
+        })
+    }
+
+    /// Entries currently in memory.
+    pub fn len(&self) -> usize {
+        self.mem.read().unwrap().len()
+    }
+
+    /// True when the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The on-disk path an entry for `fp` lives at, if persistence is on.
+    pub fn path_of(&self, fp: Fingerprint) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{fp}.json")))
+    }
+
+    /// Memory-tier lookup; never touches the disk.
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<PlanEntry>> {
+        self.mem.read().unwrap().get(&fp).cloned()
+    }
+
+    /// Disk-tier lookup: load, run the invalidation checks, and promote
+    /// the entry into memory. `Ok(None)` when no file exists.
+    pub fn load_from_disk(&self, fp: Fingerprint) -> Result<Option<Arc<PlanEntry>>, ServeError> {
+        let Some(path) = self.path_of(fp) else {
+            return Ok(None);
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(ServeError::Io {
+                    path,
+                    reason: e.to_string(),
+                })
+            }
+        };
+        let entry: PlanEntry = serde_json::from_str(&text).map_err(|e| ServeError::Corrupt {
+            path: path.clone(),
+            reason: format!("not a plan entry: {e:?}"),
+        })?;
+        entry.check(fp).map_err(|reason| ServeError::Corrupt {
+            path: path.clone(),
+            reason,
+        })?;
+        let arc = Arc::new(entry);
+        self.mem.write().unwrap().insert(fp, Arc::clone(&arc));
+        Ok(Some(arc))
+    }
+
+    /// Insert a fresh entry into memory and (if configured) persist it
+    /// atomically to disk.
+    pub fn insert(&self, fp: Fingerprint, entry: PlanEntry) -> Result<Arc<PlanEntry>, ServeError> {
+        let arc = Arc::new(entry);
+        if let Some(path) = self.path_of(fp) {
+            let io_err = |e: std::io::Error| ServeError::Io {
+                path: path.clone(),
+                reason: e.to_string(),
+            };
+            let text = serde_json::to_string(arc.as_ref()).expect("plan entries serialize");
+            let tmp = path.with_extension("json.tmp");
+            std::fs::write(&tmp, text).map_err(io_err)?;
+            std::fs::rename(&tmp, &path).map_err(io_err)?;
+        }
+        self.mem.write().unwrap().insert(fp, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Drop `fp` from both tiers (e.g. after a [`ServeError::Corrupt`],
+    /// to let the next request recompute). Returns whether anything was
+    /// removed.
+    pub fn evict(&self, fp: Fingerprint) -> bool {
+        let in_mem = self.mem.write().unwrap().remove(&fp).is_some();
+        let on_disk = self
+            .path_of(fp)
+            .map(|p| std::fs::remove_file(p).is_ok())
+            .unwrap_or(false);
+        in_mem || on_disk
+    }
+}
+
+impl fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("entries", &self.len())
+            .field("dir", &self.dir)
+            .finish()
+    }
+}

@@ -1,0 +1,109 @@
+//! Plan serving walkthrough: stand up a disk-backed [`PlanServer`],
+//! watch one request travel all three paths — cold search, in-memory
+//! hit, disk hit after a "restart" — and see the fail-closed
+//! invalidation refuse a damaged cache file instead of serving it.
+//!
+//! The cache is sound because the planner is deterministic: the search
+//! is a pure function of the fingerprinted request fields at any
+//! `KARMA_NUM_THREADS`, so a cached plan is bitwise the plan a fresh
+//! search would return (docs/SERVING.md spells out the contract).
+//!
+//! Run with: `cargo run --release --example plan_server`
+//!
+//! [`PlanServer`]: karma::serve::PlanServer
+
+use std::time::Instant;
+
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::graph::MemoryParams;
+use karma::hw::{GpuSpec, LinkSpec, NodeSpec};
+use karma::serve::{PlanServer, PlanStore, ServeError, ServeSource};
+use karma::zoo::micro::conv_stack_graph;
+
+fn main() {
+    // An out-of-core scenario: the conv stack's activations overflow a
+    // toy GPU sized at ~65% of their footprint (the model state stays
+    // resident), so the cold path must run the real blocking search.
+    let graph = conv_stack_graph(6, 4);
+    let batch = 16;
+    let mem = MemoryParams::exact();
+    let state = graph.memory(batch, &mem).model_state() as f64;
+    let acts = graph.peak_footprint(batch, &mem) as f64 - state;
+    let node = NodeSpec::toy(
+        GpuSpec::toy((state + acts * 0.65) as u64, 5.0e9),
+        LinkSpec::toy(4.0e9),
+    );
+    let opts = KarmaOptions::fast(17);
+
+    let dir = std::env::temp_dir().join("karma-plan-server-example");
+    std::fs::remove_dir_all(&dir).ok();
+    let open_server = || {
+        PlanServer::with_store(
+            Karma::new(node.clone(), mem.clone()),
+            PlanStore::with_dir(&dir).expect("store dir creates"),
+        )
+    };
+
+    // ---- cold: the full search runs and populates both tiers --------
+    let server = open_server();
+    let t = Instant::now();
+    let cold = server.serve(&graph, batch, &opts).expect("request plans");
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.source, ServeSource::Computed);
+    println!(
+        "cold : {:>9.3} ms  fingerprint {}  ({} blocks, {:.1} samples/s)",
+        cold_ms,
+        cold.fingerprint,
+        cold.entry.boundaries.len(),
+        batch as f64 / cold.entry.metrics.makespan
+    );
+
+    // ---- warm: the in-memory tier answers in microseconds -----------
+    let t = Instant::now();
+    let warm = server.serve(&graph, batch, &opts).expect("warm hit");
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm.source, ServeSource::Memory);
+    assert_eq!(warm.entry, cold.entry, "bitwise-identical, by contract");
+    println!(
+        "warm : {:>9.3} ms  ({}x faster, same bits, searches run: {})",
+        warm_ms,
+        (cold_ms / warm_ms.max(1e-9)) as u64,
+        server.stats().searches
+    );
+
+    // ---- restart: a fresh server finds the entry on disk ------------
+    let restarted = open_server();
+    let disk = restarted.serve(&graph, batch, &opts).expect("disk hit");
+    assert_eq!(disk.source, ServeSource::Disk);
+    assert_eq!(disk.entry, cold.entry);
+    println!(
+        "disk : restart served {} from {} without searching",
+        disk.fingerprint,
+        restarted
+            .store()
+            .path_of(disk.fingerprint)
+            .expect("disk-backed")
+            .display()
+    );
+
+    // ---- damage: a corrupted file is refused, never served ----------
+    let path = restarted.store().path_of(cold.fingerprint).unwrap();
+    let honest = std::fs::read_to_string(&path).expect("entry persisted");
+    std::fs::write(&path, &honest[..honest.len() / 2]).expect("truncate");
+    match open_server().serve(&graph, batch, &opts) {
+        Err(ServeError::Corrupt { path, reason }) => {
+            println!("corrupt: refused {} ({reason})", path.display());
+        }
+        other => panic!("a truncated entry must fail closed, got {other:?}"),
+    }
+
+    // Evict and recompute: the cache heals back to the same bits.
+    let healed = open_server();
+    healed.store().evict(cold.fingerprint);
+    let again = healed.serve(&graph, batch, &opts).expect("recompute");
+    assert_eq!(again.source, ServeSource::Computed);
+    assert_eq!(again.entry, cold.entry, "determinism heals the cache");
+    println!("healed: evict + recompute landed on the original bits");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

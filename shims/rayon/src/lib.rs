@@ -1,47 +1,59 @@
-//! Offline stand-in for `rayon` with **real** data parallelism.
+//! Offline stand-in for `rayon` with **real** data parallelism on a
+//! **persistent work-stealing pool**.
 //!
-//! Unlike the first-generation shim (which degraded every `par_*` entry
-//! point to a sequential std iterator), this version executes parallel
-//! regions on scoped `std::thread` workers:
+//! Earlier generations of this shim degraded `par_*` to sequential
+//! iterators, then to scoped `std::thread` workers spawned per region
+//! (~tens of µs of spawn cost every time, with nested regions forced
+//! inline). This version keeps a process-global pool alive across
+//! regions:
 //!
-//! * **Pool sizing** — `std::thread::available_parallelism`, overridable
-//!   with `KARMA_NUM_THREADS` / `RAYON_NUM_THREADS` (checked in that
-//!   order) or at runtime via [`set_num_threads`] (the shim's substitute
-//!   for `ThreadPoolBuilder::build_global`). `1` forces sequential
-//!   execution everywhere.
-//! * **Chunked distribution** — each parallel region splits its items into
-//!   one contiguous chunk per worker and joins the workers in chunk order,
-//!   so every adaptor is **order-preserving**: `par_iter().map(f).collect()`
-//!   yields exactly the sequential result, independent of thread count.
-//! * **Oversubscription guard** — a thread-local "pool worker" mark keeps
-//!   nested parallel regions (e.g. a parallel bench sweep whose inner
-//!   planner also calls `par_iter`) from multiplying threads: a region
-//!   started from a worker thread runs inline on that worker, while
-//!   independent top-level regions always get the full pool width.
+//! * **Lazy global workers** — the first parallel region spawns
+//!   `current_num_threads() - 1` daemon workers (the calling thread is
+//!   always the remaining lane); later regions reuse them, so a region's
+//!   fixed cost is two atomic loads and a queue push, not a `clone(2)`.
+//!   Raising the width later (e.g. [`set_num_threads`]) spawns the
+//!   difference on demand, up to [`MAX_POOL_WORKERS`].
+//! * **Per-worker deques with stealing** — each worker owns a deque;
+//!   submissions from a worker push to its own deque (popped LIFO for
+//!   locality), external submissions go to a shared injector, and idle
+//!   workers steal FIFO from the injector and from each other. Regions
+//!   oversplit their items into strips ([`STRIP_FACTOR`] per lane) so
+//!   stealing can rebalance a skewed workload.
+//! * **Width-shared nested regions** — a parallel region started *from*
+//!   a pool worker submits to the same deques and helps drain them while
+//!   it waits, so nested parallelism shares the fixed pool width instead
+//!   of running inline (the old shim) or multiplying threads (the shim
+//!   before that). Total live threads never exceed pool + callers.
+//! * **Bit-determinism contract** — every adaptor remains
+//!   **order-preserving**: strips are merged in input order, so
+//!   `par_iter().map(f).collect()` yields exactly the sequential result
+//!   at any thread count, any steal interleaving, nested or not. (The
+//!   per-item closures must be pure functions of their item, which every
+//!   caller in this workspace already guarantees.)
+//!
+//! Pool sizing follows `std::thread::available_parallelism`, overridable
+//! with `KARMA_NUM_THREADS` / `RAYON_NUM_THREADS` (checked in that order)
+//! or at runtime via [`set_num_threads`] (the shim's substitute for
+//! `ThreadPoolBuilder::build_global`). Width `1` forces inline sequential
+//! execution everywhere and never touches the pool.
 //!
 //! The trait surface of the real crate that the workspace consumes is kept
 //! intact (`par_chunks[_mut]`, `par_iter[_mut]`, `into_par_iter` on `Vec`
-//! and ranges, `map`/`enumerate`/`for_each`/`collect`/`sum`), so no call
-//! site changes when swapping in the real `rayon`.
+//! and ranges, `map`/`enumerate`/`for_each`/`collect`/`sum`, `join`), so
+//! no call site changes when swapping in the real `rayon`.
 
-use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
+
+mod pool;
+
+pub use pool::{pool_workers_spawned, MAX_POOL_WORKERS, STRIP_FACTOR};
 
 // --------------------------------------------------------------- pool size
 
 /// Runtime override installed by [`set_num_threads`]; `0` means "auto".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-thread_local! {
-    /// Set on threads spawned by this shim's parallel regions — the
-    /// oversubscription guard: a region started *from* a pool worker (i.e.
-    /// nested parallelism) runs inline instead of multiplying threads.
-    /// Being thread-local it cannot leak on panic, and independent
-    /// top-level regions (e.g. concurrent tests) never throttle each other.
-    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
-}
 
 fn auto_threads() -> usize {
     static AUTO: OnceLock<usize> = OnceLock::new();
@@ -63,12 +75,25 @@ fn auto_threads() -> usize {
 
 /// Override the worker count for every subsequent parallel region
 /// (`0` restores the environment/auto default). Process-global, like
-/// rayon's global pool.
+/// rayon's global pool. Already-spawned pool workers are never torn down;
+/// shrinking the width just leaves the surplus parked.
+///
+/// ```
+/// rayon::set_num_threads(1); // force sequential execution
+/// assert_eq!(rayon::current_num_threads(), 1);
+/// rayon::set_num_threads(0); // restore the environment/auto default
+/// assert!(rayon::current_num_threads() >= 1);
+/// ```
 pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
 /// The worker count parallel regions are currently sized to.
+///
+/// ```
+/// // Always at least one lane (the calling thread itself).
+/// assert!(rayon::current_num_threads() >= 1);
+/// ```
 pub fn current_num_threads() -> usize {
     match THREAD_OVERRIDE.load(Ordering::SeqCst) {
         0 => auto_threads(),
@@ -78,20 +103,20 @@ pub fn current_num_threads() -> usize {
 
 // --------------------------------------------------------------- executor
 
-/// Worker count for a new parallel region: the configured pool size for
-/// top-level regions, 1 (inline) when the caller is itself a pool worker —
-/// nested regions don't multiply threads.
+/// Lane count for a new parallel region: the configured width, whether the
+/// caller is a top-level thread or a pool worker — nested regions
+/// width-share the persistent pool rather than running inline (the pool is
+/// fixed-size, so nesting cannot multiply threads).
 fn region_threads() -> usize {
-    if IS_POOL_WORKER.with(Cell::get) {
-        1
-    } else {
-        current_num_threads()
-    }
+    current_num_threads()
 }
 
-/// Apply `f` to every item on `threads` scoped worker threads, preserving
-/// input order in the output (`threads` is further limited by the item
-/// count).
+/// Apply `f` to every item across `threads` pool lanes, preserving input
+/// order in the output (`threads` is further limited by the item count).
+///
+/// Items are oversplit into contiguous strips ([`STRIP_FACTOR`] per lane)
+/// and merged back in strip order, so the result is identical to the
+/// sequential map at any width and any steal schedule.
 fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
 where
     T: Send,
@@ -104,9 +129,11 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    // Contiguous chunks, one per worker, joined in chunk order.
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    // Contiguous strips, several per lane so stealing can rebalance,
+    // merged in strip order.
+    let strips = (threads * STRIP_FACTOR).min(n);
+    let chunk = n.div_ceil(strips);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(strips);
     let mut rest = items;
     while rest.len() > chunk {
         let tail = rest.split_off(chunk);
@@ -114,31 +141,39 @@ where
     }
     chunks.push(rest);
 
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    {
+        let tasks: Vec<pool::Task<'_>> = chunks
             .into_iter()
-            .map(|c| {
-                s.spawn(move || {
-                    IS_POOL_WORKER.with(|w| w.set(true));
-                    c.into_iter().map(f).collect::<Vec<R>>()
-                })
+            .enumerate()
+            .map(|(i, c)| {
+                let parts = &parts;
+                Box::new(move || {
+                    let out: Vec<R> = c.into_iter().map(f).collect();
+                    parts.lock().unwrap().push((i, out));
+                }) as pool::Task<'_>
             })
             .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-        out
-    })
+        pool::run_region(tasks, threads);
+    }
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(i, _)| i);
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
 }
 
 /// Run two closures, potentially in parallel, and return both results —
-/// the shim's version of `rayon::join`. `fa` runs on a scoped worker while
-/// `fb` runs on the calling thread (sequentially, `fa` first, when the
-/// pool is saturated or sized to 1).
+/// the shim's version of `rayon::join`. `fa` is submitted to the pool
+/// while `fb` runs on the calling thread, which then helps drain the pool
+/// until `fa` completes (sequential `fa`-then-`fb` when the width is 1).
+///
+/// ```
+/// let (a, b) = rayon::join(|| (0..100u64).sum::<u64>(), || "right");
+/// assert_eq!((a, b), (4950, "right"));
+/// ```
 pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
 where
     A: Send,
@@ -151,18 +186,21 @@ where
         let b = fb();
         return (a, b);
     }
-    std::thread::scope(|s| {
-        let ha = s.spawn(move || {
-            IS_POOL_WORKER.with(|w| w.set(true));
-            fa()
+    let a_slot: Mutex<Option<A>> = Mutex::new(None);
+    let b = {
+        let a_slot = &a_slot;
+        let task: pool::Task<'_> = Box::new(move || {
+            *a_slot.lock().unwrap() = Some(fa());
         });
-        let b = fb();
-        let a = match ha.join() {
-            Ok(a) => a,
+        let handle = pool::submit_region(vec![task], 2);
+        let b = std::panic::catch_unwind(std::panic::AssertUnwindSafe(fb));
+        handle.wait(); // propagates fa's panic once the borrow ends
+        match b {
+            Ok(b) => b,
             Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (a, b)
-    })
+        }
+    };
+    (a_slot.into_inner().unwrap().expect("join task ran"), b)
 }
 
 // ------------------------------------------------------ parallel iterators
@@ -173,6 +211,12 @@ where
 /// [`collect`](Self::collect), [`sum`](Self::sum)) materialize the base
 /// items and drive the composed per-item closure on the pool; lazy
 /// adaptors ([`map`](Self::map)) only compose closures.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let doubled: Vec<i32> = vec![1, 2, 3].par_iter().map(|&x| x * 2).collect();
+/// assert_eq!(doubled, [2, 4, 6]);
+/// ```
 pub trait ParallelIterator: Sized {
     /// Item produced by this iterator stage.
     type Item: Send;
@@ -189,6 +233,12 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) -> R + Sync;
 
     /// Lazily map each item (executed on the pool by the terminal op).
+    ///
+    /// ```
+    /// use rayon::prelude::*;
+    /// let squares: Vec<u64> = (0..4u64).into_par_iter().map(|x| x * x).collect();
+    /// assert_eq!(squares, [0, 1, 4, 9]);
+    /// ```
     fn map<R, F>(self, f: F) -> Map<Self, F>
     where
         R: Send,
@@ -198,11 +248,27 @@ pub trait ParallelIterator: Sized {
     }
 
     /// Pair each item with its input-order index.
+    ///
+    /// ```
+    /// use rayon::prelude::*;
+    /// let tagged: Vec<(usize, char)> = vec!['a', 'b'].into_par_iter().enumerate().collect();
+    /// assert_eq!(tagged, [(0, 'a'), (1, 'b')]);
+    /// ```
     fn enumerate(self) -> Enumerate<Self> {
         Enumerate { base: self }
     }
 
     /// Consume every item in parallel.
+    ///
+    /// ```
+    /// use rayon::prelude::*;
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    /// let count = AtomicUsize::new(0);
+    /// (0..8usize).into_par_iter().for_each(|_| {
+    ///     count.fetch_add(1, Ordering::SeqCst);
+    /// });
+    /// assert_eq!(count.into_inner(), 8);
+    /// ```
     fn for_each<F>(self, f: F)
     where
         F: Fn(Self::Item) + Sync,
@@ -213,6 +279,12 @@ pub trait ParallelIterator: Sized {
     }
 
     /// Collect into a container, preserving input order.
+    ///
+    /// ```
+    /// use rayon::prelude::*;
+    /// let v: Vec<usize> = (0..5usize).into_par_iter().collect();
+    /// assert_eq!(v, [0, 1, 2, 3, 4]);
+    /// ```
     fn collect<C>(self) -> C
     where
         C: FromParallelIterator<Self::Item>,
@@ -222,6 +294,12 @@ pub trait ParallelIterator: Sized {
 
     /// Sum the items (reduction itself is sequential; producing the items
     /// is parallel).
+    ///
+    /// ```
+    /// use rayon::prelude::*;
+    /// let s: u64 = (1..11u64).into_par_iter().sum();
+    /// assert_eq!(s, 55);
+    /// ```
     fn sum<S>(self) -> S
     where
         S: std::iter::Sum<Self::Item>,
@@ -232,6 +310,12 @@ pub trait ParallelIterator: Sized {
 
 /// Containers a parallel iterator can [`collect`](ParallelIterator::collect)
 /// into.
+///
+/// ```
+/// use rayon::FromParallelIterator;
+/// let v: Vec<u8> = Vec::from_par_vec(vec![1, 2, 3]);
+/// assert_eq!(v, [1, 2, 3]);
+/// ```
 pub trait FromParallelIterator<T> {
     /// Build the container from the already-ordered item vector.
     fn from_par_vec(v: Vec<T>) -> Self;
@@ -246,6 +330,13 @@ impl<T> FromParallelIterator<T> for Vec<T> {
 /// Base parallel iterator over an owned, already-materialized item vector.
 /// Every entry point (`par_iter`, `par_chunks_mut`, `into_par_iter`, …)
 /// lowers to this.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let v = vec![3, 1, 2];
+/// let same: Vec<i32> = v.clone().into_par_iter().collect(); // ParVec underneath
+/// assert_eq!(same, v);
+/// ```
 pub struct ParVec<T> {
     items: Vec<T>,
 }
@@ -267,6 +358,12 @@ impl<T: Send> ParallelIterator for ParVec<T> {
 }
 
 /// Lazy mapping stage (see [`ParallelIterator::map`]).
+///
+/// ```
+/// use rayon::prelude::*;
+/// let m = vec![1, 2].into_par_iter().map(|x| x + 1); // a Map stage, not yet run
+/// assert_eq!(m.into_vec(), [2, 3]);
+/// ```
 pub struct Map<B, F> {
     base: B,
     f: F,
@@ -295,6 +392,12 @@ where
 }
 
 /// Index-pairing stage (see [`ParallelIterator::enumerate`]).
+///
+/// ```
+/// use rayon::prelude::*;
+/// let e = vec!["a"].into_par_iter().enumerate();
+/// assert_eq!(e.into_vec(), [(0, "a")]);
+/// ```
 pub struct Enumerate<B> {
     base: B,
 }
@@ -324,6 +427,13 @@ where
 // ----------------------------------------------------------- entry points
 
 /// `par_chunks_mut` on slices (and anything derefing to one).
+///
+/// ```
+/// use rayon::prelude::*;
+/// let mut v = [0u8; 4];
+/// v.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u8));
+/// assert_eq!(v, [0, 0, 1, 1]);
+/// ```
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over non-overlapping mutable chunks.
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParVec<&mut [T]>;
@@ -338,6 +448,12 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 }
 
 /// `par_chunks` on slices.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let sums: Vec<u32> = [1u32, 2, 3, 4].par_chunks(2).map(|c| c.iter().sum()).collect();
+/// assert_eq!(sums, [3, 7]);
+/// ```
 pub trait ParallelSlice<T: Sync> {
     /// Parallel iterator over non-overlapping shared chunks.
     fn par_chunks(&self, chunk_size: usize) -> ParVec<&[T]>;
@@ -352,6 +468,12 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 }
 
 /// `par_iter` on slices.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let doubled: Vec<i64> = [1i64, 2].par_iter().map(|&x| x * 2).collect();
+/// assert_eq!(doubled, [2, 4]);
+/// ```
 pub trait IntoParallelRefIterator<'a, T: 'a> {
     /// Parallel iterator over shared references.
     fn par_iter(&'a self) -> ParVec<&'a T>;
@@ -366,6 +488,13 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a, T> for [T] {
 }
 
 /// `par_iter_mut` on slices.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let mut v = vec![1u32, 2];
+/// v.par_iter_mut().for_each(|x| *x += 10);
+/// assert_eq!(v, [11, 12]);
+/// ```
 pub trait IntoParallelRefMutIterator<'a, T: 'a> {
     /// Parallel iterator over mutable references.
     fn par_iter_mut(&'a mut self) -> ParVec<&'a mut T>;
@@ -380,6 +509,12 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a, T> for [T] {
 }
 
 /// By-value parallel iteration (`Vec`, ranges).
+///
+/// ```
+/// use rayon::prelude::*;
+/// let v: Vec<usize> = (0..3usize).into_par_iter().map(|i| i + 1).collect();
+/// assert_eq!(v, [1, 2, 3]);
+/// ```
 pub trait IntoParallelIterator {
     /// Item produced by the iterator.
     type Item: Send;
@@ -407,6 +542,14 @@ where
 }
 
 pub mod prelude {
+    //! One-stop import of every parallel-iterator trait, mirroring
+    //! `rayon::prelude`.
+    //!
+    //! ```
+    //! use rayon::prelude::*;
+    //! let v: Vec<u8> = vec![1, 2, 3].into_par_iter().collect();
+    //! assert_eq!(v, [1, 2, 3]);
+    //! ```
     pub use crate::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
         IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
@@ -460,17 +603,34 @@ mod tests {
     fn executor_uses_multiple_threads_when_asked() {
         // Drive the executor directly with a forced width so the test is
         // independent of the host's core count.
-        let items: Vec<usize> = (0..64).collect();
+        let items: Vec<usize> = (0..256).collect();
         let ids = Mutex::new(HashSet::new());
         let out = par_map_vec(items, 4, &|x| {
             ids.lock().unwrap().insert(std::thread::current().id());
+            // Give the steal loop a moment to engage other workers.
+            std::thread::sleep(std::time::Duration::from_micros(200));
             x + 1
         });
-        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert_eq!(out, (1..=256).collect::<Vec<_>>());
         assert!(
             ids.lock().unwrap().len() > 1,
             "expected >1 worker thread, got {:?}",
             ids.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn pool_workers_persist_across_regions() {
+        // Two successive regions at width 4 must reuse the same daemon
+        // workers rather than spawning a fresh set per region.
+        let _ = par_map_vec((0..64).collect::<Vec<usize>>(), 4, &|x| x);
+        let after_first = pool_workers_spawned();
+        assert!(after_first >= 1, "width-4 region must spawn pool workers");
+        let _ = par_map_vec((0..64).collect::<Vec<usize>>(), 4, &|x| x);
+        assert_eq!(
+            pool_workers_spawned(),
+            after_first,
+            "second region must not grow the pool"
         );
     }
 
@@ -489,15 +649,54 @@ mod tests {
     }
 
     #[test]
-    fn nested_regions_run_inline_on_workers() {
-        // A region launched from inside a pool worker must not fan out
-        // again; launched from a top-level thread it may.
+    fn nested_regions_width_share_the_pool() {
+        // A region launched from inside a pool worker fans out on the same
+        // persistent pool (width-sharing) instead of running inline — and
+        // its merged output stays bit-identical to the inline result.
         let items: Vec<usize> = (0..8).collect();
         let nested_widths: Vec<usize> = par_map_vec(items, 4, &|_| super::region_threads());
+        let configured = current_num_threads();
         assert!(
-            nested_widths.iter().all(|&w| w == 1),
-            "nested regions should be inline, got {nested_widths:?}"
+            nested_widths.iter().all(|&w| w == configured),
+            "nested regions should width-share at {configured}, got {nested_widths:?}"
         );
+
+        // Inline reference: the exact computation a nested region runs,
+        // evaluated sequentially.
+        let inline: Vec<Vec<u64>> = (0..6u64)
+            .map(|i| (0..40u64).map(|j| (i * 1_000 + j) * 7 + 1).collect())
+            .collect();
+        let nested: Vec<Vec<u64>> = par_map_vec((0..6u64).collect(), 4, &|i| {
+            // Nested region: runs on a pool worker, shares the pool width.
+            (0..40u64)
+                .collect::<Vec<u64>>()
+                .into_par_iter()
+                .map(|j| (i * 1_000 + j) * 7 + 1)
+                .collect()
+        });
+        assert_eq!(nested, inline, "width-shared nesting must be bit-identical");
+    }
+
+    #[test]
+    fn deeply_nested_regions_terminate_and_preserve_order() {
+        // Three levels of nesting all funnel into one fixed pool; the
+        // help-while-waiting protocol must drain them without deadlock.
+        let out: Vec<u64> = par_map_vec((0..4u64).collect(), 4, &|a| {
+            let inner: Vec<u64> = par_map_vec((0..4u64).collect(), 4, &|b| {
+                par_map_vec((0..4u64).collect(), 4, &|c| a * 100 + b * 10 + c)
+                    .into_iter()
+                    .sum()
+            });
+            inner.into_iter().sum()
+        });
+        let want: Vec<u64> = (0..4u64)
+            .map(|a| {
+                (0..4u64)
+                    .map(|b| (0..4u64).map(|c| a * 100 + b * 10 + c).sum::<u64>())
+                    .sum()
+            })
+            .collect();
+        assert_eq!(out, want);
     }
 
     #[test]
@@ -519,5 +718,17 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_panic_in_either_arm_propagates() {
+        let left = std::panic::catch_unwind(|| {
+            crate::join(|| panic!("left"), || 1);
+        });
+        assert!(left.is_err());
+        let right = std::panic::catch_unwind(|| {
+            crate::join(|| 1, || panic!("right"));
+        });
+        assert!(right.is_err());
     }
 }

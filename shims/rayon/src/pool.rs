@@ -1,0 +1,299 @@
+//! The persistent work-stealing pool behind every parallel region.
+//!
+//! ## Architecture
+//!
+//! One process-global [`Shared`] holds a fixed array of per-worker deques
+//! plus an **injector** queue for submissions from non-pool threads.
+//! Worker threads are daemon threads spawned lazily the first time a
+//! region needs them and parked on a condvar when idle; they are never
+//! torn down (`set_num_threads` to a smaller width simply leaves the
+//! surplus parked).
+//!
+//! Scheduling follows the classic help-first work-stealing discipline:
+//!
+//! * a **pool worker** pushes new tasks onto the *back* of its own deque
+//!   and pops from the back (LIFO — its freshest, most cache-local work,
+//!   which for nested regions means its own sub-tasks first);
+//! * an **idle worker** steals from the *front* of the injector, then from
+//!   the *front* of the other workers' deques (FIFO — the oldest, largest
+//!   strips of someone else's region);
+//! * a **region owner** (the thread that called `par_iter`/`join`) never
+//!   blocks idle: while its region has unfinished tasks it *helps* — it
+//!   executes tasks from the same queues, including other regions' tasks,
+//!   so nested regions width-share the pool instead of deadlocking it.
+//!
+//! ## Why stealing cannot break determinism
+//!
+//! Tasks carry their strip index and deposit results keyed by it; the
+//! region owner merges strips in index order after the last task
+//! completes. Which thread ran which strip — and in what order — is
+//! invisible in the merged output, so results are bit-identical at any
+//! width and any steal schedule (given per-item closures that are pure
+//! functions of their item, the workspace-wide contract).
+//!
+//! ## Safety of the lifetime erasure
+//!
+//! Tasks borrow the region owner's stack (the item chunks, the result
+//! accumulator, the user closure). They are transmuted to `'static` to
+//! live in the global queues — sound because [`RegionHandle::wait`]
+//! does not return until every task of the region has completed
+//! (`remaining == 0`), and the submit/wait pair is never split across
+//! an early return: panics inside tasks are caught, parked in the
+//! region, and re-thrown from `wait` *after* the count reaches zero.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on pool workers, a safety backstop far above any sane
+/// `KARMA_NUM_THREADS` (the pool sizes itself to the configured width).
+pub const MAX_POOL_WORKERS: usize = 64;
+
+/// Strips per lane a region oversplits its items into, so work stealing
+/// can rebalance skewed per-item costs. Purely a load-balance knob —
+/// strip boundaries never affect results (ordered merge).
+pub const STRIP_FACTOR: usize = 4;
+
+/// A borrowed region task (lifetime-erased at submission).
+pub(crate) type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Index of the pool worker running this thread, if any.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+struct WorkerQueue {
+    deque: Mutex<VecDeque<Job>>,
+}
+
+struct Shared {
+    /// Submissions from non-pool threads (stolen FIFO).
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per (potential) worker, pre-allocated so stealing never
+    /// races pool growth.
+    queues: Vec<WorkerQueue>,
+    /// Workers actually spawned so far (`queues[..spawned]` are live).
+    spawned: AtomicUsize,
+    /// Serializes pool growth.
+    spawn_lock: Mutex<()>,
+    /// Queued-but-unclaimed jobs across all queues — lets idle workers
+    /// park instead of spinning.
+    pending: AtomicUsize,
+    /// Idle workers park here; every submission notifies.
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+}
+
+fn shared() -> &'static Arc<Shared> {
+    static SHARED: OnceLock<Arc<Shared>> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..MAX_POOL_WORKERS)
+                .map(|_| WorkerQueue {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            spawned: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+            pending: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+        })
+    })
+}
+
+/// Number of pool workers spawned so far (telemetry; the calling thread
+/// of a region is always an extra lane on top of these).
+///
+/// ```
+/// // Monotone: the pool only ever grows, up to MAX_POOL_WORKERS.
+/// let before = rayon::pool_workers_spawned();
+/// assert!(before <= rayon::MAX_POOL_WORKERS);
+/// ```
+pub fn pool_workers_spawned() -> usize {
+    shared().spawned.load(Ordering::Acquire)
+}
+
+impl Shared {
+    /// Grow the pool to at least `target` workers (capped).
+    fn ensure_workers(self: &Arc<Self>, target: usize) {
+        let target = target.min(MAX_POOL_WORKERS);
+        if self.spawned.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let _g = self.spawn_lock.lock().unwrap();
+        let current = self.spawned.load(Ordering::Acquire);
+        for index in current..target {
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("karma-pool-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("spawn pool worker");
+        }
+        if target > current {
+            self.spawned.store(target, Ordering::Release);
+        }
+    }
+
+    /// Queue one job: onto the submitting worker's own deque (LIFO side)
+    /// or the injector for external threads, then wake a sleeper.
+    fn push(&self, me: Option<usize>, job: Job) {
+        match me {
+            Some(i) => self.queues[i].deque.lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        let _g = self.sleep_lock.lock().unwrap();
+        self.wakeup.notify_all();
+    }
+
+    /// Claim one job: own deque back (workers), then injector front, then
+    /// steal the front of every other live deque.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        if let Some(i) = me {
+            if let Some(job) = self.queues[i].deque.lock().unwrap().pop_back() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Some(job);
+        }
+        let live = self.spawned.load(Ordering::Acquire);
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..live {
+            let victim = (start + off) % live.max(1);
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.queues[victim].deque.lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+        } else {
+            let guard = shared.sleep_lock.lock().unwrap();
+            if shared.pending.load(Ordering::Acquire) == 0 {
+                // Timed wait as a belt-and-braces guard against a lost
+                // wakeup ever wedging the pool.
+                let _ = shared
+                    .wakeup
+                    .wait_timeout(guard, Duration::from_millis(50))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- region
+
+/// Completion state of one parallel region.
+struct Region {
+    remaining: AtomicUsize,
+    /// First panic payload from any of the region's tasks.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl Region {
+    fn complete(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_lock.lock().unwrap();
+            self.done.notify_all();
+        }
+    }
+}
+
+/// An in-flight region; dropping it without [`wait`](Self::wait) is
+/// prevented by construction (both call sites wait unconditionally).
+pub(crate) struct RegionHandle {
+    region: Arc<Region>,
+    me: Option<usize>,
+}
+
+impl RegionHandle {
+    /// Help-drain the pool until every task of this region completed,
+    /// then propagate the first task panic, if any.
+    pub(crate) fn wait(self) {
+        let shared = shared();
+        while self.region.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = shared.find_job(self.me) {
+                // May be a task of *any* region (that's what makes nested
+                // width-sharing deadlock-free); its panics are parked in
+                // its own region, so helping never unwinds through us.
+                job();
+            } else {
+                let guard = self.region.done_lock.lock().unwrap();
+                if self.region.remaining.load(Ordering::Acquire) > 0 {
+                    let _ = self
+                        .region
+                        .done
+                        .wait_timeout(guard, Duration::from_micros(200))
+                        .unwrap();
+                }
+            }
+        }
+        if let Some(payload) = self.region.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Submit `tasks` as one region on the global pool and return a handle
+/// the owner must wait on. Ensures enough workers exist for a
+/// `width`-lane region (the caller itself is one lane).
+pub(crate) fn submit_region(tasks: Vec<Task<'_>>, width: usize) -> RegionHandle {
+    let shared = shared();
+    shared.ensure_workers(width.saturating_sub(1));
+    let me = WORKER_INDEX.with(|w| w.get());
+    let region = Arc::new(Region {
+        remaining: AtomicUsize::new(tasks.len()),
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done: Condvar::new(),
+    });
+    for task in tasks {
+        let r = Arc::clone(&region);
+        let job: Task<'_> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                r.panic.lock().unwrap().get_or_insert(payload);
+            }
+            r.complete();
+        });
+        // SAFETY: `wait` blocks until `remaining == 0`, i.e. until this
+        // closure (and every borrow inside it) has finished running, and
+        // both call sites wait before their borrows go out of scope —
+        // see the module docs.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(job)
+        };
+        shared.push(me, job);
+    }
+    RegionHandle { region, me }
+}
+
+/// Run `tasks` to completion on the pool at `width` lanes, the caller
+/// helping; panics from any task propagate after all tasks finished.
+pub(crate) fn run_region(tasks: Vec<Task<'_>>, width: usize) {
+    submit_region(tasks, width).wait();
+}

@@ -21,6 +21,7 @@
 //! | [`dist`] | `karma-dist` | 5-stage DP pipeline, Megatron/ZeRO models |
 //! | [`tensor`] | `karma-tensor` | real f32 layers with pure fwd/bwd |
 //! | [`runtime`] | `karma-runtime` | real OOC execution, bit-parity checked |
+//! | [`serve`] | `karma-serve` | fingerprint-keyed plan cache/server |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use karma_graph as graph;
 pub use karma_hw as hw;
 pub use karma_net as net;
 pub use karma_runtime as runtime;
+pub use karma_serve as serve;
 pub use karma_sim as sim;
 pub use karma_solver as solver;
 pub use karma_tensor as tensor;

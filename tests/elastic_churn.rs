@@ -293,6 +293,58 @@ fn tiered_peak_contracts_survive_hot_swaps() {
 }
 
 #[test]
+fn churn_back_to_a_seen_pool_size_hits_the_lowering_memo_bitwise() {
+    // Shrink 3 → 2, then grow back to 3: the re-grow is a pool size the
+    // driver already lowered, so the hot swap must come from the
+    // per-size memo (lower_cache_hits == 1) — and the memoized run must
+    // land on exactly the same bits as a fresh driver that lowers every
+    // swap from scratch.
+    let data = dataset();
+    let mut opts = ElasticOptions::plain(4, 0.05, 6);
+    opts.events = vec![
+        PoolEvent::Leave { step: 2, rank: 0 },
+        PoolEvent::Join {
+            step: 4,
+            joiners: 1,
+        },
+    ];
+    let spawn = fresh_net;
+
+    let run = |driver: &ElasticDriver| {
+        let mut nets: Vec<Sequential> = (0..3).map(|_| fresh_net()).collect();
+        let mut store = far_store();
+        driver
+            .run(&mut nets, Some(&spawn), &data, &opts, &mut store, None)
+            .expect("churn run succeeds")
+    };
+
+    let (memoized_driver, _) = planned_driver();
+    let memoized = run(&memoized_driver);
+    assert_eq!(memoized.pool_sizes, vec![3, 3, 2, 2, 3, 3]);
+    assert_eq!(memoized.relowers, 2, "leave and join each hot-swap");
+    assert_eq!(
+        memoized.lower_cache_hits, 1,
+        "the re-grow to 3 is a previously-seen size"
+    );
+
+    // A fresh driver per run never reuses a memo across the sizes it has
+    // not seen — its first run reports the same single hit (the re-grow),
+    // and a driver reused for a second run answers *every* lowering from
+    // the memo.
+    let rerun = run(&memoized_driver);
+    assert_eq!(
+        rerun.lower_cache_hits, 3,
+        "second run: initial + both swaps all hit"
+    );
+    assert_eq!(
+        rerun.final_snapshot, memoized.final_snapshot,
+        "memoized lowering drifted from the fresh one"
+    );
+    assert_eq!(rerun.losses, memoized.losses);
+    assert_eq!(rerun.exchange_messages, memoized.exchange_messages);
+}
+
+#[test]
 fn far_store_restore_resumes_at_the_failed_step_not_step_zero() {
     // The acceptance scenario: checkpoints flow to the far store every
     // two steps; the run dies after step 4; a fresh process restores the

@@ -1,0 +1,252 @@
+//! Plan-serving contract, end to end through the facade:
+//!
+//! * **fingerprint stability** — the hash is a pure function of request
+//!   *content*: the same graph built through two different code paths
+//!   fingerprints identically, and every contract field re-keys;
+//! * **cache correctness** — a warm hit serves the bitwise-identical
+//!   plan without invoking `optimize_blocking` (the server's search
+//!   counter proves it), through both the memory tier and a disk store
+//!   reopened by a fresh server;
+//! * **fail-closed invalidation** — a corrupt or truncated persisted
+//!   entry surfaces as a typed `ServeError::Corrupt`, never as a stale
+//!   plan, and eviction + recompute lands back on the original bits.
+
+use karma::core::planner::{Karma, KarmaOptions};
+use karma::graph::{GraphBuilder, MemoryParams, ModelGraph, Shape};
+use karma::hw::{GpuSpec, LinkSpec, NodeSpec};
+use karma::serve::{PlanRequest, PlanServer, PlanStore, ServeError, ServeSource};
+use karma::zoo::micro::conv_stack_graph;
+
+/// A toy node that forces the conv stack out of core (state resident,
+/// ~65% of the activation footprint on device).
+fn ooc_node(graph: &ModelGraph, batch: usize, mem: &MemoryParams) -> NodeSpec {
+    let state = graph.memory(batch, mem).model_state() as f64;
+    let acts = graph.peak_footprint(batch, mem) as f64 - state;
+    NodeSpec::toy(
+        GpuSpec::toy((state + acts * 0.65) as u64, 5.0e9),
+        LinkSpec::toy(4.0e9),
+    )
+}
+
+fn ooc_server(graph: &ModelGraph, batch: usize) -> PlanServer {
+    let mem = MemoryParams::exact();
+    PlanServer::new(Karma::new(ooc_node(graph, batch, &mem), mem))
+}
+
+/// A fresh per-test scratch directory (unique per process + test name).
+fn scratch_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("karma-plan-server-{}-{test}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn the_same_graph_built_two_ways_fingerprints_identically() {
+    // Path one: the zoo helper.
+    let from_zoo = conv_stack_graph(3, 4);
+    // Path two: a hand-rolled builder emitting the same layers.
+    let mut b = GraphBuilder::new("conv-stack", Shape::chw(1, 16, 16));
+    for _ in 0..3 {
+        b.conv(4, 3, 1, 1);
+        b.relu();
+    }
+    b.flatten();
+    b.fc(4);
+    let by_hand = b.build();
+
+    let (node, mem, opts) = (
+        NodeSpec::abci(),
+        MemoryParams::exact(),
+        KarmaOptions::fast(5),
+    );
+    let a = PlanRequest::new(&from_zoo, 8, &node, &mem, &opts);
+    let b = PlanRequest::new(&by_hand, 8, &node, &mem, &opts);
+    assert_eq!(
+        a.canonical_json(),
+        b.canonical_json(),
+        "construction path leaked into the canonical form"
+    );
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn every_request_knob_rekeys_the_fingerprint() {
+    let graph = conv_stack_graph(3, 4);
+    let node = NodeSpec::abci();
+    let mem = MemoryParams::exact();
+    let opts = KarmaOptions::fast(5);
+    let base = PlanRequest::new(&graph, 8, &node, &mem, &opts).fingerprint();
+
+    // Graph content.
+    let bigger = conv_stack_graph(4, 4);
+    assert_ne!(
+        PlanRequest::new(&bigger, 8, &node, &mem, &opts).fingerprint(),
+        base,
+        "graph change must re-key"
+    );
+    // Batch.
+    assert_ne!(
+        PlanRequest::new(&graph, 16, &node, &mem, &opts).fingerprint(),
+        base,
+        "batch change must re-key"
+    );
+    // Hardware.
+    let other_node = NodeSpec::toy(GpuSpec::toy(1 << 30, 5.0e9), LinkSpec::toy(4.0e9));
+    assert_ne!(
+        PlanRequest::new(&graph, 8, &other_node, &mem, &opts).fingerprint(),
+        base,
+        "node change must re-key"
+    );
+    // Memory model.
+    let calibrated = MemoryParams::calibrated(1.25);
+    assert_ne!(
+        PlanRequest::new(&graph, 8, &node, &calibrated, &opts).fingerprint(),
+        base,
+        "memory-model change must re-key"
+    );
+    // Planner knobs: the recompute toggle and a deep OptConfig field.
+    let mut no_rc = opts.clone();
+    no_rc.recompute = false;
+    assert_ne!(
+        PlanRequest::new(&graph, 8, &node, &mem, &no_rc).fingerprint(),
+        base,
+        "recompute toggle must re-key"
+    );
+    let mut reseeded = opts.clone();
+    reseeded.opt.seed += 1;
+    assert_ne!(
+        PlanRequest::new(&graph, 8, &node, &mem, &reseeded).fingerprint(),
+        base,
+        "search seed must re-key"
+    );
+    // Simulation knobs and the runtime budget.
+    let mut swapped = PlanRequest::new(&graph, 8, &node, &mem, &opts);
+    swapped.lower.swap_state = true;
+    assert_ne!(swapped.fingerprint(), base, "lower knob must re-key");
+    let mut budgeted = PlanRequest::new(&graph, 8, &node, &mem, &opts);
+    budgeted.budget = Some(1 << 24);
+    assert_ne!(budgeted.fingerprint(), base, "budget must re-key");
+}
+
+#[test]
+fn warm_hits_are_bitwise_equal_and_run_no_search() {
+    let graph = conv_stack_graph(3, 4);
+    let opts = KarmaOptions::fast(5);
+    let server = ooc_server(&graph, 8);
+
+    let cold = server.serve(&graph, 8, &opts).expect("cold serve plans");
+    assert_eq!(cold.source, ServeSource::Computed);
+
+    for _ in 0..3 {
+        let warm = server.serve(&graph, 8, &opts).expect("warm serve hits");
+        assert_eq!(warm.source, ServeSource::Memory);
+        assert_eq!(warm.entry, cold.entry, "warm entry drifted from cold");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.searches, 1, "warm hits must not invoke the search");
+    assert_eq!(stats.memory_hits, 3);
+
+    // A different batch is a different fingerprint: cold again.
+    let other = server.serve(&graph, 16, &opts).expect("second cell plans");
+    assert_eq!(other.source, ServeSource::Computed);
+    assert_eq!(server.stats().searches, 2);
+}
+
+#[test]
+fn the_disk_tier_survives_a_fresh_server_bitwise() {
+    let dir = scratch_dir("disk");
+    let graph = conv_stack_graph(3, 4);
+    let opts = KarmaOptions::fast(5);
+    let mem = MemoryParams::exact();
+    let node = ooc_node(&graph, 8, &mem);
+
+    let cold_entry = {
+        let server = PlanServer::with_store(
+            Karma::new(node.clone(), mem.clone()),
+            PlanStore::with_dir(&dir).expect("store dir creates"),
+        );
+        let cold = server.serve(&graph, 8, &opts).expect("cold serve plans");
+        assert_eq!(cold.source, ServeSource::Computed);
+        (*cold.entry).clone()
+    };
+
+    // A fresh server (fresh process, conceptually) over the same
+    // directory answers from disk without searching.
+    let server = PlanServer::with_store(
+        Karma::new(node, mem),
+        PlanStore::with_dir(&dir).expect("store dir reopens"),
+    );
+    let warm = server.serve(&graph, 8, &opts).expect("disk serve hits");
+    assert_eq!(warm.source, ServeSource::Disk);
+    assert_eq!(*warm.entry, cold_entry, "disk round trip must be exact");
+    assert_eq!(server.stats().searches, 0, "disk hit must not search");
+
+    // The promoted entry now serves from memory.
+    let again = server.serve(&graph, 8, &opts).expect("promoted hit");
+    assert_eq!(again.source, ServeSource::Memory);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_persisted_entries_error_typed_and_never_serve_stale() {
+    let dir = scratch_dir("corrupt");
+    let graph = conv_stack_graph(3, 4);
+    let opts = KarmaOptions::fast(5);
+    let mem = MemoryParams::exact();
+    let node = ooc_node(&graph, 8, &mem);
+    let server = || {
+        PlanServer::with_store(
+            Karma::new(node.clone(), mem.clone()),
+            PlanStore::with_dir(&dir).expect("store dir"),
+        )
+    };
+
+    // Populate the disk tier and remember the honest bits.
+    let seeded = server();
+    let cold = seeded.serve(&graph, 8, &opts).expect("cold serve plans");
+    let path = seeded
+        .store()
+        .path_of(cold.fingerprint)
+        .expect("disk-backed store has a path");
+    let honest = std::fs::read_to_string(&path).expect("entry persisted");
+
+    // Each damage mode must surface `Corrupt` (naming the file) from a
+    // fresh server — an empty memory tier forces the disk read.
+    let damage: [(&str, String); 4] = [
+        ("truncated", honest[..honest.len() / 2].to_string()),
+        ("garbage", "not json at all".to_string()),
+        (
+            "format bump",
+            honest.replace("\"format\":1", "\"format\":99"),
+        ),
+        (
+            "misfiled",
+            honest.replace(&cold.fingerprint.to_string(), "0badc0de"),
+        ),
+    ];
+    for (what, text) in &damage {
+        std::fs::write(&path, text).expect("inject damage");
+        let err = server()
+            .serve(&graph, 8, &opts)
+            .expect_err(&format!("{what}: damaged entry must not serve"));
+        match err {
+            ServeError::Corrupt { path: p, .. } => {
+                assert_eq!(p, path, "{what}: error must name the refused file")
+            }
+            other => panic!("{what}: expected Corrupt, got {other:?}"),
+        }
+    }
+
+    // Recovery: evict the damaged entry, recompute, land on the same bits.
+    let fresh = server();
+    assert!(fresh.store().evict(cold.fingerprint), "eviction removes it");
+    let recomputed = fresh.serve(&graph, 8, &opts).expect("recompute succeeds");
+    assert_eq!(recomputed.source, ServeSource::Computed);
+    assert_eq!(
+        recomputed.entry, cold.entry,
+        "recomputed plan must match the original bitwise"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
