@@ -121,6 +121,7 @@ pub fn compare_reports(
             "baseline",
             "optimized",
             "distributed",
+            "reference",
             "tiered",
             "elastic",
             "zero_executed",
@@ -179,11 +180,18 @@ pub fn compare_reports(
             }
         }
         // Optional columns (the distributed data-parallel step, the
-        // tiered offload stack, the elastic churn cycle, the executed
-        // KARMA-on-ZeRO run) gate the same way once the committed
-        // baseline carries them; their wall times normalize against the
-        // same single-GPU baseline, so machine speed still cancels.
-        for mode in ["distributed", "tiered", "elastic", "zero_executed"] {
+        // sequential global-batch reference, the tiered offload stack,
+        // the elastic churn cycle, the executed KARMA-on-ZeRO run) gate
+        // the same way once the committed baseline carries them; their
+        // wall times normalize against the same single-GPU baseline, so
+        // machine speed still cancels.
+        for mode in [
+            "distributed",
+            "reference",
+            "tiered",
+            "elastic",
+            "zero_executed",
+        ] {
             match (baseline.entry(model, mode), fresh.entry(model, mode)) {
                 (None, _) => {}
                 (Some(_), None) => out.failures.push(format!(
@@ -199,6 +207,32 @@ pub fn compare_reports(
                     }
                     record(&mut out, gate_ratio(mode, b.wall_ms, f.wall_ms));
                 }
+            }
+        }
+        // The distributed headline: sharding the global batch must beat
+        // running it sequentially on one device. Both columns come from
+        // the same run on the same machine, so their walls compare
+        // directly — no normalization, no tolerance: the sequential
+        // reference pays real extra offload work, and a distributed
+        // step that fails to undercut it has lost the paper's argument.
+        if let (Some(d), Some(r)) = (
+            fresh.entry(model, "distributed"),
+            fresh.entry(model, "reference"),
+        ) {
+            if d.wall_ms < r.wall_ms {
+                out.notes.push(format!(
+                    "{model}: distributed {:.3} ms/step beats the sequential global-batch \
+                     reference {:.3} ms/step ({:.2}x) — ok",
+                    d.wall_ms,
+                    r.wall_ms,
+                    r.wall_ms / d.wall_ms.max(1e-9)
+                ));
+            } else {
+                out.failures.push(format!(
+                    "{model}: distributed ({:.3} ms/step) no longer beats the sequential \
+                     global-batch reference ({:.3} ms/step)",
+                    d.wall_ms, r.wall_ms
+                ));
             }
         }
     }
@@ -470,6 +504,78 @@ mod tests {
         let out = compare_reports(&old, &base(), DEFAULT_MAX_SLOWDOWN);
         assert!(!out.passed());
         assert!(out.failures[0].contains("tiered column missing"));
+    }
+
+    fn with_reference(mut r: BenchReport, m: &str, wall_ms: f64, blocks: usize) -> BenchReport {
+        r.entries.push(entry(m, "reference", wall_ms, 1, blocks));
+        r
+    }
+
+    #[test]
+    fn distributed_must_beat_the_sequential_reference() {
+        let base = || {
+            with_distributed(
+                report("smoke", &[("conv", 100.0, 40.0, 7)]),
+                "conv",
+                60.0,
+                7,
+            )
+        };
+        let old = with_reference(base(), "conv", 90.0, 9);
+        // Fresh run keeps the win: passes, with a note recording the margin.
+        let ok = with_reference(base(), "conv", 90.0, 9);
+        let out = compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert!(out.notes.iter().any(|n| n.contains("beats the sequential")));
+        // Fresh run loses the win — even inside the ratio tolerance,
+        // the headline comparison has no tolerance.
+        let mut bad = with_reference(base(), "conv", 90.0, 9);
+        for e in &mut bad.entries {
+            if e.mode == "distributed" {
+                e.wall_ms = 95.0;
+            }
+        }
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("no longer beats the sequential")),
+            "{:?}",
+            out.failures
+        );
+        // Dropping the reference column entirely also fails.
+        let out = compare_reports(&old, &base(), DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("reference column missing")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn reference_column_wall_time_gates_like_distributed() {
+        let base = || {
+            with_distributed(
+                report("smoke", &[("conv", 100.0, 40.0, 7)]),
+                "conv",
+                60.0,
+                7,
+            )
+        };
+        let old = with_reference(base(), "conv", 90.0, 9);
+        // The reference getting 80% faster relative to baseline would
+        // shrink the committed margin silently: the ratio gate is
+        // two-sided only for slowdowns, so speedups pass — but a
+        // slowdown of the reference is NOT a regression of our code, it
+        // still must pass the ratio gate upward within tolerance.
+        let mut slower = with_reference(base(), "conv", 100.0, 9);
+        slower.entries.last_mut().unwrap().wall_ms = 100.0; // +11%: within 25%
+        let out = compare_reports(&old, &slower, DEFAULT_MAX_SLOWDOWN);
+        assert!(out.passed(), "{:?}", out.failures);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! (Eq. 8).
 
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 use crate::cost::BlockCosts;
 
@@ -63,40 +64,206 @@ impl<'a> OccupancyModel<'a> {
         self.costs.swap_bw
     }
 
+    /// Whether block `b` is fetched back through the swap engine (not
+    /// resident at the turnaround and not recomputed).
+    fn swapped(&self, b: usize) -> bool {
+        b < self.resident_from && !self.recompute[b]
+    }
+
+    /// The shared Eq. 8 walk: per backward step (last block first), the
+    /// busy time and the swap-in stall charged before it.
+    ///
+    /// The walk replays the capacity strategy's byte bookkeeping
+    /// analytically over three clocks (compute, copy-out, copy-in) — the
+    /// same Eqs. 2–6 free-byte recursion the planner runs, priced in
+    /// seconds:
+    ///
+    /// * **Forward**: eager swap-outs serialize on the copy-out lane, and
+    ///   a block whose activations don't fit stalls the forward until old
+    ///   swap-outs drain (the "wait until buffers clear" throttle), so
+    ///   the fwd→bwd turnaround itself can slip.
+    /// * **Turnaround deadline (the boundary-fetch rule)**: block `b`'s
+    ///   compute restarts from block `b-1`'s boundary, which rides
+    ///   `Sin(b-1)` — a swapped block's bytes fall due one backward step
+    ///   *earlier* than its own backward. The stall applies at resident
+    ///   and recompute steps too, whenever the block below is swapped;
+    ///   `B(0)` in particular never stalls (its block was owed before
+    ///   `B(1)`).
+    /// * **Capacity-gated prefetch**: swap-ins the free bytes can cover
+    ///   launch at the turnaround; every later one is gated on the
+    ///   backward that frees its buffer, so under tight capacity the
+    ///   stream degenerates to one serialized fetch per step (no
+    ///   overlap), and with slack it streams continuously at
+    ///   `swap_throughput`.
+    ///
+    /// The first backward's own stall is *not* charged to the walk: it
+    /// delays the start of the backward phase, not a step inside it
+    /// (`backward_time` measures the phase from `B(n-1)`'s start, exactly
+    /// as the simulator cross-check does).
+    fn backward_walk(&self) -> Vec<(f64, f64)> {
+        let n = self.costs.n_blocks();
+        let act = |b: usize| self.costs.act_bytes[b] as i64;
+
+        // ---- Forward replay: throttle + swap-out drain clocks ----
+        let mut free: i64 = self.costs.act_capacity - self.costs.max_transient() as i64;
+        // Completed swap-outs whose bytes haven't been credited: (done, bytes).
+        let mut pending: VecDeque<(f64, i64)> = VecDeque::new();
+        let mut t_fwd: f64 = 0.0;
+        let mut t_out: f64 = 0.0;
+        let mut sout_done = vec![0.0f64; n];
+        for (b, sout) in sout_done.iter_mut().enumerate() {
+            let needed = if self.recompute[b] {
+                self.costs.boundary_bytes[b] as i64 // checkpoint only
+            } else {
+                act(b)
+            };
+            while free < needed {
+                match pending.pop_front() {
+                    Some((done, bytes)) => {
+                        t_fwd = t_fwd.max(done);
+                        free += bytes;
+                    }
+                    None => break,
+                }
+            }
+            t_fwd += self.costs.forward[b];
+            free -= needed;
+            if self.swapped(b) {
+                t_out = t_out.max(t_fwd) + self.costs.swap_time(b);
+                *sout = t_out;
+                pending.push_back((t_out, act(b)));
+            }
+        }
+
+        // ---- Backward replay ----
+        // The copy-in lane inherits the forward replay's capacity clock:
+        // free bytes and swap-outs still draining, plus its own lane
+        // serialization point and per-block fetch completions.
+        struct SinLane {
+            t_in: f64,
+            free: i64,
+            pending: VecDeque<(f64, i64)>,
+            sin_end: Vec<f64>,
+            emitted: Vec<bool>,
+        }
+        impl SinLane {
+            // A prefetch starts after its own swap-out, its gating
+            // backward (None for the turnaround batch) and any swap-outs
+            // drained to cover its bytes, serialized on the copy-in lane.
+            fn emit_sin(&mut self, b: usize, gate: Option<f64>, costs: &BlockCosts, sout: &[f64]) {
+                let mut start = self.t_in.max(sout[b]).max(gate.unwrap_or(0.0));
+                while self.free < costs.act_bytes[b] as i64 {
+                    match self.pending.pop_front() {
+                        Some((done, bytes)) => {
+                            start = start.max(done);
+                            self.free += bytes;
+                        }
+                        None => break,
+                    }
+                }
+                self.t_in = start + costs.swap_time(b);
+                self.sin_end[b] = self.t_in;
+                self.emitted[b] = true;
+                self.free -= costs.act_bytes[b] as i64;
+            }
+        }
+        let mut lane = SinLane {
+            t_in: 0.0,
+            free,
+            pending,
+            sin_end: vec![0.0f64; n],
+            emitted: vec![false; n],
+        };
+
+        // Swapped blocks in the order the backward phase needs them.
+        let swapped_list: Vec<usize> = (0..self.resident_from)
+            .rev()
+            .filter(|&b| !self.recompute[b])
+            .collect();
+        let mut next_prefetch = 0usize;
+        let mut last_b_end: Option<f64> = None;
+        let mut steps = Vec::with_capacity(n);
+        for j in (0..n).rev() {
+            // Capacity-based prefetch: issue every swap-in that currently
+            // fits, counting bytes recoverable from pending swap-outs.
+            while let Some(&b) = swapped_list.get(next_prefetch) {
+                if lane.emitted[b] {
+                    next_prefetch += 1;
+                    continue;
+                }
+                let recoverable: i64 = lane.pending.iter().map(|p| p.1).sum();
+                if act(b) <= lane.free + recoverable {
+                    lane.emit_sin(b, last_b_end, self.costs, &sout_done);
+                    next_prefetch += 1;
+                } else {
+                    break;
+                }
+            }
+            // Deadline forcing: the turnaround fetches the last block
+            // itself, and every step fetches the block below it.
+            if j + 1 == n && self.swapped(j) && !lane.emitted[j] {
+                lane.emit_sin(j, last_b_end, self.costs, &sout_done);
+            }
+            if j >= 1 && self.swapped(j - 1) && !lane.emitted[j - 1] {
+                lane.emit_sin(j - 1, last_b_end, self.costs, &sout_done);
+            }
+
+            let ready = last_b_end.unwrap_or(t_fwd);
+            let mut start = ready;
+            let busy = if self.recompute[j] {
+                // Recompute interleave: re-forward then backward; the
+                // interior re-materializes, draining swap-outs if tight.
+                if j >= 1 && self.swapped(j - 1) {
+                    start = start.max(lane.sin_end[j - 1]);
+                }
+                let interior =
+                    self.costs.act_bytes[j].saturating_sub(self.costs.boundary_bytes[j]) as i64;
+                while lane.free < interior {
+                    match lane.pending.pop_front() {
+                        Some((done, bytes)) => {
+                            start = start.max(done);
+                            lane.free += bytes;
+                        }
+                        None => break,
+                    }
+                }
+                lane.free -= interior;
+                self.costs.forward[j] + self.costs.backward[j]
+            } else {
+                if self.swapped(j) {
+                    start = start.max(lane.sin_end[j]);
+                }
+                if j >= 1 && self.swapped(j - 1) {
+                    start = start.max(lane.sin_end[j - 1]);
+                }
+                self.costs.backward[j]
+            };
+            // The first backward's stall positions the phase, it is not a
+            // stall *inside* it.
+            let wait = if last_b_end.is_some() {
+                start - ready
+            } else {
+                0.0
+            };
+            last_b_end = Some(start + busy);
+            lane.free += act(j);
+            steps.push((busy, wait));
+        }
+        steps
+    }
+
     /// Predict the backward-phase occupancy trajectory.
     ///
-    /// The prediction walks blocks from the back. Each step's occupancy is
-    /// the ratio of the step's compute time to the step's wall time, where
-    /// the wall time adds any wait for the block's availability: zero for
-    /// resident blocks, the residual swap-in debt for swapped blocks, and
-    /// the recompute time (which *is* compute, so counted busy) for
-    /// recomputed blocks. The prefetcher streams continuously at
-    /// `swap_throughput` (the capacity-based strategy), so its lead or debt
-    /// is carried between steps.
+    /// Each step's occupancy is the ratio of the step's compute time to
+    /// its wall time; the wall time adds the swap-in stall of
+    /// [`backward_walk`](#method.backward_trajectory) (zero for steps with
+    /// no outstanding transfer debt, the recompute re-forward counts as
+    /// busy).
     pub fn backward_trajectory(&self) -> OccupancyTrajectory {
-        let n = self.costs.n_blocks();
-        let mut per_step = Vec::with_capacity(n);
+        let mut per_step = Vec::with_capacity(self.costs.n_blocks());
         let mut theta = None;
-        // Bytes of swap-in still owed; negative = prefetcher is ahead.
-        let mut debt_bytes: f64 = 0.0;
-        for (step, b) in (0..n).rev().enumerate() {
-            let compute = self.costs.backward[b];
-            let (busy, wait) = if b >= self.resident_from {
-                // Resident: full-speed step; prefetcher gains lead.
-                (compute, 0.0)
-            } else if self.recompute[b] {
-                // Recompute fills the pipe: busy includes re-forward.
-                (compute + self.costs.forward[b], 0.0)
-            } else {
-                // Swapped block: its bytes must land *before* its backward
-                // starts, so any outstanding debt is a stall up front.
-                debt_bytes += self.costs.act_bytes[b] as f64;
-                let wait = debt_bytes.max(0.0) / self.costs.swap_bw;
-                (compute, wait)
-            };
-            // The prefetcher streams during both the stall and the busy time.
+        for (step, (busy, wait)) in self.backward_walk().into_iter().enumerate() {
             let wall = busy + wait;
-            debt_bytes -= wall * self.costs.swap_bw;
             let occ = if wall > 0.0 { busy / wall } else { 1.0 };
             if wait > 0.0 && theta.is_none() {
                 theta = Some(step);
@@ -115,24 +282,24 @@ impl<'a> OccupancyModel<'a> {
 
     /// Estimated backward-phase makespan from the trajectory (busy + waits).
     pub fn backward_time(&self) -> f64 {
+        self.backward_walk().iter().map(|(b, w)| b + w).sum()
+    }
+
+    /// Modeled completion instant of each block's backward, indexed by
+    /// block, measured from the fwd→bwd turnaround. `finish[b]` is when
+    /// `B(b)` retires on the model's clock — the instant a gradient gated
+    /// on block `b` becomes shippable, which is what the exchange timing
+    /// model (`expected_exchange_timing`) anchors its per-group windows
+    /// on. `finish[0]` equals [`backward_time`](Self::backward_time).
+    pub fn backward_finish_times(&self) -> Vec<f64> {
         let n = self.costs.n_blocks();
-        let mut debt_bytes: f64 = 0.0;
-        let mut total = 0.0;
-        for b in (0..n).rev() {
-            let compute = self.costs.backward[b];
-            let (busy, wait) = if b >= self.resident_from {
-                (compute, 0.0)
-            } else if self.recompute[b] {
-                (compute + self.costs.forward[b], 0.0)
-            } else {
-                debt_bytes += self.costs.act_bytes[b] as f64;
-                (compute, debt_bytes.max(0.0) / self.costs.swap_bw)
-            };
-            let wall = busy + wait;
-            debt_bytes -= wall * self.costs.swap_bw;
-            total += wall;
+        let mut finish = vec![0.0; n];
+        let mut clock = 0.0;
+        for (step, (busy, wait)) in self.backward_walk().into_iter().enumerate() {
+            clock += busy + wait;
+            finish[n - 1 - step] = clock;
         }
-        total
+        finish
     }
 }
 
@@ -236,9 +403,26 @@ mod tests {
         let t = m.backward_trajectory();
         assert!(t.theta.is_some(), "must catch up");
         assert!(t.mean() < 0.75, "mean {}", t.mean());
-        // Steady state: each step waits ~1 s -> occupancy ~0.5.
+        // Steady state: each step waits ~1 s -> occupancy ~0.5. (The final
+        // block is exempt: its bytes fell due one step earlier, before
+        // B(1), under the turnaround-deadline rule, so B(0) never stalls.)
+        let steady = t.per_step[t.per_step.len() - 2];
+        assert!((steady - 0.5).abs() < 0.05, "steady occ {steady}");
         let last = *t.per_step.last().unwrap();
-        assert!((last - 0.5).abs() < 0.05, "steady occ {last}");
+        assert!((last - 1.0).abs() < 1e-12, "B(0) owes nothing, occ {last}");
+    }
+
+    #[test]
+    fn finish_times_are_cumulative_walls() {
+        let c = costs(6, 200, 100.0);
+        let m = OccupancyModel::new(&c, 6, vec![false; 6]);
+        let finish = m.backward_finish_times();
+        assert_eq!(finish.len(), 6);
+        // Processed back to front: finish times decrease with block index.
+        for w in finish.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!((finish[0] - m.backward_time()).abs() < 1e-12);
     }
 
     #[test]

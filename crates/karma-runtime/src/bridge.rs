@@ -388,6 +388,113 @@ pub fn expected_exchange(
     })
 }
 
+/// The predicted wall-clock timing of a distributed execution's gradient
+/// exchange — [`expected_exchange`]'s traffic replay extended with
+/// per-group α–β instants, all measured in seconds from the start of the
+/// backward phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeTiming {
+    /// Member blocks per message, launch order (as [`ExchangeReplay`]).
+    pub groups: Vec<Vec<usize>>,
+    /// Payload bytes of one worker's message per group — byte-for-byte
+    /// the [`ExchangeReplay::per_group_bytes`] of the same plan (both are
+    /// computed by the same replay).
+    pub per_group_bytes: Vec<u64>,
+    /// Modeled instant each group ships: its gate block's backward
+    /// finish under the Eq. 8 occupancy model (turnaround stalls and
+    /// prefetch gating priced in).
+    pub ship: Vec<f64>,
+    /// Modeled instant each group's all-reduce completes:
+    /// `ready[g] = max(ship[g], ready[g-1]) + α + β·bytes[g]` — groups
+    /// serialize on one exchange lane but overlap the remaining backward.
+    pub ready: Vec<f64>,
+    /// The modeled backward-phase wall time (Eq. 8).
+    pub backward: f64,
+    /// When the whole exchange completes: `ready` of the last group. The
+    /// modeled step extends the backward by `total - backward` — the
+    /// exchange tail the phased overlap could not hide.
+    pub total: f64,
+}
+
+impl ExchangeTiming {
+    /// The modeled overlap window of group `g`: the `[ship, ready)`
+    /// interval its aggregation runs in, concurrent with the backward
+    /// work scheduled after its gate.
+    pub fn window(&self, g: usize) -> (f64, f64) {
+        (self.ship[g], self.ready[g])
+    }
+
+    /// Exchange time not hidden by the backward phase.
+    pub fn exposed(&self) -> f64 {
+        (self.total - self.backward).max(0.0)
+    }
+}
+
+/// Model the wall-clock exchange timing of `plan` over the cost model
+/// that produced it: per-group ship instants from the Eq. 8 occupancy
+/// walk's backward finish times (`karma_core::occupancy::OccupancyModel`)
+/// and ready instants from an α–β transfer model (`alpha` seconds latency
+/// per message, `beta` seconds per payload byte — take them from
+/// `karma_net::AllReduceModel::algo_bandwidth` or measure them). The
+/// plan's own `SwapOut`/`Recompute` ops decide each block's residency
+/// class, so the timing replay prices exactly the schedule that lowers.
+///
+/// Traffic and timing stay coupled by construction: `per_group_bytes`
+/// here **equals** [`expected_exchange`]'s replay of the same plan
+/// exactly (the same code path computes both).
+pub fn expected_exchange_timing(
+    plan: &Plan,
+    costs: &karma_core::cost::BlockCosts,
+    grad_bytes: &[u64],
+    alpha: f64,
+    beta: f64,
+) -> Result<ExchangeTiming, BridgeError> {
+    let replay = expected_exchange(plan, grad_bytes, 1, 1)?;
+    if costs.n_blocks() != plan.n_blocks {
+        return Err(BridgeError::BlockCountMismatch {
+            plan_blocks: plan.n_blocks,
+            boundary_blocks: costs.n_blocks(),
+        });
+    }
+    let n = plan.n_blocks;
+    // Residency classes, read off the plan's own ops: a block is
+    // recomputed if it has a Recompute op, swapped if it has a SwapOut;
+    // `resident_from` is the first block with neither (non-resident
+    // blocks sit below the residency boundary by construction).
+    let recompute: Vec<bool> = (0..n)
+        .map(|b| plan.find(OpKind::Recompute, b).is_some())
+        .collect();
+    let resident_from = (0..n)
+        .filter(|&b| recompute[b] || plan.find(OpKind::SwapOut, b).is_some())
+        .map(|b| b + 1)
+        .max()
+        .unwrap_or(0);
+    let model = karma_core::occupancy::OccupancyModel::new(costs, resident_from, recompute);
+    let finish = model.backward_finish_times();
+    let backward = model.backward_time();
+
+    let ship: Vec<f64> = replay
+        .groups
+        .iter()
+        .map(|blocks| finish[*blocks.last().expect("groups are non-empty")])
+        .collect();
+    let mut ready = Vec::with_capacity(ship.len());
+    let mut lane = 0.0f64;
+    for (s, bytes) in ship.iter().zip(&replay.per_group_bytes) {
+        lane = lane.max(*s) + alpha + beta * *bytes as f64;
+        ready.push(lane);
+    }
+    let total = ready.last().copied().unwrap_or(0.0);
+    Ok(ExchangeTiming {
+        groups: replay.groups,
+        per_group_bytes: replay.per_group_bytes,
+        ship,
+        ready,
+        backward,
+        total,
+    })
+}
+
 /// Map planner boundaries from graph-layer space (where layer 0 is the
 /// input) to net-layer space (where layer 0 is the first real layer and
 /// the input is near-memory key 0). Fails with

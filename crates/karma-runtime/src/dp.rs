@@ -1,16 +1,28 @@
 //! Real multi-worker data parallelism with the phased gradient exchange —
 //! the executable analogue of paper Sec. III-G, built on threads and
-//! crossbeam channels instead of MPI.
+//! shared memory instead of MPI.
 //!
 //! Each worker trains its out-of-core replica on a shard of the global
-//! batch. Gradients ship **by exchange group** ([`ExchangeSchedule`]): as
-//! a group's last block finishes its backward pass, the worker sends the
-//! group's gradients to the aggregator ("the CPU side") and *keeps
-//! computing* — the aggregation of already-shipped groups overlaps the
-//! remaining backward/swap work, exactly the overlap the paper's phased
-//! exchange buys. The averaged gradients are installed before the weight
-//! update, so every replica applies identical averages and replicas stay
-//! bit-identical.
+//! batch. Gradients move **by exchange group** ([`ExchangeSchedule`])
+//! through **zero-copy aggregation buffers** ([`ExchangeBuffers`]): one
+//! pre-registered accumulation slot per group, sized at lowering time
+//! from the per-block gradient payloads. As a group's last block finishes
+//! its backward pass, the worker folds the group's gradients *in place*
+//! into the shared slot — no message serialization, no aggregator thread,
+//! no per-rank copies — and *keeps computing*: the folding of
+//! already-gated groups overlaps the remaining backward/swap work,
+//! exactly the overlap the paper's phased exchange buys. Folds are
+//! sequenced in ascending contributor-rank order per group (a worker
+//! whose turn has not come defers the fold to its end-of-step drain), so
+//! the float operations and their order are fixed regardless of thread
+//! interleaving: the averaged gradients every replica installs before its
+//! weight update are bit-identical to [`train_reference`] at any
+//! worker×thread count.
+//!
+//! The previous crossbeam-channel transport is kept, verbatim, as the
+//! **channel oracle** ([`train_channel_reference`] /
+//! [`train_churn_channel_reference`]): an independently-implemented
+//! second engine the zero-copy path is pinned against bitwise.
 //!
 //! The group shapes come from `karma_net::PhasedExchange` (MG-WFBP
 //! merging) via the plan→runtime bridge, or from the [`ExchangeSchedule`]
@@ -22,6 +34,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use karma_tensor::layers::ParamGrads;
 use karma_tensor::{Gradients, Sequential, SyntheticDataset, Tensor};
 use serde::{Deserialize, Serialize};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use crate::exec::{OocExecutor, OocStats};
 
@@ -93,6 +107,312 @@ impl ExchangeSchedule {
     }
 }
 
+/// One group's shared aggregation state for the step in flight.
+#[derive(Debug, Default)]
+struct GroupSlot {
+    /// The in-place accumulation buffer: first contributor's payload,
+    /// then ascending-rank `axpy` folds, then one final `1/count` scale.
+    grads: Vec<ParamGrads>,
+    /// Contributions folded so far this step.
+    arrived: usize,
+    /// Contributions scheduled this step (the complete-or-abort rule's
+    /// static contributor count).
+    expected: usize,
+    /// Measured payload bytes of one contribution (replicas share
+    /// shapes, so every contribution is the same size).
+    bytes: usize,
+    /// The average is published: folded by every scheduled contributor
+    /// and scaled. Never set with a partial fold in the buffer.
+    done: bool,
+    /// Wall-clock instant (seconds from the step epoch) the first
+    /// contribution landed — the group's measured *ship* time.
+    ship: Option<f64>,
+    /// Instant the average was published — the group's *ready* time.
+    ready_at: Option<f64>,
+}
+
+/// One group's pre-registered buffer: the layer span it owns plus the
+/// slot its contributors fold into.
+#[derive(Debug)]
+struct GroupBuffer {
+    /// Layer span `[start, end)` this group aggregates — disjoint from
+    /// every other group's by construction (validated at registration).
+    span: (usize, usize),
+    /// Payload bytes promised at registration (from the lowering-time
+    /// `block_grad_bytes`); checked against the first fold when present.
+    registered_bytes: Option<u64>,
+    slot: Mutex<GroupSlot>,
+    published: Condvar,
+}
+
+/// Pre-registered zero-copy aggregation buffers for one
+/// [`ExchangeSchedule`] — the shared-memory transport [`train`] and
+/// [`train_churn`] fold gradients through.
+///
+/// **Buffer lifecycle.** Registered once per lowered (executor, exchange)
+/// pair — the spans and sizes depend only on the schedule and the net's
+/// parameter shapes, never on the pool size, so a registration survives
+/// pool churn and is memoized alongside the lowered pair by
+/// [`crate::elastic::ElasticDriver`]. Each training step re-arms every
+/// slot with that step's scheduled contributor count
+/// ([`ExchangeBuffers::begin_step`]), workers fold in
+/// ([`ExchangeBuffers::try_contribute`] at the gate,
+/// [`ExchangeBuffers::contribute_in_turn`] in the end-of-step drain), and
+/// survivors copy the published average out
+/// ([`ExchangeBuffers::install`]).
+///
+/// **Sequencing rule.** Contributions to a group fold in ascending
+/// contributor-rank order: position `p` may fold only after positions
+/// `0..p` have. A worker at the gate whose turn has not come defers to
+/// its drain instead of blocking compute; drains wait. Waits only ever
+/// point at lower-ranked contributors, whose own waits point lower
+/// still — by induction on rank the protocol is deadlock-free, and the
+/// fold order (hence every float operation) is fixed at any thread
+/// interleaving: in-place aggregation stays bit-identical to the
+/// sequential reference.
+///
+/// **Failure safety.** `done` is set only after the *complete* fold and
+/// scale, under the slot lock; a contributor panicking mid-fold poisons
+/// the slot's mutex, so every later touch of that group fails loudly
+/// instead of observing (or publishing) a partially-accumulated buffer
+/// — the complete-or-abort rule cannot be silently violated
+/// ([`ExchangeBuffers::poisoned`] exposes the state).
+#[derive(Debug)]
+pub struct ExchangeBuffers {
+    groups: Vec<GroupBuffer>,
+    n_layers: usize,
+    n_blocks: usize,
+}
+
+impl ExchangeBuffers {
+    /// Register one aggregation buffer per group of `xchg` over a net of
+    /// `n_layers` layers split at `boundaries`. Validates that the group
+    /// spans tile the layer range exactly (no aliasing, no gaps).
+    pub fn register(xchg: &ExchangeSchedule, boundaries: &[usize], n_layers: usize) -> Self {
+        Self::build(xchg, boundaries, n_layers, None)
+    }
+
+    /// [`ExchangeBuffers::register`] with the lowering-time per-block
+    /// gradient payload sizes (`crate::bridge::block_grad_bytes`): each
+    /// group's buffer records the bytes it must receive, and the first
+    /// fold of every step is checked against that registration.
+    pub fn register_sized(
+        xchg: &ExchangeSchedule,
+        boundaries: &[usize],
+        n_layers: usize,
+        grad_bytes: &[u64],
+    ) -> Self {
+        assert_eq!(
+            grad_bytes.len(),
+            xchg.n_blocks(),
+            "need one gradient size per block"
+        );
+        Self::build(xchg, boundaries, n_layers, Some(grad_bytes))
+    }
+
+    fn build(
+        xchg: &ExchangeSchedule,
+        boundaries: &[usize],
+        n_layers: usize,
+        grad_bytes: Option<&[u64]>,
+    ) -> Self {
+        assert_eq!(
+            boundaries.len(),
+            xchg.n_blocks(),
+            "exchange schedule / boundary block mismatch"
+        );
+        let groups: Vec<GroupBuffer> = (0..xchg.n_groups())
+            .map(|g| GroupBuffer {
+                span: group_span(xchg, g, boundaries, n_layers),
+                registered_bytes: grad_bytes
+                    .map(|sizes| xchg.groups()[g].iter().map(|&b| sizes[b]).sum::<u64>()),
+                slot: Mutex::new(GroupSlot::default()),
+                published: Condvar::new(),
+            })
+            .collect();
+        // Groups launch in descending layer order: each span must end
+        // exactly where the previous began, the first at the top layer,
+        // the last at 0 — a disjoint exact tiling.
+        let mut expect_end = n_layers;
+        for gb in &groups {
+            let (s, e) = gb.span;
+            assert!(s < e, "empty group span");
+            assert_eq!(e, expect_end, "group spans must tile the layers");
+            expect_end = s;
+        }
+        assert_eq!(expect_end, 0, "group spans must cover layer 0");
+        ExchangeBuffers {
+            groups,
+            n_layers,
+            n_blocks: xchg.n_blocks(),
+        }
+    }
+
+    /// Number of registered group buffers.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Blocks the registered schedule covers.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Layers the registered spans tile.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// The layer span `[start, end)` group `g`'s buffer owns.
+    pub fn span(&self, g: usize) -> (usize, usize) {
+        self.groups[g].span
+    }
+
+    /// Per-group payload bytes promised at registration (launch order),
+    /// when sized; `None` for [`ExchangeBuffers::register`]ed buffers.
+    pub fn registered_group_bytes(&self) -> Option<Vec<u64>> {
+        self.groups.iter().map(|g| g.registered_bytes).collect()
+    }
+
+    /// True when any group's slot lock is poisoned — a contributor
+    /// panicked mid-fold and the step must not commit.
+    pub fn poisoned(&self) -> bool {
+        self.groups.iter().any(|g| g.slot.is_poisoned())
+    }
+
+    /// Arm every slot for a new step: group `g` expects `expected[g]`
+    /// contributions (the step's scheduled contributor count). Clears
+    /// arrival counts, publication flags, and timestamps; buffer
+    /// allocations are reused.
+    pub fn begin_step(&self, expected: &[usize]) {
+        assert_eq!(expected.len(), self.groups.len(), "one count per group");
+        for (gb, &exp) in self.groups.iter().zip(expected) {
+            assert!(exp >= 1, "every group needs a contributor");
+            let mut slot = gb.slot.lock().expect("exchange buffer poisoned");
+            slot.arrived = 0;
+            slot.expected = exp;
+            slot.bytes = 0;
+            slot.done = false;
+            slot.ship = None;
+            slot.ready_at = None;
+        }
+    }
+
+    /// Fold `src` into group `g`'s slot. Caller holds the lock and has
+    /// already established it is position `slot.arrived`'s turn.
+    fn fold(&self, g: usize, slot: &mut GroupSlot, src: &[ParamGrads], epoch: Instant) {
+        let (s, e) = self.groups[g].span;
+        assert_eq!(src.len(), e - s, "payload does not match the group span");
+        if slot.arrived == 0 {
+            slot.ship = Some(epoch.elapsed().as_secs_f64());
+            let bytes: usize = src
+                .iter()
+                .flat_map(|pg| pg.grads.iter())
+                .map(Tensor::bytes)
+                .sum();
+            if let Some(reg) = self.groups[g].registered_bytes {
+                assert_eq!(
+                    bytes as u64, reg,
+                    "group {g} payload does not match its registered size"
+                );
+            }
+            slot.bytes = bytes;
+            slot.grads.clear();
+            slot.grads.extend_from_slice(src);
+        } else {
+            for (a, b) in slot.grads.iter_mut().zip(src) {
+                for (ta, tb) in a.grads.iter_mut().zip(&b.grads) {
+                    ta.axpy(1.0, tb);
+                }
+            }
+        }
+        slot.arrived += 1;
+        if slot.arrived == slot.expected {
+            for pg in &mut slot.grads {
+                for t in &mut pg.grads {
+                    t.scale(1.0 / slot.expected as f32);
+                }
+            }
+            slot.done = true;
+            slot.ready_at = Some(epoch.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Gate-time fold: if it is position `pos`'s turn (all lower-ranked
+    /// contributions already folded), fold `src` in place and return
+    /// `true`; otherwise return `false` without blocking — the caller
+    /// defers to its end-of-step drain and keeps computing.
+    pub fn try_contribute(&self, g: usize, pos: usize, src: &[ParamGrads], epoch: Instant) -> bool {
+        let mut slot = self.groups[g]
+            .slot
+            .lock()
+            .expect("exchange buffer poisoned");
+        if slot.arrived != pos {
+            return false;
+        }
+        self.fold(g, &mut slot, src, epoch);
+        drop(slot);
+        self.groups[g].published.notify_all();
+        true
+    }
+
+    /// Drain-time fold: wait until it is position `pos`'s turn, then fold
+    /// `src`. Waits only ever point at lower-ranked contributors —
+    /// deadlock-free by rank induction.
+    pub fn contribute_in_turn(&self, g: usize, pos: usize, src: &[ParamGrads], epoch: Instant) {
+        let mut slot = self.groups[g]
+            .slot
+            .lock()
+            .expect("exchange buffer poisoned");
+        while slot.arrived != pos {
+            slot = self.groups[g]
+                .published
+                .wait(slot)
+                .expect("exchange buffer poisoned");
+        }
+        self.fold(g, &mut slot, src, epoch);
+        drop(slot);
+        self.groups[g].published.notify_all();
+    }
+
+    /// Wait for group `g`'s average to publish and copy it into `dst`
+    /// (the caller's own span of its gradient buffer).
+    pub fn install(&self, g: usize, dst: &mut [ParamGrads]) {
+        let mut slot = self.groups[g]
+            .slot
+            .lock()
+            .expect("exchange buffer poisoned");
+        while !slot.done {
+            slot = self.groups[g]
+                .published
+                .wait(slot)
+                .expect("exchange buffer poisoned");
+        }
+        dst.clone_from_slice(&slot.grads);
+    }
+
+    /// Measured `(ship, ready)` instants per group (seconds from the step
+    /// epoch, launch order) of the step last run through these buffers.
+    fn timings(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut ship = Vec::with_capacity(self.groups.len());
+        let mut ready = Vec::with_capacity(self.groups.len());
+        for gb in &self.groups {
+            let slot = gb.slot.lock().expect("exchange buffer poisoned");
+            ship.push(slot.ship.expect("group shipped"));
+            ready.push(slot.ready_at.expect("group published"));
+        }
+        (ship, ready)
+    }
+
+    /// Measured payload bytes of one contribution per group.
+    fn measured_bytes(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .map(|gb| gb.slot.lock().expect("exchange buffer poisoned").bytes)
+            .collect()
+    }
+}
+
 /// Outcome of a data-parallel training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataParallelReport {
@@ -123,6 +443,19 @@ pub struct DataParallelReport {
     /// Payload bytes of one worker's message per group, in launch order
     /// (identical for every worker and step: replicas share shapes).
     pub group_bytes: Vec<usize>,
+    /// Measured wall-clock instant each group's first contribution landed
+    /// in its buffer (seconds from the step start), per group in launch
+    /// order, for the **last executed step**. Empty on the channel
+    /// oracle, which records no timing.
+    pub group_ship_s: Vec<f64>,
+    /// Measured instant each group's average was published (last fold +
+    /// scale), same epoch and order as `group_ship_s`.
+    pub group_ready_s: Vec<f64>,
+    /// Latest backward-pass completion across workers (seconds from the
+    /// step start), last executed step.
+    pub backward_done_s: f64,
+    /// Wall time of the last executed step (seconds).
+    pub step_wall_s: f64,
 }
 
 /// A planned worker failure inside one training step: the worker at
@@ -255,6 +588,17 @@ pub struct ChurnReport {
     /// Samples the run consumed (dying workers' shards included — their
     /// microbatches are lost to the failure, as in a real run).
     pub samples_consumed: usize,
+    /// Measured per-group first-contribution instants of the last
+    /// executed step (see [`DataParallelReport::group_ship_s`]).
+    pub group_ship_s: Vec<f64>,
+    /// Measured per-group average-published instants of the last
+    /// executed step (see [`DataParallelReport::group_ready_s`]).
+    pub group_ready_s: Vec<f64>,
+    /// Latest backward completion across workers, last executed step
+    /// (seconds from the step start).
+    pub backward_done_s: f64,
+    /// Wall time of the last executed step (seconds).
+    pub step_wall_s: f64,
 }
 
 type GroupMsg = (usize, usize, Vec<ParamGrads>); // (rank, group, grads)
@@ -317,13 +661,31 @@ pub fn train(
     lr: f32,
     steps: usize,
 ) -> DataParallelReport {
+    assert!(!nets.is_empty(), "need at least one worker");
+    let bufs = ExchangeBuffers::register(xchg, exec.boundaries(), nets[0].len());
     let cfg = ChurnConfig {
         offset: 0,
         per_worker,
         lr,
         steps,
     };
-    let (report, dead) = run_churn(nets, exec, xchg, data, &cfg, &FaultPlan::none());
+    train_with_buffers(nets, exec, xchg, &bufs, data, &cfg)
+}
+
+/// [`train`] over caller-registered [`ExchangeBuffers`] — the entry the
+/// lowered path uses, so a registration made once at lowering time (and
+/// memoized across pool churn by [`crate::elastic::ElasticDriver`]) is
+/// reused step after step instead of rebuilt per call. `cfg` carries the
+/// batch offset, per-worker batch size, learning rate and step count.
+pub fn train_with_buffers(
+    nets: &mut [Sequential],
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    bufs: &ExchangeBuffers,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+) -> DataParallelReport {
+    let (report, dead) = run_churn(nets, exec, xchg, bufs, data, cfg, &FaultPlan::none());
     debug_assert!(dead.is_empty(), "empty fault plan killed a worker");
     DataParallelReport {
         losses: report.losses,
@@ -335,6 +697,10 @@ pub fn train(
         exchange_messages: report.exchange_messages,
         exchanged_bytes: report.exchanged_bytes,
         group_bytes: report.group_bytes,
+        group_ship_s: report.group_ship_s,
+        group_ready_s: report.group_ready_s,
+        backward_done_s: report.backward_done_s,
+        step_wall_s: report.step_wall_s,
     }
 }
 
@@ -365,18 +731,362 @@ pub fn train_churn(
     cfg: &ChurnConfig,
     faults: &FaultPlan,
 ) -> ChurnReport {
-    let (report, dead) = run_churn(nets, exec, xchg, data, cfg, faults);
+    assert!(!nets.is_empty(), "need at least one worker");
+    let bufs = ExchangeBuffers::register(xchg, exec.boundaries(), nets[0].len());
+    train_churn_with_buffers(nets, exec, xchg, &bufs, data, cfg, faults)
+}
+
+/// [`train_churn`] over caller-registered [`ExchangeBuffers`] (see
+/// [`train_with_buffers`]). The fault-injected path rides the exact same
+/// buffers: a dying worker's shipped groups fold normally, its unshipped
+/// groups are simply never expected (the static contributor table sets
+/// each slot's count up front).
+pub fn train_churn_with_buffers(
+    nets: &mut Vec<Sequential>,
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    bufs: &ExchangeBuffers,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+    faults: &FaultPlan,
+) -> ChurnReport {
+    let (report, dead) = run_churn(nets, exec, xchg, bufs, data, cfg, faults);
     for &i in dead.iter().rev() {
         nets.remove(i);
     }
     report
 }
 
-/// The engine behind [`train`] and [`train_churn`]: runs the phased
+/// One worker's step outcome: loss, averaged gradients (`None` for a
+/// dying worker, whose update never happens), executor stats, and the
+/// worker's backward-completion instant.
+type WorkerStep = (f32, Option<Gradients>, OocStats, f64);
+
+/// The engine behind [`train`] and [`train_churn`]: the zero-copy phased
 /// exchange over the alive subset of `nets`, applying scheduled failures.
-/// Returns the report plus the indices of dead replicas (ascending) for
-/// the caller to drop.
+/// Workers fold group gradients in place into `bufs` under the
+/// ascending-rank sequencing rule (see [`ExchangeBuffers`]); no
+/// aggregator thread, no message copies. Returns the report plus the
+/// indices of dead replicas (ascending) for the caller to drop.
 fn run_churn(
+    nets: &mut [Sequential],
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    bufs: &ExchangeBuffers,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+    faults: &FaultPlan,
+) -> (ChurnReport, Vec<usize>) {
+    assert!(!nets.is_empty(), "need at least one worker");
+    assert_eq!(
+        xchg.n_blocks(),
+        exec.n_blocks(),
+        "exchange schedule / executor block mismatch"
+    );
+    assert_eq!(
+        bufs.n_groups(),
+        xchg.n_groups(),
+        "buffers registered for a different schedule"
+    );
+    assert_eq!(
+        bufs.n_blocks(),
+        xchg.n_blocks(),
+        "buffers registered for a different schedule"
+    );
+    assert_eq!(
+        bufs.n_layers(),
+        nets[0].len(),
+        "buffers registered for a different net"
+    );
+    let first = nets[0].snapshot();
+    for n in nets.iter() {
+        assert_eq!(n.snapshot(), first, "replicas must start identical");
+    }
+    let (per_worker, lr) = (cfg.per_worker, cfg.lr);
+
+    let n_groups = xchg.n_groups();
+    let n_layers = nets[0].len();
+    let boundaries = exec.boundaries().to_vec();
+    // Per-block lookup: which group, and is this block its group's gate?
+    let mut group_of = vec![0usize; exec.n_blocks()];
+    let mut is_gate = vec![false; exec.n_blocks()];
+    for (g, blocks) in xchg.groups().iter().enumerate() {
+        for &b in blocks {
+            group_of[b] = g;
+        }
+        is_gate[xchg.gate(g)] = true;
+    }
+
+    // Alive replicas, as indices into `nets`; rank = position here.
+    let mut alive: Vec<usize> = (0..nets.len()).collect();
+    let mut dead: Vec<usize> = Vec::new();
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    let mut pool_sizes = Vec::with_capacity(cfg.steps);
+    let mut swapped = 0usize;
+    let mut recomputed = 0usize;
+    let mut peak_near = 0usize;
+    let mut peak_tier = vec![0usize; exec.tiers().len()];
+    let mut messages = 0usize;
+    let mut shipped = 0usize;
+    let mut group_bytes = vec![0usize; n_groups];
+    let mut aborted = 0usize;
+    let mut completed_with_dead = 0usize;
+    let mut offset = cfg.offset;
+    let mut last_ship: Vec<f64> = Vec::new();
+    let mut last_ready: Vec<f64> = Vec::new();
+    let mut last_bwd_done = 0.0f64;
+    let mut last_step_wall = 0.0f64;
+
+    for step in 0..cfg.steps {
+        let workers = alive.len();
+        let start = offset;
+        assert!(
+            start + per_worker * workers <= data.len(),
+            "dataset too small: need {} samples",
+            start + per_worker * workers
+        );
+
+        // Who dies this step, and after how many shipped groups. All
+        // complete-or-abort decisions derive from this static table.
+        let dying_at = faults.at_step(step);
+        for &(rank, _) in &dying_at {
+            assert!(rank < workers, "failure rank {rank} outside pool {workers}");
+        }
+        assert!(
+            dying_at.len() < workers,
+            "a step must keep at least one survivor"
+        );
+        let mut death_after: Vec<Option<usize>> = vec![None; workers];
+        for &(rank, k) in &dying_at {
+            death_after[rank] = Some(k.min(n_groups));
+        }
+        // Group g's scheduled contributors: survivors always, a dying
+        // worker only for the groups it ships before the failure.
+        let contributors: Vec<Vec<usize>> = (0..n_groups)
+            .map(|g| {
+                (0..workers)
+                    .filter(|&r| death_after[r].is_none_or(|k| g < k))
+                    .collect()
+            })
+            .collect();
+        for &(_, k) in &dying_at {
+            let k = k.min(n_groups);
+            completed_with_dead += k;
+            aborted += n_groups - k;
+        }
+        // Each rank's fold position per group (its index in the group's
+        // contributor list), `None` where it is not scheduled.
+        let pos_of: Vec<Vec<Option<usize>>> = (0..workers)
+            .map(|r| {
+                (0..n_groups)
+                    .map(|g| contributors[g].iter().position(|&c| c == r))
+                    .collect()
+            })
+            .collect();
+        let expected: Vec<usize> = contributors.iter().map(Vec::len).collect();
+
+        bufs.begin_step(&expected);
+        let epoch = Instant::now();
+
+        let mut step_results: Vec<Option<WorkerStep>> = (0..workers).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let nets_view: &[Sequential] = nets;
+            for (rank, result) in step_results.iter_mut().enumerate() {
+                let net = &nets_view[alive[rank]];
+                let (group_of, is_gate) = (&group_of, &is_gate);
+                let (xchg, boundaries) = (&xchg, &boundaries);
+                let my_pos = &pos_of[rank];
+                let my_death = death_after[rank];
+                scope.spawn(move || {
+                    let (x, y): (Tensor, Vec<usize>) = data.shard(start, per_worker, rank);
+                    // Blocks finish backward in descending order, so a
+                    // group's members arrive consecutively: stage them
+                    // and fold at the gate — in place when it is this
+                    // rank's turn, deferred to the end-of-step drain
+                    // otherwise, so compute never blocks on the exchange.
+                    let mut staged: Vec<Vec<ParamGrads>> = Vec::new();
+                    let mut deferred: Vec<(usize, Vec<ParamGrads>)> = Vec::new();
+                    let (loss, mut grads, stats) = exec.grad_step(net, &x, &y, |b, block_grads| {
+                        staged.push(block_grads.to_vec());
+                        if is_gate[b] {
+                            // Ascending layer order across the group.
+                            let payload: Vec<ParamGrads> =
+                                staged.drain(..).rev().flatten().collect();
+                            let g = group_of[b];
+                            // A dying worker contributes only its first
+                            // `groups_shipped` groups — it has no fold
+                            // position in the others (the contributor
+                            // table is static).
+                            if let Some(pos) = my_pos[g] {
+                                if !bufs.try_contribute(g, pos, &payload, epoch) {
+                                    deferred.push((g, payload));
+                                }
+                            }
+                        }
+                    });
+                    let bwd_done = epoch.elapsed().as_secs_f64();
+                    // Drain the deferred folds in launch order; each wait
+                    // points only at lower-ranked contributors.
+                    for (g, payload) in &deferred {
+                        bufs.contribute_in_turn(
+                            *g,
+                            my_pos[*g].expect("deferred fold"),
+                            payload,
+                            epoch,
+                        );
+                    }
+                    if my_death.is_none() {
+                        // Install the published averages in place.
+                        for g in 0..xchg.n_groups() {
+                            let (s, e) = group_span(xchg, g, boundaries, n_layers);
+                            bufs.install(g, &mut grads.per_layer[s..e]);
+                        }
+                        *result = Some((loss, Some(grads), stats, bwd_done));
+                    } else {
+                        // Dead before the update: the loss and the stats
+                        // are real (the shard was computed), the weights
+                        // never advance.
+                        *result = Some((loss, None, stats, bwd_done));
+                    }
+                });
+            }
+        });
+        last_step_wall = epoch.elapsed().as_secs_f64();
+
+        // Traffic accounting: one contribution per scheduled
+        // (rank, group) pair, every contribution the same size.
+        let measured = bufs.measured_bytes();
+        for g in 0..n_groups {
+            messages += contributors[g].len();
+            shipped += measured[g] * contributors[g].len();
+            group_bytes[g] = measured[g];
+        }
+        let (ship, ready) = bufs.timings();
+        last_ship = ship;
+        last_ready = ready;
+
+        let mut step_loss = 0.0f32;
+        last_bwd_done = 0.0;
+        for (rank, result) in step_results.into_iter().enumerate() {
+            let (loss, grads, stats, bwd_done) = result.expect("worker finished");
+            if let Some(grads) = grads {
+                nets[alive[rank]].apply(&grads, lr);
+            }
+            step_loss += loss;
+            last_bwd_done = last_bwd_done.max(bwd_done);
+            swapped += stats.swapped_in_bytes + stats.swapped_out_bytes;
+            recomputed += stats.recomputed_layers;
+            peak_near = peak_near.max(stats.peak_near_bytes);
+            for (p, s) in peak_tier.iter_mut().zip(&stats.peak_tier_bytes) {
+                *p = (*p).max(*s);
+            }
+        }
+        losses.push(step_loss / workers as f32);
+        pool_sizes.push(workers);
+        offset += per_worker * workers;
+
+        // Contiguous re-sharding: drop the dead ranks, survivors keep
+        // their relative order and renumber 0..pool.
+        for &(rank, _) in dying_at.iter().rev() {
+            dead.push(alive.remove(rank));
+        }
+    }
+    dead.sort_unstable();
+
+    let final_snapshot = nets[alive[0]].snapshot();
+    for &i in &alive {
+        assert_eq!(
+            nets[i].snapshot(),
+            final_snapshot,
+            "replicas diverged — exchange broke determinism"
+        );
+    }
+    let report = ChurnReport {
+        losses,
+        pool_sizes,
+        final_snapshot,
+        swapped_bytes: swapped,
+        recomputed_layers: recomputed,
+        peak_near_bytes: peak_near,
+        peak_tier_bytes: peak_tier,
+        exchange_messages: messages,
+        exchanged_bytes: shipped,
+        group_bytes,
+        aborted_groups: aborted,
+        group_ship_s: last_ship,
+        group_ready_s: last_ready,
+        backward_done_s: last_bwd_done,
+        step_wall_s: last_step_wall,
+        completed_with_dead,
+        samples_consumed: offset - cfg.offset,
+    };
+    (report, dead)
+}
+
+/// The kept crossbeam-channel transport, as a **bitwise oracle** for the
+/// zero-copy path: an independently-implemented engine (aggregator
+/// thread, per-rank message buckets, reply channels) whose averaging
+/// arithmetic is identical. [`train`] must produce exactly this
+/// function's weights, losses, and traffic counts for any schedule,
+/// worker count, or thread count. Records no exchange timing (its timing
+/// fields are empty).
+pub fn train_channel_reference(
+    nets: &mut [Sequential],
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    data: &SyntheticDataset,
+    per_worker: usize,
+    lr: f32,
+    steps: usize,
+) -> DataParallelReport {
+    let cfg = ChurnConfig {
+        offset: 0,
+        per_worker,
+        lr,
+        steps,
+    };
+    let (report, dead) = run_churn_channels(nets, exec, xchg, data, &cfg, &FaultPlan::none());
+    debug_assert!(dead.is_empty(), "empty fault plan killed a worker");
+    DataParallelReport {
+        losses: report.losses,
+        final_snapshot: report.final_snapshot,
+        swapped_bytes: report.swapped_bytes,
+        recomputed_layers: report.recomputed_layers,
+        peak_near_bytes: report.peak_near_bytes,
+        peak_tier_bytes: report.peak_tier_bytes,
+        exchange_messages: report.exchange_messages,
+        exchanged_bytes: report.exchanged_bytes,
+        group_bytes: report.group_bytes,
+        group_ship_s: report.group_ship_s,
+        group_ready_s: report.group_ready_s,
+        backward_done_s: report.backward_done_s,
+        step_wall_s: report.step_wall_s,
+    }
+}
+
+/// [`train_channel_reference`] with fault injection — the channel oracle
+/// for [`train_churn`]'s complete-or-abort rule.
+pub fn train_churn_channel_reference(
+    nets: &mut Vec<Sequential>,
+    exec: &OocExecutor,
+    xchg: &ExchangeSchedule,
+    data: &SyntheticDataset,
+    cfg: &ChurnConfig,
+    faults: &FaultPlan,
+) -> ChurnReport {
+    let (report, dead) = run_churn_channels(nets, exec, xchg, data, cfg, faults);
+    for &i in dead.iter().rev() {
+        nets.remove(i);
+    }
+    report
+}
+
+/// The channel-transport engine behind the oracle entry points: runs the
+/// phased exchange through an aggregator thread and crossbeam channels —
+/// the pre-zero-copy implementation, kept verbatim for cross-checking.
+fn run_churn_channels(
     nets: &mut [Sequential],
     exec: &OocExecutor,
     xchg: &ExchangeSchedule,
@@ -634,6 +1344,10 @@ fn run_churn(
         aborted_groups: aborted,
         completed_with_dead,
         samples_consumed: offset - cfg.offset,
+        group_ship_s: Vec::new(),
+        group_ready_s: Vec::new(),
+        backward_done_s: 0.0,
+        step_wall_s: 0.0,
     };
     (report, dead)
 }

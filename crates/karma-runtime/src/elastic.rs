@@ -37,10 +37,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::bridge::{lower_dist_plan, lower_plan_tiered, BridgeError};
-use crate::dp::{train_churn, ChurnConfig, ExchangeSchedule, FaultPlan, WorkerFailure};
+use crate::dp::{
+    train_churn_with_buffers, ChurnConfig, ExchangeBuffers, ExchangeSchedule, FaultPlan,
+    WorkerFailure,
+};
 use crate::exec::OocExecutor;
 use crate::store::{TierSpec, TierStack};
 
@@ -281,6 +284,12 @@ pub struct ElasticDriver {
     path: LowerPath,
     /// Pool size → validated lowered pair, filled on first lowering.
     lowered: Mutex<HashMap<usize, (OocExecutor, ExchangeSchedule)>>,
+    /// Pool size → registered zero-copy exchange buffers, filled on first
+    /// use alongside the lowered pair: a hot swap to a new pool size
+    /// registers fresh buffers, churning back to a seen size reuses the
+    /// earlier registration (registration is deterministic, so reuse
+    /// never changes results — asserted by the buffer-safety tests).
+    buffers: Mutex<HashMap<usize, Arc<ExchangeBuffers>>>,
     /// Lifetime count of [`ElasticDriver::lower_for`] calls answered from
     /// the memo.
     lower_cache_hits: AtomicUsize,
@@ -391,6 +400,7 @@ impl ElasticDriver {
                 tiered: None,
             },
             lowered: Mutex::new(HashMap::new()),
+            buffers: Mutex::new(HashMap::new()),
             lower_cache_hits: AtomicUsize::new(0),
         }
     }
@@ -415,6 +425,7 @@ impl ElasticDriver {
                 tiered: Some((key_bytes, tiers)),
             },
             lowered: Mutex::new(HashMap::new()),
+            buffers: Mutex::new(HashMap::new()),
             lower_cache_hits: AtomicUsize::new(0),
         }
     }
@@ -426,6 +437,7 @@ impl ElasticDriver {
         ElasticDriver {
             path: LowerPath::Fixed(exec, xchg),
             lowered: Mutex::new(HashMap::new()),
+            buffers: Mutex::new(HashMap::new()),
             lower_cache_hits: AtomicUsize::new(0),
         }
     }
@@ -478,6 +490,29 @@ impl ElasticDriver {
         }
     }
 
+    /// The zero-copy [`ExchangeBuffers`] registration for a
+    /// `workers`-wide pool's lowered pair, memoized per pool size
+    /// alongside the pair itself: the first hot swap to a size registers
+    /// buffers for that size's exchange schedule, churning back reuses
+    /// them. Registration depends only on the schedule and the net's
+    /// layer split, so reuse is bitwise-neutral.
+    pub fn buffers_for(
+        &self,
+        workers: usize,
+        exec: &OocExecutor,
+        xchg: &ExchangeSchedule,
+        n_layers: usize,
+    ) -> Arc<ExchangeBuffers> {
+        self.buffers
+            .lock()
+            .unwrap()
+            .entry(workers)
+            .or_insert_with(|| {
+                Arc::new(ExchangeBuffers::register(xchg, exec.boundaries(), n_layers))
+            })
+            .clone()
+    }
+
     /// Run elastic training to `opts.total_steps`, applying the
     /// scheduled events, re-lowering on every pool change, and
     /// checkpointing into `store`. `resume` starts from a previously
@@ -511,6 +546,8 @@ impl ElasticDriver {
 
         let hits_at_start = self.lower_cache_hits.load(Ordering::Relaxed);
         let (mut exec, mut xchg) = self.lower_for(nets.len())?;
+        let n_layers = nets[0].len();
+        let mut bufs = self.buffers_for(nets.len(), &exec, &xchg, n_layers);
         let n_groups = xchg.n_groups();
 
         let mut report = ElasticReport {
@@ -573,6 +610,7 @@ impl ElasticDriver {
                 let pair = self.lower_for(nets.len())?;
                 exec = pair.0;
                 xchg = pair.1;
+                bufs = self.buffers_for(nets.len(), &exec, &xchg, n_layers);
                 report.relowers += 1;
             }
 
@@ -641,7 +679,7 @@ impl ElasticDriver {
                 steps: phase_steps,
             };
             let faults = FaultPlan::new(fails.clone());
-            let phase = train_churn(nets, &exec, &xchg, data, &cfg, &faults);
+            let phase = train_churn_with_buffers(nets, &exec, &xchg, &bufs, data, &cfg, &faults);
 
             report.phases.push(PhaseInfo {
                 start_step: step,
@@ -677,6 +715,7 @@ impl ElasticDriver {
                 let pair = self.lower_for(nets.len())?;
                 exec = pair.0;
                 xchg = pair.1;
+                bufs = self.buffers_for(nets.len(), &exec, &xchg, n_layers);
                 report.relowers += 1;
             }
 

@@ -15,9 +15,11 @@
 //!   accuracy experiments check empirically;
 //! * [`dp`] — multi-worker data parallelism with the *grouped phased*
 //!   gradient exchange and host-side update of Sec. III-G, implemented with
-//!   real threads over crossbeam channels: gradients ship group-by-group as
+//!   real threads over zero-copy shared aggregation buffers
+//!   ([`dp::ExchangeBuffers`]): gradients fold in place group-by-group as
 //!   blocks finish backward, overlapping aggregation with the remaining
-//!   backward/swap work;
+//!   backward/swap work (the old channel transport is kept as a bitwise
+//!   oracle);
 //! * [`bridge`] — the plan→runtime lowering: a validated `karma-core`
 //!   `Plan` becomes a configured [`exec::OocExecutor`] (policies, eviction
 //!   order, prefetch schedule) plus, for distributed plans, the
@@ -44,13 +46,15 @@ pub mod fault;
 pub mod store;
 
 pub use bridge::{
-    block_grad_bytes, expected_exchange, expected_residency, expected_residency_tiered,
-    graph_boundaries_to_net, lower_dist_plan, lower_plan, lower_plan_tiered, BridgeError,
-    ExchangeReplay, ResidencyReplay,
+    block_grad_bytes, expected_exchange, expected_exchange_timing, expected_residency,
+    expected_residency_tiered, graph_boundaries_to_net, lower_dist_plan, lower_plan,
+    lower_plan_tiered, BridgeError, ExchangeReplay, ExchangeTiming, ResidencyReplay,
 };
 pub use dp::{
-    train, train_churn, train_churn_reference, train_data_parallel, train_reference, ChurnConfig,
-    ChurnReport, DataParallelReport, ExchangeSchedule, FaultPlan, WorkerFailure,
+    train, train_channel_reference, train_churn, train_churn_channel_reference,
+    train_churn_reference, train_churn_with_buffers, train_data_parallel, train_reference,
+    train_with_buffers, ChurnConfig, ChurnReport, DataParallelReport, ExchangeBuffers,
+    ExchangeSchedule, FaultPlan, WorkerFailure,
 };
 pub use elastic::{
     Checkpoint, ElasticDriver, ElasticError, ElasticOptions, ElasticReport, PhaseInfo, PoolEvent,

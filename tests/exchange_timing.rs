@@ -1,0 +1,211 @@
+//! The wall-clock exchange timing model (`expected_exchange_timing`)
+//! and the executed timestamps the zero-copy transport records.
+//!
+//! The model side is quantitative and deterministic: over random
+//! synthetic plan grids (same family as `tests/occupancy_model.rs`) the
+//! modeled per-group bytes must equal the traffic replay's **exactly**,
+//! ship instants must follow the backward gate order, and ready times
+//! must be weakly monotone in the α–β link cost. The executed side is
+//! deliberately **timing-invariant**: real wall-clock numbers vary with
+//! load, so the assertions pin structure — every recorded ship/ready
+//! interval lies inside the measured step, ships precede readies, both
+//! follow launch order fault-free, and every group ships before the
+//! slowest worker finishes backward (the overlap the paper's phased
+//! exchange exists to create).
+
+use karma::core::capacity::{build_training_plan, CapacityPlanOptions};
+use karma::core::cost::BlockCosts;
+use karma::dist::append_exchange_ops;
+use karma::net::{ExchangeGroup, PhasedExchange};
+use karma::runtime::bridge::{expected_exchange, expected_exchange_timing};
+use karma::runtime::dp::{train, ExchangeSchedule};
+use karma::runtime::exec::{BlockPolicy, OocExecutor};
+use karma::tensor::{small_cnn, SyntheticDataset};
+use proptest::prelude::*;
+
+fn costs(n: usize, act: u64, bw: f64, cap_blocks: f64) -> BlockCosts {
+    BlockCosts {
+        forward: vec![1.0; n],
+        backward: vec![1.0; n],
+        act_bytes: vec![act; n],
+        swap_bytes: vec![act; n],
+        boundary_bytes: vec![act / 10; n],
+        transient_bytes: vec![0; n],
+        state_bytes: vec![0; n],
+        grad_bytes: vec![act / 2; n],
+        params: vec![1; n],
+        swap_bw: bw,
+        act_capacity: (cap_blocks * act as f64) as i64,
+        batch: 1,
+    }
+}
+
+/// Partition the descending block walk into contiguous exchange groups
+/// selected by `split_mask`, and append the matching `AR`/`U` ops.
+fn planned_with_groups(c: &BlockCosts, split_mask: u32) -> (karma::core::plan::Plan, Vec<u64>) {
+    let n = c.n_blocks();
+    let cp = build_training_plan(c, &CapacityPlanOptions::karma(n));
+    let mut plan = cp.plan;
+    let grad_bytes = c.grad_bytes.clone();
+    let mut groups: Vec<Vec<usize>> = vec![vec![n - 1]];
+    for b in (0..n - 1).rev() {
+        if split_mask & (1 << b) != 0 {
+            groups.push(vec![b]);
+        } else {
+            groups.last_mut().unwrap().push(b);
+        }
+    }
+    let phased = PhasedExchange {
+        groups: groups
+            .into_iter()
+            .map(|blocks| ExchangeGroup {
+                bytes: blocks.iter().map(|&b| grad_bytes[b]).sum(),
+                blocks,
+            })
+            .collect(),
+    };
+    append_exchange_ops(&mut plan, &phased);
+    (plan, grad_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// The timing model prices exactly the traffic the byte replay
+    /// predicts: same groups, bit-equal per-group bytes. One replay
+    /// feeds both — the test pins that they can never drift apart.
+    #[test]
+    fn modeled_bytes_equal_the_traffic_replay_exactly(
+        n in 4usize..12,
+        swap_s in 0.2f64..3.0,
+        cap_blocks in 2.1f64..8.0,
+        split_mask in 0u32..u32::MAX,
+    ) {
+        let act = 1_000u64;
+        let c = costs(n, act, act as f64 / swap_s, cap_blocks);
+        let (plan, grad_bytes) = planned_with_groups(&c, split_mask);
+        let replay = expected_exchange(&plan, &grad_bytes, 1, 1).unwrap();
+        let timing = expected_exchange_timing(&plan, &c, &grad_bytes, 1e-3, 1e-9).unwrap();
+        prop_assert_eq!(&timing.groups, &replay.groups);
+        prop_assert_eq!(&timing.per_group_bytes, &replay.per_group_bytes);
+    }
+
+    /// Structural invariants of the modeled windows: ships follow the
+    /// backward gate order (group 0 gates highest in the net, so it
+    /// ships first), each window is at least α + β·bytes wide, readies
+    /// serialize on the single exchange lane, the last group gates at
+    /// backward completion, and the exposed tail is exactly what the
+    /// overlap could not hide.
+    #[test]
+    fn modeled_windows_are_ordered_and_lane_serialized(
+        n in 4usize..12,
+        swap_s in 0.2f64..3.0,
+        cap_blocks in 2.1f64..8.0,
+        split_mask in 0u32..u32::MAX,
+        alpha in 1e-4f64..1e-1,
+        beta in 1e-10f64..1e-6,
+    ) {
+        let act = 1_000u64;
+        let c = costs(n, act, act as f64 / swap_s, cap_blocks);
+        let (plan, grad_bytes) = planned_with_groups(&c, split_mask);
+        let t = expected_exchange_timing(&plan, &c, &grad_bytes, alpha, beta).unwrap();
+        let g = t.groups.len();
+        prop_assert_eq!(t.ship.len(), g);
+        prop_assert_eq!(t.ready.len(), g);
+        for i in 0..g {
+            let (ship, ready) = t.window(i);
+            let width = alpha + beta * t.per_group_bytes[i] as f64;
+            prop_assert!(ready >= ship + width - 1e-12, "window narrower than α+βb");
+            if i > 0 {
+                prop_assert!(t.ship[i] >= t.ship[i - 1] - 1e-12, "gate order broken");
+                prop_assert!(t.ready[i] >= t.ready[i - 1] + width - 1e-12, "lane overlap");
+            }
+        }
+        // The final group gates on the last backward block: its ship is
+        // backward completion, so the tail past backward is exposed.
+        prop_assert!((t.ship[g - 1] - t.backward).abs() < 1e-9);
+        prop_assert!((t.total - t.ready[g - 1]).abs() < 1e-12);
+        prop_assert!(t.exposed() >= alpha - 1e-12);
+        prop_assert!((t.exposed() - (t.total - t.backward)).abs() < 1e-12);
+    }
+
+    /// Slower links can only delay: every ready instant and the total
+    /// are weakly monotone in both α and β, while ship instants do not
+    /// move at all (gates are a property of the backward, not the link).
+    #[test]
+    fn modeled_readies_are_monotone_in_link_cost(
+        n in 4usize..12,
+        swap_s in 0.2f64..3.0,
+        cap_blocks in 2.1f64..8.0,
+        split_mask in 0u32..u32::MAX,
+        alpha in 1e-4f64..1e-2,
+        beta in 1e-10f64..1e-7,
+    ) {
+        let act = 1_000u64;
+        let c = costs(n, act, act as f64 / swap_s, cap_blocks);
+        let (plan, grad_bytes) = planned_with_groups(&c, split_mask);
+        let base = expected_exchange_timing(&plan, &c, &grad_bytes, alpha, beta).unwrap();
+        let slow_b = expected_exchange_timing(&plan, &c, &grad_bytes, alpha, beta * 4.0).unwrap();
+        let slow_a = expected_exchange_timing(&plan, &c, &grad_bytes, alpha * 4.0, beta).unwrap();
+        prop_assert_eq!(&base.ship, &slow_b.ship);
+        prop_assert_eq!(&base.ship, &slow_a.ship);
+        for i in 0..base.ready.len() {
+            prop_assert!(slow_b.ready[i] >= base.ready[i] - 1e-12);
+            prop_assert!(slow_a.ready[i] >= base.ready[i] - 1e-12);
+        }
+        prop_assert!(slow_b.total >= base.total - 1e-12);
+        prop_assert!(slow_a.total >= base.total - 1e-12);
+    }
+}
+
+/// Executed timestamps from the zero-copy transport: structure only —
+/// no wall-clock magnitudes, so the test cannot flake under load.
+#[test]
+fn executed_windows_are_well_formed_and_overlap_backward() {
+    let nets_proto = small_cnn(4, 77);
+    let exec = OocExecutor::new(
+        vec![0, 3, 6],
+        vec![
+            BlockPolicy::Swap,
+            BlockPolicy::Recompute,
+            BlockPolicy::Resident,
+        ],
+        usize::MAX / 2,
+        nets_proto.len(),
+    );
+    let xchg = ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3);
+    let data = SyntheticDataset::classification(256, 1, 16, 4, 33);
+    for workers in [2usize, 4] {
+        let mut nets: Vec<_> = (0..workers).map(|_| small_cnn(4, 77)).collect();
+        let report = train(&mut nets, &exec, &xchg, &data, 8, 0.05, 3);
+        let g = xchg.n_groups();
+        assert_eq!(report.group_ship_s.len(), g);
+        assert_eq!(report.group_ready_s.len(), g);
+        assert!(report.backward_done_s > 0.0);
+        assert!(report.step_wall_s >= report.backward_done_s);
+        for i in 0..g {
+            let (ship, ready) = (report.group_ship_s[i], report.group_ready_s[i]);
+            // Every window lies inside the measured step and is ordered.
+            assert!(ship >= 0.0 && ship <= ready, "group {i}: ship after ready");
+            assert!(
+                ready <= report.step_wall_s,
+                "group {i}: ready past step end"
+            );
+            // Fault-free, rank 0 opens every group at its own backward
+            // gate, so every ship lands inside the backward phase: the
+            // overlap window the phased exchange exists to create.
+            assert!(
+                ship <= report.backward_done_s,
+                "group {i} shipped only after backward finished"
+            );
+            if i > 0 {
+                // Rank 0 opens every group (position 0 always folds at
+                // the gate), and its gates fire back-to-front on one
+                // thread: ships follow launch order. Readies need not —
+                // a later group can publish at gate time while an
+                // earlier group's fold sits in the deferred drain.
+                assert!(report.group_ship_s[i] >= report.group_ship_s[i - 1]);
+            }
+        }
+    }
+}

@@ -40,17 +40,54 @@ fn simulated_backward(costs: &BlockCosts) -> (f64, usize) {
     (m.makespan - bwd_start, cp.resident_from)
 }
 
+/// Dense deterministic scan of the proptest grid (diagnostic; run with
+/// `--ignored` to print the worst model-vs-sim deviation).
+#[test]
+#[ignore]
+fn dense_grid_scan() {
+    let act = 1_000u64;
+    let mut worst = (0.0f64, 0usize, 0.0f64, 0.0f64);
+    let mut count = 0usize;
+    for n in 4usize..16 {
+        for si in 0..29 {
+            let swap_s = 0.2 + 0.1 * si as f64;
+            for ci in 0..40 {
+                let cap_blocks = 2.1 + 0.2 * ci as f64;
+                let c = costs(n, act, act as f64 / swap_s, cap_blocks);
+                if c.fits_in_core() {
+                    continue;
+                }
+                let (sim, resident_from) = simulated_backward(&c);
+                let model = OccupancyModel::new(&c, resident_from, vec![false; n]);
+                let analytic = model.backward_time();
+                let rel = (analytic - sim).abs() / sim;
+                count += 1;
+                if rel > worst.0 {
+                    worst = (rel, n, swap_s, cap_blocks);
+                }
+            }
+        }
+    }
+    println!(
+        "scanned {count} grid points; worst rel {:.4} at n={} swap_s={:.2} cap_blocks={:.2}",
+        worst.0, worst.1, worst.2, worst.3
+    );
+    assert!(worst.0 < 0.25, "worst rel {} at {:?}", worst.0, worst);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
 
-    /// Eq. 8's estimate is within 50% of the simulated backward phase over
+    /// Eq. 8's estimate is within 25% of the simulated backward phase over
     /// a broad random range of block counts, swap speeds and capacities.
-    /// (The analytic model ignores swap-out contention, forward-phase
-    /// carry-over, and the boundary-eviction turnaround stall — the first
-    /// backward now waits for the swap-in carrying the highest swapped
-    /// block's boundary when capacity forced that fetch to its deadline —
-    /// so exact agreement is not expected: the paper uses the model as an
-    /// optimization objective, not a clock.)
+    /// The model now prices the boundary-fetch turnaround stall — every
+    /// swapped block's bytes fall due one backward step early, before the
+    /// step above it starts (the `B(j) → Sin(j-1)` deadline dependency),
+    /// with the highest swapped block's fetch credited to the forward
+    /// phase. (Residual error: the model streams swap-ins continuously,
+    /// while the simulator's prefetches are gated on the backward that
+    /// frees their capacity — exact agreement is not expected: the paper
+    /// uses the model as an optimization objective, not a clock.)
     #[test]
     fn analytic_backward_tracks_simulation(
         n in 4usize..16,
@@ -64,7 +101,7 @@ proptest! {
         let model = OccupancyModel::new(&c, resident_from, vec![false; n]);
         let analytic = model.backward_time();
         let rel = (analytic - sim).abs() / sim;
-        prop_assert!(rel < 0.5, "analytic {analytic} vs simulated {sim} (rel {rel})");
+        prop_assert!(rel < 0.25, "analytic {analytic} vs simulated {sim} (rel {rel})");
     }
 
     /// The occupancy trajectory is always in (0, 1] and degrades (weakly)
