@@ -124,6 +124,7 @@ pub fn compare_reports(
             "reference",
             "tiered",
             "elastic",
+            "overlap",
             "zero_executed",
         ] {
             let (Some(b), Some(f)) = (baseline.entry(model, mode), fresh.entry(model, mode)) else {
@@ -181,15 +182,17 @@ pub fn compare_reports(
         }
         // Optional columns (the distributed data-parallel step, the
         // sequential global-batch reference, the tiered offload stack,
-        // the elastic churn cycle, the executed KARMA-on-ZeRO run) gate
-        // the same way once the committed baseline carries them; their
-        // wall times normalize against the same single-GPU baseline, so
-        // machine speed still cancels.
+        // the elastic churn cycle, the asynchronous overlap engine, the
+        // executed KARMA-on-ZeRO run) gate the same way once the
+        // committed baseline carries them; their wall times normalize
+        // against the same single-GPU baseline, so machine speed still
+        // cancels.
         for mode in [
             "distributed",
             "reference",
             "tiered",
             "elastic",
+            "overlap",
             "zero_executed",
         ] {
             match (baseline.entry(model, mode), fresh.entry(model, mode)) {
@@ -232,6 +235,34 @@ pub fn compare_reports(
                     "{model}: distributed ({:.3} ms/step) no longer beats the sequential \
                      global-batch reference ({:.3} ms/step)",
                     d.wall_ms, r.wall_ms
+                ));
+            }
+        }
+        // The overlap headline: the asynchronous swap engine must beat
+        // the synchronous optimized engine wherever the column is
+        // recorded (transfer-bound workloads). Both columns come from
+        // the same interleaved run on the same machine, so their walls
+        // compare directly — no normalization, no tolerance: the only
+        // difference between the two engines is whether the priced wire
+        // time blocks compute, and an overlap column that fails to hide
+        // it has lost the engine's whole argument.
+        if let (Some(o), Some(s)) = (
+            fresh.entry(model, "overlap"),
+            fresh.entry(model, "optimized"),
+        ) {
+            if o.wall_ms < s.wall_ms {
+                out.notes.push(format!(
+                    "{model}: overlap {:.3} ms/step beats the synchronous optimized engine \
+                     {:.3} ms/step ({:.2}x) — ok",
+                    o.wall_ms,
+                    s.wall_ms,
+                    s.wall_ms / o.wall_ms.max(1e-9)
+                ));
+            } else {
+                out.failures.push(format!(
+                    "{model}: overlap ({:.3} ms/step) no longer beats the synchronous optimized \
+                     engine ({:.3} ms/step) — the I/O lanes stopped hiding transfer time",
+                    o.wall_ms, s.wall_ms
                 ));
             }
         }
@@ -576,6 +607,81 @@ mod tests {
         slower.entries.last_mut().unwrap().wall_ms = 100.0; // +11%: within 25%
         let out = compare_reports(&old, &slower, DEFAULT_MAX_SLOWDOWN);
         assert!(out.passed(), "{:?}", out.failures);
+    }
+
+    fn with_overlap(mut r: BenchReport, m: &str, wall_ms: f64, blocks: usize) -> BenchReport {
+        r.entries.push(entry(m, "overlap", wall_ms, 1, blocks));
+        r
+    }
+
+    #[test]
+    fn overlap_must_beat_the_synchronous_optimized_column() {
+        let base = || report("smoke", &[("conv", 100.0, 40.0, 7)]);
+        let old = with_overlap(base(), "conv", 25.0, 7);
+        // Fresh run keeps the win: passes, with a note recording the margin.
+        let ok = with_overlap(base(), "conv", 30.0, 7);
+        let out = compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert!(
+            out.notes
+                .iter()
+                .any(|n| n.contains("beats the synchronous optimized")),
+            "{:?}",
+            out.notes
+        );
+        // Fresh run loses the win — the headline comparison has no
+        // tolerance, even when the ratio gate would still pass.
+        let bad = with_overlap(base(), "conv", 41.0, 7);
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("no longer beats the synchronous optimized")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn overlap_column_gates_like_the_other_executed_modes() {
+        let base = || report("smoke", &[("conv", 100.0, 40.0, 7)]);
+        let old = with_overlap(base(), "conv", 20.0, 7);
+        // Within ratio tolerance: passes.
+        let ok = with_overlap(base(), "conv", 22.0, 7);
+        assert!(compare_reports(&old, &ok, DEFAULT_MAX_SLOWDOWN).passed());
+        // A 75% ratio regression of the overlap step: fails (still under
+        // the optimized wall, so only the ratio gate trips).
+        let bad = with_overlap(base(), "conv", 35.0, 7);
+        let out = compare_reports(&old, &bad, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("overlap/baseline wall-time ratio")),
+            "{:?}",
+            out.failures
+        );
+        // Dropping the column entirely also fails.
+        let out = compare_reports(&old, &base(), DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("overlap column missing")),
+            "{:?}",
+            out.failures
+        );
+        // A blocks drift in the overlap column trips the determinism
+        // canary.
+        let drifted = with_overlap(base(), "conv", 20.0, 9);
+        let out = compare_reports(&old, &drifted, DEFAULT_MAX_SLOWDOWN);
+        assert!(!out.passed());
+        assert!(
+            out.failures.iter().any(|f| f.contains("deterministic")),
+            "{:?}",
+            out.failures
+        );
     }
 
     #[test]

@@ -200,22 +200,6 @@ pub enum RuntimeLowerError {
         /// The block.
         block: usize,
     },
-    /// A swapped block's `Sin` is scheduled at its own backward step, so
-    /// the boundary activation riding it would return *after* the block
-    /// above consumed it: `B(block + 1)` reads `block`'s boundary as its
-    /// first input. The fetch must attach to backward step `block + 1` or
-    /// earlier.
-    BoundaryFetchAfterConsumerBackward {
-        /// The swapped block whose boundary re-fetch is late.
-        block: usize,
-    },
-    /// Same lateness, but the block above is a *recompute* block: its
-    /// re-forward (not just its backward) restarts from `block`'s
-    /// boundary, so the starved op is the checkpoint recompute.
-    BoundaryFetchAfterConsumerRecompute {
-        /// The swapped block whose boundary re-fetch is late.
-        block: usize,
-    },
     /// A tier assignment was requested over an empty tier stack while the
     /// plan swaps blocks: the swapped payload would have nowhere to park.
     TierStackEmpty,
@@ -297,17 +281,6 @@ impl fmt::Display for RuntimeLowerError {
             RecomputeNotAdjacent { block } => write!(
                 f,
                 "recompute of block {block} is not adjacent to its backward"
-            ),
-            BoundaryFetchAfterConsumerBackward { block } => write!(
-                f,
-                "boundary of block {block} would return after block {}'s backward consumed it",
-                block + 1
-            ),
-            BoundaryFetchAfterConsumerRecompute { block } => write!(
-                f,
-                "boundary of block {block} would return after block {}'s recompute restarted \
-                 from it",
-                block + 1
             ),
             TierStackEmpty => {
                 write!(
@@ -733,9 +706,13 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
     // activation payload — the cost model credits `act_bytes`, boundary
     // included — so every swap block below the last evicts its boundary.
     // Departure cannot precede the consumer's forward (block `b + 1`
-    // reads the boundary as its input), and the return rides the block's
-    // Sin, which therefore must land before backward step `b + 1` — the
-    // step whose recompute/backward restarts from that boundary.
+    // reads the boundary as its input). The return rides the block's Sin
+    // when that Sin lands at or before backward step `b + 1` — the step
+    // whose recompute/backward restarts from the boundary. When the Sin
+    // lands *below* the consumer (the block fetches at its own step),
+    // the boundary returns on its own separate transfer at step `b + 1`
+    // instead: the executor processes split boundary returns before that
+    // step's recompute/backward, so the deadline still holds.
     let mut boundary = vec![BoundaryPolicy::Resident; n];
     let mut boundary_evict_after = vec![Vec::new(); n];
     let mut boundary_fetch_before = vec![Vec::new(); n];
@@ -743,16 +720,9 @@ pub fn lower_to_runtime(plan: &Plan) -> Result<RuntimeSchedule, RuntimeLowerErro
         if policies[b] != LoweredPolicy::Swap || b + 1 == n {
             continue;
         }
-        if fetch_step[b] < b + 1 {
-            return Err(if ix.rec[b + 1].is_some() {
-                RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: b }
-            } else {
-                RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: b }
-            });
-        }
         boundary[b] = BoundaryPolicy::Evict;
         boundary_evict_after[evict_step[b].max(b + 1)].push(b);
-        boundary_fetch_before[fetch_step[b]].push(b);
+        boundary_fetch_before[fetch_step[b].max(b + 1)].push(b);
     }
 
     // Distributed half: AR/U ops become the phased-exchange schedule.
@@ -842,7 +812,13 @@ pub fn assign_tiers(
         if sched.boundary[b] == BoundaryPolicy::Evict {
             let be = step_of(&sched.boundary_evict_after, b)
                 .expect("evicted boundary has a departure step");
-            for s in add.iter_mut().take(ret).skip(be) {
+            // The boundary's own return step: the interior's fetch step
+            // when it rides the Sin, the consumer's step (earlier in
+            // time) when the return is split off.
+            let bf = step_of(&sched.boundary_fetch_before, b)
+                .expect("evicted boundary has a return step");
+            let bret = n + (n - 1 - bf);
+            for s in add.iter_mut().take(bret).skip(be) {
                 *s += boundary_bytes[b];
             }
         }
@@ -952,16 +928,18 @@ mod tests {
         for (j, list) in s.boundary_fetch_before.iter().enumerate() {
             for &p in list {
                 assert!(j > p, "boundary of {p} back after B({})", p + 1);
-                // The boundary rides the block's swap-in.
-                assert!(s.prefetch_before[j].contains(&p));
+                // The boundary rides the block's swap-in, or returns on
+                // its own split transfer at the consumer's step.
+                assert!(s.prefetch_before[j].contains(&p) || j == p + 1);
             }
         }
     }
 
     #[test]
-    fn late_boundary_fetch_is_rejected() {
-        // Sin(0) at block 0's own backward step: the boundary it carries
-        // would return after B(1) consumed it.
+    fn own_step_fetch_splits_the_boundary_return() {
+        // Sin(0) at block 0's own backward step: riding it would hand the
+        // boundary back after B(1) consumed it, so the lowering splits the
+        // boundary onto its own transfer at the consumer's step instead.
         let mut p = Plan::new(2);
         let f0 = p.push(OpKind::Forward, 0, vec![]);
         let so = p.push(OpKind::SwapOut, 0, vec![f0]);
@@ -969,16 +947,23 @@ mod tests {
         let b1 = p.push(OpKind::Backward, 1, vec![f1]);
         let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
         p.push(OpKind::Backward, 0, vec![b1, si]);
+        let s = lower_to_runtime(&p).unwrap();
+        assert_eq!(s.policies[0], LoweredPolicy::Swap);
+        assert_eq!(s.boundary[0], BoundaryPolicy::Evict);
+        assert_eq!(s.prefetch_before[0], vec![0], "interior fetch stays put");
         assert_eq!(
-            lower_to_runtime(&p),
-            Err(RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 0 })
+            s.boundary_fetch_before[1],
+            vec![0],
+            "boundary returns at the consumer's step"
         );
+        assert!(!s.prefetch_before[1].contains(&0), "split, not riding");
     }
 
     #[test]
-    fn late_boundary_fetch_under_recompute_consumer_is_rejected() {
+    fn own_step_fetch_splits_the_boundary_return_under_a_recompute_consumer() {
         // Block 1 recomputes — its re-forward restarts from block 0's
-        // boundary, so the same lateness names the starved recompute.
+        // boundary, and the split return at step 1 precedes it (the
+        // executor fetches split boundaries before the step's recompute).
         let mut p = Plan::new(3);
         let f0 = p.push(OpKind::Forward, 0, vec![]);
         let so = p.push(OpKind::SwapOut, 0, vec![f0]);
@@ -989,10 +974,11 @@ mod tests {
         let b1 = p.push(OpKind::Backward, 1, vec![r1]);
         let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
         p.push(OpKind::Backward, 0, vec![b1, si]);
-        assert_eq!(
-            lower_to_runtime(&p),
-            Err(RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: 0 })
-        );
+        let s = lower_to_runtime(&p).unwrap();
+        assert_eq!(s.policies[1], LoweredPolicy::Recompute);
+        assert_eq!(s.boundary[0], BoundaryPolicy::Evict);
+        assert_eq!(s.prefetch_before[0], vec![0]);
+        assert_eq!(s.boundary_fetch_before[1], vec![0]);
     }
 
     #[test]
@@ -1361,8 +1347,6 @@ mod tests {
             RuntimeLowerError::ExchangeBeforeBackward { block: 0 },
             RuntimeLowerError::UpdateWithoutExchange { block: 4 },
             RuntimeLowerError::UpdateBeforeExchange { block: 5 },
-            RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 1 },
-            RuntimeLowerError::BoundaryFetchAfterConsumerRecompute { block: 2 },
             RuntimeLowerError::TierStackEmpty,
             RuntimeLowerError::TierCapacityExceeded {
                 block: 3,

@@ -299,12 +299,13 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
                 break;
             }
         }
-        // Deadline forcing (every policy): block j's compute is about to
-        // read block j-1's boundary, which rides Sin(j-1) — issue it now
-        // if no prefetch got there first. The turnaround step also fetches
-        // the last block itself (no later step could have).
+        // Own-step forcing (every policy): block j's backward is about to
+        // run and its own interiors are still out — fetch them now. At
+        // the turnaround this is the classic self-fetch of the last
+        // block; below it, it completes a fetch the capacity rule
+        // deferred (see the split-boundary deferral just after).
         let deadline_swapped = |b: usize| b < resident_from && !opts.recompute[b];
-        if j + 1 == n && deadline_swapped(j) && sin_idx[j] == usize::MAX {
+        if deadline_swapped(j) && sin_idx[j] == usize::MAX {
             emit_sin(
                 &mut plan,
                 j,
@@ -315,16 +316,31 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
                 &sout_idx,
             );
         }
+        // Boundary-deadline forcing: block j's compute is about to read
+        // block j-1's boundary, which rides Sin(j-1) — issue it now if no
+        // prefetch got there first. Under the capacity rule there is one
+        // escape hatch: when the fetch does not fit now but *will* fit
+        // after this step's backward frees its activations, defer it to
+        // block j-1's own step. The lowering then splits the boundary
+        // onto its own small transfer at this step (the consumer's
+        // deadline), shaving the two-adjacent-block working-set floor
+        // that forcing the full fetch here would impose.
         if j >= 1 && deadline_swapped(j - 1) && sin_idx[j - 1] == usize::MAX {
-            emit_sin(
-                &mut plan,
-                j - 1,
-                last_backward,
-                &mut free,
-                &mut pending_souts,
-                &mut sin_idx,
-                &sout_idx,
-            );
+            let need = costs.act_bytes[j - 1] as i64;
+            let recoverable: i64 = pending_souts.iter().map(|p| p.1).sum();
+            let fits_now = need <= free + recoverable;
+            let fits_next = need <= free + costs.act_bytes[j] as i64 + recoverable;
+            if opts.prefetch != PrefetchPolicy::CapacityBased || fits_now || !fits_next {
+                emit_sin(
+                    &mut plan,
+                    j - 1,
+                    last_backward,
+                    &mut free,
+                    &mut pending_souts,
+                    &mut sin_idx,
+                    &sout_idx,
+                );
+            }
         }
 
         // Availability of block j's activations.
@@ -339,7 +355,7 @@ pub fn build_training_plan(costs: &BlockCosts, opts: &CapacityPlanOptions) -> Ca
         // boundary travelled (j-1 swapped), wait for the carrying Sin.
         let lower_sin = j
             .checked_sub(1)
-            .filter(|&b| deadline_swapped(b))
+            .filter(|&b| deadline_swapped(b) && sin_idx[b] != usize::MAX)
             .map(|b| sin_idx[b]);
         if opts.recompute[j] {
             // Recompute interleave: re-forward j (overlaps any in-flight

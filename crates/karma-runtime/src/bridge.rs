@@ -495,6 +495,293 @@ pub fn expected_exchange_timing(
     })
 }
 
+/// One modeled far-memory transfer of a plan's swap schedule — an entry
+/// of [`SwapTiming::transfers`], all instants in seconds from the start
+/// of the step's forward phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapTransfer {
+    /// What moves: [`ExecEvent::SwapOut`]/[`ExecEvent::BoundaryOut`]
+    /// during the forward sweep, [`ExecEvent::SwapIn`]/
+    /// [`ExecEvent::BoundaryIn`] during the backward sweep.
+    pub event: ExecEvent,
+    /// The block whose bytes move.
+    pub block: usize,
+    /// The forward (out) or backward (in) step that issues the transfer.
+    pub step: usize,
+    /// The far tier the bytes move to/from (`tier_of[block]`).
+    pub tier: usize,
+    /// The I/O lane the transfer runs on (`block % lanes`; 0 when the
+    /// engine is synchronous).
+    pub lane: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Modeled instant the transfer is submitted to its lane.
+    pub issue: f64,
+    /// Modeled instant the transfer completes:
+    /// `max(lane free, issue) + α + β·passes·bytes + link` — transfers
+    /// serialize per lane but overlap compute.
+    pub ready: f64,
+    /// Modeled instant compute reads the bytes: the deadline step's
+    /// compute start for fetches (`p` for interiors, `p + 1` for a riding
+    /// boundary, per the engine's deadline rules), the end of the
+    /// backward phase for swap-outs (drained when the step retires).
+    pub due: f64,
+    /// Transfer time compute cannot hide: `max(0, ready - due)`. A
+    /// synchronous engine (0 lanes) pays the whole service time here.
+    pub stall: f64,
+}
+
+/// The predicted wall-clock swap timing of a lowered execution — the
+/// far-memory sibling of [`ExchangeTiming`], produced by
+/// [`expected_swap_timing`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapTiming {
+    /// Every modeled transfer, in the engine's issue order.
+    pub transfers: Vec<SwapTransfer>,
+    /// I/O lanes modeled (0 = synchronous inline transfers).
+    pub lanes: usize,
+    /// Total transfer service time (`Σ` per-transfer `α + β·passes·bytes
+    /// + link`) — what [`crate::OocStats::swap_wait_s`] +
+    /// [`crate::OocStats::swap_hidden_s`] measure at run time.
+    pub busy_s: f64,
+    /// Transfer time compute waits for (`Σ stall`) — the modeled
+    /// [`crate::OocStats::swap_wait_s`].
+    pub stall_s: f64,
+    /// Transfer time hidden behind compute (`busy_s - stall_s`, clipped
+    /// per transfer) — the modeled [`crate::OocStats::swap_hidden_s`].
+    pub hidden_s: f64,
+}
+
+/// Model the wall-clock swap timing of `plan` lowered onto a `lanes`-lane
+/// asynchronous engine: per-transfer issue instants from the plan's own
+/// schedule walked over the cost model's compute timeline (forward prefix
+/// sums, Eq. 8 [`karma_core::occupancy::OccupancyModel`] backward finish
+/// times), ready instants from an α–β-per-lane transfer model (`alpha`
+/// seconds latency per transfer, `beta` seconds per byte *per copy pass*,
+/// plus each tier's [`TierSpec::link_ns_per_kib`] occupancy), and due
+/// instants from the engine's deadline rules — interiors by their block's
+/// backward, a riding boundary one step earlier, split boundary returns
+/// by their consumer's backward. `lanes = 0` models the synchronous
+/// engine: every transfer is fully exposed (`stall = busy`), which is
+/// exactly what [`crate::OocStats::swap_wait_s`] measures there.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_swap_timing(
+    plan: &Plan,
+    costs: &karma_core::cost::BlockCosts,
+    boundaries: &[usize],
+    key_bytes: &[usize],
+    n_layers: usize,
+    tier_of: &[usize],
+    tiers: &[TierSpec],
+    lanes: usize,
+    alpha: f64,
+    beta: f64,
+) -> Result<SwapTiming, BridgeError> {
+    if tiers.is_empty() {
+        return Err(BridgeError::Lower(RuntimeLowerError::TierStackEmpty));
+    }
+    if tier_of.len() != plan.n_blocks {
+        return Err(BridgeError::TierRouting(format!(
+            "need one tier per block: {} blocks, {} routes",
+            plan.n_blocks,
+            tier_of.len()
+        )));
+    }
+    if let Some(t) = tier_of.iter().find(|&&t| t >= tiers.len()) {
+        return Err(BridgeError::TierRouting(format!(
+            "block routed to missing tier {t} of a {}-tier stack",
+            tiers.len()
+        )));
+    }
+    if costs.n_blocks() != plan.n_blocks {
+        return Err(BridgeError::BlockCountMismatch {
+            plan_blocks: plan.n_blocks,
+            boundary_blocks: costs.n_blocks(),
+        });
+    }
+    let sched = lower_to_runtime(plan)?;
+    check_boundaries(plan, boundaries, n_layers)?;
+    if key_bytes.len() != n_layers + 1 {
+        return Err(BridgeError::KeyBytesLength {
+            expected: n_layers + 1,
+            got: key_bytes.len(),
+        });
+    }
+    let n = plan.n_blocks;
+    let range = |b: usize| -> (usize, usize) {
+        let start = boundaries[b];
+        let end = boundaries.get(b + 1).copied().unwrap_or(n_layers);
+        (start, end)
+    };
+    let interior = |b: usize| -> usize {
+        let (s, e) = range(b);
+        key_bytes[s + 1..e].iter().sum()
+    };
+    let boundary_bytes = |b: usize| -> usize {
+        let (_, e) = range(b);
+        key_bytes[e]
+    };
+
+    // Compute timeline. Forward step b retires at the forward prefix sum;
+    // backward step b starts when step b+1 finishes under the Eq. 8
+    // occupancy walk (the turnaround starts the backward clock at the end
+    // of the forward phase).
+    let recompute: Vec<bool> = (0..n)
+        .map(|b| plan.find(OpKind::Recompute, b).is_some())
+        .collect();
+    let resident_from = (0..n)
+        .filter(|&b| recompute[b] || plan.find(OpKind::SwapOut, b).is_some())
+        .map(|b| b + 1)
+        .max()
+        .unwrap_or(0);
+    let model = karma_core::occupancy::OccupancyModel::new(costs, resident_from, recompute);
+    let finish = model.backward_finish_times();
+    let fwd_total: f64 = costs.forward.iter().sum();
+    let mut fwd_finish = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for b in 0..n {
+        acc += costs.forward[b];
+        fwd_finish.push(acc);
+    }
+    // Backward step s starts at finish[s + 1] (step n-1 at the turnaround).
+    let bwd_start = |s: usize| -> f64 { fwd_total + if s + 1 < n { finish[s + 1] } else { 0.0 } };
+    let bwd_end = fwd_total + finish.first().copied().unwrap_or(0.0);
+
+    let busy_of = |tier: usize, bytes: usize| -> f64 {
+        alpha
+            + beta * (bytes * tiers[tier].copy_passes) as f64
+            + tiers[tier].link_time(bytes).as_secs_f64()
+    };
+    let mut lane_free = vec![0.0f64; lanes.max(1)];
+    let mut transfers: Vec<SwapTransfer> = Vec::new();
+    let push = |transfers: &mut Vec<SwapTransfer>,
+                lane_free: &mut Vec<f64>,
+                event: ExecEvent,
+                block: usize,
+                step: usize,
+                bytes: usize,
+                issue: f64,
+                due: f64| {
+        let tier = tier_of[block];
+        let busy = busy_of(tier, bytes);
+        let lane = if lanes == 0 { 0 } else { block % lanes };
+        let ready = if lanes == 0 {
+            // Synchronous: the compute thread runs the copy inline.
+            issue + busy
+        } else {
+            let start = lane_free[lane].max(issue);
+            lane_free[lane] = start + busy;
+            lane_free[lane]
+        };
+        let stall = if lanes == 0 {
+            busy
+        } else {
+            (ready - due).max(0.0)
+        };
+        transfers.push(SwapTransfer {
+            event,
+            block,
+            step,
+            tier,
+            lane,
+            bytes: bytes as u64,
+            issue,
+            ready,
+            due,
+            stall,
+        });
+    };
+
+    // Forward sweep: deferred boundary tails, then eviction groups — due
+    // when the step retires (the engine drains out-jobs at the end).
+    for (b, &issue) in fwd_finish.iter().enumerate().take(n) {
+        for &e in &sched.boundary_evict_after[b] {
+            if sched.evict_after[b].contains(&e) {
+                continue; // rides this step's swap-out below
+            }
+            push(
+                &mut transfers,
+                &mut lane_free,
+                ExecEvent::BoundaryOut,
+                e,
+                b,
+                boundary_bytes(e),
+                issue,
+                bwd_end,
+            );
+        }
+        for &e in &sched.evict_after[b] {
+            let mut bytes = interior(e);
+            if sched.boundary_evict_after[b].contains(&e) {
+                bytes += boundary_bytes(e);
+            }
+            push(
+                &mut transfers,
+                &mut lane_free,
+                ExecEvent::SwapOut,
+                e,
+                b,
+                bytes,
+                issue,
+                bwd_end,
+            );
+        }
+    }
+    // Backward sweep: split boundary returns, then prefetch groups.
+    for b in (0..n).rev() {
+        let issue = bwd_start(b);
+        for &p in &sched.boundary_fetch_before[b] {
+            if sched.prefetch_before[b].contains(&p) {
+                continue; // rides this step's swap-in below
+            }
+            push(
+                &mut transfers,
+                &mut lane_free,
+                ExecEvent::BoundaryIn,
+                p,
+                b,
+                boundary_bytes(p),
+                issue,
+                bwd_start(p + 1),
+            );
+        }
+        for &p in &sched.prefetch_before[b] {
+            let mut bytes = interior(p);
+            let mut deadline = p;
+            if sched.boundary_fetch_before[b].contains(&p) {
+                bytes += boundary_bytes(p);
+                deadline = p + 1;
+            }
+            push(
+                &mut transfers,
+                &mut lane_free,
+                ExecEvent::SwapIn,
+                p,
+                b,
+                bytes,
+                issue,
+                bwd_start(deadline.min(n - 1)),
+            );
+        }
+    }
+    let busy_s: f64 = transfers
+        .iter()
+        .map(|t| busy_of(t.tier, t.bytes as usize))
+        .sum();
+    let stall_s: f64 = transfers.iter().map(|t| t.stall).sum();
+    let hidden_s: f64 = transfers
+        .iter()
+        .map(|t| (busy_of(t.tier, t.bytes as usize) - t.stall).max(0.0))
+        .sum();
+    Ok(SwapTiming {
+        transfers,
+        lanes,
+        busy_s,
+        stall_s,
+        hidden_s,
+    })
+}
+
 /// Map planner boundaries from graph-layer space (where layer 0 is the
 /// input) to net-layer space (where layer 0 is the first real layer and
 /// the input is near-memory key 0). Fails with
@@ -559,13 +846,32 @@ pub fn expected_residency(
     )
 }
 
+/// How the residency replay accounts a transfer that is conceptually in
+/// transit between near memory and its far tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapAccounting {
+    /// Transfers complete inline at their issue point — the trajectory of
+    /// [`OocExecutor::grad_step`] without I/O lanes: a swap-in's bytes
+    /// leave the far tier on the same sample that lands them near.
+    Synchronous,
+    /// Transfers issue at their schedule points and keep their bytes
+    /// charged to the *source* tier until the deadline wait discharges
+    /// them — the trajectory of an [`OocExecutor::with_io_lanes`]
+    /// executor: a fetch reserves near memory at issue (so `near_bytes`
+    /// matches [`SwapAccounting::Synchronous`] sample-for-sample) while
+    /// `far_bytes` stays charged until the waiter would have blocked.
+    InFlight,
+}
+
 /// [`expected_residency`] over an `n_tiers`-level far-memory stack with
 /// block `b`'s transfers routed to tier `tier_of[b]` — the replay of a
 /// [`lower_plan_tiered`] executor (pass it [`OocExecutor::tier_of`]).
 /// Every sample's `far_bytes` carries the whole per-tier trajectory, and
 /// the replay's `peak_tier_bytes` predicts [`crate::OocStats`]'s
 /// sample-for-sample. [`expected_residency`] is this with a single
-/// unbounded tier.
+/// unbounded tier, and [`expected_residency_tiered_as`] is this with the
+/// asynchronous engine's in-flight accounting instead of the synchronous
+/// default.
 pub fn expected_residency_tiered(
     plan: &Plan,
     boundaries: &[usize],
@@ -573,6 +879,36 @@ pub fn expected_residency_tiered(
     n_layers: usize,
     tier_of: &[usize],
     n_tiers: usize,
+) -> Result<ResidencyReplay, BridgeError> {
+    expected_residency_tiered_as(
+        plan,
+        boundaries,
+        key_bytes,
+        n_layers,
+        tier_of,
+        n_tiers,
+        SwapAccounting::Synchronous,
+    )
+}
+
+/// [`expected_residency_tiered`] under an explicit [`SwapAccounting`]
+/// mode. [`SwapAccounting::InFlight`] predicts the asynchronous engine's
+/// executed trace sample-for-sample: `near_bytes` is byte-identical to
+/// the synchronous replay (fetches reserve at issue), while a fetched
+/// tier's `far_bytes` stays charged from the fetch's issue sample until
+/// the deadline step's compute samples, exactly as
+/// [`OocExecutor::grad_step`] with I/O lanes discharges it at the
+/// deadline wait. Per-tier peaks are attained during the forward sweep —
+/// where both modes charge identically — so `peak_tier_bytes` agrees
+/// between the modes by construction.
+pub fn expected_residency_tiered_as(
+    plan: &Plan,
+    boundaries: &[usize],
+    key_bytes: &[usize],
+    n_layers: usize,
+    tier_of: &[usize],
+    n_tiers: usize,
+    accounting: SwapAccounting,
 ) -> Result<ResidencyReplay, BridgeError> {
     if n_tiers == 0 {
         return Err(BridgeError::TierRouting("empty tier stack".into()));
@@ -617,118 +953,122 @@ pub fn expected_residency_tiered(
         let (_, e) = range(b);
         key_bytes[e]
     };
-    let evicts_boundary = |b: usize| sched.boundary[b] == BoundaryPolicy::Evict;
-
+    let n = plan.n_blocks;
     let mut cur = key_bytes[0]; // the input batch
     let mut peak = cur;
     let mut far = vec![0usize; n_tiers];
     let mut peak_tier = vec![0usize; n_tiers];
-    let mut logits_dropped = false;
     let mut samples = Vec::with_capacity(plan.ops.len());
-    for op in &plan.ops {
-        let b = op.block;
-        if matches!(op.kind, OpKind::AllReduce | OpKind::HostUpdate) {
-            // The exchange moves gradients over the network/host, not
-            // activations through near memory: no residency change and no
-            // executor event (the executed trace never sees them either —
-            // `dp::train` runs the exchange outside `grad_step`).
-            continue;
-        }
-        let event = match op.kind {
-            OpKind::Forward => {
-                cur += full(b);
-                peak = peak.max(cur);
-                if sched.policies[b] == LoweredPolicy::Recompute {
-                    cur -= interior(b);
-                }
-                samples.push(ResidencySample {
-                    event: ExecEvent::Forward,
-                    block: b,
-                    near_bytes: cur,
-                    far_bytes: far.clone(),
-                });
-                // Deferred boundary tails drain right after this forward:
-                // blocks whose interior eviction ran at an earlier step
-                // could not take their boundary along (this step's forward
-                // had not read it yet).
-                for &e in &sched.boundary_evict_after[b] {
-                    if sched.evict_after[b].contains(&e) {
-                        continue; // rides this step's swap-out below
-                    }
-                    cur -= boundary_bytes(e);
-                    far[tier_of[e]] += boundary_bytes(e);
-                    peak_tier[tier_of[e]] = peak_tier[tier_of[e]].max(far[tier_of[e]]);
-                    samples.push(ResidencySample {
-                        event: ExecEvent::BoundaryOut,
-                        block: e,
-                        near_bytes: cur,
-                        far_bytes: far.clone(),
-                    });
-                }
-                continue;
-            }
-            OpKind::SwapOut => {
-                let mut moved = interior(b);
-                // The boundary rides when the eviction is scheduled at or
-                // after the consumer's forward.
-                let step = sched
-                    .evict_after
-                    .iter()
-                    .position(|l| l.contains(&b))
-                    .expect("swap block has an eviction step");
-                if evicts_boundary(b) && sched.boundary_evict_after[step].contains(&b) {
-                    moved += boundary_bytes(b);
-                }
-                cur -= moved;
-                far[tier_of[b]] += moved;
-                peak_tier[tier_of[b]] = peak_tier[tier_of[b]].max(far[tier_of[b]]);
-                ExecEvent::SwapOut
-            }
-            OpKind::SwapIn | OpKind::Recompute | OpKind::Backward => {
-                if !logits_dropped {
-                    // The executor releases the logits after the loss,
-                    // before the first backward-phase op.
-                    cur -= key_bytes[n_layers];
-                    logits_dropped = true;
-                }
-                match op.kind {
-                    OpKind::SwapIn => {
-                        // An evicted boundary always returns riding the
-                        // block's swap-in (the lowering pins the fetch at
-                        // or before the consumer's backward).
-                        let mut moved = interior(b);
-                        if evicts_boundary(b) {
-                            moved += boundary_bytes(b);
-                        }
-                        cur += moved;
-                        far[tier_of[b]] -= moved;
-                        peak = peak.max(cur);
-                        ExecEvent::SwapIn
-                    }
-                    OpKind::Recompute => {
-                        cur += interior(b);
-                        peak = peak.max(cur);
-                        ExecEvent::Recompute
-                    }
-                    _ => {
-                        // Backward releases the interior plus the block's
-                        // input boundary (its top boundary was already
-                        // released by the block above).
-                        let (s, _) = range(b);
-                        cur -= interior(b) + key_bytes[s];
-                        ExecEvent::Backward
-                    }
-                }
-            }
-            OpKind::AllReduce | OpKind::HostUpdate => unreachable!("skipped above"),
-        };
+    let push = |samples: &mut Vec<ResidencySample>,
+                event: ExecEvent,
+                block: usize,
+                cur: usize,
+                far: &[usize]| {
         samples.push(ResidencySample {
             event,
-            block: b,
+            block,
             near_bytes: cur,
-            far_bytes: far.clone(),
+            far_bytes: far.to_vec(),
         });
+    };
+
+    // ---- forward sweep, mirroring `OocExecutor::grad_step` ----
+    for b in 0..n {
+        cur += full(b);
+        peak = peak.max(cur);
+        if sched.policies[b] == LoweredPolicy::Recompute {
+            cur -= interior(b);
+        }
+        push(&mut samples, ExecEvent::Forward, b, cur, &far);
+        // Deferred boundary tails drain right after this forward: blocks
+        // whose interior eviction ran at an earlier step could not take
+        // their boundary along (this step's forward had not read it yet).
+        for &e in &sched.boundary_evict_after[b] {
+            if sched.evict_after[b].contains(&e) {
+                continue; // rides this step's swap-out below
+            }
+            cur -= boundary_bytes(e);
+            far[tier_of[e]] += boundary_bytes(e);
+            peak_tier[tier_of[e]] = peak_tier[tier_of[e]].max(far[tier_of[e]]);
+            push(&mut samples, ExecEvent::BoundaryOut, e, cur, &far);
+        }
+        for &e in &sched.evict_after[b] {
+            let mut moved = interior(e);
+            // The boundary rides when the eviction is scheduled at or
+            // after the consumer's forward.
+            if sched.boundary_evict_after[b].contains(&e) {
+                moved += boundary_bytes(e);
+            }
+            cur -= moved;
+            far[tier_of[e]] += moved;
+            peak_tier[tier_of[e]] = peak_tier[tier_of[e]].max(far[tier_of[e]]);
+            push(&mut samples, ExecEvent::SwapOut, e, cur, &far);
+        }
     }
+
+    // ---- loss: the executor releases the logits before the backward ----
+    cur -= key_bytes[n_layers];
+
+    // ---- backward sweep ----
+    // In-flight fetches: (tier, bytes, deadline step). Synchronous
+    // accounting discharges the source tier at issue instead.
+    let mut in_flight: Vec<(usize, usize, usize)> = Vec::new();
+    for b in (0..n).rev() {
+        // Split boundary returns first: they are this step's hardest
+        // deadline (the step's compute restarts from them).
+        for &p in &sched.boundary_fetch_before[b] {
+            if sched.prefetch_before[b].contains(&p) {
+                continue; // rides this step's swap-in below
+            }
+            let bytes = boundary_bytes(p);
+            cur += bytes;
+            peak = peak.max(cur);
+            match accounting {
+                SwapAccounting::Synchronous => far[tier_of[p]] -= bytes,
+                SwapAccounting::InFlight => in_flight.push((tier_of[p], bytes, p + 1)),
+            }
+            push(&mut samples, ExecEvent::BoundaryIn, p, cur, &far);
+        }
+        for &p in &sched.prefetch_before[b] {
+            let mut bytes = interior(p);
+            // Interiors are consumed by step p's compute; a riding
+            // boundary by step p+1's, which then bounds the whole group.
+            let mut deadline = p;
+            if sched.boundary_fetch_before[b].contains(&p) {
+                bytes += boundary_bytes(p);
+                deadline = p + 1;
+            }
+            cur += bytes;
+            peak = peak.max(cur);
+            match accounting {
+                SwapAccounting::Synchronous => far[tier_of[p]] -= bytes,
+                SwapAccounting::InFlight => in_flight.push((tier_of[p], bytes, deadline)),
+            }
+            push(&mut samples, ExecEvent::SwapIn, p, cur, &far);
+        }
+        // The deadline wait: everything due at this step discharges its
+        // source tier before the step's compute samples (no sample of its
+        // own — the engine blocks, it does not move near-memory bytes).
+        in_flight.retain(|&(tier, bytes, deadline)| {
+            if deadline >= b {
+                far[tier] -= bytes;
+                false
+            } else {
+                true
+            }
+        });
+        if sched.policies[b] == LoweredPolicy::Recompute {
+            cur += interior(b);
+            peak = peak.max(cur);
+            push(&mut samples, ExecEvent::Recompute, b, cur, &far);
+        }
+        // Backward releases the interior plus the block's input boundary
+        // (its top boundary was already released by the block above).
+        let (s, _) = range(b);
+        cur -= interior(b) + key_bytes[s];
+        push(&mut samples, ExecEvent::Backward, b, cur, &far);
+    }
+    debug_assert!(in_flight.is_empty(), "a fetch outlived every deadline");
     Ok(ResidencyReplay {
         samples,
         peak_bytes: peak,
@@ -816,6 +1156,123 @@ mod tests {
         assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
         assert_eq!(replay.peak_tier_bytes[0], 0, "fast tier stayed empty");
         assert!(replay.peak_tier_bytes[1] > 0, "slow tier absorbed the swap");
+    }
+
+    #[test]
+    fn in_flight_replay_matches_the_async_executed_trace() {
+        let (net, x, y) = setup();
+        let p = swap_plan();
+        let key_bytes: Vec<usize> = net.forward_all(&x).iter().map(Tensor::bytes).collect();
+        let tiers = vec![TierSpec::host(0), TierSpec::nvme(usize::MAX)];
+        let exec = lower_plan_tiered(
+            &p,
+            &[0, 3, 6],
+            usize::MAX / 2,
+            net.len(),
+            &key_bytes,
+            &tiers,
+        )
+        .unwrap()
+        .with_io_lanes(2);
+        let replay = expected_residency_tiered_as(
+            &p,
+            &[0, 3, 6],
+            &key_bytes,
+            net.len(),
+            exec.tier_of(),
+            2,
+            SwapAccounting::InFlight,
+        )
+        .unwrap();
+        let (_, _, stats, trace) = exec.grad_step_traced(&net, &x, &y, |_, _| {});
+        assert_eq!(trace, replay.samples);
+        assert_eq!(stats.peak_tier_bytes, replay.peak_tier_bytes);
+        assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
+        // Per-tier peaks agree across accounting modes (they are attained
+        // during the forward sweep, where both modes charge identically),
+        // while the mid-flight far trajectories differ.
+        let sync =
+            expected_residency_tiered(&p, &[0, 3, 6], &key_bytes, net.len(), exec.tier_of(), 2)
+                .unwrap();
+        assert_eq!(sync.peak_tier_bytes, replay.peak_tier_bytes);
+        assert_ne!(
+            sync.samples, replay.samples,
+            "in-flight bytes must stay charged to the source tier"
+        );
+    }
+
+    #[test]
+    fn swap_timing_is_exposed_inline_and_hidden_on_lanes() {
+        let p = swap_plan();
+        let n = 3;
+        let costs = karma_core::cost::BlockCosts {
+            forward: vec![1.0; n],
+            backward: vec![1.0; n],
+            act_bytes: vec![100; n],
+            swap_bytes: vec![100; n],
+            boundary_bytes: vec![10; n],
+            transient_bytes: vec![0; n],
+            state_bytes: vec![0; n],
+            grad_bytes: vec![50; n],
+            params: vec![1; n],
+            swap_bw: 100.0,
+            act_capacity: 1_000,
+            batch: 1,
+        };
+        let key_bytes = vec![16usize; 9];
+        let tiers = [TierSpec::unbounded()];
+        // Synchronous engine (0 lanes): every transfer is fully exposed.
+        let sync = expected_swap_timing(
+            &p,
+            &costs,
+            &[0, 3, 6],
+            &key_bytes,
+            8,
+            &[0, 0, 0],
+            &tiers,
+            0,
+            0.5,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(
+            sync.transfers.iter().map(|t| t.event).collect::<Vec<_>>(),
+            vec![
+                ExecEvent::SwapOut,
+                ExecEvent::BoundaryOut,
+                ExecEvent::SwapIn
+            ]
+        );
+        assert!((sync.stall_s - sync.busy_s).abs() < 1e-9);
+        assert!(sync.hidden_s.abs() < 1e-9);
+        // Two lanes: the forward-phase swap-outs hide entirely behind
+        // compute (due only when the step retires); the JIT riding fetch
+        // stays exposed — it is issued at its own deadline.
+        let lanes = expected_swap_timing(
+            &p,
+            &costs,
+            &[0, 3, 6],
+            &key_bytes,
+            8,
+            &[0, 0, 0],
+            &tiers,
+            2,
+            0.5,
+            0.0,
+        )
+        .unwrap();
+        assert!((lanes.busy_s - sync.busy_s).abs() < 1e-9);
+        assert!(lanes.stall_s < sync.stall_s);
+        assert!(lanes.hidden_s > 0.0);
+        for t in &lanes.transfers {
+            match t.event {
+                ExecEvent::SwapOut | ExecEvent::BoundaryOut => {
+                    assert_eq!(t.stall, 0.0, "out-transfers hide behind the step")
+                }
+                _ => assert!(t.stall > 0.0, "the JIT fetch cannot hide"),
+            }
+            assert_eq!(t.lane, t.block % 2);
+        }
     }
 
     #[test]
@@ -928,9 +1385,11 @@ mod tests {
     }
 
     #[test]
-    fn late_boundary_fetch_is_a_typed_bridge_error() {
-        // Sin at the swapped block's own backward step: the boundary it
-        // carries would return after the consumer's backward read it.
+    fn own_step_fetch_lowers_to_a_split_boundary_return() {
+        // Sin at the swapped block's own backward step: the boundary can
+        // no longer ride it, so the lowering splits the return onto its
+        // own transfer at the consumer's backward instead of rejecting
+        // the plan.
         let mut p = Plan::new(2);
         let f0 = p.push(OpKind::Forward, 0, vec![]);
         let so = p.push(OpKind::SwapOut, 0, vec![f0]);
@@ -938,10 +1397,10 @@ mod tests {
         let b1 = p.push(OpKind::Backward, 1, vec![f1]);
         let si = p.push(OpKind::SwapIn, 0, vec![so, b1]);
         p.push(OpKind::Backward, 0, vec![b1, si]);
-        assert_eq!(
-            lower_plan(&p, &[0, 3], usize::MAX / 2, 6).unwrap_err(),
-            BridgeError::Lower(RuntimeLowerError::BoundaryFetchAfterConsumerBackward { block: 0 })
-        );
+        let exec = lower_plan(&p, &[0, 3], usize::MAX / 2, 6).unwrap();
+        assert_eq!(exec.boundary_evict(), &[true, false]);
+        assert_eq!(exec.boundary_in_before(), &[vec![], vec![0]]);
+        assert_eq!(exec.prefetch_before(), &[vec![0], vec![]]);
     }
 
     #[test]

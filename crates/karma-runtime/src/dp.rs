@@ -1538,6 +1538,29 @@ mod tests {
     }
 
     #[test]
+    fn workers_sharing_io_lanes_match_the_synchronous_run_bitwise() {
+        // All workers drive one executor — with lanes armed they share
+        // one I/O pool, each step publishing through its own slot store —
+        // and must land on the synchronous run's bits.
+        let data = dataset();
+        let xchg = ExchangeSchedule::new(vec![vec![2, 1], vec![0]], 3);
+        let mut sync_nets = replicas(4);
+        let exec = ooc_exec(sync_nets[0].len());
+        let sync = train(&mut sync_nets, &exec, &xchg, &data, 8, 0.05, 4);
+        for lanes in [1usize, 3] {
+            let mut nets = replicas(4);
+            let exec = ooc_exec(nets[0].len()).with_io_lanes(lanes);
+            let report = train(&mut nets, &exec, &xchg, &data, 8, 0.05, 4);
+            assert_eq!(
+                report.final_snapshot, sync.final_snapshot,
+                "{lanes}-lane pool drifted"
+            );
+            assert_eq!(report.losses, sync.losses);
+            assert_eq!(report.exchanged_bytes, sync.exchanged_bytes);
+        }
+    }
+
+    #[test]
     fn grouping_moves_messages_not_arithmetic() {
         // Per-block vs merged vs bulk grouping: fewer, larger messages,
         // identical bytes, bit-identical weights.

@@ -282,6 +282,12 @@ enum LowerPath {
 /// work, never changes results.
 pub struct ElasticDriver {
     path: LowerPath,
+    /// I/O lanes every lowered executor runs its transfers on (0 =
+    /// synchronous inline transfers). Applied on every lowering — hot
+    /// swaps to a new pool size arm a fresh lane pool, churns back to a
+    /// memoized size reuse that size's pool (step re-arm and poisoning
+    /// semantics are the pool's, exactly as on the fixed path).
+    io_lanes: usize,
     /// Pool size → validated lowered pair, filled on first lowering.
     lowered: Mutex<HashMap<usize, (OocExecutor, ExchangeSchedule)>>,
     /// Pool size → registered zero-copy exchange buffers, filled on first
@@ -399,6 +405,7 @@ impl ElasticDriver {
                 n_layers,
                 tiered: None,
             },
+            io_lanes: 0,
             lowered: Mutex::new(HashMap::new()),
             buffers: Mutex::new(HashMap::new()),
             lower_cache_hits: AtomicUsize::new(0),
@@ -424,6 +431,7 @@ impl ElasticDriver {
                 n_layers,
                 tiered: Some((key_bytes, tiers)),
             },
+            io_lanes: 0,
             lowered: Mutex::new(HashMap::new()),
             buffers: Mutex::new(HashMap::new()),
             lower_cache_hits: AtomicUsize::new(0),
@@ -436,10 +444,23 @@ impl ElasticDriver {
     pub fn fixed(exec: OocExecutor, xchg: ExchangeSchedule) -> Self {
         ElasticDriver {
             path: LowerPath::Fixed(exec, xchg),
+            io_lanes: 0,
             lowered: Mutex::new(HashMap::new()),
             buffers: Mutex::new(HashMap::new()),
             lower_cache_hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Run every lowered executor's transfers on `lanes` asynchronous
+    /// I/O lanes ([`OocExecutor::with_io_lanes`]); 0 keeps transfers
+    /// synchronous. Results are bitwise-unchanged either way — workers
+    /// within a pool share the lowered executor's lane pool (each step
+    /// publishes through its own slot store), and the pool is re-armed
+    /// per step and poisoned by a mid-transfer panic exactly like
+    /// [`ExchangeBuffers`].
+    pub fn with_io_lanes(mut self, lanes: usize) -> Self {
+        self.io_lanes = lanes;
+        self
     }
 
     /// Lower the executor + exchange schedule for a `workers`-wide pool.
@@ -458,8 +479,15 @@ impl ElasticDriver {
         if workers == 0 {
             return Err(ElasticError::EmptyPool);
         }
+        let arm = |exec: OocExecutor| {
+            if self.io_lanes > 0 {
+                exec.with_io_lanes(self.io_lanes)
+            } else {
+                exec
+            }
+        };
         match &self.path {
-            LowerPath::Fixed(exec, xchg) => Ok((exec.clone(), xchg.clone())),
+            LowerPath::Fixed(exec, xchg) => Ok((arm(exec.clone()), xchg.clone())),
             LowerPath::Planned {
                 plan,
                 boundaries,
@@ -475,13 +503,13 @@ impl ElasticDriver {
                 let (exec, xchg) =
                     lower_dist_plan(plan, boundaries, *budget, *n_layers).map_err(map)?;
                 let pair = match tiered {
-                    None => (exec, xchg),
+                    None => (arm(exec), xchg),
                     Some((key_bytes, tiers)) => {
                         let exec = lower_plan_tiered(
                             plan, boundaries, *budget, *n_layers, key_bytes, tiers,
                         )
                         .map_err(map)?;
-                        (exec, xchg)
+                        (arm(exec), xchg)
                     }
                 };
                 self.lowered.lock().unwrap().insert(workers, pair.clone());
@@ -860,6 +888,43 @@ mod tests {
         assert_eq!(report.final_snapshot, head);
         // Samples: steps 0-1 at 4 workers, 2 at 3, 3 at 2, 4-5 at 4.
         assert_eq!(report.samples_consumed, 8 * (4 + 4 + 3 + 2 + 4 + 4));
+    }
+
+    #[test]
+    fn io_lane_churn_runs_bitwise_match_the_synchronous_driver() {
+        // The whole churn gauntlet — mid-step death, clean leave, growth —
+        // re-lowered onto asynchronous I/O lanes must land on the
+        // synchronous driver's bits step for step.
+        let data = dataset();
+        let mut opts = ElasticOptions::plain(8, 0.05, 6);
+        opts.events = vec![
+            PoolEvent::Fail {
+                step: 1,
+                rank: 1,
+                groups_shipped: 1,
+            },
+            PoolEvent::Leave { step: 3, rank: 0 },
+            PoolEvent::Join {
+                step: 4,
+                joiners: 2,
+            },
+        ];
+        let run = |driver: ElasticDriver| {
+            let mut nets = replicas(4);
+            let mut store = far_store();
+            driver
+                .run(&mut nets, Some(&spawn), &data, &opts, &mut store, None)
+                .expect("churn run succeeds")
+        };
+        let sync = run(fixed_driver(replicas(1)[0].len()));
+        let lanes = run(fixed_driver(replicas(1)[0].len()).with_io_lanes(2));
+        assert_eq!(
+            lanes.final_snapshot, sync.final_snapshot,
+            "bit drift on I/O lanes"
+        );
+        assert_eq!(lanes.losses, sync.losses);
+        assert_eq!(lanes.pool_sizes, sync.pool_sizes);
+        assert_eq!(lanes.exchange_messages, sync.exchange_messages);
     }
 
     #[test]

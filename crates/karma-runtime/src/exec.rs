@@ -2,9 +2,13 @@
 
 use karma_tensor::layers::ParamGrads;
 use karma_tensor::{Gradients, Sequential, Tensor};
+use rayon::io::{IoHandle, IoLanePool};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::store::{NearMemory, TierSpec, TierStack};
+use crate::store::{priced_transfer, NearMemory, SlotStore, TierSpec, TierStack};
 
 /// Per-block activation policy (the executable analogue of the planner's
 /// swap / recompute / resident decisions).
@@ -21,7 +25,13 @@ pub enum BlockPolicy {
 }
 
 /// Execution accounting for one step.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Equality (`PartialEq`) compares the *deterministic* fields only: the
+/// wall-clock [`OocStats::swap_wait_s`] / [`OocStats::swap_hidden_s`]
+/// timings vary run to run and are excluded, so sync-vs-async parity
+/// assertions (`assert_eq!(stats_a, stats_b)`) pin bytes, op counts and
+/// peaks without pinning the clock.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OocStats {
     /// Bytes moved device→host.
     pub swapped_out_bytes: usize,
@@ -57,6 +67,33 @@ pub struct OocStats {
     /// A single-pool run reports one element equal to
     /// [`OocStats::peak_far_bytes`].
     pub peak_tier_bytes: Vec<usize>,
+    /// Wall-clock seconds the compute thread spent *blocked* on
+    /// transfers: the full inline copy price on the synchronous engine;
+    /// only the genuinely-missed remainder at each wait point on the
+    /// asynchronous one. Excluded from equality.
+    pub swap_wait_s: f64,
+    /// Wall-clock seconds of transfer work that ran *hidden* under
+    /// compute on dedicated I/O lanes (always 0.0 on the synchronous
+    /// engine). Excluded from equality.
+    pub swap_hidden_s: f64,
+}
+
+impl PartialEq for OocStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the two wall-clock fields, which are not
+        // deterministic and would make trace-parity assertions flaky.
+        self.swapped_out_bytes == other.swapped_out_bytes
+            && self.swapped_in_bytes == other.swapped_in_bytes
+            && self.recomputed_layers == other.recomputed_layers
+            && self.peak_near_bytes == other.peak_near_bytes
+            && self.swap_out_ops == other.swap_out_ops
+            && self.swap_in_ops == other.swap_in_ops
+            && self.recompute_ops == other.recompute_ops
+            && self.boundary_out_ops == other.boundary_out_ops
+            && self.boundary_in_ops == other.boundary_in_ops
+            && self.peak_far_bytes == other.peak_far_bytes
+            && self.peak_tier_bytes == other.peak_tier_bytes
+    }
 }
 
 /// Block-level event kinds the executor emits while tracing residency —
@@ -101,6 +138,23 @@ pub struct ResidencySample {
     pub far_bytes: Vec<usize>,
 }
 
+/// One issued-but-not-yet-waited fetch group on an I/O lane.
+struct InFlightFetch {
+    handle: IoHandle<(Vec<(usize, Tensor)>, Duration)>,
+    tier: usize,
+    /// Backward step whose compute needs the group. Steps are processed
+    /// n-1 → 0, so the group is waited at the first step `s` with
+    /// `deadline >= s`.
+    deadline: usize,
+}
+
+/// Book one deadline wait: `blocked` is what the compute thread lost,
+/// the rest of the lane's `busy` time ran hidden under compute.
+fn account_wait(stats: &mut OocStats, blocked: Duration, busy: Duration) {
+    stats.swap_wait_s += blocked.as_secs_f64();
+    stats.swap_hidden_s += (busy.as_secs_f64() - blocked.as_secs_f64()).max(0.0);
+}
+
 /// Runs real training steps with per-block out-of-core policies.
 ///
 /// Block `b` covers layers `[boundaries[b], boundaries[b+1])`. Boundary
@@ -143,6 +197,10 @@ pub struct OocExecutor {
     /// `tier_of[b]` — the tier block `b`'s swap traffic (interiors and,
     /// when evicted, its boundary) routes through.
     tier_of: Vec<usize>,
+    /// The asynchronous swap engine's I/O lane pool (`None` = transfers
+    /// priced inline on the compute thread). Clones share the pool, so a
+    /// data-parallel worker fleet rides one set of lanes.
+    io_pool: Option<Arc<IoLanePool>>,
 }
 
 impl OocExecutor {
@@ -189,7 +247,41 @@ impl OocExecutor {
             boundary_in_before: vec![Vec::new(); nb],
             tiers: vec![TierSpec::unbounded()],
             tier_of: vec![0; nb],
+            io_pool: None,
         }
+    }
+
+    /// Switch on the asynchronous swap engine: transfers are submitted to
+    /// a pool of `lanes` dedicated FIFO I/O lanes at their scheduled
+    /// issue points and *waited* at their deadlines, so the copy passes
+    /// and link time overlap compute instead of blocking it. Lane count
+    /// never changes the arithmetic (weights and the near-memory
+    /// trajectory stay bitwise-identical to the synchronous engine);
+    /// only the wall clock and the far-tier discharge points move. A
+    /// mid-transfer panic poisons the lane and the pool refuses further
+    /// steps, like `ExchangeBuffers`.
+    ///
+    /// # Panics
+    /// If `lanes` is zero.
+    pub fn with_io_lanes(mut self, lanes: usize) -> Self {
+        self.io_pool = Some(Arc::new(IoLanePool::new(lanes)));
+        self
+    }
+
+    /// Number of I/O lanes (0 = synchronous engine).
+    pub fn io_lanes(&self) -> usize {
+        self.io_pool.as_ref().map_or(0, |p| p.lanes())
+    }
+
+    /// The shared I/O lane pool, when the asynchronous engine is on.
+    pub fn io_pool(&self) -> Option<&Arc<IoLanePool>> {
+        self.io_pool.as_ref()
+    }
+
+    /// Has any I/O lane been poisoned by a mid-transfer panic? A poisoned
+    /// engine refuses further steps; build a fresh executor.
+    pub fn io_poisoned(&self) -> bool {
+        self.io_pool.as_ref().is_some_and(|p| p.poisoned())
     }
 
     /// Replace the far-memory tier stack and per-block routing:
@@ -436,6 +528,20 @@ impl OocExecutor {
         net: &Sequential,
         x: &Tensor,
         labels: &[usize],
+        on_block: impl FnMut(usize, &mut [ParamGrads]),
+        trace: Option<&mut Vec<ResidencySample>>,
+    ) -> (f32, Gradients, OocStats) {
+        match &self.io_pool {
+            Some(pool) => self.grad_step_async(Arc::clone(pool), net, x, labels, on_block, trace),
+            None => self.grad_step_sync(net, x, labels, on_block, trace),
+        }
+    }
+
+    fn grad_step_sync(
+        &self,
+        net: &Sequential,
+        x: &Tensor,
+        labels: &[usize],
         mut on_block: impl FnMut(usize, &mut [ParamGrads]),
         mut trace: Option<&mut Vec<ResidencySample>>,
     ) -> (f32, Gradients, OocStats) {
@@ -477,12 +583,15 @@ impl OocExecutor {
                 let (_, ee) = self.block_range(e);
                 let t = near.take(ee);
                 stats.swapped_out_bytes += t.bytes();
+                let t0 = Instant::now();
                 far.swap_out(self.tier_of[e], ee, t);
+                stats.swap_wait_s += t0.elapsed().as_secs_f64();
                 stats.boundary_out_ops += 1;
                 sample(&near, &far, ExecEvent::BoundaryOut, e);
             }
             for &e in &self.evict_after[b] {
                 let (es, ee) = self.block_range(e);
+                let t0 = Instant::now();
                 for i in es + 1..ee {
                     let t = near.take(i);
                     stats.swapped_out_bytes += t.bytes();
@@ -494,6 +603,7 @@ impl OocExecutor {
                     far.swap_out(self.tier_of[e], ee, t);
                     stats.boundary_out_ops += 1;
                 }
+                stats.swap_wait_s += t0.elapsed().as_secs_f64();
                 stats.swap_out_ops += 1;
                 sample(&near, &far, ExecEvent::SwapOut, e);
             }
@@ -515,7 +625,9 @@ impl OocExecutor {
                     continue; // rides this step's swap-in below
                 }
                 let (_, pe) = self.block_range(p);
+                let t0 = Instant::now();
                 let t = far.swap_in(self.tier_of[p], pe);
+                stats.swap_wait_s += t0.elapsed().as_secs_f64();
                 stats.swapped_in_bytes += t.bytes();
                 near.put(pe, t);
                 stats.boundary_in_ops += 1;
@@ -523,6 +635,7 @@ impl OocExecutor {
             }
             for &p in &self.prefetch_before[b] {
                 let (ps, pe) = self.block_range(p);
+                let t0 = Instant::now();
                 for i in ps + 1..pe {
                     let t = far.swap_in(self.tier_of[p], i);
                     stats.swapped_in_bytes += t.bytes();
@@ -534,6 +647,7 @@ impl OocExecutor {
                     near.put(pe, t);
                     stats.boundary_in_ops += 1;
                 }
+                stats.swap_wait_s += t0.elapsed().as_secs_f64();
                 stats.swap_in_ops += 1;
                 sample(&near, &far, ExecEvent::SwapIn, p);
             }
@@ -557,6 +671,290 @@ impl OocExecutor {
             on_block(b, &mut per_layer[start..end]);
             sample(&near, &far, ExecEvent::Backward, b);
         }
+
+        stats.peak_near_bytes = near.peak();
+        stats.peak_far_bytes = far.peak_resident_bytes();
+        stats.peak_tier_bytes = far.peak_tier_bytes();
+        (loss, Gradients { per_layer }, stats)
+    }
+
+    /// Charge a swap-out group to its tier's ledger (at *issue*, exactly
+    /// when the synchronous engine would) and queue the priced copy on
+    /// block `block`'s lane. Returns the lane job's busy-time future.
+    fn issue_out(
+        &self,
+        pool: &IoLanePool,
+        slots: &Arc<SlotStore>,
+        far: &mut TierStack,
+        parked: &mut HashMap<(usize, usize), usize>,
+        block: usize,
+        group: Vec<(usize, Tensor)>,
+    ) -> IoHandle<Duration> {
+        let tier = self.tier_of[block];
+        for (key, t) in &group {
+            far.charge_out(tier, *key, t.bytes());
+            parked.insert((tier, *key), t.bytes());
+        }
+        let spec = far.spec(tier);
+        let slots = Arc::clone(slots);
+        pool.submit(block, move || {
+            let t0 = Instant::now();
+            for (key, t) in group {
+                slots.put(tier, key, priced_transfer(t, &spec));
+            }
+            t0.elapsed()
+        })
+    }
+
+    /// Reserve near memory for a fetch group (at *issue*, so the
+    /// near-memory trajectory matches the synchronous engine sample for
+    /// sample), queue its priced copy on block `block`'s lane, and
+    /// return the pending wait. The tier's charge is **not** released
+    /// here — that happens at the deadline wait, keeping in-flight bytes
+    /// against the source tier.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_in(
+        &self,
+        pool: &IoLanePool,
+        slots: &Arc<SlotStore>,
+        near: &mut NearMemory,
+        far: &TierStack,
+        parked: &mut HashMap<(usize, usize), usize>,
+        stats: &mut OocStats,
+        block: usize,
+        keys: Vec<usize>,
+        deadline: usize,
+    ) -> InFlightFetch {
+        let tier = self.tier_of[block];
+        for &key in &keys {
+            let bytes = parked
+                .remove(&(tier, key))
+                .unwrap_or_else(|| panic!("fetch of tier {tier} slot {key} that never parked"));
+            stats.swapped_in_bytes += bytes;
+            near.reserve(key, bytes);
+        }
+        let spec = far.spec(tier);
+        let slots = Arc::clone(slots);
+        let handle = pool.submit(block, move || {
+            let t0 = Instant::now();
+            let group: Vec<(usize, Tensor)> = keys
+                .into_iter()
+                .map(|key| (key, priced_transfer(slots.take(tier, key), &spec)))
+                .collect();
+            (group, t0.elapsed())
+        });
+        InFlightFetch {
+            handle,
+            tier,
+            deadline,
+        }
+    }
+
+    /// The asynchronous engine: the same schedule and arithmetic as
+    /// [`OocExecutor::grad_step_sync`], but every transfer is *issued* to
+    /// an I/O lane at its scheduled point and *waited* at its deadline,
+    /// overlapping copy passes and link time with compute. Same-lane FIFO
+    /// order (lane = block mod lanes) guarantees a block's swap-out
+    /// physically lands in the [`SlotStore`] before its swap-in job takes
+    /// it; near memory is reserved at issue so the near trajectory is
+    /// byte-identical to the synchronous engine; far tiers discharge at
+    /// the wait, which is the in-flight accounting the overlap replay
+    /// predicts.
+    fn grad_step_async(
+        &self,
+        pool: Arc<IoLanePool>,
+        net: &Sequential,
+        x: &Tensor,
+        labels: &[usize],
+        mut on_block: impl FnMut(usize, &mut [ParamGrads]),
+        mut trace: Option<&mut Vec<ResidencySample>>,
+    ) -> (f32, Gradients, OocStats) {
+        assert_eq!(net.len(), self.n_layers, "executor/net layer mismatch");
+        // Poison check + per-step re-arm, like `ExchangeBuffers`.
+        let _epoch = pool.begin_step();
+        let slots = Arc::new(SlotStore::new());
+        let mut near = NearMemory::new(self.budget);
+        let mut far = TierStack::new(&self.tiers);
+        let mut stats = OocStats::default();
+        // Byte sizes of parked tensors, kept on the compute thread so a
+        // fetch can reserve near memory before the tensor itself arrives.
+        let mut parked: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut out_jobs: Vec<IoHandle<Duration>> = Vec::new();
+        let mut in_flight: Vec<InFlightFetch> = Vec::new();
+        let mut sample = |near: &NearMemory, far: &TierStack, event: ExecEvent, block: usize| {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(ResidencySample {
+                    event,
+                    block,
+                    near_bytes: near.used(),
+                    far_bytes: far.tier_resident(),
+                });
+            }
+        };
+
+        // ---- forward ----
+        near.put(0, x.clone());
+        for b in 0..self.n_blocks() {
+            let (start, end) = self.block_range(b);
+            for i in start..end {
+                let y = net.layers[i].forward(near.get(i));
+                near.put(i + 1, y);
+            }
+            if self.policy[b] == BlockPolicy::Recompute {
+                for i in start + 1..end {
+                    drop(near.take(i));
+                }
+            }
+            sample(&near, &far, ExecEvent::Forward, b);
+            for &e in &self.boundary_out_after[b] {
+                if self.evict_after[b].contains(&e) {
+                    continue; // rides this step's swap-out below
+                }
+                let (_, ee) = self.block_range(e);
+                let t = near.take(ee);
+                stats.swapped_out_bytes += t.bytes();
+                stats.boundary_out_ops += 1;
+                out_jobs.push(self.issue_out(
+                    &pool,
+                    &slots,
+                    &mut far,
+                    &mut parked,
+                    e,
+                    vec![(ee, t)],
+                ));
+                sample(&near, &far, ExecEvent::BoundaryOut, e);
+            }
+            for &e in &self.evict_after[b] {
+                let (es, ee) = self.block_range(e);
+                let mut group = Vec::new();
+                for i in es + 1..ee {
+                    let t = near.take(i);
+                    stats.swapped_out_bytes += t.bytes();
+                    group.push((i, t));
+                }
+                if self.boundary_out_after[b].contains(&e) {
+                    let t = near.take(ee);
+                    stats.swapped_out_bytes += t.bytes();
+                    stats.boundary_out_ops += 1;
+                    group.push((ee, t));
+                }
+                stats.swap_out_ops += 1;
+                out_jobs.push(self.issue_out(&pool, &slots, &mut far, &mut parked, e, group));
+                sample(&near, &far, ExecEvent::SwapOut, e);
+            }
+        }
+
+        // ---- loss ----
+        let logits = near.get(self.n_layers).clone();
+        let (loss, mut dy) = Sequential::softmax_xent(&logits, labels);
+        drop(near.take(self.n_layers));
+
+        // ---- backward, block by block ----
+        let mut per_layer = vec![ParamGrads::default(); self.n_layers];
+        for b in (0..self.n_blocks()).rev() {
+            for &p in &self.boundary_in_before[b] {
+                if self.prefetch_before[b].contains(&p) {
+                    continue; // rides this step's swap-in below
+                }
+                let (_, pe) = self.block_range(p);
+                stats.boundary_in_ops += 1;
+                // The boundary is consumed by step p+1's compute.
+                let f = self.issue_in(
+                    &pool,
+                    &slots,
+                    &mut near,
+                    &far,
+                    &mut parked,
+                    &mut stats,
+                    p,
+                    vec![pe],
+                    p + 1,
+                );
+                in_flight.push(f);
+                sample(&near, &far, ExecEvent::BoundaryIn, p);
+            }
+            for &p in &self.prefetch_before[b] {
+                let (ps, pe) = self.block_range(p);
+                let mut keys: Vec<usize> = (ps + 1..pe).collect();
+                // Interiors are consumed by step p's compute; a riding
+                // boundary by step p+1's (processed earlier), which then
+                // bounds the whole group.
+                let mut deadline = p;
+                if self.boundary_in_before[b].contains(&p) {
+                    keys.push(pe);
+                    stats.boundary_in_ops += 1;
+                    deadline = p + 1;
+                }
+                stats.swap_in_ops += 1;
+                let f = self.issue_in(
+                    &pool,
+                    &slots,
+                    &mut near,
+                    &far,
+                    &mut parked,
+                    &mut stats,
+                    p,
+                    keys,
+                    deadline,
+                );
+                in_flight.push(f);
+                sample(&near, &far, ExecEvent::SwapIn, p);
+            }
+            // Deadline wait: everything due at this step (steps run
+            // n-1 → 0, so "deadline >= b" means due now) must land before
+            // compute reads it. The far tiers discharge *here*, not at
+            // issue — in-flight bytes stay charged to their source tier.
+            let mut i = 0;
+            while i < in_flight.len() {
+                if in_flight[i].deadline >= b {
+                    let f = in_flight.swap_remove(i);
+                    let t0 = Instant::now();
+                    let (group, busy) = f.handle.wait();
+                    account_wait(&mut stats, t0.elapsed(), busy);
+                    for (key, t) in group {
+                        far.discharge(f.tier, key);
+                        near.fulfill(key, t);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            let (start, end) = self.block_range(b);
+            if self.policy[b] == BlockPolicy::Recompute {
+                for i in start..end - 1 {
+                    let y = net.layers[i].forward(near.get(i));
+                    near.put(i + 1, y);
+                    stats.recomputed_layers += 1;
+                }
+                stats.recompute_ops += 1;
+                sample(&near, &far, ExecEvent::Recompute, b);
+            }
+            for i in (start..end).rev() {
+                let (dx, g) = net.layers[i].backward(near.get(i), &dy);
+                per_layer[i] = g;
+                dy = dx;
+                drop(near.take(i));
+            }
+            on_block(b, &mut per_layer[start..end]);
+            sample(&near, &far, ExecEvent::Backward, b);
+        }
+
+        // Drain the swap-out futures (normally long done — any block here
+        // is genuine wait) and check the engine really emptied.
+        for h in out_jobs {
+            let t0 = Instant::now();
+            let busy = h.wait();
+            account_wait(&mut stats, t0.elapsed(), busy);
+        }
+        assert!(in_flight.is_empty(), "a fetch outlived every deadline");
+        assert!(
+            slots.is_empty(),
+            "asynchronous engine left tensors parked in the slot store"
+        );
+        assert!(
+            parked.is_empty(),
+            "asynchronous engine left ledger entries for unfetched tensors"
+        );
 
         stats.peak_near_bytes = near.peak();
         stats.peak_far_bytes = far.peak_resident_bytes();
@@ -1176,6 +1574,135 @@ mod tests {
             net.len(),
         )
         .with_tiers(vec![TierSpec::unbounded()], vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn async_engine_matches_sync_bitwise_with_identical_near_trace() {
+        // The hardest configuration: boundary eviction, deferred/split
+        // schedules, and two tiers. Lanes may only move the clock and
+        // the far discharge points — never the arithmetic, the event
+        // order or the near-memory trajectory.
+        use karma_tensor::conv_stack;
+        let data = SyntheticDataset::classification(32, 1, 16, 4, 21);
+        let (x, y) = data.batch(0, 16);
+        let mut net_s = conv_stack(6, 4, 11);
+        let mut net_a = conv_stack(6, 4, 11);
+        let sync = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net_s.len(),
+        )
+        .with_schedule(
+            vec![vec![0], vec![1], vec![]],
+            vec![vec![], vec![0], vec![1]],
+        )
+        .with_boundary_schedule(
+            vec![true, true, false],
+            vec![vec![], vec![0], vec![1]],
+            vec![vec![], vec![0], vec![1]],
+        )
+        .with_tiers(
+            vec![TierSpec::host(usize::MAX), TierSpec::nvme(usize::MAX)],
+            vec![0, 1, 0],
+        );
+        let overlap = sync.clone().with_io_lanes(2);
+        assert_eq!(overlap.io_lanes(), 2);
+        let (l_s, _, s_s, tr_s) = sync.grad_step_traced(&net_s, &x, &y, |_, _| {});
+        let (l_a, _, s_a, tr_a) = overlap.grad_step_traced(&net_a, &x, &y, |_, _| {});
+        assert_eq!(l_s, l_a, "lanes moved arithmetic");
+        assert_eq!(s_s, s_a, "deterministic stats must match");
+        assert_eq!(s_s.swap_hidden_s, 0.0, "sync hides nothing");
+        assert_eq!(tr_s.len(), tr_a.len());
+        for (s, a) in tr_s.iter().zip(&tr_a) {
+            assert_eq!(
+                (s.event, s.block, s.near_bytes),
+                (a.event, a.block, a.near_bytes),
+                "near trajectory must be byte-identical at every sample"
+            );
+        }
+        // The far trajectories *differ* while fetches are in flight (the
+        // async engine discharges at the deadline, not at issue) but both
+        // end drained.
+        assert_eq!(tr_a.last().unwrap().far_bytes, vec![0, 0]);
+        for _ in 0..3 {
+            sync.train_step(&mut net_s, &x, &y, 0.05);
+            overlap.train_step(&mut net_a, &x, &y, 0.05);
+        }
+        assert_eq!(net_s.snapshot(), net_a.snapshot(), "bitwise parity");
+    }
+
+    #[test]
+    fn async_engine_matches_sync_on_the_jit_schedule_too() {
+        let (mut net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 2, 4, 6],
+            vec![
+                BlockPolicy::Swap,
+                BlockPolicy::Recompute,
+                BlockPolicy::Swap,
+                BlockPolicy::Resident,
+            ],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_io_lanes(3);
+        for _ in 0..2 {
+            exec.train_step(&mut net, &x, &y, 0.05);
+        }
+        assert_eq!(net.snapshot(), reference(2));
+    }
+
+    #[test]
+    fn waited_and_hidden_transfer_time_are_accounted() {
+        let (net, x, y) = setup();
+        let base = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_tiers(
+            vec![TierSpec::nvme(usize::MAX).with_link(50_000)],
+            vec![0, 0, 0],
+        );
+        let (_, _, s_sync) = base.grad_step(&net, &x, &y, |_, _| {});
+        assert!(s_sync.swap_wait_s > 0.0, "inline transfers are waited");
+        assert_eq!(s_sync.swap_hidden_s, 0.0);
+        let (_, _, s_async) = base
+            .clone()
+            .with_io_lanes(2)
+            .grad_step(&net, &x, &y, |_, _| {});
+        assert!(
+            s_async.swap_hidden_s > 0.0,
+            "lanes hid transfer work under compute"
+        );
+    }
+
+    #[test]
+    fn mid_transfer_panic_poisons_the_engine() {
+        let (net, x, y) = setup();
+        let exec = OocExecutor::new(
+            vec![0, 3, 6],
+            vec![BlockPolicy::Swap, BlockPolicy::Swap, BlockPolicy::Resident],
+            usize::MAX / 2,
+            net.len(),
+        )
+        .with_io_lanes(1);
+        // Poison the lane through the public pool handle, standing in
+        // for a transfer that panics mid-copy.
+        let h = exec
+            .io_pool()
+            .unwrap()
+            .submit(0, || panic!("mid-transfer failure"));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.wait()));
+        assert!(r.is_err());
+        assert!(exec.io_poisoned());
+        // A poisoned engine refuses to run further steps.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.grad_step(&net, &x, &y, |_, _| {});
+        }));
+        assert!(r.is_err(), "poisoned engine must refuse reuse");
     }
 
     #[test]

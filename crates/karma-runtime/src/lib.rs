@@ -47,8 +47,9 @@ pub mod store;
 
 pub use bridge::{
     block_grad_bytes, expected_exchange, expected_exchange_timing, expected_residency,
-    expected_residency_tiered, graph_boundaries_to_net, lower_dist_plan, lower_plan,
-    lower_plan_tiered, BridgeError, ExchangeReplay, ExchangeTiming, ResidencyReplay,
+    expected_residency_tiered, expected_residency_tiered_as, expected_swap_timing,
+    graph_boundaries_to_net, lower_dist_plan, lower_plan, lower_plan_tiered, BridgeError,
+    ExchangeReplay, ExchangeTiming, ResidencyReplay, SwapAccounting, SwapTiming, SwapTransfer,
 };
 pub use dp::{
     train, train_channel_reference, train_churn, train_churn_channel_reference,
@@ -61,4 +62,4 @@ pub use elastic::{
 };
 pub use exec::{BlockPolicy, ExecEvent, OocExecutor, OocStats, ResidencySample};
 pub use fault::{train_with_failures, Failure, FaultReport};
-pub use store::{FarMemory, NearMemory, TierSpec, TierStack};
+pub use store::{FarMemory, NearMemory, SlotStore, TierSpec, TierStack};

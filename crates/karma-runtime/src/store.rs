@@ -2,12 +2,19 @@
 
 use karma_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// One level of the far-memory hierarchy: a byte capacity plus a transfer
 /// price. `copy_passes` is the number of full memory passes a transfer
 /// through this tier costs relative to host DRAM (host = 1); the
 /// `TierStack` really performs that many passes, so slower tiers cost real
-/// wall time, not just modeled time. This mirrors the ZeRO-Infinity tier
+/// wall time, not just modeled time. `link_ns_per_kib` adds a *link
+/// occupancy* price — nanoseconds the transfer holds the interconnect per
+/// KiB moved, realized as a real sleep. The copy passes model the
+/// memory-bandwidth cost (CPU-bound, unhideable on one core); the link
+/// price models the DMA/PCIe/NVMe wire time, which a dedicated I/O lane
+/// can fully overlap with compute. This mirrors the ZeRO-Infinity tier
 /// stack (device ↔ host ↔ NVMe), where each level trades capacity for
 /// bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +23,11 @@ pub struct TierSpec {
     pub capacity: usize,
     /// Memory passes per transfer through this tier (>= 1; host = 1).
     pub copy_passes: usize,
+    /// Link occupancy in nanoseconds per KiB transferred (0 = free link).
+    /// Paid as a real `thread::sleep` by whichever thread executes the
+    /// transfer: inline on the compute thread in the synchronous engine,
+    /// on the I/O lane in the asynchronous one.
+    pub link_ns_per_kib: u64,
 }
 
 impl TierSpec {
@@ -25,6 +37,7 @@ impl TierSpec {
         TierSpec {
             capacity: usize::MAX,
             copy_passes: 1,
+            link_ns_per_kib: 0,
         }
     }
 
@@ -33,6 +46,7 @@ impl TierSpec {
         TierSpec {
             capacity,
             copy_passes: 1,
+            link_ns_per_kib: 0,
         }
     }
 
@@ -43,15 +57,36 @@ impl TierSpec {
         TierSpec {
             capacity,
             copy_passes: 4,
+            link_ns_per_kib: 0,
         }
+    }
+
+    /// The same tier with a link-occupancy price of `ns_per_kib`
+    /// nanoseconds per KiB transferred.
+    pub fn with_link(mut self, ns_per_kib: u64) -> Self {
+        self.link_ns_per_kib = ns_per_kib;
+        self
+    }
+
+    /// Wall-clock the link is held for a `bytes`-sized transfer.
+    pub fn link_time(&self, bytes: usize) -> Duration {
+        // Round up so a nonzero-priced link is never free for small
+        // transfers.
+        let kib = (bytes as u64).div_ceil(1024);
+        Duration::from_nanos(kib.saturating_mul(self.link_ns_per_kib))
     }
 }
 
 /// Per-tier state: a `FarMemory`-shaped ledger plus the tier's spec.
+/// `slots` holds the parked tensors on the synchronous path; `charged`
+/// holds byte-only reservations on the asynchronous path, where the
+/// tensors themselves travel through a [`SlotStore`] on the I/O lanes
+/// while the accounting stays on the compute thread.
 #[derive(Debug)]
 struct TierState {
     spec: TierSpec,
     slots: HashMap<usize, Tensor>,
+    charged: HashMap<usize, usize>,
     bytes_in: usize,
     bytes_out: usize,
     transfers: usize,
@@ -64,6 +99,7 @@ impl TierState {
         TierState {
             spec,
             slots: HashMap::new(),
+            charged: HashMap::new(),
             bytes_in: 0,
             bytes_out: 0,
             transfers: 0,
@@ -83,6 +119,21 @@ fn priced_copy(t: Tensor, passes: usize) -> Tensor {
         cur = std::hint::black_box(cur.clone());
     }
     cur
+}
+
+/// Perform one full transfer of `t` through a tier: the priced copy
+/// passes (memory-bandwidth cost) plus the link-occupancy sleep (wire
+/// time). This is the single definition of a transfer's wall price —
+/// the synchronous engine calls it inline on the compute thread, the
+/// asynchronous engine calls it on an I/O lane. Bitwise-neutral.
+pub fn priced_transfer(t: Tensor, spec: &TierSpec) -> Tensor {
+    let bytes = t.bytes();
+    let out = priced_copy(t, spec.copy_passes);
+    let link = spec.link_time(bytes);
+    if !link.is_zero() {
+        std::thread::sleep(link);
+    }
+    out
 }
 
 /// An ordered stack of far-memory tiers (e.g. host DRAM, then simulated
@@ -121,47 +172,90 @@ impl TierStack {
         self.tiers.len()
     }
 
+    /// The spec of tier `tier` (what a lane job needs to price a copy).
+    pub fn spec(&self, tier: usize) -> TierSpec {
+        self.tiers[tier].spec
+    }
+
     /// Swap a tensor out of the device into tier `tier`. Panics if the
     /// slot is occupied or the tier's capacity would be exceeded — like
     /// `NearMemory`, the caller (the lowered schedule) must have proven
     /// the transfer fits; capacity-infeasible plans are rejected with
     /// typed errors at lowering time, never here.
     pub fn swap_out(&mut self, tier: usize, key: usize, t: Tensor) {
+        let bytes = t.bytes();
+        let spec = self.charge_out(tier, key, bytes);
+        let t = priced_transfer(t, &spec);
+        // The synchronous path stores the tensor itself; the byte-only
+        // charge marker is for the async ledger and must not linger.
+        self.tiers[tier].charged.remove(&key);
+        self.tiers[tier].slots.insert(key, t);
+    }
+
+    /// Swap a tensor back in from tier `tier` (removes it from the tier).
+    pub fn swap_in(&mut self, tier: usize, key: usize) -> Tensor {
+        let t = self.tiers[tier]
+            .slots
+            .remove(&key)
+            .unwrap_or_else(|| panic!("far-memory tier {tier} slot {key} is empty"));
+        let bytes = t.bytes();
+        self.discharge_in(tier, key, bytes);
+        let spec = self.tiers[tier].spec;
+        priced_transfer(t, &spec)
+    }
+
+    /// Accounting half of a swap-out: charge `bytes` under `key` to tier
+    /// `tier`'s ledger (occupancy + capacity asserted, traffic counted,
+    /// peaks advanced) without storing or pricing a tensor. The
+    /// asynchronous engine calls this at *issue* time on the compute
+    /// thread while the physical copy runs on an I/O lane; returns the
+    /// tier's spec so the lane job can price the copy identically.
+    pub fn charge_out(&mut self, tier: usize, key: usize, bytes: usize) -> TierSpec {
         let ts = &mut self.tiers[tier];
         assert!(
-            !ts.slots.contains_key(&key),
+            !ts.slots.contains_key(&key) && !ts.charged.contains_key(&key),
             "far-memory tier {tier} slot {key} already occupied"
         );
-        let bytes = t.bytes();
         assert!(
             ts.resident + bytes <= ts.spec.capacity,
             "far-memory tier {tier} OOM: need {bytes} B with {} B resident of {} B capacity",
             ts.resident,
             ts.spec.capacity
         );
-        let t = priced_copy(t, ts.spec.copy_passes);
+        ts.charged.insert(key, bytes);
         ts.bytes_out += bytes;
         ts.transfers += 1;
         ts.resident += bytes;
         ts.peak_resident = ts.peak_resident.max(ts.resident);
-        ts.slots.insert(key, t);
         self.resident += bytes;
         self.peak_resident = self.peak_resident.max(self.resident);
+        ts.spec
     }
 
-    /// Swap a tensor back in from tier `tier` (removes it from the tier).
-    pub fn swap_in(&mut self, tier: usize, key: usize) -> Tensor {
+    /// Accounting half of a swap-in: release `key`'s charge from tier
+    /// `tier`'s ledger. The asynchronous engine calls this at the
+    /// transfer's *deadline* (the wait point), not at issue — so between
+    /// issue and wait the in-flight bytes stay charged to the source
+    /// tier, which is exactly the in-flight residency the overlap replay
+    /// predicts.
+    fn discharge_in(&mut self, tier: usize, key: usize, bytes: usize) {
         let ts = &mut self.tiers[tier];
-        let t = ts
-            .slots
-            .remove(&key)
-            .unwrap_or_else(|| panic!("far-memory tier {tier} slot {key} is empty"));
-        let bytes = t.bytes();
         ts.bytes_in += bytes;
         ts.transfers += 1;
         ts.resident -= bytes;
         self.resident -= bytes;
-        priced_copy(t, ts.spec.copy_passes)
+        let _ = key;
+    }
+
+    /// Ledger-only swap-in release for a charge made with
+    /// [`TierStack::charge_out`]. Returns the charged byte count.
+    pub fn discharge(&mut self, tier: usize, key: usize) -> usize {
+        let bytes = self.tiers[tier]
+            .charged
+            .remove(&key)
+            .unwrap_or_else(|| panic!("far-memory tier {tier} slot {key} has no charge"));
+        self.discharge_in(tier, key, bytes);
+        bytes
     }
 
     /// Is `key` present in tier `tier`?
@@ -220,6 +314,11 @@ pub struct NearMemory {
     used: usize,
     peak: usize,
     slots: HashMap<usize, Tensor>,
+    /// Byte-only reservations for in-flight fetches: the asynchronous
+    /// engine charges near memory at a transfer's *issue* point (so the
+    /// residency trajectory matches the synchronous engine sample for
+    /// sample) and deposits the tensor itself at the deadline wait.
+    pending: HashMap<usize, usize>,
 }
 
 impl NearMemory {
@@ -230,6 +329,7 @@ impl NearMemory {
             used: 0,
             peak: 0,
             slots: HashMap::new(),
+            pending: HashMap::new(),
         }
     }
 
@@ -237,7 +337,7 @@ impl NearMemory {
     /// the key is occupied.
     pub fn put(&mut self, key: usize, t: Tensor) {
         assert!(
-            !self.slots.contains_key(&key),
+            !self.slots.contains_key(&key) && !self.pending.contains_key(&key),
             "near-memory slot {key} already occupied"
         );
         let bytes = t.bytes();
@@ -260,6 +360,43 @@ impl NearMemory {
             .unwrap_or_else(|| panic!("near-memory slot {key} is empty"));
         self.used -= t.bytes();
         t
+    }
+
+    /// Charge `bytes` under `key` for an in-flight fetch: the budget is
+    /// asserted and `used`/`peak` advance exactly as [`NearMemory::put`]
+    /// would, but the slot holds no tensor yet — [`NearMemory::fulfill`]
+    /// deposits it later without a second charge. Panics like `put` on an
+    /// occupied key or a blown budget.
+    pub fn reserve(&mut self, key: usize, bytes: usize) {
+        assert!(
+            !self.slots.contains_key(&key) && !self.pending.contains_key(&key),
+            "near-memory slot {key} already occupied"
+        );
+        assert!(
+            self.used + bytes <= self.budget,
+            "near-memory OOM: need {bytes} B with {} B used of {} B budget",
+            self.used,
+            self.budget
+        );
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.pending.insert(key, bytes);
+    }
+
+    /// Deposit the tensor for a reservation made with
+    /// [`NearMemory::reserve`]. Panics if `key` was never reserved or the
+    /// tensor's size does not match the reservation.
+    pub fn fulfill(&mut self, key: usize, t: Tensor) {
+        let bytes = self
+            .pending
+            .remove(&key)
+            .unwrap_or_else(|| panic!("near-memory slot {key} has no reservation"));
+        assert_eq!(
+            t.bytes(),
+            bytes,
+            "near-memory slot {key} fulfilled with a tensor of the wrong size"
+        );
+        self.slots.insert(key, t);
     }
 
     /// Borrow the tensor under `key`.
@@ -371,6 +508,53 @@ impl FarMemory {
     }
 }
 
+/// Thread-shared parking space for in-flight tensors, keyed by
+/// `(tier, key)`. The asynchronous engine's swap-out lane jobs `put`
+/// here after their priced copy completes, and the matching swap-in lane
+/// jobs `take` from here — same-lane FIFO ordering guarantees the put
+/// lands first. A tensor is only ever published *whole*: a lane job that
+/// panics mid-copy never inserts, so partial copies are unobservable.
+#[derive(Debug, Default)]
+pub struct SlotStore {
+    slots: Mutex<HashMap<(usize, usize), Tensor>>,
+}
+
+impl SlotStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SlotStore::default()
+    }
+
+    /// Park a fully-copied tensor under `(tier, key)`.
+    pub fn put(&self, tier: usize, key: usize, t: Tensor) {
+        let mut slots = self.slots.lock().unwrap();
+        let prev = slots.insert((tier, key), t);
+        assert!(
+            prev.is_none(),
+            "slot-store tier {tier} slot {key} already occupied"
+        );
+    }
+
+    /// Remove and return the tensor under `(tier, key)`.
+    pub fn take(&self, tier: usize, key: usize) -> Tensor {
+        self.slots
+            .lock()
+            .unwrap()
+            .remove(&(tier, key))
+            .unwrap_or_else(|| panic!("slot-store tier {tier} slot {key} is empty"))
+    }
+
+    /// Number of tensors currently parked.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +590,48 @@ mod tests {
         let mut near = NearMemory::new(100);
         near.put(0, t(4));
         near.put(0, t(4));
+    }
+
+    #[test]
+    fn near_memory_reservations_charge_like_puts() {
+        let mut near = NearMemory::new(100);
+        near.reserve(0, 60);
+        assert_eq!(near.used(), 60);
+        assert_eq!(near.peak(), 60);
+        near.fulfill(0, t(60));
+        assert_eq!(near.used(), 60, "fulfill does not double-charge");
+        assert_eq!(near.take(0).bytes(), 60);
+        assert_eq!(near.used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOM")]
+    fn near_memory_reservations_count_against_the_budget() {
+        let mut near = NearMemory::new(64);
+        near.reserve(0, 40);
+        near.put(1, t(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn near_memory_put_on_a_reserved_slot_panics() {
+        let mut near = NearMemory::new(100);
+        near.reserve(0, 4);
+        near.put(0, t(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no reservation")]
+    fn near_memory_fulfill_without_reservation_panics() {
+        NearMemory::new(100).fulfill(0, t(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn near_memory_fulfill_size_mismatch_panics() {
+        let mut near = NearMemory::new(100);
+        near.reserve(0, 8);
+        near.fulfill(0, t(4));
     }
 
     #[test]
@@ -567,6 +793,72 @@ mod tests {
         let mut stack = TierStack::new(&[TierSpec::unbounded()]);
         stack.swap_out(0, 0, t(4));
         stack.swap_out(0, 0, t(4));
+    }
+
+    #[test]
+    fn tier_spec_link_time_rounds_up_and_scales() {
+        let s = TierSpec::host(1024).with_link(1000);
+        assert_eq!(s.link_time(0), Duration::ZERO);
+        assert_eq!(s.link_time(1), Duration::from_nanos(1000), "rounds up");
+        assert_eq!(s.link_time(2048), Duration::from_nanos(2000));
+        assert_eq!(
+            TierSpec::host(10).link_time(4096),
+            Duration::ZERO,
+            "unpriced links are free"
+        );
+    }
+
+    #[test]
+    fn ledger_charge_discharge_matches_sync_accounting() {
+        let mut sync = TierStack::new(&[TierSpec::host(100)]);
+        let mut ledger = TierStack::new(&[TierSpec::host(100)]);
+        sync.swap_out(0, 1, t(40));
+        ledger.charge_out(0, 1, 40);
+        assert_eq!(sync.tier_resident(), ledger.tier_resident());
+        assert_eq!(sync.bytes_swapped_out(), ledger.bytes_swapped_out());
+        sync.swap_in(0, 1);
+        assert_eq!(ledger.discharge(0, 1), 40);
+        assert_eq!(sync.tier_resident(), ledger.tier_resident());
+        assert_eq!(sync.peak_tier_bytes(), ledger.peak_tier_bytes());
+        assert_eq!(sync.transfers(), ledger.transfers());
+        assert_eq!(sync.bytes_swapped_in(), ledger.bytes_swapped_in());
+        // The released capacity is reusable, exactly like the sync path.
+        ledger.charge_out(0, 1, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOM")]
+    fn ledger_charge_counts_in_flight_bytes_against_capacity() {
+        let mut ledger = TierStack::new(&[TierSpec::host(64)]);
+        ledger.charge_out(0, 0, 40);
+        // Key 0 is still charged (in flight, not yet discharged at its
+        // deadline), so a second 40 B charge must not fit.
+        ledger.charge_out(0, 1, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no charge")]
+    fn ledger_discharge_of_uncharged_key_panics() {
+        TierStack::new(&[TierSpec::unbounded()]).discharge(0, 3);
+    }
+
+    #[test]
+    fn slot_store_round_trips_whole_tensors() {
+        let store = SlotStore::new();
+        let src = Tensor::from_vec(&[8], (0..8).map(|i| i as f32).collect());
+        store.put(1, 5, src.clone());
+        assert_eq!(store.len(), 1);
+        let back = store.take(1, 5);
+        assert_eq!(back.data, src.data);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn slot_store_rejects_double_put() {
+        let store = SlotStore::new();
+        store.put(0, 0, t(4));
+        store.put(0, 0, t(4));
     }
 
     #[test]

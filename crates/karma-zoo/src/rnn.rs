@@ -107,14 +107,16 @@ mod tests {
         let mem = MemoryParams::exact();
         // LSTMs are weight-heavy at this scale: keep the full model state
         // resident (single-GPU KARMA semantics) and squeeze activations.
-        // Half the activation footprint is the honest floor now that a
-        // swapped block's boundary really travels: while a block's
-        // backward runs, the swap-in carrying the block below (boundary
-        // included) is already resident.
+        // With split boundary returns the capacity rule can defer a fetch
+        // that would not fit to the block's own backward step, so the
+        // working-set floor is roughly one block plus its neighbour's
+        // boundary — about a third of the activation footprint here,
+        // down from the ~half that riding every fetch one step early
+        // used to force.
         let state = g.memory(8, &mem).model_state() as f64;
         let acts = (g.peak_footprint(8, &mem) as f64 - state).max(1.0);
         let node = NodeSpec::toy(
-            GpuSpec::toy((state * 1.05 + acts * 0.5) as u64, 5.0e9),
+            GpuSpec::toy((state * 1.05 + acts * 0.35) as u64, 5.0e9),
             LinkSpec::toy(3.0e8),
         );
         let plan = Karma::new(node, mem)

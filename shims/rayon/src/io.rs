@@ -1,0 +1,375 @@
+//! Dedicated I/O lanes: daemon threads that run submitted transfer jobs
+//! FIFO, returning per-job futures.
+//!
+//! The compute pool (`crate::pool`) is a work-*stealing* executor —
+//! exactly wrong for transfers, whose correctness argument leans on
+//! *ordering* (a block's swap-out must physically land before the same
+//! block's swap-in departs). An [`IoLanePool`] instead gives each lane a
+//! strict FIFO queue and one owning thread, so two jobs submitted to the
+//! same lane execute in submission order, full stop. Callers route
+//! related transfers to the same lane (e.g. by block index) and spread
+//! unrelated ones across lanes for overlap.
+//!
+//! ## Poisoning
+//!
+//! A job that panics **poisons its lane**: the panic is caught on the
+//! lane thread, the job's [`IoHandle`] resolves to the panic message,
+//! and every job already queued — or submitted later — on that lane is
+//! refused (queued jobs resolve poisoned without running; new
+//! submissions panic). Results are only ever published *whole*, so a
+//! mid-transfer panic can never expose a partial copy: the waiter
+//! observes either the complete value or a panic, nothing in between.
+//! This mirrors `ExchangeBuffers`' poison-on-mid-fold-panic contract in
+//! `karma-runtime`.
+//!
+//! ```
+//! let pool = rayon::io::IoLanePool::new(2);
+//! let a = pool.submit(0, || 20u64);
+//! let b = pool.submit(0, || 22u64);
+//! assert_eq!(a.wait() + b.wait(), 42);
+//! assert!(!pool.poisoned());
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type LaneJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between one lane's submitters and its daemon thread.
+struct LaneShared {
+    queue: Mutex<VecDeque<LaneJob>>,
+    available: Condvar,
+    poisoned: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// One resolved-or-not job result.
+enum HandleSlot<T> {
+    Pending,
+    Done(T),
+    Poisoned(String),
+}
+
+struct HandleState<T> {
+    slot: Mutex<HandleSlot<T>>,
+    ready: Condvar,
+}
+
+impl<T> HandleState<T> {
+    fn new() -> Self {
+        HandleState {
+            slot: Mutex::new(HandleSlot::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, value: HandleSlot<T>) {
+        *self.slot.lock().unwrap() = value;
+        self.ready.notify_all();
+    }
+}
+
+/// A future for one submitted lane job. [`IoHandle::wait`] blocks until
+/// the job completes and returns its value — or panics if the job (or an
+/// earlier job on the same lane) panicked.
+#[must_use = "an unwaited transfer reports neither its result nor a lane poisoning"]
+pub struct IoHandle<T> {
+    state: Arc<HandleState<T>>,
+    lane: usize,
+}
+
+impl<T> IoHandle<T> {
+    /// Block until the job completes; return its value.
+    ///
+    /// # Panics
+    /// If the job panicked (or was skipped because its lane was already
+    /// poisoned), re-raising the failure on the waiting thread.
+    pub fn wait(self) -> T {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *slot, HandleSlot::Pending) {
+                HandleSlot::Pending => slot = self.state.ready.wait(slot).unwrap(),
+                HandleSlot::Done(v) => return v,
+                HandleSlot::Poisoned(msg) => {
+                    drop(slot);
+                    panic!("I/O lane {} poisoned: {msg}", self.lane)
+                }
+            }
+        }
+    }
+
+    /// The lane this job was submitted to.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "transfer job panicked".to_string()
+    }
+}
+
+fn lane_main(shared: Arc<LaneShared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(j) => j(),
+            None => return,
+        }
+    }
+}
+
+/// A fixed set of FIFO I/O lanes (one daemon thread each), shut down and
+/// joined on drop. See the module docs for ordering and poisoning
+/// semantics.
+pub struct IoLanePool {
+    lanes: Vec<Arc<LaneShared>>,
+    threads: Vec<JoinHandle<()>>,
+    epoch: AtomicU64,
+}
+
+impl IoLanePool {
+    /// Spawn a pool with `lanes` lanes (threads named `karma-io-{i}`).
+    ///
+    /// # Panics
+    /// If `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes >= 1, "an I/O lane pool needs at least one lane");
+        let shared: Vec<Arc<LaneShared>> = (0..lanes)
+            .map(|_| {
+                Arc::new(LaneShared {
+                    queue: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                    poisoned: AtomicBool::new(false),
+                    shutdown: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        let threads = shared
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let s = Arc::clone(s);
+                std::thread::Builder::new()
+                    .name(format!("karma-io-{i}"))
+                    .spawn(move || lane_main(s))
+                    .expect("spawn I/O lane thread")
+            })
+            .collect();
+        IoLanePool {
+            lanes: shared,
+            threads,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Queue `job` on lane `lane % lanes()`; returns a future for its
+    /// result. Jobs on the same lane run strictly in submission order.
+    ///
+    /// # Panics
+    /// If the lane is already poisoned by an earlier job's panic.
+    pub fn submit<T, F>(&self, lane: usize, job: F) -> IoHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let lane = lane % self.lanes.len();
+        let shared = Arc::clone(&self.lanes[lane]);
+        assert!(
+            !shared.poisoned.load(Ordering::Acquire),
+            "I/O lane {lane} is poisoned by an earlier mid-transfer panic"
+        );
+        let state = Arc::new(HandleState::new());
+        let handle_state = Arc::clone(&state);
+        let lane_state = Arc::clone(&shared);
+        let boxed: LaneJob = Box::new(move || {
+            if lane_state.poisoned.load(Ordering::Acquire) {
+                // A predecessor on this lane panicked after we enqueued:
+                // never run, so no state downstream of the panic is built.
+                handle_state.resolve(HandleSlot::Poisoned(
+                    "skipped: an earlier transfer on this lane panicked".to_string(),
+                ));
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(v) => handle_state.resolve(HandleSlot::Done(v)),
+                Err(payload) => {
+                    lane_state.poisoned.store(true, Ordering::Release);
+                    handle_state.resolve(HandleSlot::Poisoned(panic_message(payload.as_ref())));
+                }
+            }
+        });
+        let mut q = shared.queue.lock().unwrap();
+        q.push_back(boxed);
+        shared.available.notify_one();
+        drop(q);
+        IoHandle { state, lane }
+    }
+
+    /// Has any lane been poisoned by a panicking job?
+    pub fn poisoned(&self) -> bool {
+        self.lanes
+            .iter()
+            .any(|l| l.poisoned.load(Ordering::Acquire))
+    }
+
+    /// Has lane `lane` been poisoned?
+    pub fn lane_poisoned(&self, lane: usize) -> bool {
+        self.lanes[lane % self.lanes.len()]
+            .poisoned
+            .load(Ordering::Acquire)
+    }
+
+    /// Re-arm the pool for a new step and return the step's epoch (a
+    /// monotonically increasing counter submitters key their transfers
+    /// by).
+    ///
+    /// # Panics
+    /// If any lane is poisoned — like `ExchangeBuffers::begin_step`, a
+    /// poisoned engine refuses reuse rather than risk acting on state a
+    /// panic left behind.
+    pub fn begin_step(&self) -> u64 {
+        assert!(
+            !self.poisoned(),
+            "I/O lane pool is poisoned by a mid-transfer panic; build a new executor"
+        );
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+impl fmt::Debug for IoLanePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IoLanePool")
+            .field("lanes", &self.lanes.len())
+            .field("poisoned", &self.poisoned())
+            .finish()
+    }
+}
+
+impl Drop for IoLanePool {
+    fn drop(&mut self) {
+        for lane in &self.lanes {
+            lane.shutdown.store(true, Ordering::Release);
+            lane.available.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn jobs_on_one_lane_run_fifo() {
+        let pool = IoLanePool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                pool.submit(0, move || {
+                    order.lock().unwrap().push(i);
+                    i
+                })
+            })
+            .collect();
+        let got: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lanes_run_concurrently_with_the_submitter() {
+        let pool = IoLanePool::new(2);
+        let h = pool.submit(1, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            7u32
+        });
+        // The submitter keeps running while the lane sleeps; wait joins.
+        assert_eq!(h.wait(), 7);
+    }
+
+    #[test]
+    fn panic_poisons_the_lane_and_skips_queued_jobs() {
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let pool = IoLanePool::new(2);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let bad = {
+            let gate = Arc::clone(&gate);
+            pool.submit(0, move || {
+                // Hold until the successor is enqueued behind us.
+                drop(gate.lock().unwrap());
+                panic!("mid-transfer failure")
+            })
+        };
+        let after = {
+            let ran_after = Arc::clone(&ran_after);
+            pool.submit(0, move || {
+                ran_after.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        drop(held);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| bad.wait()));
+        let msg = panic_message(r.unwrap_err().as_ref());
+        assert!(msg.contains("mid-transfer failure"), "got: {msg}");
+        assert!(pool.lane_poisoned(0));
+        assert!(!pool.lane_poisoned(1), "other lanes are unaffected");
+        // The queued successor never ran — no partial state downstream.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| after.wait()));
+        assert!(r.is_err());
+        assert_eq!(ran_after.load(Ordering::SeqCst), 0);
+        // New submissions to the poisoned lane are refused outright.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.submit(0, || ());
+        }));
+        let msg = panic_message(r.unwrap_err().as_ref());
+        assert!(msg.contains("poisoned"), "got: {msg}");
+        // And the pool refuses to re-arm for another step.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| pool.begin_step()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn begin_step_counts_epochs() {
+        let pool = IoLanePool::new(1);
+        assert_eq!(pool.begin_step(), 1);
+        assert_eq!(pool.begin_step(), 2);
+    }
+
+    #[test]
+    fn drop_joins_lane_threads() {
+        let pool = IoLanePool::new(3);
+        let h = pool.submit(2, || 1u8);
+        assert_eq!(h.wait(), 1);
+        drop(pool); // must not hang
+    }
+}

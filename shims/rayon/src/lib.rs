@@ -41,11 +41,19 @@
 //! intact (`par_chunks[_mut]`, `par_iter[_mut]`, `into_par_iter` on `Vec`
 //! and ranges, `map`/`enumerate`/`for_each`/`collect`/`sum`, `join`), so
 //! no call site changes when swapping in the real `rayon`.
+//!
+//! One deliberate extension beyond the real crate: [`io`], a pool of
+//! strict-FIFO I/O lanes (dedicated daemon threads) used by
+//! `karma-runtime`'s asynchronous swap engine — ordering-sensitive
+//! transfer jobs are exactly what a work-*stealing* executor must not
+//! reorder, so they get their own lanes instead of riding the compute
+//! pool.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+pub mod io;
 mod pool;
 
 pub use pool::{pool_workers_spawned, MAX_POOL_WORKERS, STRIP_FACTOR};

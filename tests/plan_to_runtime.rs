@@ -163,10 +163,18 @@ fn planned_plan_executes_with_sim_matching_op_counts() {
                     .count()
             })
             .sum();
+        let split_returns: usize = (0..sched.n_blocks())
+            .map(|j| {
+                sched.boundary_fetch_before[j]
+                    .iter()
+                    .filter(|p| !sched.prefetch_before[j].contains(p))
+                    .count()
+            })
+            .sum();
         assert_eq!(
             traj.len(),
-            cp.plan.ops.len() + deferred_tails,
-            "one extra sample per deferred boundary tail"
+            cp.plan.ops.len() + deferred_tails + split_returns,
+            "one extra sample per deferred boundary tail / split return"
         );
         assert_eq!(traj, replay.samples, "link_bw {link_bw}");
         assert_eq!(stats.peak_near_bytes, replay.peak_bytes);
@@ -386,7 +394,14 @@ fn fig5_grid_plans_lower_with_sim_matching_op_counts() {
         for (j, list) in sched.boundary_fetch_before.iter().enumerate() {
             for &p in list {
                 assert!(j > p, "{}: late return", w.model.name);
-                assert!(sched.prefetch_before[j].contains(&p));
+                // The boundary rides its block's swap-in, or — when the
+                // capacity rule deferred that fetch to the block's own
+                // step — returns split, at the consumer's backward.
+                assert!(
+                    sched.prefetch_before[j].contains(&p) || j == p + 1,
+                    "{}: stray split return",
+                    w.model.name
+                );
             }
         }
     }
